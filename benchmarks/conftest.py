@@ -1,0 +1,70 @@
+"""Shared fixtures and result recording for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artifacts (Table 1,
+the Fig. 1 pipeline, or a claim made in Sections 2-3; see DESIGN.md's
+experiment index) and records the values it measured under
+``benchmarks/results/`` so EXPERIMENTS.md can be checked against actual runs.
+
+The corpus scale defaults to the paper-equivalent 1.0 (about 22k synthetic
+vulnerabilities); set ``CPSEC_BENCH_SCALE`` to a smaller value for quick runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.casestudies.centrifuge import build_centrifuge_model
+from repro.corpus.synthesis import build_corpus
+from repro.search.engine import SearchEngine
+
+#: Corpus scale used by the benchmarks (1.0 = paper-scale populations).
+BENCH_SCALE = float(os.environ.get("CPSEC_BENCH_SCALE", "1.0"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """The corpus scale in use (recorded into every result file)."""
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """Seed + synthetic corpus at benchmark scale."""
+    return build_corpus(scale=BENCH_SCALE, seed=7)
+
+
+@pytest.fixture(scope="session")
+def engine(corpus):
+    """A search engine over the benchmark corpus (indexes prebuilt)."""
+    return SearchEngine(corpus)
+
+
+@pytest.fixture(scope="session")
+def centrifuge_model():
+    """The implementation-fidelity centrifuge model."""
+    return build_centrifuge_model()
+
+
+@pytest.fixture(scope="session")
+def centrifuge_association(engine, centrifuge_model):
+    """The associated centrifuge model at benchmark scale."""
+    return engine.associate(centrifuge_model)
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Write a named result artifact under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _record(name: str, content: str) -> Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(content + "\n", encoding="utf-8")
+        print(f"\n[{name}]\n{content}\n")
+        return path
+
+    return _record

@@ -1,0 +1,69 @@
+"""E7 -- IT-centric baselines vs. the consequence-aware pipeline.
+
+Sections 1-2: "modeling attacks in Microsoft's threat modeling tool or attack
+trees assumes that the system must be a collection of IT infrastructure with
+no physical interactions ... This narrow focus does not allow for the
+modeling of the physical interactions with the system under design and,
+therefore, cannot map threats to environmental consequences."
+
+The benchmark runs STRIDE-per-element and attack-tree analysis on the same
+model and contrasts their coverage with the model-based pipeline: how many
+findings, how many components covered (including the physical ones), and --
+the decisive column -- how many findings connect to a process hazard.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.attacks.consequence import ConsequenceMapper
+from repro.baselines.attack_trees import build_attack_tree
+from repro.baselines.comparison import compare_coverage
+from repro.baselines.stride import StrideAnalyzer
+
+
+def run_comparison(centrifuge_model, centrifuge_association):
+    stride = StrideAnalyzer().analyze(centrifuge_model)
+    tree = build_attack_tree(centrifuge_association, "BPCS Platform")
+    mapper = ConsequenceMapper(duration_s=420.0)
+    assessments = []
+    for record, component in (
+        ("CWE-78", "BPCS Platform"),
+        ("CWE-693", "SIS Platform"),
+        ("CWE-345", "Temperature Sensor"),
+        ("CWE-306", "BPCS Platform"),
+    ):
+        assessments.extend(mapper.assess(record, component))
+    return compare_coverage(centrifuge_model, centrifuge_association, stride, tree, assessments)
+
+
+def test_baseline_coverage(benchmark, centrifuge_model, centrifuge_association,
+                           bench_scale, record_result):
+    coverage = benchmark.pedantic(
+        lambda: run_comparison(centrifuge_model, centrifuge_association),
+        rounds=1, iterations=1,
+    )
+
+    table = render_table(
+        ("Approach", "Findings", "Components", "Physical comps",
+         "Findings w/ physical consequence", "Distinct hazards"),
+        coverage.as_rows(),
+    )
+    record_result("baseline_coverage", f"corpus scale: {bench_scale}\n\n{table}")
+
+    stride = coverage.approach("STRIDE (IT-centric)")
+    tree = coverage.approach("Attack tree")
+    cpsec = coverage.approach("Model-based CPS security (this work)")
+
+    # The baselines produce plenty of findings...
+    assert stride.findings > 30
+    assert tree.findings > 5
+    # ...but none of them connect to a physical consequence.
+    assert stride.findings_with_physical_consequence == 0
+    assert tree.findings_with_physical_consequence == 0
+    assert stride.distinct_hazards_identified == 0
+    assert tree.distinct_hazards_identified == 0
+    # The model-based pipeline covers the physical process and reaches hazards.
+    assert cpsec.findings_with_physical_consequence > 0
+    assert cpsec.distinct_hazards_identified >= 2
+    assert cpsec.physical_components_covered >= 1
+    assert cpsec.physical_components_covered >= stride.physical_components_covered

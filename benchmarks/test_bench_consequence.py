@@ -1,0 +1,90 @@
+"""E6 -- mapping attack vectors to physical consequences (the CWE-78 scenario).
+
+Section 3: CWE-78 OS command injection on the BPCS/SIS platforms "may result
+in compromised control of the centrifuge, manifesting in destruction of the
+manufactured product or damage to the centrifuge itself, which could cause
+accidents.  This is not an unreasonable scenario as is illustrated by Triton".
+
+The benchmark runs the closed-loop SCADA simulation for the nominal batch and
+for each executable attack scenario, and reports peak process values, SIS
+behaviour, and the hazards reached.  The decisive shape: command injection
+alone is contained by the SIS (batch lost, no safety hazard), while the
+Triton-like composite (SIS disabled first) crosses the thermal-instability
+limit.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.attacks.scenarios import SCENARIO_LIBRARY
+from repro.cps.hazards import HazardKind
+from repro.cps.scada import ScadaSimulation
+
+DURATION_S = 420.0
+DT = 0.5
+
+
+def run_all_scenarios():
+    rows = {}
+    nominal = ScadaSimulation()
+    trace = nominal.run(DURATION_S, DT)
+    rows["nominal"] = (trace, trace.hazards(), nominal.sis)
+    for name, scenario in SCENARIO_LIBRARY.items():
+        simulation = ScadaSimulation(interventions=scenario.interventions())
+        trace = simulation.run(DURATION_S, DT)
+        rows[name] = (trace, trace.hazards(), simulation.sis)
+    return rows
+
+
+def test_consequence_scenarios(benchmark, bench_scale, record_result):
+    rows = benchmark.pedantic(run_all_scenarios, rounds=1, iterations=1)
+
+    table_rows = []
+    for name, (trace, report, sis) in rows.items():
+        hazards = ", ".join(sorted({event.kind.value for event in report.events})) or "none"
+        table_rows.append(
+            (name, f"{trace.max_temperature():.1f}", f"{trace.max_speed():.0f}",
+             "yes" if sis.tripped else "no",
+             "no" if sis.enabled else "DISABLED", hazards)
+        )
+    text = render_table(
+        ("Scenario", "Peak T [C]", "Peak rpm", "SIS trip", "SIS disabled", "Hazards"),
+        table_rows,
+    )
+    record_result("consequences", f"simulation horizon: {DURATION_S}s\n\n{text}")
+
+    nominal_trace, nominal_report, nominal_sis = rows["nominal"]
+    injection_trace, injection_report, injection_sis = rows["bpcs-command-injection"]
+    triton_trace, triton_report, triton_sis = rows["triton-like-sis-bypass"]
+
+    # Nominal batch: regulation within the paper's +/- 1 rpm, no hazards.
+    assert nominal_trace.speed_tracking_error(after_s=150.0) < 1.0
+    assert not nominal_report.events
+    assert not nominal_sis.tripped
+
+    # CWE-78 alone: the SIS catches it; the batch is lost but the plant is safe.
+    assert injection_sis.tripped
+    assert injection_report.product_lost
+    assert not injection_report.any_safety_hazard
+
+    # Triton-like composite: safety layer bypassed, thermal runaway reached.
+    assert not triton_sis.enabled
+    assert not triton_sis.tripped
+    assert triton_report.occurred(HazardKind.THERMAL_RUNAWAY)
+    assert triton_trace.max_temperature() > 30.0
+
+    # The scenarios that manipulate control or blind a protection layer all
+    # lead to at least product loss.  (Pure availability attacks -- the DoS
+    # and flood scenarios -- degrade regulation but a well-tuned loop may ride
+    # through them, which is itself a finding worth reporting.)
+    expected_loss = (
+        "triton-like-sis-bypass",
+        "bpcs-command-injection",
+        "unauthenticated-setpoint-write",
+        "controller-blinding-mitm",
+        "sis-replay-blinding",
+        "physical-sensor-tamper",
+    )
+    for name in expected_loss:
+        _, report, _ = rows[name]
+        assert report.product_lost, f"scenario {name} produced no physical consequence"

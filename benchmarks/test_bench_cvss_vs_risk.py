@@ -1,0 +1,81 @@
+"""E8 -- CVSS severity is not risk.
+
+Section 2: "a common mistake is to use CVSS as a potential metric for risk.
+However, CVSS only defines severity of a given vulnerability and not risk."
+
+The benchmark contrasts three component rankings of the demonstration system:
+
+* by maximum CVSS score of the associated vulnerabilities (the practice the
+  paper warns against),
+* by the qualitative posture index (counts weighted by exposure and
+  criticality),
+* by physical consequence (whether executable scenarios against the component
+  reach a safety hazard).
+
+The shape the paper implies: CVSS ranks the internet-adjacent IT asset(s) at
+the top, while the consequence-aware view elevates the safety-critical
+control and safety platforms whose compromise actually produces hazards.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import compute_posture
+from repro.analysis.report import render_table
+from repro.attacks.consequence import ConsequenceMapper
+
+
+def build_rankings(centrifuge_association):
+    metrics = compute_posture(centrifuge_association)
+    by_cvss = [c.name for c in metrics.ranking_by_cvss()]
+    by_posture = [c.name for c in metrics.ranking_by_posture()]
+
+    mapper = ConsequenceMapper(duration_s=420.0)
+    consequence_rows = {}
+    for record, component in (
+        ("CWE-78", "BPCS Platform"),
+        ("CWE-693", "SIS Platform"),
+        ("CWE-522", "Programming WS"),
+        ("CWE-284", "Control Firewall"),
+    ):
+        assessments = mapper.assess(record, component)
+        consequence_rows[component] = any(a.safety_hazard for a in assessments)
+    return metrics, by_cvss, by_posture, consequence_rows
+
+
+def test_cvss_vs_consequence_ranking(benchmark, centrifuge_association, bench_scale, record_result):
+    metrics, by_cvss, by_posture, consequences = benchmark.pedantic(
+        lambda: build_rankings(centrifuge_association), rounds=1, iterations=1
+    )
+
+    rows = []
+    for component in metrics.components:
+        rows.append(
+            (
+                component.name,
+                f"{component.max_cvss:.1f}",
+                by_cvss.index(component.name) + 1,
+                f"{component.posture_index:.1f}",
+                by_posture.index(component.name) + 1,
+                "yes" if consequences.get(component.name) else "-",
+            )
+        )
+    table = render_table(
+        ("Component", "Max CVSS", "CVSS rank", "Posture index", "Posture rank",
+         "Safety hazard reachable"),
+        rows,
+    )
+    record_result("cvss_vs_risk", f"corpus scale: {bench_scale}\n\n{table}")
+
+    # CVSS severity saturates: several components share near-critical maxima,
+    # so it cannot discriminate between them...
+    critical_components = [c for c in metrics.components if c.max_cvss >= 9.0]
+    assert len(critical_components) >= 3
+    # ...and the two rankings disagree.
+    assert by_cvss != by_posture
+
+    # The components whose compromise produces a *safety* hazard (BPCS, SIS)
+    # are not the CVSS leader -- severity alone would misdirect attention.
+    cvss_leader = by_cvss[0]
+    assert consequences["BPCS Platform"] or consequences["SIS Platform"]
+    hazardous = {name for name, hazard in consequences.items() if hazard}
+    assert cvss_leader not in hazardous or len(hazardous) > 1

@@ -1,0 +1,70 @@
+"""E3 -- model-fidelity sensitivity of the result space.
+
+Section 3: "the general lessons stemming from the large result space is that
+it is highly sensitive to the fidelity of the model.  If the model is closer
+to implementation ... the result space will be more specific.  Another
+possible solution is to abstract away vulnerabilities at the earlier stages
+of the design lifecycle where the model is more abstract and therefore better
+relates to attack patterns and weaknesses."
+
+The benchmark sweeps the same architecture across the three fidelity levels
+and reports the per-class result-space sizes, plus an ablation of
+fidelity-aware matching (the engine option that implements the abstraction
+recommendation).
+"""
+
+from __future__ import annotations
+
+from repro.casestudies.centrifuge import build_centrifuge_model
+from repro.corpus.schema import RecordKind
+from repro.graph.attributes import Fidelity
+from repro.search.engine import SearchEngine
+
+
+def sweep(engine):
+    results = {}
+    for fidelity in Fidelity:
+        model = build_centrifuge_model(fidelity)
+        association = engine.associate(model)
+        results[fidelity] = association.total_counts()
+    return results
+
+
+def test_fidelity_sweep(benchmark, corpus, engine, bench_scale, record_result):
+    results = benchmark.pedantic(lambda: sweep(engine), rounds=1, iterations=1)
+
+    lines = [f"corpus scale: {bench_scale}", "",
+             f"{'fidelity':<16} {'attack patterns':>16} {'weaknesses':>12} {'vulnerabilities':>16}"]
+    for fidelity, counts in results.items():
+        lines.append(
+            f"{fidelity.name:<16} {counts[RecordKind.ATTACK_PATTERN]:>16} "
+            f"{counts[RecordKind.WEAKNESS]:>12} {counts[RecordKind.VULNERABILITY]:>16}"
+        )
+
+    # Ablation: flat matching (fidelity_aware off) lets abstract models match
+    # vulnerabilities too, flooding the early-lifecycle result space.
+    flat_engine = SearchEngine(corpus, fidelity_aware=False)
+    flat = flat_engine.associate(build_centrifuge_model(Fidelity.LOGICAL)).total_counts()
+    lines.append("")
+    lines.append(
+        "ablation (LOGICAL model, fidelity-aware off): "
+        f"vulnerabilities={flat[RecordKind.VULNERABILITY]}"
+    )
+    record_result("fidelity_sweep", "\n".join(lines))
+
+    conceptual = results[Fidelity.CONCEPTUAL]
+    logical = results[Fidelity.LOGICAL]
+    implementation = results[Fidelity.IMPLEMENTATION]
+
+    # Abstract models relate to attack patterns and weaknesses only.
+    assert conceptual[RecordKind.VULNERABILITY] == 0
+    assert logical[RecordKind.VULNERABILITY] == 0
+    assert conceptual[RecordKind.ATTACK_PATTERN] > 0
+    assert conceptual[RecordKind.WEAKNESS] > 0
+
+    # Implementation detail makes vulnerability matching possible and dominant.
+    assert implementation[RecordKind.VULNERABILITY] > 1000 * bench_scale
+    assert implementation[RecordKind.VULNERABILITY] > implementation[RecordKind.WEAKNESS]
+
+    # The result space grows monotonically with fidelity.
+    assert sum(conceptual.values()) <= sum(logical.values()) <= sum(implementation.values())

@@ -1,0 +1,58 @@
+"""E2 -- Fig. 1: the end-to-end demonstration pipeline.
+
+The paper's Fig. 1 shows the toolchain: a SysML system model is exported to a
+general graph model (GraphML), the search engine associates attack-vector
+data with it, and the dashboard merges the two for analysis.  This benchmark
+runs that whole pipeline and reports the size of the merged artifact, which
+is the paper's headline observation ("the total number of attack vectors
+returned by the search process is large").
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import compute_posture
+from repro.analysis.report import render_posture_report
+from repro.casestudies.centrifuge import build_centrifuge_sysml
+from repro.corpus.schema import RecordKind
+from repro.graph.graphml import from_graphml_string, to_graphml_string
+from repro.search.engine import SearchEngine
+
+
+def run_pipeline(corpus):
+    diagram = build_centrifuge_sysml()
+    model = from_graphml_string(to_graphml_string(diagram.to_system_graph()))
+    engine = SearchEngine(corpus)
+    association = engine.associate(model)
+    metrics = compute_posture(association)
+    return association, metrics
+
+
+def test_fig1_pipeline(benchmark, corpus, bench_scale, record_result):
+    association, metrics = benchmark.pedantic(
+        lambda: run_pipeline(corpus), rounds=2, iterations=1
+    )
+
+    totals = association.total_counts()
+    lines = [
+        f"corpus scale: {bench_scale}",
+        f"components: {len(association.components)}",
+        f"associated attack patterns: {totals[RecordKind.ATTACK_PATTERN]}",
+        f"associated weaknesses: {totals[RecordKind.WEAKNESS]}",
+        f"associated vulnerabilities: {totals[RecordKind.VULNERABILITY]}",
+        f"total associated records: {association.total}",
+        "",
+        render_posture_report(association, metrics),
+    ]
+    record_result("fig1_pipeline", "\n".join(lines))
+
+    # The merged artifact must exist for every component and be "large" --
+    # the paper's motivation for filtering.
+    assert len(association.components) == 7
+    assert association.total > 100 * bench_scale
+    # Every cyber component of the control network carries associations.
+    for name in ("Control Firewall", "Programming WS", "SIS Platform", "BPCS Platform"):
+        assert association.component(name).total > 0
+    # The dashboard summary identifies the controllers/workstation as the
+    # dominant contributors, not the physical process.
+    ranking = [name for name, _ in association.component_ranking()]
+    assert ranking.index("Centrifuge") > 2

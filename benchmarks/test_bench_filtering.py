@@ -1,0 +1,65 @@
+"""E5 -- filtering the large result space.
+
+Section 3: "the total number of attack vectors returned by the search process
+is large (Table 1).  Filtering functionality is implemented to manage these
+attack vectors."  The benchmark measures how each filter stage of the
+analyst's pipeline shrinks the merged artifact, and how long the filter pass
+takes relative to the association itself.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.schema import RecordKind
+from repro.search.filters import (
+    FilterPipeline,
+    by_exploitability,
+    by_min_score,
+    by_network_exposure,
+    by_severity,
+    top_k,
+)
+
+
+def staged_reduction(association):
+    stages = [
+        ("associated (unfiltered)", FilterPipeline()),
+        ("+ min score 0.5", FilterPipeline([by_min_score(0.5)])),
+        ("+ network exploitable", FilterPipeline([by_min_score(0.5), by_exploitability()])),
+        ("+ severity >= High", FilterPipeline([by_min_score(0.5), by_exploitability(),
+                                               by_severity("High")])),
+        ("+ exposure <= 3 hops", FilterPipeline([by_min_score(0.5), by_exploitability(),
+                                                 by_severity("High"), by_network_exposure(3)])),
+        ("+ top 25 per component", FilterPipeline([by_min_score(0.5), by_exploitability(),
+                                                   by_severity("High"), by_network_exposure(3),
+                                                   top_k(25)])),
+    ]
+    results = []
+    for label, pipeline in stages:
+        filtered = pipeline.apply(association)
+        results.append((label, filtered.total, filtered.total_counts()))
+    return results
+
+
+def test_filtering_pipeline(benchmark, centrifuge_association, bench_scale, record_result):
+    results = benchmark.pedantic(
+        lambda: staged_reduction(centrifuge_association), rounds=1, iterations=1
+    )
+
+    lines = [f"corpus scale: {bench_scale}", "",
+             f"{'stage':<28} {'total':>8} {'patterns':>9} {'weaknesses':>11} {'vulns':>8}"]
+    for label, total, counts in results:
+        lines.append(
+            f"{label:<28} {total:>8} {counts[RecordKind.ATTACK_PATTERN]:>9} "
+            f"{counts[RecordKind.WEAKNESS]:>11} {counts[RecordKind.VULNERABILITY]:>8}"
+        )
+    record_result("filtering", "\n".join(lines))
+
+    totals = [total for _, total, _ in results]
+    # Each stage removes results (monotone non-increasing), and the full
+    # pipeline reduces the unfiltered space by at least an order of magnitude.
+    assert all(earlier >= later for earlier, later in zip(totals, totals[1:]))
+    assert totals[-1] <= totals[0] / 10
+    assert totals[-1] > 0
+    # The final working set is small enough for expert review (the point of
+    # the filtering capability).
+    assert totals[-1] <= 25 * len(centrifuge_association.components)

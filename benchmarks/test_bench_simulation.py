@@ -1,0 +1,54 @@
+"""Performance of the closed-loop SCADA simulation substrate.
+
+The consequence mapper re-runs the plant simulation once per (record,
+scenario) pair, so simulation throughput bounds how many associated attack
+vectors can be given consequence evidence in an analysis session.  The
+benchmark measures steps/second of the closed loop and the cost of a full
+consequence assessment for the paper's CWE-78 example.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.attacks.consequence import ConsequenceMapper
+from repro.cps.scada import ScadaSimulation
+
+DURATION_S = 420.0
+DT = 0.5
+
+
+def test_closed_loop_simulation_throughput(benchmark, record_result):
+    def run():
+        return ScadaSimulation().run(DURATION_S, DT)
+
+    trace = benchmark(run)
+    steps = len(trace)
+
+    start = time.perf_counter()
+    ScadaSimulation().run(DURATION_S, DT)
+    elapsed = time.perf_counter() - start
+    steps_per_second = steps / elapsed
+
+    start = time.perf_counter()
+    mapper = ConsequenceMapper(duration_s=DURATION_S, dt=DT)
+    assessments = mapper.assess("CWE-78", "BPCS Platform")
+    assessment_time = time.perf_counter() - start
+
+    record_result(
+        "simulation_performance",
+        "\n".join(
+            [
+                f"closed-loop steps per run: {steps}",
+                f"steps per second: {steps_per_second:.0f}",
+                f"CWE-78 consequence assessment ({len(assessments)} scenarios + baseline): "
+                f"{assessment_time:.2f} s",
+            ]
+        ),
+    )
+
+    # The simulation must be fast enough that consequence mapping over the
+    # handful of scenario-covered records is an interactive operation.
+    assert steps_per_second > 2_000
+    assert assessment_time < 30.0
+    assert assessments

@@ -1,0 +1,78 @@
+"""cpsec: model-based cyber-physical systems security analysis.
+
+A reproduction of the toolchain described in Bakirtzis et al.,
+"Fundamental Challenges of Cyber-Physical Systems Security Modeling"
+(DSN 2020): system models exported to a general architectural graph,
+attack-vector data (CAPEC / CWE / CVE) associated with model attributes
+through text matching, analyst-facing posture / what-if analysis, and --
+closing the gap the paper identifies -- executable mapping of associated
+attack vectors to physical consequences on a simulated SCADA centrifuge.
+
+Typical use::
+
+    from repro import build_corpus, build_centrifuge_model, SearchEngine
+
+    corpus = build_corpus(scale=0.05)
+    model = build_centrifuge_model()
+    association = SearchEngine(corpus).associate(model)
+    print(association.attribute_table())
+
+Subpackages
+-----------
+``repro.graph``
+    System-model graph, SysML front end, GraphML IO, refinement, validation.
+``repro.corpus``
+    CAPEC/CWE/CVE schemas, CVSS v3.1, curated seed data, synthetic generator.
+``repro.search``
+    Tokenization, indexing, TF-IDF, the association engine, filters, chains.
+``repro.analysis``
+    Posture metrics, what-if studies, report rendering (headless dashboard).
+``repro.cps``
+    Centrifuge plant, controllers, SIS, bus/firewall, closed-loop simulation.
+``repro.attacks``
+    Attack interventions, named scenarios, consequence mapping.
+``repro.baselines``
+    STRIDE and attack-tree baselines plus coverage comparison.
+``repro.casestudies``
+    The paper's SCADA centrifuge model and a UAV model.
+"""
+
+from repro.analysis import PostureMetrics, WhatIfStudy, compute_posture, render_table1
+from repro.attacks import ConsequenceMapper, TritonLikeScenario
+from repro.casestudies import (
+    build_centrifuge_model,
+    build_centrifuge_sysml,
+    build_uav_model,
+    hardened_workstation_variant,
+)
+from repro.corpus import CorpusStore, build_corpus, seed_corpus
+from repro.cps import HazardMonitor, ScadaSimulation
+from repro.graph import SystemGraph, read_graphml, write_graphml
+from repro.search import FilterPipeline, SearchEngine, find_exploit_chains
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SystemGraph",
+    "read_graphml",
+    "write_graphml",
+    "CorpusStore",
+    "seed_corpus",
+    "build_corpus",
+    "SearchEngine",
+    "FilterPipeline",
+    "find_exploit_chains",
+    "PostureMetrics",
+    "compute_posture",
+    "WhatIfStudy",
+    "render_table1",
+    "ScadaSimulation",
+    "HazardMonitor",
+    "ConsequenceMapper",
+    "TritonLikeScenario",
+    "build_centrifuge_model",
+    "build_centrifuge_sysml",
+    "build_uav_model",
+    "hardened_workstation_variant",
+]

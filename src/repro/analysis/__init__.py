@@ -1,0 +1,43 @@
+"""Analysis layer: the headless analyst "dashboard".
+
+The authors' third prototype tool [13] is a dashboard that "merges system
+modeling with the security data associated with it" and supports interactive
+what-if analysis.  This package provides the same operations headlessly:
+
+* :mod:`repro.analysis.metrics` -- security-posture metrics over an
+  association (counts, exposure weighting, severity profiles, rankings),
+* :mod:`repro.analysis.whatif` -- comparison of architectural alternatives,
+* :mod:`repro.analysis.report` -- plain-text / markdown report rendering,
+  including the paper's Table 1.
+"""
+
+from repro.analysis.metrics import ComponentPosture, PostureMetrics, compute_posture
+from repro.analysis.recommendations import Recommendation, recommend, recommend_for_component
+from repro.analysis.topology import TopologyReport, analyze_topology, single_points_of_failure
+from repro.analysis.whatif import WhatIfComparison, WhatIfStudy
+from repro.analysis.report import (
+    render_consequences,
+    render_posture_report,
+    render_table,
+    render_table1,
+    render_whatif,
+)
+
+__all__ = [
+    "PostureMetrics",
+    "ComponentPosture",
+    "compute_posture",
+    "WhatIfStudy",
+    "WhatIfComparison",
+    "TopologyReport",
+    "analyze_topology",
+    "single_points_of_failure",
+    "Recommendation",
+    "recommend",
+    "recommend_for_component",
+    "render_table",
+    "render_table1",
+    "render_posture_report",
+    "render_whatif",
+    "render_consequences",
+]

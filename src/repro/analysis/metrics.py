@@ -1,0 +1,161 @@
+"""Security-posture metrics over a system association.
+
+The paper is explicit that analysis at this stage should be *qualitative*:
+"quantitative information for cyber-physical attacks is limited and
+ultimately nuanced expert input is necessary".  The metrics here therefore
+rank and profile rather than pretend to estimate risk probabilities:
+
+* per-component and per-system counts of associated attack vectors,
+* exposure weighting by hop distance from adversary entry points,
+* criticality weighting from the systems engineer's judgement,
+* severity profiles of matched vulnerabilities (CVSS distribution), kept
+  separate from the posture index so the CVSS-is-not-risk experiment (E8)
+  can contrast the two rankings.
+
+The paper's comparison rule -- "a component or subsystem that relates with
+less attack vectors than a functionally equivalent system has a better
+security posture" -- is implemented directly by comparing posture indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.schema import RecordKind
+from repro.search.engine import SystemAssociation
+
+
+@dataclass(frozen=True)
+class ComponentPosture:
+    """Posture summary for a single component."""
+
+    name: str
+    attack_patterns: int
+    weaknesses: int
+    vulnerabilities: int
+    exposure_distance: int | None
+    criticality: float
+    mean_cvss: float
+    max_cvss: float
+    posture_index: float
+
+    @property
+    def total(self) -> int:
+        """Total associated records for the component."""
+        return self.attack_patterns + self.weaknesses + self.vulnerabilities
+
+
+@dataclass(frozen=True)
+class PostureMetrics:
+    """Posture summary for a whole system association."""
+
+    system_name: str
+    components: tuple[ComponentPosture, ...]
+    total_attack_patterns: int
+    total_weaknesses: int
+    total_vulnerabilities: int
+    system_posture_index: float
+
+    @property
+    def total(self) -> int:
+        """Total unique associated records across the system."""
+        return (
+            self.total_attack_patterns
+            + self.total_weaknesses
+            + self.total_vulnerabilities
+        )
+
+    def component(self, name: str) -> ComponentPosture:
+        """The posture of one component."""
+        for component in self.components:
+            if component.name == name:
+                return component
+        raise KeyError(f"no posture for component {name!r}")
+
+    def ranking_by_posture(self) -> list[ComponentPosture]:
+        """Components ordered worst-first by posture index."""
+        return sorted(self.components, key=lambda c: (-c.posture_index, c.name))
+
+    def ranking_by_cvss(self) -> list[ComponentPosture]:
+        """Components ordered worst-first by their maximum CVSS score.
+
+        This is the "use CVSS as risk" ranking the paper warns against; it is
+        computed so experiments can show where it disagrees with the
+        consequence-aware posture ranking.
+        """
+        return sorted(self.components, key=lambda c: (-c.max_cvss, c.name))
+
+
+def compute_posture(
+    association: SystemAssociation,
+    exposure_decay: float = 0.5,
+    vulnerability_weight: float = 1.0,
+    weakness_weight: float = 2.0,
+    pattern_weight: float = 2.0,
+) -> PostureMetrics:
+    """Compute posture metrics for an association.
+
+    The posture index of a component is the weighted count of its associated
+    records, scaled by criticality and by an exposure factor that decays with
+    hop distance from the nearest adversary entry point
+    (``exposure_decay ** distance``; unreachable components get a small
+    residual factor for physical-access attacks).  Class weights default to
+    emphasizing weaknesses/patterns slightly, because a single weakness class
+    typically subsumes many CVE instances.
+    """
+    system = association.system
+    component_postures = []
+    for component_association in association.components:
+        component = component_association.component
+        counts = component_association.counts()
+        cvss_scores = [
+            match.cvss_score
+            for match in component_association.unique_matches()
+            if match.cvss_score is not None
+        ]
+        distance = system.exposure_distance(component.name)
+        exposure_factor = 0.1 if distance is None else exposure_decay**distance
+        weighted = (
+            pattern_weight * counts[RecordKind.ATTACK_PATTERN]
+            + weakness_weight * counts[RecordKind.WEAKNESS]
+            + vulnerability_weight * counts[RecordKind.VULNERABILITY]
+        )
+        posture_index = weighted * exposure_factor * (0.5 + component.criticality)
+        component_postures.append(
+            ComponentPosture(
+                name=component.name,
+                attack_patterns=counts[RecordKind.ATTACK_PATTERN],
+                weaknesses=counts[RecordKind.WEAKNESS],
+                vulnerabilities=counts[RecordKind.VULNERABILITY],
+                exposure_distance=distance,
+                criticality=component.criticality,
+                mean_cvss=float(np.mean(cvss_scores)) if cvss_scores else 0.0,
+                max_cvss=float(np.max(cvss_scores)) if cvss_scores else 0.0,
+                posture_index=float(posture_index),
+            )
+        )
+    totals = association.total_counts()
+    return PostureMetrics(
+        system_name=system.name,
+        components=tuple(component_postures),
+        total_attack_patterns=totals[RecordKind.ATTACK_PATTERN],
+        total_weaknesses=totals[RecordKind.WEAKNESS],
+        total_vulnerabilities=totals[RecordKind.VULNERABILITY],
+        system_posture_index=float(sum(c.posture_index for c in component_postures)),
+    )
+
+
+def severity_histogram(association: SystemAssociation) -> dict[str, int]:
+    """Counts of matched vulnerabilities per CVSS severity rating."""
+    histogram = {"None": 0, "Low": 0, "Medium": 0, "High": 0, "Critical": 0}
+    seen: set[str] = set()
+    for component_association in association.components:
+        for match in component_association.unique_matches():
+            if match.kind is not RecordKind.VULNERABILITY or match.identifier in seen:
+                continue
+            seen.add(match.identifier)
+            if match.severity in histogram:
+                histogram[match.severity] += 1
+    return histogram

@@ -1,0 +1,203 @@
+"""Mitigation recommendations derived from the merged security artifact.
+
+The paper's end goal is actionable: systems engineers should be able to act
+on the security analysis *during design*, when "the impact to cost is lowest
+and effectiveness highest".  This module closes the loop from associated
+attack vectors back to design guidance:
+
+* a small knowledge base of mitigations per weakness class (paraphrasing the
+  "Potential Mitigations" sections of the corresponding CWE entries, plus
+  ICS-specific practice such as safety-system segregation),
+* a recommender that walks a component's associated weaknesses (and the
+  weaknesses behind its matched attack patterns and vulnerabilities, via the
+  corpus cross-references) and emits prioritized recommendations,
+* hooks for the what-if loop: each recommendation names the architectural
+  change to evaluate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.schema import RecordKind
+from repro.corpus.store import CorpusStore
+from repro.search.engine import ComponentAssociation, SystemAssociation
+
+#: Design-time mitigations per weakness class.  Each entry is
+#: (summary, architectural change to evaluate in a what-if).
+MITIGATION_KB: dict[str, tuple[str, str]] = {
+    "CWE-78": (
+        "Neutralize externally influenced input before it reaches a command "
+        "interpreter; run control applications with least privilege.",
+        "replace direct shell integration with a constrained API on the controller",
+    ),
+    "CWE-20": (
+        "Validate set points and commands against engineering ranges before acting.",
+        "add range and rate-of-change validation on controller inputs",
+    ),
+    "CWE-287": (
+        "Require authentication on every engineering and maintenance interface.",
+        "enable per-user authentication on the engineering interface",
+    ),
+    "CWE-306": (
+        "Authenticate critical functions (register writes, mode changes, firmware "
+        "updates) rather than trusting the network position of the sender.",
+        "adopt an authenticated industrial protocol variant for set-point writes",
+    ),
+    "CWE-319": (
+        "Encrypt or authenticate supervisory traffic in transit.",
+        "wrap MODBUS traffic in an authenticated transport between WS and BPCS",
+    ),
+    "CWE-345": (
+        "Verify the authenticity of measurements and commands (source and freshness).",
+        "add message authentication and sequence numbers on measurement channels",
+    ),
+    "CWE-294": (
+        "Make captured exchanges non-replayable with nonces or timestamps.",
+        "add replay protection to the controller protocol sessions",
+    ),
+    "CWE-400": (
+        "Rate-limit and prioritize control traffic so floods cannot starve the loop.",
+        "add traffic policing for control-network segments on the firewall",
+    ),
+    "CWE-494": (
+        "Verify integrity and origin of firmware and logic before installation.",
+        "require signed firmware and logic downloads on controllers",
+    ),
+    "CWE-522": (
+        "Protect stored credentials; do not keep project passwords in cleartext.",
+        "move engineering credentials to a managed vault with per-user accounts",
+    ),
+    "CWE-798": (
+        "Remove hard-coded and default credentials from devices and services.",
+        "rotate or disable default accounts on controllers and network devices",
+    ),
+    "CWE-693": (
+        "Keep protection mechanisms (safety interlocks, alarms) independent of the "
+        "systems they protect, and monitor their health.",
+        "segregate the SIS onto an isolated network segment with hardwired trips",
+    ),
+    "CWE-924": (
+        "Enforce message integrity on the channel between controller and peers.",
+        "add integrity protection on the controller's network channel",
+    ),
+    "CWE-284": (
+        "Tighten access-control rules between the corporate and control zones.",
+        "restrict firewall rules to the minimum (source, destination, function) set",
+    ),
+    "CWE-732": (
+        "Assign restrictive permissions to engineering projects and firewall rules.",
+        "review permission assignment for shared engineering resources",
+    ),
+    "CWE-1188": (
+        "Harden insecure defaults before deployment (services, accounts, features).",
+        "apply a hardening baseline to controllers and network equipment",
+    ),
+    "CWE-119": (
+        "Prefer memory-safe parsers for externally reachable services; patch "
+        "promptly where that is impossible.",
+        "reduce externally reachable services on the platform or update them",
+    ),
+    "CWE-787": (
+        "Treat memory-safety defects in network-facing components as patch-now items.",
+        "plan an update cadence for the affected platform",
+    ),
+    "CWE-416": (
+        "Track and apply vendor fixes for memory-corruption defects.",
+        "plan an update cadence for the affected platform",
+    ),
+    "CWE-200": (
+        "Limit what configuration and topology information services expose.",
+        "disable unauthenticated discovery and banner services",
+    ),
+    "CWE-1263": (
+        "Restrict physical access to cabinets, ports, and field wiring.",
+        "add tamper detection and locked enclosures for field devices",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One design-time recommendation for a component."""
+
+    component: str
+    weakness_id: str
+    weakness_name: str
+    summary: str
+    whatif_change: str
+    evidence_count: int
+    priority: float
+
+    def describe(self) -> str:
+        """One-line rendering for reports and the CLI."""
+        return (
+            f"[{self.priority:5.1f}] {self.component}: {self.weakness_id} "
+            f"({self.weakness_name}) -- {self.summary}"
+        )
+
+
+def recommend_for_component(
+    association: ComponentAssociation,
+    corpus: CorpusStore,
+    criticality_weight: float = 2.0,
+) -> list[Recommendation]:
+    """Derive prioritized recommendations for one component.
+
+    Evidence for a weakness class is counted from direct weakness matches and
+    from matched vulnerabilities that instantiate it (via the corpus
+    cross-references).  Priority is evidence weighted by the component's
+    criticality, so the same weakness ranks higher on the safety system than
+    on a historian.
+    """
+    evidence: dict[str, int] = {}
+    for match in association.unique_matches():
+        if match.kind is RecordKind.WEAKNESS:
+            evidence[match.identifier] = evidence.get(match.identifier, 0) + 1
+        elif match.kind is RecordKind.VULNERABILITY and match.identifier in corpus:
+            record = corpus.get(match.identifier)
+            for cwe in getattr(record, "cwe_ids", ()):
+                evidence[cwe] = evidence.get(cwe, 0) + 1
+
+    recommendations = []
+    component = association.component
+    for cwe, count in evidence.items():
+        if cwe not in MITIGATION_KB:
+            continue
+        summary, change = MITIGATION_KB[cwe]
+        name = corpus.get(cwe).name if cwe in corpus else cwe
+        priority = count * (1.0 + criticality_weight * component.criticality)
+        recommendations.append(
+            Recommendation(
+                component=component.name,
+                weakness_id=cwe,
+                weakness_name=name,
+                summary=summary,
+                whatif_change=change,
+                evidence_count=count,
+                priority=round(priority, 2),
+            )
+        )
+    recommendations.sort(key=lambda r: (-r.priority, r.weakness_id))
+    return recommendations
+
+
+def recommend(
+    association: SystemAssociation,
+    corpus: CorpusStore,
+    per_component: int = 3,
+) -> list[Recommendation]:
+    """Derive the top recommendations for every component of a system."""
+    results: list[Recommendation] = []
+    for component_association in association.components:
+        results.extend(
+            recommend_for_component(component_association, corpus)[:per_component]
+        )
+    results.sort(key=lambda r: (-r.priority, r.component, r.weakness_id))
+    return results
+
+
+def coverage_of_knowledge_base(corpus: CorpusStore) -> float:
+    """Fraction of KB weaknesses present in the corpus (KB/corpus drift check)."""
+    known = sum(1 for cwe in MITIGATION_KB if cwe in corpus)
+    return known / len(MITIGATION_KB)

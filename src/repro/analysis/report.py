@@ -1,0 +1,150 @@
+"""Plain-text and markdown report rendering (the headless dashboard output).
+
+The graphical dashboard of the prototype toolchain is replaced here by report
+renderers that produce the same content as text: the Table 1 reproduction,
+per-component posture summaries, what-if comparisons, and consequence
+assessments.  Everything returns strings so the CLI, the examples, and the
+benchmarks can print or persist them without extra dependencies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.metrics import PostureMetrics, compute_posture, severity_histogram
+from repro.analysis.whatif import WhatIfComparison
+from repro.search.engine import SystemAssociation
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table."""
+    columns = [str(h) for h in headers]
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(column) for column in columns]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [
+        " | ".join(column.ljust(width) for column, width in zip(columns, widths)),
+        separator,
+    ]
+    for row in text_rows:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table1(association: SystemAssociation, attributes: Sequence[str] | None = None) -> str:
+    """Render the reproduction of the paper's Table 1.
+
+    ``attributes`` restricts and orders the rows; by default the rows of the
+    published table are used (only those present in the association appear).
+    """
+    if attributes is None:
+        attributes = (
+            "Cisco ASA",
+            "NI RT Linux OS",
+            "Windows 7",
+            "Labview",
+            "NI cRIO 9063",
+            "NI cRIO 9064",
+        )
+    table = {row["attribute"]: row for row in association.attribute_table()}
+    rows = []
+    for name in attributes:
+        row = table.get(name)
+        if row is None:
+            continue
+        rows.append(
+            (name, row["attack_patterns"], row["weaknesses"], row["vulnerabilities"])
+        )
+    return render_table(
+        ("Attribute", "Attack Patterns", "Weaknesses", "Vulnerabilities"), rows
+    )
+
+
+def render_posture_report(
+    association: SystemAssociation, metrics: PostureMetrics | None = None
+) -> str:
+    """Render the per-component posture summary of an association."""
+    metrics = metrics or compute_posture(association)
+    rows = []
+    for component in metrics.ranking_by_posture():
+        rows.append(
+            (
+                component.name,
+                component.attack_patterns,
+                component.weaknesses,
+                component.vulnerabilities,
+                "-" if component.exposure_distance is None else component.exposure_distance,
+                f"{component.max_cvss:.1f}",
+                f"{component.posture_index:.1f}",
+            )
+        )
+    histogram = severity_histogram(association)
+    severity_line = ", ".join(f"{label}: {count}" for label, count in histogram.items())
+    header = (
+        f"System: {metrics.system_name}\n"
+        f"Associated records: {metrics.total_attack_patterns} attack patterns, "
+        f"{metrics.total_weaknesses} weaknesses, "
+        f"{metrics.total_vulnerabilities} vulnerabilities\n"
+        f"Vulnerability severity profile: {severity_line}\n"
+        f"System posture index: {metrics.system_posture_index:.1f}\n"
+    )
+    table = render_table(
+        ("Component", "Patterns", "Weaknesses", "Vulns", "Hops", "Max CVSS", "Posture"),
+        rows,
+    )
+    return header + "\n" + table
+
+
+def render_whatif(comparison: WhatIfComparison) -> str:
+    """Render a what-if comparison between two architectures."""
+    verdict = (
+        "variant has the better posture (fewer associated attack vectors)"
+        if comparison.variant_is_better
+        else "baseline has the better (or equal) posture"
+    )
+    rows = [
+        (
+            delta.name,
+            delta.baseline_total,
+            delta.variant_total,
+            delta.delta_total,
+            f"{delta.baseline_posture:.1f}",
+            f"{delta.variant_posture:.1f}",
+        )
+        for delta in comparison.component_deltas
+    ]
+    table = render_table(
+        ("Component", "Baseline", "Variant", "Delta", "Posture (base)", "Posture (var)"),
+        rows,
+    )
+    header = (
+        f"What-if: {comparison.baseline_name} vs {comparison.variant_name}\n"
+        f"Total associated records: {comparison.baseline_total} -> "
+        f"{comparison.variant_total}\n"
+        f"Verdict: {verdict}\n"
+    )
+    return header + "\n" + table
+
+
+def render_consequences(assessments: Sequence) -> str:
+    """Render consequence assessments produced by the consequence mapper."""
+    rows = []
+    for assessment in assessments:
+        rows.append(
+            (
+                assessment.record_id,
+                assessment.component,
+                assessment.scenario,
+                ", ".join(kind.value for kind in assessment.new_hazards) or "none",
+                f"{assessment.peak_temperature_c:.1f}",
+                f"{assessment.peak_speed_rpm:.0f}",
+                "yes" if assessment.sis_tripped else "no",
+            )
+        )
+    return render_table(
+        ("Record", "Component", "Scenario", "New hazards", "Peak T [C]", "Peak rpm", "SIS trip"),
+        rows,
+    )

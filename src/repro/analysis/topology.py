@@ -1,0 +1,148 @@
+"""Topological analysis of the system model.
+
+"Defenders think in lists.  Attackers think in graphs." [8] -- the paper's
+justification for representing systems as graphs.  Beyond per-component
+counts, the topology itself carries security-relevant structure:
+
+* which components sit on many attack paths (betweenness over the
+  connection graph),
+* which components are articulation points whose compromise or loss
+  partitions the control system,
+* how much of the system an adversary can reach from each entry point,
+* which components form the boundary between the corporate and control
+  zones (where segmentation controls belong).
+
+These measures feed the posture discussion qualitatively -- consistent with
+the paper's position that the analysis should rank and profile, not produce
+pseudo-probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.graph.model import SystemGraph
+
+
+@dataclass(frozen=True)
+class ComponentTopology:
+    """Topological profile of one component."""
+
+    name: str
+    degree: int
+    betweenness: float
+    is_articulation_point: bool
+    exposure_distance: int | None
+    reachable_components: int
+
+    @property
+    def is_choke_point(self) -> bool:
+        """High-betweenness articulation points are natural defense locations."""
+        return self.is_articulation_point and self.betweenness > 0.0
+
+
+@dataclass(frozen=True)
+class TopologyReport:
+    """Topological profile of a whole system model."""
+
+    system_name: str
+    components: tuple[ComponentTopology, ...]
+    attack_surface: tuple[str, ...]
+    boundary_components: tuple[str, ...]
+
+    def component(self, name: str) -> ComponentTopology:
+        """Profile of one component."""
+        for component in self.components:
+            if component.name == name:
+                return component
+        raise KeyError(f"no topology recorded for component {name!r}")
+
+    def choke_points(self) -> tuple[ComponentTopology, ...]:
+        """Components that are both articulation points and path-central."""
+        return tuple(c for c in self.components if c.is_choke_point)
+
+    def ranking_by_betweenness(self) -> list[ComponentTopology]:
+        """Components ordered by how many attack paths traverse them."""
+        return sorted(self.components, key=lambda c: (-c.betweenness, c.name))
+
+
+def analyze_topology(graph: SystemGraph) -> TopologyReport:
+    """Compute the topological security profile of a system model."""
+    undirected = nx.Graph()
+    undirected.add_nodes_from(graph.component_names())
+    for connection in graph.connections:
+        undirected.add_edge(connection.source, connection.target)
+
+    betweenness = nx.betweenness_centrality(undirected, normalized=True)
+    articulation_points = (
+        set(nx.articulation_points(undirected)) if len(undirected) > 2 else set()
+    )
+
+    components = []
+    for component in graph.components:
+        name = component.name
+        components.append(
+            ComponentTopology(
+                name=name,
+                degree=undirected.degree(name),
+                betweenness=round(betweenness.get(name, 0.0), 6),
+                is_articulation_point=name in articulation_points,
+                exposure_distance=graph.exposure_distance(name),
+                reachable_components=len(graph.reachable_from(name)),
+            )
+        )
+
+    attack_surface = tuple(component.name for component in graph.entry_points())
+    boundary = _boundary_components(graph)
+    return TopologyReport(
+        system_name=graph.name,
+        components=tuple(components),
+        attack_surface=attack_surface,
+        boundary_components=boundary,
+    )
+
+
+def _boundary_components(graph: SystemGraph) -> tuple[str, ...]:
+    """Components adjacent to an entry point but not entry points themselves.
+
+    These are where the corporate/control boundary is enforced -- in the
+    demonstration system, the control firewall.
+    """
+    entry_names = {component.name for component in graph.entry_points()}
+    boundary: dict[str, None] = {}
+    for entry in entry_names:
+        for neighbor in graph.neighbors(entry):
+            if neighbor.name not in entry_names:
+                boundary.setdefault(neighbor.name)
+    return tuple(boundary)
+
+
+def single_points_of_failure(graph: SystemGraph) -> tuple[str, ...]:
+    """Articulation points whose removal disconnects part of the system.
+
+    In a control system these are simultaneously availability risks (losing
+    them partitions the loop) and high-value targets (all paths cross them).
+    """
+    report = analyze_topology(graph)
+    return tuple(c.name for c in report.components if c.is_articulation_point)
+
+
+def segmentation_effectiveness(graph: SystemGraph, protected: str) -> dict[str, int]:
+    """How many hops the modeled segmentation puts between attackers and a target.
+
+    Returns the shortest hop count from every entry point to ``protected``
+    (``-1`` when unreachable).  A what-if that adds segmentation (a firewall,
+    a data diode) should increase these distances; one that bridges zones
+    collapses them.
+    """
+    graph.component(protected)
+    distances = {}
+    for entry in graph.entry_points():
+        try:
+            path = graph.shortest_path(entry.name, protected)
+            distances[entry.name] = len(path) - 1
+        except nx.NetworkXNoPath:
+            distances[entry.name] = -1
+    return distances

@@ -1,0 +1,134 @@
+"""What-if comparison of architectural alternatives.
+
+Section 3 of the paper: "In the dashboard we allow for the systems engineer
+or security analyst to change the model on the fly and immediately see the
+new results.  The dashboard acts as a what-if analysis, where different
+architectures are evaluated by experts iteratively to lead to an acceptably
+secured system.  The assertion here is that a component or subsystem that
+relates with less attack vectors than a functionally equivalent system has a
+better security posture."
+
+:class:`WhatIfStudy` re-runs the association for each architectural variant
+and compares posture metrics component by component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import PostureMetrics, compute_posture
+from repro.graph.model import SystemGraph
+from repro.search.engine import SearchEngine, SystemAssociation
+
+
+@dataclass(frozen=True)
+class ComponentDelta:
+    """Change in one component's association between two variants."""
+
+    name: str
+    baseline_total: int
+    variant_total: int
+    baseline_posture: float
+    variant_posture: float
+
+    @property
+    def delta_total(self) -> int:
+        """Variant minus baseline record count (negative is an improvement)."""
+        return self.variant_total - self.baseline_total
+
+    @property
+    def improved(self) -> bool:
+        """Whether the variant associates with fewer attack vectors."""
+        return self.variant_total < self.baseline_total
+
+
+@dataclass(frozen=True)
+class WhatIfComparison:
+    """Outcome of comparing a variant architecture against the baseline."""
+
+    baseline_name: str
+    variant_name: str
+    baseline_metrics: PostureMetrics
+    variant_metrics: PostureMetrics
+    component_deltas: tuple[ComponentDelta, ...]
+
+    @property
+    def baseline_total(self) -> int:
+        """Total associated records in the baseline architecture."""
+        return self.baseline_metrics.total
+
+    @property
+    def variant_total(self) -> int:
+        """Total associated records in the variant architecture."""
+        return self.variant_metrics.total
+
+    @property
+    def variant_is_better(self) -> bool:
+        """The paper's comparison rule: fewer associated vectors is better."""
+        return self.variant_total < self.baseline_total
+
+    def changed_components(self) -> tuple[ComponentDelta, ...]:
+        """Components whose association changed between the variants."""
+        return tuple(delta for delta in self.component_deltas if delta.delta_total != 0)
+
+
+@dataclass
+class WhatIfStudy:
+    """Runs what-if comparisons against a fixed corpus/search configuration."""
+
+    engine: SearchEngine
+
+    def associate(self, graph: SystemGraph) -> SystemAssociation:
+        """Associate one architecture (exposed for callers that need the raw artifact)."""
+        return self.engine.associate(graph)
+
+    def compare(self, baseline: SystemGraph, variant: SystemGraph) -> WhatIfComparison:
+        """Associate both architectures and compare their postures."""
+        baseline_association = self.engine.associate(baseline)
+        variant_association = self.engine.associate(variant)
+        return self.compare_associations(baseline_association, variant_association)
+
+    def compare_associations(
+        self, baseline: SystemAssociation, variant: SystemAssociation
+    ) -> WhatIfComparison:
+        """Compare two existing associations (avoids recomputation in sweeps)."""
+        baseline_metrics = compute_posture(baseline)
+        variant_metrics = compute_posture(variant)
+        deltas = []
+        variant_by_name = {
+            association.component.name: association for association in variant.components
+        }
+        for baseline_component in baseline.components:
+            name = baseline_component.component.name
+            variant_component = variant_by_name.get(name)
+            if variant_component is None:
+                continue
+            deltas.append(
+                ComponentDelta(
+                    name=name,
+                    baseline_total=baseline_component.total,
+                    variant_total=variant_component.total,
+                    baseline_posture=baseline_metrics.component(name).posture_index,
+                    variant_posture=variant_metrics.component(name).posture_index,
+                )
+            )
+        return WhatIfComparison(
+            baseline_name=baseline.system.name,
+            variant_name=variant.system.name,
+            baseline_metrics=baseline_metrics,
+            variant_metrics=variant_metrics,
+            component_deltas=tuple(deltas),
+        )
+
+    def sweep(
+        self, baseline: SystemGraph, variants: dict[str, SystemGraph]
+    ) -> dict[str, WhatIfComparison]:
+        """Compare several named variants against one baseline."""
+        baseline_association = self.engine.associate(baseline)
+        results = {}
+        for name, variant in variants.items():
+            variant_association = self.engine.associate(variant)
+            results[name] = self.compare_associations(
+                baseline_association, variant_association
+            )
+        return results

@@ -1,0 +1,47 @@
+"""Attack injection and consequence mapping.
+
+The paper's demonstration argues that "attack vectors can lead to unsafe
+control actions in CPS and must be addressed early on, but no science of
+security exists yet to map attack vectors to physical consequences".  This
+package closes that loop for the reproduced system: attacks are implemented
+as :class:`~repro.cps.intervention.Intervention` subclasses acting on the
+closed-loop simulation, and :mod:`repro.attacks.consequence` maps associated
+attack-vector records (CWE/CAPEC identifiers) to executable attack scenarios
+whose physical outcome is evaluated by the hazard monitor.
+"""
+
+from repro.attacks.injection import (
+    CommandInjectionAttack,
+    EngineeringWriteAttack,
+    SetpointInjectionAttack,
+)
+from repro.attacks.spoofing import (
+    MeasurementSpoofingAttack,
+    ReplayMeasurementAttack,
+    SensorSpoofingAttack,
+)
+from repro.attacks.dos import FloodAttack, MessageDropAttack
+from repro.attacks.scenarios import (
+    AttackScenario,
+    SCENARIO_LIBRARY,
+    TritonLikeScenario,
+    scenario_for_record,
+)
+from repro.attacks.consequence import ConsequenceAssessment, ConsequenceMapper
+
+__all__ = [
+    "SetpointInjectionAttack",
+    "CommandInjectionAttack",
+    "EngineeringWriteAttack",
+    "SensorSpoofingAttack",
+    "MeasurementSpoofingAttack",
+    "ReplayMeasurementAttack",
+    "MessageDropAttack",
+    "FloodAttack",
+    "AttackScenario",
+    "TritonLikeScenario",
+    "SCENARIO_LIBRARY",
+    "scenario_for_record",
+    "ConsequenceAssessment",
+    "ConsequenceMapper",
+]

@@ -1,0 +1,174 @@
+"""Mapping associated attack vectors to physical consequences.
+
+The paper's closing gap statement: "Attack vectors can lead to unsafe control
+actions in CPS and must be addressed early on, but no science of security
+exists yet to map attack vectors to physical consequences and leverage the
+existing power of systems modeling."
+
+The :class:`ConsequenceMapper` is this reproduction's bridge across that gap
+for the demonstration system: given an attack-vector record that the search
+engine associated with a component (for example CWE-78 on the BPCS platform),
+it selects the executable attack scenarios that instantiate the record on
+that component, runs the closed-loop simulation with and without the attack,
+and reports which hazards the attack produced beyond the nominal run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attacks.scenarios import SCENARIO_LIBRARY, AttackScenario
+from repro.cps.control import BpcsController
+from repro.cps.hazards import HazardKind, HazardMonitor, HazardReport
+from repro.cps.scada import OperatorSchedule, ScadaSimulation, SimulationTrace
+from repro.search.engine import SystemAssociation
+
+
+@dataclass(frozen=True)
+class ConsequenceAssessment:
+    """Outcome of executing one attack scenario for one associated record."""
+
+    record_id: str
+    component: str
+    scenario: str
+    hazards: tuple[HazardKind, ...]
+    new_hazards: tuple[HazardKind, ...]
+    safety_hazard: bool
+    product_lost: bool
+    peak_temperature_c: float
+    peak_speed_rpm: float
+    sis_tripped: bool
+
+    def describe(self) -> str:
+        """A one-line human-readable summary of the assessment."""
+        hazard_names = ", ".join(kind.value for kind in self.new_hazards) or "none"
+        return (
+            f"{self.record_id} on {self.component} via {self.scenario}: "
+            f"new hazards [{hazard_names}], "
+            f"peak temperature {self.peak_temperature_c:.1f} C, "
+            f"peak speed {self.peak_speed_rpm:.0f} rpm, "
+            f"SIS tripped: {self.sis_tripped}"
+        )
+
+
+@dataclass
+class ConsequenceMapper:
+    """Runs attack scenarios to attach physical consequences to attack vectors.
+
+    Parameters
+    ----------
+    duration_s / dt:
+        Simulation horizon and step used for every run.
+    monitor:
+        The hazard monitor applied to all traces.
+    scenarios:
+        The scenario library; defaults to the built-in one.
+    """
+
+    duration_s: float = 420.0
+    dt: float = 0.5
+    monitor: HazardMonitor = field(default_factory=HazardMonitor)
+    scenarios: dict[str, AttackScenario] = field(
+        default_factory=lambda: dict(SCENARIO_LIBRARY)
+    )
+    _baseline_report: HazardReport | None = field(default=None, init=False, repr=False)
+
+    # -- simulation plumbing --------------------------------------------------
+
+    def _new_simulation(self, interventions) -> ScadaSimulation:
+        return ScadaSimulation(
+            controller=BpcsController(),
+            schedule=OperatorSchedule.batch(),
+            interventions=interventions,
+        )
+
+    def run_nominal(self) -> tuple[SimulationTrace, HazardReport]:
+        """Run (and cache) the attack-free baseline batch."""
+        simulation = self._new_simulation([])
+        trace = simulation.run(self.duration_s, self.dt)
+        report = trace.hazards(self.monitor)
+        self._baseline_report = report
+        return trace, report
+
+    def run_scenario(self, scenario: AttackScenario) -> tuple[SimulationTrace, HazardReport, bool]:
+        """Run one attack scenario; returns (trace, hazard report, SIS tripped)."""
+        simulation = self._new_simulation(scenario.interventions())
+        trace = simulation.run(self.duration_s, self.dt)
+        return trace, trace.hazards(self.monitor), simulation.sis.tripped
+
+    # -- scenario selection -----------------------------------------------------
+
+    def scenarios_for(self, record_id: str, component: str) -> list[AttackScenario]:
+        """Scenarios that instantiate the record against the component.
+
+        Scenarios matching both the record and the component are preferred;
+        when none match the component, record-only matches are returned so
+        every mapped record still gets *some* consequence evidence.
+        """
+        record_matches = [
+            scenario
+            for scenario in self.scenarios.values()
+            if record_id in scenario.records
+        ]
+        both = [s for s in record_matches if component in s.target_components]
+        return both or record_matches
+
+    def mappable_records(self) -> frozenset[str]:
+        """All record identifiers covered by at least one scenario."""
+        records: set[str] = set()
+        for scenario in self.scenarios.values():
+            records.update(scenario.records)
+        return frozenset(records)
+
+    # -- assessment ----------------------------------------------------------------
+
+    def assess(self, record_id: str, component: str) -> list[ConsequenceAssessment]:
+        """Assess the physical consequence of one record on one component."""
+        if self._baseline_report is None:
+            self.run_nominal()
+        baseline_kinds = {event.kind for event in self._baseline_report.events}
+        assessments = []
+        for scenario in self.scenarios_for(record_id, component):
+            trace, report, tripped = self.run_scenario(scenario)
+            kinds = tuple(sorted({event.kind for event in report.events}, key=lambda k: k.value))
+            new = tuple(kind for kind in kinds if kind not in baseline_kinds)
+            assessments.append(
+                ConsequenceAssessment(
+                    record_id=record_id,
+                    component=component,
+                    scenario=scenario.name,
+                    hazards=kinds,
+                    new_hazards=new,
+                    safety_hazard=any(kind.is_safety_hazard for kind in new),
+                    product_lost=report.product_lost,
+                    peak_temperature_c=trace.max_temperature(),
+                    peak_speed_rpm=trace.max_speed(),
+                    sis_tripped=tripped,
+                )
+            )
+        return assessments
+
+    def assess_association(
+        self, association: SystemAssociation, max_records_per_component: int = 3
+    ) -> list[ConsequenceAssessment]:
+        """Assess the top mappable records of every component in an association.
+
+        For each component, the highest-scored associated records that have an
+        executable scenario are assessed; records without scenarios (the vast
+        majority -- exactly the paper's point about the missing science) are
+        skipped.
+        """
+        mappable = self.mappable_records()
+        assessments: list[ConsequenceAssessment] = []
+        for component_association in association.components:
+            assessed = 0
+            for match in component_association.unique_matches():
+                if assessed >= max_records_per_component:
+                    break
+                if match.identifier not in mappable:
+                    continue
+                assessments.extend(
+                    self.assess(match.identifier, component_association.component.name)
+                )
+                assessed += 1
+        return assessments

@@ -1,0 +1,73 @@
+"""Denial-of-service attacks on the control network.
+
+These model CAPEC-125 (flooding) and CAPEC-607 (obstruction) exploiting
+CWE-400 / CWE-770: supervisory traffic is dropped or delayed, so the control
+loop and the safety monitor operate on stale or missing data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cps.intervention import Intervention
+from repro.cps.network import Message, MessageKind
+from repro.cps.scada import ScadaSimulation
+
+
+@dataclass
+class MessageDropAttack(Intervention):
+    """Drops all messages of the configured kinds to the configured receiver.
+
+    With ``receiver=None`` every receiver is affected (a bus-level outage).
+    """
+
+    name: str = "message-drop"
+    receiver: str | None = None
+    kinds: tuple[MessageKind, ...] = (MessageKind.MEASUREMENT,)
+    dropped: int = 0
+
+    def on_message(self, message: Message, time_s: float) -> Message | None:
+        if self.receiver is not None and message.receiver != self.receiver:
+            return message
+        if self.kinds and message.kind not in self.kinds:
+            return message
+        self.dropped += 1
+        return None
+
+
+@dataclass
+class FloodAttack(Intervention):
+    """Floods the bus so that legitimate messages are probabilistically lost.
+
+    Each legitimate message survives with probability ``1 - loss_rate`` while
+    the flood is active; the generator is seeded so runs are reproducible.
+    """
+
+    name: str = "network-flood"
+    loss_rate: float = 0.7
+    seed: int = 23
+    dropped: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError("loss_rate must be within [0, 1]")
+        self._rng = np.random.default_rng(self.seed)
+
+    def on_step(self, simulation: ScadaSimulation, time_s: float) -> None:
+        # The flood itself: junk traffic addressed to the controller, which
+        # counts against the firewall and shows up in bus statistics.
+        simulation.bus.send(
+            "Corporate Network", "BPCS Platform", MessageKind.ENGINEERING,
+            {"junk": True}, timestamp_s=time_s,
+        )
+
+    def on_message(self, message: Message, time_s: float) -> Message | None:
+        if message.payload.get("junk"):
+            return message
+        if float(self._rng.uniform()) < self.loss_rate:
+            self.dropped += 1
+            return None
+        return message

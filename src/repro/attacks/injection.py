@@ -1,0 +1,106 @@
+"""Injection attacks: forged set points, mode commands, and engineering writes.
+
+These model the paper's flagship finding against the BPCS and SIS platforms:
+CWE-78 OS command injection, "an attack scenario where an upstream attacker
+may inject all or part of an operating system command onto an externally
+influenced input ... disrupting or manipulating the platform's operation.
+This attack may result in compromised control of the centrifuge, manifesting
+in destruction of the manufactured product or damage to the centrifuge
+itself."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cps.intervention import Intervention
+from repro.cps.network import MessageKind
+from repro.cps.scada import BPCS, WORKSTATION, ScadaSimulation
+
+
+@dataclass
+class SetpointInjectionAttack(Intervention):
+    """Periodically writes an attacker-chosen set point to the BPCS.
+
+    The messages are sent with a configurable ``spoofed_sender`` so the
+    firewall and any message-authentication defence see a plausible origin;
+    by default the attacker impersonates the programming workstation
+    (CAPEC-137 parameter injection over an unauthenticated protocol,
+    CWE-306).
+    """
+
+    name: str = "setpoint-injection"
+    register: str = "speed_setpoint"
+    value: float = 9_800.0
+    period_s: float = 5.0
+    spoofed_sender: str = WORKSTATION
+    target: str = BPCS
+    _last_sent_s: float = -1e9
+
+    def on_step(self, simulation: ScadaSimulation, time_s: float) -> None:
+        if time_s - self._last_sent_s < self.period_s:
+            return
+        self._last_sent_s = time_s
+        simulation.bus.send(
+            self.spoofed_sender,
+            self.target,
+            MessageKind.SETPOINT_WRITE,
+            {"register": self.register, "value": self.value},
+            timestamp_s=time_s,
+        )
+
+
+@dataclass
+class EngineeringWriteAttack(Intervention):
+    """Delivers an engineering (reconfiguration) write to a platform.
+
+    Receiving an engineering write marks the BPCS controller as compromised;
+    it models arbitrary code or logic download (CWE-494, CAPEC-441) without
+    simulating the payload itself.
+    """
+
+    name: str = "engineering-write"
+    spoofed_sender: str = WORKSTATION
+    target: str = BPCS
+    _sent: bool = False
+
+    def on_step(self, simulation: ScadaSimulation, time_s: float) -> None:
+        if self._sent:
+            return
+        self._sent = True
+        simulation.bus.send(
+            self.spoofed_sender,
+            self.target,
+            MessageKind.ENGINEERING,
+            {"action": "logic-download"},
+            timestamp_s=time_s,
+        )
+
+
+@dataclass
+class CommandInjectionAttack(Intervention):
+    """The CWE-78 scenario: command injection on the BPCS platform.
+
+    An upstream attacker who can inject OS commands on the controller gains
+    the ability to manipulate the control application directly.  The attack
+    (a) marks the controller compromised via an engineering write and then
+    (b) forces hazardous set points from inside the controller: maximum rotor
+    speed and a disabled cooling loop (temperature set point far above the
+    stability limit).
+    """
+
+    name: str = "cwe-78-command-injection"
+    commanded_speed_rpm: float = 10_000.0
+    commanded_temperature_c: float = 60.0
+
+    def on_activate(self, simulation: ScadaSimulation, time_s: float) -> None:
+        simulation.bus.send(
+            WORKSTATION, BPCS, MessageKind.ENGINEERING,
+            {"action": "os-command-injection"}, timestamp_s=time_s,
+        )
+
+    def on_step(self, simulation: ScadaSimulation, time_s: float) -> None:
+        # Inside the controller, the injected command rewrites the set points
+        # every cycle, so operator corrections do not stick.
+        simulation.controller.set_speed_setpoint(self.commanded_speed_rpm)
+        simulation.controller.set_temperature_setpoint(self.commanded_temperature_c)

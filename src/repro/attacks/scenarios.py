@@ -1,0 +1,254 @@
+"""Named attack scenarios and their mapping to attack-vector records.
+
+A scenario bundles the interventions that realize one coherent attack story
+on the centrifuge, together with the CWE/CAPEC identifiers it instantiates.
+The scenario library is what lets the consequence mapper turn an *associated
+attack vector* (a CWE or CAPEC id attached to a component by the search
+engine) into an *executable experiment* on the closed-loop simulation.
+
+The flagship entry is the Triton-like scenario the paper cites: malware
+first disables the safety instrumented system, then the compromised process
+controller drives the plant into the unstable thermal region.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.attacks.dos import FloodAttack, MessageDropAttack
+from repro.attacks.injection import CommandInjectionAttack, SetpointInjectionAttack
+from repro.attacks.spoofing import (
+    MeasurementSpoofingAttack,
+    ReplayMeasurementAttack,
+    SensorSpoofingAttack,
+)
+from repro.cps.intervention import Intervention
+from repro.cps.network import MessageKind
+from repro.cps.scada import SIS, WORKSTATION, ScadaSimulation
+
+
+@dataclass
+class SisDisableAttack(Intervention):
+    """Disables the safety instrumented system over the network.
+
+    Models the Triton/TRISIS action (CAPEC-554 functionality bypass,
+    CWE-693 protection mechanism failure): the safety logic stops evaluating
+    its trip conditions while reporting normal status.
+    """
+
+    name: str = "sis-disable"
+    spoofed_sender: str = WORKSTATION
+    _sent: bool = False
+
+    def on_step(self, simulation: ScadaSimulation, time_s: float) -> None:
+        if self._sent:
+            return
+        self._sent = True
+        simulation.bus.send(
+            self.spoofed_sender, SIS, MessageKind.SAFETY_COMMAND,
+            {"command": "disable"}, timestamp_s=time_s,
+        )
+
+
+@dataclass
+class AttackScenario:
+    """A named, executable attack scenario.
+
+    Parameters
+    ----------
+    name:
+        Scenario identifier.
+    description:
+        What the scenario does and what consequence it is expected to cause.
+    build_interventions:
+        Zero-argument factory returning fresh interventions for one run (they
+        are stateful, so each simulation needs its own instances).
+    records:
+        CWE / CAPEC identifiers this scenario instantiates.
+    target_components:
+        Names of the system-model components the scenario attacks.
+    expected_hazards:
+        Hazard kinds the scenario is expected to produce (documentation and
+        test oracle, not enforced by the simulation).
+    """
+
+    name: str
+    description: str
+    build_interventions: Callable[[], list[Intervention]]
+    records: tuple[str, ...] = ()
+    target_components: tuple[str, ...] = ()
+    expected_hazards: tuple[str, ...] = ()
+
+    def interventions(self) -> list[Intervention]:
+        """Fresh intervention instances for one simulation run."""
+        return list(self.build_interventions())
+
+
+@dataclass
+class TritonLikeScenario:
+    """Convenience builder for the paper's Triton-style composite attack."""
+
+    sis_disable_time_s: float = 80.0
+    injection_time_s: float = 120.0
+
+    def interventions(self) -> list[Intervention]:
+        """SIS disable followed by command injection on the BPCS."""
+        return [
+            SisDisableAttack(start_time_s=self.sis_disable_time_s),
+            CommandInjectionAttack(start_time_s=self.injection_time_s),
+        ]
+
+
+def _triton() -> list[Intervention]:
+    return TritonLikeScenario().interventions()
+
+
+def _command_injection_only() -> list[Intervention]:
+    return [CommandInjectionAttack(start_time_s=120.0)]
+
+
+def _setpoint_injection() -> list[Intervention]:
+    return [SetpointInjectionAttack(start_time_s=120.0, value=9_800.0)]
+
+
+def _sensor_spoof_blind_controller() -> list[Intervention]:
+    return [
+        MeasurementSpoofingAttack(start_time_s=120.0, variable="temperature", value=20.0),
+        SetpointInjectionAttack(
+            start_time_s=125.0, register="temperature_setpoint", value=45.0
+        ),
+    ]
+
+
+def _replay_blind_sis() -> list[Intervention]:
+    return [
+        ReplayMeasurementAttack(start_time_s=100.0, receiver=SIS),
+        CommandInjectionAttack(start_time_s=140.0),
+    ]
+
+
+def _measurement_dos() -> list[Intervention]:
+    return [MessageDropAttack(start_time_s=120.0, kinds=(MessageKind.MEASUREMENT,))]
+
+
+def _flood() -> list[Intervention]:
+    return [FloodAttack(start_time_s=120.0, loss_rate=0.8)]
+
+
+def _physical_sensor_tamper() -> list[Intervention]:
+    return [SensorSpoofingAttack(start_time_s=120.0, sensor="temperature", value=18.0)]
+
+
+#: The scenario library keyed by scenario name.
+SCENARIO_LIBRARY: dict[str, AttackScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        AttackScenario(
+            name="triton-like-sis-bypass",
+            description=(
+                "Malware disables the safety instrumented system, then the "
+                "compromised BPCS drives the rotor to maximum speed with cooling "
+                "disabled; the solution temperature exceeds the stability limit."
+            ),
+            build_interventions=_triton,
+            records=("CWE-693", "CAPEC-554", "CWE-78", "CAPEC-88", "CWE-494"),
+            target_components=("SIS Platform", "BPCS Platform"),
+            expected_hazards=("thermal_runaway",),
+        ),
+        AttackScenario(
+            name="bpcs-command-injection",
+            description=(
+                "CWE-78 OS command injection on the BPCS forces hazardous set "
+                "points; the SIS trips the drive, the batch is lost but the "
+                "plant stays safe."
+            ),
+            build_interventions=_command_injection_only,
+            records=("CWE-78", "CAPEC-88", "CWE-20"),
+            target_components=("BPCS Platform",),
+            expected_hazards=("speed_deviation",),
+        ),
+        AttackScenario(
+            name="unauthenticated-setpoint-write",
+            description=(
+                "Forged MODBUS set-point writes (missing authentication for a "
+                "critical function) push the rotor toward its limit until the "
+                "SIS intervenes."
+            ),
+            build_interventions=_setpoint_injection,
+            records=("CWE-306", "CAPEC-137", "CAPEC-21"),
+            target_components=("BPCS Platform",),
+            expected_hazards=("speed_deviation",),
+        ),
+        AttackScenario(
+            name="controller-blinding-mitm",
+            description=(
+                "Adversary in the middle reports a nominal temperature to the "
+                "BPCS while raising the temperature set point, so the cooling "
+                "loop never reacts."
+            ),
+            build_interventions=_sensor_spoof_blind_controller,
+            records=("CWE-924", "CWE-345", "CAPEC-94", "CAPEC-148"),
+            target_components=("BPCS Platform", "Temperature Sensor"),
+            expected_hazards=("thermal_runaway", "product_viscous"),
+        ),
+        AttackScenario(
+            name="sis-replay-blinding",
+            description=(
+                "Measurements to the SIS are captured and replayed so the safety "
+                "monitor keeps seeing the pre-attack state while the compromised "
+                "BPCS overheats the process."
+            ),
+            build_interventions=_replay_blind_sis,
+            records=("CWE-294", "CAPEC-60", "CWE-78"),
+            target_components=("SIS Platform", "BPCS Platform"),
+            expected_hazards=("thermal_runaway",),
+        ),
+        AttackScenario(
+            name="measurement-dos",
+            description=(
+                "Measurement traffic is dropped so the control loop runs on "
+                "stale values and regulation quality degrades."
+            ),
+            build_interventions=_measurement_dos,
+            records=("CWE-400", "CAPEC-607", "CAPEC-125"),
+            target_components=("BPCS Platform", "Control Firewall"),
+            expected_hazards=("speed_deviation",),
+        ),
+        AttackScenario(
+            name="network-flood",
+            description=(
+                "A flood from the corporate side causes heavy loss of "
+                "supervisory traffic across the control network."
+            ),
+            build_interventions=_flood,
+            records=("CWE-770", "CAPEC-125"),
+            target_components=("Control Firewall", "BPCS Platform"),
+            expected_hazards=("speed_deviation",),
+        ),
+        AttackScenario(
+            name="physical-sensor-tamper",
+            description=(
+                "Physical tampering biases the temperature probe low, so both "
+                "controllers run the process warmer than intended."
+            ),
+            build_interventions=_physical_sensor_tamper,
+            records=("CWE-1263", "CAPEC-390"),
+            target_components=("Temperature Sensor",),
+            expected_hazards=("thermal_runaway",),
+        ),
+    )
+}
+
+
+#: Record identifier -> scenario name, derived from the library.
+_RECORD_TO_SCENARIO: dict[str, str] = {}
+for _scenario in SCENARIO_LIBRARY.values():
+    for _record in _scenario.records:
+        _RECORD_TO_SCENARIO.setdefault(_record, _scenario.name)
+
+
+def scenario_for_record(record_id: str) -> AttackScenario | None:
+    """The scenario that instantiates a CWE/CAPEC record, if one exists."""
+    name = _RECORD_TO_SCENARIO.get(record_id)
+    return SCENARIO_LIBRARY[name] if name else None

@@ -1,0 +1,95 @@
+"""Spoofing and replay attacks on measurements.
+
+These model CAPEC-148 (content spoofing), CAPEC-94 (adversary in the middle),
+CAPEC-60 (capture-replay), and the weaknesses they exploit (CWE-345, CWE-319,
+CWE-924): the controller or the safety monitor acts on falsified process
+values, so the physical state can drift into a hazardous region while the
+cyber side looks nominal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cps.intervention import Intervention
+from repro.cps.network import Message, MessageKind
+from repro.cps.scada import BPCS, SIS, ScadaSimulation
+
+
+@dataclass
+class SensorSpoofingAttack(Intervention):
+    """Physically spoofs a sensor so *every* consumer sees the same lie.
+
+    Models tampering with the probe or its transmitter (CAPEC-390 physical
+    access followed by signal injection).
+    """
+
+    name: str = "sensor-spoofing"
+    sensor: str = "temperature"
+    value: float = 20.0
+
+    def on_activate(self, simulation: ScadaSimulation, time_s: float) -> None:
+        self._target(simulation).spoof(self.value)
+
+    def on_deactivate(self, simulation: ScadaSimulation, time_s: float) -> None:
+        self._target(simulation).clear_spoof()
+
+    def _target(self, simulation: ScadaSimulation):
+        if self.sensor == "temperature":
+            return simulation.temperature_sensor
+        if self.sensor == "speed":
+            return simulation.tachometer
+        raise ValueError(f"unknown sensor: {self.sensor!r}")
+
+
+@dataclass
+class MeasurementSpoofingAttack(Intervention):
+    """Adversary-in-the-middle rewrite of measurement messages to one receiver.
+
+    Unlike :class:`SensorSpoofingAttack`, only the targeted receiver (by
+    default the BPCS) sees the falsified value; the other consumer still sees
+    the true process state.  This is the classic way to blind a controller
+    while the safety system, or vice versa, still sees reality.
+    """
+
+    name: str = "measurement-mitm"
+    variable: str = "temperature"
+    value: float = 20.0
+    receiver: str = BPCS
+
+    def on_message(self, message: Message, time_s: float) -> Message | None:
+        if (
+            message.kind is MessageKind.MEASUREMENT
+            and message.receiver == self.receiver
+            and message.payload.get("variable") == self.variable
+        ):
+            return message.with_payload(value=self.value)
+        return message
+
+
+@dataclass
+class ReplayMeasurementAttack(Intervention):
+    """Capture-replay of measurements (CWE-294 / CAPEC-60).
+
+    During the first ``capture_window_s`` seconds of the active window the
+    attack records the measurements flowing to the targeted receiver; after
+    that it keeps replaying the captured values, freezing the receiver's view
+    of the process at the pre-attack state.
+    """
+
+    name: str = "measurement-replay"
+    receiver: str = SIS
+    capture_window_s: float = 10.0
+    _captured: dict[str, float] = field(default_factory=dict)
+
+    def on_message(self, message: Message, time_s: float) -> Message | None:
+        if message.kind is not MessageKind.MEASUREMENT or message.receiver != self.receiver:
+            return message
+        variable = message.payload.get("variable", "")
+        elapsed = time_s - self.start_time_s
+        if elapsed <= self.capture_window_s:
+            self._captured[variable] = float(message.payload.get("value", 0.0))
+            return message
+        if variable in self._captured:
+            return message.with_payload(value=self._captured[variable])
+        return message

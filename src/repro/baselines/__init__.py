@@ -1,0 +1,30 @@
+"""IT-centric baselines the paper argues are insufficient for CPS.
+
+The paper repeatedly contrasts its model-based, consequence-aware approach
+with the tools in common use: "modeling attacks in Microsoft's threat
+modeling tool or attack trees assumes that the system must be a collection of
+IT infrastructure with no physical interactions".  To make that comparison
+runnable (experiment E7), this package implements both baselines:
+
+* :mod:`repro.baselines.stride` -- a STRIDE-per-element threat enumeration in
+  the style of the Microsoft threat modeling tool,
+* :mod:`repro.baselines.attack_trees` -- attack-tree construction over the
+  association, with cut-set analysis,
+* :mod:`repro.baselines.comparison` -- coverage comparison: which approach
+  can speak about physical consequences at all.
+"""
+
+from repro.baselines.attack_trees import AttackTree, AttackTreeNode, build_attack_tree
+from repro.baselines.comparison import CoverageComparison, compare_coverage
+from repro.baselines.stride import StrideAnalyzer, StrideCategory, StrideThreat
+
+__all__ = [
+    "StrideCategory",
+    "StrideThreat",
+    "StrideAnalyzer",
+    "AttackTree",
+    "AttackTreeNode",
+    "build_attack_tree",
+    "CoverageComparison",
+    "compare_coverage",
+]

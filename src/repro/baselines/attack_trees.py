@@ -1,0 +1,185 @@
+"""Attack trees over the association (the second IT-centric baseline).
+
+The paper: "Tools based on attack trees are often used to augment results
+from such threat modeling.  Therefore, they are also focused on the risk to
+the IT infrastructure and not the risk of causing undesirable physical
+behaviors."  The implementation builds a goal-rooted AND/OR tree from the
+exploit paths of the system graph: reaching the target component is an OR
+over entry paths, each path is an AND over its hops, and each hop is an OR
+over the attack vectors associated with that component.  Minimal cut sets
+(the classic attack-tree analysis output) enumerate the distinct vector
+combinations that achieve the goal.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.search.engine import SystemAssociation
+
+
+class NodeType(enum.Enum):
+    """Node connectives of an attack tree."""
+
+    AND = "and"
+    OR = "or"
+    LEAF = "leaf"
+
+
+@dataclass
+class AttackTreeNode:
+    """One node of an attack tree."""
+
+    label: str
+    node_type: NodeType
+    children: list["AttackTreeNode"] = field(default_factory=list)
+    record_id: str = ""
+
+    def add(self, child: "AttackTreeNode") -> "AttackTreeNode":
+        """Append a child and return it (for fluent construction)."""
+        if self.node_type is NodeType.LEAF:
+            raise ValueError("leaf nodes cannot have children")
+        self.children.append(child)
+        return child
+
+    def leaves(self) -> list["AttackTreeNode"]:
+        """All leaf nodes beneath (or at) this node."""
+        if self.node_type is NodeType.LEAF:
+            return [self]
+        result = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
+    def depth(self) -> int:
+        """Height of the subtree rooted at this node (leaf = 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def cut_sets(self, limit: int = 10_000) -> list[frozenset[str]]:
+        """Minimal cut sets of leaf record ids that satisfy this node.
+
+        ``limit`` bounds the combinatorial expansion; trees from realistic
+        associations can otherwise explode, which is itself one of the
+        scalability problems the paper attributes to attack-tree practice.
+        """
+        sets = self._cut_sets(limit)
+        minimal: list[frozenset[str]] = []
+        for candidate in sorted(sets, key=len):
+            if not any(existing <= candidate for existing in minimal):
+                minimal.append(candidate)
+        return minimal
+
+    def _cut_sets(self, limit: int) -> list[frozenset[str]]:
+        if self.node_type is NodeType.LEAF:
+            return [frozenset({self.record_id or self.label})]
+        if not self.children:
+            return []
+        if self.node_type is NodeType.OR:
+            combined: list[frozenset[str]] = []
+            for child in self.children:
+                combined.extend(child._cut_sets(limit))
+                if len(combined) > limit:
+                    return combined[:limit]
+            return combined
+        # AND node: cross product of the children's cut sets.
+        product: list[frozenset[str]] = [frozenset()]
+        for child in self.children:
+            child_sets = child._cut_sets(limit)
+            if not child_sets:
+                return []
+            product = [
+                existing | addition
+                for existing, addition in itertools.product(product, child_sets)
+            ]
+            if len(product) > limit:
+                product = product[:limit]
+        return product
+
+
+@dataclass
+class AttackTree:
+    """A goal-rooted attack tree."""
+
+    goal: str
+    root: AttackTreeNode
+
+    def leaf_count(self) -> int:
+        """Number of leaves (individual attack vector placements)."""
+        return len(self.root.leaves())
+
+    def depth(self) -> int:
+        """Height of the tree."""
+        return self.root.depth()
+
+    def cut_sets(self, limit: int = 10_000) -> list[frozenset[str]]:
+        """Minimal cut sets achieving the goal."""
+        return self.root.cut_sets(limit)
+
+    def mentions_physical_consequence(self) -> bool:
+        """Attack-tree goals here are component compromises, not hazards."""
+        return False
+
+
+def build_attack_tree(
+    association: SystemAssociation,
+    target: str,
+    max_paths: int = 32,
+    max_vectors_per_component: int = 5,
+) -> AttackTree:
+    """Build an attack tree for compromising ``target`` from the entry points.
+
+    The tree's root is an OR over attack paths (simple paths from each entry
+    point); each path is an AND over its components; each component is an OR
+    over its top associated attack vectors.  Components without associated
+    vectors make their path infeasible and are skipped.
+    """
+    system = association.system
+    system.component(target)
+    graph = system.to_networkx()
+    root = AttackTreeNode(label=f"compromise {target}", node_type=NodeType.OR)
+    path_count = 0
+    for entry in system.entry_points():
+        if path_count >= max_paths:
+            break
+        if entry.name == target:
+            paths = [[entry.name]]
+        else:
+            paths = nx.all_simple_paths(graph, entry.name, target, cutoff=8)
+        for path in paths:
+            if path_count >= max_paths:
+                break
+            path_node = _path_node(association, list(path), max_vectors_per_component)
+            if path_node is not None:
+                root.add(path_node)
+                path_count += 1
+    return AttackTree(goal=f"compromise {target}", root=root)
+
+
+def _path_node(
+    association: SystemAssociation, path: list[str], max_vectors: int
+) -> AttackTreeNode | None:
+    path_node = AttackTreeNode(
+        label="via " + " -> ".join(path), node_type=NodeType.AND
+    )
+    for name in path:
+        component_association = association.component(name)
+        matches = component_association.unique_matches()[:max_vectors]
+        if not matches:
+            return None
+        hop = AttackTreeNode(label=f"exploit {name}", node_type=NodeType.OR)
+        for match in matches:
+            hop.add(
+                AttackTreeNode(
+                    label=f"{match.identifier} on {name}",
+                    node_type=NodeType.LEAF,
+                    record_id=match.identifier,
+                )
+            )
+        path_node.add(hop)
+    return path_node

@@ -1,0 +1,124 @@
+"""Coverage comparison: IT-centric baselines vs. the consequence-aware pipeline.
+
+Experiment E7 makes the paper's central qualitative claim measurable for the
+demonstration system: count how many findings each approach produces, how
+many of the modeled components each can speak about at all, and -- the
+decisive column -- how many findings are connected to a *physical hazard* of
+the process.  STRIDE and attack trees structurally cannot populate that
+column; the consequence mapper can.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.consequence import ConsequenceAssessment
+from repro.baselines.attack_trees import AttackTree
+from repro.baselines.stride import StrideAnalyzer, StrideThreat
+from repro.graph.model import SystemGraph
+from repro.search.engine import SystemAssociation
+
+
+@dataclass(frozen=True)
+class ApproachCoverage:
+    """Coverage figures for one analysis approach."""
+
+    approach: str
+    findings: int
+    components_covered: int
+    physical_components_covered: int
+    findings_with_physical_consequence: int
+    distinct_hazards_identified: int
+
+
+@dataclass(frozen=True)
+class CoverageComparison:
+    """Side-by-side coverage of the baselines and the CPS-aware pipeline."""
+
+    system_name: str
+    approaches: tuple[ApproachCoverage, ...]
+
+    def approach(self, name: str) -> ApproachCoverage:
+        """Coverage figures for one approach by name."""
+        for coverage in self.approaches:
+            if coverage.approach == name:
+                return coverage
+        raise KeyError(f"no coverage recorded for approach {name!r}")
+
+    def as_rows(self) -> list[tuple]:
+        """Rows suitable for :func:`repro.analysis.report.render_table`."""
+        return [
+            (
+                coverage.approach,
+                coverage.findings,
+                coverage.components_covered,
+                coverage.physical_components_covered,
+                coverage.findings_with_physical_consequence,
+                coverage.distinct_hazards_identified,
+            )
+            for coverage in self.approaches
+        ]
+
+
+def compare_coverage(
+    graph: SystemGraph,
+    association: SystemAssociation,
+    stride_threats: list[StrideThreat],
+    attack_tree: AttackTree,
+    assessments: list[ConsequenceAssessment],
+) -> CoverageComparison:
+    """Build the coverage comparison across the three approaches."""
+    physical_components = {
+        component.name for component in graph.components if component.kind.is_physical
+    }
+    component_names = set(graph.component_names())
+
+    stride_subjects = {
+        threat.subject for threat in stride_threats if threat.subject in component_names
+    }
+    stride = ApproachCoverage(
+        approach="STRIDE (IT-centric)",
+        findings=len(stride_threats),
+        components_covered=len(stride_subjects),
+        physical_components_covered=len(stride_subjects & physical_components),
+        findings_with_physical_consequence=sum(
+            1 for threat in stride_threats if threat.mentions_physical_consequence
+        ),
+        distinct_hazards_identified=0,
+    )
+
+    tree_components = {
+        leaf.label.split(" on ", 1)[1]
+        for leaf in attack_tree.root.leaves()
+        if " on " in leaf.label
+    }
+    tree = ApproachCoverage(
+        approach="Attack tree",
+        findings=attack_tree.leaf_count(),
+        components_covered=len(tree_components & component_names),
+        physical_components_covered=len(tree_components & physical_components),
+        findings_with_physical_consequence=0,
+        distinct_hazards_identified=0,
+    )
+
+    associated_components = {
+        component_association.component.name
+        for component_association in association.components
+        if component_association.total > 0
+    }
+    hazard_kinds = set()
+    for assessment in assessments:
+        hazard_kinds.update(assessment.new_hazards)
+    cpsec = ApproachCoverage(
+        approach="Model-based CPS security (this work)",
+        findings=association.total,
+        components_covered=len(associated_components),
+        physical_components_covered=len(associated_components & physical_components),
+        findings_with_physical_consequence=sum(
+            1 for assessment in assessments if assessment.new_hazards
+        ),
+        distinct_hazards_identified=len(hazard_kinds),
+    )
+    return CoverageComparison(
+        system_name=graph.name, approaches=(stride, tree, cpsec)
+    )

@@ -1,0 +1,159 @@
+"""STRIDE-per-element threat enumeration (the IT-centric baseline).
+
+This mirrors the behaviour of data-flow-diagram threat modeling tools: every
+element and flow is assigned the STRIDE categories conventional for its
+element type, and each threat is described in terms of confidentiality,
+integrity, and availability of *data and services* -- never in terms of the
+physical process.  The deliberate absence of physical consequence information
+is the point: it is what the coverage comparison (experiment E7) measures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.graph.model import ComponentKind, SystemGraph
+
+
+class StrideCategory(enum.Enum):
+    """The six STRIDE threat categories."""
+
+    SPOOFING = "Spoofing"
+    TAMPERING = "Tampering"
+    REPUDIATION = "Repudiation"
+    INFORMATION_DISCLOSURE = "Information disclosure"
+    DENIAL_OF_SERVICE = "Denial of service"
+    ELEVATION_OF_PRIVILEGE = "Elevation of privilege"
+
+
+#: Element-type to applicable-category mapping used by DFD-based tools:
+#: processes get all six, data stores are not spoofed or elevated, external
+#: interactors are spoofed/repudiated, and data flows get TID.
+_PROCESS_CATEGORIES = tuple(StrideCategory)
+_DATASTORE_CATEGORIES = (
+    StrideCategory.TAMPERING,
+    StrideCategory.REPUDIATION,
+    StrideCategory.INFORMATION_DISCLOSURE,
+    StrideCategory.DENIAL_OF_SERVICE,
+)
+_EXTERNAL_CATEGORIES = (StrideCategory.SPOOFING, StrideCategory.REPUDIATION)
+_FLOW_CATEGORIES = (
+    StrideCategory.TAMPERING,
+    StrideCategory.INFORMATION_DISCLOSURE,
+    StrideCategory.DENIAL_OF_SERVICE,
+)
+
+#: How component kinds of the general model map to DFD element types.
+_KIND_TO_ELEMENT = {
+    ComponentKind.CONTROLLER: "process",
+    ComponentKind.SAFETY_SYSTEM: "process",
+    ComponentKind.WORKSTATION: "process",
+    ComponentKind.NETWORK_DEVICE: "process",
+    ComponentKind.FIREWALL: "process",
+    ComponentKind.SENSOR: "process",
+    ComponentKind.ACTUATOR: "process",
+    ComponentKind.DATA_STORE: "datastore",
+    ComponentKind.HUMAN_OPERATOR: "external",
+    ComponentKind.EXTERNAL: "external",
+    ComponentKind.PLANT: None,
+    ComponentKind.SUBSYSTEM: "process",
+    ComponentKind.OTHER: "process",
+}
+
+_IMPACT_TEXT = {
+    StrideCategory.SPOOFING: "an actor may interact with the element under a false identity",
+    StrideCategory.TAMPERING: "data handled by the element may be modified without authorization",
+    StrideCategory.REPUDIATION: "actions taken at the element may not be attributable",
+    StrideCategory.INFORMATION_DISCLOSURE: "data handled by the element may be disclosed",
+    StrideCategory.DENIAL_OF_SERVICE: "the element's service may be made unavailable",
+    StrideCategory.ELEVATION_OF_PRIVILEGE: "an actor may gain privileges on the element",
+}
+
+
+@dataclass(frozen=True)
+class StrideThreat:
+    """One enumerated STRIDE threat."""
+
+    subject: str
+    subject_type: str
+    category: StrideCategory
+    description: str
+
+    @property
+    def mentions_physical_consequence(self) -> bool:
+        """Always false: STRIDE impacts are stated on data and services.
+
+        Kept as a property (rather than omitting the concept) so the coverage
+        comparison can treat baseline and CPS-aware findings uniformly.
+        """
+        return False
+
+
+class StrideAnalyzer:
+    """Enumerates STRIDE threats for a system model, DFD-style."""
+
+    def analyze(self, graph: SystemGraph) -> list[StrideThreat]:
+        """Enumerate threats for every element and data flow of the model."""
+        threats: list[StrideThreat] = []
+        for component in graph.components:
+            element = _KIND_TO_ELEMENT.get(component.kind, "process")
+            if element is None:
+                # Physical plant elements have no DFD equivalent; IT-centric
+                # tools simply cannot represent them.
+                continue
+            for category in self._categories_for(element):
+                threats.append(
+                    StrideThreat(
+                        subject=component.name,
+                        subject_type=element,
+                        category=category,
+                        description=(
+                            f"{category.value} against {component.name}: "
+                            f"{_IMPACT_TEXT[category]}."
+                        ),
+                    )
+                )
+        for connection in graph.connections:
+            if connection.medium in ("physical",):
+                continue
+            for category in _FLOW_CATEGORIES:
+                threats.append(
+                    StrideThreat(
+                        subject=f"{connection.source} -> {connection.target}",
+                        subject_type="dataflow",
+                        category=category,
+                        description=(
+                            f"{category.value} against the "
+                            f"{connection.protocol or connection.medium} flow from "
+                            f"{connection.source} to {connection.target}: "
+                            f"{_IMPACT_TEXT[category]}."
+                        ),
+                    )
+                )
+        return threats
+
+    def _categories_for(self, element: str) -> tuple[StrideCategory, ...]:
+        if element == "process":
+            return _PROCESS_CATEGORIES
+        if element == "datastore":
+            return _DATASTORE_CATEGORIES
+        if element == "external":
+            return _EXTERNAL_CATEGORIES
+        return _PROCESS_CATEGORIES
+
+    def summary(self, threats: list[StrideThreat]) -> dict[str, int]:
+        """Threat counts per STRIDE category."""
+        counts = {category.value: 0 for category in StrideCategory}
+        for threat in threats:
+            counts[threat.category.value] += 1
+        return counts
+
+    def uncovered_components(self, graph: SystemGraph, threats: list[StrideThreat]) -> tuple[str, ...]:
+        """Components that receive no STRIDE threat at all (the physical ones)."""
+        covered = {threat.subject for threat in threats}
+        return tuple(
+            component.name
+            for component in graph.components
+            if component.name not in covered
+        )

@@ -1,0 +1,23 @@
+"""Case-study system models.
+
+* :mod:`repro.casestudies.centrifuge` -- the particle-separation-centrifuge
+  SCADA system of the paper's demonstration (Section 3, Fig. 1),
+* :mod:`repro.casestudies.uav` -- a small unmanned-aircraft system, the
+  authors' other recurring case study, used as a second example application.
+"""
+
+from repro.casestudies.centrifuge import (
+    build_centrifuge_model,
+    build_centrifuge_sysml,
+    centrifuge_refinement_plan,
+    hardened_workstation_variant,
+)
+from repro.casestudies.uav import build_uav_model
+
+__all__ = [
+    "build_centrifuge_model",
+    "build_centrifuge_sysml",
+    "centrifuge_refinement_plan",
+    "hardened_workstation_variant",
+    "build_uav_model",
+]

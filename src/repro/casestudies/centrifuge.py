@@ -1,0 +1,399 @@
+"""The particle-separation-centrifuge SCADA system of the paper's Section 3.
+
+The demonstration system (Fig. 1) consists of a programming workstation, a
+control firewall isolating the corporate network, a safety instrumented
+system (SIS) platform, a basic process control system (BPCS) platform
+interfaced through MODBUS, a precision temperature sensor, and the centrifuge
+itself.  The attribute names used here are exactly the rows of the paper's
+Table 1 (``Cisco ASA``, ``NI RT Linux OS``, ``Windows 7``, ``Labview``,
+``NI cRIO 9063``, ``NI cRIO 9064``) so the reproduction table lines up with
+the published one.
+
+Three builders are provided:
+
+* :func:`build_centrifuge_model` -- the general architectural model, at a
+  chosen fidelity level (conceptual / logical / implementation),
+* :func:`build_centrifuge_sysml` -- the same architecture expressed through
+  the SysML front end (exercises the exporter path of Fig. 1),
+* :func:`centrifuge_refinement_plan` / :func:`hardened_workstation_variant`
+  -- the refinement and what-if variants used by experiments E3 and E4.
+"""
+
+from __future__ import annotations
+
+from repro.graph.attributes import Attribute, AttributeKind, Fidelity
+from repro.graph.model import Component, ComponentKind, Connection, SystemGraph
+from repro.graph.refinement import RefinementPlan, RefinementStep, abstract_model, swap_attribute
+from repro.graph.sysml import Block, InternalBlockDiagram
+
+# -- attribute definitions (Table 1 rows) -------------------------------------
+
+CISCO_ASA = Attribute(
+    "Cisco ASA",
+    kind=AttributeKind.HARDWARE,
+    fidelity=Fidelity.IMPLEMENTATION,
+    description="Cisco Adaptive Security Appliance firewall",
+)
+
+NI_RT_LINUX = Attribute(
+    "NI RT Linux OS",
+    kind=AttributeKind.OPERATING_SYSTEM,
+    fidelity=Fidelity.IMPLEMENTATION,
+    description="NI Linux Real-Time operating system based on the Linux kernel",
+    tags=("linux kernel", "real-time linux"),
+)
+
+WINDOWS_7 = Attribute(
+    "Windows 7",
+    kind=AttributeKind.OPERATING_SYSTEM,
+    fidelity=Fidelity.IMPLEMENTATION,
+    description="Microsoft Windows 7 operating system",
+    version="SP1",
+)
+
+LABVIEW = Attribute(
+    "Labview",
+    kind=AttributeKind.SOFTWARE,
+    fidelity=Fidelity.IMPLEMENTATION,
+    description="NI LabVIEW graphical programming environment",
+)
+
+CRIO_9063 = Attribute(
+    "NI cRIO 9063",
+    kind=AttributeKind.HARDWARE,
+    fidelity=Fidelity.IMPLEMENTATION,
+    description="CompactRIO controller",
+)
+
+CRIO_9064 = Attribute(
+    "NI cRIO 9064",
+    kind=AttributeKind.HARDWARE,
+    fidelity=Fidelity.IMPLEMENTATION,
+    description="CompactRIO controller",
+)
+
+MODBUS = Attribute(
+    "MODBUS",
+    kind=AttributeKind.PROTOCOL,
+    fidelity=Fidelity.LOGICAL,
+    description="MODBUS TCP industrial protocol interface",
+)
+
+
+def build_centrifuge_model(fidelity: Fidelity = Fidelity.IMPLEMENTATION) -> SystemGraph:
+    """Build the SCADA centrifuge system model.
+
+    ``fidelity`` caps the attributes included: ``CONCEPTUAL`` keeps only the
+    functional descriptions, ``LOGICAL`` adds platform classes and protocols,
+    ``IMPLEMENTATION`` (default) adds the specific products of Table 1.
+    """
+    graph = SystemGraph("particle-separation-centrifuge")
+    graph.add_components(
+        [
+            Component(
+                "Corporate Network",
+                kind=ComponentKind.EXTERNAL,
+                description="enterprise business network outside the control boundary",
+                attributes=(
+                    Attribute(
+                        "enterprise network",
+                        kind=AttributeKind.NETWORK,
+                        fidelity=Fidelity.CONCEPTUAL,
+                        description="corporate office network with internet access",
+                    ),
+                ),
+                entry_point=True,
+                subsystem="corporate",
+                criticality=0.2,
+            ),
+            Component(
+                "Control Firewall",
+                kind=ComponentKind.FIREWALL,
+                description="isolates the corporate network from the control network",
+                attributes=(
+                    Attribute(
+                        "network boundary protection",
+                        kind=AttributeKind.FUNCTION,
+                        fidelity=Fidelity.CONCEPTUAL,
+                        description="separates corporate traffic from supervisory control traffic",
+                    ),
+                    Attribute(
+                        "firewall appliance",
+                        kind=AttributeKind.HARDWARE,
+                        fidelity=Fidelity.LOGICAL,
+                        description="perimeter firewall appliance with VPN remote access",
+                    ),
+                    CISCO_ASA,
+                ),
+                subsystem="control network",
+                criticality=0.8,
+            ),
+            Component(
+                "Programming WS",
+                kind=ComponentKind.WORKSTATION,
+                description=(
+                    "controller of the centrifuge, programmed in NI LabVIEW and "
+                    "monitored by operators"
+                ),
+                attributes=(
+                    Attribute(
+                        "supervisory programming and monitoring",
+                        kind=AttributeKind.FUNCTION,
+                        fidelity=Fidelity.CONCEPTUAL,
+                        description="engineering workstation used by operators to program and monitor the centrifuge controller",
+                    ),
+                    Attribute(
+                        "engineering workstation",
+                        kind=AttributeKind.HARDWARE,
+                        fidelity=Fidelity.LOGICAL,
+                        description="desktop computer on the control network",
+                    ),
+                    WINDOWS_7,
+                    LABVIEW,
+                ),
+                subsystem="control network",
+                criticality=0.7,
+            ),
+            Component(
+                "SIS Platform",
+                kind=ComponentKind.SAFETY_SYSTEM,
+                description=(
+                    "redundant safety monitor for the centrifuge controller, for "
+                    "example temperature too high for commanded mode or speed too high"
+                ),
+                attributes=(
+                    Attribute(
+                        "redundant safety monitor",
+                        kind=AttributeKind.FUNCTION,
+                        fidelity=Fidelity.CONCEPTUAL,
+                        description="safety instrumented system that trips the centrifuge on unsafe temperature or speed",
+                    ),
+                    Attribute(
+                        "embedded real-time controller",
+                        kind=AttributeKind.HARDWARE,
+                        fidelity=Fidelity.LOGICAL,
+                        description="embedded controller executing the safety logic",
+                    ),
+                    CRIO_9063,
+                    NI_RT_LINUX,
+                ),
+                subsystem="control network",
+                criticality=1.0,
+            ),
+            Component(
+                "BPCS Platform",
+                kind=ComponentKind.CONTROLLER,
+                description="main centrifuge controller interfaced through MODBUS",
+                attributes=(
+                    Attribute(
+                        "centrifuge process control",
+                        kind=AttributeKind.FUNCTION,
+                        fidelity=Fidelity.CONCEPTUAL,
+                        description="basic process control system regulating rotor speed and temperature set points",
+                    ),
+                    Attribute(
+                        "embedded real-time controller",
+                        kind=AttributeKind.HARDWARE,
+                        fidelity=Fidelity.LOGICAL,
+                        description="embedded controller executing the supervisory control loop",
+                    ),
+                    MODBUS,
+                    CRIO_9064,
+                    NI_RT_LINUX,
+                ),
+                subsystem="control network",
+                criticality=0.9,
+            ),
+            Component(
+                "Temperature Sensor",
+                kind=ComponentKind.SENSOR,
+                description=(
+                    "precision passive temperature probe that monitors the solution "
+                    "temperature to plus or minus 0.2 degrees Celsius"
+                ),
+                attributes=(
+                    Attribute(
+                        "temperature measurement",
+                        kind=AttributeKind.PHYSICAL,
+                        fidelity=Fidelity.CONCEPTUAL,
+                        description="passive precision temperature probe",
+                    ),
+                ),
+                subsystem="process",
+                criticality=0.8,
+            ),
+            Component(
+                "Centrifuge",
+                kind=ComponentKind.PLANT,
+                description=(
+                    "precision variable speed centrifuge capable of 10000 rpm and "
+                    "regulation within plus or minus 1 rpm of set point"
+                ),
+                attributes=(
+                    Attribute(
+                        "particle separation rotor",
+                        kind=AttributeKind.PHYSICAL,
+                        fidelity=Fidelity.CONCEPTUAL,
+                        description="variable speed rotor separating particulate from solution",
+                    ),
+                ),
+                subsystem="process",
+                criticality=1.0,
+            ),
+        ]
+    )
+    graph.connect_all(
+        [
+            Connection("Corporate Network", "Control Firewall", protocol="Ethernet/IP",
+                       description="business traffic entering the control perimeter"),
+            Connection("Control Firewall", "Programming WS", protocol="Ethernet/IP",
+                       description="control network segment behind the firewall"),
+            Connection("Programming WS", "BPCS Platform", protocol="MODBUS",
+                       description="supervisory commands and set points"),
+            Connection("Programming WS", "SIS Platform", protocol="Ethernet/IP",
+                       description="safety system status monitoring"),
+            Connection("BPCS Platform", "SIS Platform", protocol="Ethernet/IP",
+                       description="controller state shared with the safety monitor"),
+            Connection("BPCS Platform", "Centrifuge", protocol="", medium="analog",
+                       description="variable frequency drive speed command"),
+            Connection("SIS Platform", "Centrifuge", protocol="", medium="analog",
+                       description="hardwired safety trip of the rotor drive"),
+            Connection("Temperature Sensor", "BPCS Platform", protocol="", medium="analog",
+                       description="4-20 mA temperature measurement"),
+            Connection("Temperature Sensor", "SIS Platform", protocol="", medium="analog",
+                       description="4-20 mA temperature measurement"),
+            Connection("Centrifuge", "Temperature Sensor", protocol="", medium="physical",
+                       description="solution temperature sensed by the probe"),
+        ]
+    )
+    if fidelity < Fidelity.IMPLEMENTATION:
+        return abstract_model(graph, fidelity)
+    return graph
+
+
+def build_centrifuge_sysml() -> InternalBlockDiagram:
+    """The same architecture expressed through the SysML front end.
+
+    Exercises the export path of Fig. 1: SysML internal block diagram ->
+    general architectural model -> GraphML -> search engine.
+    """
+    diagram = InternalBlockDiagram("particle-separation-centrifuge")
+
+    corporate = Block("Corporate Network", stereotype="external", entry_point=True,
+                      subsystem="corporate", criticality=0.2,
+                      documentation="enterprise business network outside the control boundary")
+    corporate.add_property("network", "enterprise network", Fidelity.CONCEPTUAL)
+    corporate.add_port("uplink", protocol="Ethernet/IP")
+
+    firewall = Block("Control Firewall", stereotype="firewall", subsystem="control network",
+                     criticality=0.8,
+                     documentation="isolates the corporate network from the control network")
+    firewall.add_property("function", "network boundary protection", Fidelity.CONCEPTUAL)
+    firewall.add_property("hardware", "firewall appliance", Fidelity.LOGICAL)
+    firewall.add_property("hardware", CISCO_ASA)
+    firewall.add_port("outside", protocol="Ethernet/IP")
+    firewall.add_port("inside", protocol="Ethernet/IP")
+
+    workstation = Block("Programming WS", stereotype="workstation", subsystem="control network",
+                        criticality=0.7,
+                        documentation="controller of the centrifuge, programmed in NI LabVIEW")
+    workstation.add_property("function", "supervisory programming and monitoring", Fidelity.CONCEPTUAL)
+    workstation.add_property("os", WINDOWS_7)
+    workstation.add_property("software", LABVIEW)
+    workstation.add_port("lan", protocol="Ethernet/IP")
+    workstation.add_port("scada", protocol="MODBUS")
+
+    sis = Block("SIS Platform", stereotype="safety", subsystem="control network",
+                criticality=1.0,
+                documentation="redundant safety monitor for the centrifuge controller")
+    sis.add_property("function", "redundant safety monitor", Fidelity.CONCEPTUAL)
+    sis.add_property("hardware", CRIO_9063)
+    sis.add_property("os", NI_RT_LINUX)
+    sis.add_port("lan", protocol="Ethernet/IP")
+    sis.add_port("trip", protocol="")
+
+    bpcs = Block("BPCS Platform", stereotype="controller", subsystem="control network",
+                 criticality=0.9,
+                 documentation="main centrifuge controller interfaced through MODBUS")
+    bpcs.add_property("function", "centrifuge process control", Fidelity.CONCEPTUAL)
+    bpcs.add_property("protocol", MODBUS)
+    bpcs.add_property("hardware", CRIO_9064)
+    bpcs.add_property("os", NI_RT_LINUX)
+    bpcs.add_port("scada", protocol="MODBUS")
+    bpcs.add_port("lan", protocol="Ethernet/IP")
+    bpcs.add_port("drive", protocol="")
+
+    sensor = Block("Temperature Sensor", stereotype="sensor", subsystem="process",
+                   criticality=0.8,
+                   documentation="precision passive temperature probe")
+    sensor.add_property("physical", "temperature measurement", Fidelity.CONCEPTUAL)
+    sensor.add_port("signal", protocol="")
+
+    centrifuge = Block("Centrifuge", stereotype="plant", subsystem="process",
+                       criticality=1.0,
+                       documentation="precision variable speed centrifuge")
+    centrifuge.add_property("physical", "particle separation rotor", Fidelity.CONCEPTUAL)
+    centrifuge.add_port("drive", protocol="")
+    centrifuge.add_port("thermal", protocol="")
+
+    for block in (corporate, firewall, workstation, sis, bpcs, sensor, centrifuge):
+        diagram.add_block(block)
+
+    diagram.connect("Corporate Network", "uplink", "Control Firewall", "outside",
+                    protocol="Ethernet/IP")
+    diagram.connect("Control Firewall", "inside", "Programming WS", "lan",
+                    protocol="Ethernet/IP")
+    diagram.connect("Programming WS", "scada", "BPCS Platform", "scada",
+                    protocol="MODBUS")
+    diagram.connect("Programming WS", "lan", "SIS Platform", "lan",
+                    protocol="Ethernet/IP")
+    diagram.connect("BPCS Platform", "lan", "SIS Platform", "lan",
+                    protocol="Ethernet/IP")
+    diagram.connect("BPCS Platform", "drive", "Centrifuge", "drive", medium="analog")
+    diagram.connect("SIS Platform", "trip", "Centrifuge", "drive", medium="analog")
+    diagram.connect("Temperature Sensor", "signal", "BPCS Platform", "lan", medium="analog")
+    diagram.connect("Temperature Sensor", "signal", "SIS Platform", "lan", medium="analog")
+    diagram.connect("Centrifuge", "thermal", "Temperature Sensor", "signal", medium="physical")
+    return diagram
+
+
+def centrifuge_refinement_plan() -> RefinementPlan:
+    """The refinement plan from the logical model to the implementation model.
+
+    Applying this plan to ``build_centrifuge_model(Fidelity.LOGICAL)`` yields
+    the same attribute population as the implementation-fidelity model, which
+    is what the fidelity-sensitivity experiment (E3) sweeps.
+    """
+    plan = RefinementPlan("implementation-choices")
+    plan.add(RefinementStep("Control Firewall", (CISCO_ASA,),
+                            "perimeter device selected: Cisco ASA"))
+    plan.add(RefinementStep("Programming WS", (WINDOWS_7, LABVIEW),
+                            "workstation OS and engineering software selected"))
+    plan.add(RefinementStep("SIS Platform", (CRIO_9063, NI_RT_LINUX),
+                            "safety controller hardware and OS selected"))
+    plan.add(RefinementStep("BPCS Platform", (CRIO_9064, NI_RT_LINUX),
+                            "process controller hardware and OS selected"))
+    return plan
+
+
+def hardened_workstation_variant(graph: SystemGraph) -> SystemGraph:
+    """The what-if variant of experiment E4: replace the Windows 7 workstation.
+
+    The programming workstation's ``Windows 7`` attribute is swapped for a
+    hardened thin-client terminal (functionally equivalent for operators, far
+    smaller attack-vector population), the comparison the paper's dashboard
+    what-if loop is meant to support.
+    """
+    variant = swap_attribute(
+        graph,
+        "Programming WS",
+        "Windows 7",
+        Attribute(
+            "hardened thin client",
+            kind=AttributeKind.OPERATING_SYSTEM,
+            fidelity=Fidelity.IMPLEMENTATION,
+            description="locked-down thin client terminal with kiosk interface",
+        ),
+    )
+    variant.name = f"{graph.name}-hardened-ws"
+    return variant

@@ -1,0 +1,175 @@
+"""A small unmanned-aircraft system (UAS) model.
+
+The authors' earlier work [6, 9] applies the same pipeline to an unmanned
+aerial vehicle; this model provides a second, structurally different case
+study: a ground control station connected over a telemetry radio to a flight
+controller that fuses GPS and inertial measurements and drives the motors.
+
+It is used by the ``examples/uav_assessment.py`` example and by tests that
+check the pipeline is not specialized to the centrifuge model.
+"""
+
+from __future__ import annotations
+
+from repro.graph.attributes import Attribute, AttributeKind, Fidelity
+from repro.graph.model import Component, ComponentKind, Connection, SystemGraph
+
+
+def build_uav_model() -> SystemGraph:
+    """Build the UAV system model at implementation fidelity."""
+    graph = SystemGraph("quadcopter-uas")
+    graph.add_components(
+        [
+            Component(
+                "Ground Control Station",
+                kind=ComponentKind.WORKSTATION,
+                description="operator laptop running mission planning software",
+                attributes=(
+                    Attribute(
+                        "mission planning and telemetry display",
+                        kind=AttributeKind.FUNCTION,
+                        fidelity=Fidelity.CONCEPTUAL,
+                    ),
+                    Attribute(
+                        "Windows 7",
+                        kind=AttributeKind.OPERATING_SYSTEM,
+                        fidelity=Fidelity.IMPLEMENTATION,
+                        description="Microsoft Windows 7 operating system",
+                    ),
+                    Attribute(
+                        "ground control software",
+                        kind=AttributeKind.SOFTWARE,
+                        fidelity=Fidelity.LOGICAL,
+                        description="mission planner ground control application",
+                    ),
+                ),
+                entry_point=True,
+                subsystem="ground segment",
+                criticality=0.7,
+            ),
+            Component(
+                "Telemetry Radio",
+                kind=ComponentKind.NETWORK_DEVICE,
+                description="900 MHz serial telemetry radio link",
+                attributes=(
+                    Attribute(
+                        "wireless telemetry link",
+                        kind=AttributeKind.NETWORK,
+                        fidelity=Fidelity.LOGICAL,
+                        description="unencrypted serial radio broadcasting telemetry and commands",
+                    ),
+                    Attribute(
+                        "MAVLink",
+                        kind=AttributeKind.PROTOCOL,
+                        fidelity=Fidelity.LOGICAL,
+                        description="MAVLink command and telemetry protocol",
+                    ),
+                ),
+                entry_point=True,
+                subsystem="link segment",
+                criticality=0.6,
+            ),
+            Component(
+                "Flight Controller",
+                kind=ComponentKind.CONTROLLER,
+                description="autopilot computing attitude and position control",
+                attributes=(
+                    Attribute(
+                        "flight control and stabilization",
+                        kind=AttributeKind.FUNCTION,
+                        fidelity=Fidelity.CONCEPTUAL,
+                    ),
+                    Attribute(
+                        "embedded real-time controller",
+                        kind=AttributeKind.HARDWARE,
+                        fidelity=Fidelity.LOGICAL,
+                        description="embedded autopilot board with real-time firmware",
+                    ),
+                    Attribute(
+                        "autopilot firmware",
+                        kind=AttributeKind.FIRMWARE,
+                        fidelity=Fidelity.IMPLEMENTATION,
+                        description="open source autopilot firmware with parameter interface",
+                    ),
+                ),
+                subsystem="air segment",
+                criticality=1.0,
+            ),
+            Component(
+                "GPS Receiver",
+                kind=ComponentKind.SENSOR,
+                description="satellite navigation receiver",
+                attributes=(
+                    Attribute(
+                        "position measurement",
+                        kind=AttributeKind.PHYSICAL,
+                        fidelity=Fidelity.CONCEPTUAL,
+                        description="GPS satellite navigation position and velocity measurement",
+                    ),
+                ),
+                subsystem="air segment",
+                criticality=0.8,
+            ),
+            Component(
+                "Inertial Measurement Unit",
+                kind=ComponentKind.SENSOR,
+                description="MEMS accelerometer and gyroscope package",
+                attributes=(
+                    Attribute(
+                        "attitude rate measurement",
+                        kind=AttributeKind.PHYSICAL,
+                        fidelity=Fidelity.CONCEPTUAL,
+                    ),
+                ),
+                subsystem="air segment",
+                criticality=0.9,
+            ),
+            Component(
+                "Motor Controllers",
+                kind=ComponentKind.ACTUATOR,
+                description="electronic speed controllers driving the rotors",
+                attributes=(
+                    Attribute(
+                        "rotor thrust actuation",
+                        kind=AttributeKind.PHYSICAL,
+                        fidelity=Fidelity.CONCEPTUAL,
+                    ),
+                ),
+                subsystem="air segment",
+                criticality=0.9,
+            ),
+            Component(
+                "Airframe",
+                kind=ComponentKind.PLANT,
+                description="quadcopter airframe and rotors",
+                attributes=(
+                    Attribute(
+                        "rigid body flight dynamics",
+                        kind=AttributeKind.PHYSICAL,
+                        fidelity=Fidelity.CONCEPTUAL,
+                    ),
+                ),
+                subsystem="air segment",
+                criticality=1.0,
+            ),
+        ]
+    )
+    graph.connect_all(
+        [
+            Connection("Ground Control Station", "Telemetry Radio", protocol="MAVLink",
+                       medium="serial", description="commands uplinked to the vehicle"),
+            Connection("Telemetry Radio", "Flight Controller", protocol="MAVLink",
+                       medium="serial", description="command and telemetry exchange"),
+            Connection("GPS Receiver", "Flight Controller", protocol="UBX",
+                       medium="serial", description="position and velocity solution"),
+            Connection("Inertial Measurement Unit", "Flight Controller", protocol="SPI",
+                       medium="bus", description="raw inertial measurements"),
+            Connection("Flight Controller", "Motor Controllers", protocol="PWM",
+                       medium="analog", description="commanded motor speeds"),
+            Connection("Motor Controllers", "Airframe", protocol="", medium="physical",
+                       description="rotor thrust applied to the airframe"),
+            Connection("Airframe", "Inertial Measurement Unit", protocol="", medium="physical",
+                       description="vehicle motion sensed by the IMU"),
+        ]
+    )
+    return graph

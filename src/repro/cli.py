@@ -1,0 +1,259 @@
+"""Command-line interface (the CYBOK-CLI stand-in).
+
+The authors ship their search engine as a command-line tool [12]; ``cpsec``
+exposes the reproduction's pipeline the same way::
+
+    cpsec export --output centrifuge.graphml
+    cpsec associate --model centrifuge.graphml --scale 0.1
+    cpsec table1 --scale 1.0
+    cpsec whatif --scale 0.1
+    cpsec simulate --scenario triton-like-sis-bypass
+    cpsec validate --model centrifuge.graphml
+
+All commands are offline and deterministic; ``--scale`` controls the size of
+the synthetic corpus (1.0 reproduces paper-scale populations).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.recommendations import recommend
+from repro.analysis.report import (
+    render_consequences,
+    render_posture_report,
+    render_table,
+    render_table1,
+    render_whatif,
+)
+from repro.analysis.topology import analyze_topology
+from repro.analysis.whatif import WhatIfStudy
+from repro.search.chains import chain_summary, find_exploit_chains
+from repro.attacks.consequence import ConsequenceMapper
+from repro.attacks.scenarios import SCENARIO_LIBRARY
+from repro.casestudies.centrifuge import build_centrifuge_model, hardened_workstation_variant
+from repro.corpus.synthesis import build_corpus
+from repro.cps.scada import ScadaSimulation
+from repro.graph.graphml import read_graphml, write_graphml
+from repro.graph.validation import validate_model
+from repro.search.engine import SearchEngine
+
+
+def _load_model(path: str | None):
+    if path:
+        return read_graphml(path)
+    return build_centrifuge_model()
+
+
+def _engine(scale: float, scorer: str = "coverage") -> SearchEngine:
+    return SearchEngine(build_corpus(scale=scale), scorer=scorer)
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    model = build_centrifuge_model()
+    write_graphml(model, args.output)
+    print(f"wrote {len(model)} components to {args.output}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    model = _load_model(args.model)
+    findings = validate_model(model)
+    if not findings:
+        print("model is clean")
+        return 0
+    for finding in findings:
+        print(finding)
+    return 0
+
+
+def _cmd_associate(args: argparse.Namespace) -> int:
+    model = _load_model(args.model)
+    engine = _engine(args.scale, args.scorer)
+    association = engine.associate(model)
+    print(render_posture_report(association))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    model = _load_model(args.model)
+    engine = _engine(args.scale, args.scorer)
+    association = engine.associate(model)
+    print(render_table1(association))
+    return 0
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    baseline = _load_model(args.model)
+    variant = hardened_workstation_variant(baseline)
+    study = WhatIfStudy(_engine(args.scale, args.scorer))
+    comparison = study.compare(baseline, variant)
+    print(render_whatif(comparison))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.scenario == "nominal":
+        interventions = []
+    else:
+        scenario = SCENARIO_LIBRARY.get(args.scenario)
+        if scenario is None:
+            print(f"unknown scenario {args.scenario!r}; known scenarios:", file=sys.stderr)
+            for name in SCENARIO_LIBRARY:
+                print(f"  {name}", file=sys.stderr)
+            return 2
+        interventions = scenario.interventions()
+    simulation = ScadaSimulation(interventions=interventions)
+    trace = simulation.run(duration_s=args.duration, dt=0.5)
+    report = trace.hazards()
+    print(f"scenario: {args.scenario}")
+    print(f"peak temperature: {trace.max_temperature():.1f} C")
+    print(f"peak speed: {trace.max_speed():.0f} rpm")
+    print(f"SIS tripped: {simulation.sis.tripped} ({simulation.sis.trip_reason})")
+    rows = [
+        (event.kind.value, f"{event.start_time_s:.0f}", f"{event.duration_s:.0f}",
+         f"{event.peak_value:.1f}")
+        for event in report.events
+    ]
+    if rows:
+        print(render_table(("Hazard", "Start [s]", "Duration [s]", "Peak"), rows))
+    else:
+        print("no hazard conditions reached")
+    return 0
+
+
+def _cmd_chains(args: argparse.Namespace) -> int:
+    model = _load_model(args.model)
+    engine = _engine(args.scale, args.scorer)
+    association = engine.associate(model)
+    chains = find_exploit_chains(association, args.target, max_length=args.max_length)
+    if not chains:
+        print(f"no exploit chains reach {args.target!r}")
+        return 1
+    for chain in chains[: args.limit]:
+        print(chain.describe())
+    print(f"summary: {chain_summary(chains)}")
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    model = _load_model(args.model)
+    report = analyze_topology(model)
+    rows = [
+        (
+            component.name,
+            component.degree,
+            f"{component.betweenness:.3f}",
+            "yes" if component.is_articulation_point else "-",
+            "-" if component.exposure_distance is None else component.exposure_distance,
+            component.reachable_components,
+        )
+        for component in report.ranking_by_betweenness()
+    ]
+    print(render_table(
+        ("Component", "Degree", "Betweenness", "Articulation", "Hops from entry", "Reaches"),
+        rows,
+    ))
+    print(f"attack surface: {', '.join(report.attack_surface) or 'none'}")
+    print(f"boundary components: {', '.join(report.boundary_components) or 'none'}")
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    model = _load_model(args.model)
+    corpus = build_corpus(scale=args.scale)
+    engine = SearchEngine(corpus, scorer=args.scorer)
+    association = engine.associate(model)
+    recommendations = recommend(association, corpus, per_component=args.per_component)
+    if not recommendations:
+        print("no recommendations derived from the association")
+        return 1
+    for recommendation in recommendations:
+        print(recommendation.describe())
+        print(f"        what-if to evaluate: {recommendation.whatif_change}")
+    return 0
+
+
+def _cmd_consequences(args: argparse.Namespace) -> int:
+    mapper = ConsequenceMapper(duration_s=args.duration)
+    assessments = mapper.assess(args.record, args.component)
+    if not assessments:
+        print(f"no executable scenario covers {args.record}")
+        return 1
+    print(render_consequences(assessments))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``cpsec`` command."""
+    parser = argparse.ArgumentParser(
+        prog="cpsec",
+        description="Model-based cyber-physical systems security analysis.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    export = subparsers.add_parser("export", help="export the centrifuge model to GraphML")
+    export.add_argument("--output", default="centrifuge.graphml")
+    export.set_defaults(func=_cmd_export)
+
+    validate = subparsers.add_parser("validate", help="validate a system model")
+    validate.add_argument("--model", default=None, help="GraphML model path (default: built-in centrifuge)")
+    validate.set_defaults(func=_cmd_validate)
+
+    def add_search_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--model", default=None, help="GraphML model path (default: built-in centrifuge)")
+        sub.add_argument("--scale", type=float, default=0.1, help="synthetic corpus scale (1.0 = paper scale)")
+        sub.add_argument("--scorer", default="coverage", choices=("coverage", "cosine", "jaccard"))
+
+    associate = subparsers.add_parser("associate", help="associate attack vectors with a model")
+    add_search_options(associate)
+    associate.set_defaults(func=_cmd_associate)
+
+    table1 = subparsers.add_parser("table1", help="reproduce the paper's Table 1")
+    add_search_options(table1)
+    table1.set_defaults(func=_cmd_table1)
+
+    whatif = subparsers.add_parser("whatif", help="compare the baseline and hardened-workstation architectures")
+    add_search_options(whatif)
+    whatif.set_defaults(func=_cmd_whatif)
+
+    chains = subparsers.add_parser("chains", help="enumerate exploit chains to a target component")
+    add_search_options(chains)
+    chains.add_argument("--target", default="BPCS Platform")
+    chains.add_argument("--max-length", type=int, default=6)
+    chains.add_argument("--limit", type=int, default=10)
+    chains.set_defaults(func=_cmd_chains)
+
+    topology = subparsers.add_parser("topology", help="topological security profile of a model")
+    topology.add_argument("--model", default=None, help="GraphML model path (default: built-in centrifuge)")
+    topology.set_defaults(func=_cmd_topology)
+
+    recommend_parser = subparsers.add_parser("recommend", help="derive design-time mitigation recommendations")
+    add_search_options(recommend_parser)
+    recommend_parser.add_argument("--per-component", type=int, default=3)
+    recommend_parser.set_defaults(func=_cmd_recommend)
+
+    simulate = subparsers.add_parser("simulate", help="run the SCADA simulation, optionally under attack")
+    simulate.add_argument("--scenario", default="nominal")
+    simulate.add_argument("--duration", type=float, default=420.0)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    consequences = subparsers.add_parser("consequences", help="map one attack-vector record to physical consequences")
+    consequences.add_argument("--record", default="CWE-78")
+    consequences.add_argument("--component", default="BPCS Platform")
+    consequences.add_argument("--duration", type=float, default=420.0)
+    consequences.set_defaults(func=_cmd_consequences)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``cpsec`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

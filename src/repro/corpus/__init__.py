@@ -1,0 +1,44 @@
+"""Attack-vector corpus substrate.
+
+The paper's security data inputs are "databases containing vulnerability,
+weakness, and attack pattern data, such as the ones published by MITRE" --
+i.e. CVE/NVD, CWE, and CAPEC.  Those feeds are large and network-only, so
+this package provides:
+
+* :mod:`repro.corpus.schema` -- record types for attack patterns (CAPEC),
+  weaknesses (CWE), and vulnerabilities (CVE), with cross-references,
+* :mod:`repro.corpus.cvss` -- a full CVSS v3.1 base-score implementation,
+* :mod:`repro.corpus.store` -- an in-memory corpus with id and platform
+  indexes and cross-reference traversal,
+* :mod:`repro.corpus.seed` -- curated, real, well-known entries (CWE-78,
+  CAPEC-88, platform weaknesses used in the paper's demonstration),
+* :mod:`repro.corpus.synthesis` -- a deterministic synthetic generator that
+  expands the corpus to NVD-like sizes per platform so that the shape of the
+  paper's Table 1 can be reproduced offline.
+"""
+
+from repro.corpus.cvss import CvssVector, cvss_base_score, severity_rating
+from repro.corpus.schema import (
+    AttackPattern,
+    RecordKind,
+    Vulnerability,
+    Weakness,
+)
+from repro.corpus.store import CorpusStore
+from repro.corpus.seed import seed_corpus
+from repro.corpus.synthesis import PlatformProfile, SyntheticCorpusBuilder, build_corpus
+
+__all__ = [
+    "AttackPattern",
+    "Weakness",
+    "Vulnerability",
+    "RecordKind",
+    "CvssVector",
+    "cvss_base_score",
+    "severity_rating",
+    "CorpusStore",
+    "seed_corpus",
+    "PlatformProfile",
+    "SyntheticCorpusBuilder",
+    "build_corpus",
+]

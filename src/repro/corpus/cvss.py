@@ -1,0 +1,163 @@
+"""CVSS v3.1 base-metric scoring.
+
+The paper warns that "a common mistake is to use CVSS as a potential metric
+for risk.  However, CVSS only defines severity of a given vulnerability and
+not risk."  To make that argument reproducible (experiment E8) we need an
+actual CVSS implementation: this module computes the v3.1 base score from a
+vector string per the first.org specification, and maps scores to the
+qualitative severity ratings (None/Low/Medium/High/Critical).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+_AV = {"N": 0.85, "A": 0.62, "L": 0.55, "P": 0.2}
+_AC = {"L": 0.77, "H": 0.44}
+_PR_UNCHANGED = {"N": 0.85, "L": 0.62, "H": 0.27}
+_PR_CHANGED = {"N": 0.85, "L": 0.68, "H": 0.5}
+_UI = {"N": 0.85, "R": 0.62}
+_CIA = {"N": 0.0, "L": 0.22, "H": 0.56}
+
+_METRIC_NAMES = ("AV", "AC", "PR", "UI", "S", "C", "I", "A")
+
+
+@dataclass(frozen=True)
+class CvssVector:
+    """A parsed CVSS v3.1 base vector."""
+
+    attack_vector: str = "N"
+    attack_complexity: str = "L"
+    privileges_required: str = "N"
+    user_interaction: str = "N"
+    scope: str = "U"
+    confidentiality: str = "N"
+    integrity: str = "N"
+    availability: str = "N"
+
+    def __post_init__(self) -> None:
+        checks = (
+            ("attack_vector", self.attack_vector, _AV),
+            ("attack_complexity", self.attack_complexity, _AC),
+            ("privileges_required", self.privileges_required, _PR_UNCHANGED),
+            ("user_interaction", self.user_interaction, _UI),
+            ("confidentiality", self.confidentiality, _CIA),
+            ("integrity", self.integrity, _CIA),
+            ("availability", self.availability, _CIA),
+        )
+        for field_name, value, table in checks:
+            if value not in table:
+                raise ValueError(f"invalid CVSS {field_name} value: {value!r}")
+        if self.scope not in {"U", "C"}:
+            raise ValueError(f"invalid CVSS scope value: {self.scope!r}")
+
+    @classmethod
+    def parse(cls, vector: str) -> "CvssVector":
+        """Parse a ``CVSS:3.1/AV:N/AC:L/...`` vector string."""
+        parts = [p for p in vector.strip().split("/") if p]
+        metrics: dict[str, str] = {}
+        for part in parts:
+            if part.upper().startswith("CVSS:"):
+                continue
+            if ":" not in part:
+                raise ValueError(f"malformed CVSS metric: {part!r}")
+            key, value = part.split(":", 1)
+            metrics[key.upper()] = value.upper()
+        missing = [name for name in _METRIC_NAMES if name not in metrics]
+        if missing:
+            raise ValueError(f"CVSS vector missing metrics: {', '.join(missing)}")
+        return cls(
+            attack_vector=metrics["AV"],
+            attack_complexity=metrics["AC"],
+            privileges_required=metrics["PR"],
+            user_interaction=metrics["UI"],
+            scope=metrics["S"],
+            confidentiality=metrics["C"],
+            integrity=metrics["I"],
+            availability=metrics["A"],
+        )
+
+    def to_string(self) -> str:
+        """Render the canonical vector string."""
+        return (
+            "CVSS:3.1"
+            f"/AV:{self.attack_vector}/AC:{self.attack_complexity}"
+            f"/PR:{self.privileges_required}/UI:{self.user_interaction}"
+            f"/S:{self.scope}/C:{self.confidentiality}"
+            f"/I:{self.integrity}/A:{self.availability}"
+        )
+
+    @property
+    def scope_changed(self) -> bool:
+        """Whether the scope metric is Changed."""
+        return self.scope == "C"
+
+    def base_score(self) -> float:
+        """The CVSS v3.1 base score in [0.0, 10.0]."""
+        return cvss_base_score(self)
+
+    def severity(self) -> str:
+        """The qualitative severity rating of the base score."""
+        return severity_rating(self.base_score())
+
+    @property
+    def network_exploitable(self) -> bool:
+        """Whether the vulnerability is exploitable over a network."""
+        return self.attack_vector in {"N", "A"}
+
+
+def cvss_base_score(vector: CvssVector) -> float:
+    """Compute the CVSS v3.1 base score for a parsed vector.
+
+    Implements the equations of the CVSS v3.1 specification, including the
+    roundup-to-one-decimal behaviour defined there.
+    """
+    iss = 1.0 - (
+        (1.0 - _CIA[vector.confidentiality])
+        * (1.0 - _CIA[vector.integrity])
+        * (1.0 - _CIA[vector.availability])
+    )
+    if vector.scope_changed:
+        impact = 7.52 * (iss - 0.029) - 3.25 * (iss - 0.02) ** 15
+        pr_table = _PR_CHANGED
+    else:
+        impact = 6.42 * iss
+        pr_table = _PR_UNCHANGED
+    exploitability = (
+        8.22
+        * _AV[vector.attack_vector]
+        * _AC[vector.attack_complexity]
+        * pr_table[vector.privileges_required]
+        * _UI[vector.user_interaction]
+    )
+    if impact <= 0:
+        return 0.0
+    if vector.scope_changed:
+        raw = min(1.08 * (impact + exploitability), 10.0)
+    else:
+        raw = min(impact + exploitability, 10.0)
+    return _roundup(raw)
+
+
+def _roundup(value: float) -> float:
+    """CVSS Roundup: smallest number with one decimal >= value."""
+    integer_input = round(value * 100000)
+    if integer_input % 10000 == 0:
+        return integer_input / 100000.0
+    return (math.floor(integer_input / 10000) + 1) / 10.0
+
+
+def severity_rating(score: float) -> str:
+    """Map a base score to the CVSS qualitative severity rating."""
+    if not 0.0 <= score <= 10.0:
+        raise ValueError(f"CVSS score out of range: {score}")
+    if score == 0.0:
+        return "None"
+    if score < 4.0:
+        return "Low"
+    if score < 7.0:
+        return "Medium"
+    if score < 9.0:
+        return "High"
+    return "Critical"

@@ -1,0 +1,204 @@
+"""Record types for attack patterns, weaknesses, and vulnerabilities.
+
+These mirror the structure of the MITRE CAPEC, CWE, and CVE/NVD feeds at the
+level of detail the association pipeline needs:
+
+* each record carries free text (name + description) for text matching,
+* each record carries structured cross-references to the other two datasets
+  ("each of these datasets contains interconnections with one another"),
+* vulnerabilities carry CVSS vectors and CPE-like platform tags.
+
+The paper's point about perspective is encoded here: attack patterns capture
+the *attacker's* perspective, weaknesses and vulnerabilities the *system
+owner's* perspective; all three are needed for a complete security posture.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.corpus.cvss import CvssVector
+
+
+class RecordKind(enum.Enum):
+    """The three classes of attack-vector records."""
+
+    ATTACK_PATTERN = "attack_pattern"
+    WEAKNESS = "weakness"
+    VULNERABILITY = "vulnerability"
+
+
+class Abstraction(enum.Enum):
+    """CAPEC/CWE abstraction level of a record."""
+
+    META = "meta"
+    STANDARD = "standard"
+    DETAILED = "detailed"
+
+
+@dataclass(frozen=True)
+class AttackPattern:
+    """A CAPEC-like attack pattern: the attacker's perspective.
+
+    Parameters
+    ----------
+    identifier:
+        CAPEC id, e.g. ``"CAPEC-88"``.
+    name:
+        Canonical name, e.g. ``"OS Command Injection"``.
+    description:
+        Free text describing the pattern; used for matching.
+    likelihood / severity:
+        Qualitative ratings as published by CAPEC (Low/Medium/High/...).
+    related_weaknesses:
+        CWE ids this pattern exploits.
+    prerequisites:
+        Conditions the target must satisfy.
+    domains:
+        Attack domains (e.g. ``"Software"``, ``"Supply Chain"``, ``"Physical Security"``).
+    """
+
+    identifier: str
+    name: str
+    description: str = ""
+    abstraction: Abstraction = Abstraction.STANDARD
+    likelihood: str = "Medium"
+    severity: str = "Medium"
+    related_weaknesses: tuple[str, ...] = field(default_factory=tuple)
+    prerequisites: tuple[str, ...] = field(default_factory=tuple)
+    domains: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.identifier.startswith("CAPEC-"):
+            raise ValueError(f"attack pattern id must start with 'CAPEC-': {self.identifier!r}")
+
+    @property
+    def kind(self) -> RecordKind:
+        """The record class (always ``ATTACK_PATTERN``)."""
+        return RecordKind.ATTACK_PATTERN
+
+    @property
+    def text(self) -> str:
+        """All matchable text of the record."""
+        parts = [self.name, self.description]
+        parts.extend(self.prerequisites)
+        parts.extend(self.domains)
+        return " ".join(p for p in parts if p)
+
+
+@dataclass(frozen=True)
+class Weakness:
+    """A CWE-like weakness: a class of flaw a system owner can have.
+
+    Parameters
+    ----------
+    identifier:
+        CWE id, e.g. ``"CWE-78"``.
+    name:
+        Canonical name.
+    description:
+        Free text; used for matching.
+    related_attack_patterns:
+        CAPEC ids that exploit this weakness.
+    platforms:
+        Technology/platform classes the weakness applies to (languages,
+        technology classes such as ``"ICS/OT"`` or ``"Web Based"``).
+    consequences:
+        (scope, impact) pairs, e.g. ``("Integrity", "Modify Application Data")``.
+    """
+
+    identifier: str
+    name: str
+    description: str = ""
+    abstraction: Abstraction = Abstraction.STANDARD
+    related_attack_patterns: tuple[str, ...] = field(default_factory=tuple)
+    platforms: tuple[str, ...] = field(default_factory=tuple)
+    consequences: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+    likelihood: str = "Medium"
+
+    def __post_init__(self) -> None:
+        if not self.identifier.startswith("CWE-"):
+            raise ValueError(f"weakness id must start with 'CWE-': {self.identifier!r}")
+
+    @property
+    def kind(self) -> RecordKind:
+        """The record class (always ``WEAKNESS``)."""
+        return RecordKind.WEAKNESS
+
+    @property
+    def text(self) -> str:
+        """All matchable text of the record."""
+        parts = [self.name, self.description]
+        parts.extend(self.platforms)
+        parts.extend(impact for _, impact in self.consequences)
+        return " ".join(p for p in parts if p)
+
+    def impacts_scope(self, scope: str) -> bool:
+        """Whether any consequence affects the given scope (e.g. 'Integrity')."""
+        return any(s.lower() == scope.lower() for s, _ in self.consequences)
+
+
+@dataclass(frozen=True)
+class Vulnerability:
+    """A CVE-like vulnerability: a concrete flaw in a concrete product.
+
+    Parameters
+    ----------
+    identifier:
+        CVE id, e.g. ``"CVE-2018-0101"``.
+    description:
+        Free text as published by NVD; used for matching.
+    cvss:
+        CVSS v3.1 base vector.
+    cwe_ids:
+        Weakness classes the vulnerability instantiates.
+    affected_platforms:
+        CPE-like product tags, e.g. ``"cisco asa"``, ``"microsoft windows_7"``.
+    published_year:
+        Year of publication (drives recency filters).
+    """
+
+    identifier: str
+    description: str = ""
+    cvss: CvssVector = field(default_factory=CvssVector)
+    cwe_ids: tuple[str, ...] = field(default_factory=tuple)
+    affected_platforms: tuple[str, ...] = field(default_factory=tuple)
+    published_year: int = 2019
+
+    def __post_init__(self) -> None:
+        if not self.identifier.startswith("CVE-"):
+            raise ValueError(f"vulnerability id must start with 'CVE-': {self.identifier!r}")
+        if not 1990 <= self.published_year <= 2100:
+            raise ValueError(f"implausible publication year: {self.published_year}")
+
+    @property
+    def kind(self) -> RecordKind:
+        """The record class (always ``VULNERABILITY``)."""
+        return RecordKind.VULNERABILITY
+
+    @property
+    def name(self) -> str:
+        """Vulnerabilities have no canonical name; the CVE id stands in."""
+        return self.identifier
+
+    @property
+    def text(self) -> str:
+        """All matchable text of the record."""
+        parts = [self.description]
+        parts.extend(self.affected_platforms)
+        return " ".join(p for p in parts if p)
+
+    @property
+    def base_score(self) -> float:
+        """The CVSS base score of the vulnerability."""
+        return self.cvss.base_score()
+
+    @property
+    def severity(self) -> str:
+        """The CVSS qualitative severity of the vulnerability."""
+        return self.cvss.severity()
+
+
+#: Union type of the three record classes, for annotations.
+AttackVectorRecord = AttackPattern | Weakness | Vulnerability

@@ -1,0 +1,853 @@
+"""Curated seed corpus of well-known attack patterns, weaknesses, and CVEs.
+
+The entries below are hand-written summaries of real MITRE CAPEC / CWE / NVD
+records that matter for the paper's demonstration (a SCADA-controlled
+particle-separation centrifuge): OS command injection (CWE-78, the weakness
+the paper calls out against the BPCS and SIS platforms), protocol
+manipulation and adversary-in-the-middle over MODBUS, firmware tampering,
+safety-system bypass (the Triton incident referenced by the paper), and the
+platform vulnerabilities behind Table 1 (Cisco ASA, Windows 7, NI Linux
+Real-Time, LabVIEW, cRIO controllers).
+
+The texts are paraphrased, not copied, but keep the vocabulary the search
+engine needs to land the same associations the paper reports.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.cvss import CvssVector
+from repro.corpus.schema import Abstraction, AttackPattern, Vulnerability, Weakness
+from repro.corpus.store import CorpusStore
+
+
+def seed_corpus() -> CorpusStore:
+    """Build the curated seed corpus."""
+    store = CorpusStore()
+    store.add_all(seed_attack_patterns())
+    store.add_all(seed_weaknesses())
+    store.add_all(seed_vulnerabilities())
+    return store
+
+
+def seed_attack_patterns() -> list[AttackPattern]:
+    """The curated CAPEC-like attack patterns."""
+    return [
+        AttackPattern(
+            "CAPEC-88",
+            "OS Command Injection",
+            "An attacker injects operating system commands through an externally "
+            "influenced input that is passed to a command interpreter on the target "
+            "platform, gaining the ability to execute arbitrary commands with the "
+            "privileges of the vulnerable application such as a controller runtime "
+            "or supervisory software.",
+            related_weaknesses=("CWE-78", "CWE-20"),
+            severity="High",
+            likelihood="High",
+            prerequisites=("externally influenced input reaches a command shell",),
+            domains=("Software",),
+        ),
+        AttackPattern(
+            "CAPEC-66",
+            "SQL Injection",
+            "An attacker crafts input containing SQL syntax so that the database "
+            "query built by the application executes attacker-chosen statements, "
+            "exposing or modifying historian and configuration data stores.",
+            related_weaknesses=("CWE-89", "CWE-20"),
+            severity="High",
+            domains=("Software",),
+        ),
+        AttackPattern(
+            "CAPEC-94",
+            "Adversary in the Middle",
+            "An attacker inserts themselves into the communication path between an "
+            "industrial controller and its workstation or sensor, intercepting, "
+            "modifying, or replaying messages on the network such as MODBUS or "
+            "fieldbus traffic without either endpoint noticing.",
+            related_weaknesses=("CWE-300", "CWE-319", "CWE-924"),
+            severity="High",
+            domains=("Communications",),
+        ),
+        AttackPattern(
+            "CAPEC-125",
+            "Flooding",
+            "An attacker consumes the resources of a target network device, "
+            "controller, or service by sending a high volume of traffic, degrading "
+            "or denying the availability of supervisory control communications.",
+            related_weaknesses=("CWE-400", "CWE-770"),
+            severity="Medium",
+            domains=("Communications",),
+        ),
+        AttackPattern(
+            "CAPEC-148",
+            "Content Spoofing",
+            "An attacker modifies data presented to an operator or controller, for "
+            "example spoofed sensor measurements or forged status displays, so that "
+            "decisions are made on falsified process values.",
+            related_weaknesses=("CWE-345", "CWE-346"),
+            severity="Medium",
+            domains=("Software", "Communications"),
+        ),
+        AttackPattern(
+            "CAPEC-137",
+            "Parameter Injection",
+            "An attacker manipulates the parameters or set points exchanged between "
+            "applications, such as a commanded rotor speed or temperature set point, "
+            "so the receiving controller acts on attacker-chosen values.",
+            related_weaknesses=("CWE-20", "CWE-74"),
+            severity="High",
+            domains=("Software",),
+        ),
+        AttackPattern(
+            "CAPEC-176",
+            "Configuration/Environment Manipulation",
+            "An attacker modifies configuration files, calibration constants, or the "
+            "runtime environment of a programmable controller or workstation to "
+            "change its behavior persistently.",
+            related_weaknesses=("CWE-15", "CWE-1188"),
+            severity="High",
+            domains=("Software",),
+        ),
+        AttackPattern(
+            "CAPEC-438",
+            "Modification During Manufacture",
+            "An attacker alters hardware or firmware of a device, such as a compact "
+            "RIO controller module, in the supply chain before it is integrated into "
+            "the deployed system.",
+            related_weaknesses=("CWE-494",),
+            severity="High",
+            likelihood="Low",
+            domains=("Supply Chain", "Hardware"),
+        ),
+        AttackPattern(
+            "CAPEC-439",
+            "Manipulation During Distribution",
+            "An attacker intercepts devices or software updates in transit and "
+            "implants malicious logic before delivery to the industrial site.",
+            related_weaknesses=("CWE-494",),
+            severity="High",
+            likelihood="Low",
+            domains=("Supply Chain",),
+        ),
+        AttackPattern(
+            "CAPEC-441",
+            "Malicious Logic Insertion",
+            "An attacker installs malware or malicious ladder logic onto a control "
+            "platform such as a programmable logic controller or safety system, "
+            "changing its commanded behavior while reporting normal status.",
+            related_weaknesses=("CWE-506",),
+            severity="Very High",
+            domains=("Software", "Hardware"),
+        ),
+        AttackPattern(
+            "CAPEC-163",
+            "Spear Phishing",
+            "An attacker sends a targeted message to engineering or operations staff "
+            "to obtain credentials or execute malicious code on an engineering "
+            "workstation connected to the control network.",
+            related_weaknesses=("CWE-1204", "CWE-522"),
+            severity="High",
+            likelihood="High",
+            domains=("Social Engineering",),
+        ),
+        AttackPattern(
+            "CAPEC-112",
+            "Brute Force",
+            "An attacker systematically guesses passwords or keys protecting remote "
+            "access services, maintenance interfaces, or VPN endpoints of the "
+            "control network perimeter.",
+            related_weaknesses=("CWE-521", "CWE-307"),
+            severity="Medium",
+            domains=("Software",),
+        ),
+        AttackPattern(
+            "CAPEC-114",
+            "Authentication Abuse",
+            "An attacker exploits weak or missing authentication on an engineering "
+            "protocol or web management interface to issue privileged commands to a "
+            "controller or firewall.",
+            related_weaknesses=("CWE-287", "CWE-306"),
+            severity="High",
+            domains=("Software",),
+        ),
+        AttackPattern(
+            "CAPEC-554",
+            "Functionality Bypass",
+            "An attacker bypasses a protection mechanism such as a safety interlock, "
+            "alarm, or safety instrumented function so that hazardous commands are "
+            "not blocked or reported.",
+            related_weaknesses=("CWE-693",),
+            severity="Very High",
+            domains=("Software",),
+        ),
+        AttackPattern(
+            "CAPEC-607",
+            "Obstruction",
+            "An attacker blocks, jams, or delays legitimate communication between "
+            "sensors, controllers, and actuators so the control loop operates on "
+            "stale process data.",
+            related_weaknesses=("CWE-400",),
+            severity="Medium",
+            domains=("Communications", "Physical Security"),
+        ),
+        AttackPattern(
+            "CAPEC-390",
+            "Bypassing Physical Security",
+            "An attacker gains physical access to cabinets, field wiring, or local "
+            "maintenance ports, enabling direct manipulation of devices that are "
+            "otherwise isolated from the network.",
+            related_weaknesses=("CWE-1263",),
+            severity="High",
+            likelihood="Low",
+            domains=("Physical Security",),
+        ),
+        AttackPattern(
+            "CAPEC-169",
+            "Footprinting",
+            "An attacker enumerates hosts, services, and protocols of the corporate "
+            "and control networks to map the system architecture before an attack.",
+            related_weaknesses=("CWE-200",),
+            severity="Low",
+            likelihood="High",
+            domains=("Software", "Communications"),
+        ),
+        AttackPattern(
+            "CAPEC-586",
+            "Object Injection",
+            "An attacker supplies serialized objects or project files that are "
+            "deserialized by engineering software, executing attacker logic when "
+            "the project is opened.",
+            related_weaknesses=("CWE-502",),
+            severity="High",
+            domains=("Software",),
+        ),
+        AttackPattern(
+            "CAPEC-60",
+            "Reusing Session IDs (Replay)",
+            "An attacker captures valid protocol exchanges such as write commands to "
+            "a controller register and replays them later to repeat the commanded "
+            "action without authorization.",
+            related_weaknesses=("CWE-294", "CWE-345"),
+            severity="High",
+            domains=("Communications",),
+        ),
+        AttackPattern(
+            "CAPEC-97",
+            "Cryptanalysis",
+            "An attacker defeats weak or misconfigured encryption protecting remote "
+            "access or firmware images, recovering credentials or signing keys.",
+            related_weaknesses=("CWE-327", "CWE-311"),
+            severity="Medium",
+            likelihood="Low",
+            domains=("Software",),
+        ),
+        AttackPattern(
+            "CAPEC-700",
+            "Network Boundary Bridging",
+            "An attacker who controls a boundary device such as a firewall or data "
+            "diode re-routes or tunnels traffic across network segments, joining the "
+            "corporate network to the isolated control network.",
+            related_weaknesses=("CWE-923",),
+            severity="Very High",
+            likelihood="Low",
+            domains=("Communications",),
+        ),
+        AttackPattern(
+            "CAPEC-180",
+            "Exploiting Incorrectly Configured Access Control",
+            "An attacker leverages permissive firewall rules or access control lists "
+            "to reach services on the control network that should be unreachable "
+            "from the corporate side.",
+            related_weaknesses=("CWE-732", "CWE-284"),
+            severity="High",
+            domains=("Software",),
+        ),
+        AttackPattern(
+            "CAPEC-184",
+            "Software Integrity Attack",
+            "An attacker delivers modified firmware or application updates to a "
+            "device that does not verify integrity or authenticity of downloaded "
+            "code before installation.",
+            related_weaknesses=("CWE-494", "CWE-354"),
+            severity="High",
+            domains=("Software", "Supply Chain"),
+        ),
+        AttackPattern(
+            "CAPEC-624",
+            "Hardware Fault Injection",
+            "An attacker induces faults through voltage, clock, or electromagnetic "
+            "disturbance to corrupt computation in embedded controllers.",
+            related_weaknesses=("CWE-1247",),
+            severity="Medium",
+            likelihood="Low",
+            domains=("Hardware", "Physical Security"),
+        ),
+        AttackPattern(
+            "CAPEC-21",
+            "Exploitation of Trusted Identifiers",
+            "An attacker forges or reuses trusted identifiers such as device "
+            "addresses or unit identifiers on an industrial protocol to issue "
+            "commands that appear to come from a legitimate master.",
+            related_weaknesses=("CWE-290", "CWE-346"),
+            severity="High",
+            domains=("Communications",),
+        ),
+    ]
+
+
+def seed_weaknesses() -> list[Weakness]:
+    """The curated CWE-like weaknesses."""
+    return [
+        Weakness(
+            "CWE-78",
+            "Improper Neutralization of Special Elements used in an OS Command "
+            "('OS Command Injection')",
+            "The software constructs all or part of an operating system command "
+            "using externally influenced input from an upstream component, allowing "
+            "an attacker to inject commands that the platform executes. On a control "
+            "platform this may disrupt or manipulate supervisory operation.",
+            related_attack_patterns=("CAPEC-88",),
+            platforms=("Linux", "Windows", "embedded controller", "ICS/OT"),
+            consequences=(
+                ("Integrity", "Execute Unauthorized Code or Commands"),
+                ("Availability", "DoS: Crash, Exit, or Restart"),
+            ),
+            likelihood="High",
+        ),
+        Weakness(
+            "CWE-20",
+            "Improper Input Validation",
+            "The product receives input but does not validate that it has the "
+            "properties required to process it safely, enabling injection, "
+            "overflow, and logic manipulation through crafted messages or set "
+            "points.",
+            related_attack_patterns=("CAPEC-137", "CAPEC-88"),
+            platforms=("Language-Independent", "ICS/OT"),
+            consequences=(("Integrity", "Unexpected State"),),
+            likelihood="High",
+        ),
+        Weakness(
+            "CWE-79",
+            "Improper Neutralization of Input During Web Page Generation "
+            "('Cross-site Scripting')",
+            "The web interface of the product does not neutralize user-controllable "
+            "input before it is placed in output used by other users, such as the "
+            "management console of a firewall or HMI web server.",
+            related_attack_patterns=("CAPEC-63",),
+            platforms=("Web Based",),
+            consequences=(("Confidentiality", "Read Application Data"),),
+        ),
+        Weakness(
+            "CWE-89",
+            "Improper Neutralization of Special Elements used in an SQL Command "
+            "('SQL Injection')",
+            "The product builds SQL statements from externally influenced input, "
+            "allowing attackers to read or modify historian and configuration "
+            "databases.",
+            related_attack_patterns=("CAPEC-66",),
+            platforms=("Database Server",),
+            consequences=(("Confidentiality", "Read Application Data"),),
+        ),
+        Weakness(
+            "CWE-119",
+            "Improper Restriction of Operations within the Bounds of a Memory Buffer",
+            "The software performs operations on a memory buffer but can read from "
+            "or write to locations outside the intended boundary, a classic flaw in "
+            "network stacks and protocol parsers of operating systems and firmware.",
+            related_attack_patterns=("CAPEC-100",),
+            platforms=("C", "C++", "firmware", "operating system"),
+            consequences=(("Availability", "DoS: Crash"), ("Integrity", "Execute Unauthorized Code or Commands")),
+            likelihood="High",
+        ),
+        Weakness(
+            "CWE-287",
+            "Improper Authentication",
+            "The product does not prove or insufficiently proves that the claimed "
+            "identity of an actor is correct, so remote services and engineering "
+            "interfaces accept commands from unauthenticated peers.",
+            related_attack_patterns=("CAPEC-114", "CAPEC-112"),
+            platforms=("Language-Independent", "ICS/OT"),
+            consequences=(("Access Control", "Gain Privileges or Assume Identity"),),
+            likelihood="High",
+        ),
+        Weakness(
+            "CWE-306",
+            "Missing Authentication for Critical Function",
+            "The software does not authenticate functions that require a provable "
+            "user identity, such as writing registers, changing set points, or "
+            "updating firmware over an industrial protocol like MODBUS.",
+            related_attack_patterns=("CAPEC-114", "CAPEC-21"),
+            platforms=("ICS/OT", "embedded controller"),
+            consequences=(("Integrity", "Modify Application Data"),),
+            likelihood="High",
+        ),
+        Weakness(
+            "CWE-311",
+            "Missing Encryption of Sensitive Data",
+            "The software does not encrypt sensitive or safety-relevant information "
+            "before transmission or storage, exposing credentials and process data "
+            "to interception.",
+            related_attack_patterns=("CAPEC-94", "CAPEC-97"),
+            platforms=("Language-Independent",),
+            consequences=(("Confidentiality", "Read Application Data"),),
+        ),
+        Weakness(
+            "CWE-319",
+            "Cleartext Transmission of Sensitive Information",
+            "The software transmits sensitive data such as credentials, commands, or "
+            "measurements in cleartext over a channel that can be sniffed, which is "
+            "typical of legacy fieldbus and supervisory protocols.",
+            related_attack_patterns=("CAPEC-94",),
+            platforms=("ICS/OT", "network protocol"),
+            consequences=(("Confidentiality", "Read Application Data"),),
+            likelihood="High",
+        ),
+        Weakness(
+            "CWE-345",
+            "Insufficient Verification of Data Authenticity",
+            "The software does not sufficiently verify the origin or authenticity of "
+            "data, accepting spoofed sensor readings, replayed commands, or forged "
+            "status messages as genuine.",
+            related_attack_patterns=("CAPEC-148", "CAPEC-60"),
+            platforms=("ICS/OT",),
+            consequences=(("Integrity", "Modify Application Data"),),
+            likelihood="High",
+        ),
+        Weakness(
+            "CWE-346",
+            "Origin Validation Error",
+            "The software does not properly verify that the source of data or "
+            "communication is who it claims, letting any node on the control "
+            "network act as the legitimate master or historian.",
+            related_attack_patterns=("CAPEC-21", "CAPEC-148"),
+            platforms=("network protocol",),
+            consequences=(("Access Control", "Gain Privileges or Assume Identity"),),
+        ),
+        Weakness(
+            "CWE-400",
+            "Uncontrolled Resource Consumption",
+            "The software does not limit the resources consumed on behalf of a "
+            "requester, so floods of traffic or requests exhaust the controller or "
+            "network device and deny supervisory control.",
+            related_attack_patterns=("CAPEC-125", "CAPEC-607"),
+            platforms=("Language-Independent",),
+            consequences=(("Availability", "DoS: Resource Consumption"),),
+        ),
+        Weakness(
+            "CWE-494",
+            "Download of Code Without Integrity Check",
+            "The product downloads source code, firmware, or an executable and "
+            "installs it without sufficiently verifying its origin and integrity, "
+            "enabling malicious firmware or logic to be deployed to controllers.",
+            related_attack_patterns=("CAPEC-184", "CAPEC-438"),
+            platforms=("embedded controller", "firmware"),
+            consequences=(("Integrity", "Execute Unauthorized Code or Commands"),),
+        ),
+        Weakness(
+            "CWE-502",
+            "Deserialization of Untrusted Data",
+            "The application deserializes untrusted project files or messages "
+            "without verifying the resulting object graph, as found in engineering "
+            "and visualization software.",
+            related_attack_patterns=("CAPEC-586",),
+            platforms=("Java", ".NET", "engineering software"),
+            consequences=(("Integrity", "Execute Unauthorized Code or Commands"),),
+        ),
+        Weakness(
+            "CWE-522",
+            "Insufficiently Protected Credentials",
+            "The product stores or transmits authentication credentials using a "
+            "method that allows recovery, such as plaintext project files or weakly "
+            "hashed passwords on workstations.",
+            related_attack_patterns=("CAPEC-163",),
+            platforms=("Language-Independent",),
+            consequences=(("Access Control", "Gain Privileges or Assume Identity"),),
+        ),
+        Weakness(
+            "CWE-798",
+            "Use of Hard-coded Credentials",
+            "The software contains hard-coded credentials such as default passwords "
+            "or embedded service accounts, common in controllers, network devices, "
+            "and maintenance interfaces.",
+            related_attack_patterns=("CAPEC-70",),
+            platforms=("embedded controller", "network device"),
+            consequences=(("Access Control", "Gain Privileges or Assume Identity"),),
+            likelihood="High",
+        ),
+        Weakness(
+            "CWE-693",
+            "Protection Mechanism Failure",
+            "The product does not use, or incorrectly uses, a protection mechanism "
+            "such as a safety interlock, alarm, or safety instrumented function, so "
+            "attacks that should be stopped proceed to hazardous outcomes.",
+            related_attack_patterns=("CAPEC-554",),
+            platforms=("ICS/OT", "safety system"),
+            consequences=(("Other", "Bypass Protection Mechanism"),),
+        ),
+        Weakness(
+            "CWE-354",
+            "Improper Validation of Integrity Check Value",
+            "The software does not validate or incorrectly validates the integrity "
+            "check values of messages or firmware images, so modified data is "
+            "accepted as authentic.",
+            related_attack_patterns=("CAPEC-184",),
+            platforms=("network protocol", "firmware"),
+            consequences=(("Integrity", "Modify Application Data"),),
+        ),
+        Weakness(
+            "CWE-924",
+            "Improper Enforcement of Message Integrity During Transmission in a "
+            "Communication Channel",
+            "The software establishes a communication channel but does not ensure "
+            "that messages cannot be modified in transit, which allows adversary in "
+            "the middle manipulation of commands and measurements.",
+            related_attack_patterns=("CAPEC-94",),
+            platforms=("network protocol", "ICS/OT"),
+            consequences=(("Integrity", "Modify Application Data"),),
+        ),
+        Weakness(
+            "CWE-300",
+            "Channel Accessible by Non-Endpoint",
+            "The product does not adequately verify the identity of endpoints, so "
+            "an actor on the communication path can interpose between controller and "
+            "workstation.",
+            related_attack_patterns=("CAPEC-94",),
+            platforms=("network protocol",),
+            consequences=(("Confidentiality", "Read Application Data"),),
+        ),
+        Weakness(
+            "CWE-732",
+            "Incorrect Permission Assignment for Critical Resource",
+            "The product assigns permissions to a critical resource such as firewall "
+            "rules, shared folders, or controller projects in a way that allows "
+            "unintended actors to read or modify it.",
+            related_attack_patterns=("CAPEC-180",),
+            platforms=("Language-Independent",),
+            consequences=(("Access Control", "Gain Privileges or Assume Identity"),),
+        ),
+        Weakness(
+            "CWE-284",
+            "Improper Access Control",
+            "The software does not restrict or incorrectly restricts access to a "
+            "resource from an unauthorized actor, such as permissive rules on a "
+            "control firewall separating corporate and control networks.",
+            related_attack_patterns=("CAPEC-180", "CAPEC-700"),
+            platforms=("Language-Independent",),
+            consequences=(("Access Control", "Bypass Protection Mechanism"),),
+        ),
+        Weakness(
+            "CWE-1188",
+            "Insecure Default Initialization of Resource",
+            "The software initializes a resource with insecure defaults, such as "
+            "open services, default accounts, or disabled security features on "
+            "controllers and network equipment.",
+            related_attack_patterns=("CAPEC-176",),
+            platforms=("embedded controller", "network device"),
+            consequences=(("Access Control", "Gain Privileges or Assume Identity"),),
+        ),
+        Weakness(
+            "CWE-506",
+            "Embedded Malicious Code",
+            "The application or firmware contains code that appears benign but "
+            "performs malicious actions, such as malware implanted on a safety "
+            "controller or engineering workstation.",
+            related_attack_patterns=("CAPEC-441",),
+            platforms=("Language-Independent",),
+            consequences=(("Integrity", "Execute Unauthorized Code or Commands"),),
+        ),
+        Weakness(
+            "CWE-200",
+            "Exposure of Sensitive Information to an Unauthorized Actor",
+            "The product exposes information about the system, its configuration, "
+            "or its network to actors who should not receive it, enabling "
+            "footprinting of the control architecture.",
+            related_attack_patterns=("CAPEC-169",),
+            platforms=("Language-Independent",),
+            consequences=(("Confidentiality", "Read Application Data"),),
+        ),
+        Weakness(
+            "CWE-307",
+            "Improper Restriction of Excessive Authentication Attempts",
+            "The software does not limit the number of failed authentication "
+            "attempts, enabling brute-force guessing of operator or VPN passwords.",
+            related_attack_patterns=("CAPEC-112",),
+            platforms=("Language-Independent",),
+            consequences=(("Access Control", "Gain Privileges or Assume Identity"),),
+        ),
+        Weakness(
+            "CWE-521",
+            "Weak Password Requirements",
+            "The product does not require strong passwords, making credential "
+            "guessing against remote maintenance and management interfaces easier.",
+            related_attack_patterns=("CAPEC-112",),
+            platforms=("Language-Independent",),
+            consequences=(("Access Control", "Gain Privileges or Assume Identity"),),
+        ),
+        Weakness(
+            "CWE-327",
+            "Use of a Broken or Risky Cryptographic Algorithm",
+            "The product uses a broken or weak cryptographic algorithm to protect "
+            "communications or stored secrets, such as legacy VPN and remote access "
+            "configurations on perimeter firewalls.",
+            related_attack_patterns=("CAPEC-97",),
+            platforms=("Language-Independent",),
+            consequences=(("Confidentiality", "Read Application Data"),),
+        ),
+        Weakness(
+            "CWE-416",
+            "Use After Free",
+            "The product reuses memory after it has been freed, which can corrupt "
+            "state or allow code execution in operating system kernels, browsers, "
+            "and protocol stacks.",
+            related_attack_patterns=("CAPEC-100",),
+            platforms=("C", "C++", "operating system"),
+            consequences=(("Integrity", "Execute Unauthorized Code or Commands"),),
+        ),
+        Weakness(
+            "CWE-787",
+            "Out-of-bounds Write",
+            "The software writes data past the end or before the beginning of the "
+            "intended buffer, a dominant memory-safety flaw in operating systems, "
+            "network services, and firmware images.",
+            related_attack_patterns=("CAPEC-100",),
+            platforms=("C", "C++", "operating system", "firmware"),
+            consequences=(("Integrity", "Execute Unauthorized Code or Commands"),),
+            likelihood="High",
+        ),
+        Weakness(
+            "CWE-290",
+            "Authentication Bypass by Spoofing",
+            "The software is vulnerable to authentication bypass through spoofing of "
+            "addresses, identifiers, or certificates that it trusts implicitly.",
+            related_attack_patterns=("CAPEC-21",),
+            platforms=("network protocol",),
+            consequences=(("Access Control", "Gain Privileges or Assume Identity"),),
+        ),
+        Weakness(
+            "CWE-1247",
+            "Improper Protection Against Voltage and Clock Glitches",
+            "The hardware does not implement or incorrectly implements protections "
+            "against fault injection through voltage or clock manipulation.",
+            related_attack_patterns=("CAPEC-624",),
+            platforms=("hardware",),
+            consequences=(("Integrity", "Unexpected State"),),
+        ),
+        Weakness(
+            "CWE-1263",
+            "Improper Physical Access Control",
+            "The product does not restrict physical access to ports, cabinets, or "
+            "field wiring, allowing direct local manipulation of devices.",
+            related_attack_patterns=("CAPEC-390",),
+            platforms=("hardware",),
+            consequences=(("Access Control", "Bypass Protection Mechanism"),),
+        ),
+        Weakness(
+            "CWE-770",
+            "Allocation of Resources Without Limits or Throttling",
+            "The software allocates reusable resources without limits, enabling "
+            "exhaustion of sessions, sockets, or memory by a remote requester.",
+            related_attack_patterns=("CAPEC-125",),
+            platforms=("Language-Independent",),
+            consequences=(("Availability", "DoS: Resource Consumption"),),
+        ),
+        Weakness(
+            "CWE-294",
+            "Authentication Bypass by Capture-replay",
+            "The protocol permits a captured exchange to be replayed later to "
+            "repeat an authenticated action, such as a register write or mode "
+            "change on an industrial controller.",
+            related_attack_patterns=("CAPEC-60",),
+            platforms=("network protocol", "ICS/OT"),
+            consequences=(("Access Control", "Gain Privileges or Assume Identity"),),
+        ),
+        Weakness(
+            "CWE-923",
+            "Improper Restriction of Communication Channel to Intended Endpoints",
+            "The product establishes a channel without ensuring only the intended "
+            "endpoints can use it, enabling bridging between network segments that "
+            "should remain isolated.",
+            related_attack_patterns=("CAPEC-700",),
+            platforms=("network protocol",),
+            consequences=(("Access Control", "Bypass Protection Mechanism"),),
+        ),
+        Weakness(
+            "CWE-1204",
+            "Generation of Weak Initialization Vector",
+            "The product uses a weak or predictable initialization vector, lowering "
+            "the protection of encrypted sessions used for remote access.",
+            related_attack_patterns=("CAPEC-97",),
+            platforms=("Language-Independent",),
+            consequences=(("Confidentiality", "Read Application Data"),),
+        ),
+    ]
+
+
+def seed_vulnerabilities() -> list[Vulnerability]:
+    """The curated CVE-like vulnerabilities for the demonstration platforms."""
+    return [
+        Vulnerability(
+            "CVE-2018-0101",
+            "A vulnerability in the Secure Sockets Layer VPN functionality of Cisco "
+            "Adaptive Security Appliance (Cisco ASA) software could allow an "
+            "unauthenticated remote attacker to cause a reload of the affected "
+            "device or remotely execute code.",
+            cvss=CvssVector.parse("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H"),
+            cwe_ids=("CWE-416",),
+            affected_platforms=("cisco asa",),
+            published_year=2018,
+        ),
+        Vulnerability(
+            "CVE-2020-3452",
+            "A vulnerability in the web services interface of Cisco Adaptive "
+            "Security Appliance (ASA) software could allow an unauthenticated "
+            "remote attacker to conduct directory traversal attacks and read "
+            "sensitive files on the targeted firewall.",
+            cvss=CvssVector.parse("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N"),
+            cwe_ids=("CWE-20",),
+            affected_platforms=("cisco asa",),
+            published_year=2020,
+        ),
+        Vulnerability(
+            "CVE-2016-6366",
+            "Buffer overflow in Cisco Adaptive Security Appliance (ASA) software "
+            "SNMP implementation allows remote authenticated attackers to execute "
+            "arbitrary code via crafted SNMP packets (EXTRABACON).",
+            cvss=CvssVector.parse("CVSS:3.1/AV:A/AC:H/PR:L/UI:N/S:U/C:H/I:H/A:H"),
+            cwe_ids=("CWE-119",),
+            affected_platforms=("cisco asa",),
+            published_year=2016,
+        ),
+        Vulnerability(
+            "CVE-2017-0144",
+            "The SMBv1 server in Microsoft Windows 7 SP1 and other Windows versions "
+            "allows remote attackers to execute arbitrary code via crafted packets, "
+            "as exploited by the EternalBlue exploit and the WannaCry malware.",
+            cvss=CvssVector.parse("CVSS:3.1/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H"),
+            cwe_ids=("CWE-787",),
+            affected_platforms=("microsoft windows 7",),
+            published_year=2017,
+        ),
+        Vulnerability(
+            "CVE-2019-0708",
+            "A remote code execution vulnerability exists in Remote Desktop Services "
+            "on Microsoft Windows 7 when an unauthenticated attacker connects using "
+            "RDP and sends specially crafted requests (BlueKeep).",
+            cvss=CvssVector.parse("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"),
+            cwe_ids=("CWE-416",),
+            affected_platforms=("microsoft windows 7",),
+            published_year=2019,
+        ),
+        Vulnerability(
+            "CVE-2017-8464",
+            "Windows Shell in Microsoft Windows 7 allows local users or remote "
+            "attackers to execute arbitrary code via a crafted .LNK file placed on "
+            "removable media, a technique associated with industrial intrusions.",
+            cvss=CvssVector.parse("CVSS:3.1/AV:L/AC:L/PR:N/UI:R/S:U/C:H/I:H/A:H"),
+            cwe_ids=("CWE-20",),
+            affected_platforms=("microsoft windows 7",),
+            published_year=2017,
+        ),
+        Vulnerability(
+            "CVE-2017-2779",
+            "A memory corruption vulnerability exists in the project file parser of "
+            "National Instruments LabVIEW; opening a specially crafted VI file can "
+            "result in attacker-controlled code execution on the workstation.",
+            cvss=CvssVector.parse("CVSS:3.1/AV:L/AC:L/PR:N/UI:R/S:U/C:H/I:H/A:H"),
+            cwe_ids=("CWE-787",),
+            affected_platforms=("ni labview",),
+            published_year=2017,
+        ),
+        Vulnerability(
+            "CVE-2022-42718",
+            "An incorrect default permissions vulnerability in National Instruments "
+            "LabVIEW system services allows a local authenticated user to escalate "
+            "privileges on the programming workstation.",
+            cvss=CvssVector.parse("CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H"),
+            cwe_ids=("CWE-732",),
+            affected_platforms=("ni labview",),
+            published_year=2022,
+        ),
+        Vulnerability(
+            "CVE-2019-11477",
+            "An integer overflow in the Linux kernel TCP selective acknowledgement "
+            "handling (SACK Panic) allows a remote attacker to crash systems running "
+            "the Linux kernel, including NI Linux Real-Time based controllers.",
+            cvss=CvssVector.parse("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H"),
+            cwe_ids=("CWE-400",),
+            affected_platforms=("ni linux real-time", "linux kernel"),
+            published_year=2019,
+        ),
+        Vulnerability(
+            "CVE-2016-5195",
+            "A race condition in the memory subsystem of the Linux kernel (Dirty "
+            "COW) allows local users to gain write access to read-only memory and "
+            "escalate privileges on Linux and NI Linux Real-Time systems.",
+            cvss=CvssVector.parse("CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H"),
+            cwe_ids=("CWE-416",),
+            affected_platforms=("ni linux real-time", "linux kernel"),
+            published_year=2016,
+        ),
+        Vulnerability(
+            "CVE-2020-25176",
+            "The firmware of National Instruments CompactRIO controllers (including "
+            "cRIO-9063 and cRIO-9064) exposes a service that allows remote "
+            "unauthenticated users to reboot the device or modify startup settings, "
+            "disrupting the control application.",
+            cvss=CvssVector.parse("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:H/A:H"),
+            cwe_ids=("CWE-306",),
+            affected_platforms=("ni crio-9063", "ni crio-9064"),
+            published_year=2020,
+        ),
+        Vulnerability(
+            "CVE-2018-7522",
+            "A vulnerability in the safety controller firmware of a widely deployed "
+            "safety instrumented system allows specially crafted network messages to "
+            "place the safety processor in a state where malicious logic can be "
+            "downloaded, as leveraged by the TRITON/TRISIS malware.",
+            cvss=CvssVector.parse("CVSS:3.1/AV:N/AC:H/PR:N/UI:N/S:C/C:H/I:H/A:H"),
+            cwe_ids=("CWE-306", "CWE-494"),
+            affected_platforms=("safety instrumented system",),
+            published_year=2018,
+        ),
+        Vulnerability(
+            "CVE-2015-5374",
+            "A vulnerability in the EN100 Ethernet module of a protection relay "
+            "allows remote attackers to cause a denial of service (defect mode) via "
+            "crafted packets to UDP port 50000, halting supervisory communication.",
+            cvss=CvssVector.parse("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H"),
+            cwe_ids=("CWE-400",),
+            affected_platforms=("protection relay",),
+            published_year=2015,
+        ),
+        Vulnerability(
+            "CVE-2019-6572",
+            "Unauthenticated access to the MODBUS TCP interface of an industrial "
+            "controller allows remote attackers to write coils and holding registers "
+            "and thereby change commanded set points of the physical process.",
+            cvss=CvssVector.parse("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:H/A:H"),
+            cwe_ids=("CWE-306",),
+            affected_platforms=("modbus controller", "bpcs platform"),
+            published_year=2019,
+        ),
+        Vulnerability(
+            "CVE-2014-0160",
+            "The TLS heartbeat extension implementation in OpenSSL (Heartbleed) "
+            "allows remote attackers to read process memory and recover private "
+            "keys from servers and appliances terminating TLS, including VPN "
+            "concentrators and management interfaces.",
+            cvss=CvssVector.parse("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N"),
+            cwe_ids=("CWE-119",),
+            affected_platforms=("openssl", "network appliance"),
+            published_year=2014,
+        ),
+        Vulnerability(
+            "CVE-2010-2772",
+            "The WinCC Runtime and Step 7 software used with a family of PLCs "
+            "contains a hard-coded database password, which was leveraged by the "
+            "Stuxnet malware to access the project database on engineering "
+            "workstations.",
+            cvss=CvssVector.parse("CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:N"),
+            cwe_ids=("CWE-798",),
+            affected_platforms=("engineering workstation", "scada software"),
+            published_year=2010,
+        ),
+    ]

@@ -1,0 +1,292 @@
+"""In-memory attack-vector corpus with indexes and cross-reference traversal.
+
+The store plays the role of the MITRE feeds in the authors' pipeline: it holds
+attack patterns, weaknesses, and vulnerabilities, lets the search engine
+enumerate them per class, and exposes the cross-references that connect the
+attacker's perspective (CAPEC) with the system owner's perspective (CWE, CVE).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.corpus.cvss import CvssVector
+from repro.corpus.schema import (
+    Abstraction,
+    AttackPattern,
+    AttackVectorRecord,
+    RecordKind,
+    Vulnerability,
+    Weakness,
+)
+
+
+class CorpusStore:
+    """Container for the three attack-vector datasets."""
+
+    def __init__(self) -> None:
+        self._attack_patterns: dict[str, AttackPattern] = {}
+        self._weaknesses: dict[str, Weakness] = {}
+        self._vulnerabilities: dict[str, Vulnerability] = {}
+        self._platform_index: dict[str, set[str]] = {}
+
+    # -- ingestion ---------------------------------------------------------
+
+    def add(self, record: AttackVectorRecord) -> AttackVectorRecord:
+        """Add one record of any class; raises on duplicate identifiers."""
+        if isinstance(record, AttackPattern):
+            target: dict = self._attack_patterns
+        elif isinstance(record, Weakness):
+            target = self._weaknesses
+        elif isinstance(record, Vulnerability):
+            target = self._vulnerabilities
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unsupported record type: {type(record)!r}")
+        if record.identifier in target:
+            raise ValueError(f"duplicate record identifier: {record.identifier!r}")
+        target[record.identifier] = record
+        if isinstance(record, Vulnerability):
+            for platform in record.affected_platforms:
+                self._platform_index.setdefault(platform.lower(), set()).add(
+                    record.identifier
+                )
+        return record
+
+    def add_all(self, records: Iterable[AttackVectorRecord]) -> int:
+        """Add many records; returns the number added."""
+        count = 0
+        for record in records:
+            self.add(record)
+            count += 1
+        return count
+
+    def merge(self, other: "CorpusStore") -> "CorpusStore":
+        """Add every record of another store into this one; returns self."""
+        self.add_all(other.all_records())
+        return self
+
+    # -- access ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return (
+            len(self._attack_patterns)
+            + len(self._weaknesses)
+            + len(self._vulnerabilities)
+        )
+
+    def __contains__(self, identifier: str) -> bool:
+        return (
+            identifier in self._attack_patterns
+            or identifier in self._weaknesses
+            or identifier in self._vulnerabilities
+        )
+
+    def get(self, identifier: str) -> AttackVectorRecord:
+        """Return any record by identifier."""
+        for table in (self._attack_patterns, self._weaknesses, self._vulnerabilities):
+            if identifier in table:
+                return table[identifier]
+        raise KeyError(f"unknown record identifier: {identifier!r}")
+
+    @property
+    def attack_patterns(self) -> tuple[AttackPattern, ...]:
+        """All attack patterns, in insertion order."""
+        return tuple(self._attack_patterns.values())
+
+    @property
+    def weaknesses(self) -> tuple[Weakness, ...]:
+        """All weaknesses, in insertion order."""
+        return tuple(self._weaknesses.values())
+
+    @property
+    def vulnerabilities(self) -> tuple[Vulnerability, ...]:
+        """All vulnerabilities, in insertion order."""
+        return tuple(self._vulnerabilities.values())
+
+    def records_of_kind(self, kind: RecordKind) -> tuple[AttackVectorRecord, ...]:
+        """All records of one class."""
+        if kind is RecordKind.ATTACK_PATTERN:
+            return self.attack_patterns
+        if kind is RecordKind.WEAKNESS:
+            return self.weaknesses
+        return self.vulnerabilities
+
+    def all_records(self) -> Iterator[AttackVectorRecord]:
+        """Iterate over every record of every class."""
+        yield from self._attack_patterns.values()
+        yield from self._weaknesses.values()
+        yield from self._vulnerabilities.values()
+
+    def counts(self) -> dict[RecordKind, int]:
+        """Record counts per class."""
+        return {
+            RecordKind.ATTACK_PATTERN: len(self._attack_patterns),
+            RecordKind.WEAKNESS: len(self._weaknesses),
+            RecordKind.VULNERABILITY: len(self._vulnerabilities),
+        }
+
+    # -- cross-references ---------------------------------------------------
+
+    def weaknesses_for_pattern(self, capec_id: str) -> tuple[Weakness, ...]:
+        """Weaknesses referenced by an attack pattern (and present in the store)."""
+        pattern = self._attack_patterns.get(capec_id)
+        if pattern is None:
+            raise KeyError(f"unknown attack pattern: {capec_id!r}")
+        return tuple(
+            self._weaknesses[cwe]
+            for cwe in pattern.related_weaknesses
+            if cwe in self._weaknesses
+        )
+
+    def patterns_for_weakness(self, cwe_id: str) -> tuple[AttackPattern, ...]:
+        """Attack patterns that exploit a weakness."""
+        if cwe_id not in self._weaknesses:
+            raise KeyError(f"unknown weakness: {cwe_id!r}")
+        direct = set(self._weaknesses[cwe_id].related_attack_patterns)
+        related = [
+            pattern
+            for pattern in self._attack_patterns.values()
+            if cwe_id in pattern.related_weaknesses or pattern.identifier in direct
+        ]
+        return tuple(related)
+
+    def vulnerabilities_for_weakness(self, cwe_id: str) -> tuple[Vulnerability, ...]:
+        """Vulnerabilities that instantiate a weakness."""
+        if cwe_id not in self._weaknesses:
+            raise KeyError(f"unknown weakness: {cwe_id!r}")
+        return tuple(
+            vuln
+            for vuln in self._vulnerabilities.values()
+            if cwe_id in vuln.cwe_ids
+        )
+
+    def weaknesses_for_vulnerability(self, cve_id: str) -> tuple[Weakness, ...]:
+        """Weakness classes a vulnerability instantiates (present in the store)."""
+        vuln = self._vulnerabilities.get(cve_id)
+        if vuln is None:
+            raise KeyError(f"unknown vulnerability: {cve_id!r}")
+        return tuple(
+            self._weaknesses[cwe] for cwe in vuln.cwe_ids if cwe in self._weaknesses
+        )
+
+    def vulnerabilities_for_platform(self, platform: str) -> tuple[Vulnerability, ...]:
+        """Vulnerabilities tagged with a CPE-like platform string."""
+        identifiers = self._platform_index.get(platform.lower(), set())
+        return tuple(self._vulnerabilities[i] for i in sorted(identifiers))
+
+    def platforms(self) -> tuple[str, ...]:
+        """All platform tags present in the vulnerability data."""
+        return tuple(sorted(self._platform_index))
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable dictionary of the whole corpus."""
+        return {
+            "attack_patterns": [
+                {
+                    "identifier": p.identifier,
+                    "name": p.name,
+                    "description": p.description,
+                    "abstraction": p.abstraction.value,
+                    "likelihood": p.likelihood,
+                    "severity": p.severity,
+                    "related_weaknesses": list(p.related_weaknesses),
+                    "prerequisites": list(p.prerequisites),
+                    "domains": list(p.domains),
+                }
+                for p in self._attack_patterns.values()
+            ],
+            "weaknesses": [
+                {
+                    "identifier": w.identifier,
+                    "name": w.name,
+                    "description": w.description,
+                    "abstraction": w.abstraction.value,
+                    "related_attack_patterns": list(w.related_attack_patterns),
+                    "platforms": list(w.platforms),
+                    "consequences": [list(c) for c in w.consequences],
+                    "likelihood": w.likelihood,
+                }
+                for w in self._weaknesses.values()
+            ],
+            "vulnerabilities": [
+                {
+                    "identifier": v.identifier,
+                    "description": v.description,
+                    "cvss": v.cvss.to_string(),
+                    "cwe_ids": list(v.cwe_ids),
+                    "affected_platforms": list(v.affected_platforms),
+                    "published_year": v.published_year,
+                }
+                for v in self._vulnerabilities.values()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CorpusStore":
+        """Rebuild a corpus from :meth:`to_dict` output."""
+        store = cls()
+        for item in payload.get("attack_patterns", []):
+            store.add(
+                AttackPattern(
+                    identifier=item["identifier"],
+                    name=item["name"],
+                    description=item.get("description", ""),
+                    abstraction=Abstraction(item.get("abstraction", "standard")),
+                    likelihood=item.get("likelihood", "Medium"),
+                    severity=item.get("severity", "Medium"),
+                    related_weaknesses=tuple(item.get("related_weaknesses", ())),
+                    prerequisites=tuple(item.get("prerequisites", ())),
+                    domains=tuple(item.get("domains", ())),
+                )
+            )
+        for item in payload.get("weaknesses", []):
+            store.add(
+                Weakness(
+                    identifier=item["identifier"],
+                    name=item["name"],
+                    description=item.get("description", ""),
+                    abstraction=Abstraction(item.get("abstraction", "standard")),
+                    related_attack_patterns=tuple(item.get("related_attack_patterns", ())),
+                    platforms=tuple(item.get("platforms", ())),
+                    consequences=tuple(
+                        (pair[0], pair[1]) for pair in item.get("consequences", ())
+                    ),
+                    likelihood=item.get("likelihood", "Medium"),
+                )
+            )
+        for item in payload.get("vulnerabilities", []):
+            store.add(
+                Vulnerability(
+                    identifier=item["identifier"],
+                    description=item.get("description", ""),
+                    cvss=CvssVector.parse(item.get("cvss", "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N")),
+                    cwe_ids=tuple(item.get("cwe_ids", ())),
+                    affected_platforms=tuple(item.get("affected_platforms", ())),
+                    published_year=item.get("published_year", 2019),
+                )
+            )
+        return store
+
+    def save(self, path: str | Path) -> Path:
+        """Write the corpus to a JSON file and return the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict()), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CorpusStore":
+        """Read a corpus from a JSON file."""
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = self.counts()
+        return (
+            "CorpusStore("
+            f"attack_patterns={counts[RecordKind.ATTACK_PATTERN]}, "
+            f"weaknesses={counts[RecordKind.WEAKNESS]}, "
+            f"vulnerabilities={counts[RecordKind.VULNERABILITY]})"
+        )

@@ -1,0 +1,589 @@
+"""Deterministic synthetic expansion of the attack-vector corpus.
+
+The authors run their search engine against the full MITRE feeds: roughly
+500+ CAPEC attack patterns, 900+ CWE weaknesses, and well over one hundred
+thousand NVD vulnerability entries, of which thousands match each platform of
+the demonstration SCADA system (Table 1: 3,776 for Cisco ASA, 9,673 for NI RT
+Linux, 6,627 for Windows 7, ...).
+
+Those feeds are not redistributable here and the environment is offline, so
+this module generates a synthetic corpus with the same *statistical shape*:
+
+* per-platform vulnerability populations sized like the paper's Table 1,
+* weakness and attack-pattern populations sized like CWE/CAPEC, themed so
+  that operating-system attributes match many of them while narrow product
+  attributes (LabVIEW, cRIO) match few -- the property Table 1 exhibits,
+* realistic description text assembled from templates, so the text-matching
+  pipeline is exercised exactly as it would be on the real feeds,
+* full CAPEC <-> CWE <-> CVE cross-references.
+
+Generation is fully deterministic for a given ``seed`` and ``scale`` so tests
+and benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.corpus.cvss import CvssVector
+from repro.corpus.schema import Abstraction, AttackPattern, Vulnerability, Weakness
+from repro.corpus.seed import seed_corpus
+from repro.corpus.store import CorpusStore
+
+# -- platform profiles (Table 1 of the paper) --------------------------------
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """Describes one platform's synthetic vulnerability population.
+
+    Parameters
+    ----------
+    key:
+        Stable identifier used in CVE platform tags.
+    mentions:
+        Phrases inserted into vulnerability descriptions; the first one is
+        the canonical product name.
+    vulnerability_count:
+        Target number of vulnerabilities at ``scale=1.0`` (taken from the
+        paper's Table 1 where applicable).
+    cwe_pool:
+        Weakness classes the platform's vulnerabilities instantiate.
+    subcomponents:
+        Subsystem nouns used in description templates.
+    year_range:
+        Publication years to draw from.
+    """
+
+    key: str
+    mentions: tuple[str, ...]
+    vulnerability_count: int
+    cwe_pool: tuple[str, ...]
+    subcomponents: tuple[str, ...]
+    year_range: tuple[int, int] = (2010, 2020)
+
+
+#: Platform populations sized from the paper's Table 1.  The NI Linux
+#: Real-Time figure is large because the product is Linux-kernel based and the
+#: authors' search matches generic Linux kernel CVEs; we reproduce that by
+#: making the population mention the Linux kernel.
+TABLE1_PROFILES: tuple[PlatformProfile, ...] = (
+    PlatformProfile(
+        key="cisco asa",
+        mentions=(
+            "Cisco Adaptive Security Appliance (ASA) software",
+            "Cisco ASA firewall",
+            "the Cisco ASA VPN appliance",
+        ),
+        vulnerability_count=3776,
+        cwe_pool=("CWE-119", "CWE-20", "CWE-79", "CWE-287", "CWE-400", "CWE-416",
+                  "CWE-327", "CWE-798"),
+        subcomponents=(
+            "web services interface", "SSL VPN functionality", "SNMP implementation",
+            "IKEv2 module", "management console", "packet inspection engine",
+            "clientless VPN portal", "REST API",
+        ),
+    ),
+    PlatformProfile(
+        key="ni linux real-time",
+        mentions=(
+            "the Linux kernel",
+            "Linux kernel network stack",
+            "NI Linux Real-Time operating system",
+            "real-time Linux distributions",
+        ),
+        vulnerability_count=9673,
+        cwe_pool=("CWE-416", "CWE-787", "CWE-119", "CWE-400", "CWE-20", "CWE-200",
+                  "CWE-770"),
+        subcomponents=(
+            "TCP/IP stack", "USB driver subsystem", "ext4 filesystem", "netfilter module",
+            "KVM virtualization layer", "perf subsystem", "scheduler", "socket layer",
+            "device driver ioctl handler", "memory management subsystem",
+        ),
+    ),
+    PlatformProfile(
+        key="microsoft windows 7",
+        mentions=(
+            "Microsoft Windows 7 SP1",
+            "Windows 7",
+            "the Windows 7 operating system",
+        ),
+        vulnerability_count=6627,
+        cwe_pool=("CWE-787", "CWE-416", "CWE-119", "CWE-20", "CWE-287", "CWE-200",
+                  "CWE-732", "CWE-522"),
+        subcomponents=(
+            "SMB server", "Remote Desktop Services", "win32k kernel driver",
+            "graphics device interface", "task scheduler", "print spooler",
+            "LSASS authentication service", "OLE component", "shell link handler",
+        ),
+    ),
+    PlatformProfile(
+        key="ni labview",
+        mentions=("National Instruments LabVIEW", "NI LabVIEW development environment"),
+        vulnerability_count=6,
+        cwe_pool=("CWE-787", "CWE-20", "CWE-732"),
+        subcomponents=(
+            "VI project file parser", "web server component", "shared variable engine",
+            "installer service",
+        ),
+    ),
+    PlatformProfile(
+        key="ni crio-9063",
+        mentions=("National Instruments cRIO-9063 controller firmware",),
+        vulnerability_count=7,
+        cwe_pool=("CWE-306", "CWE-798", "CWE-494"),
+        subcomponents=(
+            "system web configuration service", "firmware update mechanism",
+            "network discovery service",
+        ),
+    ),
+    PlatformProfile(
+        key="ni crio-9064",
+        mentions=("National Instruments cRIO-9064 controller firmware",),
+        vulnerability_count=7,
+        cwe_pool=("CWE-306", "CWE-798", "CWE-494"),
+        subcomponents=(
+            "system web configuration service", "firmware update mechanism",
+            "RT target deployment service",
+        ),
+    ),
+)
+
+#: Background populations that do not correspond to the demonstration's
+#: attributes; they keep the corpus from being trivially separable and give
+#: filters something to discard.
+BACKGROUND_PROFILES: tuple[PlatformProfile, ...] = (
+    PlatformProfile(
+        key="apache http server",
+        mentions=("Apache HTTP Server", "the Apache web server"),
+        vulnerability_count=900,
+        cwe_pool=("CWE-20", "CWE-79", "CWE-400", "CWE-200"),
+        subcomponents=("mod_proxy module", "request parser", "TLS handling", "htaccess processing"),
+    ),
+    PlatformProfile(
+        key="oracle java",
+        mentions=("Oracle Java SE", "the Java runtime environment"),
+        vulnerability_count=800,
+        cwe_pool=("CWE-502", "CWE-20", "CWE-787"),
+        subcomponents=("deserialization routines", "2D graphics library", "JNDI subsystem", "hotspot compiler"),
+    ),
+    PlatformProfile(
+        key="modbus plc",
+        mentions=(
+            "a programmable logic controller exposing MODBUS TCP",
+            "the MODBUS protocol implementation of an industrial controller",
+        ),
+        vulnerability_count=180,
+        cwe_pool=("CWE-306", "CWE-319", "CWE-294", "CWE-345", "CWE-400"),
+        subcomponents=("register write handler", "unit identifier parsing", "function code dispatcher"),
+    ),
+    PlatformProfile(
+        key="scada hmi",
+        mentions=("a SCADA human machine interface application", "supervisory control software"),
+        vulnerability_count=260,
+        cwe_pool=("CWE-798", "CWE-287", "CWE-89", "CWE-522", "CWE-20"),
+        subcomponents=("tag database", "alarm server", "historian connector", "project file loader"),
+    ),
+    PlatformProfile(
+        key="openssl",
+        mentions=("OpenSSL", "the OpenSSL cryptographic library"),
+        vulnerability_count=320,
+        cwe_pool=("CWE-119", "CWE-327", "CWE-200"),
+        subcomponents=("TLS handshake code", "ASN.1 parser", "heartbeat extension"),
+    ),
+)
+
+
+# -- description templates ----------------------------------------------------
+
+_CWE_PHRASES = {
+    "CWE-78": "an OS command injection flaw",
+    "CWE-20": "an improper input validation issue",
+    "CWE-79": "a cross-site scripting vulnerability",
+    "CWE-89": "a SQL injection vulnerability",
+    "CWE-119": "a buffer overflow",
+    "CWE-787": "an out-of-bounds write",
+    "CWE-416": "a use-after-free condition",
+    "CWE-287": "an improper authentication weakness",
+    "CWE-306": "missing authentication for a critical function",
+    "CWE-311": "missing encryption of sensitive data",
+    "CWE-319": "cleartext transmission of sensitive information",
+    "CWE-345": "insufficient verification of data authenticity",
+    "CWE-346": "an origin validation error",
+    "CWE-400": "uncontrolled resource consumption",
+    "CWE-494": "download of code without an integrity check",
+    "CWE-502": "unsafe deserialization of untrusted data",
+    "CWE-522": "insufficiently protected credentials",
+    "CWE-798": "use of hard-coded credentials",
+    "CWE-693": "a protection mechanism failure",
+    "CWE-354": "improper validation of an integrity check value",
+    "CWE-924": "improper enforcement of message integrity",
+    "CWE-300": "a channel accessible by a non-endpoint",
+    "CWE-732": "incorrect permission assignment for a critical resource",
+    "CWE-284": "improper access control",
+    "CWE-1188": "insecure default initialization",
+    "CWE-200": "an information exposure",
+    "CWE-327": "use of a broken cryptographic algorithm",
+    "CWE-307": "missing restriction of authentication attempts",
+    "CWE-521": "weak password requirements",
+    "CWE-294": "an authentication bypass by capture-replay",
+    "CWE-770": "resource allocation without limits",
+    "CWE-290": "an authentication bypass by spoofing",
+    "CWE-923": "improper restriction of a communication channel",
+    "CWE-506": "embedded malicious code",
+}
+
+_ACTORS = (
+    "a remote unauthenticated attacker",
+    "a remote authenticated attacker",
+    "a local user",
+    "an adjacent network attacker",
+    "an attacker with physical access",
+)
+
+_IMPACTS = (
+    "execute arbitrary code",
+    "cause a denial of service",
+    "escalate privileges",
+    "read sensitive information",
+    "modify configuration data",
+    "bypass authentication",
+    "crash the affected process",
+    "write attacker controlled values to process registers",
+)
+
+_VECTORS = (
+    "a crafted network packet",
+    "a malformed protocol message",
+    "a specially crafted file",
+    "a crafted HTTP request",
+    "a sequence of malformed requests",
+    "a crafted serialized object",
+    "repeated connection attempts",
+    "a manipulated firmware image",
+)
+
+_CVSS_CHOICES = (
+    ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", 18),
+    ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H", 14),
+    ("CVSS:3.1/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H", 10),
+    ("CVSS:3.1/AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:N/A:N", 10),
+    ("CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H", 14),
+    ("CVSS:3.1/AV:L/AC:L/PR:N/UI:R/S:U/C:H/I:H/A:H", 10),
+    ("CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N", 8),
+    ("CVSS:3.1/AV:A/AC:H/PR:L/UI:N/S:U/C:H/I:H/A:H", 6),
+    ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H", 4),
+    ("CVSS:3.1/AV:P/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:N", 2),
+)
+
+
+# -- weakness / attack-pattern themes -----------------------------------------
+#
+# Each theme yields synthetic CWE/CAPEC entries whose text contains the theme
+# keywords.  The per-theme counts are chosen so that the *matching counts* of
+# the paper's Table 1 attributes keep their shape: operating-system attributes
+# (Windows 7, NI RT Linux) match tens of weaknesses and attack patterns, while
+# narrow product attributes (Cisco ASA, LabVIEW, cRIO) match almost none.
+
+@dataclass(frozen=True)
+class _Theme:
+    key: str
+    keywords: tuple[str, ...]
+    weakness_count: int
+    pattern_count: int
+    subjects: tuple[str, ...]
+    flaws: tuple[str, ...]
+    consequences: tuple[tuple[str, str], ...] = (
+        ("Integrity", "Modify Application Data"),
+    )
+
+
+_THEMES: tuple[_Theme, ...] = (
+    _Theme(
+        key="windows",
+        keywords=("the Windows operating system", "Microsoft Windows platforms"),
+        weakness_count=68,
+        pattern_count=38,
+        subjects=("kernel driver", "registry hive", "service control manager",
+                  "access token handling", "named pipe server", "DLL search order",
+                  "COM object activation", "scheduled task"),
+        flaws=("improper privilege management", "unquoted search path",
+               "improper handling of symbolic links", "incorrect default permissions",
+               "improper isolation of shared resources", "race condition during access"),
+    ),
+    _Theme(
+        key="linux",
+        keywords=("the Linux kernel", "Linux based and real-time operating systems"),
+        weakness_count=70,
+        pattern_count=48,
+        subjects=("system call interface", "device driver", "memory management code",
+                  "netlink socket handling", "filesystem implementation", "eBPF verifier",
+                  "scheduler", "capability checks"),
+        flaws=("use after free", "out-of-bounds write", "race condition",
+               "missing permission check", "integer overflow", "reference count error"),
+    ),
+    _Theme(
+        key="network_protocol",
+        keywords=("network protocol implementations", "industrial communication protocols such as MODBUS"),
+        weakness_count=60,
+        pattern_count=55,
+        subjects=("message parser", "session establishment", "frame reassembly",
+                  "checksum validation", "address resolution", "broadcast handling"),
+        flaws=("missing message authentication", "acceptance of replayed frames",
+               "cleartext transport of commands", "improper length validation",
+               "trust of unverified source addresses"),
+        consequences=(("Integrity", "Modify Application Data"),
+                      ("Availability", "DoS: Crash, Exit, or Restart")),
+    ),
+    _Theme(
+        key="web",
+        keywords=("web applications", "web based management interfaces"),
+        weakness_count=85,
+        pattern_count=70,
+        subjects=("login form", "session cookie handling", "REST endpoint",
+                  "file upload handler", "template rendering", "password reset flow"),
+        flaws=("cross-site scripting", "cross-site request forgery", "path traversal",
+               "server-side request forgery", "insecure direct object reference",
+               "improper session expiration"),
+        consequences=(("Confidentiality", "Read Application Data"),),
+    ),
+    _Theme(
+        key="embedded_firmware",
+        keywords=("embedded devices and controller firmware", "programmable logic controllers"),
+        weakness_count=55,
+        pattern_count=45,
+        subjects=("bootloader", "firmware update routine", "debug interface",
+                  "field service port", "watchdog configuration", "ladder logic loader"),
+        flaws=("unsigned firmware acceptance", "hard-coded maintenance credentials",
+               "exposed JTAG interface", "missing secure boot", "writable configuration memory"),
+        consequences=(("Integrity", "Execute Unauthorized Code or Commands"),),
+    ),
+    _Theme(
+        key="ics_safety",
+        keywords=("industrial control systems", "safety instrumented systems and supervisory control"),
+        weakness_count=50,
+        pattern_count=45,
+        subjects=("safety logic solver", "alarm management", "set point handling",
+                  "interlock configuration", "historian interface", "engineering download"),
+        flaws=("unauthenticated register writes", "bypassable safety interlocks",
+               "acceptance of out-of-range set points", "unverified logic downloads",
+               "suppressed alarm propagation"),
+        consequences=(("Other", "Bypass Protection Mechanism"),
+                      ("Availability", "DoS: Crash, Exit, or Restart")),
+    ),
+    _Theme(
+        key="firewall_appliance",
+        keywords=("perimeter firewall appliances", "adaptive security appliances and VPN gateways"),
+        weakness_count=4,
+        pattern_count=3,
+        subjects=("rule compilation", "VPN session handling", "management plane",
+                  "high availability synchronization"),
+        flaws=("permissive default rule sets", "management plane exposure",
+               "weak VPN cipher configuration"),
+        consequences=(("Access Control", "Bypass Protection Mechanism"),),
+    ),
+    _Theme(
+        key="generic_software",
+        keywords=("software applications", "general purpose software components"),
+        weakness_count=240,
+        pattern_count=150,
+        subjects=("input parser", "memory allocator", "configuration loader",
+                  "logging subsystem", "plugin loader", "inter-process interface",
+                  "temporary file handling", "error handling path"),
+        flaws=("improper input validation", "improper error handling",
+               "insecure temporary file creation", "uncontrolled format string",
+               "improper resource shutdown", "excessive data exposure"),
+    ),
+    _Theme(
+        key="hardware_physical",
+        keywords=("hardware platforms", "physically accessible equipment"),
+        weakness_count=45,
+        pattern_count=40,
+        subjects=("debug port", "memory bus", "power supply monitoring",
+                  "enclosure tamper detection", "sensor interface wiring"),
+        flaws=("missing tamper detection", "unprotected debug access",
+               "susceptibility to fault injection", "exposed field wiring"),
+        consequences=(("Integrity", "Unexpected State"),),
+    ),
+    _Theme(
+        key="credentials_social",
+        keywords=("credential handling and human factors", "enterprise authentication systems"),
+        weakness_count=60,
+        pattern_count=55,
+        subjects=("password storage", "single sign-on integration", "phishing resistance",
+                  "account recovery", "privileged account management"),
+        flaws=("reversible password storage", "missing multi-factor authentication",
+               "overly long session lifetimes", "shared administrative accounts"),
+        consequences=(("Access Control", "Gain Privileges or Assume Identity"),),
+    ),
+)
+
+
+# -- builder ------------------------------------------------------------------
+
+
+@dataclass
+class SyntheticCorpusBuilder:
+    """Builds a deterministic synthetic corpus.
+
+    Parameters
+    ----------
+    scale:
+        Multiplier on all population sizes.  ``1.0`` reproduces paper-scale
+        populations (about 21k vulnerabilities); tests use a small scale.
+    seed:
+        Seed for the deterministic pseudo-random generator.
+    profiles:
+        Platform profiles to generate vulnerabilities for.
+    include_background:
+        Whether to also generate the background (non-Table-1) populations.
+    """
+
+    scale: float = 1.0
+    seed: int = 7
+    profiles: tuple[PlatformProfile, ...] = TABLE1_PROFILES
+    include_background: bool = True
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        self._rng = random.Random(self.seed)
+
+    # .. vulnerabilities ....................................................
+
+    def build_vulnerabilities(self) -> list[Vulnerability]:
+        """Generate the per-platform vulnerability populations."""
+        profiles = list(self.profiles)
+        if self.include_background:
+            profiles.extend(BACKGROUND_PROFILES)
+        vulnerabilities: list[Vulnerability] = []
+        serial = 10000
+        for profile in profiles:
+            count = self._scaled(profile.vulnerability_count)
+            for _ in range(count):
+                serial += 1
+                vulnerabilities.append(self._vulnerability(profile, serial))
+        return vulnerabilities
+
+    def _scaled(self, count: int) -> int:
+        return max(1, round(count * self.scale)) if count else 0
+
+    def _vulnerability(self, profile: PlatformProfile, serial: int) -> Vulnerability:
+        rng = self._rng
+        cwe = rng.choice(profile.cwe_pool)
+        phrase = _CWE_PHRASES.get(cwe, "a security flaw")
+        mention = rng.choice(profile.mentions)
+        subcomponent = rng.choice(profile.subcomponents)
+        actor = rng.choice(_ACTORS)
+        impact = rng.choice(_IMPACTS)
+        vector = rng.choice(_VECTORS)
+        year = rng.randint(*profile.year_range)
+        description = (
+            f"{phrase.capitalize()} in the {subcomponent} of {mention} allows "
+            f"{actor} to {impact} via {vector}."
+        )
+        cvss = CvssVector.parse(self._pick_cvss())
+        return Vulnerability(
+            identifier=f"CVE-{year}-{serial}",
+            description=description,
+            cvss=cvss,
+            cwe_ids=(cwe,),
+            affected_platforms=(profile.key,),
+            published_year=year,
+        )
+
+    def _pick_cvss(self) -> str:
+        total = sum(weight for _, weight in _CVSS_CHOICES)
+        pick = self._rng.uniform(0, total)
+        cumulative = 0.0
+        for vector, weight in _CVSS_CHOICES:
+            cumulative += weight
+            if pick <= cumulative:
+                return vector
+        return _CVSS_CHOICES[-1][0]
+
+    # .. weaknesses and attack patterns .....................................
+
+    def build_weaknesses(self) -> list[Weakness]:
+        """Generate themed synthetic weaknesses (CWE-like)."""
+        weaknesses: list[Weakness] = []
+        identifier = 2000
+        for theme in _THEMES:
+            count = self._scaled(theme.weakness_count)
+            for index in range(count):
+                identifier += 1
+                weaknesses.append(self._weakness(theme, identifier, index))
+        return weaknesses
+
+    def _weakness(self, theme: _Theme, identifier: int, index: int) -> Weakness:
+        rng = self._rng
+        flaw = rng.choice(theme.flaws)
+        subject = rng.choice(theme.subjects)
+        keyword = theme.keywords[index % len(theme.keywords)]
+        name = f"{flaw.capitalize()} in {subject}"
+        description = (
+            f"The product exhibits {flaw} in its {subject}, a weakness commonly "
+            f"observed in {keyword}. An attacker who can reach the affected "
+            f"interface may leverage it to compromise the component."
+        )
+        return Weakness(
+            identifier=f"CWE-{identifier}",
+            name=name,
+            description=description,
+            abstraction=Abstraction.DETAILED,
+            platforms=(theme.key.replace("_", " "),) + theme.keywords[:1],
+            consequences=theme.consequences,
+        )
+
+    def build_attack_patterns(self) -> list[AttackPattern]:
+        """Generate themed synthetic attack patterns (CAPEC-like)."""
+        patterns: list[AttackPattern] = []
+        identifier = 1000
+        for theme in _THEMES:
+            count = self._scaled(theme.pattern_count)
+            for index in range(count):
+                identifier += 1
+                patterns.append(self._pattern(theme, identifier, index))
+        return patterns
+
+    def _pattern(self, theme: _Theme, identifier: int, index: int) -> AttackPattern:
+        rng = self._rng
+        flaw = rng.choice(theme.flaws)
+        subject = rng.choice(theme.subjects)
+        keyword = theme.keywords[index % len(theme.keywords)]
+        name = f"Exploiting {flaw} via {subject}"
+        description = (
+            f"An adversary targets {keyword}, abusing {flaw} exposed through the "
+            f"{subject} to influence the behavior of the target system."
+        )
+        severity = rng.choice(("Medium", "High", "Very High"))
+        likelihood = rng.choice(("Low", "Medium", "High"))
+        return AttackPattern(
+            identifier=f"CAPEC-{identifier}",
+            name=name,
+            description=description,
+            abstraction=Abstraction.DETAILED,
+            severity=severity,
+            likelihood=likelihood,
+            domains=(keyword,),
+        )
+
+    # .. top level ..........................................................
+
+    def build(self, include_seed: bool = True) -> CorpusStore:
+        """Build the full corpus (optionally merged with the curated seed)."""
+        store = seed_corpus() if include_seed else CorpusStore()
+        store.add_all(self.build_attack_patterns())
+        store.add_all(self.build_weaknesses())
+        store.add_all(self.build_vulnerabilities())
+        return store
+
+
+def build_corpus(scale: float = 1.0, seed: int = 7, include_background: bool = True) -> CorpusStore:
+    """Convenience wrapper: curated seed plus synthetic expansion."""
+    builder = SyntheticCorpusBuilder(
+        scale=scale, seed=seed, include_background=include_background
+    )
+    return builder.build(include_seed=True)

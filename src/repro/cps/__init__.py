@@ -1,0 +1,54 @@
+"""Cyber-physical substrate: the particle-separation centrifuge under control.
+
+The paper's central claim is that IT-centric threat modeling "cannot map
+threats to environmental consequences".  To reproduce the demonstration's
+consequence arguments (Section 3: a compromised BPCS/SIS "manifesting in
+destruction of the manufactured product or damage to the centrifuge itself,
+which could cause accidents") we need the physical process itself:
+
+* :mod:`repro.cps.plant` -- rotor and thermal dynamics of the centrifuge,
+* :mod:`repro.cps.sensors` -- the precision temperature probe and tachometer,
+* :mod:`repro.cps.control` -- PID loops and the BPCS supervisory controller,
+* :mod:`repro.cps.sis` -- the safety instrumented system (redundant monitor),
+* :mod:`repro.cps.network` -- a MODBUS-like message bus and the control firewall,
+* :mod:`repro.cps.scada` -- the closed-loop SCADA simulation and its trace,
+* :mod:`repro.cps.hazards` -- the paper's hazard conditions evaluated on traces,
+* :mod:`repro.cps.intervention` -- the hook interface attacks use to tamper
+  with messages, sensors, and components during simulation.
+"""
+
+from repro.cps.control import BpcsController, ControlMode, PidController
+from repro.cps.hazards import HazardEvent, HazardKind, HazardMonitor, HazardReport
+from repro.cps.intervention import Intervention
+from repro.cps.network import Firewall, FirewallRule, Message, MessageBus, MessageKind
+from repro.cps.plant import CentrifugePlant, PlantParameters, PlantState
+from repro.cps.scada import OperatorSchedule, ScadaSimulation, SimulationTrace
+from repro.cps.sensors import Sensor, Tachometer, TemperatureSensor
+from repro.cps.sis import SafetyInstrumentedSystem, SisLimits
+
+__all__ = [
+    "CentrifugePlant",
+    "PlantParameters",
+    "PlantState",
+    "Sensor",
+    "TemperatureSensor",
+    "Tachometer",
+    "PidController",
+    "BpcsController",
+    "ControlMode",
+    "SafetyInstrumentedSystem",
+    "SisLimits",
+    "Message",
+    "MessageKind",
+    "MessageBus",
+    "Firewall",
+    "FirewallRule",
+    "ScadaSimulation",
+    "SimulationTrace",
+    "OperatorSchedule",
+    "HazardMonitor",
+    "HazardReport",
+    "HazardEvent",
+    "HazardKind",
+    "Intervention",
+]

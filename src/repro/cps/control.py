@@ -1,0 +1,115 @@
+"""Controllers of the SCADA centrifuge: PID loops and the BPCS.
+
+The BPCS (basic process control system) is "the main centrifuge controller
+interfaced through MODBUS" in the paper's demonstration.  It runs two PID
+loops -- rotor speed against the drive command and solution temperature
+against the chiller duty -- and accepts set-point writes and mode changes
+from the programming workstation over the message bus.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PidController:
+    """A textbook PID controller with output clamping and anti-windup."""
+
+    kp: float
+    ki: float = 0.0
+    kd: float = 0.0
+    output_min: float = 0.0
+    output_max: float = 1.0
+    _integral: float = field(default=0.0, init=False, repr=False)
+    _previous_error: float | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.output_min >= self.output_max:
+            raise ValueError("output_min must be below output_max")
+
+    def reset(self) -> None:
+        """Clear the integral and derivative memory."""
+        self._integral = 0.0
+        self._previous_error = None
+
+    def update(self, setpoint: float, measurement: float, dt: float) -> float:
+        """Compute the control output for one sample interval."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        error = setpoint - measurement
+        derivative = 0.0
+        if self._previous_error is not None and self.kd:
+            derivative = (error - self._previous_error) / dt
+        self._previous_error = error
+
+        candidate_integral = self._integral + error * dt
+        output = self.kp * error + self.ki * candidate_integral + self.kd * derivative
+        if self.output_min <= output <= self.output_max:
+            self._integral = candidate_integral
+        else:
+            # Anti-windup: freeze the integral while the output is saturated.
+            output = self.kp * error + self.ki * self._integral + self.kd * derivative
+        return float(min(max(output, self.output_min), self.output_max))
+
+
+class ControlMode(enum.Enum):
+    """Operating mode commanded by the workstation."""
+
+    IDLE = "idle"
+    RUN = "run"
+    SHUTDOWN = "shutdown"
+
+
+@dataclass
+class BpcsController:
+    """The basic process control system of the centrifuge.
+
+    The controller tracks a speed set point with the drive PID and a
+    temperature set point with the cooling PID.  In ``IDLE`` and ``SHUTDOWN``
+    the drive is forced to zero (cooling keeps running in ``IDLE``).
+    """
+
+    speed_setpoint_rpm: float = 0.0
+    temperature_setpoint_c: float = 20.0
+    mode: ControlMode = ControlMode.IDLE
+    speed_pid: PidController = field(
+        default_factory=lambda: PidController(kp=0.00035, ki=0.00025, kd=0.0)
+    )
+    cooling_pid: PidController = field(
+        default_factory=lambda: PidController(kp=0.6, ki=0.05, kd=0.0)
+    )
+    max_speed_setpoint_rpm: float = 10_000.0
+    compromised: bool = field(default=False, init=False)
+
+    def set_speed_setpoint(self, value: float) -> None:
+        """Accept a speed set-point write (clamped to the machine limit)."""
+        self.speed_setpoint_rpm = float(min(max(value, 0.0), self.max_speed_setpoint_rpm))
+
+    def set_temperature_setpoint(self, value: float) -> None:
+        """Accept a temperature set-point write."""
+        self.temperature_setpoint_c = float(value)
+
+    def set_mode(self, mode: ControlMode) -> None:
+        """Accept a mode change."""
+        self.mode = mode
+        if mode is not ControlMode.RUN:
+            self.speed_pid.reset()
+
+    def compute(
+        self, speed_measurement_rpm: float, temperature_measurement_c: float, dt: float
+    ) -> tuple[float, float]:
+        """One control cycle: returns ``(drive_command, cooling_command)``."""
+        if self.mode is ControlMode.RUN:
+            drive = self.speed_pid.update(self.speed_setpoint_rpm, speed_measurement_rpm, dt)
+        else:
+            drive = 0.0
+        if self.mode is ControlMode.SHUTDOWN:
+            cooling = 0.0
+        else:
+            # The cooling loop acts to *lower* temperature, so the error sign flips.
+            cooling = self.cooling_pid.update(
+                temperature_measurement_c, self.temperature_setpoint_c, dt
+            )
+        return drive, cooling

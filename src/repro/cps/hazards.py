@@ -1,0 +1,233 @@
+"""Hazard definitions and trace-level hazard evaluation.
+
+The paper defines the loss conditions of the demonstration process directly:
+
+* "If the temperature is too low, the separation will not be productive and
+  the result is a viscous product."        -> :attr:`HazardKind.PRODUCT_VISCOUS`
+* "If the temperature is too high, the chemical composition of the solution
+  in the centrifuge tube can become unstable and cause an explosion/fire."
+                                            -> :attr:`HazardKind.THERMAL_RUNAWAY`
+* "If the rotor speed fluctuates beyond +/- 20 rpm of the set point the
+  resultant product is not useful."        -> :attr:`HazardKind.SPEED_DEVIATION`
+
+Mapping associated attack vectors to these physical consequences is exactly
+the capability the paper says existing IT-centric tools lack.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class HazardKind(enum.Enum):
+    """The hazardous / loss conditions of the centrifuge process."""
+
+    THERMAL_RUNAWAY = "thermal_runaway"
+    PRODUCT_VISCOUS = "product_viscous"
+    SPEED_DEVIATION = "speed_deviation"
+    ROTOR_OVERSPEED = "rotor_overspeed"
+
+    @property
+    def is_safety_hazard(self) -> bool:
+        """Whether the condition threatens people/equipment (vs. product loss)."""
+        return self in (HazardKind.THERMAL_RUNAWAY, HazardKind.ROTOR_OVERSPEED)
+
+
+@dataclass(frozen=True)
+class HazardEvent:
+    """One contiguous interval during which a hazard condition held."""
+
+    kind: HazardKind
+    start_time_s: float
+    end_time_s: float
+    peak_value: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end_time_s < self.start_time_s:
+            raise ValueError("hazard event ends before it starts")
+
+    @property
+    def duration_s(self) -> float:
+        """Length of the hazardous interval."""
+        return self.end_time_s - self.start_time_s
+
+
+@dataclass
+class HazardReport:
+    """All hazard events found in a simulation trace."""
+
+    events: list[HazardEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: HazardKind) -> list[HazardEvent]:
+        """Events of one hazard kind."""
+        return [event for event in self.events if event.kind == kind]
+
+    def occurred(self, kind: HazardKind) -> bool:
+        """Whether a hazard of the given kind occurred at all."""
+        return any(event.kind == kind for event in self.events)
+
+    @property
+    def any_safety_hazard(self) -> bool:
+        """Whether any safety (not just product-loss) hazard occurred."""
+        return any(event.kind.is_safety_hazard for event in self.events)
+
+    @property
+    def product_lost(self) -> bool:
+        """Whether the batch is lost (any hazard implies product loss)."""
+        return bool(self.events)
+
+    def summary(self) -> dict[str, int]:
+        """Event counts per hazard kind."""
+        counts = {kind.value: 0 for kind in HazardKind}
+        for event in self.events:
+            counts[event.kind.value] += 1
+        return counts
+
+
+@dataclass(frozen=True)
+class HazardMonitor:
+    """Evaluates a simulation trace against the process hazard boundaries.
+
+    Parameters
+    ----------
+    temperature_high_c:
+        Above this the solution can destabilize (explosion / fire).
+    temperature_low_c:
+        Below this the product is viscous and separation unproductive.
+    speed_tolerance_rpm:
+        The +/- band around the set point outside which product is not useful.
+    overspeed_rpm:
+        Mechanical rotor limit.
+    settling_time_s:
+        Speed-deviation is only evaluated this long after the most recent
+        set-point change, so ordinary transients do not count as hazards.
+    """
+
+    temperature_high_c: float = 30.0
+    temperature_low_c: float = 12.0
+    speed_tolerance_rpm: float = 20.0
+    overspeed_rpm: float = 10_000.0
+    settling_time_s: float = 60.0
+
+    def evaluate(
+        self,
+        times_s: np.ndarray,
+        temperatures_c: np.ndarray,
+        speeds_rpm: np.ndarray,
+        speed_setpoints_rpm: np.ndarray,
+        running: np.ndarray | None = None,
+    ) -> HazardReport:
+        """Evaluate all hazard conditions over a trace."""
+        times_s = np.asarray(times_s, dtype=float)
+        temperatures_c = np.asarray(temperatures_c, dtype=float)
+        speeds_rpm = np.asarray(speeds_rpm, dtype=float)
+        speed_setpoints_rpm = np.asarray(speed_setpoints_rpm, dtype=float)
+        if running is None:
+            running = speed_setpoints_rpm > 0.0
+        running = np.asarray(running, dtype=bool)
+        lengths = {len(times_s), len(temperatures_c), len(speeds_rpm),
+                   len(speed_setpoints_rpm), len(running)}
+        if len(lengths) != 1:
+            raise ValueError("trace arrays must have equal length")
+
+        report = HazardReport()
+        report.events.extend(
+            _intervals(
+                times_s,
+                temperatures_c > self.temperature_high_c,
+                temperatures_c,
+                HazardKind.THERMAL_RUNAWAY,
+                "solution temperature above instability limit",
+            )
+        )
+        report.events.extend(
+            _intervals(
+                times_s,
+                running & (temperatures_c < self.temperature_low_c),
+                -temperatures_c,
+                HazardKind.PRODUCT_VISCOUS,
+                "solution temperature below productive separation range",
+            )
+        )
+        deviation = np.abs(speeds_rpm - speed_setpoints_rpm)
+        settled = self._settled_mask(times_s, speed_setpoints_rpm)
+        report.events.extend(
+            _intervals(
+                times_s,
+                running & settled & (deviation > self.speed_tolerance_rpm),
+                deviation,
+                HazardKind.SPEED_DEVIATION,
+                "rotor speed outside +/- tolerance of the set point",
+            )
+        )
+        report.events.extend(
+            _intervals(
+                times_s,
+                speeds_rpm > self.overspeed_rpm,
+                speeds_rpm,
+                HazardKind.ROTOR_OVERSPEED,
+                "rotor speed above mechanical limit",
+            )
+        )
+        report.events.sort(key=lambda event: event.start_time_s)
+        return report
+
+    def _settled_mask(
+        self, times_s: np.ndarray, setpoints_rpm: np.ndarray
+    ) -> np.ndarray:
+        """True where the set point has been constant for the settling time."""
+        settled = np.zeros(len(times_s), dtype=bool)
+        last_change_time = times_s[0] if len(times_s) else 0.0
+        for i in range(len(times_s)):
+            if i > 0 and setpoints_rpm[i] != setpoints_rpm[i - 1]:
+                last_change_time = times_s[i]
+            settled[i] = (times_s[i] - last_change_time) >= self.settling_time_s
+        return settled
+
+
+def _intervals(
+    times_s: np.ndarray,
+    condition: np.ndarray,
+    magnitude: np.ndarray,
+    kind: HazardKind,
+    description: str,
+) -> list[HazardEvent]:
+    """Turn a boolean condition series into contiguous hazard events."""
+    events: list[HazardEvent] = []
+    start_index: int | None = None
+    for i, active in enumerate(condition):
+        if active and start_index is None:
+            start_index = i
+        elif not active and start_index is not None:
+            events.append(_event(times_s, magnitude, start_index, i - 1, kind, description))
+            start_index = None
+    if start_index is not None:
+        events.append(
+            _event(times_s, magnitude, start_index, len(condition) - 1, kind, description)
+        )
+    return events
+
+
+def _event(
+    times_s: np.ndarray,
+    magnitude: np.ndarray,
+    start: int,
+    end: int,
+    kind: HazardKind,
+    description: str,
+) -> HazardEvent:
+    peak = float(np.max(np.abs(magnitude[start : end + 1])))
+    return HazardEvent(
+        kind=kind,
+        start_time_s=float(times_s[start]),
+        end_time_s=float(times_s[end]),
+        peak_value=peak,
+        description=description,
+    )

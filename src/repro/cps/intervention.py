@@ -1,0 +1,66 @@
+"""The hook interface through which attacks act on the running simulation.
+
+Attacks (package :mod:`repro.attacks`) are expressed as *interventions*: the
+simulation offers them well-defined touch points -- activation window,
+per-step access to the simulation, and a message tap -- instead of letting
+them reach arbitrarily into component internals.  This keeps the simulation
+faithful (an attacker can only act through interfaces that exist in the
+modeled system: the network, the sensors, the devices it has compromised)
+and keeps attack implementations small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.cps.network import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.cps.scada import ScadaSimulation
+
+
+@dataclass
+class Intervention:
+    """Base class for everything that tampers with a running simulation.
+
+    Parameters
+    ----------
+    name:
+        Human-readable attack name (appears in simulation reports).
+    start_time_s:
+        Simulation time at which the intervention becomes active.
+    duration_s:
+        How long it stays active; ``None`` means until the end of the run.
+    """
+
+    name: str = "intervention"
+    start_time_s: float = 0.0
+    duration_s: float | None = None
+    activated: bool = field(default=False, init=False)
+
+    def active(self, time_s: float) -> bool:
+        """Whether the intervention is active at the given simulation time."""
+        if time_s < self.start_time_s:
+            return False
+        if self.duration_s is None:
+            return True
+        return time_s <= self.start_time_s + self.duration_s
+
+    # -- hooks called by the simulation (default: do nothing) ----------------
+
+    def on_activate(self, simulation: "ScadaSimulation", time_s: float) -> None:
+        """Called once, the first step the intervention is active."""
+
+    def on_step(self, simulation: "ScadaSimulation", time_s: float) -> None:
+        """Called every simulation step while active."""
+
+    def on_deactivate(self, simulation: "ScadaSimulation", time_s: float) -> None:
+        """Called once when the active window ends (if it ends)."""
+
+    def on_message(self, message: Message, time_s: float) -> Message | None:
+        """Message tap while active: return a replacement or ``None`` to drop.
+
+        The default passes traffic through untouched.
+        """
+        return message

@@ -1,0 +1,175 @@
+"""MODBUS-like message bus and the control firewall.
+
+The demonstration system exchanges set points, measurements, and mode
+commands between the programming workstation, the BPCS, and the SIS over an
+industrial protocol (MODBUS in the paper).  The bus model is deliberately
+simple -- addressed messages delivered in FIFO order once per control cycle --
+but it exposes *taps*: hooks that see (and may modify, drop, or inject)
+traffic, which is how adversary-in-the-middle, replay, and injection attacks
+are realized without modifying the devices themselves.
+
+The firewall filters messages crossing the corporate/control boundary using
+an ordered rule list with a default-deny policy.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field, replace
+
+
+class MessageKind(enum.Enum):
+    """Classes of traffic on the control network."""
+
+    SETPOINT_WRITE = "setpoint_write"
+    MODE_COMMAND = "mode_command"
+    MEASUREMENT = "measurement"
+    STATUS = "status"
+    SAFETY_COMMAND = "safety_command"
+    ENGINEERING = "engineering"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One addressed message on the bus."""
+
+    sender: str
+    receiver: str
+    kind: MessageKind
+    payload: dict
+    timestamp_s: float = 0.0
+    sequence: int = 0
+
+    def with_payload(self, **updates) -> "Message":
+        """A copy of the message with some payload entries replaced."""
+        payload = dict(self.payload)
+        payload.update(updates)
+        return replace(self, payload=payload)
+
+
+#: A tap sees each message and returns a replacement, or ``None`` to drop it.
+MessageTap = Callable[[Message], Message | None]
+
+
+@dataclass(frozen=True)
+class FirewallRule:
+    """One allow rule: sender zone/device to receiver, optionally by kind."""
+
+    sender: str
+    receiver: str
+    kinds: tuple[MessageKind, ...] = ()
+
+    def permits(self, message: Message) -> bool:
+        """Whether the rule allows the message."""
+        if self.sender not in ("*", message.sender):
+            return False
+        if self.receiver not in ("*", message.receiver):
+            return False
+        return not self.kinds or message.kind in self.kinds
+
+
+@dataclass
+class Firewall:
+    """Default-deny packet filter between network zones."""
+
+    name: str = "control-firewall"
+    rules: list[FirewallRule] = field(default_factory=list)
+    protected: frozenset[str] = frozenset()
+    bypassed: bool = False
+    dropped_count: int = field(default=0, init=False)
+
+    def allow(self, sender: str, receiver: str, *kinds: MessageKind) -> "Firewall":
+        """Append an allow rule; returns self for chaining."""
+        self.rules.append(FirewallRule(sender, receiver, tuple(kinds)))
+        return self
+
+    def filter(self, message: Message) -> Message | None:
+        """Return the message if permitted, ``None`` if dropped.
+
+        Only traffic addressed *to* a protected device is filtered; a
+        compromised or misconfigured (``bypassed``) firewall passes everything,
+        which is what the boundary-bridging attack models.
+        """
+        if self.bypassed:
+            return message
+        if self.protected and message.receiver not in self.protected:
+            return message
+        if any(rule.permits(message) for rule in self.rules):
+            return message
+        self.dropped_count += 1
+        return None
+
+
+class MessageBus:
+    """FIFO message bus with delivery taps and per-device handlers."""
+
+    def __init__(self, name: str = "control-network") -> None:
+        self.name = name
+        self._handlers: dict[str, Callable[[Message], None]] = {}
+        self._queue: list[Message] = []
+        self._taps: list[MessageTap] = []
+        self._sequence = itertools.count()
+        self.delivered: list[Message] = []
+        self.dropped: list[Message] = []
+
+    def register(self, device: str, handler: Callable[[Message], None]) -> None:
+        """Register a device's message handler."""
+        if device in self._handlers:
+            raise ValueError(f"device already registered: {device!r}")
+        self._handlers[device] = handler
+
+    def add_tap(self, tap: MessageTap) -> None:
+        """Install a tap that can observe, modify, or drop each message."""
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: MessageTap) -> None:
+        """Remove a previously installed tap."""
+        self._taps.remove(tap)
+
+    def send(
+        self,
+        sender: str,
+        receiver: str,
+        kind: MessageKind,
+        payload: dict,
+        timestamp_s: float = 0.0,
+    ) -> Message:
+        """Queue a message for delivery on the next bus cycle."""
+        message = Message(
+            sender=sender,
+            receiver=receiver,
+            kind=kind,
+            payload=dict(payload),
+            timestamp_s=timestamp_s,
+            sequence=next(self._sequence),
+        )
+        self._queue.append(message)
+        return message
+
+    def pending(self) -> int:
+        """Number of queued, undelivered messages."""
+        return len(self._queue)
+
+    def deliver(self) -> int:
+        """Deliver all queued messages through the taps; returns deliveries."""
+        queue, self._queue = self._queue, []
+        count = 0
+        for message in queue:
+            final: Message | None = message
+            for tap in self._taps:
+                final = tap(final)
+                if final is None:
+                    break
+            if final is None:
+                self.dropped.append(message)
+                continue
+            handler = self._handlers.get(final.receiver)
+            if handler is None:
+                self.dropped.append(final)
+                continue
+            handler(final)
+            self.delivered.append(final)
+            count += 1
+        return count

@@ -1,0 +1,181 @@
+"""Rotor and thermal dynamics of the particle-separation centrifuge.
+
+Section 3 of the paper fixes the physical envelope: a precision variable
+speed centrifuge with a maximum of 10,000 rpm regulated to within +/- 1 rpm of
+the set point; separation is useless if the speed fluctuates beyond +/- 20 rpm
+or if the temperature is too low, and the solution becomes unstable
+(explosion / fire hazard) if the temperature is too high.
+
+The plant model is a two-state lumped-parameter system:
+
+* rotor speed ``omega`` [rpm]: first-order drive dynamics with viscous
+  friction, driven by a normalized drive command in ``[0, 1]``,
+* solution temperature ``T`` [deg C]: heated by rotor friction (quadratic in
+  speed) and an ambient/process heat load, cooled by a chiller whose duty is
+  the normalized cooling command in ``[0, 1]``.
+
+This is deliberately simple -- the paper's argument needs a believable,
+controllable plant with the stated hazard boundaries, not CFD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+
+@dataclass(frozen=True)
+class PlantParameters:
+    """Physical parameters of the centrifuge plant."""
+
+    max_speed_rpm: float = 10_000.0
+    drive_gain_rpm: float = 12_000.0
+    speed_time_constant_s: float = 8.0
+    friction_heating_coeff: float = 9.0
+    heat_load_w: float = 0.6
+    cooling_capacity: float = 12.0
+    ambient_coupling: float = 0.02
+    ambient_temperature_c: float = 22.0
+    coolant_temperature_c: float = 4.0
+    thermal_capacity: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_speed_rpm <= 0:
+            raise ValueError("max_speed_rpm must be positive")
+        if self.speed_time_constant_s <= 0:
+            raise ValueError("speed_time_constant_s must be positive")
+        if self.thermal_capacity <= 0:
+            raise ValueError("thermal_capacity must be positive")
+
+
+@dataclass(frozen=True)
+class PlantState:
+    """Instantaneous state of the plant."""
+
+    speed_rpm: float = 0.0
+    temperature_c: float = 22.0
+
+    def as_array(self) -> np.ndarray:
+        """State as a numpy vector ``[speed, temperature]``."""
+        return np.array([self.speed_rpm, self.temperature_c], dtype=float)
+
+    @classmethod
+    def from_array(cls, values: np.ndarray) -> "PlantState":
+        """Build a state from a ``[speed, temperature]`` vector."""
+        return cls(speed_rpm=float(values[0]), temperature_c=float(values[1]))
+
+
+@dataclass
+class CentrifugePlant:
+    """The centrifuge plant with step-wise integration for closed-loop use."""
+
+    parameters: PlantParameters = field(default_factory=PlantParameters)
+    state: PlantState = field(default_factory=PlantState)
+
+    def reset(self, state: PlantState | None = None) -> None:
+        """Reset the plant to an initial state (ambient standstill by default)."""
+        self.state = state or PlantState(
+            speed_rpm=0.0, temperature_c=self.parameters.ambient_temperature_c
+        )
+
+    # -- dynamics -----------------------------------------------------------
+
+    def derivatives(
+        self,
+        state: np.ndarray,
+        drive_command: float,
+        cooling_command: float,
+        heat_disturbance_w: float = 0.0,
+    ) -> np.ndarray:
+        """Time derivatives of ``[speed, temperature]`` for given commands."""
+        p = self.parameters
+        drive = float(np.clip(drive_command, 0.0, 1.0))
+        cooling = float(np.clip(cooling_command, 0.0, 1.0))
+        speed, temperature = float(state[0]), float(state[1])
+
+        target_speed = min(p.drive_gain_rpm * drive, p.max_speed_rpm)
+        speed_dot = (target_speed - speed) / p.speed_time_constant_s
+
+        speed_fraction = speed / p.max_speed_rpm
+        friction_heat = p.friction_heating_coeff * speed_fraction**2
+        cooling_heat = p.cooling_capacity * cooling * (temperature - p.coolant_temperature_c) / 40.0
+        ambient_heat = p.ambient_coupling * (p.ambient_temperature_c - temperature)
+        temperature_dot = (
+            friction_heat + p.heat_load_w + heat_disturbance_w + ambient_heat - cooling_heat
+        ) / p.thermal_capacity
+        return np.array([speed_dot, temperature_dot], dtype=float)
+
+    def step(
+        self,
+        dt: float,
+        drive_command: float,
+        cooling_command: float,
+        heat_disturbance_w: float = 0.0,
+    ) -> PlantState:
+        """Advance the plant by ``dt`` seconds (classic RK4) and return the new state."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        y = self.state.as_array()
+        k1 = self.derivatives(y, drive_command, cooling_command, heat_disturbance_w)
+        k2 = self.derivatives(y + 0.5 * dt * k1, drive_command, cooling_command, heat_disturbance_w)
+        k3 = self.derivatives(y + 0.5 * dt * k2, drive_command, cooling_command, heat_disturbance_w)
+        k4 = self.derivatives(y + dt * k3, drive_command, cooling_command, heat_disturbance_w)
+        y_next = y + (dt / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+        y_next[0] = float(np.clip(y_next[0], 0.0, self.parameters.max_speed_rpm))
+        self.state = PlantState.from_array(y_next)
+        return self.state
+
+    # -- open-loop analysis --------------------------------------------------
+
+    def simulate_open_loop(
+        self,
+        duration_s: float,
+        drive_command: float,
+        cooling_command: float,
+        initial_state: PlantState | None = None,
+        heat_disturbance_w: float = 0.0,
+        samples: int = 200,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Integrate the plant open loop with scipy and return ``(t, states)``.
+
+        ``states`` has shape ``(samples, 2)`` with columns speed and
+        temperature.  Used for model characterization and plant-level tests.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        start = (initial_state or self.state).as_array()
+        times = np.linspace(0.0, duration_s, samples)
+        solution = solve_ivp(
+            lambda _t, y: self.derivatives(y, drive_command, cooling_command, heat_disturbance_w),
+            (0.0, duration_s),
+            start,
+            t_eval=times,
+            rtol=1e-7,
+            atol=1e-9,
+        )
+        states = solution.y.T
+        states[:, 0] = np.clip(states[:, 0], 0.0, self.parameters.max_speed_rpm)
+        return times, states
+
+    def equilibrium_temperature(self, speed_rpm: float, cooling_command: float) -> float:
+        """Steady-state solution temperature for a constant speed and cooling duty."""
+        p = self.parameters
+        speed_fraction = min(max(speed_rpm, 0.0), p.max_speed_rpm) / p.max_speed_rpm
+        heat_in = p.friction_heating_coeff * speed_fraction**2 + p.heat_load_w
+        cooling = float(np.clip(cooling_command, 0.0, 1.0))
+        # heat_in + ambient_coupling*(T_amb - T) - cooling_capacity*cooling*(T - T_cool)/40 = 0
+        a = p.ambient_coupling + p.cooling_capacity * cooling / 40.0
+        b = (
+            heat_in
+            + p.ambient_coupling * p.ambient_temperature_c
+            + p.cooling_capacity * cooling * p.coolant_temperature_c / 40.0
+        )
+        return b / a
+
+    def with_parameters(self, **overrides) -> "CentrifugePlant":
+        """A new plant with some parameters replaced (state preserved)."""
+        return CentrifugePlant(
+            parameters=replace(self.parameters, **overrides), state=self.state
+        )

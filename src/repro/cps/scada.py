@@ -1,0 +1,324 @@
+"""Closed-loop SCADA simulation of the particle-separation centrifuge.
+
+This module wires the substrate together exactly as the paper's Fig. 1
+architecture describes: the programming workstation writes set points and
+mode commands over the bus, the BPCS regulates rotor speed and solution
+temperature, the SIS redundantly monitors the same measurements and trips the
+drive on violations, and the plant integrates the physics.  Attacks
+participate only through :class:`~repro.cps.intervention.Intervention` hooks.
+
+The output is a :class:`SimulationTrace` -- time series of every relevant
+signal -- plus the hazard evaluation of that trace, which is what the
+consequence-mapping layer (experiment E6) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cps.control import BpcsController, ControlMode
+from repro.cps.hazards import HazardMonitor, HazardReport
+from repro.cps.intervention import Intervention
+from repro.cps.network import Firewall, Message, MessageBus, MessageKind
+from repro.cps.plant import CentrifugePlant, PlantState
+from repro.cps.sensors import Tachometer, TemperatureSensor
+from repro.cps.sis import SafetyInstrumentedSystem
+
+#: Device names used on the bus; they match the system-model component names.
+WORKSTATION = "Programming WS"
+BPCS = "BPCS Platform"
+SIS = "SIS Platform"
+CORPORATE = "Corporate Network"
+
+
+@dataclass(frozen=True)
+class OperatorAction:
+    """One scheduled operator action sent from the programming workstation."""
+
+    time_s: float
+    kind: MessageKind
+    payload: dict
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("operator action time must be non-negative")
+
+
+@dataclass
+class OperatorSchedule:
+    """The sequence of operator actions for a simulated batch."""
+
+    actions: list[OperatorAction] = field(default_factory=list)
+
+    def add_setpoint(self, time_s: float, register: str, value: float) -> "OperatorSchedule":
+        """Schedule a set-point write; returns self for chaining."""
+        self.actions.append(
+            OperatorAction(time_s, MessageKind.SETPOINT_WRITE, {"register": register, "value": value})
+        )
+        return self
+
+    def add_mode(self, time_s: float, mode: ControlMode) -> "OperatorSchedule":
+        """Schedule a mode command; returns self for chaining."""
+        self.actions.append(
+            OperatorAction(time_s, MessageKind.MODE_COMMAND, {"mode": mode.value})
+        )
+        return self
+
+    def due(self, start_s: float, end_s: float) -> list[OperatorAction]:
+        """Actions scheduled in the half-open interval ``[start, end)``."""
+        return [action for action in self.actions if start_s <= action.time_s < end_s]
+
+    @classmethod
+    def batch(
+        cls,
+        speed_rpm: float = 6_000.0,
+        temperature_c: float = 20.0,
+        start_time_s: float = 5.0,
+    ) -> "OperatorSchedule":
+        """The default separation batch: configure set points, then run."""
+        schedule = cls()
+        schedule.add_setpoint(start_time_s, "temperature_setpoint", temperature_c)
+        schedule.add_setpoint(start_time_s, "speed_setpoint", speed_rpm)
+        schedule.add_mode(start_time_s + 1.0, ControlMode.RUN)
+        return schedule
+
+
+@dataclass
+class SimulationTrace:
+    """Time series produced by a simulation run."""
+
+    times_s: np.ndarray
+    speeds_rpm: np.ndarray
+    temperatures_c: np.ndarray
+    speed_setpoints_rpm: np.ndarray
+    temperature_setpoints_c: np.ndarray
+    drive_commands: np.ndarray
+    cooling_commands: np.ndarray
+    sis_tripped: np.ndarray
+    bpcs_speed_view_rpm: np.ndarray
+    bpcs_temperature_view_c: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.times_s)
+
+    def final_state(self) -> PlantState:
+        """Plant state at the end of the run."""
+        return PlantState(
+            speed_rpm=float(self.speeds_rpm[-1]),
+            temperature_c=float(self.temperatures_c[-1]),
+        )
+
+    def max_temperature(self) -> float:
+        """Peak solution temperature over the run."""
+        return float(np.max(self.temperatures_c))
+
+    def max_speed(self) -> float:
+        """Peak rotor speed over the run."""
+        return float(np.max(self.speeds_rpm))
+
+    def speed_tracking_error(self, after_s: float = 120.0) -> float:
+        """RMS speed error after the settling window (regulation quality)."""
+        mask = (self.times_s >= after_s) & (self.speed_setpoints_rpm > 0)
+        if not np.any(mask):
+            return 0.0
+        errors = self.speeds_rpm[mask] - self.speed_setpoints_rpm[mask]
+        return float(np.sqrt(np.mean(errors**2)))
+
+    def hazards(self, monitor: HazardMonitor | None = None) -> HazardReport:
+        """Evaluate the hazard conditions over the trace."""
+        monitor = monitor or HazardMonitor()
+        running = self.speed_setpoints_rpm > 0
+        return monitor.evaluate(
+            self.times_s,
+            self.temperatures_c,
+            self.speeds_rpm,
+            self.speed_setpoints_rpm,
+            running=running,
+        )
+
+
+class ScadaSimulation:
+    """The closed-loop SCADA centrifuge simulation."""
+
+    def __init__(
+        self,
+        plant: CentrifugePlant | None = None,
+        controller: BpcsController | None = None,
+        sis: SafetyInstrumentedSystem | None = None,
+        schedule: OperatorSchedule | None = None,
+        interventions: list[Intervention] | None = None,
+        firewall: Firewall | None = None,
+        seed: int = 3,
+    ) -> None:
+        self.plant = plant or CentrifugePlant()
+        self.plant.reset()
+        self.controller = controller or BpcsController()
+        self.sis = sis or SafetyInstrumentedSystem()
+        self.schedule = schedule or OperatorSchedule.batch()
+        self.interventions = list(interventions or [])
+        self.firewall = firewall or self._default_firewall()
+        self.temperature_sensor = TemperatureSensor(seed=seed)
+        self.tachometer = Tachometer(seed=seed + 1)
+        self.bus = MessageBus()
+        self.heat_disturbance_w = 0.0
+
+        self._bpcs_view = {"speed": 0.0, "temperature": self.plant.state.temperature_c}
+        self._sis_view = {"speed": 0.0, "temperature": self.plant.state.temperature_c}
+        self._now = 0.0
+        self._wire_bus()
+
+    # -- construction helpers -------------------------------------------------
+
+    def _default_firewall(self) -> Firewall:
+        firewall = Firewall(protected=frozenset({BPCS, SIS, WORKSTATION}))
+        firewall.allow(WORKSTATION, BPCS)
+        firewall.allow(WORKSTATION, SIS)
+        firewall.allow(BPCS, SIS)
+        firewall.allow(BPCS, WORKSTATION, MessageKind.STATUS)
+        firewall.allow(SIS, WORKSTATION, MessageKind.STATUS)
+        firewall.allow("temperature-probe", "*")
+        firewall.allow("tachometer", "*")
+        return firewall
+
+    def _wire_bus(self) -> None:
+        self.bus.register(BPCS, self._bpcs_handler)
+        self.bus.register(SIS, self._sis_handler)
+        self.bus.register(WORKSTATION, lambda message: None)
+        self.bus.add_tap(self._intervention_tap)
+        self.bus.add_tap(self.firewall.filter)
+
+    # -- message handlers ------------------------------------------------------
+
+    def _bpcs_handler(self, message: Message) -> None:
+        if message.kind is MessageKind.SETPOINT_WRITE:
+            register = message.payload.get("register")
+            value = float(message.payload.get("value", 0.0))
+            if register == "speed_setpoint":
+                self.controller.set_speed_setpoint(value)
+            elif register == "temperature_setpoint":
+                self.controller.set_temperature_setpoint(value)
+        elif message.kind is MessageKind.MODE_COMMAND:
+            self.controller.set_mode(ControlMode(message.payload["mode"]))
+        elif message.kind is MessageKind.MEASUREMENT:
+            self._bpcs_view[message.payload["variable"]] = float(message.payload["value"])
+        elif message.kind is MessageKind.ENGINEERING:
+            # Engineering writes model arbitrary reconfiguration of the BPCS
+            # (the CWE-78 command-injection consequence): mark it compromised.
+            self.controller.compromised = True
+
+    def _sis_handler(self, message: Message) -> None:
+        if message.kind is MessageKind.MEASUREMENT:
+            self._sis_view[message.payload["variable"]] = float(message.payload["value"])
+        elif message.kind is MessageKind.SAFETY_COMMAND:
+            command = message.payload.get("command", "")
+            if command == "disable":
+                self.sis.disable()
+            elif command == "enable":
+                self.sis.enable()
+            elif command == "reset":
+                self.sis.reset()
+
+    def _intervention_tap(self, message: Message) -> Message | None:
+        current: Message | None = message
+        for intervention in self.interventions:
+            if current is None:
+                return None
+            if intervention.active(self._now):
+                current = intervention.on_message(current, self._now)
+        return current
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(self, duration_s: float = 600.0, dt: float = 0.5) -> SimulationTrace:
+        """Run the closed loop and return the full trace."""
+        if duration_s <= 0 or dt <= 0:
+            raise ValueError("duration_s and dt must be positive")
+        steps = int(round(duration_s / dt))
+        records = {name: np.zeros(steps) for name in (
+            "time", "speed", "temperature", "speed_setpoint", "temperature_setpoint",
+            "drive", "cooling", "tripped", "bpcs_speed", "bpcs_temperature",
+        )}
+
+        previous_time = 0.0
+        for step_index in range(steps):
+            time_s = step_index * dt
+            self._now = time_s
+            self._dispatch_operator(previous_time, time_s + dt)
+            self._dispatch_interventions(time_s)
+            self._publish_measurements(time_s)
+            self.bus.deliver()
+
+            drive, cooling = self.controller.compute(
+                self._bpcs_view["speed"], self._bpcs_view["temperature"], dt
+            )
+            self.sis.check(
+                time_s,
+                self._sis_view["temperature"],
+                self._sis_view["speed"],
+                self.controller.speed_setpoint_rpm,
+            )
+            drive *= self.sis.drive_permission()
+            state = self.plant.step(dt, drive, cooling, self.heat_disturbance_w)
+
+            records["time"][step_index] = time_s
+            records["speed"][step_index] = state.speed_rpm
+            records["temperature"][step_index] = state.temperature_c
+            records["speed_setpoint"][step_index] = (
+                self.controller.speed_setpoint_rpm
+                if self.controller.mode is ControlMode.RUN
+                else 0.0
+            )
+            records["temperature_setpoint"][step_index] = self.controller.temperature_setpoint_c
+            records["drive"][step_index] = drive
+            records["cooling"][step_index] = cooling
+            records["tripped"][step_index] = float(self.sis.tripped)
+            records["bpcs_speed"][step_index] = self._bpcs_view["speed"]
+            records["bpcs_temperature"][step_index] = self._bpcs_view["temperature"]
+            previous_time = time_s + dt
+
+        return SimulationTrace(
+            times_s=records["time"],
+            speeds_rpm=records["speed"],
+            temperatures_c=records["temperature"],
+            speed_setpoints_rpm=records["speed_setpoint"],
+            temperature_setpoints_c=records["temperature_setpoint"],
+            drive_commands=records["drive"],
+            cooling_commands=records["cooling"],
+            sis_tripped=records["tripped"].astype(bool),
+            bpcs_speed_view_rpm=records["bpcs_speed"],
+            bpcs_temperature_view_c=records["bpcs_temperature"],
+        )
+
+    # -- per-step helpers ---------------------------------------------------------
+
+    def _dispatch_operator(self, start_s: float, end_s: float) -> None:
+        for action in self.schedule.due(start_s, end_s):
+            self.bus.send(WORKSTATION, BPCS, action.kind, action.payload, timestamp_s=self._now)
+
+    def _dispatch_interventions(self, time_s: float) -> None:
+        for intervention in self.interventions:
+            is_active = intervention.active(time_s)
+            if is_active and not intervention.activated:
+                intervention.activated = True
+                intervention.on_activate(self, time_s)
+            if is_active:
+                intervention.on_step(self, time_s)
+            elif intervention.activated and intervention.duration_s is not None:
+                if time_s > intervention.start_time_s + intervention.duration_s:
+                    intervention.on_deactivate(self, time_s)
+                    intervention.activated = False
+
+    def _publish_measurements(self, time_s: float) -> None:
+        temperature = self.temperature_sensor.measure(self.plant.state.temperature_c)
+        speed = self.tachometer.measure(self.plant.state.speed_rpm)
+        for receiver in (BPCS, SIS):
+            self.bus.send(
+                self.temperature_sensor.name, receiver, MessageKind.MEASUREMENT,
+                {"variable": "temperature", "value": temperature}, timestamp_s=time_s,
+            )
+            self.bus.send(
+                self.tachometer.name, receiver, MessageKind.MEASUREMENT,
+                {"variable": "speed", "value": speed}, timestamp_s=time_s,
+            )

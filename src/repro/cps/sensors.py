@@ -1,0 +1,100 @@
+"""Measurement devices of the SCADA centrifuge.
+
+The paper specifies the instrumentation envelope: a passive temperature probe
+accurate to +/- 0.2 deg C and speed regulation to within +/- 1 rpm (which
+requires a tachometer at least that good).  Sensors add deterministic
+pseudo-random noise, bias, and quantization, and expose a spoofing hook so the
+attack layer can override readings without reaching into simulation internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Sensor:
+    """A generic noisy, quantized scalar sensor.
+
+    Parameters
+    ----------
+    name:
+        Sensor identifier used in messages and traces.
+    noise_std:
+        Standard deviation of additive Gaussian noise.
+    bias:
+        Constant offset added to every reading.
+    quantization:
+        Reading resolution; ``0`` disables quantization.
+    seed:
+        Seed for the sensor's private random generator (deterministic runs).
+    """
+
+    name: str
+    noise_std: float = 0.0
+    bias: float = 0.0
+    quantization: float = 0.0
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _override: float | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+        if self.quantization < 0:
+            raise ValueError("quantization must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def measure(self, true_value: float) -> float:
+        """Return a reading of ``true_value`` (or the spoofed override)."""
+        if self._override is not None:
+            return self._override
+        reading = true_value + self.bias
+        if self.noise_std > 0:
+            reading += float(self._rng.normal(0.0, self.noise_std))
+        if self.quantization > 0:
+            reading = round(reading / self.quantization) * self.quantization
+        return reading
+
+    # -- attack hooks --------------------------------------------------------
+
+    def spoof(self, value: float) -> None:
+        """Force every subsequent reading to ``value`` until cleared."""
+        self._override = value
+
+    def clear_spoof(self) -> None:
+        """Remove a spoofed override."""
+        self._override = None
+
+    @property
+    def spoofed(self) -> bool:
+        """Whether the sensor currently returns a spoofed value."""
+        return self._override is not None
+
+
+class TemperatureSensor(Sensor):
+    """The precision passive temperature probe (+/- 0.2 deg C)."""
+
+    def __init__(self, name: str = "temperature-probe", seed: int = 11) -> None:
+        super().__init__(
+            name=name,
+            noise_std=0.2 / 3.0,
+            bias=0.0,
+            quantization=0.01,
+            seed=seed,
+        )
+
+
+class Tachometer(Sensor):
+    """The rotor speed sensor (+/- 1 rpm regulation requires sub-rpm noise)."""
+
+    def __init__(self, name: str = "tachometer", seed: int = 13) -> None:
+        super().__init__(
+            name=name,
+            noise_std=0.3,
+            bias=0.0,
+            quantization=0.1,
+            seed=seed,
+        )

@@ -1,0 +1,110 @@
+"""The safety instrumented system (SIS) of the centrifuge.
+
+The paper's demonstration includes a "SIS platform: a redundant safety
+monitor for the centrifuge controller, for example, temperature is too high
+for commanded mode or speed is too high".  The SIS reads its own copies of
+the measurements, compares them against trip limits, and, when a limit is
+exceeded persistently, latches a trip that forces the rotor drive to zero.
+
+The SIS can be *disabled* -- this is the hook the Triton-like scenario uses:
+the paper explicitly cites Triton, "where malware was used to disable the
+safety systems of a petrochemical plant".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SisLimits:
+    """Trip limits of the safety monitor."""
+
+    temperature_high_c: float = 28.0
+    speed_high_rpm: float = 9_500.0
+    speed_over_setpoint_rpm: float = 500.0
+    confirmation_samples: int = 3
+
+    def __post_init__(self) -> None:
+        if self.confirmation_samples < 1:
+            raise ValueError("confirmation_samples must be at least 1")
+
+
+@dataclass
+class SafetyInstrumentedSystem:
+    """Redundant safety monitor with latched trip behaviour."""
+
+    limits: SisLimits = field(default_factory=SisLimits)
+    enabled: bool = True
+    tripped: bool = field(default=False, init=False)
+    trip_reason: str = field(default="", init=False)
+    trip_time_s: float | None = field(default=None, init=False)
+    _violation_streak: int = field(default=0, init=False, repr=False)
+
+    def reset(self) -> None:
+        """Clear any latched trip (requires local operator action in reality)."""
+        self.tripped = False
+        self.trip_reason = ""
+        self.trip_time_s = None
+        self._violation_streak = 0
+
+    def disable(self) -> None:
+        """Disable the safety function (the Triton-style attack action)."""
+        self.enabled = False
+
+    def enable(self) -> None:
+        """Re-enable the safety function."""
+        self.enabled = True
+
+    def check(
+        self,
+        time_s: float,
+        temperature_c: float,
+        speed_rpm: float,
+        commanded_speed_rpm: float,
+    ) -> bool:
+        """Evaluate the trip logic for one sample; returns the trip state.
+
+        A violation must persist for ``confirmation_samples`` consecutive
+        samples before the trip latches, to avoid spurious trips on sensor
+        noise.
+        """
+        if self.tripped:
+            return True
+        if not self.enabled:
+            return False
+        reason = self._violation(temperature_c, speed_rpm, commanded_speed_rpm)
+        if reason:
+            self._violation_streak += 1
+            if self._violation_streak >= self.limits.confirmation_samples:
+                self.tripped = True
+                self.trip_reason = reason
+                self.trip_time_s = time_s
+        else:
+            self._violation_streak = 0
+        return self.tripped
+
+    def _violation(
+        self, temperature_c: float, speed_rpm: float, commanded_speed_rpm: float
+    ) -> str:
+        if temperature_c > self.limits.temperature_high_c:
+            return (
+                f"temperature {temperature_c:.1f} C above trip limit "
+                f"{self.limits.temperature_high_c:.1f} C"
+            )
+        if speed_rpm > self.limits.speed_high_rpm:
+            return (
+                f"speed {speed_rpm:.0f} rpm above trip limit "
+                f"{self.limits.speed_high_rpm:.0f} rpm"
+            )
+        if speed_rpm > commanded_speed_rpm + self.limits.speed_over_setpoint_rpm:
+            return (
+                f"speed {speed_rpm:.0f} rpm exceeds commanded mode "
+                f"{commanded_speed_rpm:.0f} rpm by more than "
+                f"{self.limits.speed_over_setpoint_rpm:.0f} rpm"
+            )
+        return ""
+
+    def drive_permission(self) -> float:
+        """Multiplier applied to the drive command (0 when tripped)."""
+        return 0.0 if self.tripped else 1.0

@@ -1,0 +1,40 @@
+"""System-model graph substrate.
+
+This package implements the paper's first capability: a *general architectural
+model* onto which attack-vector data can be associated.  It provides
+
+* :mod:`repro.graph.attributes` -- the attribute taxonomy attached to components,
+* :mod:`repro.graph.model` -- the attributed, directed system graph,
+* :mod:`repro.graph.sysml` -- a SysML-flavoured internal-block-diagram front end,
+* :mod:`repro.graph.graphml` -- GraphML import/export (the authors' exporter [11]),
+* :mod:`repro.graph.refinement` -- architecture-refinement operations,
+* :mod:`repro.graph.validation` -- structural validation of system models.
+"""
+
+from repro.graph.attributes import Attribute, AttributeKind, Fidelity
+from repro.graph.model import Component, ComponentKind, Connection, SystemGraph
+from repro.graph.sysml import Block, Connector, InternalBlockDiagram, Port
+from repro.graph.graphml import read_graphml, write_graphml
+from repro.graph.refinement import RefinementStep, abstract_component, refine_component
+from repro.graph.validation import ValidationFinding, validate_model
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "Fidelity",
+    "Component",
+    "ComponentKind",
+    "Connection",
+    "SystemGraph",
+    "Block",
+    "Port",
+    "Connector",
+    "InternalBlockDiagram",
+    "read_graphml",
+    "write_graphml",
+    "RefinementStep",
+    "refine_component",
+    "abstract_component",
+    "ValidationFinding",
+    "validate_model",
+]

@@ -1,0 +1,142 @@
+"""Attribute taxonomy for system-model components.
+
+The paper associates attack vectors with *attributes* of components: the text
+describing what hardware, operating system, software, protocol, or role a
+component has (Table 1 is indexed by attribute, not by component).  High-level
+descriptions relate to attack patterns and weaknesses; low-level descriptions
+(specific product names and versions) relate to vulnerabilities.
+
+This module defines the attribute value object and the two classification axes
+the search engine uses:
+
+* :class:`AttributeKind` -- what the attribute describes (hardware, OS, ...),
+* :class:`Fidelity` -- how close to implementation the description is, which
+  drives fidelity-aware matching (abstract -> CAPEC/CWE, specific -> CVE).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class AttributeKind(enum.Enum):
+    """What facet of the component an attribute describes."""
+
+    HARDWARE = "hardware"
+    OPERATING_SYSTEM = "operating_system"
+    SOFTWARE = "software"
+    FIRMWARE = "firmware"
+    PROTOCOL = "protocol"
+    NETWORK = "network"
+    FUNCTION = "function"
+    DATA = "data"
+    ENTRY_POINT = "entry_point"
+    PHYSICAL = "physical"
+    HUMAN = "human"
+    OTHER = "other"
+
+
+class Fidelity(enum.IntEnum):
+    """How implementation-specific a description is.
+
+    The paper's refinement argument (Section 2) is that early, abstract models
+    best relate to attack patterns and weaknesses, while implementation-level
+    models (specific product names, versions) relate to vulnerabilities.  The
+    ordering is meaningful: ``CONCEPTUAL < LOGICAL < IMPLEMENTATION``.
+    """
+
+    CONCEPTUAL = 1
+    LOGICAL = 2
+    IMPLEMENTATION = 3
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single descriptive attribute of a component.
+
+    Parameters
+    ----------
+    name:
+        Short human-readable name, e.g. ``"Cisco ASA"`` or ``"supervisory
+        control function"``.  This is the primary text the search engine
+        matches against the attack-vector corpus.
+    kind:
+        The facet the attribute describes.
+    fidelity:
+        How implementation-specific the attribute is.
+    description:
+        Optional longer free text adding matching context.
+    version:
+        Optional version string (only meaningful at implementation fidelity).
+    tags:
+        Optional extra keywords that should participate in matching (for
+        example CPE-like platform identifiers).
+    """
+
+    name: str
+    kind: AttributeKind = AttributeKind.OTHER
+    fidelity: Fidelity = Fidelity.LOGICAL
+    description: str = ""
+    version: str = ""
+    tags: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise ValueError("attribute name must be a non-empty string")
+
+    @property
+    def text(self) -> str:
+        """All matchable text of the attribute, joined into one string."""
+        parts = [self.name]
+        if self.version:
+            parts.append(self.version)
+        if self.description:
+            parts.append(self.description)
+        parts.extend(self.tags)
+        return " ".join(parts)
+
+    def is_specific(self) -> bool:
+        """Whether the attribute is specific enough to match vulnerabilities."""
+        return self.fidelity >= Fidelity.IMPLEMENTATION
+
+    def with_fidelity(self, fidelity: Fidelity) -> "Attribute":
+        """Return a copy of the attribute at a different fidelity level."""
+        return Attribute(
+            name=self.name,
+            kind=self.kind,
+            fidelity=fidelity,
+            description=self.description,
+            version=self.version,
+            tags=self.tags,
+        )
+
+
+def hardware(name: str, **kwargs) -> Attribute:
+    """Convenience constructor for a hardware attribute."""
+    return Attribute(name, kind=AttributeKind.HARDWARE, **kwargs)
+
+
+def operating_system(name: str, **kwargs) -> Attribute:
+    """Convenience constructor for an operating-system attribute."""
+    return Attribute(name, kind=AttributeKind.OPERATING_SYSTEM, **kwargs)
+
+
+def software(name: str, **kwargs) -> Attribute:
+    """Convenience constructor for a software attribute."""
+    return Attribute(name, kind=AttributeKind.SOFTWARE, **kwargs)
+
+
+def protocol(name: str, **kwargs) -> Attribute:
+    """Convenience constructor for a protocol attribute."""
+    return Attribute(name, kind=AttributeKind.PROTOCOL, **kwargs)
+
+
+def function(name: str, **kwargs) -> Attribute:
+    """Convenience constructor for a functional (role) attribute."""
+    return Attribute(name, kind=AttributeKind.FUNCTION, **kwargs)
+
+
+def entry_point(name: str, **kwargs) -> Attribute:
+    """Convenience constructor for an entry-point attribute."""
+    return Attribute(name, kind=AttributeKind.ENTRY_POINT, **kwargs)

@@ -1,0 +1,181 @@
+"""GraphML import/export for system models.
+
+The authors' prototype toolchain serializes the exported system model as
+GraphML [11] so the search engine and dashboard can consume it independently
+of the modeling tool.  This module implements a self-contained GraphML writer
+and reader (built on :mod:`xml.etree.ElementTree`) that round-trips every
+field of :class:`~repro.graph.model.SystemGraph`.
+
+Component attributes are stored as a JSON-encoded ``data`` element so that an
+external GraphML viewer still sees well-formed GraphML, while the reader can
+reconstruct the full attribute structure.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from xml.etree import ElementTree as ET
+
+from repro.graph.attributes import Attribute, AttributeKind, Fidelity
+from repro.graph.model import Component, ComponentKind, Connection, SystemGraph
+
+_GRAPHML_NS = "http://graphml.graphdrawing.org/xmlns"
+
+#: key-id -> (domain, attribute name, type)
+_KEYS = {
+    "d_kind": ("node", "kind", "string"),
+    "d_description": ("node", "description", "string"),
+    "d_entry": ("node", "entry_point", "boolean"),
+    "d_subsystem": ("node", "subsystem", "string"),
+    "d_criticality": ("node", "criticality", "double"),
+    "d_attributes": ("node", "attributes", "string"),
+    "d_protocol": ("edge", "protocol", "string"),
+    "d_medium": ("edge", "medium", "string"),
+    "d_edge_description": ("edge", "description", "string"),
+    "d_bidirectional": ("edge", "bidirectional", "boolean"),
+}
+
+
+def write_graphml(graph: SystemGraph, path: str | Path) -> Path:
+    """Write a system model to a GraphML file and return the path."""
+    path = Path(path)
+    path.write_text(to_graphml_string(graph), encoding="utf-8")
+    return path
+
+
+def to_graphml_string(graph: SystemGraph) -> str:
+    """Render a system model as a GraphML document string."""
+    root = ET.Element("graphml", xmlns=_GRAPHML_NS)
+    for key_id, (domain, name, key_type) in _KEYS.items():
+        ET.SubElement(
+            root,
+            "key",
+            id=key_id,
+            attrib={"for": domain, "attr.name": name, "attr.type": key_type},
+        )
+    graph_el = ET.SubElement(root, "graph", id=graph.name, edgedefault="directed")
+    for component in graph.components:
+        node_el = ET.SubElement(graph_el, "node", id=component.name)
+        _data(node_el, "d_kind", component.kind.value)
+        _data(node_el, "d_description", component.description)
+        _data(node_el, "d_entry", "true" if component.entry_point else "false")
+        _data(node_el, "d_subsystem", component.subsystem)
+        _data(node_el, "d_criticality", repr(component.criticality))
+        _data(node_el, "d_attributes", _encode_attributes(component.attributes))
+    for index, connection in enumerate(graph.connections):
+        edge_el = ET.SubElement(
+            graph_el,
+            "edge",
+            id=f"e{index}",
+            source=connection.source,
+            target=connection.target,
+        )
+        _data(edge_el, "d_protocol", connection.protocol)
+        _data(edge_el, "d_medium", connection.medium)
+        _data(edge_el, "d_edge_description", connection.description)
+        _data(edge_el, "d_bidirectional", "true" if connection.bidirectional else "false")
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def read_graphml(path: str | Path) -> SystemGraph:
+    """Read a system model from a GraphML file."""
+    return from_graphml_string(Path(path).read_text(encoding="utf-8"))
+
+
+def from_graphml_string(text: str) -> SystemGraph:
+    """Parse a GraphML document string into a system model."""
+    root = ET.fromstring(text)
+    graph_el = _find(root, "graph")
+    if graph_el is None:
+        raise ValueError("GraphML document contains no <graph> element")
+    graph = SystemGraph(graph_el.get("id", "system"))
+    for node_el in _findall(graph_el, "node"):
+        data = _collect_data(node_el)
+        name = node_el.get("id", "")
+        graph.add_component(
+            Component(
+                name=name,
+                kind=ComponentKind(data.get("d_kind", "other")),
+                attributes=_decode_attributes(data.get("d_attributes", "[]")),
+                description=data.get("d_description", ""),
+                entry_point=data.get("d_entry", "false") == "true",
+                subsystem=data.get("d_subsystem", ""),
+                criticality=float(data.get("d_criticality", "0.5")),
+            )
+        )
+    for edge_el in _findall(graph_el, "edge"):
+        data = _collect_data(edge_el)
+        graph.connect(
+            Connection(
+                source=edge_el.get("source", ""),
+                target=edge_el.get("target", ""),
+                protocol=data.get("d_protocol", ""),
+                medium=data.get("d_medium", "network"),
+                description=data.get("d_edge_description", ""),
+                bidirectional=data.get("d_bidirectional", "true") == "true",
+            )
+        )
+    return graph
+
+
+# -- helpers ----------------------------------------------------------------
+
+
+def _data(parent: ET.Element, key: str, value: str) -> None:
+    element = ET.SubElement(parent, "data", key=key)
+    element.text = value
+
+
+def _find(parent: ET.Element, tag: str) -> ET.Element | None:
+    found = parent.find(f"{{{_GRAPHML_NS}}}{tag}")
+    if found is None:
+        found = parent.find(tag)
+    return found
+
+
+def _findall(parent: ET.Element, tag: str) -> list[ET.Element]:
+    found = parent.findall(f"{{{_GRAPHML_NS}}}{tag}")
+    if not found:
+        found = parent.findall(tag)
+    return found
+
+
+def _collect_data(element: ET.Element) -> dict[str, str]:
+    values: dict[str, str] = {}
+    for data_el in _findall(element, "data"):
+        key = data_el.get("key", "")
+        values[key] = data_el.text or ""
+    return values
+
+
+def _encode_attributes(attributes: tuple[Attribute, ...]) -> str:
+    return json.dumps(
+        [
+            {
+                "name": attr.name,
+                "kind": attr.kind.value,
+                "fidelity": int(attr.fidelity),
+                "description": attr.description,
+                "version": attr.version,
+                "tags": list(attr.tags),
+            }
+            for attr in attributes
+        ]
+    )
+
+
+def _decode_attributes(payload: str) -> tuple[Attribute, ...]:
+    items = json.loads(payload) if payload else []
+    return tuple(
+        Attribute(
+            name=item["name"],
+            kind=AttributeKind(item.get("kind", "other")),
+            fidelity=Fidelity(item.get("fidelity", 2)),
+            description=item.get("description", ""),
+            version=item.get("version", ""),
+            tags=tuple(item.get("tags", ())),
+        )
+        for item in items
+    )

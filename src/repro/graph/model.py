@@ -1,0 +1,477 @@
+"""The general architectural system model.
+
+The paper's first required capability is to "export modeling
+language-specific systems models to a general architectural model".  This
+module is that general model: an attributed, directed multigraph of
+components and their interactions, thin enough to be produced from any
+front-end modeling language (here, the SysML-flavoured API in
+:mod:`repro.graph.sysml`) and rich enough for attack-vector association and
+consequence analysis.
+
+The model deliberately stores *descriptive text* (attributes) rather than
+security-specific annotations -- the point of the paper is that security
+analysis should consume ordinary systems-engineering models.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field, replace
+
+import networkx as nx
+
+from repro.graph.attributes import Attribute, AttributeKind, Fidelity
+
+
+class ComponentKind(enum.Enum):
+    """Coarse role of a component in a cyber-physical system."""
+
+    CONTROLLER = "controller"
+    SAFETY_SYSTEM = "safety_system"
+    WORKSTATION = "workstation"
+    SENSOR = "sensor"
+    ACTUATOR = "actuator"
+    NETWORK_DEVICE = "network_device"
+    FIREWALL = "firewall"
+    PLANT = "plant"
+    DATA_STORE = "data_store"
+    HUMAN_OPERATOR = "human_operator"
+    EXTERNAL = "external"
+    SUBSYSTEM = "subsystem"
+    OTHER = "other"
+
+    @property
+    def is_cyber(self) -> bool:
+        """Whether the component hosts software an adversary could target."""
+        return self in _CYBER_KINDS
+
+    @property
+    def is_physical(self) -> bool:
+        """Whether the component directly touches the physical process."""
+        return self in _PHYSICAL_KINDS
+
+
+_CYBER_KINDS = frozenset(
+    {
+        ComponentKind.CONTROLLER,
+        ComponentKind.SAFETY_SYSTEM,
+        ComponentKind.WORKSTATION,
+        ComponentKind.NETWORK_DEVICE,
+        ComponentKind.FIREWALL,
+        ComponentKind.DATA_STORE,
+        ComponentKind.SENSOR,
+        ComponentKind.ACTUATOR,
+    }
+)
+
+_PHYSICAL_KINDS = frozenset(
+    {
+        ComponentKind.SENSOR,
+        ComponentKind.ACTUATOR,
+        ComponentKind.PLANT,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Component:
+    """A node of the system graph.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a :class:`SystemGraph`.
+    kind:
+        Coarse role of the component.
+    attributes:
+        Descriptive attributes; the unit of attack-vector association.
+    description:
+        Free-text description of the component.
+    entry_point:
+        Whether an adversary can reach this component from outside the
+        system boundary (e.g. a corporate-network-facing firewall port).
+    subsystem:
+        Optional grouping label (e.g. ``"control network"``).
+    criticality:
+        Engineering judgement of how important the component is to the
+        mission, in ``[0, 1]``.  Used by posture metrics, not by matching.
+    """
+
+    name: str
+    kind: ComponentKind = ComponentKind.OTHER
+    attributes: tuple[Attribute, ...] = field(default_factory=tuple)
+    description: str = ""
+    entry_point: bool = False
+    subsystem: str = ""
+    criticality: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise ValueError("component name must be a non-empty string")
+        if not 0.0 <= self.criticality <= 1.0:
+            raise ValueError(
+                f"criticality must be within [0, 1], got {self.criticality}"
+            )
+        object.__setattr__(self, "attributes", tuple(self.attributes))
+
+    @property
+    def text(self) -> str:
+        """All matchable text of the component."""
+        parts = [self.name, self.description]
+        parts.extend(attr.text for attr in self.attributes)
+        return " ".join(part for part in parts if part)
+
+    def attribute_names(self) -> tuple[str, ...]:
+        """Names of all attributes, in declaration order."""
+        return tuple(attr.name for attr in self.attributes)
+
+    def attributes_of_kind(self, kind: AttributeKind) -> tuple[Attribute, ...]:
+        """All attributes of the given kind."""
+        return tuple(attr for attr in self.attributes if attr.kind == kind)
+
+    def max_fidelity(self) -> Fidelity:
+        """The most implementation-specific fidelity among the attributes."""
+        if not self.attributes:
+            return Fidelity.CONCEPTUAL
+        return max(attr.fidelity for attr in self.attributes)
+
+    def with_attributes(self, attributes: Iterable[Attribute]) -> "Component":
+        """Return a copy of the component with a replaced attribute tuple."""
+        return replace(self, attributes=tuple(attributes))
+
+    def add_attributes(self, *attributes: Attribute) -> "Component":
+        """Return a copy of the component with extra attributes appended."""
+        return replace(self, attributes=self.attributes + tuple(attributes))
+
+
+@dataclass(frozen=True)
+class Connection:
+    """A directed interaction between two components.
+
+    Connections carry the protocol and medium so that the search engine can
+    associate protocol-level attack vectors (e.g. MODBUS spoofing) with the
+    link itself, and so that topological filters can distinguish network
+    reachability from purely physical coupling.
+    """
+
+    source: str
+    target: str
+    protocol: str = ""
+    medium: str = "network"
+    description: str = ""
+    bidirectional: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.source or not self.target:
+            raise ValueError("connection endpoints must be non-empty strings")
+
+    @property
+    def text(self) -> str:
+        """All matchable text of the connection."""
+        parts = [self.protocol, self.medium, self.description]
+        return " ".join(part for part in parts if part)
+
+    def endpoints(self) -> tuple[str, str]:
+        """The (source, target) pair."""
+        return (self.source, self.target)
+
+    def reversed(self) -> "Connection":
+        """The same connection with source and target swapped."""
+        return replace(self, source=self.target, target=self.source)
+
+
+class SystemGraph:
+    """An attributed directed multigraph of components and connections.
+
+    This is the "general architectural model" of the paper: the common
+    representation produced by exporters from modeling languages and consumed
+    by the attack-vector search engine and the analysis dashboard.
+
+    The class wraps a :class:`networkx.MultiDiGraph` so that downstream
+    analyses (reachability, centrality, exploit chains) can reuse networkx
+    algorithms, while presenting a domain-specific API.
+    """
+
+    def __init__(self, name: str = "system") -> None:
+        if not name:
+            raise ValueError("system graph name must be non-empty")
+        self.name = name
+        self._graph: nx.MultiDiGraph = nx.MultiDiGraph(name=name)
+        self._components: dict[str, Component] = {}
+        self._connections: list[Connection] = []
+
+    # -- construction ------------------------------------------------------
+
+    def add_component(self, component: Component) -> Component:
+        """Add a component node; raises if the name is already present."""
+        if component.name in self._components:
+            raise ValueError(f"duplicate component name: {component.name!r}")
+        self._components[component.name] = component
+        self._graph.add_node(component.name)
+        return component
+
+    def add_components(self, components: Iterable[Component]) -> None:
+        """Add several components."""
+        for component in components:
+            self.add_component(component)
+
+    def replace_component(self, component: Component) -> Component:
+        """Replace an existing component (same name) with a new definition."""
+        if component.name not in self._components:
+            raise KeyError(f"unknown component: {component.name!r}")
+        self._components[component.name] = component
+        return component
+
+    def remove_component(self, name: str) -> None:
+        """Remove a component and all connections touching it."""
+        if name not in self._components:
+            raise KeyError(f"unknown component: {name!r}")
+        del self._components[name]
+        self._graph.remove_node(name)
+        self._connections = [
+            connection
+            for connection in self._connections
+            if name not in connection.endpoints()
+        ]
+
+    def connect(self, connection: Connection) -> Connection:
+        """Add a connection; both endpoints must already exist."""
+        for endpoint in connection.endpoints():
+            if endpoint not in self._components:
+                raise KeyError(f"unknown component: {endpoint!r}")
+        self._connections.append(connection)
+        self._graph.add_edge(connection.source, connection.target)
+        if connection.bidirectional:
+            self._graph.add_edge(connection.target, connection.source)
+        return connection
+
+    def connect_all(self, connections: Iterable[Connection]) -> None:
+        """Add several connections."""
+        for connection in connections:
+            self.connect(connection)
+
+    # -- access ------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._components
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __iter__(self) -> Iterator[Component]:
+        return iter(self._components.values())
+
+    def component(self, name: str) -> Component:
+        """Return the component with the given name."""
+        try:
+            return self._components[name]
+        except KeyError:
+            raise KeyError(f"unknown component: {name!r}") from None
+
+    @property
+    def components(self) -> tuple[Component, ...]:
+        """All components, in insertion order."""
+        return tuple(self._components.values())
+
+    @property
+    def connections(self) -> tuple[Connection, ...]:
+        """All connections, in insertion order."""
+        return tuple(self._connections)
+
+    def component_names(self) -> tuple[str, ...]:
+        """All component names, in insertion order."""
+        return tuple(self._components)
+
+    def entry_points(self) -> tuple[Component, ...]:
+        """Components flagged as adversary entry points."""
+        return tuple(c for c in self._components.values() if c.entry_point)
+
+    def subsystems(self) -> dict[str, tuple[Component, ...]]:
+        """Group components by their subsystem label."""
+        groups: dict[str, list[Component]] = {}
+        for component in self._components.values():
+            groups.setdefault(component.subsystem, []).append(component)
+        return {label: tuple(members) for label, members in groups.items()}
+
+    def neighbors(self, name: str) -> tuple[Component, ...]:
+        """Components directly connected to the named component."""
+        self.component(name)
+        seen: dict[str, None] = {}
+        for connection in self._connections:
+            if connection.source == name:
+                seen.setdefault(connection.target)
+            elif connection.target == name and connection.bidirectional:
+                seen.setdefault(connection.source)
+        return tuple(self._components[other] for other in seen)
+
+    def connections_of(self, name: str) -> tuple[Connection, ...]:
+        """All connections that touch the named component."""
+        self.component(name)
+        return tuple(
+            connection
+            for connection in self._connections
+            if name in connection.endpoints()
+        )
+
+    def all_attributes(self) -> tuple[tuple[Component, Attribute], ...]:
+        """Every (component, attribute) pair in the model."""
+        pairs: list[tuple[Component, Attribute]] = []
+        for component in self._components.values():
+            for attribute in component.attributes:
+                pairs.append((component, attribute))
+        return tuple(pairs)
+
+    # -- topology ----------------------------------------------------------
+
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """A copy of the underlying networkx graph with component payloads."""
+        graph = self._graph.copy()
+        for name, component in self._components.items():
+            graph.nodes[name]["component"] = component
+        return graph
+
+    def is_reachable(self, source: str, target: str) -> bool:
+        """Whether ``target`` is reachable from ``source`` along connections."""
+        self.component(source)
+        self.component(target)
+        return nx.has_path(self._graph, source, target)
+
+    def reachable_from(self, source: str) -> tuple[str, ...]:
+        """Names of all components reachable from ``source`` (excluding it)."""
+        self.component(source)
+        reachable = nx.descendants(self._graph, source)
+        return tuple(name for name in self._components if name in reachable)
+
+    def shortest_path(self, source: str, target: str) -> tuple[str, ...]:
+        """Shortest component path from ``source`` to ``target``.
+
+        Raises :class:`networkx.NetworkXNoPath` if no path exists.
+        """
+        self.component(source)
+        self.component(target)
+        return tuple(nx.shortest_path(self._graph, source, target))
+
+    def exposure_distance(self, name: str) -> int | None:
+        """Minimum hop count from any entry point to the named component.
+
+        Returns ``0`` for entry points themselves and ``None`` when the
+        component cannot be reached from any entry point (it is only
+        attackable with physical access).
+        """
+        component = self.component(name)
+        if component.entry_point:
+            return 0
+        best: int | None = None
+        for entry in self.entry_points():
+            try:
+                length = nx.shortest_path_length(self._graph, entry.name, name)
+            except nx.NetworkXNoPath:
+                continue
+            if best is None or length < best:
+                best = length
+        return best
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable dictionary of the full model."""
+        return {
+            "name": self.name,
+            "components": [
+                {
+                    "name": c.name,
+                    "kind": c.kind.value,
+                    "description": c.description,
+                    "entry_point": c.entry_point,
+                    "subsystem": c.subsystem,
+                    "criticality": c.criticality,
+                    "attributes": [
+                        {
+                            "name": a.name,
+                            "kind": a.kind.value,
+                            "fidelity": int(a.fidelity),
+                            "description": a.description,
+                            "version": a.version,
+                            "tags": list(a.tags),
+                        }
+                        for a in c.attributes
+                    ],
+                }
+                for c in self._components.values()
+            ],
+            "connections": [
+                {
+                    "source": conn.source,
+                    "target": conn.target,
+                    "protocol": conn.protocol,
+                    "medium": conn.medium,
+                    "description": conn.description,
+                    "bidirectional": conn.bidirectional,
+                }
+                for conn in self._connections
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SystemGraph":
+        """Rebuild a system graph from :meth:`to_dict` output."""
+        graph = cls(payload.get("name", "system"))
+        for entry in payload.get("components", []):
+            attributes = tuple(
+                Attribute(
+                    name=item["name"],
+                    kind=AttributeKind(item.get("kind", "other")),
+                    fidelity=Fidelity(item.get("fidelity", 2)),
+                    description=item.get("description", ""),
+                    version=item.get("version", ""),
+                    tags=tuple(item.get("tags", ())),
+                )
+                for item in entry.get("attributes", [])
+            )
+            graph.add_component(
+                Component(
+                    name=entry["name"],
+                    kind=ComponentKind(entry.get("kind", "other")),
+                    attributes=attributes,
+                    description=entry.get("description", ""),
+                    entry_point=entry.get("entry_point", False),
+                    subsystem=entry.get("subsystem", ""),
+                    criticality=entry.get("criticality", 0.5),
+                )
+            )
+        for entry in payload.get("connections", []):
+            graph.connect(
+                Connection(
+                    source=entry["source"],
+                    target=entry["target"],
+                    protocol=entry.get("protocol", ""),
+                    medium=entry.get("medium", "network"),
+                    description=entry.get("description", ""),
+                    bidirectional=entry.get("bidirectional", True),
+                )
+            )
+        return graph
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialize the model to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SystemGraph":
+        """Rebuild a system graph from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def copy(self, name: str | None = None) -> "SystemGraph":
+        """A deep, independent copy of the model."""
+        clone = SystemGraph(name or self.name)
+        clone.add_components(self._components.values())
+        clone.connect_all(self._connections)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SystemGraph(name={self.name!r}, components={len(self)}, "
+            f"connections={len(self._connections)})"
+        )

@@ -1,0 +1,143 @@
+"""Architecture-refinement operations.
+
+Section 2 of the paper: "What we mean by architecture refinement is the
+addition of increasingly specific information in the model such that the
+relevance of attack vectors increases the closer we get to deployment."
+
+This module models refinement explicitly so the fidelity-sensitivity
+experiment (DESIGN.md, E3) can sweep a single model across fidelity levels:
+
+* :func:`refine_component` adds implementation-specific attributes to a
+  component, producing a new model (models are treated as immutable inputs),
+* :func:`abstract_component` drops attributes above a fidelity ceiling,
+  producing the early-lifecycle view of the same architecture,
+* :class:`RefinementStep` / :class:`RefinementPlan` record a sequence of
+  refinements so that what-if analysis can replay or compare them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.attributes import Attribute, Fidelity
+from repro.graph.model import SystemGraph
+
+
+@dataclass(frozen=True)
+class RefinementStep:
+    """One refinement action: add attributes to a named component."""
+
+    component: str
+    added: tuple[Attribute, ...]
+    rationale: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.added:
+            raise ValueError("a refinement step must add at least one attribute")
+
+
+@dataclass
+class RefinementPlan:
+    """An ordered collection of refinement steps applied to a base model."""
+
+    name: str
+    steps: list[RefinementStep] = field(default_factory=list)
+
+    def add(self, step: RefinementStep) -> "RefinementPlan":
+        """Append a step; returns self for chaining."""
+        self.steps.append(step)
+        return self
+
+    def apply(self, graph: SystemGraph) -> SystemGraph:
+        """Apply all steps to a copy of the graph and return the refined model."""
+        refined = graph.copy(f"{graph.name}+{self.name}")
+        for step in self.steps:
+            component = refined.component(step.component)
+            refined.replace_component(component.add_attributes(*step.added))
+        return refined
+
+    def touched_components(self) -> tuple[str, ...]:
+        """Names of components affected by the plan, without duplicates."""
+        seen: dict[str, None] = {}
+        for step in self.steps:
+            seen.setdefault(step.component)
+        return tuple(seen)
+
+
+def refine_component(
+    graph: SystemGraph,
+    component_name: str,
+    *attributes: Attribute,
+    rationale: str = "",
+) -> SystemGraph:
+    """Return a copy of the model with extra attributes on one component.
+
+    The added attributes typically have
+    :attr:`~repro.graph.attributes.Fidelity.IMPLEMENTATION` fidelity (specific
+    products, versions), which is what makes vulnerability matching possible.
+    """
+    plan = RefinementPlan(name=f"refine-{component_name}")
+    plan.add(RefinementStep(component_name, tuple(attributes), rationale))
+    return plan.apply(graph)
+
+
+def abstract_component(
+    graph: SystemGraph,
+    component_name: str,
+    max_fidelity: Fidelity = Fidelity.LOGICAL,
+) -> SystemGraph:
+    """Return a copy of the model with one component abstracted.
+
+    Attributes above ``max_fidelity`` are removed; this is the paper's
+    suggestion to "abstract away vulnerabilities at the earlier stages of the
+    design lifecycle where the model is more abstract".
+    """
+    abstracted = graph.copy(f"{graph.name}~{component_name}")
+    component = abstracted.component(component_name)
+    kept = tuple(a for a in component.attributes if a.fidelity <= max_fidelity)
+    abstracted.replace_component(component.with_attributes(kept))
+    return abstracted
+
+
+def abstract_model(graph: SystemGraph, max_fidelity: Fidelity) -> SystemGraph:
+    """Return a copy of the whole model capped at the given fidelity level."""
+    abstracted = graph.copy(f"{graph.name}@{max_fidelity.name.lower()}")
+    for component in graph.components:
+        kept = tuple(a for a in component.attributes if a.fidelity <= max_fidelity)
+        abstracted.replace_component(component.with_attributes(kept))
+    return abstracted
+
+
+def fidelity_profile(graph: SystemGraph) -> dict[Fidelity, int]:
+    """Count the model's attributes at each fidelity level."""
+    profile = {level: 0 for level in Fidelity}
+    for _, attribute in graph.all_attributes():
+        profile[attribute.fidelity] += 1
+    return profile
+
+
+def swap_attribute(
+    graph: SystemGraph,
+    component_name: str,
+    old_attribute_name: str,
+    new_attribute: Attribute,
+) -> SystemGraph:
+    """Return a copy of the model with one attribute replaced by another.
+
+    This is the elementary *what-if* operation of the dashboard: replace, for
+    example, ``Windows 7`` with a hardened alternative on the programming
+    workstation and re-run the association to compare postures.
+    """
+    modified = graph.copy(graph.name)
+    component = modified.component(component_name)
+    names = component.attribute_names()
+    if old_attribute_name not in names:
+        raise KeyError(
+            f"component {component_name!r} has no attribute {old_attribute_name!r}"
+        )
+    replaced = tuple(
+        new_attribute if attr.name == old_attribute_name else attr
+        for attr in component.attributes
+    )
+    modified.replace_component(component.with_attributes(replaced))
+    return modified

@@ -1,0 +1,260 @@
+"""A SysML-flavoured modeling front end.
+
+The authors' prototype exports SysML internal block diagrams from MagicDraw to
+GraphML [11].  We cannot ship MagicDraw, so this module provides the modeling
+front end itself: blocks, ports, connectors, and stereotype/property values --
+the subset of SysML structure the exporter consumes -- together with
+``to_system_graph``, the export into the general architectural model.
+
+The intent is that a systems engineer describes the architecture with ordinary
+systems-engineering concepts (blocks and connectors, not threats), and the
+security pipeline works from that description alone, exactly as the paper
+advocates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.attributes import Attribute, AttributeKind, Fidelity
+from repro.graph.model import Component, ComponentKind, Connection, SystemGraph
+
+#: Mapping from SysML stereotype names used in the case studies to the
+#: coarse component kinds of the general model.
+_STEREOTYPE_KINDS = {
+    "controller": ComponentKind.CONTROLLER,
+    "safety": ComponentKind.SAFETY_SYSTEM,
+    "workstation": ComponentKind.WORKSTATION,
+    "sensor": ComponentKind.SENSOR,
+    "actuator": ComponentKind.ACTUATOR,
+    "network": ComponentKind.NETWORK_DEVICE,
+    "firewall": ComponentKind.FIREWALL,
+    "plant": ComponentKind.PLANT,
+    "datastore": ComponentKind.DATA_STORE,
+    "operator": ComponentKind.HUMAN_OPERATOR,
+    "external": ComponentKind.EXTERNAL,
+    "subsystem": ComponentKind.SUBSYSTEM,
+}
+
+#: Mapping from property-group names to attribute kinds.
+_PROPERTY_KINDS = {
+    "hardware": AttributeKind.HARDWARE,
+    "os": AttributeKind.OPERATING_SYSTEM,
+    "operating_system": AttributeKind.OPERATING_SYSTEM,
+    "software": AttributeKind.SOFTWARE,
+    "firmware": AttributeKind.FIRMWARE,
+    "protocol": AttributeKind.PROTOCOL,
+    "network": AttributeKind.NETWORK,
+    "function": AttributeKind.FUNCTION,
+    "data": AttributeKind.DATA,
+    "entry_point": AttributeKind.ENTRY_POINT,
+    "physical": AttributeKind.PHYSICAL,
+    "human": AttributeKind.HUMAN,
+}
+
+
+@dataclass
+class Port:
+    """A SysML port on a block: a named interaction point with a protocol."""
+
+    name: str
+    protocol: str = ""
+    direction: str = "inout"
+
+    def __post_init__(self) -> None:
+        if self.direction not in {"in", "out", "inout"}:
+            raise ValueError(f"invalid port direction: {self.direction!r}")
+
+
+@dataclass
+class Block:
+    """A SysML block: the unit of architectural decomposition.
+
+    Properties are grouped by facet name (``"os"``, ``"software"``, ...); each
+    value becomes an :class:`~repro.graph.attributes.Attribute` on export.
+    Property values may be plain strings, ``(value, fidelity)`` pairs, or
+    fully-specified :class:`~repro.graph.attributes.Attribute` objects (when
+    the engineer wants to carry descriptions and tags that sharpen text
+    matching -- the sensitivity the paper's Section 3 discusses).
+    """
+
+    name: str
+    stereotype: str = ""
+    documentation: str = ""
+    properties: dict[str, list] = field(default_factory=dict)
+    ports: list[Port] = field(default_factory=list)
+    entry_point: bool = False
+    subsystem: str = ""
+    criticality: float = 0.5
+
+    def add_property(
+        self,
+        group: str,
+        value: "str | Attribute",
+        fidelity: Fidelity = Fidelity.LOGICAL,
+    ) -> "Block":
+        """Add a property value under a facet group; returns self for chaining."""
+        if isinstance(value, Attribute):
+            self.properties.setdefault(group, []).append(value)
+        else:
+            self.properties.setdefault(group, []).append((value, fidelity))
+        return self
+
+    def add_port(self, name: str, protocol: str = "", direction: str = "inout") -> Port:
+        """Add a port and return it."""
+        port = Port(name=name, protocol=protocol, direction=direction)
+        self.ports.append(port)
+        return port
+
+    def port(self, name: str) -> Port:
+        """Return the port with the given name."""
+        for port in self.ports:
+            if port.name == name:
+                return port
+        raise KeyError(f"block {self.name!r} has no port {name!r}")
+
+
+@dataclass
+class Connector:
+    """A SysML connector joining two block ports."""
+
+    source_block: str
+    source_port: str
+    target_block: str
+    target_port: str
+    protocol: str = ""
+    medium: str = "network"
+    documentation: str = ""
+
+
+class InternalBlockDiagram:
+    """A SysML internal block diagram: blocks wired together by connectors."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("diagram name must be non-empty")
+        self.name = name
+        self._blocks: dict[str, Block] = {}
+        self._connectors: list[Connector] = []
+
+    def add_block(self, block: Block) -> Block:
+        """Add a block; raises on duplicate names."""
+        if block.name in self._blocks:
+            raise ValueError(f"duplicate block name: {block.name!r}")
+        self._blocks[block.name] = block
+        return block
+
+    def block(self, name: str) -> Block:
+        """Return the block with the given name."""
+        try:
+            return self._blocks[name]
+        except KeyError:
+            raise KeyError(f"unknown block: {name!r}") from None
+
+    @property
+    def blocks(self) -> tuple[Block, ...]:
+        """All blocks, in insertion order."""
+        return tuple(self._blocks.values())
+
+    @property
+    def connectors(self) -> tuple[Connector, ...]:
+        """All connectors, in insertion order."""
+        return tuple(self._connectors)
+
+    def connect(
+        self,
+        source_block: str,
+        source_port: str,
+        target_block: str,
+        target_port: str,
+        protocol: str = "",
+        medium: str = "network",
+        documentation: str = "",
+    ) -> Connector:
+        """Wire two ports together.  Both blocks and ports must exist."""
+        self.block(source_block).port(source_port)
+        self.block(target_block).port(target_port)
+        connector = Connector(
+            source_block=source_block,
+            source_port=source_port,
+            target_block=target_block,
+            target_port=target_port,
+            protocol=protocol,
+            medium=medium,
+            documentation=documentation,
+        )
+        self._connectors.append(connector)
+        return connector
+
+    # -- export (capability 1 of the paper) --------------------------------
+
+    def to_system_graph(self) -> SystemGraph:
+        """Export the diagram to the general architectural model.
+
+        Blocks become components (stereotype -> kind, properties -> attributes,
+        ports contribute protocol attributes), connectors become connections.
+        """
+        graph = SystemGraph(self.name)
+        for block in self._blocks.values():
+            graph.add_component(_block_to_component(block))
+        for connector in self._connectors:
+            protocol = connector.protocol
+            if not protocol:
+                protocol = self.block(connector.source_block).port(
+                    connector.source_port
+                ).protocol
+            graph.connect(
+                Connection(
+                    source=connector.source_block,
+                    target=connector.target_block,
+                    protocol=protocol,
+                    medium=connector.medium,
+                    description=connector.documentation,
+                )
+            )
+        return graph
+
+
+def _block_to_component(block: Block) -> Component:
+    """Translate one SysML block into a general-model component."""
+    kind = _STEREOTYPE_KINDS.get(block.stereotype.lower(), ComponentKind.OTHER)
+    attributes: list[Attribute] = []
+    for group, values in block.properties.items():
+        attr_kind = _PROPERTY_KINDS.get(group.lower(), AttributeKind.OTHER)
+        for value in values:
+            if isinstance(value, Attribute):
+                if value.kind is AttributeKind.OTHER:
+                    value = Attribute(
+                        name=value.name,
+                        kind=attr_kind,
+                        fidelity=value.fidelity,
+                        description=value.description,
+                        version=value.version,
+                        tags=value.tags,
+                    )
+                attributes.append(value)
+                continue
+            if isinstance(value, tuple):
+                text, fidelity = value
+            else:
+                text, fidelity = value, Fidelity.LOGICAL
+            attributes.append(Attribute(name=text, kind=attr_kind, fidelity=fidelity))
+    for port in block.ports:
+        if port.protocol:
+            attributes.append(
+                Attribute(
+                    name=port.protocol,
+                    kind=AttributeKind.PROTOCOL,
+                    fidelity=Fidelity.LOGICAL,
+                    description=f"port {port.name}",
+                )
+            )
+    return Component(
+        name=block.name,
+        kind=kind,
+        attributes=tuple(attributes),
+        description=block.documentation,
+        entry_point=block.entry_point,
+        subsystem=block.subsystem,
+        criticality=block.criticality,
+    )

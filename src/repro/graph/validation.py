@@ -1,0 +1,176 @@
+"""Structural validation of system models.
+
+The paper notes that the association pipeline is "highly sensitive to the
+fidelity of the model" and that "system nodes with unspecific properties
+result in large numbers of attributes with many irrelevant results".  The
+validator surfaces exactly those modeling smells before the engineer runs the
+(expensive, noisy) association step, alongside ordinary structural checks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.graph.model import ComponentKind, SystemGraph
+
+
+class Severity(enum.Enum):
+    """How serious a validation finding is."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class ValidationFinding:
+    """One issue found in a system model."""
+
+    severity: Severity
+    code: str
+    subject: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.code} {self.subject}: {self.message}"
+
+
+def validate_model(graph: SystemGraph) -> list[ValidationFinding]:
+    """Run all checks and return the findings (empty list means clean)."""
+    findings: list[ValidationFinding] = []
+    findings.extend(_check_isolated_components(graph))
+    findings.extend(_check_missing_attributes(graph))
+    findings.extend(_check_no_entry_points(graph))
+    findings.extend(_check_unreachable_from_entry(graph))
+    findings.extend(_check_vague_attributes(graph))
+    findings.extend(_check_missing_protocols(graph))
+    findings.extend(_check_physical_coverage(graph))
+    return findings
+
+
+def has_errors(findings: list[ValidationFinding]) -> bool:
+    """Whether any finding has ERROR severity."""
+    return any(f.severity is Severity.ERROR for f in findings)
+
+
+def _check_isolated_components(graph: SystemGraph) -> list[ValidationFinding]:
+    findings = []
+    for component in graph.components:
+        if not graph.connections_of(component.name):
+            findings.append(
+                ValidationFinding(
+                    Severity.WARNING,
+                    "ISOLATED",
+                    component.name,
+                    "component has no connections; it cannot participate in "
+                    "exploit chains or consequence analysis",
+                )
+            )
+    return findings
+
+
+def _check_missing_attributes(graph: SystemGraph) -> list[ValidationFinding]:
+    findings = []
+    for component in graph.components:
+        if component.kind in {ComponentKind.PLANT, ComponentKind.HUMAN_OPERATOR}:
+            continue
+        if not component.attributes:
+            findings.append(
+                ValidationFinding(
+                    Severity.ERROR,
+                    "NO_ATTRIBUTES",
+                    component.name,
+                    "component has no attributes; the search engine has "
+                    "nothing to associate attack vectors with",
+                )
+            )
+    return findings
+
+
+def _check_no_entry_points(graph: SystemGraph) -> list[ValidationFinding]:
+    if len(graph) and not graph.entry_points():
+        return [
+            ValidationFinding(
+                Severity.WARNING,
+                "NO_ENTRY_POINTS",
+                graph.name,
+                "no component is marked as an adversary entry point; exposure "
+                "distances and exploit chains cannot be computed",
+            )
+        ]
+    return []
+
+
+def _check_unreachable_from_entry(graph: SystemGraph) -> list[ValidationFinding]:
+    findings = []
+    if not graph.entry_points():
+        return findings
+    for component in graph.components:
+        if component.kind is ComponentKind.PLANT:
+            continue
+        if graph.exposure_distance(component.name) is None:
+            findings.append(
+                ValidationFinding(
+                    Severity.INFO,
+                    "AIR_GAPPED",
+                    component.name,
+                    "component is not reachable from any entry point; only "
+                    "physical-access attacks apply",
+                )
+            )
+    return findings
+
+
+_VAGUE_TERMS = frozenset({"device", "system", "computer", "thing", "component", "unit"})
+
+
+def _check_vague_attributes(graph: SystemGraph) -> list[ValidationFinding]:
+    findings = []
+    for component, attribute in graph.all_attributes():
+        words = attribute.name.lower().split()
+        if len(words) == 1 and words[0] in _VAGUE_TERMS:
+            findings.append(
+                ValidationFinding(
+                    Severity.WARNING,
+                    "VAGUE_ATTRIBUTE",
+                    f"{component.name}.{attribute.name}",
+                    "single vague term will match large numbers of irrelevant "
+                    "attack vectors (see Section 3 of the paper)",
+                )
+            )
+    return findings
+
+
+def _check_missing_protocols(graph: SystemGraph) -> list[ValidationFinding]:
+    findings = []
+    for connection in graph.connections:
+        if connection.medium == "network" and not connection.protocol:
+            findings.append(
+                ValidationFinding(
+                    Severity.INFO,
+                    "NO_PROTOCOL",
+                    f"{connection.source}->{connection.target}",
+                    "network connection has no protocol; protocol-level attack "
+                    "patterns cannot be associated with this link",
+                )
+            )
+    return findings
+
+
+def _check_physical_coverage(graph: SystemGraph) -> list[ValidationFinding]:
+    kinds = {component.kind for component in graph.components}
+    has_cyber = any(kind.is_cyber for kind in kinds)
+    has_physical = any(kind.is_physical for kind in kinds)
+    if has_cyber and not has_physical:
+        return [
+            ValidationFinding(
+                Severity.WARNING,
+                "NO_PHYSICAL_PROCESS",
+                graph.name,
+                "the model contains no sensor/actuator/plant component; attack "
+                "vectors cannot be mapped to physical consequences, which is "
+                "exactly the IT-centric blind spot the paper criticizes",
+            )
+        ]
+    return []

@@ -1,0 +1,54 @@
+"""Attack-vector search and association engine.
+
+This package is the reproduction of the paper's second capability (and the
+authors' CYBOK command-line tool [12]): given a system model and the
+attack-vector corpus, associate attack patterns, weaknesses, and
+vulnerabilities with each attribute of each component through text matching.
+
+* :mod:`repro.search.text` -- tokenization and light normalization,
+* :mod:`repro.search.index` -- an inverted index over corpus records,
+* :mod:`repro.search.tfidf` -- TF-IDF weighting and cosine scoring,
+* :mod:`repro.search.engine` -- the attribute/component/system association API,
+* :mod:`repro.search.filters` -- the filtering pipeline that manages the large
+  result space (Section 3 of the paper),
+* :mod:`repro.search.chains` -- exploit chains over the system topology.
+"""
+
+from repro.search.engine import (
+    AttributeMatches,
+    ComponentAssociation,
+    Match,
+    SearchEngine,
+    SystemAssociation,
+)
+from repro.search.filters import (
+    FilterPipeline,
+    by_exploitability,
+    by_min_score,
+    by_network_exposure,
+    by_severity,
+    top_k,
+)
+from repro.search.chains import ExploitChain, find_exploit_chains
+from repro.search.index import InvertedIndex
+from repro.search.text import tokenize
+from repro.search.tfidf import TfIdfModel
+
+__all__ = [
+    "SearchEngine",
+    "Match",
+    "AttributeMatches",
+    "ComponentAssociation",
+    "SystemAssociation",
+    "FilterPipeline",
+    "by_min_score",
+    "by_severity",
+    "by_exploitability",
+    "by_network_exposure",
+    "top_k",
+    "ExploitChain",
+    "find_exploit_chains",
+    "InvertedIndex",
+    "TfIdfModel",
+    "tokenize",
+]

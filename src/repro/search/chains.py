@@ -1,0 +1,120 @@
+"""Exploit chains over the system topology.
+
+The paper argues that representing systems as graphs is "congruent with how
+attackers operate in reality" (defenders think in lists, attackers think in
+graphs).  An exploit chain is a path from an adversary entry point to a
+target component where every component along the path has at least one
+associated attack vector -- the graph-level artifact that per-component lists
+cannot express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.search.engine import Match, SystemAssociation
+
+
+@dataclass(frozen=True)
+class ExploitChain:
+    """One attack path from an entry point to a target component."""
+
+    path: tuple[str, ...]
+    vectors: tuple[tuple[str, Match], ...]
+    score: float
+
+    def __post_init__(self) -> None:
+        if len(self.path) < 1:
+            raise ValueError("an exploit chain needs at least one component")
+
+    @property
+    def entry(self) -> str:
+        """The entry-point component."""
+        return self.path[0]
+
+    @property
+    def target(self) -> str:
+        """The target component."""
+        return self.path[-1]
+
+    @property
+    def length(self) -> int:
+        """Number of hops in the chain."""
+        return len(self.path) - 1
+
+    def describe(self) -> str:
+        """A one-line human-readable description of the chain."""
+        hops = " -> ".join(self.path)
+        vectors = ", ".join(f"{name}:{match.identifier}" for name, match in self.vectors)
+        return f"{hops} (score {self.score:.3f}; {vectors})"
+
+
+def find_exploit_chains(
+    association: SystemAssociation,
+    target: str,
+    max_length: int = 6,
+    min_component_score: float = 0.0,
+) -> list[ExploitChain]:
+    """Enumerate exploit chains from every entry point to ``target``.
+
+    A chain is viable when every component on the path (including the entry
+    point and the target) has at least one associated attack vector with a
+    score above ``min_component_score``.  The chain score is the product of
+    the best per-component scores, a pessimistic "every hop must succeed"
+    aggregation; because the analysis is qualitative (Section 2 of the paper)
+    the score is only used for ranking, never as a probability.
+    """
+    system = association.system
+    system.component(target)
+    graph = system.to_networkx()
+    chains: list[ExploitChain] = []
+    for entry in system.entry_points():
+        if entry.name == target:
+            paths: list[list[str]] = [[entry.name]]
+        else:
+            paths = [
+                list(path)
+                for path in nx.all_simple_paths(
+                    graph, entry.name, target, cutoff=max_length
+                )
+            ]
+        for path in paths:
+            chain = _build_chain(association, path, min_component_score)
+            if chain is not None:
+                chains.append(chain)
+    chains.sort(key=lambda c: (-c.score, c.length, c.path))
+    return chains
+
+
+def _build_chain(
+    association: SystemAssociation, path: list[str], min_component_score: float
+) -> ExploitChain | None:
+    vectors: list[tuple[str, Match]] = []
+    score = 1.0
+    for name in path:
+        component_association = association.component(name)
+        matches = [
+            match
+            for match in component_association.unique_matches()
+            if match.score > min_component_score
+        ]
+        if not matches:
+            return None
+        best = matches[0]
+        vectors.append((name, best))
+        score *= best.score
+    return ExploitChain(path=tuple(path), vectors=tuple(vectors), score=score)
+
+
+def chain_summary(chains: list[ExploitChain]) -> dict[str, float | int]:
+    """Aggregate statistics over a set of exploit chains."""
+    if not chains:
+        return {"count": 0, "best_score": 0.0, "shortest": 0, "entry_points": 0}
+    return {
+        "count": len(chains),
+        "best_score": max(chain.score for chain in chains),
+        "shortest": min(chain.length for chain in chains),
+        "entry_points": len({chain.entry for chain in chains}),
+    }

@@ -1,0 +1,403 @@
+"""Attribute -> attack-vector association engine.
+
+This is the reproduction of the paper's CYBOK-style search step: "The inputs
+to the security tools are the system model and security data in the form of
+natural text. ... The main output, then, is this association of attack vectors
+to the system model."
+
+Matching follows the paper's observation that "high-level descriptions of
+system components and interactions will tend to match attack pattern and
+weakness instances; low-level or more specific descriptions of software and
+hardware platforms will relate more closely to vulnerability instances":
+
+* attack patterns and weaknesses are matched by *query-coverage* scoring --
+  the fraction of the attribute's IDF mass found in the record text -- which
+  lets a product attribute like ``Windows 7`` land on generic
+  operating-system weaknesses,
+* vulnerabilities are matched when the record names the platform: either a
+  CPE-like platform tag of the CVE is covered by the attribute text, or the
+  attribute's distinctive terms are covered by the CVE text,
+* fidelity-aware mode skips vulnerability matching for attributes that are
+  not implementation-specific (the paper's suggested abstraction strategy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corpus.schema import (
+    AttackPattern,
+    AttackVectorRecord,
+    RecordKind,
+    Vulnerability,
+    Weakness,
+)
+from repro.corpus.store import CorpusStore
+from repro.graph.attributes import Attribute
+from repro.graph.model import Component, SystemGraph
+from repro.search.index import InvertedIndex
+from repro.search.text import jaccard_similarity, tokenize
+from repro.search.tfidf import TfIdfModel
+
+#: Supported scoring strategies.
+SCORERS = ("coverage", "cosine", "jaccard")
+
+
+@dataclass(frozen=True)
+class Match:
+    """One associated attack-vector record."""
+
+    identifier: str
+    kind: RecordKind
+    score: float
+    name: str = ""
+    severity: str = ""
+    cvss_score: float | None = None
+    network_exploitable: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.score < 0.0:
+            raise ValueError(f"match score must be non-negative, got {self.score}")
+
+
+@dataclass(frozen=True)
+class AttributeMatches:
+    """All records associated with one attribute of one component."""
+
+    attribute: Attribute
+    attack_patterns: tuple[Match, ...] = ()
+    weaknesses: tuple[Match, ...] = ()
+    vulnerabilities: tuple[Match, ...] = ()
+
+    def counts(self) -> dict[RecordKind, int]:
+        """Match counts per record class (one row of the paper's Table 1)."""
+        return {
+            RecordKind.ATTACK_PATTERN: len(self.attack_patterns),
+            RecordKind.WEAKNESS: len(self.weaknesses),
+            RecordKind.VULNERABILITY: len(self.vulnerabilities),
+        }
+
+    def all_matches(self) -> tuple[Match, ...]:
+        """All matches across the three classes."""
+        return self.attack_patterns + self.weaknesses + self.vulnerabilities
+
+    @property
+    def total(self) -> int:
+        """Total number of associated records."""
+        return len(self.all_matches())
+
+
+@dataclass(frozen=True)
+class ComponentAssociation:
+    """All attack vectors associated with one component."""
+
+    component: Component
+    attribute_matches: tuple[AttributeMatches, ...] = ()
+
+    def unique_matches(self) -> tuple[Match, ...]:
+        """Matches de-duplicated across attributes, keeping the best score."""
+        best: dict[str, Match] = {}
+        for attribute_match in self.attribute_matches:
+            for match in attribute_match.all_matches():
+                current = best.get(match.identifier)
+                if current is None or match.score > current.score:
+                    best[match.identifier] = match
+        return tuple(sorted(best.values(), key=lambda m: (-m.score, m.identifier)))
+
+    def counts(self) -> dict[RecordKind, int]:
+        """Unique match counts per record class for the component."""
+        totals = {kind: 0 for kind in RecordKind}
+        for match in self.unique_matches():
+            totals[match.kind] += 1
+        return totals
+
+    @property
+    def total(self) -> int:
+        """Total number of unique associated records."""
+        return len(self.unique_matches())
+
+
+@dataclass
+class SystemAssociation:
+    """The merged artifact: every component's associated attack vectors.
+
+    This is the object the analyst dashboard (Section 3, Fig. 1) displays and
+    the what-if loop recomputes.
+    """
+
+    system: SystemGraph
+    components: tuple[ComponentAssociation, ...] = ()
+    scorer: str = "coverage"
+
+    def component(self, name: str) -> ComponentAssociation:
+        """The association for one component."""
+        for association in self.components:
+            if association.component.name == name:
+                return association
+        raise KeyError(f"no association for component {name!r}")
+
+    def attribute_table(self) -> list[dict]:
+        """Per-attribute association counts, aggregated over components.
+
+        Each row has ``attribute``, ``attack_patterns``, ``weaknesses``,
+        ``vulnerabilities`` -- the columns of the paper's Table 1.
+        """
+        by_attribute: dict[str, dict[RecordKind, set[str]]] = {}
+        order: list[str] = []
+        for component_association in self.components:
+            for attribute_match in component_association.attribute_matches:
+                name = attribute_match.attribute.name
+                if name not in by_attribute:
+                    by_attribute[name] = {kind: set() for kind in RecordKind}
+                    order.append(name)
+                buckets = by_attribute[name]
+                for match in attribute_match.attack_patterns:
+                    buckets[RecordKind.ATTACK_PATTERN].add(match.identifier)
+                for match in attribute_match.weaknesses:
+                    buckets[RecordKind.WEAKNESS].add(match.identifier)
+                for match in attribute_match.vulnerabilities:
+                    buckets[RecordKind.VULNERABILITY].add(match.identifier)
+        return [
+            {
+                "attribute": name,
+                "attack_patterns": len(by_attribute[name][RecordKind.ATTACK_PATTERN]),
+                "weaknesses": len(by_attribute[name][RecordKind.WEAKNESS]),
+                "vulnerabilities": len(by_attribute[name][RecordKind.VULNERABILITY]),
+            }
+            for name in order
+        ]
+
+    def total_counts(self) -> dict[RecordKind, int]:
+        """Unique record counts per class across the whole system."""
+        seen: dict[RecordKind, set[str]] = {kind: set() for kind in RecordKind}
+        for component_association in self.components:
+            for match in component_association.unique_matches():
+                seen[match.kind].add(match.identifier)
+        return {kind: len(ids) for kind, ids in seen.items()}
+
+    @property
+    def total(self) -> int:
+        """Total number of unique associated records across the system."""
+        return sum(self.total_counts().values())
+
+    def component_ranking(self) -> list[tuple[str, int]]:
+        """Components ranked by number of unique associated records."""
+        ranking = [
+            (association.component.name, association.total)
+            for association in self.components
+        ]
+        ranking.sort(key=lambda pair: (-pair[1], pair[0]))
+        return ranking
+
+
+class SearchEngine:
+    """Associates attack-vector records with system-model attributes.
+
+    Parameters
+    ----------
+    corpus:
+        The attack-vector corpus to search.
+    pattern_threshold / weakness_threshold:
+        Minimum query-coverage score for attack-pattern / weakness matches.
+    vulnerability_text_threshold:
+        Minimum query-coverage score for text-based vulnerability matches.
+    platform_coverage:
+        Fraction of a CVE platform tag's tokens that must appear in the
+        attribute text for a platform-based vulnerability match.
+    fidelity_aware:
+        When true (the default), attributes below implementation fidelity are
+        not matched against vulnerabilities, reproducing the paper's
+        abstraction recommendation.
+    scorer:
+        ``"coverage"`` (default), ``"cosine"``, or ``"jaccard"`` -- the last
+        two exist for the ablation benchmarks.
+    max_per_class:
+        Optional cap on matches kept per attribute per record class.
+    """
+
+    def __init__(
+        self,
+        corpus: CorpusStore,
+        *,
+        pattern_threshold: float = 0.12,
+        weakness_threshold: float = 0.12,
+        vulnerability_text_threshold: float = 0.55,
+        platform_coverage: float = 0.6,
+        fidelity_aware: bool = True,
+        scorer: str = "coverage",
+        max_per_class: int | None = None,
+    ) -> None:
+        if scorer not in SCORERS:
+            raise ValueError(f"unknown scorer {scorer!r}; expected one of {SCORERS}")
+        self.corpus = corpus
+        self.pattern_threshold = pattern_threshold
+        self.weakness_threshold = weakness_threshold
+        self.vulnerability_text_threshold = vulnerability_text_threshold
+        self.platform_coverage = platform_coverage
+        self.fidelity_aware = fidelity_aware
+        self.scorer = scorer
+        self.max_per_class = max_per_class
+
+        self._records: dict[str, AttackVectorRecord] = {}
+        self._indexes: dict[RecordKind, InvertedIndex] = {}
+        self._models: dict[RecordKind, TfIdfModel] = {}
+        self._platform_tokens: dict[str, frozenset[str]] = {}
+        self._build_indexes()
+
+    # -- index construction --------------------------------------------------
+
+    def _build_indexes(self) -> None:
+        for kind in RecordKind:
+            index = InvertedIndex()
+            for record in self.corpus.records_of_kind(kind):
+                index.add_document(record.identifier, record.text)
+                self._records[record.identifier] = record
+            self._indexes[kind] = index
+            self._models[kind] = TfIdfModel(index)
+        for vulnerability in self.corpus.vulnerabilities:
+            for platform in vulnerability.affected_platforms:
+                if platform not in self._platform_tokens:
+                    self._platform_tokens[platform] = frozenset(tokenize(platform))
+
+    # -- low-level matching ---------------------------------------------------
+
+    def match_text(
+        self, text: str, kind: RecordKind, threshold: float
+    ) -> list[Match]:
+        """Match free text against one record class."""
+        if self.scorer == "jaccard":
+            scored = self._jaccard_scores(text, kind)
+        elif self.scorer == "cosine":
+            scored = self._models[kind].score(text)
+        else:
+            scored = self._coverage_scores(text, kind)
+        matches = [
+            self._to_match(identifier, score)
+            for identifier, score in scored
+            if score >= threshold
+        ]
+        matches.sort(key=lambda m: (-m.score, m.identifier))
+        if self.max_per_class is not None:
+            matches = matches[: self.max_per_class]
+        return matches
+
+    def _coverage_scores(self, text: str, kind: RecordKind) -> list[tuple[str, float]]:
+        model = self._models[kind]
+        index = self._indexes[kind]
+        query = model.query_vector(text)
+        if not query:
+            return []
+        total_mass = sum(query.values())
+        if total_mass == 0.0:
+            return []
+        candidates = index.candidates(query.keys())
+        scores = []
+        for doc_id, token_counts in candidates.items():
+            covered = sum(query[token] for token in token_counts)
+            scores.append((doc_id, covered / total_mass))
+        return scores
+
+    def _jaccard_scores(self, text: str, kind: RecordKind) -> list[tuple[str, float]]:
+        scores = []
+        for record in self.corpus.records_of_kind(kind):
+            score = jaccard_similarity(text, record.text)
+            if score > 0.0:
+                scores.append((record.identifier, score))
+        return scores
+
+    def _platform_matches(self, attribute_tokens: frozenset[str]) -> list[Match]:
+        matches: list[Match] = []
+        matched_platforms = []
+        for platform, tokens in self._platform_tokens.items():
+            if not tokens:
+                continue
+            coverage = len(tokens & attribute_tokens) / len(tokens)
+            if coverage >= self.platform_coverage:
+                matched_platforms.append((platform, coverage))
+        seen: dict[str, float] = {}
+        for platform, coverage in matched_platforms:
+            for vulnerability in self.corpus.vulnerabilities_for_platform(platform):
+                previous = seen.get(vulnerability.identifier, 0.0)
+                if coverage > previous:
+                    seen[vulnerability.identifier] = coverage
+        for identifier, coverage in seen.items():
+            matches.append(self._to_match(identifier, coverage))
+        return matches
+
+    def _to_match(self, identifier: str, score: float) -> Match:
+        record = self._records[identifier]
+        if isinstance(record, Vulnerability):
+            return Match(
+                identifier=identifier,
+                kind=RecordKind.VULNERABILITY,
+                score=round(score, 6),
+                name=record.identifier,
+                severity=record.severity,
+                cvss_score=record.base_score,
+                network_exploitable=record.cvss.network_exploitable,
+            )
+        if isinstance(record, Weakness):
+            return Match(
+                identifier=identifier,
+                kind=RecordKind.WEAKNESS,
+                score=round(score, 6),
+                name=record.name,
+                severity=record.likelihood,
+            )
+        assert isinstance(record, AttackPattern)
+        return Match(
+            identifier=identifier,
+            kind=RecordKind.ATTACK_PATTERN,
+            score=round(score, 6),
+            name=record.name,
+            severity=record.severity,
+        )
+
+    # -- attribute / component / system association ---------------------------
+
+    def match_attribute(self, attribute: Attribute) -> AttributeMatches:
+        """Associate one attribute with attack patterns, weaknesses, and CVEs."""
+        text = attribute.text
+        patterns = self.match_text(text, RecordKind.ATTACK_PATTERN, self.pattern_threshold)
+        weaknesses = self.match_text(text, RecordKind.WEAKNESS, self.weakness_threshold)
+        vulnerabilities: list[Match] = []
+        if not self.fidelity_aware or attribute.is_specific():
+            vulnerabilities = self._match_vulnerabilities(text)
+        return AttributeMatches(
+            attribute=attribute,
+            attack_patterns=tuple(patterns),
+            weaknesses=tuple(weaknesses),
+            vulnerabilities=tuple(vulnerabilities),
+        )
+
+    def _match_vulnerabilities(self, text: str) -> list[Match]:
+        attribute_tokens = frozenset(tokenize(text))
+        by_id: dict[str, Match] = {}
+        for match in self._platform_matches(attribute_tokens):
+            by_id[match.identifier] = match
+        for match in self.match_text(
+            text, RecordKind.VULNERABILITY, self.vulnerability_text_threshold
+        ):
+            current = by_id.get(match.identifier)
+            if current is None or match.score > current.score:
+                by_id[match.identifier] = match
+        matches = sorted(by_id.values(), key=lambda m: (-m.score, m.identifier))
+        if self.max_per_class is not None:
+            matches = matches[: self.max_per_class]
+        return matches
+
+    def associate_component(self, component: Component) -> ComponentAssociation:
+        """Associate every attribute of a component."""
+        attribute_matches = tuple(
+            self.match_attribute(attribute) for attribute in component.attributes
+        )
+        return ComponentAssociation(
+            component=component, attribute_matches=attribute_matches
+        )
+
+    def associate(self, system: SystemGraph) -> SystemAssociation:
+        """Associate the whole system model (Fig. 1's merge step)."""
+        components = tuple(
+            self.associate_component(component) for component in system.components
+        )
+        return SystemAssociation(system=system, components=components, scorer=self.scorer)

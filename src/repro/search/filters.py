@@ -1,0 +1,198 @@
+"""Filtering of the associated attack-vector result space.
+
+Section 3 of the paper: "the total number of attack vectors returned by the
+search process is large ... Filtering functionality is implemented to manage
+these attack vectors."  Filters here are plain callables ``Match -> bool``
+(some parameterized through factory functions), composed by a
+:class:`FilterPipeline` that rewrites a :class:`SystemAssociation` into a
+smaller one while preserving its structure, so the dashboard and the metrics
+operate identically on filtered and unfiltered artifacts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.corpus.cvss import severity_rating
+from repro.corpus.schema import RecordKind
+from repro.search.engine import (
+    AttributeMatches,
+    ComponentAssociation,
+    Match,
+    SystemAssociation,
+)
+
+#: A filter decides whether a match survives, given the component context.
+MatchFilter = Callable[[Match, ComponentAssociation], bool]
+
+_SEVERITY_ORDER = ("None", "Low", "Medium", "High", "Very High", "Critical")
+
+
+def by_min_score(minimum: float) -> MatchFilter:
+    """Keep matches whose association score is at least ``minimum``."""
+
+    def accept(match: Match, _context: ComponentAssociation) -> bool:
+        return match.score >= minimum
+
+    return accept
+
+
+def by_severity(minimum: str) -> MatchFilter:
+    """Keep matches whose qualitative severity is at least ``minimum``.
+
+    Vulnerabilities use their CVSS rating; attack patterns use the CAPEC
+    severity; weaknesses use their likelihood as a stand-in, mirroring how the
+    dashboard surfaces them.
+    """
+    if minimum not in _SEVERITY_ORDER:
+        raise ValueError(f"unknown severity level: {minimum!r}")
+    floor = _SEVERITY_ORDER.index(minimum)
+
+    def accept(match: Match, _context: ComponentAssociation) -> bool:
+        severity = match.severity
+        if match.cvss_score is not None:
+            severity = severity_rating(match.cvss_score)
+        if severity not in _SEVERITY_ORDER:
+            return True
+        return _SEVERITY_ORDER.index(severity) >= floor
+
+    return accept
+
+
+def by_exploitability(require_network: bool = True) -> MatchFilter:
+    """Keep vulnerabilities exploitable over the network (AV:N or AV:A).
+
+    Non-vulnerability matches pass through unchanged; they carry no CVSS
+    attack vector.
+    """
+
+    def accept(match: Match, _context: ComponentAssociation) -> bool:
+        if match.kind is not RecordKind.VULNERABILITY:
+            return True
+        if match.network_exploitable is None:
+            return True
+        return match.network_exploitable == require_network
+
+    return accept
+
+
+def by_kind(*kinds: RecordKind) -> MatchFilter:
+    """Keep only matches of the given record classes."""
+    allowed = frozenset(kinds)
+
+    def accept(match: Match, _context: ComponentAssociation) -> bool:
+        return match.kind in allowed
+
+    return accept
+
+
+def by_network_exposure(max_distance: int) -> MatchFilter:
+    """Keep matches on components within ``max_distance`` hops of an entry point.
+
+    This is the topological filter: attack vectors on components an adversary
+    cannot reach over the modeled connections are deprioritized.  The hop
+    distance is read from the association's system graph.
+    """
+
+    def accept(_match: Match, context: ComponentAssociation) -> bool:
+        distance = context.exposure_distance
+        return distance is not None and distance <= max_distance
+
+    return accept
+
+
+def top_k(count: int) -> MatchFilter:
+    """Keep the ``count`` best-scored matches per component.
+
+    The per-component ranking is memoized on the component context, so a full
+    association (tens of thousands of matches at paper scale) is filtered in
+    one ranking pass per component rather than one per match.
+    """
+    if count < 1:
+        raise ValueError("top_k count must be at least 1")
+    keep_cache: dict[int, frozenset[str]] = {}
+
+    def accept(match: Match, context: ComponentAssociation) -> bool:
+        key = id(context)
+        keep = keep_cache.get(key)
+        if keep is None:
+            ranked = sorted(
+                context.unique_matches(), key=lambda m: (-m.score, m.identifier)
+            )
+            keep = frozenset(m.identifier for m in ranked[:count])
+            keep_cache[key] = keep
+        return match.identifier in keep
+
+    return accept
+
+
+@dataclass(frozen=True)
+class _ComponentContext(ComponentAssociation):
+    """Component association enriched with its exposure distance."""
+
+    exposure_distance: int | None = None
+
+
+@dataclass
+class FilterPipeline:
+    """Applies a sequence of filters to a :class:`SystemAssociation`."""
+
+    filters: Sequence[MatchFilter] = field(default_factory=list)
+
+    def add(self, match_filter: MatchFilter) -> "FilterPipeline":
+        """Append a filter; returns self for chaining."""
+        self.filters = list(self.filters) + [match_filter]
+        return self
+
+    def apply(self, association: SystemAssociation) -> SystemAssociation:
+        """Return a new association containing only surviving matches."""
+        filtered_components = []
+        for component_association in association.components:
+            context = _ComponentContext(
+                component=component_association.component,
+                attribute_matches=component_association.attribute_matches,
+                exposure_distance=association.system.exposure_distance(
+                    component_association.component.name
+                ),
+            )
+            filtered_components.append(self._filter_component(context))
+        return SystemAssociation(
+            system=association.system,
+            components=tuple(filtered_components),
+            scorer=association.scorer,
+        )
+
+    def _filter_component(self, context: _ComponentContext) -> ComponentAssociation:
+        new_attribute_matches = []
+        for attribute_match in context.attribute_matches:
+            new_attribute_matches.append(
+                AttributeMatches(
+                    attribute=attribute_match.attribute,
+                    attack_patterns=self._keep(attribute_match.attack_patterns, context),
+                    weaknesses=self._keep(attribute_match.weaknesses, context),
+                    vulnerabilities=self._keep(attribute_match.vulnerabilities, context),
+                )
+            )
+        return ComponentAssociation(
+            component=context.component,
+            attribute_matches=tuple(new_attribute_matches),
+        )
+
+    def _keep(
+        self, matches: tuple[Match, ...], context: _ComponentContext
+    ) -> tuple[Match, ...]:
+        survivors = []
+        for match in matches:
+            if all(match_filter(match, context) for match_filter in self.filters):
+                survivors.append(match)
+        return tuple(survivors)
+
+    def reduction(self, association: SystemAssociation) -> dict[str, int]:
+        """Apply the pipeline and report before/after totals."""
+        filtered = self.apply(association)
+        return {
+            "before": association.total,
+            "after": filtered.total,
+            "removed": association.total - filtered.total,
+        }

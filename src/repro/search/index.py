@@ -1,0 +1,92 @@
+"""Inverted index over corpus records.
+
+The corpus at paper scale contains tens of thousands of vulnerability texts;
+scoring a query against every record would make the interactive what-if loop
+of the dashboard (Section 3) unusable.  The inverted index restricts scoring
+to records that share at least one informative token with the query.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.search.text import tokenize
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One document's entry in a token's posting list."""
+
+    doc_id: str
+    term_frequency: int
+
+
+class InvertedIndex:
+    """Token -> posting-list index over (id, text) documents."""
+
+    def __init__(self) -> None:
+        self._postings: dict[str, list[Posting]] = {}
+        self._doc_lengths: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._doc_lengths)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._doc_lengths
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct tokens in the index."""
+        return len(self._postings)
+
+    def add_document(self, doc_id: str, text: str) -> None:
+        """Index one document; re-adding an id raises."""
+        if doc_id in self._doc_lengths:
+            raise ValueError(f"document already indexed: {doc_id!r}")
+        counts = Counter(tokenize(text))
+        self._doc_lengths[doc_id] = sum(counts.values())
+        for token, frequency in counts.items():
+            self._postings.setdefault(token, []).append(Posting(doc_id, frequency))
+
+    def add_documents(self, documents: Iterable[tuple[str, str]]) -> int:
+        """Index many (id, text) documents; returns the number indexed."""
+        count = 0
+        for doc_id, text in documents:
+            self.add_document(doc_id, text)
+            count += 1
+        return count
+
+    def document_frequency(self, token: str) -> int:
+        """Number of documents containing the token."""
+        return len(self._postings.get(token, ()))
+
+    def postings(self, token: str) -> tuple[Posting, ...]:
+        """The posting list of a token (empty if unseen)."""
+        return tuple(self._postings.get(token, ()))
+
+    def document_length(self, doc_id: str) -> int:
+        """Total token count of an indexed document."""
+        try:
+            return self._doc_lengths[doc_id]
+        except KeyError:
+            raise KeyError(f"document not indexed: {doc_id!r}") from None
+
+    def document_ids(self) -> tuple[str, ...]:
+        """All indexed document ids, in insertion order."""
+        return tuple(self._doc_lengths)
+
+    def candidates(self, query_tokens: Iterable[str]) -> dict[str, Counter]:
+        """Documents sharing at least one query token.
+
+        Returns a mapping ``doc_id -> Counter(token -> term frequency)``
+        restricted to the query tokens, which is all the scorer needs.
+        """
+        results: dict[str, Counter] = {}
+        for token in set(query_tokens):
+            for posting in self._postings.get(token, ()):
+                results.setdefault(posting.doc_id, Counter())[token] = (
+                    posting.term_frequency
+                )
+        return results

@@ -1,0 +1,95 @@
+"""Tokenization and normalization for text matching.
+
+The paper's association is "grounded in relating attack vectors to the system
+model through natural language processing", and notes that this makes results
+sensitive to phrasing.  The tokenizer here is intentionally simple and
+transparent -- lowercasing, punctuation stripping, stop-word removal, and a
+light suffix stemmer -- so that the sensitivity experiments are about the
+modeling practice (as in the paper), not about an opaque NLP stack.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from collections.abc import Iterable
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:[-_.][a-z0-9]+)*")
+
+#: Common English and security-prose words that carry no matching signal.
+STOP_WORDS = frozenset(
+    """
+    a an the and or of to in on for with by via from as is are was were be been
+    this that these those it its their his her your our they them he she we you
+    i at into over under between through during before after above below up down
+    out off again further then once here there when where why how all any both
+    each few more most other some such no nor not only own same so than too very
+    can will just should now may might must could would shall
+    allows allow allowing allowed attacker attackers adversary adversaries
+    vulnerability vulnerabilities weakness weaknesses exploit exploits
+    affected unspecified crafted specially could
+    """.split()
+)
+
+def normalize_token(token: str) -> str:
+    """Lowercase and lightly stem a single token.
+
+    Only two deliberately conservative reductions are applied -- plural ``-s``
+    and progressive ``-ing`` -- because the same normalizer runs on both the
+    corpus and the model text, so consistency matters more than linguistic
+    accuracy.
+    """
+    token = token.lower()
+    if token.endswith("ing") and len(token) >= 6:
+        return token[:-3]
+    if token.endswith("s") and not token.endswith("ss") and len(token) >= 5:
+        return token[:-1]
+    return token
+
+
+def tokenize(text: str, remove_stop_words: bool = True) -> list[str]:
+    """Split text into normalized tokens.
+
+    Hyphenated and dotted identifiers (``cRIO-9063``, ``3.1``) are kept as
+    single compound tokens *and* additionally split into their parts, so that
+    ``"cRIO 9063"`` in a model still matches ``"cRIO-9063"`` in a record.
+    """
+    tokens = _TOKEN_RE.findall(text.lower())
+    result = []
+    for token in tokens:
+        expanded = [token]
+        if "-" in token or "_" in token or "." in token:
+            expanded.extend(part for part in re.split(r"[-_.]", token) if part)
+        for item in expanded:
+            if remove_stop_words and item in STOP_WORDS:
+                continue
+            normalized = normalize_token(item)
+            if remove_stop_words and normalized in STOP_WORDS:
+                continue
+            if normalized:
+                result.append(normalized)
+    return result
+
+
+def term_frequencies(text: str) -> Counter:
+    """Token counts for a text."""
+    return Counter(tokenize(text))
+
+
+def vocabulary(texts: Iterable[str]) -> set[str]:
+    """The set of all tokens appearing in the given texts."""
+    vocab: set[str] = set()
+    for text in texts:
+        vocab.update(tokenize(text))
+    return vocab
+
+
+def jaccard_similarity(text_a: str, text_b: str) -> float:
+    """Jaccard similarity of the token sets of two texts (baseline scorer)."""
+    tokens_a = set(tokenize(text_a))
+    tokens_b = set(tokenize(text_b))
+    if not tokens_a or not tokens_b:
+        return 0.0
+    intersection = len(tokens_a & tokens_b)
+    union = len(tokens_a | tokens_b)
+    return intersection / union

@@ -1,0 +1,50 @@
+"""Shared fixtures.
+
+The expensive artifacts (synthetic corpus, search engine, centrifuge
+association) are session-scoped: they are deterministic and read-only for the
+tests that use them, so building them once keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudies.centrifuge import build_centrifuge_model
+from repro.corpus.seed import seed_corpus
+from repro.corpus.synthesis import build_corpus
+from repro.search.engine import SearchEngine
+
+
+#: Corpus scale used by tests; small enough to keep the suite quick while
+#: preserving the relative platform populations.
+TEST_SCALE = 0.03
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """Seed + synthetic corpus at test scale."""
+    return build_corpus(scale=TEST_SCALE, seed=7)
+
+
+@pytest.fixture(scope="session")
+def seed_only_corpus():
+    """Just the curated seed corpus."""
+    return seed_corpus()
+
+
+@pytest.fixture(scope="session")
+def engine(small_corpus):
+    """A search engine over the test-scale corpus."""
+    return SearchEngine(small_corpus)
+
+
+@pytest.fixture(scope="session")
+def centrifuge_model():
+    """The implementation-fidelity centrifuge model."""
+    return build_centrifuge_model()
+
+
+@pytest.fixture(scope="session")
+def centrifuge_association(engine, centrifuge_model):
+    """The associated centrifuge model (shared, treated as read-only)."""
+    return engine.associate(centrifuge_model)

@@ -1,0 +1,90 @@
+"""Tests for posture metrics."""
+
+import pytest
+
+from repro.analysis.metrics import compute_posture, severity_histogram
+from repro.casestudies.centrifuge import build_centrifuge_model, hardened_workstation_variant
+
+
+def test_totals_match_association(centrifuge_association):
+    metrics = compute_posture(centrifuge_association)
+    totals = centrifuge_association.total_counts()
+    assert metrics.total == sum(totals.values())
+    assert metrics.total_vulnerabilities == max(totals.values())
+    assert metrics.system_name == centrifuge_association.system.name
+
+
+def test_component_posture_fields(centrifuge_association):
+    metrics = compute_posture(centrifuge_association)
+    bpcs = metrics.component("BPCS Platform")
+    assert bpcs.total == bpcs.attack_patterns + bpcs.weaknesses + bpcs.vulnerabilities
+    assert bpcs.exposure_distance == 3
+    assert bpcs.criticality == pytest.approx(0.9)
+    assert 0.0 <= bpcs.mean_cvss <= bpcs.max_cvss <= 10.0
+    assert bpcs.posture_index > 0
+    with pytest.raises(KeyError):
+        metrics.component("missing")
+
+
+def test_posture_index_decays_with_exposure_distance(centrifuge_association):
+    near = compute_posture(centrifuge_association, exposure_decay=0.5)
+    flat = compute_posture(centrifuge_association, exposure_decay=1.0)
+    # With no decay every component index is at least as large as with decay.
+    for component in near.components:
+        assert flat.component(component.name).posture_index >= component.posture_index
+
+
+def test_system_posture_is_sum_of_components(centrifuge_association):
+    metrics = compute_posture(centrifuge_association)
+    assert metrics.system_posture_index == pytest.approx(
+        sum(c.posture_index for c in metrics.components)
+    )
+
+
+def test_rankings_are_sorted(centrifuge_association):
+    metrics = compute_posture(centrifuge_association)
+    posture_ranking = metrics.ranking_by_posture()
+    assert [c.posture_index for c in posture_ranking] == sorted(
+        [c.posture_index for c in posture_ranking], reverse=True
+    )
+    cvss_ranking = metrics.ranking_by_cvss()
+    assert [c.max_cvss for c in cvss_ranking] == sorted(
+        [c.max_cvss for c in cvss_ranking], reverse=True
+    )
+
+
+def test_cvss_ranking_differs_from_posture_ranking(centrifuge_association):
+    # The paper's E8 point: severity alone orders components differently from
+    # the exposure/criticality-aware posture.
+    metrics = compute_posture(centrifuge_association)
+    by_posture = [c.name for c in metrics.ranking_by_posture()]
+    by_cvss = [c.name for c in metrics.ranking_by_cvss()]
+    assert by_posture != by_cvss
+
+
+def test_hardened_variant_reduces_workstation_posture(engine):
+    baseline = build_centrifuge_model()
+    variant = hardened_workstation_variant(baseline)
+    baseline_metrics = compute_posture(engine.associate(baseline))
+    variant_metrics = compute_posture(engine.associate(variant))
+    assert (
+        variant_metrics.component("Programming WS").total
+        < baseline_metrics.component("Programming WS").total
+    )
+    assert variant_metrics.system_posture_index < baseline_metrics.system_posture_index
+
+
+def test_severity_histogram_counts_unique_vulnerabilities(centrifuge_association):
+    histogram = severity_histogram(centrifuge_association)
+    totals = centrifuge_association.total_counts()
+    from repro.corpus.schema import RecordKind
+
+    assert sum(histogram.values()) == totals[RecordKind.VULNERABILITY]
+    assert set(histogram) == {"None", "Low", "Medium", "High", "Critical"}
+    assert histogram["Critical"] + histogram["High"] > 0
+
+
+def test_weights_change_posture(centrifuge_association):
+    heavy_vulns = compute_posture(centrifuge_association, vulnerability_weight=5.0)
+    light_vulns = compute_posture(centrifuge_association, vulnerability_weight=0.1)
+    assert heavy_vulns.system_posture_index > light_vulns.system_posture_index

@@ -1,0 +1,91 @@
+"""Tests for mitigation recommendations."""
+
+import pytest
+
+from repro.analysis.recommendations import (
+    MITIGATION_KB,
+    coverage_of_knowledge_base,
+    recommend,
+    recommend_for_component,
+)
+from repro.casestudies.centrifuge import build_centrifuge_model
+from repro.corpus.seed import seed_corpus
+from repro.search.engine import SearchEngine
+
+
+@pytest.fixture(scope="module")
+def seed_association():
+    corpus = seed_corpus()
+    engine = SearchEngine(corpus, fidelity_aware=False)
+    return corpus, engine.associate(build_centrifuge_model())
+
+
+def test_kb_entries_are_well_formed():
+    for cwe, (summary, change) in MITIGATION_KB.items():
+        assert cwe.startswith("CWE-")
+        assert summary.endswith(".")
+        assert change
+        assert len(summary) > 20
+
+
+def test_kb_is_covered_by_the_seed_corpus(seed_only_corpus):
+    assert coverage_of_knowledge_base(seed_only_corpus) == 1.0
+
+
+def test_component_recommendations_are_prioritized(seed_association):
+    corpus, association = seed_association
+    recommendations = recommend_for_component(association.component("BPCS Platform"), corpus)
+    assert recommendations
+    priorities = [r.priority for r in recommendations]
+    assert priorities == sorted(priorities, reverse=True)
+    assert all(r.component == "BPCS Platform" for r in recommendations)
+    assert all(r.evidence_count >= 1 for r in recommendations)
+
+
+def test_recommendations_reference_known_weaknesses(seed_association):
+    corpus, association = seed_association
+    recommendations = recommend(association, corpus, per_component=2)
+    assert recommendations
+    for recommendation in recommendations:
+        assert recommendation.weakness_id in MITIGATION_KB
+        assert recommendation.weakness_name
+        assert recommendation.whatif_change
+        assert recommendation.summary
+
+
+def test_per_component_cap(seed_association):
+    corpus, association = seed_association
+    recommendations = recommend(association, corpus, per_component=1)
+    per_component = {}
+    for recommendation in recommendations:
+        per_component[recommendation.component] = per_component.get(recommendation.component, 0) + 1
+    assert all(count <= 1 for count in per_component.values())
+
+
+def test_criticality_raises_priority(seed_association):
+    corpus, association = seed_association
+    sis = association.component("SIS Platform")
+    high = recommend_for_component(sis, corpus, criticality_weight=4.0)
+    low = recommend_for_component(sis, corpus, criticality_weight=0.0)
+    assert high and low
+    by_id_high = {r.weakness_id: r.priority for r in high}
+    by_id_low = {r.weakness_id: r.priority for r in low}
+    for weakness_id, priority in by_id_high.items():
+        assert priority > by_id_low[weakness_id]
+
+
+def test_vulnerability_evidence_counts_via_cross_references(engine, small_corpus):
+    # With the synthetic corpus, the workstation's Windows 7 CVEs feed
+    # weakness-class evidence through their cwe_ids cross-references.
+    association = engine.associate(build_centrifuge_model())
+    recommendations = recommend_for_component(association.component("Programming WS"), small_corpus)
+    assert recommendations
+    assert any(r.evidence_count > 5 for r in recommendations)
+
+
+def test_describe_contains_the_essentials(seed_association):
+    corpus, association = seed_association
+    recommendation = recommend_for_component(association.component("BPCS Platform"), corpus)[0]
+    text = recommendation.describe()
+    assert recommendation.weakness_id in text
+    assert "BPCS Platform" in text

@@ -1,0 +1,70 @@
+"""Tests for report rendering."""
+
+from repro.analysis.metrics import compute_posture
+from repro.analysis.report import (
+    render_posture_report,
+    render_table,
+    render_table1,
+    render_whatif,
+)
+from repro.analysis.whatif import WhatIfStudy
+from repro.casestudies.centrifuge import build_centrifuge_model, hardened_workstation_variant
+
+
+def test_render_table_alignment():
+    text = render_table(("A", "Bee"), [("1", "2"), ("333", "4")])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines)
+    assert "333" in text
+
+
+def test_render_table_handles_non_string_cells():
+    text = render_table(("n",), [(5,), (10,)])
+    assert "10" in text
+
+
+def test_table1_contains_paper_rows_in_order(centrifuge_association):
+    text = render_table1(centrifuge_association)
+    lines = text.splitlines()
+    assert "Attribute" in lines[0]
+    body = "\n".join(lines[2:])
+    positions = [body.index(name) for name in (
+        "Cisco ASA", "NI RT Linux OS", "Windows 7", "Labview", "NI cRIO 9063", "NI cRIO 9064",
+    )]
+    assert positions == sorted(positions)
+
+
+def test_table1_with_custom_attribute_subset(centrifuge_association):
+    text = render_table1(centrifuge_association, attributes=("Windows 7",))
+    assert "Windows 7" in text
+    assert "Cisco ASA" not in text
+
+
+def test_table1_skips_unknown_attributes(centrifuge_association):
+    text = render_table1(centrifuge_association, attributes=("Windows 7", "Nonexistent"))
+    assert "Nonexistent" not in text
+
+
+def test_posture_report_mentions_all_components(centrifuge_association, centrifuge_model):
+    text = render_posture_report(centrifuge_association)
+    for name in centrifuge_model.component_names():
+        assert name in text
+    assert "posture index" in text.lower()
+    assert "severity profile" in text.lower()
+
+
+def test_posture_report_accepts_precomputed_metrics(centrifuge_association):
+    metrics = compute_posture(centrifuge_association)
+    text = render_posture_report(centrifuge_association, metrics)
+    assert f"{metrics.system_posture_index:.1f}" in text
+
+
+def test_whatif_report_states_verdict(engine):
+    baseline = build_centrifuge_model()
+    variant = hardened_workstation_variant(baseline)
+    comparison = WhatIfStudy(engine).compare(baseline, variant)
+    text = render_whatif(comparison)
+    assert "better posture" in text
+    assert "Programming WS" in text
+    assert str(comparison.baseline_total) in text

@@ -1,0 +1,90 @@
+"""Tests for topological analysis of system models."""
+
+import pytest
+
+from repro.analysis.topology import (
+    analyze_topology,
+    segmentation_effectiveness,
+    single_points_of_failure,
+)
+from repro.casestudies.uav import build_uav_model
+from repro.graph.model import Component, Connection, SystemGraph
+
+
+def test_report_covers_every_component(centrifuge_model):
+    report = analyze_topology(centrifuge_model)
+    assert report.system_name == centrifuge_model.name
+    assert {c.name for c in report.components} == set(centrifuge_model.component_names())
+    with pytest.raises(KeyError):
+        report.component("missing")
+
+
+def test_attack_surface_is_the_entry_points(centrifuge_model):
+    report = analyze_topology(centrifuge_model)
+    assert report.attack_surface == ("Corporate Network",)
+
+
+def test_firewall_is_the_boundary_component(centrifuge_model):
+    report = analyze_topology(centrifuge_model)
+    assert report.boundary_components == ("Control Firewall",)
+
+
+def test_firewall_is_an_articulation_point(centrifuge_model):
+    spofs = single_points_of_failure(centrifuge_model)
+    assert "Control Firewall" in spofs
+    assert "Programming WS" in spofs
+    # The plant is a leaf, never an articulation point.
+    assert "Centrifuge" not in spofs
+
+
+def test_choke_points_have_positive_betweenness(centrifuge_model):
+    report = analyze_topology(centrifuge_model)
+    chokes = report.choke_points()
+    assert chokes
+    assert all(c.betweenness > 0 for c in chokes)
+    assert all(c.is_articulation_point for c in chokes)
+
+
+def test_betweenness_ranking_puts_controllers_above_leaves(centrifuge_model):
+    report = analyze_topology(centrifuge_model)
+    ranking = [c.name for c in report.ranking_by_betweenness()]
+    assert ranking.index("Programming WS") < ranking.index("Centrifuge")
+    assert ranking.index("BPCS Platform") < ranking.index("Corporate Network")
+
+
+def test_exposure_and_reachability_fields(centrifuge_model):
+    report = analyze_topology(centrifuge_model)
+    corporate = report.component("Corporate Network")
+    assert corporate.exposure_distance == 0
+    assert corporate.reachable_components == len(centrifuge_model) - 1
+    sensor = report.component("Temperature Sensor")
+    assert sensor.degree == 3
+
+
+def test_segmentation_effectiveness(centrifuge_model):
+    distances = segmentation_effectiveness(centrifuge_model, "BPCS Platform")
+    assert distances == {"Corporate Network": 3}
+    with pytest.raises(KeyError):
+        segmentation_effectiveness(centrifuge_model, "missing")
+
+
+def test_segmentation_unreachable_is_minus_one():
+    graph = SystemGraph()
+    graph.add_component(Component("entry", entry_point=True))
+    graph.add_component(Component("island"))
+    assert segmentation_effectiveness(graph, "island") == {"entry": -1}
+
+
+def test_two_node_graph_has_no_articulation_points():
+    graph = SystemGraph()
+    graph.add_component(Component("a", entry_point=True))
+    graph.add_component(Component("b"))
+    graph.connect(Connection("a", "b"))
+    report = analyze_topology(graph)
+    assert not any(c.is_articulation_point for c in report.components)
+
+
+def test_uav_topology():
+    report = analyze_topology(build_uav_model())
+    assert "Flight Controller" in single_points_of_failure(build_uav_model())
+    assert set(report.attack_surface) == {"Ground Control Station", "Telemetry Radio"}

@@ -1,0 +1,70 @@
+"""Tests for what-if architectural comparison."""
+
+from repro.analysis.whatif import WhatIfStudy
+from repro.casestudies.centrifuge import build_centrifuge_model, hardened_workstation_variant
+from repro.graph.attributes import Attribute, Fidelity
+from repro.graph.refinement import swap_attribute
+
+
+def test_hardened_workstation_is_better(engine):
+    baseline = build_centrifuge_model()
+    variant = hardened_workstation_variant(baseline)
+    comparison = WhatIfStudy(engine).compare(baseline, variant)
+    assert comparison.variant_is_better
+    assert comparison.variant_total < comparison.baseline_total
+    assert comparison.baseline_name == baseline.name
+    assert comparison.variant_name == variant.name
+
+
+def test_only_the_swapped_component_changes(engine):
+    baseline = build_centrifuge_model()
+    variant = hardened_workstation_variant(baseline)
+    comparison = WhatIfStudy(engine).compare(baseline, variant)
+    changed = comparison.changed_components()
+    assert [delta.name for delta in changed] == ["Programming WS"]
+    assert changed[0].improved
+    assert changed[0].delta_total < 0
+
+
+def test_identical_architectures_are_equal(engine):
+    baseline = build_centrifuge_model()
+    comparison = WhatIfStudy(engine).compare(baseline, baseline.copy())
+    assert not comparison.variant_is_better
+    assert comparison.baseline_total == comparison.variant_total
+    assert comparison.changed_components() == ()
+
+
+def test_worse_variant_is_detected(engine):
+    baseline = build_centrifuge_model()
+    # Give the temperature transmitter an embedded web server: its CVE
+    # population is not present anywhere else in the baseline model, so the
+    # system-wide (de-duplicated) total grows.
+    worse = swap_attribute(
+        baseline, "Temperature Sensor", "temperature measurement",
+        Attribute("Apache HTTP Server", fidelity=Fidelity.IMPLEMENTATION,
+                  description="Apache HTTP Server embedded web configuration interface"),
+    )
+    worse.name = "worse-variant"
+    comparison = WhatIfStudy(engine).compare(baseline, worse)
+    assert not comparison.variant_is_better
+    assert comparison.variant_total > comparison.baseline_total
+
+
+def test_sweep_returns_one_comparison_per_variant(engine):
+    baseline = build_centrifuge_model()
+    variants = {
+        "hardened-ws": hardened_workstation_variant(baseline),
+        "identical": baseline.copy(),
+    }
+    results = WhatIfStudy(engine).sweep(baseline, variants)
+    assert set(results) == {"hardened-ws", "identical"}
+    assert results["hardened-ws"].variant_is_better
+    assert not results["identical"].variant_is_better
+
+
+def test_component_deltas_cover_all_shared_components(engine, centrifuge_model):
+    comparison = WhatIfStudy(engine).compare(centrifuge_model, centrifuge_model.copy())
+    assert len(comparison.component_deltas) == len(centrifuge_model)
+    assert {delta.name for delta in comparison.component_deltas} == set(
+        centrifuge_model.component_names()
+    )

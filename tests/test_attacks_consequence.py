@@ -1,0 +1,75 @@
+"""Tests for the attack-vector -> physical-consequence mapper."""
+
+import pytest
+
+from repro.attacks.consequence import ConsequenceMapper
+from repro.cps.hazards import HazardKind
+
+
+@pytest.fixture(scope="module")
+def mapper():
+    # A shorter horizon keeps the module quick; 300 s is still enough for the
+    # thermal runaway to develop after the 120 s attack start.
+    return ConsequenceMapper(duration_s=300.0, dt=0.5)
+
+
+def test_nominal_run_is_clean(mapper):
+    _, report = mapper.run_nominal()
+    assert not report.events
+
+
+def test_mappable_records_cover_the_papers_examples(mapper):
+    mappable = mapper.mappable_records()
+    assert "CWE-78" in mappable
+    assert "CAPEC-88" in mappable
+    assert "CWE-693" in mappable
+
+
+def test_scenarios_for_prefers_component_specific_matches(mapper):
+    scenarios = mapper.scenarios_for("CWE-78", "BPCS Platform")
+    assert scenarios
+    assert all("BPCS Platform" in s.target_components for s in scenarios)
+
+
+def test_scenarios_for_falls_back_to_record_matches(mapper):
+    scenarios = mapper.scenarios_for("CWE-78", "Temperature Sensor")
+    assert scenarios  # record-only fallback
+
+
+def test_assess_cwe78_on_bpcs_reports_physical_outcome(mapper):
+    assessments = mapper.assess("CWE-78", "BPCS Platform")
+    assert assessments
+    by_scenario = {a.scenario: a for a in assessments}
+    # The SIS-protected variant loses the batch; the Triton-like variant is a
+    # safety hazard.  Both connect the associated record to physical outcomes.
+    assert any(a.product_lost for a in assessments)
+    triton = by_scenario.get("triton-like-sis-bypass")
+    assert triton is not None
+    assert HazardKind.THERMAL_RUNAWAY in triton.new_hazards
+    assert triton.safety_hazard
+    assert not triton.sis_tripped
+    contained = by_scenario.get("bpcs-command-injection")
+    assert contained is not None
+    assert contained.sis_tripped
+    assert not contained.safety_hazard
+
+
+def test_assessment_describe_is_informative(mapper):
+    assessment = mapper.assess("CWE-693", "SIS Platform")[0]
+    text = assessment.describe()
+    assert "CWE-693" in text
+    assert "SIS Platform" in text
+    assert "peak temperature" in text
+
+
+def test_assess_record_without_scenario_returns_empty(mapper):
+    assert mapper.assess("CWE-79", "Programming WS") == []
+
+
+def test_assess_association_only_runs_mappable_records(mapper, centrifuge_association):
+    assessments = mapper.assess_association(centrifuge_association, max_records_per_component=1)
+    assert assessments
+    mappable = mapper.mappable_records()
+    assert all(a.record_id in mappable for a in assessments)
+    components = {a.component for a in assessments}
+    assert components <= set(centrifuge_association.system.component_names())

@@ -1,0 +1,131 @@
+"""Tests for the attack interventions acting on the closed-loop simulation."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.dos import FloodAttack, MessageDropAttack
+from repro.attacks.injection import (
+    CommandInjectionAttack,
+    EngineeringWriteAttack,
+    SetpointInjectionAttack,
+)
+from repro.attacks.scenarios import SisDisableAttack
+from repro.attacks.spoofing import (
+    MeasurementSpoofingAttack,
+    ReplayMeasurementAttack,
+    SensorSpoofingAttack,
+)
+from repro.cps.hazards import HazardKind
+from repro.cps.intervention import Intervention
+from repro.cps.network import MessageKind
+from repro.cps.scada import BPCS, SIS, ScadaSimulation
+
+
+def run_with(interventions, duration=420.0):
+    simulation = ScadaSimulation(interventions=interventions)
+    trace = simulation.run(duration_s=duration, dt=0.5)
+    return simulation, trace
+
+
+def test_intervention_activation_window():
+    intervention = Intervention(start_time_s=10.0, duration_s=5.0)
+    assert not intervention.active(9.9)
+    assert intervention.active(10.0)
+    assert intervention.active(15.0)
+    assert not intervention.active(15.1)
+    open_ended = Intervention(start_time_s=10.0)
+    assert open_ended.active(1e6)
+
+
+def test_default_intervention_is_inert():
+    simulation, trace = run_with([Intervention(start_time_s=0.0)], duration=120.0)
+    assert not trace.hazards().events
+    assert not simulation.sis.tripped
+
+
+def test_setpoint_injection_raises_speed_until_sis_trips():
+    simulation, trace = run_with([SetpointInjectionAttack(start_time_s=120.0, value=9_800.0)])
+    assert trace.max_speed() > 9_000.0
+    assert simulation.sis.tripped
+    assert trace.hazards().occurred(HazardKind.SPEED_DEVIATION)
+
+
+def test_engineering_write_compromises_controller():
+    simulation, _ = run_with([EngineeringWriteAttack(start_time_s=60.0)], duration=120.0)
+    assert simulation.controller.compromised
+
+
+def test_command_injection_alone_is_caught_by_the_sis():
+    simulation, trace = run_with([CommandInjectionAttack(start_time_s=120.0)])
+    assert simulation.sis.tripped
+    assert simulation.controller.compromised
+    report = trace.hazards()
+    # Product is lost but the plant stays below the instability limit.
+    assert report.product_lost
+    assert not report.occurred(HazardKind.THERMAL_RUNAWAY)
+
+
+def test_sis_disable_attack_disables_the_safety_function():
+    simulation, _ = run_with([SisDisableAttack(start_time_s=30.0)], duration=60.0)
+    assert not simulation.sis.enabled
+
+
+def test_sensor_spoofing_blinds_both_consumers():
+    attack = SensorSpoofingAttack(start_time_s=60.0, sensor="temperature", value=20.0)
+    simulation, trace = run_with([attack], duration=120.0)
+    assert simulation.temperature_sensor.spoofed
+    late = trace.times_s > 70.0
+    assert np.all(np.abs(trace.bpcs_temperature_view_c[late] - 20.0) < 1e-9)
+
+
+def test_sensor_spoofing_unknown_sensor_rejected():
+    attack = SensorSpoofingAttack(start_time_s=0.0, sensor="pressure")
+    with pytest.raises(ValueError):
+        attack.on_activate(ScadaSimulation(), 0.0)
+
+
+def test_sensor_spoof_clears_after_duration():
+    attack = SensorSpoofingAttack(start_time_s=10.0, duration_s=20.0, sensor="temperature", value=5.0)
+    simulation, _ = run_with([attack], duration=60.0)
+    assert not simulation.temperature_sensor.spoofed
+
+
+def test_measurement_mitm_only_affects_target_receiver():
+    attack = MeasurementSpoofingAttack(start_time_s=30.0, variable="temperature",
+                                       value=20.0, receiver=BPCS)
+    simulation, trace = run_with([attack], duration=90.0)
+    late = trace.times_s > 40.0
+    assert np.all(np.abs(trace.bpcs_temperature_view_c[late] - 20.0) < 1e-9)
+    # The SIS still sees (noisy) reality, not the constant.
+    assert abs(simulation._sis_view["temperature"] - 20.0) > 1e-6
+
+
+def test_replay_attack_blinds_the_sis_to_later_excursions():
+    # Replay captured (nominal) measurements to the SIS, then drive the rotor
+    # to its maximum through the compromised controller: the SIS keeps seeing
+    # the pre-attack speed and never trips.
+    replay = ReplayMeasurementAttack(start_time_s=100.0, receiver=SIS, capture_window_s=10.0)
+    injection = CommandInjectionAttack(start_time_s=140.0)
+    simulation, trace = run_with([replay, injection], duration=300.0)
+    assert trace.max_speed() > 9_500.0
+    assert simulation._sis_view["speed"] < 7_000.0
+    assert not simulation.sis.tripped
+
+
+def test_message_drop_attack_counts_drops_and_degrades_view():
+    attack = MessageDropAttack(start_time_s=60.0, receiver=BPCS,
+                               kinds=(MessageKind.MEASUREMENT,))
+    simulation, trace = run_with([attack], duration=120.0)
+    assert attack.dropped > 0
+    # The controller's view freezes at the last delivered measurement.
+    late_view = trace.bpcs_speed_view_rpm[-1]
+    assert late_view == pytest.approx(trace.bpcs_speed_view_rpm[-10])
+
+
+def test_flood_attack_validation_and_losses():
+    with pytest.raises(ValueError):
+        FloodAttack(loss_rate=1.5)
+    attack = FloodAttack(start_time_s=30.0, loss_rate=0.9)
+    simulation, _ = run_with([attack], duration=90.0)
+    assert attack.dropped > 0
+    assert simulation.firewall.dropped_count > 0  # the junk traffic is blocked

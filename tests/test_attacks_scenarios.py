@@ -1,0 +1,86 @@
+"""Tests for the named attack scenarios and the Triton-like composite."""
+
+from repro.attacks.scenarios import (
+    SCENARIO_LIBRARY,
+    TritonLikeScenario,
+    scenario_for_record,
+)
+from repro.cps.hazards import HazardKind
+from repro.cps.intervention import Intervention
+from repro.cps.scada import ScadaSimulation
+
+
+def test_library_scenarios_are_well_formed():
+    assert len(SCENARIO_LIBRARY) >= 6
+    for name, scenario in SCENARIO_LIBRARY.items():
+        assert scenario.name == name
+        assert scenario.description
+        assert scenario.records
+        assert scenario.target_components
+        interventions = scenario.interventions()
+        assert interventions
+        assert all(isinstance(i, Intervention) for i in interventions)
+
+
+def test_scenarios_produce_fresh_intervention_instances():
+    scenario = SCENARIO_LIBRARY["bpcs-command-injection"]
+    first = scenario.interventions()
+    second = scenario.interventions()
+    assert first[0] is not second[0]
+
+
+def test_scenario_for_record_resolves_cwe78():
+    scenario = scenario_for_record("CWE-78")
+    assert scenario is not None
+    assert "CWE-78" in scenario.records
+
+
+def test_scenario_for_record_unknown_returns_none():
+    assert scenario_for_record("CWE-99999") is None
+
+
+def test_triton_like_scenario_defeats_the_safety_layer():
+    # The paper's referenced incident: with the SIS disabled, the compromised
+    # controller drives the process past the instability limit.
+    interventions = TritonLikeScenario(sis_disable_time_s=80.0, injection_time_s=120.0).interventions()
+    simulation = ScadaSimulation(interventions=interventions)
+    trace = simulation.run(duration_s=420.0, dt=0.5)
+    report = trace.hazards()
+    assert not simulation.sis.enabled
+    assert not simulation.sis.tripped
+    assert report.occurred(HazardKind.THERMAL_RUNAWAY)
+    assert trace.max_temperature() > 30.0
+    assert report.any_safety_hazard
+
+
+def test_same_injection_with_sis_enabled_is_contained():
+    # Ablation of the Triton scenario: without the SIS-disable step the same
+    # command injection is stopped by the safety layer.
+    triton = SCENARIO_LIBRARY["triton-like-sis-bypass"].interventions()
+    injection_only = [i for i in triton if i.name == "cwe-78-command-injection"]
+    simulation = ScadaSimulation(interventions=injection_only)
+    trace = simulation.run(duration_s=420.0, dt=0.5)
+    assert simulation.sis.tripped
+    assert not trace.hazards().occurred(HazardKind.THERMAL_RUNAWAY)
+
+
+def test_controller_blinding_mitm_scenario_overheats_the_process():
+    scenario = SCENARIO_LIBRARY["controller-blinding-mitm"]
+    simulation = ScadaSimulation(interventions=scenario.interventions())
+    trace = simulation.run(duration_s=420.0, dt=0.5)
+    # The BPCS is blinded, so the true temperature drifts above its view.
+    assert trace.max_temperature() > trace.bpcs_temperature_view_c.max() + 1.0
+
+
+def test_expected_hazards_documented_for_every_scenario():
+    valid_kinds = {kind.value for kind in HazardKind}
+    for scenario in SCENARIO_LIBRARY.values():
+        assert scenario.expected_hazards
+        assert set(scenario.expected_hazards) <= valid_kinds
+
+
+def test_scenario_records_reference_seed_corpus_entries(seed_only_corpus):
+    known = {record.identifier for record in seed_only_corpus.all_records()}
+    for scenario in SCENARIO_LIBRARY.values():
+        resolvable = [record for record in scenario.records if record in known]
+        assert resolvable, f"{scenario.name} references no seed corpus record"

@@ -1,0 +1,95 @@
+"""Tests for attack-tree construction and analysis."""
+
+import pytest
+
+from repro.baselines.attack_trees import AttackTreeNode, NodeType, build_attack_tree
+
+
+def test_leaf_cannot_have_children():
+    leaf = AttackTreeNode("x", NodeType.LEAF)
+    with pytest.raises(ValueError):
+        leaf.add(AttackTreeNode("y", NodeType.LEAF))
+
+
+def test_or_node_cut_sets_are_singletons():
+    root = AttackTreeNode("goal", NodeType.OR)
+    root.add(AttackTreeNode("a", NodeType.LEAF, record_id="A"))
+    root.add(AttackTreeNode("b", NodeType.LEAF, record_id="B"))
+    assert set(root.cut_sets()) == {frozenset({"A"}), frozenset({"B"})}
+
+
+def test_and_node_cut_sets_are_products():
+    root = AttackTreeNode("goal", NodeType.AND)
+    first = root.add(AttackTreeNode("stage1", NodeType.OR))
+    second = root.add(AttackTreeNode("stage2", NodeType.OR))
+    first.add(AttackTreeNode("a", NodeType.LEAF, record_id="A"))
+    first.add(AttackTreeNode("b", NodeType.LEAF, record_id="B"))
+    second.add(AttackTreeNode("c", NodeType.LEAF, record_id="C"))
+    assert set(root.cut_sets()) == {frozenset({"A", "C"}), frozenset({"B", "C"})}
+
+
+def test_cut_sets_are_minimal():
+    root = AttackTreeNode("goal", NodeType.OR)
+    root.add(AttackTreeNode("a", NodeType.LEAF, record_id="A"))
+    both = root.add(AttackTreeNode("both", NodeType.AND))
+    both.add(AttackTreeNode("a2", NodeType.LEAF, record_id="A"))
+    both.add(AttackTreeNode("b", NodeType.LEAF, record_id="B"))
+    # {A} subsumes {A, B}, so only the singleton remains.
+    assert root.cut_sets() == [frozenset({"A"})]
+
+
+def test_and_node_with_empty_child_has_no_cut_sets():
+    root = AttackTreeNode("goal", NodeType.AND)
+    root.add(AttackTreeNode("possible", NodeType.LEAF, record_id="A"))
+    root.add(AttackTreeNode("impossible", NodeType.OR))
+    assert root.cut_sets() == []
+
+
+def test_depth_and_leaves():
+    root = AttackTreeNode("goal", NodeType.OR)
+    path = root.add(AttackTreeNode("path", NodeType.AND))
+    hop = path.add(AttackTreeNode("hop", NodeType.OR))
+    hop.add(AttackTreeNode("leaf", NodeType.LEAF, record_id="A"))
+    assert root.depth() == 4
+    assert len(root.leaves()) == 1
+
+
+def test_tree_built_from_association(centrifuge_association):
+    tree = build_attack_tree(centrifuge_association, "BPCS Platform")
+    assert tree.goal == "compromise BPCS Platform"
+    assert tree.root.node_type is NodeType.OR
+    assert tree.root.children, "at least one attack path should exist"
+    assert tree.leaf_count() > 0
+    assert tree.depth() >= 4
+    assert not tree.mentions_physical_consequence()
+
+
+def test_tree_leaves_reference_associated_records(centrifuge_association):
+    tree = build_attack_tree(centrifuge_association, "SIS Platform")
+    associated = set()
+    for component in centrifuge_association.components:
+        associated.update(m.identifier for m in component.unique_matches())
+    for leaf in tree.root.leaves():
+        assert leaf.record_id in associated
+
+
+def test_tree_cut_sets_exist_and_respect_limit(centrifuge_association):
+    tree = build_attack_tree(centrifuge_association, "BPCS Platform",
+                             max_paths=4, max_vectors_per_component=2)
+    cut_sets = tree.cut_sets(limit=500)
+    assert cut_sets
+    assert len(cut_sets) <= 500
+    assert all(isinstance(cs, frozenset) for cs in cut_sets)
+
+
+def test_unknown_target_raises(centrifuge_association):
+    with pytest.raises(KeyError):
+        build_attack_tree(centrifuge_association, "missing")
+
+
+def test_max_vectors_per_component_bounds_branching(centrifuge_association):
+    narrow = build_attack_tree(centrifuge_association, "BPCS Platform",
+                               max_vectors_per_component=1)
+    wide = build_attack_tree(centrifuge_association, "BPCS Platform",
+                             max_vectors_per_component=5)
+    assert narrow.leaf_count() <= wide.leaf_count()

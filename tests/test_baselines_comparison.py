@@ -1,0 +1,60 @@
+"""Tests for the baseline coverage comparison (experiment E7's machinery)."""
+
+import pytest
+
+from repro.attacks.consequence import ConsequenceMapper
+from repro.baselines.attack_trees import build_attack_tree
+from repro.baselines.comparison import compare_coverage
+from repro.baselines.stride import StrideAnalyzer
+
+
+@pytest.fixture(scope="module")
+def coverage(centrifuge_model, centrifuge_association):
+    stride = StrideAnalyzer().analyze(centrifuge_model)
+    tree = build_attack_tree(centrifuge_association, "BPCS Platform")
+    mapper = ConsequenceMapper(duration_s=300.0)
+    assessments = mapper.assess("CWE-78", "BPCS Platform") + mapper.assess(
+        "CWE-693", "SIS Platform"
+    )
+    return compare_coverage(centrifuge_model, centrifuge_association, stride, tree, assessments)
+
+
+def test_three_approaches_reported(coverage):
+    assert len(coverage.approaches) == 3
+    names = [approach.approach for approach in coverage.approaches]
+    assert any("STRIDE" in name for name in names)
+    assert any("Attack tree" in name for name in names)
+    assert any("this work" in name for name in names)
+
+
+def test_it_centric_baselines_reach_no_physical_consequences(coverage):
+    stride = coverage.approach("STRIDE (IT-centric)")
+    tree = coverage.approach("Attack tree")
+    assert stride.findings_with_physical_consequence == 0
+    assert stride.distinct_hazards_identified == 0
+    assert tree.findings_with_physical_consequence == 0
+    assert tree.distinct_hazards_identified == 0
+
+
+def test_cps_aware_pipeline_identifies_hazards(coverage):
+    cpsec = coverage.approach("Model-based CPS security (this work)")
+    assert cpsec.findings_with_physical_consequence > 0
+    assert cpsec.distinct_hazards_identified >= 1
+    assert cpsec.findings > 0
+
+
+def test_stride_misses_physical_components(coverage):
+    stride = coverage.approach("STRIDE (IT-centric)")
+    assert stride.physical_components_covered < 3
+
+
+def test_unknown_approach_raises(coverage):
+    with pytest.raises(KeyError):
+        coverage.approach("nonexistent")
+
+
+def test_rows_match_approaches(coverage):
+    rows = coverage.as_rows()
+    assert len(rows) == 3
+    assert all(len(row) == 6 for row in rows)
+    assert rows[0][0] == coverage.approaches[0].approach

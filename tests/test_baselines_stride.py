@@ -1,0 +1,82 @@
+"""Tests for the STRIDE baseline."""
+
+from repro.baselines.stride import StrideAnalyzer, StrideCategory
+from repro.casestudies.uav import build_uav_model
+from repro.graph.model import Component, ComponentKind, Connection, SystemGraph
+
+
+def test_every_cyber_component_gets_threats(centrifuge_model):
+    threats = StrideAnalyzer().analyze(centrifuge_model)
+    subjects = {threat.subject for threat in threats}
+    assert "BPCS Platform" in subjects
+    assert "Programming WS" in subjects
+    assert "Control Firewall" in subjects
+
+
+def test_plant_component_gets_no_threats(centrifuge_model):
+    analyzer = StrideAnalyzer()
+    threats = analyzer.analyze(centrifuge_model)
+    subjects = {threat.subject for threat in threats}
+    assert "Centrifuge" not in subjects
+    uncovered = analyzer.uncovered_components(centrifuge_model, threats)
+    assert "Centrifuge" in uncovered
+
+
+def test_external_interactors_get_reduced_category_set(centrifuge_model):
+    threats = StrideAnalyzer().analyze(centrifuge_model)
+    corporate = [t for t in threats if t.subject == "Corporate Network"]
+    categories = {t.category for t in corporate}
+    assert categories == {StrideCategory.SPOOFING, StrideCategory.REPUDIATION}
+
+
+def test_processes_get_all_six_categories(centrifuge_model):
+    threats = StrideAnalyzer().analyze(centrifuge_model)
+    bpcs_categories = {t.category for t in threats if t.subject == "BPCS Platform"}
+    assert bpcs_categories == set(StrideCategory)
+
+
+def test_data_store_categories():
+    graph = SystemGraph()
+    graph.add_component(Component("historian", kind=ComponentKind.DATA_STORE))
+    threats = StrideAnalyzer().analyze(graph)
+    categories = {t.category for t in threats}
+    assert StrideCategory.SPOOFING not in categories
+    assert StrideCategory.TAMPERING in categories
+
+
+def test_network_dataflows_get_tid_threats():
+    graph = SystemGraph()
+    graph.add_component(Component("a", kind=ComponentKind.WORKSTATION))
+    graph.add_component(Component("b", kind=ComponentKind.CONTROLLER))
+    graph.connect(Connection("a", "b", protocol="MODBUS"))
+    threats = StrideAnalyzer().analyze(graph)
+    flow_threats = [t for t in threats if t.subject_type == "dataflow"]
+    assert len(flow_threats) == 3
+    assert all("MODBUS" in t.description for t in flow_threats)
+
+
+def test_physical_couplings_are_invisible_to_stride(centrifuge_model):
+    threats = StrideAnalyzer().analyze(centrifuge_model)
+    flow_subjects = {t.subject for t in threats if t.subject_type == "dataflow"}
+    assert "Centrifuge -> Temperature Sensor" not in flow_subjects
+
+
+def test_no_threat_mentions_physical_consequence(centrifuge_model):
+    threats = StrideAnalyzer().analyze(centrifuge_model)
+    assert threats
+    assert all(not threat.mentions_physical_consequence for threat in threats)
+
+
+def test_summary_counts(centrifuge_model):
+    analyzer = StrideAnalyzer()
+    threats = analyzer.analyze(centrifuge_model)
+    summary = analyzer.summary(threats)
+    assert sum(summary.values()) == len(threats)
+    assert summary[StrideCategory.TAMPERING.value] > 0
+
+
+def test_analyzer_works_on_the_uav_model():
+    threats = StrideAnalyzer().analyze(build_uav_model())
+    subjects = {t.subject for t in threats}
+    assert "Flight Controller" in subjects
+    assert "Airframe" not in subjects

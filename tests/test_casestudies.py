@@ -1,0 +1,137 @@
+"""Tests for the case-study models (centrifuge SCADA and UAV)."""
+
+import pytest
+
+from repro.casestudies.centrifuge import (
+    build_centrifuge_model,
+    build_centrifuge_sysml,
+    hardened_workstation_variant,
+)
+from repro.casestudies.uav import build_uav_model
+from repro.graph.attributes import Fidelity
+from repro.graph.model import ComponentKind
+from repro.graph.validation import has_errors, validate_model
+
+
+PAPER_COMPONENTS = (
+    "Programming WS",
+    "Control Firewall",
+    "SIS Platform",
+    "BPCS Platform",
+    "Temperature Sensor",
+    "Centrifuge",
+)
+
+TABLE1_ATTRIBUTES = (
+    "Cisco ASA",
+    "NI RT Linux OS",
+    "Windows 7",
+    "Labview",
+    "NI cRIO 9063",
+    "NI cRIO 9064",
+)
+
+
+def test_centrifuge_model_contains_the_papers_components(centrifuge_model):
+    for name in PAPER_COMPONENTS:
+        assert name in centrifuge_model
+
+
+def test_centrifuge_model_contains_table1_attributes(centrifuge_model):
+    attribute_names = {attr.name for _, attr in centrifuge_model.all_attributes()}
+    for name in TABLE1_ATTRIBUTES:
+        assert name in attribute_names
+
+
+def test_centrifuge_component_kinds(centrifuge_model):
+    assert centrifuge_model.component("SIS Platform").kind is ComponentKind.SAFETY_SYSTEM
+    assert centrifuge_model.component("BPCS Platform").kind is ComponentKind.CONTROLLER
+    assert centrifuge_model.component("Control Firewall").kind is ComponentKind.FIREWALL
+    assert centrifuge_model.component("Centrifuge").kind is ComponentKind.PLANT
+
+
+def test_corporate_network_is_the_entry_point(centrifuge_model):
+    entries = [component.name for component in centrifuge_model.entry_points()]
+    assert entries == ["Corporate Network"]
+
+
+def test_centrifuge_model_is_structurally_valid(centrifuge_model):
+    assert not has_errors(validate_model(centrifuge_model))
+
+
+def test_modbus_appears_on_the_bpcs_and_its_link(centrifuge_model):
+    assert "MODBUS" in centrifuge_model.component("BPCS Platform").attribute_names()
+    protocols = {connection.protocol for connection in centrifuge_model.connections}
+    assert "MODBUS" in protocols
+
+
+def test_physical_process_is_connected_to_the_controllers(centrifuge_model):
+    assert centrifuge_model.is_reachable("Corporate Network", "Centrifuge")
+    assert centrifuge_model.exposure_distance("BPCS Platform") == 3
+
+
+def test_fidelity_capped_builds():
+    conceptual = build_centrifuge_model(Fidelity.CONCEPTUAL)
+    logical = build_centrifuge_model(Fidelity.LOGICAL)
+    implementation = build_centrifuge_model(Fidelity.IMPLEMENTATION)
+    counts = [len(m.all_attributes()) for m in (conceptual, logical, implementation)]
+    assert counts[0] < counts[1] < counts[2]
+    conceptual_names = {a.name for _, a in conceptual.all_attributes()}
+    assert "Windows 7" not in conceptual_names
+    assert "Windows 7" not in {a.name for _, a in logical.all_attributes()}
+
+
+def test_sysml_export_matches_direct_model():
+    from_sysml = build_centrifuge_sysml().to_system_graph()
+    direct = build_centrifuge_model()
+    assert set(from_sysml.component_names()) == set(direct.component_names())
+    for name in TABLE1_ATTRIBUTES:
+        sysml_attrs = {a.name for _, a in from_sysml.all_attributes()}
+        assert name in sysml_attrs
+    assert from_sysml.component("Corporate Network").entry_point
+    assert len(from_sysml.connections) == len(direct.connections)
+
+
+def test_sysml_export_is_associable(engine):
+    association = engine.associate(build_centrifuge_sysml().to_system_graph())
+    rows = {row["attribute"]: row for row in association.attribute_table()}
+    assert rows["Windows 7"]["vulnerabilities"] > 0
+
+
+def test_hardened_variant_only_touches_the_workstation(centrifuge_model):
+    variant = hardened_workstation_variant(centrifuge_model)
+    assert "Windows 7" not in variant.component("Programming WS").attribute_names()
+    assert "hardened thin client" in variant.component("Programming WS").attribute_names()
+    for name in centrifuge_model.component_names():
+        if name == "Programming WS":
+            continue
+        assert variant.component(name).attribute_names() == centrifuge_model.component(
+            name
+        ).attribute_names()
+    # The original is untouched.
+    assert "Windows 7" in centrifuge_model.component("Programming WS").attribute_names()
+
+
+def test_uav_model_structure():
+    uav = build_uav_model()
+    assert len(uav) == 7
+    assert uav.component("Flight Controller").kind is ComponentKind.CONTROLLER
+    assert {c.name for c in uav.entry_points()} == {"Ground Control Station", "Telemetry Radio"}
+    assert uav.is_reachable("Ground Control Station", "Airframe")
+    assert not has_errors(validate_model(uav))
+
+
+def test_uav_model_is_associable(engine):
+    association = engine.associate(build_uav_model())
+    assert association.total > 0
+    assert association.component("Ground Control Station").total > 0
+
+
+@pytest.mark.parametrize("builder", [build_centrifuge_model, build_uav_model])
+def test_models_round_trip_through_graphml(tmp_path, builder):
+    from repro.graph.graphml import read_graphml, write_graphml
+
+    model = builder()
+    path = write_graphml(model, tmp_path / "model.graphml")
+    clone = read_graphml(path)
+    assert clone.component_names() == model.component_names()

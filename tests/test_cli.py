@@ -1,0 +1,108 @@
+"""Tests for the cpsec command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_export_and_validate(tmp_path, capsys):
+    output = tmp_path / "model.graphml"
+    assert main(["export", "--output", str(output)]) == 0
+    assert output.exists()
+    captured = capsys.readouterr()
+    assert "wrote" in captured.out
+
+    assert main(["validate", "--model", str(output)]) == 0
+
+
+def test_validate_builtin_model(capsys):
+    assert main(["validate"]) == 0
+    # The built-in model produces at most informational findings.
+    out = capsys.readouterr().out
+    assert "error" not in out.lower() or "clean" in out.lower()
+
+
+def test_table1_command(capsys):
+    assert main(["table1", "--scale", "0.02"]) == 0
+    out = capsys.readouterr().out
+    assert "Cisco ASA" in out
+    assert "Vulnerabilities" in out
+
+
+def test_associate_command(capsys):
+    assert main(["associate", "--scale", "0.02"]) == 0
+    out = capsys.readouterr().out
+    assert "posture index" in out.lower()
+
+
+def test_whatif_command(capsys):
+    assert main(["whatif", "--scale", "0.02"]) == 0
+    out = capsys.readouterr().out
+    assert "Verdict" in out
+
+
+def test_simulate_nominal(capsys):
+    assert main(["simulate", "--scenario", "nominal", "--duration", "120"]) == 0
+    out = capsys.readouterr().out
+    assert "no hazard conditions reached" in out
+
+
+def test_simulate_triton_scenario(capsys):
+    assert main(["simulate", "--scenario", "triton-like-sis-bypass", "--duration", "420"]) == 0
+    out = capsys.readouterr().out
+    assert "thermal_runaway" in out
+
+
+def test_simulate_unknown_scenario_lists_options(capsys):
+    assert main(["simulate", "--scenario", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown scenario" in err
+    assert "triton-like-sis-bypass" in err
+
+
+def test_chains_command(capsys):
+    assert main(["chains", "--scale", "0.02", "--target", "BPCS Platform", "--limit", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Corporate Network" in out
+    assert "summary:" in out
+
+
+def test_chains_command_unreachable_target(tmp_path, capsys):
+    # A model whose target has no associated vectors yields no chains.
+    assert main(["chains", "--scale", "0.02", "--target", "Centrifuge", "--max-length", "1"]) == 1
+    out = capsys.readouterr().out
+    assert "no exploit chains" in out
+
+
+def test_topology_command(capsys):
+    assert main(["topology"]) == 0
+    out = capsys.readouterr().out
+    assert "Betweenness" in out
+    assert "attack surface: Corporate Network" in out
+    assert "Control Firewall" in out
+
+
+def test_recommend_command(capsys):
+    assert main(["recommend", "--scale", "0.02", "--per-component", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "CWE-" in out
+    assert "what-if to evaluate" in out
+
+
+def test_consequences_command(capsys):
+    assert main(["consequences", "--record", "CWE-78", "--component", "BPCS Platform",
+                 "--duration", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "CWE-78" in out
+    assert "Scenario" in out
+
+
+def test_consequences_unknown_record(capsys):
+    assert main(["consequences", "--record", "CWE-79", "--duration", "120"]) == 1
+    out = capsys.readouterr().out
+    assert "no executable scenario" in out

@@ -1,0 +1,98 @@
+"""Tests for the CVSS v3.1 implementation against published reference scores."""
+
+import pytest
+
+from repro.corpus.cvss import CvssVector, cvss_base_score, severity_rating
+
+
+#: (vector, expected base score) pairs taken from well-known published CVEs.
+REFERENCE_SCORES = [
+    ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", 9.8),   # e.g. BlueKeep
+    ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H", 10.0),  # scope-changed critical
+    ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N", 7.5),   # info disclosure (Heartbleed-like)
+    ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H", 7.5),   # SACK panic
+    ("CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H", 7.8),   # local privilege escalation
+    ("CVSS:3.1/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H", 8.1),   # EternalBlue
+    ("CVSS:3.1/AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:N/A:N", 6.5),
+    ("CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N", 6.1),   # reflected XSS
+    ("CVSS:3.1/AV:P/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:N", 6.1),
+    ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N", 0.0),   # no impact
+]
+
+
+@pytest.mark.parametrize(("vector", "expected"), REFERENCE_SCORES)
+def test_base_scores_match_reference(vector, expected):
+    assert CvssVector.parse(vector).base_score() == pytest.approx(expected)
+
+
+def test_parse_round_trip():
+    text = "CVSS:3.1/AV:A/AC:H/PR:L/UI:R/S:C/C:L/I:H/A:N"
+    vector = CvssVector.parse(text)
+    assert vector.to_string() == text
+
+
+def test_parse_rejects_missing_metrics():
+    with pytest.raises(ValueError):
+        CvssVector.parse("CVSS:3.1/AV:N/AC:L")
+
+
+def test_parse_rejects_malformed_metric():
+    with pytest.raises(ValueError):
+        CvssVector.parse("CVSS:3.1/AVN/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+
+
+def test_invalid_metric_values_rejected():
+    with pytest.raises(ValueError):
+        CvssVector(attack_vector="X")
+    with pytest.raises(ValueError):
+        CvssVector(scope="X")
+    with pytest.raises(ValueError):
+        CvssVector(confidentiality="M")
+
+
+def test_severity_ratings():
+    assert severity_rating(0.0) == "None"
+    assert severity_rating(3.9) == "Low"
+    assert severity_rating(4.0) == "Medium"
+    assert severity_rating(6.9) == "Medium"
+    assert severity_rating(7.0) == "High"
+    assert severity_rating(8.9) == "High"
+    assert severity_rating(9.0) == "Critical"
+    assert severity_rating(10.0) == "Critical"
+
+
+def test_severity_rating_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        severity_rating(-0.1)
+    with pytest.raises(ValueError):
+        severity_rating(10.1)
+
+
+def test_vector_severity_shortcut():
+    vector = CvssVector.parse("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+    assert vector.severity() == "Critical"
+
+
+def test_network_exploitable_flag():
+    network = CvssVector.parse("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+    adjacent = CvssVector.parse("CVSS:3.1/AV:A/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+    local = CvssVector.parse("CVSS:3.1/AV:L/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+    assert network.network_exploitable
+    assert adjacent.network_exploitable
+    assert not local.network_exploitable
+
+
+def test_scope_changed_uses_changed_pr_table():
+    unchanged = CvssVector.parse("CVSS:3.1/AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H")
+    changed = CvssVector.parse("CVSS:3.1/AV:N/AC:L/PR:L/UI:N/S:C/C:H/I:H/A:H")
+    assert changed.base_score() > unchanged.base_score()
+
+
+def test_zero_impact_is_zero_regardless_of_exploitability():
+    vector = CvssVector.parse("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:N/I:N/A:N")
+    assert vector.base_score() == 0.0
+
+
+def test_cvss_base_score_function_matches_method():
+    vector = CvssVector.parse("CVSS:3.1/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H")
+    assert cvss_base_score(vector) == vector.base_score()

@@ -1,0 +1,70 @@
+"""Tests for the attack-vector record types."""
+
+import pytest
+
+from repro.corpus.cvss import CvssVector
+from repro.corpus.schema import AttackPattern, RecordKind, Vulnerability, Weakness
+
+
+def test_attack_pattern_requires_capec_prefix():
+    with pytest.raises(ValueError):
+        AttackPattern("88", "OS Command Injection")
+
+
+def test_weakness_requires_cwe_prefix():
+    with pytest.raises(ValueError):
+        Weakness("78", "OS Command Injection")
+
+
+def test_vulnerability_requires_cve_prefix_and_plausible_year():
+    with pytest.raises(ValueError):
+        Vulnerability("2018-0101")
+    with pytest.raises(ValueError):
+        Vulnerability("CVE-2018-0101", published_year=1901)
+
+
+def test_record_kinds():
+    assert AttackPattern("CAPEC-88", "x").kind is RecordKind.ATTACK_PATTERN
+    assert Weakness("CWE-78", "x").kind is RecordKind.WEAKNESS
+    assert Vulnerability("CVE-2020-1").kind is RecordKind.VULNERABILITY
+
+
+def test_attack_pattern_text_includes_prerequisites_and_domains():
+    pattern = AttackPattern(
+        "CAPEC-88", "OS Command Injection", "injects commands",
+        prerequisites=("input reaches a shell",), domains=("Software",),
+    )
+    assert "shell" in pattern.text
+    assert "Software" in pattern.text
+
+
+def test_weakness_text_and_scope_query():
+    weakness = Weakness(
+        "CWE-78", "OS Command Injection", "constructs OS commands from input",
+        platforms=("ICS/OT",),
+        consequences=(("Integrity", "Execute Unauthorized Code"),),
+    )
+    assert "ICS/OT" in weakness.text
+    assert weakness.impacts_scope("integrity")
+    assert not weakness.impacts_scope("availability")
+
+
+def test_vulnerability_text_name_and_scores():
+    vulnerability = Vulnerability(
+        "CVE-2018-0101",
+        "remote code execution in Cisco ASA",
+        cvss=CvssVector.parse("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H"),
+        affected_platforms=("cisco asa",),
+    )
+    assert vulnerability.name == "CVE-2018-0101"
+    assert "cisco asa" in vulnerability.text
+    assert vulnerability.base_score == pytest.approx(10.0)
+    assert vulnerability.severity == "Critical"
+
+
+def test_records_are_frozen_and_hashable():
+    pattern = AttackPattern("CAPEC-88", "OS Command Injection")
+    weakness = Weakness("CWE-78", "OS Command Injection")
+    assert len({pattern, pattern}) == 1
+    with pytest.raises(AttributeError):
+        weakness.name = "other"

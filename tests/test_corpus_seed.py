@@ -1,0 +1,76 @@
+"""Tests for the curated seed corpus."""
+
+from repro.corpus.schema import RecordKind
+from repro.corpus.seed import (
+    seed_attack_patterns,
+    seed_corpus,
+    seed_vulnerabilities,
+    seed_weaknesses,
+)
+
+
+def test_seed_corpus_is_nontrivial(seed_only_corpus):
+    counts = seed_only_corpus.counts()
+    assert counts[RecordKind.ATTACK_PATTERN] >= 20
+    assert counts[RecordKind.WEAKNESS] >= 30
+    assert counts[RecordKind.VULNERABILITY] >= 15
+
+
+def test_seed_contains_the_papers_flagship_weakness(seed_only_corpus):
+    cwe78 = seed_only_corpus.get("CWE-78")
+    assert "command" in cwe78.name.lower()
+    # The paper's scenario: CWE-78 exploited by CAPEC-88 against control platforms.
+    patterns = seed_only_corpus.patterns_for_weakness("CWE-78")
+    assert any(p.identifier == "CAPEC-88" for p in patterns)
+
+
+def test_seed_covers_demonstration_platforms(seed_only_corpus):
+    platforms = set(seed_only_corpus.platforms())
+    assert "cisco asa" in platforms
+    assert "microsoft windows 7" in platforms
+    assert "ni labview" in platforms
+    assert "ni crio-9063" in platforms
+
+
+def test_seed_identifiers_are_unique():
+    patterns = seed_attack_patterns()
+    weaknesses = seed_weaknesses()
+    vulnerabilities = seed_vulnerabilities()
+    for records in (patterns, weaknesses, vulnerabilities):
+        identifiers = [r.identifier for r in records]
+        assert len(identifiers) == len(set(identifiers))
+
+
+def test_seed_cross_references_resolve(seed_only_corpus):
+    # Every CWE referenced by a seed vulnerability that starts with a low
+    # number (a real CWE) should exist in the seed weaknesses.
+    known = {w.identifier for w in seed_only_corpus.weaknesses}
+    for vulnerability in seed_only_corpus.vulnerabilities:
+        for cwe in vulnerability.cwe_ids:
+            assert cwe in known, f"{vulnerability.identifier} references missing {cwe}"
+
+
+def test_seed_patterns_reference_existing_weaknesses_where_possible(seed_only_corpus):
+    known = {w.identifier for w in seed_only_corpus.weaknesses}
+    resolved = 0
+    for pattern in seed_only_corpus.attack_patterns:
+        resolved += sum(1 for cwe in pattern.related_weaknesses if cwe in known)
+    assert resolved >= 20
+
+
+def test_seed_vulnerabilities_have_valid_cvss(seed_only_corpus):
+    for vulnerability in seed_only_corpus.vulnerabilities:
+        assert 0.0 <= vulnerability.base_score <= 10.0
+        assert vulnerability.severity in {"None", "Low", "Medium", "High", "Critical"}
+
+
+def test_triton_style_vulnerability_present(seed_only_corpus):
+    vulnerability = seed_only_corpus.get("CVE-2018-7522")
+    assert "safety" in vulnerability.description.lower()
+
+
+def test_seed_corpus_builds_fresh_each_call():
+    first = seed_corpus()
+    second = seed_corpus()
+    assert first is not second
+    assert len(first) == len(second)

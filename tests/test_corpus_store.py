@@ -1,0 +1,120 @@
+"""Tests for the corpus store: indexing, cross-references, serialization."""
+
+import pytest
+
+from repro.corpus.schema import AttackPattern, RecordKind, Vulnerability, Weakness
+from repro.corpus.store import CorpusStore
+
+
+def small_store() -> CorpusStore:
+    store = CorpusStore()
+    store.add(AttackPattern("CAPEC-88", "OS Command Injection",
+                            related_weaknesses=("CWE-78",)))
+    store.add(Weakness("CWE-78", "OS Command Injection",
+                       related_attack_patterns=("CAPEC-88",)))
+    store.add(Weakness("CWE-306", "Missing Authentication for Critical Function"))
+    store.add(Vulnerability("CVE-2019-6572", "unauthenticated MODBUS writes",
+                            cwe_ids=("CWE-306",),
+                            affected_platforms=("modbus controller",)))
+    store.add(Vulnerability("CVE-2018-0101", "Cisco ASA remote code execution",
+                            cwe_ids=("CWE-78",), affected_platforms=("cisco asa",)))
+    return store
+
+
+def test_len_contains_get():
+    store = small_store()
+    assert len(store) == 5
+    assert "CWE-78" in store
+    assert "CVE-2018-0101" in store
+    assert "CWE-9999" not in store
+    assert store.get("CAPEC-88").name == "OS Command Injection"
+    with pytest.raises(KeyError):
+        store.get("CVE-0000-0")
+
+
+def test_duplicate_identifier_rejected():
+    store = small_store()
+    with pytest.raises(ValueError):
+        store.add(Weakness("CWE-78", "again"))
+
+
+def test_counts_and_records_of_kind():
+    store = small_store()
+    counts = store.counts()
+    assert counts[RecordKind.ATTACK_PATTERN] == 1
+    assert counts[RecordKind.WEAKNESS] == 2
+    assert counts[RecordKind.VULNERABILITY] == 2
+    assert len(store.records_of_kind(RecordKind.WEAKNESS)) == 2
+    assert len(list(store.all_records())) == 5
+
+
+def test_cross_references_pattern_to_weakness():
+    store = small_store()
+    weaknesses = store.weaknesses_for_pattern("CAPEC-88")
+    assert [w.identifier for w in weaknesses] == ["CWE-78"]
+    with pytest.raises(KeyError):
+        store.weaknesses_for_pattern("CAPEC-0")
+
+
+def test_cross_references_weakness_to_pattern():
+    store = small_store()
+    patterns = store.patterns_for_weakness("CWE-78")
+    assert [p.identifier for p in patterns] == ["CAPEC-88"]
+    with pytest.raises(KeyError):
+        store.patterns_for_weakness("CWE-0")
+
+
+def test_cross_references_weakness_to_vulnerabilities():
+    store = small_store()
+    vulns = store.vulnerabilities_for_weakness("CWE-306")
+    assert [v.identifier for v in vulns] == ["CVE-2019-6572"]
+
+
+def test_cross_references_vulnerability_to_weakness():
+    store = small_store()
+    weaknesses = store.weaknesses_for_vulnerability("CVE-2018-0101")
+    assert [w.identifier for w in weaknesses] == ["CWE-78"]
+    with pytest.raises(KeyError):
+        store.weaknesses_for_vulnerability("CVE-0000-0")
+
+
+def test_platform_index():
+    store = small_store()
+    assert [v.identifier for v in store.vulnerabilities_for_platform("cisco asa")] == [
+        "CVE-2018-0101"
+    ]
+    assert store.vulnerabilities_for_platform("CISCO ASA")  # case-insensitive
+    assert "cisco asa" in store.platforms()
+    assert store.vulnerabilities_for_platform("unknown platform") == ()
+
+
+def test_merge_combines_stores():
+    first = small_store()
+    second = CorpusStore()
+    second.add(Weakness("CWE-400", "Uncontrolled Resource Consumption"))
+    merged = first.merge(second)
+    assert merged is first
+    assert "CWE-400" in first
+
+
+def test_dict_round_trip():
+    store = small_store()
+    clone = CorpusStore.from_dict(store.to_dict())
+    assert len(clone) == len(store)
+    assert clone.get("CVE-2018-0101").affected_platforms == ("cisco asa",)
+    assert clone.get("CWE-78").related_attack_patterns == ("CAPEC-88",)
+    assert clone.get("CAPEC-88").related_weaknesses == ("CWE-78",)
+
+
+def test_file_round_trip(tmp_path):
+    store = small_store()
+    path = store.save(tmp_path / "corpus.json")
+    clone = CorpusStore.load(path)
+    assert clone.counts() == store.counts()
+    assert clone.get("CVE-2019-6572").cwe_ids == ("CWE-306",)
+
+
+def test_add_all_returns_count():
+    store = CorpusStore()
+    added = store.add_all([Weakness("CWE-1", "a"), Weakness("CWE-2", "b")])
+    assert added == 2

@@ -1,0 +1,128 @@
+"""Tests for the synthetic corpus generator."""
+
+import pytest
+
+from repro.corpus.schema import RecordKind
+from repro.corpus.synthesis import (
+    BACKGROUND_PROFILES,
+    TABLE1_PROFILES,
+    PlatformProfile,
+    SyntheticCorpusBuilder,
+    build_corpus,
+)
+
+
+def test_scale_must_be_positive():
+    with pytest.raises(ValueError):
+        SyntheticCorpusBuilder(scale=0.0)
+
+
+def test_generation_is_deterministic():
+    first = SyntheticCorpusBuilder(scale=0.02, seed=7).build()
+    second = SyntheticCorpusBuilder(scale=0.02, seed=7).build()
+    assert first.counts() == second.counts()
+    first_ids = sorted(v.identifier for v in first.vulnerabilities)[:50]
+    second_ids = sorted(v.identifier for v in second.vulnerabilities)[:50]
+    assert first_ids == second_ids
+    first_texts = {v.identifier: v.description for v in first.vulnerabilities}
+    for vulnerability in list(second.vulnerabilities)[:50]:
+        assert first_texts[vulnerability.identifier] == vulnerability.description
+
+
+def test_different_seeds_differ():
+    first = SyntheticCorpusBuilder(scale=0.02, seed=1).build(include_seed=False)
+    second = SyntheticCorpusBuilder(scale=0.02, seed=2).build(include_seed=False)
+    first_texts = [v.description for v in first.vulnerabilities][:100]
+    second_texts = [v.description for v in second.vulnerabilities][:100]
+    assert first_texts != second_texts
+
+
+def test_platform_populations_follow_table1_ratios():
+    builder = SyntheticCorpusBuilder(scale=0.05, include_background=False)
+    store = builder.build(include_seed=False)
+    by_platform = {
+        profile.key: len(store.vulnerabilities_for_platform(profile.key))
+        for profile in TABLE1_PROFILES
+    }
+    # The ordering of Table 1 must hold: NI RT Linux > Windows 7 > Cisco ASA
+    # >> LabVIEW ~ cRIO.
+    assert by_platform["ni linux real-time"] > by_platform["microsoft windows 7"]
+    assert by_platform["microsoft windows 7"] > by_platform["cisco asa"]
+    assert by_platform["cisco asa"] > 20 * by_platform["ni labview"]
+    assert by_platform["ni crio-9063"] <= 3
+    # And the scaled sizes are close to scale * paper count.
+    for profile in TABLE1_PROFILES:
+        expected = max(1, round(profile.vulnerability_count * 0.05))
+        assert by_platform[profile.key] == expected
+
+
+def test_full_scale_counts_match_profiles_exactly():
+    builder = SyntheticCorpusBuilder(scale=1.0, include_background=False)
+    vulnerabilities = builder.build_vulnerabilities()
+    by_platform = {}
+    for vulnerability in vulnerabilities:
+        for platform in vulnerability.affected_platforms:
+            by_platform[platform] = by_platform.get(platform, 0) + 1
+    for profile in TABLE1_PROFILES:
+        assert by_platform[profile.key] == profile.vulnerability_count
+
+
+def test_identifiers_are_unique():
+    store = SyntheticCorpusBuilder(scale=0.05).build()
+    identifiers = [record.identifier for record in store.all_records()]
+    assert len(identifiers) == len(set(identifiers))
+
+
+def test_weakness_and_pattern_populations_exist():
+    store = SyntheticCorpusBuilder(scale=1.0, include_background=False).build(include_seed=False)
+    counts = store.counts()
+    # CWE has roughly 900 entries and CAPEC roughly 550; the synthetic corpus
+    # should be in the same range at full scale.
+    assert 600 <= counts[RecordKind.WEAKNESS] <= 1100
+    assert 350 <= counts[RecordKind.ATTACK_PATTERN] <= 700
+
+
+def test_generated_records_have_realistic_fields():
+    store = SyntheticCorpusBuilder(scale=0.02).build(include_seed=False)
+    for vulnerability in list(store.vulnerabilities)[:200]:
+        assert vulnerability.description.endswith(".")
+        assert vulnerability.cwe_ids
+        assert vulnerability.affected_platforms
+        assert 0.0 <= vulnerability.base_score <= 10.0
+    for weakness in list(store.weaknesses)[:100]:
+        assert weakness.name
+        assert weakness.consequences
+    for pattern in list(store.attack_patterns)[:100]:
+        assert pattern.name.startswith("Exploiting")
+        assert pattern.severity in {"Medium", "High", "Very High"}
+
+
+def test_background_profiles_included_by_default():
+    with_background = build_corpus(scale=0.02)
+    without_background = build_corpus(scale=0.02, include_background=False)
+    assert len(with_background) > len(without_background)
+    background_platforms = {p.key for p in BACKGROUND_PROFILES}
+    assert background_platforms & set(with_background.platforms())
+
+
+def test_build_corpus_includes_seed_entries():
+    store = build_corpus(scale=0.02)
+    assert "CWE-78" in store
+    assert "CVE-2018-0101" in store
+
+
+def test_custom_platform_profile():
+    profile = PlatformProfile(
+        key="custom rtu",
+        mentions=("Custom RTU firmware",),
+        vulnerability_count=10,
+        cwe_pool=("CWE-306",),
+        subcomponents=("serial handler",),
+    )
+    builder = SyntheticCorpusBuilder(
+        scale=1.0, profiles=(profile,), include_background=False
+    )
+    store = builder.build(include_seed=False)
+    assert len(store.vulnerabilities_for_platform("custom rtu")) == 10
+    descriptions = [v.description for v in store.vulnerabilities]
+    assert all("Custom RTU firmware" in d for d in descriptions)

@@ -1,0 +1,133 @@
+"""Tests for hazard definitions and trace evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.cps.hazards import HazardEvent, HazardKind, HazardMonitor, HazardReport
+
+
+def make_trace(length=200, dt=1.0):
+    times = np.arange(length) * dt
+    temperatures = np.full(length, 20.0)
+    speeds = np.full(length, 6000.0)
+    setpoints = np.full(length, 6000.0)
+    return times, temperatures, speeds, setpoints
+
+
+def test_event_validation_and_duration():
+    with pytest.raises(ValueError):
+        HazardEvent(HazardKind.THERMAL_RUNAWAY, 10.0, 5.0, 31.0)
+    event = HazardEvent(HazardKind.THERMAL_RUNAWAY, 10.0, 20.0, 31.0)
+    assert event.duration_s == 10.0
+
+
+def test_hazard_kind_safety_classification():
+    assert HazardKind.THERMAL_RUNAWAY.is_safety_hazard
+    assert HazardKind.ROTOR_OVERSPEED.is_safety_hazard
+    assert not HazardKind.PRODUCT_VISCOUS.is_safety_hazard
+    assert not HazardKind.SPEED_DEVIATION.is_safety_hazard
+
+
+def test_clean_trace_has_no_hazards():
+    monitor = HazardMonitor()
+    report = monitor.evaluate(*make_trace())
+    assert len(report) == 0
+    assert not report.product_lost
+    assert not report.any_safety_hazard
+
+
+def test_mismatched_lengths_rejected():
+    times, temperatures, speeds, setpoints = make_trace()
+    with pytest.raises(ValueError):
+        HazardMonitor().evaluate(times, temperatures[:-1], speeds, setpoints)
+
+
+def test_thermal_runaway_detected():
+    times, temperatures, speeds, setpoints = make_trace()
+    temperatures[100:130] = 35.0
+    report = HazardMonitor().evaluate(times, temperatures, speeds, setpoints)
+    assert report.occurred(HazardKind.THERMAL_RUNAWAY)
+    event = report.of_kind(HazardKind.THERMAL_RUNAWAY)[0]
+    assert event.start_time_s == 100.0
+    assert event.end_time_s == 129.0
+    assert event.peak_value == pytest.approx(35.0)
+    assert report.any_safety_hazard
+    assert report.product_lost
+
+
+def test_viscous_product_detected_only_while_running():
+    times, temperatures, speeds, setpoints = make_trace()
+    temperatures[:50] = 8.0
+    report = HazardMonitor().evaluate(times, temperatures, speeds, setpoints)
+    assert report.occurred(HazardKind.PRODUCT_VISCOUS)
+    # Same temperatures with the process idle (setpoint zero) are not hazardous.
+    idle_report = HazardMonitor().evaluate(
+        times, temperatures, speeds, np.zeros_like(setpoints)
+    )
+    assert not idle_report.occurred(HazardKind.PRODUCT_VISCOUS)
+
+
+def test_speed_deviation_detected_after_settling_window():
+    times, temperatures, speeds, setpoints = make_trace()
+    speeds[150:170] = 6050.0
+    report = HazardMonitor(settling_time_s=60.0).evaluate(times, temperatures, speeds, setpoints)
+    assert report.occurred(HazardKind.SPEED_DEVIATION)
+    event = report.of_kind(HazardKind.SPEED_DEVIATION)[0]
+    assert event.peak_value == pytest.approx(50.0)
+
+
+def test_speed_transient_after_setpoint_change_is_not_a_hazard():
+    times, temperatures, speeds, setpoints = make_trace()
+    # Set point steps at t=100; the speed takes 30 s to catch up.
+    setpoints[100:] = 7000.0
+    speeds[100:130] = np.linspace(6000.0, 7000.0, 30)
+    speeds[130:] = 7000.0
+    report = HazardMonitor(settling_time_s=60.0).evaluate(times, temperatures, speeds, setpoints)
+    assert not report.occurred(HazardKind.SPEED_DEVIATION)
+
+
+def test_rotor_overspeed_detected():
+    times, temperatures, speeds, setpoints = make_trace()
+    speeds[50:60] = 10_500.0
+    report = HazardMonitor().evaluate(times, temperatures, speeds, setpoints)
+    assert report.occurred(HazardKind.ROTOR_OVERSPEED)
+
+
+def test_multiple_intervals_produce_multiple_events():
+    times, temperatures, speeds, setpoints = make_trace()
+    temperatures[20:30] = 32.0
+    temperatures[60:70] = 33.0
+    report = HazardMonitor().evaluate(times, temperatures, speeds, setpoints)
+    assert len(report.of_kind(HazardKind.THERMAL_RUNAWAY)) == 2
+
+
+def test_hazard_open_interval_at_end_of_trace_is_closed():
+    times, temperatures, speeds, setpoints = make_trace()
+    temperatures[-10:] = 40.0
+    report = HazardMonitor().evaluate(times, temperatures, speeds, setpoints)
+    event = report.of_kind(HazardKind.THERMAL_RUNAWAY)[0]
+    assert event.end_time_s == times[-1]
+
+
+def test_events_sorted_by_start_time():
+    times, temperatures, speeds, setpoints = make_trace()
+    speeds[150:160] = 6100.0
+    temperatures[20:30] = 32.0
+    report = HazardMonitor().evaluate(times, temperatures, speeds, setpoints)
+    starts = [event.start_time_s for event in report.events]
+    assert starts == sorted(starts)
+
+
+def test_summary_counts_by_kind():
+    times, temperatures, speeds, setpoints = make_trace()
+    temperatures[20:30] = 32.0
+    report = HazardMonitor().evaluate(times, temperatures, speeds, setpoints)
+    summary = report.summary()
+    assert summary["thermal_runaway"] == 1
+    assert summary["speed_deviation"] == 0
+
+
+def test_empty_report_helpers():
+    report = HazardReport()
+    assert not report.occurred(HazardKind.THERMAL_RUNAWAY)
+    assert report.of_kind(HazardKind.THERMAL_RUNAWAY) == []

@@ -1,0 +1,128 @@
+"""Tests for the centrifuge plant model."""
+
+import numpy as np
+import pytest
+
+from repro.cps.plant import CentrifugePlant, PlantParameters, PlantState
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        PlantParameters(max_speed_rpm=0)
+    with pytest.raises(ValueError):
+        PlantParameters(speed_time_constant_s=0)
+    with pytest.raises(ValueError):
+        PlantParameters(thermal_capacity=0)
+
+
+def test_state_array_round_trip():
+    state = PlantState(speed_rpm=1234.5, temperature_c=21.0)
+    assert PlantState.from_array(state.as_array()) == state
+
+
+def test_reset_returns_to_ambient_standstill():
+    plant = CentrifugePlant()
+    plant.step(1.0, 1.0, 0.0)
+    plant.reset()
+    assert plant.state.speed_rpm == 0.0
+    assert plant.state.temperature_c == pytest.approx(
+        plant.parameters.ambient_temperature_c
+    )
+
+
+def test_step_requires_positive_dt():
+    with pytest.raises(ValueError):
+        CentrifugePlant().step(0.0, 0.5, 0.5)
+
+
+def test_speed_rises_with_drive_and_saturates_at_max():
+    plant = CentrifugePlant()
+    plant.reset()
+    for _ in range(600):
+        plant.step(1.0, 1.0, 1.0)
+    assert plant.state.speed_rpm == pytest.approx(plant.parameters.max_speed_rpm, abs=1.0)
+
+
+def test_speed_decays_without_drive():
+    plant = CentrifugePlant()
+    plant.reset(PlantState(speed_rpm=5000.0, temperature_c=22.0))
+    for _ in range(200):
+        plant.step(1.0, 0.0, 1.0)
+    assert plant.state.speed_rpm < 100.0
+
+
+def test_temperature_rises_at_speed_without_cooling():
+    plant = CentrifugePlant()
+    plant.reset(PlantState(speed_rpm=8000.0, temperature_c=22.0))
+    start = plant.state.temperature_c
+    for _ in range(120):
+        plant.step(1.0, 0.8, 0.0)
+    assert plant.state.temperature_c > start + 5.0
+
+
+def test_cooling_lowers_temperature():
+    plant = CentrifugePlant()
+    plant.reset(PlantState(speed_rpm=0.0, temperature_c=35.0))
+    for _ in range(300):
+        plant.step(1.0, 0.0, 1.0)
+    assert plant.state.temperature_c < 20.0
+
+
+def test_commands_are_clipped_to_unit_interval():
+    plant = CentrifugePlant()
+    plant.reset()
+    unclipped = plant.derivatives(np.array([0.0, 22.0]), 5.0, 0.0)
+    nominal = plant.derivatives(np.array([0.0, 22.0]), 1.0, 0.0)
+    assert unclipped[0] == pytest.approx(nominal[0])
+
+
+def test_heat_disturbance_raises_temperature_derivative():
+    plant = CentrifugePlant()
+    state = np.array([5000.0, 22.0])
+    with_disturbance = plant.derivatives(state, 0.5, 0.5, heat_disturbance_w=5.0)
+    without = plant.derivatives(state, 0.5, 0.5, heat_disturbance_w=0.0)
+    assert with_disturbance[1] > without[1]
+
+
+def test_open_loop_simulation_matches_step_integration():
+    plant = CentrifugePlant()
+    plant.reset()
+    times, states = plant.simulate_open_loop(60.0, drive_command=0.5, cooling_command=0.5)
+    assert len(times) == len(states)
+    stepped = CentrifugePlant()
+    stepped.reset()
+    for _ in range(600):
+        stepped.step(0.1, 0.5, 0.5)
+    assert states[-1, 0] == pytest.approx(stepped.state.speed_rpm, rel=0.02)
+    assert states[-1, 1] == pytest.approx(stepped.state.temperature_c, abs=0.2)
+
+
+def test_equilibrium_temperature_matches_long_simulation():
+    plant = CentrifugePlant()
+    plant.reset(PlantState(speed_rpm=6000.0, temperature_c=22.0))
+    predicted = plant.equilibrium_temperature(6000.0, cooling_command=1.0)
+    for _ in range(4000):
+        plant.step(1.0, 0.5, 1.0)
+    assert plant.state.temperature_c == pytest.approx(predicted, abs=1.0)
+
+
+def test_equilibrium_temperature_increases_with_speed():
+    plant = CentrifugePlant()
+    assert plant.equilibrium_temperature(9000.0, 1.0) > plant.equilibrium_temperature(3000.0, 1.0)
+
+
+def test_with_parameters_override():
+    plant = CentrifugePlant()
+    modified = plant.with_parameters(cooling_capacity=20.0)
+    assert modified.parameters.cooling_capacity == 20.0
+    assert plant.parameters.cooling_capacity != 20.0
+    assert modified.state == plant.state
+
+
+def test_full_speed_without_cooling_crosses_instability_threshold():
+    # The hazard narrative requires that an uncontrolled full-speed run can
+    # exceed the 30 degC instability limit used by the hazard monitor.
+    plant = CentrifugePlant()
+    plant.reset(PlantState(speed_rpm=10_000.0, temperature_c=20.0))
+    equilibrium = plant.equilibrium_temperature(10_000.0, cooling_command=0.0)
+    assert equilibrium > 30.0

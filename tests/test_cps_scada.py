@@ -1,0 +1,141 @@
+"""Tests for the closed-loop SCADA simulation."""
+
+import numpy as np
+import pytest
+
+from repro.cps.control import ControlMode
+from repro.cps.hazards import HazardKind
+from repro.cps.network import MessageKind
+from repro.cps.scada import BPCS, WORKSTATION, OperatorAction, OperatorSchedule, ScadaSimulation
+
+
+def test_operator_action_validation():
+    with pytest.raises(ValueError):
+        OperatorAction(-1.0, MessageKind.MODE_COMMAND, {})
+
+
+def test_operator_schedule_due_window():
+    schedule = OperatorSchedule.batch(start_time_s=5.0)
+    assert schedule.due(0.0, 5.0) == []
+    due = schedule.due(5.0, 7.0)
+    assert len(due) == 3
+    kinds = {action.kind for action in due}
+    assert MessageKind.SETPOINT_WRITE in kinds
+    assert MessageKind.MODE_COMMAND in kinds
+
+
+def test_run_rejects_invalid_horizon():
+    with pytest.raises(ValueError):
+        ScadaSimulation().run(duration_s=0.0)
+    with pytest.raises(ValueError):
+        ScadaSimulation().run(duration_s=10.0, dt=0.0)
+
+
+def test_nominal_batch_reaches_and_holds_setpoint():
+    simulation = ScadaSimulation()
+    trace = simulation.run(duration_s=420.0, dt=0.5)
+    assert len(trace) == 840
+    # The paper's regulation requirement: within +/- 1 rpm of the set point.
+    assert trace.speed_tracking_error(after_s=150.0) < 1.0
+    late = trace.times_s >= 150.0
+    assert np.all(np.abs(trace.speeds_rpm[late] - 6000.0) < 5.0)
+
+
+def test_nominal_batch_is_hazard_free_and_sis_stays_untripped():
+    simulation = ScadaSimulation()
+    trace = simulation.run(duration_s=420.0, dt=0.5)
+    report = trace.hazards()
+    assert len(report) == 0
+    assert not simulation.sis.tripped
+    assert not np.any(trace.sis_tripped)
+
+
+def test_temperature_regulated_near_setpoint():
+    simulation = ScadaSimulation()
+    trace = simulation.run(duration_s=420.0, dt=0.5)
+    late = trace.times_s >= 300.0
+    assert np.all(trace.temperatures_c[late] < 26.0)
+    assert np.all(trace.temperatures_c[late] > 14.0)
+
+
+def test_trace_helpers():
+    trace = ScadaSimulation().run(duration_s=120.0, dt=0.5)
+    state = trace.final_state()
+    assert state.speed_rpm == pytest.approx(trace.speeds_rpm[-1])
+    assert trace.max_speed() >= state.speed_rpm
+    assert trace.max_temperature() >= trace.temperatures_c[-1] - 1e-9
+
+
+def test_mode_and_setpoints_arrive_via_bus():
+    simulation = ScadaSimulation()
+    simulation.run(duration_s=30.0, dt=0.5)
+    assert simulation.controller.mode is ControlMode.RUN
+    assert simulation.controller.speed_setpoint_rpm == 6000.0
+    assert simulation.controller.temperature_setpoint_c == 20.0
+    delivered_kinds = {message.kind for message in simulation.bus.delivered}
+    assert MessageKind.SETPOINT_WRITE in delivered_kinds
+    assert MessageKind.MEASUREMENT in delivered_kinds
+
+
+def test_bpcs_view_tracks_measurements():
+    simulation = ScadaSimulation()
+    trace = simulation.run(duration_s=60.0, dt=0.5)
+    # The controller's view lags the plant by one cycle but tracks it closely.
+    assert np.mean(np.abs(trace.bpcs_speed_view_rpm[10:] - trace.speeds_rpm[9:-1])) < 20.0
+
+
+def test_custom_schedule_is_respected():
+    schedule = OperatorSchedule.batch(speed_rpm=3000.0, temperature_c=18.0, start_time_s=2.0)
+    simulation = ScadaSimulation(schedule=schedule)
+    trace = simulation.run(duration_s=300.0, dt=0.5)
+    late = trace.times_s >= 200.0
+    assert np.all(np.abs(trace.speeds_rpm[late] - 3000.0) < 5.0)
+    assert simulation.controller.temperature_setpoint_c == 18.0
+
+
+def test_firewall_blocks_corporate_writes_to_bpcs():
+    simulation = ScadaSimulation()
+    simulation.run(duration_s=5.0, dt=0.5)
+    simulation.bus.send("Corporate Network", BPCS, MessageKind.SETPOINT_WRITE,
+                        {"register": "speed_setpoint", "value": 9999.0})
+    simulation.bus.deliver()
+    assert simulation.controller.speed_setpoint_rpm != 9999.0
+    assert simulation.firewall.dropped_count >= 1
+
+
+def test_workstation_writes_pass_the_firewall():
+    simulation = ScadaSimulation()
+    simulation.run(duration_s=5.0, dt=0.5)
+    simulation.bus.send(WORKSTATION, BPCS, MessageKind.SETPOINT_WRITE,
+                        {"register": "speed_setpoint", "value": 1234.0})
+    simulation.bus.deliver()
+    assert simulation.controller.speed_setpoint_rpm == 1234.0
+
+
+def test_engineering_write_marks_controller_compromised():
+    simulation = ScadaSimulation()
+    simulation.run(duration_s=5.0, dt=0.5)
+    assert not simulation.controller.compromised
+    simulation.bus.send(WORKSTATION, BPCS, MessageKind.ENGINEERING, {"action": "x"})
+    simulation.bus.deliver()
+    assert simulation.controller.compromised
+
+
+def test_simulation_is_deterministic():
+    first = ScadaSimulation(seed=9).run(duration_s=120.0, dt=0.5)
+    second = ScadaSimulation(seed=9).run(duration_s=120.0, dt=0.5)
+    assert np.array_equal(first.speeds_rpm, second.speeds_rpm)
+    assert np.array_equal(first.temperatures_c, second.temperatures_c)
+
+
+def test_different_seed_changes_sensor_noise_only_slightly():
+    first = ScadaSimulation(seed=1).run(duration_s=120.0, dt=0.5)
+    second = ScadaSimulation(seed=2).run(duration_s=120.0, dt=0.5)
+    assert not np.array_equal(first.speeds_rpm, second.speeds_rpm)
+    assert np.max(np.abs(first.speeds_rpm - second.speeds_rpm)) < 50.0
+
+
+def test_hazard_evaluation_of_trace_uses_running_mask():
+    trace = ScadaSimulation().run(duration_s=60.0, dt=0.5)
+    report = trace.hazards()
+    assert not report.occurred(HazardKind.PRODUCT_VISCOUS)

@@ -1,0 +1,171 @@
+"""Tests for sensors, the PID controller, and the BPCS controller."""
+
+import numpy as np
+import pytest
+
+from repro.cps.control import BpcsController, ControlMode, PidController
+from repro.cps.sensors import Sensor, Tachometer, TemperatureSensor
+
+
+# -- sensors -------------------------------------------------------------------
+
+
+def test_sensor_parameter_validation():
+    with pytest.raises(ValueError):
+        Sensor("s", noise_std=-1.0)
+    with pytest.raises(ValueError):
+        Sensor("s", quantization=-0.1)
+
+
+def test_noiseless_sensor_reads_truth():
+    sensor = Sensor("ideal")
+    assert sensor.measure(42.0) == 42.0
+
+
+def test_sensor_bias_and_quantization():
+    sensor = Sensor("biased", bias=1.0, quantization=0.5)
+    assert sensor.measure(10.1) == pytest.approx(11.0)
+
+
+def test_sensor_noise_is_deterministic_per_seed():
+    first = Sensor("a", noise_std=0.5, seed=42)
+    second = Sensor("b", noise_std=0.5, seed=42)
+    readings_first = [first.measure(10.0) for _ in range(5)]
+    readings_second = [second.measure(10.0) for _ in range(5)]
+    assert readings_first == readings_second
+    assert len(set(readings_first)) > 1
+
+
+def test_sensor_spoofing_overrides_and_clears():
+    sensor = Sensor("s", noise_std=0.1, seed=1)
+    sensor.spoof(99.0)
+    assert sensor.spoofed
+    assert sensor.measure(10.0) == 99.0
+    sensor.clear_spoof()
+    assert not sensor.spoofed
+    assert sensor.measure(10.0) != 99.0
+
+
+def test_temperature_sensor_accuracy_envelope():
+    sensor = TemperatureSensor(seed=5)
+    errors = [abs(sensor.measure(20.0) - 20.0) for _ in range(500)]
+    # The paper's probe is accurate to +/- 0.2 degC; allow the occasional
+    # 3-sigma excursion but require the envelope to hold on average.
+    assert np.mean(errors) < 0.1
+    assert np.percentile(errors, 99) < 0.25
+
+
+def test_tachometer_accuracy_envelope():
+    sensor = Tachometer(seed=5)
+    errors = [abs(sensor.measure(6000.0) - 6000.0) for _ in range(500)]
+    assert np.mean(errors) < 0.5
+    assert np.percentile(errors, 99) < 1.5
+
+
+# -- PID ------------------------------------------------------------------------
+
+
+def test_pid_output_limits_validation():
+    with pytest.raises(ValueError):
+        PidController(kp=1.0, output_min=1.0, output_max=0.0)
+
+
+def test_pid_requires_positive_dt():
+    with pytest.raises(ValueError):
+        PidController(kp=1.0).update(1.0, 0.0, 0.0)
+
+
+def test_pid_proportional_action():
+    pid = PidController(kp=0.1, output_min=-10, output_max=10)
+    assert pid.update(10.0, 0.0, 1.0) == pytest.approx(1.0)
+    assert pid.update(0.0, 10.0, 1.0) < 0
+
+
+def test_pid_output_is_clamped():
+    pid = PidController(kp=100.0)
+    assert pid.update(10.0, 0.0, 1.0) == 1.0
+    assert pid.update(-10.0, 0.0, 1.0) == 0.0
+
+
+def test_pid_integral_removes_steady_state_error():
+    pid = PidController(kp=0.05, ki=0.5, output_min=0.0, output_max=2.0)
+    # Plant: output value follows control with gain 1 (static); target 1.0
+    # requires control 1.0 which pure P with kp=0.05 cannot reach.
+    value = 0.0
+    for _ in range(300):
+        control = pid.update(1.0, value, 0.1)
+        value = control
+    assert value == pytest.approx(1.0, abs=0.05)
+
+
+def test_pid_anti_windup_freezes_integral_when_saturated():
+    pid = PidController(kp=0.0, ki=1.0, output_min=0.0, output_max=1.0)
+    for _ in range(100):
+        pid.update(10.0, 0.0, 1.0)
+    # After saturation, a small reversed error should bring the output off the
+    # rail quickly instead of unwinding a huge integral.
+    outputs = [pid.update(-1.0, 0.0, 1.0) for _ in range(3)]
+    assert outputs[-1] < 1.0
+
+
+def test_pid_reset_clears_memory():
+    pid = PidController(kp=0.1, ki=0.1, kd=0.1)
+    pid.update(1.0, 0.0, 1.0)
+    pid.reset()
+    assert pid._integral == 0.0
+    assert pid._previous_error is None
+
+
+# -- BPCS -----------------------------------------------------------------------
+
+
+def test_bpcs_idle_mode_keeps_drive_at_zero():
+    controller = BpcsController()
+    drive, cooling = controller.compute(0.0, 25.0, 0.5)
+    assert drive == 0.0
+    assert cooling >= 0.0
+
+
+def test_bpcs_run_mode_drives_toward_setpoint():
+    controller = BpcsController()
+    controller.set_mode(ControlMode.RUN)
+    controller.set_speed_setpoint(6000.0)
+    drive, _ = controller.compute(0.0, 20.0, 0.5)
+    assert drive > 0.5
+
+
+def test_bpcs_setpoint_clamped_to_machine_limit():
+    controller = BpcsController()
+    controller.set_speed_setpoint(50_000.0)
+    assert controller.speed_setpoint_rpm == controller.max_speed_setpoint_rpm
+    controller.set_speed_setpoint(-10.0)
+    assert controller.speed_setpoint_rpm == 0.0
+
+
+def test_bpcs_cooling_increases_when_too_hot():
+    controller = BpcsController(temperature_setpoint_c=20.0)
+    _, cooling_hot = controller.compute(0.0, 30.0, 0.5)
+    controller_cold = BpcsController(temperature_setpoint_c=20.0)
+    _, cooling_cold = controller_cold.compute(0.0, 10.0, 0.5)
+    assert cooling_hot > cooling_cold
+    assert cooling_cold == 0.0
+
+
+def test_bpcs_shutdown_stops_drive_and_cooling():
+    controller = BpcsController()
+    controller.set_mode(ControlMode.RUN)
+    controller.set_speed_setpoint(5000.0)
+    controller.set_mode(ControlMode.SHUTDOWN)
+    drive, cooling = controller.compute(4000.0, 25.0, 0.5)
+    assert drive == 0.0
+    assert cooling == 0.0
+
+
+def test_bpcs_mode_change_resets_speed_loop():
+    controller = BpcsController()
+    controller.set_mode(ControlMode.RUN)
+    controller.set_speed_setpoint(5000.0)
+    for _ in range(20):
+        controller.compute(1000.0, 20.0, 0.5)
+    controller.set_mode(ControlMode.IDLE)
+    assert controller.speed_pid._integral == 0.0

@@ -1,0 +1,165 @@
+"""Tests for the safety instrumented system, the message bus, and the firewall."""
+
+import pytest
+
+from repro.cps.network import Firewall, FirewallRule, Message, MessageBus, MessageKind
+from repro.cps.sis import SafetyInstrumentedSystem, SisLimits
+
+
+# -- SIS -------------------------------------------------------------------------
+
+
+def test_sis_limits_validation():
+    with pytest.raises(ValueError):
+        SisLimits(confirmation_samples=0)
+
+
+def test_sis_trips_on_persistent_high_temperature():
+    sis = SafetyInstrumentedSystem(limits=SisLimits(confirmation_samples=3))
+    assert not sis.check(0.0, 29.0, 5000.0, 5000.0)
+    assert not sis.check(1.0, 29.0, 5000.0, 5000.0)
+    assert sis.check(2.0, 29.0, 5000.0, 5000.0)
+    assert sis.tripped
+    assert "temperature" in sis.trip_reason
+    assert sis.trip_time_s == 2.0
+
+
+def test_sis_does_not_trip_on_transient_violation():
+    sis = SafetyInstrumentedSystem(limits=SisLimits(confirmation_samples=3))
+    sis.check(0.0, 29.0, 5000.0, 5000.0)
+    sis.check(1.0, 20.0, 5000.0, 5000.0)  # violation clears
+    sis.check(2.0, 29.0, 5000.0, 5000.0)
+    sis.check(3.0, 29.0, 5000.0, 5000.0)
+    assert not sis.tripped
+
+
+def test_sis_trips_on_overspeed_and_on_speed_over_commanded():
+    sis = SafetyInstrumentedSystem(limits=SisLimits(confirmation_samples=1))
+    assert sis.check(0.0, 20.0, 9600.0, 9000.0)
+    assert "speed" in sis.trip_reason
+
+    commanded = SafetyInstrumentedSystem(limits=SisLimits(confirmation_samples=1))
+    assert commanded.check(0.0, 20.0, 4000.0, 3000.0)
+    assert "commanded" in commanded.trip_reason
+
+
+def test_sis_trip_is_latched_and_resettable():
+    sis = SafetyInstrumentedSystem(limits=SisLimits(confirmation_samples=1))
+    sis.check(0.0, 35.0, 1000.0, 1000.0)
+    assert sis.tripped
+    assert sis.drive_permission() == 0.0
+    # Conditions back to normal: still tripped (latched).
+    assert sis.check(1.0, 20.0, 1000.0, 1000.0)
+    sis.reset()
+    assert not sis.tripped
+    assert sis.drive_permission() == 1.0
+
+
+def test_disabled_sis_never_trips():
+    sis = SafetyInstrumentedSystem(limits=SisLimits(confirmation_samples=1))
+    sis.disable()
+    assert not sis.check(0.0, 60.0, 9999.0, 0.0)
+    assert not sis.tripped
+    sis.enable()
+    assert sis.check(1.0, 60.0, 9999.0, 0.0)
+
+
+# -- messages and bus --------------------------------------------------------------
+
+
+def test_message_with_payload_is_functional():
+    message = Message("a", "b", MessageKind.SETPOINT_WRITE, {"value": 1.0})
+    modified = message.with_payload(value=2.0)
+    assert modified.payload["value"] == 2.0
+    assert message.payload["value"] == 1.0
+
+
+def test_bus_registration_and_delivery():
+    bus = MessageBus()
+    received = []
+    bus.register("dev", received.append)
+    bus.send("src", "dev", MessageKind.STATUS, {"x": 1})
+    assert bus.pending() == 1
+    assert bus.deliver() == 1
+    assert bus.pending() == 0
+    assert received[0].payload == {"x": 1}
+    assert len(bus.delivered) == 1
+
+
+def test_bus_rejects_duplicate_registration():
+    bus = MessageBus()
+    bus.register("dev", lambda m: None)
+    with pytest.raises(ValueError):
+        bus.register("dev", lambda m: None)
+
+
+def test_bus_drops_messages_to_unknown_receivers():
+    bus = MessageBus()
+    bus.send("src", "nobody", MessageKind.STATUS, {})
+    assert bus.deliver() == 0
+    assert len(bus.dropped) == 1
+
+
+def test_bus_messages_get_increasing_sequence_numbers():
+    bus = MessageBus()
+    first = bus.send("a", "b", MessageKind.STATUS, {})
+    second = bus.send("a", "b", MessageKind.STATUS, {})
+    assert second.sequence > first.sequence
+
+
+def test_bus_tap_can_modify_and_drop():
+    bus = MessageBus()
+    received = []
+    bus.register("dev", received.append)
+
+    def tamper(message):
+        if message.payload.get("drop"):
+            return None
+        return message.with_payload(value=99)
+
+    bus.add_tap(tamper)
+    bus.send("src", "dev", MessageKind.MEASUREMENT, {"value": 1})
+    bus.send("src", "dev", MessageKind.MEASUREMENT, {"value": 2, "drop": True})
+    assert bus.deliver() == 1
+    assert received[0].payload["value"] == 99
+    assert len(bus.dropped) == 1
+    bus.remove_tap(tamper)
+    bus.send("src", "dev", MessageKind.MEASUREMENT, {"value": 3})
+    bus.deliver()
+    assert received[-1].payload["value"] == 3
+
+
+# -- firewall ------------------------------------------------------------------------
+
+
+def test_firewall_rule_matching():
+    rule = FirewallRule("ws", "plc", (MessageKind.SETPOINT_WRITE,))
+    allowed = Message("ws", "plc", MessageKind.SETPOINT_WRITE, {})
+    wrong_kind = Message("ws", "plc", MessageKind.ENGINEERING, {})
+    wrong_sender = Message("corp", "plc", MessageKind.SETPOINT_WRITE, {})
+    assert rule.permits(allowed)
+    assert not rule.permits(wrong_kind)
+    assert not rule.permits(wrong_sender)
+    wildcard = FirewallRule("*", "plc")
+    assert wildcard.permits(wrong_sender)
+
+
+def test_firewall_default_deny_for_protected_devices():
+    firewall = Firewall(protected=frozenset({"plc"}))
+    firewall.allow("ws", "plc")
+    assert firewall.filter(Message("ws", "plc", MessageKind.SETPOINT_WRITE, {})) is not None
+    assert firewall.filter(Message("corp", "plc", MessageKind.SETPOINT_WRITE, {})) is None
+    assert firewall.dropped_count == 1
+
+
+def test_firewall_ignores_unprotected_receivers():
+    firewall = Firewall(protected=frozenset({"plc"}))
+    message = Message("corp", "historian", MessageKind.STATUS, {})
+    assert firewall.filter(message) is message
+
+
+def test_bypassed_firewall_passes_everything():
+    firewall = Firewall(protected=frozenset({"plc"}))
+    firewall.bypassed = True
+    assert firewall.filter(Message("corp", "plc", MessageKind.ENGINEERING, {})) is not None
+    assert firewall.dropped_count == 0

@@ -1,0 +1,123 @@
+"""Failure-injection and degenerate-input tests.
+
+These cover the unhappy paths a downstream user will hit: empty or degenerate
+models and corpora, corrupted artifacts on disk, and physical/component
+failures in the closed loop (cooling failure, stuck sensors) that the safety
+layer -- not the security layer -- is supposed to catch.
+"""
+
+import json
+
+import pytest
+
+from repro.attacks.spoofing import SensorSpoofingAttack
+from repro.corpus.store import CorpusStore
+from repro.cps.hazards import HazardKind
+from repro.cps.plant import CentrifugePlant
+from repro.cps.scada import ScadaSimulation
+from repro.graph.graphml import from_graphml_string
+from repro.graph.model import Component, SystemGraph
+from repro.search.chains import find_exploit_chains
+from repro.search.engine import SearchEngine
+from repro.search.filters import FilterPipeline, by_min_score
+
+
+# -- degenerate corpora and models ------------------------------------------------
+
+
+def test_engine_over_empty_corpus_returns_no_matches(centrifuge_model):
+    engine = SearchEngine(CorpusStore())
+    association = engine.associate(centrifuge_model)
+    assert association.total == 0
+    assert all(component.total == 0 for component in association.components)
+
+
+def test_association_of_empty_model(engine):
+    association = engine.associate(SystemGraph("empty"))
+    assert association.total == 0
+    assert association.attribute_table() == []
+    assert association.component_ranking() == []
+
+
+def test_component_without_attributes_matches_nothing(engine):
+    graph = SystemGraph("bare")
+    graph.add_component(Component("mystery", entry_point=True))
+    association = engine.associate(graph)
+    assert association.component("mystery").total == 0
+    # Chains to a vector-less target do not exist.
+    assert find_exploit_chains(association, "mystery") == []
+
+
+def test_filtering_an_empty_association_is_a_noop(engine):
+    association = engine.associate(SystemGraph("empty"))
+    filtered = FilterPipeline([by_min_score(0.5)]).apply(association)
+    assert filtered.total == 0
+
+
+# -- corrupted artifacts --------------------------------------------------------------
+
+
+def test_corpus_load_of_corrupted_file_raises(tmp_path):
+    path = tmp_path / "corpus.json"
+    path.write_text("{not valid json", encoding="utf-8")
+    with pytest.raises(json.JSONDecodeError):
+        CorpusStore.load(path)
+
+
+def test_corpus_load_of_missing_file_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        CorpusStore.load(tmp_path / "missing.json")
+
+
+def test_graphml_parse_of_garbage_raises():
+    with pytest.raises(Exception):
+        from_graphml_string("this is not xml at all <<<")
+
+
+def test_graphml_parse_of_wrong_xml_raises():
+    with pytest.raises(ValueError):
+        from_graphml_string("<?xml version='1.0'?><notgraphml></notgraphml>")
+
+
+# -- physical and component failures ---------------------------------------------------
+
+
+def test_cooling_failure_is_caught_by_the_sis():
+    # A failed chiller is a plain reliability fault (no attacker): the SIS
+    # must trip before the thermal-instability limit is crossed.
+    simulation = ScadaSimulation(plant=CentrifugePlant().with_parameters(cooling_capacity=0.0))
+    trace = simulation.run(duration_s=420.0, dt=0.5)
+    assert simulation.sis.tripped
+    assert "temperature" in simulation.sis.trip_reason
+    assert trace.max_temperature() < 35.0
+
+
+def test_stuck_low_temperature_sensor_defeats_both_layers():
+    # A sensor stuck low (failure or tamper) blinds BPCS and SIS alike: the
+    # process overheats without a trip -- the common-cause weakness the
+    # redundant-sensor discussion in safety engineering is about.
+    stuck = SensorSpoofingAttack(start_time_s=60.0, sensor="temperature", value=18.0)
+    simulation = ScadaSimulation(interventions=[stuck])
+    trace = simulation.run(duration_s=420.0, dt=0.5)
+    assert not simulation.sis.tripped
+    assert trace.hazards().occurred(HazardKind.THERMAL_RUNAWAY)
+
+
+def test_stuck_tachometer_causes_overspeed_protection_to_engage():
+    stuck = SensorSpoofingAttack(start_time_s=30.0, sensor="speed", value=0.0)
+    simulation = ScadaSimulation(interventions=[stuck])
+    trace = simulation.run(duration_s=300.0, dt=0.5)
+    # The speed loop winds up against a reading of zero and drives the rotor
+    # to its physical maximum; the SIS sees the same zero, so only the
+    # hazard monitor (ground truth) notices.
+    assert trace.max_speed() > 9_000.0
+    report = trace.hazards()
+    assert report.product_lost
+
+
+def test_simulation_survives_zero_length_intervention_window():
+    attack = SensorSpoofingAttack(start_time_s=50.0, duration_s=0.0, sensor="temperature", value=0.0)
+    simulation = ScadaSimulation(interventions=[attack])
+    trace = simulation.run(duration_s=120.0, dt=0.5)
+    assert len(trace) == 240
+    assert not simulation.temperature_sensor.spoofed

@@ -1,0 +1,97 @@
+"""Tests for the attribute taxonomy."""
+
+import pytest
+
+from repro.graph.attributes import (
+    Attribute,
+    AttributeKind,
+    Fidelity,
+    entry_point,
+    function,
+    hardware,
+    operating_system,
+    protocol,
+    software,
+)
+
+
+def test_attribute_requires_name():
+    with pytest.raises(ValueError):
+        Attribute("")
+    with pytest.raises(ValueError):
+        Attribute("   ")
+
+
+def test_attribute_defaults():
+    attribute = Attribute("Windows 7")
+    assert attribute.kind is AttributeKind.OTHER
+    assert attribute.fidelity is Fidelity.LOGICAL
+    assert attribute.version == ""
+    assert attribute.tags == ()
+
+
+def test_attribute_text_combines_all_fields():
+    attribute = Attribute(
+        "Windows 7",
+        description="Microsoft Windows 7 operating system",
+        version="SP1",
+        tags=("desktop os",),
+    )
+    assert "Windows 7" in attribute.text
+    assert "SP1" in attribute.text
+    assert "Microsoft" in attribute.text
+    assert "desktop os" in attribute.text
+
+
+def test_attribute_text_skips_empty_parts():
+    attribute = Attribute("MODBUS")
+    assert attribute.text == "MODBUS"
+
+
+def test_fidelity_ordering():
+    assert Fidelity.CONCEPTUAL < Fidelity.LOGICAL < Fidelity.IMPLEMENTATION
+
+
+def test_is_specific_only_at_implementation_fidelity():
+    assert not Attribute("x", fidelity=Fidelity.CONCEPTUAL).is_specific()
+    assert not Attribute("x", fidelity=Fidelity.LOGICAL).is_specific()
+    assert Attribute("x", fidelity=Fidelity.IMPLEMENTATION).is_specific()
+
+
+def test_with_fidelity_returns_new_attribute():
+    original = Attribute("Cisco ASA", fidelity=Fidelity.IMPLEMENTATION, version="9.8")
+    abstracted = original.with_fidelity(Fidelity.LOGICAL)
+    assert abstracted.fidelity is Fidelity.LOGICAL
+    assert abstracted.name == original.name
+    assert abstracted.version == original.version
+    assert original.fidelity is Fidelity.IMPLEMENTATION
+
+
+def test_attribute_is_hashable_and_frozen():
+    attribute = Attribute("MODBUS")
+    assert attribute in {attribute}
+    with pytest.raises(AttributeError):
+        attribute.name = "other"
+
+
+@pytest.mark.parametrize(
+    ("constructor", "kind"),
+    [
+        (hardware, AttributeKind.HARDWARE),
+        (operating_system, AttributeKind.OPERATING_SYSTEM),
+        (software, AttributeKind.SOFTWARE),
+        (protocol, AttributeKind.PROTOCOL),
+        (function, AttributeKind.FUNCTION),
+        (entry_point, AttributeKind.ENTRY_POINT),
+    ],
+)
+def test_convenience_constructors(constructor, kind):
+    attribute = constructor("something")
+    assert attribute.kind is kind
+    assert attribute.name == "something"
+
+
+def test_convenience_constructors_pass_kwargs():
+    attribute = hardware("NI cRIO 9063", fidelity=Fidelity.IMPLEMENTATION, version="2.1")
+    assert attribute.fidelity is Fidelity.IMPLEMENTATION
+    assert attribute.version == "2.1"

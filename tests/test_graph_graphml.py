@@ -1,0 +1,66 @@
+"""Tests for GraphML import/export."""
+
+import pytest
+
+from repro.casestudies.centrifuge import build_centrifuge_model
+from repro.graph.graphml import (
+    from_graphml_string,
+    read_graphml,
+    to_graphml_string,
+    write_graphml,
+)
+
+
+def test_round_trip_string(centrifuge_model):
+    text = to_graphml_string(centrifuge_model)
+    clone = from_graphml_string(text)
+    assert clone.name == centrifuge_model.name
+    assert clone.component_names() == centrifuge_model.component_names()
+    assert len(clone.connections) == len(centrifuge_model.connections)
+
+
+def test_round_trip_preserves_attributes(centrifuge_model):
+    clone = from_graphml_string(to_graphml_string(centrifuge_model))
+    original_ws = centrifuge_model.component("Programming WS")
+    clone_ws = clone.component("Programming WS")
+    assert clone_ws.attribute_names() == original_ws.attribute_names()
+    original_attr = original_ws.attributes[-1]
+    clone_attr = clone_ws.attributes[-1]
+    assert clone_attr.kind is original_attr.kind
+    assert clone_attr.fidelity is original_attr.fidelity
+    assert clone_attr.description == original_attr.description
+
+
+def test_round_trip_preserves_component_metadata(centrifuge_model):
+    clone = from_graphml_string(to_graphml_string(centrifuge_model))
+    assert clone.component("Corporate Network").entry_point
+    assert clone.component("SIS Platform").criticality == pytest.approx(1.0)
+    assert clone.component("BPCS Platform").kind is centrifuge_model.component("BPCS Platform").kind
+
+
+def test_round_trip_preserves_connections(centrifuge_model):
+    clone = from_graphml_string(to_graphml_string(centrifuge_model))
+    protocols = {(c.source, c.target): c.protocol for c in clone.connections}
+    assert protocols[("Programming WS", "BPCS Platform")] == "MODBUS"
+    media = {(c.source, c.target): c.medium for c in clone.connections}
+    assert media[("Centrifuge", "Temperature Sensor")] == "physical"
+
+
+def test_file_round_trip(tmp_path):
+    model = build_centrifuge_model()
+    path = write_graphml(model, tmp_path / "model.graphml")
+    assert path.exists()
+    clone = read_graphml(path)
+    assert clone.component_names() == model.component_names()
+
+
+def test_output_is_valid_graphml_structure(centrifuge_model):
+    text = to_graphml_string(centrifuge_model)
+    assert text.startswith("<?xml")
+    assert "graphml" in text
+    assert "<node" in text and "<edge" in text
+
+
+def test_document_without_graph_rejected():
+    with pytest.raises(ValueError):
+        from_graphml_string("<graphml xmlns='http://graphml.graphdrawing.org/xmlns'></graphml>")

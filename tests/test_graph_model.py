@@ -1,0 +1,205 @@
+"""Tests for the general architectural model (SystemGraph)."""
+
+import pytest
+
+from repro.graph.attributes import Attribute, AttributeKind, Fidelity
+from repro.graph.model import Component, ComponentKind, Connection, SystemGraph
+
+
+def make_graph() -> SystemGraph:
+    graph = SystemGraph("test-system")
+    graph.add_components(
+        [
+            Component("A", kind=ComponentKind.EXTERNAL, entry_point=True),
+            Component("B", kind=ComponentKind.FIREWALL,
+                      attributes=(Attribute("firewall appliance"),)),
+            Component("C", kind=ComponentKind.CONTROLLER,
+                      attributes=(Attribute("embedded controller"), Attribute("MODBUS"))),
+            Component("D", kind=ComponentKind.PLANT),
+        ]
+    )
+    graph.connect(Connection("A", "B", protocol="Ethernet/IP"))
+    graph.connect(Connection("B", "C", protocol="MODBUS"))
+    graph.connect(Connection("C", "D", medium="analog", bidirectional=False))
+    return graph
+
+
+def test_component_requires_name_and_valid_criticality():
+    with pytest.raises(ValueError):
+        Component("")
+    with pytest.raises(ValueError):
+        Component("x", criticality=1.5)
+
+
+def test_component_text_includes_attributes():
+    component = Component(
+        "BPCS", description="main controller",
+        attributes=(Attribute("NI cRIO 9064", description="CompactRIO controller"),),
+    )
+    assert "BPCS" in component.text
+    assert "main controller" in component.text
+    assert "CompactRIO" in component.text
+
+
+def test_component_attribute_queries():
+    component = Component(
+        "WS",
+        attributes=(
+            Attribute("Windows 7", kind=AttributeKind.OPERATING_SYSTEM,
+                      fidelity=Fidelity.IMPLEMENTATION),
+            Attribute("engineering workstation", kind=AttributeKind.HARDWARE),
+        ),
+    )
+    assert component.attribute_names() == ("Windows 7", "engineering workstation")
+    assert len(component.attributes_of_kind(AttributeKind.OPERATING_SYSTEM)) == 1
+    assert component.max_fidelity() is Fidelity.IMPLEMENTATION
+
+
+def test_component_max_fidelity_defaults_to_conceptual():
+    assert Component("empty").max_fidelity() is Fidelity.CONCEPTUAL
+
+
+def test_component_add_attributes_is_functional():
+    base = Component("WS")
+    extended = base.add_attributes(Attribute("Windows 7"))
+    assert base.attributes == ()
+    assert extended.attribute_names() == ("Windows 7",)
+
+
+def test_component_kind_classification():
+    assert ComponentKind.CONTROLLER.is_cyber
+    assert not ComponentKind.PLANT.is_cyber
+    assert ComponentKind.SENSOR.is_physical
+    assert not ComponentKind.WORKSTATION.is_physical
+
+
+def test_connection_validation_and_helpers():
+    with pytest.raises(ValueError):
+        Connection("", "B")
+    connection = Connection("A", "B", protocol="MODBUS")
+    assert connection.endpoints() == ("A", "B")
+    assert connection.reversed().endpoints() == ("B", "A")
+    assert "MODBUS" in connection.text
+
+
+def test_duplicate_component_rejected():
+    graph = SystemGraph()
+    graph.add_component(Component("A"))
+    with pytest.raises(ValueError):
+        graph.add_component(Component("A"))
+
+
+def test_connect_requires_existing_endpoints():
+    graph = SystemGraph()
+    graph.add_component(Component("A"))
+    with pytest.raises(KeyError):
+        graph.connect(Connection("A", "missing"))
+
+
+def test_basic_accessors():
+    graph = make_graph()
+    assert len(graph) == 4
+    assert "A" in graph and "missing" not in graph
+    assert graph.component("C").kind is ComponentKind.CONTROLLER
+    assert graph.component_names() == ("A", "B", "C", "D")
+    assert [c.name for c in graph] == ["A", "B", "C", "D"]
+    with pytest.raises(KeyError):
+        graph.component("missing")
+
+
+def test_entry_points_and_subsystems():
+    graph = make_graph()
+    assert [c.name for c in graph.entry_points()] == ["A"]
+    groups = graph.subsystems()
+    assert set(groups) == {""}
+    assert len(groups[""]) == 4
+
+
+def test_neighbors_respects_direction():
+    graph = make_graph()
+    assert {c.name for c in graph.neighbors("B")} == {"A", "C"}
+    # C -> D is unidirectional, so D's neighbours do not include C.
+    assert {c.name for c in graph.neighbors("D")} == set()
+    assert {c.name for c in graph.neighbors("C")} == {"B", "D"}
+
+
+def test_connections_of():
+    graph = make_graph()
+    assert len(graph.connections_of("B")) == 2
+    assert len(graph.connections_of("D")) == 1
+
+
+def test_all_attributes_enumeration():
+    graph = make_graph()
+    pairs = graph.all_attributes()
+    assert len(pairs) == 3
+    assert all(isinstance(attr, Attribute) for _, attr in pairs)
+
+
+def test_reachability_and_paths():
+    graph = make_graph()
+    assert graph.is_reachable("A", "D")
+    assert not graph.is_reachable("D", "A")
+    assert graph.shortest_path("A", "D") == ("A", "B", "C", "D")
+    assert set(graph.reachable_from("A")) == {"B", "C", "D"}
+
+
+def test_exposure_distance():
+    graph = make_graph()
+    assert graph.exposure_distance("A") == 0
+    assert graph.exposure_distance("B") == 1
+    assert graph.exposure_distance("D") == 3
+
+
+def test_exposure_distance_unreachable_is_none():
+    graph = SystemGraph()
+    graph.add_component(Component("entry", entry_point=True))
+    graph.add_component(Component("island"))
+    assert graph.exposure_distance("island") is None
+
+
+def test_remove_component_drops_connections():
+    graph = make_graph()
+    graph.remove_component("B")
+    assert "B" not in graph
+    assert all("B" not in c.endpoints() for c in graph.connections)
+    with pytest.raises(KeyError):
+        graph.remove_component("B")
+
+
+def test_replace_component():
+    graph = make_graph()
+    replaced = graph.component("C").add_attributes(Attribute("NI RT Linux OS"))
+    graph.replace_component(replaced)
+    assert "NI RT Linux OS" in graph.component("C").attribute_names()
+    with pytest.raises(KeyError):
+        graph.replace_component(Component("missing"))
+
+
+def test_dict_round_trip():
+    graph = make_graph()
+    clone = SystemGraph.from_dict(graph.to_dict())
+    assert clone.component_names() == graph.component_names()
+    assert len(clone.connections) == len(graph.connections)
+    assert clone.component("C").attribute_names() == graph.component("C").attribute_names()
+    assert clone.component("A").entry_point
+
+
+def test_json_round_trip():
+    graph = make_graph()
+    clone = SystemGraph.from_json(graph.to_json())
+    assert clone.to_dict() == graph.to_dict()
+
+
+def test_copy_is_independent():
+    graph = make_graph()
+    clone = graph.copy("clone")
+    clone.remove_component("D")
+    assert "D" in graph
+    assert clone.name == "clone"
+
+
+def test_to_networkx_carries_components():
+    graph = make_graph()
+    nxg = graph.to_networkx()
+    assert nxg.nodes["C"]["component"].kind is ComponentKind.CONTROLLER

@@ -1,0 +1,104 @@
+"""Tests for architecture refinement and abstraction."""
+
+import pytest
+
+from repro.casestudies.centrifuge import build_centrifuge_model, centrifuge_refinement_plan
+from repro.graph.attributes import Attribute, Fidelity
+from repro.graph.refinement import (
+    RefinementPlan,
+    RefinementStep,
+    abstract_component,
+    abstract_model,
+    fidelity_profile,
+    refine_component,
+    swap_attribute,
+)
+
+
+def test_refinement_step_requires_attributes():
+    with pytest.raises(ValueError):
+        RefinementStep("X", ())
+
+
+def test_refine_component_adds_attributes_without_mutating_original():
+    model = build_centrifuge_model(Fidelity.LOGICAL)
+    refined = refine_component(
+        model, "Programming WS",
+        Attribute("Windows 7", fidelity=Fidelity.IMPLEMENTATION),
+    )
+    assert "Windows 7" in refined.component("Programming WS").attribute_names()
+    assert "Windows 7" not in model.component("Programming WS").attribute_names()
+
+
+def test_abstract_component_drops_specific_attributes():
+    model = build_centrifuge_model()
+    abstracted = abstract_component(model, "Programming WS", Fidelity.LOGICAL)
+    names = abstracted.component("Programming WS").attribute_names()
+    assert "Windows 7" not in names
+    assert "engineering workstation" in names
+
+
+def test_abstract_model_caps_every_component():
+    model = build_centrifuge_model()
+    conceptual = abstract_model(model, Fidelity.CONCEPTUAL)
+    for component in conceptual.components:
+        assert all(a.fidelity <= Fidelity.CONCEPTUAL for a in component.attributes)
+    # The topology is unchanged.
+    assert len(conceptual.connections) == len(model.connections)
+
+
+def test_fidelity_profile_counts_every_level():
+    model = build_centrifuge_model()
+    profile = fidelity_profile(model)
+    assert profile[Fidelity.IMPLEMENTATION] >= 6
+    assert profile[Fidelity.CONCEPTUAL] >= 5
+    assert sum(profile.values()) == len(model.all_attributes())
+
+
+def test_refinement_plan_applies_all_steps():
+    base = build_centrifuge_model(Fidelity.LOGICAL)
+    plan = centrifuge_refinement_plan()
+    refined = plan.apply(base)
+    names = refined.component("SIS Platform").attribute_names()
+    assert "NI cRIO 9063" in names
+    assert "NI RT Linux OS" in names
+    assert set(plan.touched_components()) == {
+        "Control Firewall", "Programming WS", "SIS Platform", "BPCS Platform",
+    }
+
+
+def test_refinement_plan_reaches_implementation_attribute_set():
+    base = build_centrifuge_model(Fidelity.LOGICAL)
+    refined = centrifuge_refinement_plan().apply(base)
+    full = build_centrifuge_model()
+    for component in full.components:
+        assert set(component.attribute_names()) == set(
+            refined.component(component.name).attribute_names()
+        )
+
+
+def test_plan_add_is_chainable():
+    plan = RefinementPlan("p")
+    returned = plan.add(RefinementStep("X", (Attribute("a"),)))
+    assert returned is plan
+    assert len(plan.steps) == 1
+
+
+def test_swap_attribute_replaces_in_place():
+    model = build_centrifuge_model()
+    variant = swap_attribute(
+        model, "Programming WS", "Windows 7",
+        Attribute("hardened thin client", fidelity=Fidelity.IMPLEMENTATION),
+    )
+    names = variant.component("Programming WS").attribute_names()
+    assert "Windows 7" not in names
+    assert "hardened thin client" in names
+    # Position is preserved (replacement, not append).
+    original_names = model.component("Programming WS").attribute_names()
+    assert names.index("hardened thin client") == original_names.index("Windows 7")
+
+
+def test_swap_attribute_unknown_attribute_raises():
+    model = build_centrifuge_model()
+    with pytest.raises(KeyError):
+        swap_attribute(model, "Programming WS", "nonexistent", Attribute("x"))

@@ -1,0 +1,125 @@
+"""Tests for the SysML front end and its export to the general model."""
+
+import pytest
+
+from repro.graph.attributes import AttributeKind, Fidelity
+from repro.graph.model import ComponentKind
+from repro.graph.sysml import Block, InternalBlockDiagram, Port
+
+
+def build_diagram() -> InternalBlockDiagram:
+    diagram = InternalBlockDiagram("demo")
+    controller = Block("Controller", stereotype="controller", criticality=0.9)
+    controller.add_property("os", "NI RT Linux OS", Fidelity.IMPLEMENTATION)
+    controller.add_property("function", "process control", Fidelity.CONCEPTUAL)
+    controller.add_port("bus", protocol="MODBUS")
+    workstation = Block("Workstation", stereotype="workstation", entry_point=True)
+    workstation.add_property("os", "Windows 7", Fidelity.IMPLEMENTATION)
+    workstation.add_port("bus", protocol="MODBUS")
+    diagram.add_block(controller)
+    diagram.add_block(workstation)
+    diagram.connect("Workstation", "bus", "Controller", "bus", protocol="MODBUS")
+    return diagram
+
+
+def test_port_direction_validation():
+    with pytest.raises(ValueError):
+        Port("p", direction="sideways")
+
+
+def test_block_property_chaining_and_port_lookup():
+    block = Block("B")
+    assert block.add_property("software", "Labview") is block
+    port = block.add_port("eth", protocol="Ethernet/IP")
+    assert block.port("eth") is port
+    with pytest.raises(KeyError):
+        block.port("missing")
+
+
+def test_diagram_rejects_duplicates_and_unknown_blocks():
+    diagram = InternalBlockDiagram("d")
+    diagram.add_block(Block("A"))
+    with pytest.raises(ValueError):
+        diagram.add_block(Block("A"))
+    with pytest.raises(KeyError):
+        diagram.block("missing")
+    with pytest.raises(ValueError):
+        InternalBlockDiagram("")
+
+
+def test_connect_requires_existing_ports():
+    diagram = InternalBlockDiagram("d")
+    a = Block("A")
+    a.add_port("p")
+    diagram.add_block(a)
+    diagram.add_block(Block("B"))
+    with pytest.raises(KeyError):
+        diagram.connect("A", "p", "B", "missing")
+
+
+def test_export_maps_stereotypes_to_kinds():
+    graph = build_diagram().to_system_graph()
+    assert graph.component("Controller").kind is ComponentKind.CONTROLLER
+    assert graph.component("Workstation").kind is ComponentKind.WORKSTATION
+
+
+def test_export_maps_properties_to_attributes():
+    graph = build_diagram().to_system_graph()
+    controller = graph.component("Controller")
+    names = controller.attribute_names()
+    assert "NI RT Linux OS" in names
+    assert "process control" in names
+    by_name = {attr.name: attr for attr in controller.attributes}
+    assert by_name["NI RT Linux OS"].kind is AttributeKind.OPERATING_SYSTEM
+    assert by_name["NI RT Linux OS"].fidelity is Fidelity.IMPLEMENTATION
+    assert by_name["process control"].fidelity is Fidelity.CONCEPTUAL
+
+
+def test_export_adds_port_protocol_attributes():
+    graph = build_diagram().to_system_graph()
+    names = graph.component("Controller").attribute_names()
+    assert "MODBUS" in names
+
+
+def test_export_carries_entry_point_and_criticality():
+    graph = build_diagram().to_system_graph()
+    assert graph.component("Workstation").entry_point
+    assert graph.component("Controller").criticality == pytest.approx(0.9)
+
+
+def test_export_creates_connections_with_protocol():
+    graph = build_diagram().to_system_graph()
+    assert len(graph.connections) == 1
+    connection = graph.connections[0]
+    assert connection.protocol == "MODBUS"
+    assert connection.endpoints() == ("Workstation", "Controller")
+
+
+def test_export_uses_source_port_protocol_when_connector_has_none():
+    diagram = InternalBlockDiagram("d")
+    a = Block("A")
+    a.add_port("p", protocol="Ethernet/IP")
+    b = Block("B")
+    b.add_port("q")
+    diagram.add_block(a)
+    diagram.add_block(b)
+    diagram.connect("A", "p", "B", "q")
+    graph = diagram.to_system_graph()
+    assert graph.connections[0].protocol == "Ethernet/IP"
+
+
+def test_unknown_stereotype_maps_to_other():
+    diagram = InternalBlockDiagram("d")
+    diagram.add_block(Block("X", stereotype="mystery"))
+    graph = diagram.to_system_graph()
+    assert graph.component("X").kind is ComponentKind.OTHER
+
+
+def test_plain_string_properties_default_to_logical_fidelity():
+    diagram = InternalBlockDiagram("d")
+    block = Block("X")
+    block.properties["software"] = ["Labview"]
+    diagram.add_block(block)
+    graph = diagram.to_system_graph()
+    attr = graph.component("X").attributes[0]
+    assert attr.fidelity is Fidelity.LOGICAL

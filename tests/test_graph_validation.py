@@ -1,0 +1,101 @@
+"""Tests for system-model validation."""
+
+from repro.casestudies.centrifuge import build_centrifuge_model
+from repro.graph.attributes import Attribute
+from repro.graph.model import Component, ComponentKind, Connection, SystemGraph
+from repro.graph.validation import Severity, has_errors, validate_model
+
+
+def test_centrifuge_model_has_no_errors(centrifuge_model):
+    findings = validate_model(centrifuge_model)
+    assert not has_errors(findings)
+
+
+def test_isolated_component_is_flagged():
+    graph = SystemGraph()
+    graph.add_component(Component("lonely", attributes=(Attribute("thing x"),)))
+    findings = validate_model(graph)
+    assert any(f.code == "ISOLATED" for f in findings)
+
+
+def test_missing_attributes_is_an_error():
+    graph = SystemGraph()
+    graph.add_component(Component("bare", kind=ComponentKind.CONTROLLER))
+    findings = validate_model(graph)
+    assert any(f.code == "NO_ATTRIBUTES" and f.severity is Severity.ERROR for f in findings)
+    assert has_errors(findings)
+
+
+def test_plant_and_operator_exempt_from_attribute_check():
+    graph = SystemGraph()
+    graph.add_component(Component("rotor", kind=ComponentKind.PLANT))
+    graph.add_component(Component("operator", kind=ComponentKind.HUMAN_OPERATOR))
+    findings = validate_model(graph)
+    assert not any(f.code == "NO_ATTRIBUTES" for f in findings)
+
+
+def test_no_entry_points_warning():
+    graph = SystemGraph()
+    graph.add_component(Component("a", attributes=(Attribute("controller platform"),)))
+    findings = validate_model(graph)
+    assert any(f.code == "NO_ENTRY_POINTS" for f in findings)
+
+
+def test_air_gapped_component_is_informational():
+    graph = SystemGraph()
+    graph.add_component(Component("entry", entry_point=True,
+                                  attributes=(Attribute("enterprise network"),)))
+    graph.add_component(Component("island", kind=ComponentKind.CONTROLLER,
+                                  attributes=(Attribute("embedded controller"),)))
+    findings = validate_model(graph)
+    air_gapped = [f for f in findings if f.code == "AIR_GAPPED"]
+    assert len(air_gapped) == 1
+    assert air_gapped[0].subject == "island"
+    assert air_gapped[0].severity is Severity.INFO
+
+
+def test_vague_attribute_warning():
+    graph = SystemGraph()
+    graph.add_component(Component("a", attributes=(Attribute("device"),)))
+    findings = validate_model(graph)
+    assert any(f.code == "VAGUE_ATTRIBUTE" for f in findings)
+
+
+def test_specific_attribute_not_flagged_as_vague():
+    graph = SystemGraph()
+    graph.add_component(Component("a", attributes=(Attribute("Cisco ASA"),)))
+    findings = validate_model(graph)
+    assert not any(f.code == "VAGUE_ATTRIBUTE" for f in findings)
+
+
+def test_network_connection_without_protocol_is_informational():
+    graph = SystemGraph()
+    graph.add_component(Component("a", attributes=(Attribute("workstation computer hardware"),)))
+    graph.add_component(Component("b", attributes=(Attribute("controller platform"),)))
+    graph.connect(Connection("a", "b"))
+    findings = validate_model(graph)
+    assert any(f.code == "NO_PROTOCOL" for f in findings)
+
+
+def test_cyber_only_model_warns_about_missing_physical_process():
+    graph = SystemGraph()
+    graph.add_component(Component("ws", kind=ComponentKind.WORKSTATION,
+                                  attributes=(Attribute("Windows 7"),), entry_point=True))
+    findings = validate_model(graph)
+    assert any(f.code == "NO_PHYSICAL_PROCESS" for f in findings)
+
+
+def test_cps_model_does_not_warn_about_physical_process():
+    model = build_centrifuge_model()
+    findings = validate_model(model)
+    assert not any(f.code == "NO_PHYSICAL_PROCESS" for f in findings)
+
+
+def test_finding_str_contains_code_and_subject():
+    graph = SystemGraph()
+    graph.add_component(Component("bare", kind=ComponentKind.CONTROLLER))
+    finding = [f for f in validate_model(graph) if f.code == "NO_ATTRIBUTES"][0]
+    text = str(finding)
+    assert "NO_ATTRIBUTES" in text
+    assert "bare" in text
+    assert "error" in text

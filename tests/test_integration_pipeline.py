@@ -1,0 +1,111 @@
+"""End-to-end integration tests across the full Fig. 1 pipeline.
+
+These tests exercise the complete data flow of the paper's demonstration:
+SysML model -> GraphML export -> general graph -> attack-vector association
+-> filtering -> posture / what-if analysis -> exploit chains -> consequence
+mapping on the simulated plant, all within one run.
+"""
+
+import pytest
+
+from repro.analysis.metrics import compute_posture
+from repro.analysis.report import render_posture_report, render_table1, render_whatif
+from repro.analysis.whatif import WhatIfStudy
+from repro.attacks.consequence import ConsequenceMapper
+from repro.baselines.attack_trees import build_attack_tree
+from repro.baselines.comparison import compare_coverage
+from repro.baselines.stride import StrideAnalyzer
+from repro.casestudies.centrifuge import build_centrifuge_sysml, hardened_workstation_variant
+from repro.corpus.schema import RecordKind
+from repro.graph.attributes import Fidelity
+from repro.graph.graphml import read_graphml, write_graphml
+from repro.graph.refinement import abstract_model
+from repro.search.chains import find_exploit_chains
+from repro.search.engine import SearchEngine
+from repro.search.filters import FilterPipeline, by_severity
+
+
+def test_fig1_pipeline_from_sysml_to_report(tmp_path, small_corpus):
+    # 1. Systems engineer models the architecture in the SysML front end.
+    diagram = build_centrifuge_sysml()
+    # 2. Export to the general architectural model and to GraphML.
+    model = diagram.to_system_graph()
+    path = write_graphml(model, tmp_path / "centrifuge.graphml")
+    reloaded = read_graphml(path)
+    # 3. Associate attack vectors with the (re-loaded) model.
+    engine = SearchEngine(small_corpus)
+    association = engine.associate(reloaded)
+    assert association.total > 0
+    # 4. The dashboard's summary artifacts can be produced from it.
+    table = render_table1(association)
+    report = render_posture_report(association)
+    assert "Windows 7" in table
+    assert "BPCS Platform" in report
+
+
+def test_fidelity_sweep_changes_the_result_space(small_corpus, centrifuge_model):
+    engine = SearchEngine(small_corpus)
+    conceptual = engine.associate(abstract_model(centrifuge_model, Fidelity.CONCEPTUAL))
+    logical = engine.associate(abstract_model(centrifuge_model, Fidelity.LOGICAL))
+    implementation = engine.associate(centrifuge_model)
+    # Vulnerabilities only appear once implementation detail exists (the
+    # paper's fidelity argument), and the total result space grows with
+    # fidelity.
+    assert conceptual.total_counts()[RecordKind.VULNERABILITY] == 0
+    assert logical.total_counts()[RecordKind.VULNERABILITY] == 0
+    assert implementation.total_counts()[RecordKind.VULNERABILITY] > 0
+    assert conceptual.total <= logical.total <= implementation.total
+    # Abstract models still relate to attack patterns and weaknesses.
+    assert conceptual.total_counts()[RecordKind.ATTACK_PATTERN] > 0
+
+
+def test_filtering_then_analysis_pipeline(centrifuge_association):
+    filtered = FilterPipeline([by_severity("High")]).apply(centrifuge_association)
+    metrics_all = compute_posture(centrifuge_association)
+    metrics_filtered = compute_posture(filtered)
+    assert metrics_filtered.total < metrics_all.total
+    assert metrics_filtered.system_posture_index < metrics_all.system_posture_index
+    # Ranking still identifies a worst component.
+    assert metrics_filtered.ranking_by_posture()[0].posture_index > 0
+
+
+def test_whatif_and_chains_and_consequences_together(engine, centrifuge_model):
+    variant = hardened_workstation_variant(centrifuge_model)
+    comparison = WhatIfStudy(engine).compare(centrifuge_model, variant)
+    assert comparison.variant_is_better
+
+    association = engine.associate(centrifuge_model)
+    chains = find_exploit_chains(association, "BPCS Platform")
+    assert chains
+
+    mapper = ConsequenceMapper(duration_s=300.0)
+    assessments = mapper.assess("CWE-78", "BPCS Platform")
+    assert any(a.safety_hazard for a in assessments)
+    text = render_whatif(comparison)
+    assert "better posture" in text
+
+
+def test_baseline_comparison_end_to_end(centrifuge_model, centrifuge_association):
+    stride = StrideAnalyzer().analyze(centrifuge_model)
+    tree = build_attack_tree(centrifuge_association, "SIS Platform")
+    mapper = ConsequenceMapper(duration_s=300.0)
+    assessments = mapper.assess("CWE-693", "SIS Platform")
+    coverage = compare_coverage(centrifuge_model, centrifuge_association, stride, tree, assessments)
+    cpsec = coverage.approach("Model-based CPS security (this work)")
+    stride_coverage = coverage.approach("STRIDE (IT-centric)")
+    assert cpsec.distinct_hazards_identified > stride_coverage.distinct_hazards_identified
+    assert stride_coverage.findings > 0
+
+
+def test_uav_pipeline_reuses_everything(small_corpus):
+    from repro.casestudies.uav import build_uav_model
+
+    uav = build_uav_model()
+    engine = SearchEngine(small_corpus)
+    association = engine.associate(uav)
+    metrics = compute_posture(association)
+    assert metrics.total > 0
+    chains = find_exploit_chains(association, "Flight Controller")
+    assert chains
+    tree = build_attack_tree(association, "Flight Controller")
+    assert tree.leaf_count() > 0

@@ -1,0 +1,218 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.cvss import CvssVector, severity_rating
+from repro.cps.control import PidController
+from repro.cps.hazards import HazardMonitor
+from repro.cps.plant import CentrifugePlant, PlantState
+from repro.graph.attributes import Attribute, AttributeKind, Fidelity
+from repro.graph.model import Component, ComponentKind, Connection, SystemGraph
+from repro.search.index import InvertedIndex
+from repro.search.text import normalize_token, tokenize
+from repro.search.tfidf import TfIdfModel
+
+# -- strategies ---------------------------------------------------------------
+
+cvss_vectors = st.builds(
+    CvssVector,
+    attack_vector=st.sampled_from("NALP"),
+    attack_complexity=st.sampled_from("LH"),
+    privileges_required=st.sampled_from("NLH"),
+    user_interaction=st.sampled_from("NR"),
+    scope=st.sampled_from("UC"),
+    confidentiality=st.sampled_from("NLH"),
+    integrity=st.sampled_from("NLH"),
+    availability=st.sampled_from("NLH"),
+)
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters=" -_"),
+    min_size=1,
+    max_size=24,
+).filter(lambda s: s.strip())
+
+attributes = st.builds(
+    Attribute,
+    name=names,
+    kind=st.sampled_from(AttributeKind),
+    fidelity=st.sampled_from(Fidelity),
+    description=st.text(max_size=60),
+    version=st.text(alphabet="0123456789.", max_size=8),
+)
+
+free_text = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 -._",
+    max_size=200,
+)
+
+
+# -- CVSS ----------------------------------------------------------------------
+
+
+@given(cvss_vectors)
+def test_cvss_score_is_bounded_and_rated(vector):
+    score = vector.base_score()
+    assert 0.0 <= score <= 10.0
+    assert severity_rating(score) in {"None", "Low", "Medium", "High", "Critical"}
+    # One decimal place by construction (roundup).
+    assert math.isclose(score, round(score, 1), abs_tol=1e-9)
+
+
+@given(cvss_vectors)
+def test_cvss_round_trips_through_its_string_form(vector):
+    assert CvssVector.parse(vector.to_string()) == vector
+
+
+@given(cvss_vectors)
+def test_cvss_zero_iff_no_impact(vector):
+    no_impact = (
+        vector.confidentiality == "N"
+        and vector.integrity == "N"
+        and vector.availability == "N"
+    )
+    assert (vector.base_score() == 0.0) == no_impact
+
+
+# -- tokenizer -------------------------------------------------------------------
+
+
+@given(free_text)
+def test_tokenize_output_is_normalized_and_stable(text):
+    tokens = tokenize(text)
+    assert all(token == normalize_token(token) for token in tokens)
+    assert tokenize(" ".join(tokens), remove_stop_words=False) is not None
+    assert tokenize(text) == tokens  # deterministic
+
+
+@given(free_text)
+def test_tokenize_is_case_insensitive(text):
+    assert tokenize(text.upper()) == tokenize(text.lower())
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=20))
+def test_normalize_token_is_idempotent(token):
+    once = normalize_token(token)
+    assert normalize_token(once) == once
+
+
+# -- inverted index / tf-idf ------------------------------------------------------
+
+
+@given(st.lists(free_text, min_size=1, max_size=12, unique=True))
+def test_index_candidates_contain_only_indexed_documents(texts):
+    index = InvertedIndex()
+    for i, text in enumerate(texts):
+        index.add_document(f"d{i}", text)
+    model = TfIdfModel(index)
+    for text in texts:
+        for doc_id, score in model.score(text):
+            assert doc_id in index
+            assert score > 0.0
+            assert score <= 1.0 + 1e-9
+
+
+@given(st.lists(free_text.filter(lambda t: tokenize(t)), min_size=1, max_size=10, unique=True))
+def test_document_matches_itself_best_or_equal(texts):
+    index = InvertedIndex()
+    for i, text in enumerate(texts):
+        index.add_document(f"d{i}", text)
+    model = TfIdfModel(index).fit()
+    for i, text in enumerate(texts):
+        results = dict(model.score(text))
+        if f"d{i}" in results:
+            own = results[f"d{i}"]
+            assert own >= max(results.values()) - 1e-9 or own > 0.5
+
+
+# -- system graph ------------------------------------------------------------------
+
+
+@given(st.lists(attributes, max_size=6))
+def test_component_serialization_round_trip(attrs):
+    graph = SystemGraph("prop")
+    graph.add_component(Component("only", kind=ComponentKind.CONTROLLER, attributes=tuple(attrs)))
+    clone = SystemGraph.from_dict(graph.to_dict())
+    original = graph.component("only")
+    rebuilt = clone.component("only")
+    assert rebuilt.attribute_names() == original.attribute_names()
+    assert [a.fidelity for a in rebuilt.attributes] == [a.fidelity for a in original.attributes]
+
+
+@given(st.integers(min_value=2, max_value=8), st.randoms(use_true_random=False))
+def test_exposure_distance_is_bounded_by_path_length(size, rng):
+    graph = SystemGraph("chain")
+    for i in range(size):
+        graph.add_component(Component(f"n{i}", entry_point=(i == 0)))
+    for i in range(size - 1):
+        graph.connect(Connection(f"n{i}", f"n{i + 1}"))
+    # Optionally add a shortcut edge.
+    if size > 3 and rng.random() > 0.5:
+        graph.connect(Connection("n0", f"n{size - 2}"))
+    for i in range(size):
+        distance = graph.exposure_distance(f"n{i}")
+        assert distance is not None
+        assert 0 <= distance <= i
+
+
+# -- plant and control ---------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=10_000.0),
+    st.floats(min_value=0.0, max_value=80.0),
+)
+def test_plant_state_stays_in_physical_envelope(drive, cooling, speed, temperature):
+    plant = CentrifugePlant()
+    plant.reset(PlantState(speed_rpm=speed, temperature_c=temperature))
+    for _ in range(50):
+        state = plant.step(0.5, drive, cooling)
+        assert 0.0 <= state.speed_rpm <= plant.parameters.max_speed_rpm
+        assert np.isfinite(state.temperature_c)
+        assert plant.parameters.coolant_temperature_c - 5.0 <= state.temperature_c <= 200.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.floats(min_value=0.0001, max_value=0.1),
+    st.floats(min_value=0.0, max_value=0.05),
+    st.floats(min_value=-1000.0, max_value=1000.0),
+    st.floats(min_value=-1000.0, max_value=1000.0),
+)
+def test_pid_output_always_within_limits(kp, ki, setpoint, measurement):
+    pid = PidController(kp=kp, ki=ki, output_min=0.0, output_max=1.0)
+    for _ in range(20):
+        output = pid.update(setpoint, measurement, 0.5)
+        assert 0.0 <= output <= 1.0
+
+
+# -- hazard monitor ---------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(min_value=-10.0, max_value=120.0), min_size=5, max_size=60),
+    st.floats(min_value=0.0, max_value=10_500.0),
+)
+def test_hazard_events_lie_within_the_trace(temperatures, speed):
+    temperatures = np.array(temperatures)
+    length = len(temperatures)
+    times = np.arange(length, dtype=float)
+    speeds = np.full(length, speed)
+    setpoints = np.full(length, 6000.0)
+    report = HazardMonitor(settling_time_s=0.0).evaluate(times, temperatures, speeds, setpoints)
+    for event in report.events:
+        assert times[0] <= event.start_time_s <= event.end_time_s <= times[-1]
+        assert event.duration_s >= 0.0
+    # Re-evaluating the same trace is deterministic.
+    again = HazardMonitor(settling_time_s=0.0).evaluate(times, temperatures, speeds, setpoints)
+    assert len(again) == len(report)

@@ -1,0 +1,80 @@
+"""Tests for exploit-chain enumeration over the system topology."""
+
+import pytest
+
+from repro.search.chains import chain_summary, find_exploit_chains
+
+
+def test_chains_exist_from_corporate_network_to_bpcs(centrifuge_association):
+    chains = find_exploit_chains(centrifuge_association, "BPCS Platform")
+    assert chains
+    for chain in chains:
+        assert chain.entry == "Corporate Network"
+        assert chain.target == "BPCS Platform"
+        assert chain.path[0] == "Corporate Network"
+        assert chain.path[-1] == "BPCS Platform"
+
+
+def test_every_hop_carries_an_attack_vector(centrifuge_association):
+    chains = find_exploit_chains(centrifuge_association, "SIS Platform")
+    assert chains
+    for chain in chains:
+        assert len(chain.vectors) == len(chain.path)
+        for component_name, match in chain.vectors:
+            assert component_name in chain.path
+            assert match.score > 0
+
+
+def test_chains_are_ranked_by_score(centrifuge_association):
+    chains = find_exploit_chains(centrifuge_association, "BPCS Platform")
+    scores = [chain.score for chain in chains]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_chain_score_is_product_of_hop_scores(centrifuge_association):
+    chain = find_exploit_chains(centrifuge_association, "Control Firewall")[0]
+    product = 1.0
+    for _, match in chain.vectors:
+        product *= match.score
+    assert chain.score == pytest.approx(product)
+
+
+def test_unknown_target_raises(centrifuge_association):
+    with pytest.raises(KeyError):
+        find_exploit_chains(centrifuge_association, "missing")
+
+
+def test_max_length_limits_paths(centrifuge_association):
+    short = find_exploit_chains(centrifuge_association, "BPCS Platform", max_length=2)
+    long = find_exploit_chains(centrifuge_association, "BPCS Platform", max_length=6)
+    assert all(chain.length <= 2 for chain in short)
+    assert len(long) >= len(short)
+
+
+def test_min_component_score_can_break_chains(centrifuge_association):
+    strict = find_exploit_chains(
+        centrifuge_association, "BPCS Platform", min_component_score=0.999999
+    )
+    assert strict == []
+
+
+def test_chain_describe_mentions_path_and_vectors(centrifuge_association):
+    chain = find_exploit_chains(centrifuge_association, "BPCS Platform")[0]
+    text = chain.describe()
+    assert "Corporate Network" in text
+    assert "BPCS Platform" in text
+    assert "->" in text
+
+
+def test_chain_summary(centrifuge_association):
+    chains = find_exploit_chains(centrifuge_association, "BPCS Platform")
+    summary = chain_summary(chains)
+    assert summary["count"] == len(chains)
+    assert summary["entry_points"] >= 1
+    assert summary["shortest"] >= 1
+    assert 0 < summary["best_score"] <= 1.0
+
+
+def test_chain_summary_empty():
+    summary = chain_summary([])
+    assert summary == {"count": 0, "best_score": 0.0, "shortest": 0, "entry_points": 0}

@@ -1,0 +1,174 @@
+"""Tests for the attribute -> attack-vector association engine."""
+
+import pytest
+
+from repro.corpus.schema import RecordKind
+from repro.corpus.seed import seed_corpus
+from repro.graph.attributes import Attribute, AttributeKind, Fidelity
+from repro.graph.model import Component
+from repro.search.engine import Match, SearchEngine
+
+CISCO = Attribute(
+    "Cisco ASA", kind=AttributeKind.HARDWARE, fidelity=Fidelity.IMPLEMENTATION,
+    description="Cisco Adaptive Security Appliance firewall",
+)
+WINDOWS = Attribute(
+    "Windows 7", kind=AttributeKind.OPERATING_SYSTEM, fidelity=Fidelity.IMPLEMENTATION,
+    description="Microsoft Windows 7 operating system", version="SP1",
+)
+FUNCTION_ONLY = Attribute(
+    "redundant safety monitor", kind=AttributeKind.FUNCTION, fidelity=Fidelity.CONCEPTUAL,
+    description="safety instrumented system that trips the centrifuge",
+)
+
+
+def test_unknown_scorer_rejected(small_corpus):
+    with pytest.raises(ValueError):
+        SearchEngine(small_corpus, scorer="bm25")
+
+
+def test_match_score_must_be_non_negative():
+    with pytest.raises(ValueError):
+        Match("CWE-78", RecordKind.WEAKNESS, -0.1)
+
+
+def test_specific_attribute_matches_platform_vulnerabilities(engine):
+    matches = engine.match_attribute(CISCO)
+    cve_platforms = {m.identifier for m in matches.vulnerabilities}
+    assert "CVE-2018-0101" in cve_platforms
+    assert matches.counts()[RecordKind.VULNERABILITY] > 10
+
+
+def test_conceptual_attribute_skips_vulnerabilities_in_fidelity_aware_mode(engine):
+    matches = engine.match_attribute(FUNCTION_ONLY)
+    assert matches.vulnerabilities == ()
+    # but it still relates to weaknesses / patterns (the paper's abstraction claim)
+    assert matches.counts()[RecordKind.WEAKNESS] + matches.counts()[RecordKind.ATTACK_PATTERN] > 0
+
+
+def test_fidelity_aware_can_be_disabled(small_corpus):
+    engine = SearchEngine(small_corpus, fidelity_aware=False)
+    matches = engine.match_attribute(FUNCTION_ONLY)
+    # Vulnerability matching now runs for conceptual attributes too; the
+    # safety-function text matches at least the Triton-style seed CVE.
+    assert matches.counts()[RecordKind.VULNERABILITY] >= 0
+    assert isinstance(matches.vulnerabilities, tuple)
+
+
+def test_windows_attribute_matches_os_weaknesses(engine):
+    matches = engine.match_attribute(WINDOWS)
+    assert matches.counts()[RecordKind.WEAKNESS] > 0
+    assert matches.counts()[RecordKind.VULNERABILITY] > 50
+
+
+def test_matches_are_sorted_by_score(engine):
+    matches = engine.match_attribute(WINDOWS)
+    scores = [m.score for m in matches.vulnerabilities]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_vulnerability_matches_carry_cvss(engine):
+    matches = engine.match_attribute(CISCO)
+    assert all(m.cvss_score is not None for m in matches.vulnerabilities)
+    assert all(m.network_exploitable is not None for m in matches.vulnerabilities)
+    assert all(m.cvss_score >= 0 for m in matches.vulnerabilities)
+
+
+def test_pattern_and_weakness_matches_have_no_cvss(engine):
+    matches = engine.match_attribute(WINDOWS)
+    for match in matches.attack_patterns + matches.weaknesses:
+        assert match.cvss_score is None
+
+
+def test_max_per_class_caps_results(small_corpus):
+    engine = SearchEngine(small_corpus, max_per_class=5)
+    matches = engine.match_attribute(WINDOWS)
+    assert len(matches.vulnerabilities) <= 5
+    assert len(matches.weaknesses) <= 5
+    assert len(matches.attack_patterns) <= 5
+
+
+def test_component_association_deduplicates(engine):
+    component = Component(
+        "WS", attributes=(WINDOWS, Attribute("Microsoft Windows 7", fidelity=Fidelity.IMPLEMENTATION)),
+    )
+    association = engine.associate_component(component)
+    identifiers = [m.identifier for m in association.unique_matches()]
+    assert len(identifiers) == len(set(identifiers))
+    assert association.total == len(identifiers)
+    # Per-attribute matches overlap, so the sum over attributes exceeds the dedup count.
+    per_attribute_total = sum(am.total for am in association.attribute_matches)
+    assert per_attribute_total >= association.total
+
+
+def test_system_association_structure(centrifuge_association, centrifuge_model):
+    assert len(centrifuge_association.components) == len(centrifuge_model)
+    assert centrifuge_association.component("BPCS Platform").total > 0
+    with pytest.raises(KeyError):
+        centrifuge_association.component("missing")
+
+
+def test_attribute_table_contains_table1_rows(centrifuge_association):
+    rows = {row["attribute"]: row for row in centrifuge_association.attribute_table()}
+    for name in ("Cisco ASA", "NI RT Linux OS", "Windows 7", "Labview",
+                 "NI cRIO 9063", "NI cRIO 9064"):
+        assert name in rows
+    assert rows["NI RT Linux OS"]["vulnerabilities"] > rows["Cisco ASA"]["vulnerabilities"]
+    assert rows["Windows 7"]["vulnerabilities"] > rows["Labview"]["vulnerabilities"]
+
+
+def test_total_counts_do_not_double_count(centrifuge_association):
+    totals = centrifuge_association.total_counts()
+    assert centrifuge_association.total == sum(totals.values())
+    # NI RT Linux appears on both SIS and BPCS but its vulnerabilities are
+    # counted once system-wide.
+    linux_row = {
+        row["attribute"]: row for row in centrifuge_association.attribute_table()
+    }["NI RT Linux OS"]
+    assert totals[RecordKind.VULNERABILITY] < 2 * linux_row["vulnerabilities"] + 1000
+
+
+def test_component_ranking_is_sorted(centrifuge_association):
+    ranking = centrifuge_association.component_ranking()
+    counts = [count for _, count in ranking]
+    assert counts == sorted(counts, reverse=True)
+    assert ranking[0][1] >= ranking[-1][1]
+
+
+def test_plant_component_has_few_or_no_matches(centrifuge_association):
+    # The centrifuge itself is a physical component with conceptual
+    # attributes; it should attract far fewer records than the controllers.
+    plant = centrifuge_association.component("Centrifuge")
+    bpcs = centrifuge_association.component("BPCS Platform")
+    assert plant.total < bpcs.total
+
+
+def test_seed_only_engine_finds_cwe78_for_controller_description():
+    engine = SearchEngine(seed_corpus())
+    attribute = Attribute(
+        "control platform input handling",
+        fidelity=Fidelity.LOGICAL,
+        description=(
+            "supervisory controller constructs operating system command strings "
+            "from externally influenced input received over the network"
+        ),
+    )
+    matches = engine.match_attribute(attribute)
+    weakness_ids = {m.identifier for m in matches.weaknesses}
+    assert "CWE-78" in weakness_ids
+
+
+def test_cosine_scorer_mode(small_corpus):
+    engine = SearchEngine(small_corpus, scorer="cosine",
+                          pattern_threshold=0.05, weakness_threshold=0.05,
+                          vulnerability_text_threshold=0.05)
+    matches = engine.match_attribute(CISCO)
+    assert matches.counts()[RecordKind.VULNERABILITY] > 0
+
+
+def test_jaccard_scorer_mode(seed_only_corpus):
+    engine = SearchEngine(seed_only_corpus, scorer="jaccard",
+                          pattern_threshold=0.02, weakness_threshold=0.02,
+                          vulnerability_text_threshold=0.02)
+    matches = engine.match_attribute(WINDOWS)
+    assert matches.total > 0

@@ -1,0 +1,114 @@
+"""Tests for the filtering pipeline that manages the result space."""
+
+import pytest
+
+from repro.corpus.schema import RecordKind
+from repro.search.filters import (
+    FilterPipeline,
+    by_exploitability,
+    by_kind,
+    by_min_score,
+    by_network_exposure,
+    by_severity,
+    top_k,
+)
+
+
+def test_empty_pipeline_is_identity(centrifuge_association):
+    filtered = FilterPipeline().apply(centrifuge_association)
+    assert filtered.total == centrifuge_association.total
+    assert len(filtered.components) == len(centrifuge_association.components)
+
+
+def test_min_score_filter_reduces_results(centrifuge_association):
+    pipeline = FilterPipeline([by_min_score(0.9)])
+    filtered = pipeline.apply(centrifuge_association)
+    assert filtered.total < centrifuge_association.total
+    for component in filtered.components:
+        for match in component.unique_matches():
+            assert match.score >= 0.9
+
+
+def test_severity_filter_keeps_only_high_and_critical(centrifuge_association):
+    pipeline = FilterPipeline([by_kind(RecordKind.VULNERABILITY), by_severity("High")])
+    filtered = pipeline.apply(centrifuge_association)
+    for component in filtered.components:
+        for match in component.unique_matches():
+            assert match.cvss_score is not None
+            assert match.cvss_score >= 7.0
+
+
+def test_severity_filter_rejects_unknown_level():
+    with pytest.raises(ValueError):
+        by_severity("Catastrophic")
+
+
+def test_exploitability_filter_drops_local_only_vulnerabilities(centrifuge_association):
+    pipeline = FilterPipeline([by_exploitability(require_network=True)])
+    filtered = pipeline.apply(centrifuge_association)
+    for component in filtered.components:
+        for match in component.unique_matches():
+            if match.kind is RecordKind.VULNERABILITY:
+                assert match.network_exploitable
+    assert filtered.total < centrifuge_association.total
+
+
+def test_kind_filter(centrifuge_association):
+    pipeline = FilterPipeline([by_kind(RecordKind.WEAKNESS)])
+    filtered = pipeline.apply(centrifuge_association)
+    totals = filtered.total_counts()
+    assert totals[RecordKind.VULNERABILITY] == 0
+    assert totals[RecordKind.ATTACK_PATTERN] == 0
+    assert totals[RecordKind.WEAKNESS] > 0
+
+
+def test_network_exposure_filter(centrifuge_association):
+    # Only components within one hop of the corporate entry point keep matches.
+    pipeline = FilterPipeline([by_network_exposure(max_distance=1)])
+    filtered = pipeline.apply(centrifuge_association)
+    assert filtered.component("Control Firewall").total > 0
+    assert filtered.component("BPCS Platform").total == 0
+
+
+def test_top_k_filter_limits_per_component(centrifuge_association):
+    pipeline = FilterPipeline([top_k(10)])
+    filtered = pipeline.apply(centrifuge_association)
+    for component in filtered.components:
+        assert component.total <= 10
+
+
+def test_top_k_requires_positive_count():
+    with pytest.raises(ValueError):
+        top_k(0)
+
+
+def test_filters_compose(centrifuge_association):
+    pipeline = (
+        FilterPipeline()
+        .add(by_kind(RecordKind.VULNERABILITY))
+        .add(by_severity("Critical"))
+        .add(top_k(3))
+    )
+    filtered = pipeline.apply(centrifuge_association)
+    for component in filtered.components:
+        assert component.total <= 3
+    assert filtered.total <= 3 * len(filtered.components)
+
+
+def test_reduction_report(centrifuge_association):
+    pipeline = FilterPipeline([by_min_score(0.99)])
+    report = pipeline.reduction(centrifuge_association)
+    assert report["before"] == centrifuge_association.total
+    assert report["before"] == report["after"] + report["removed"]
+    assert report["removed"] > 0
+
+
+def test_filtering_preserves_structure(centrifuge_association):
+    pipeline = FilterPipeline([by_min_score(0.5)])
+    filtered = pipeline.apply(centrifuge_association)
+    original = centrifuge_association.component("Programming WS")
+    kept = filtered.component("Programming WS")
+    assert len(kept.attribute_matches) == len(original.attribute_matches)
+    assert [am.attribute.name for am in kept.attribute_matches] == [
+        am.attribute.name for am in original.attribute_matches
+    ]

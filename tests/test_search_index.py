@@ -1,0 +1,76 @@
+"""Tests for the inverted index."""
+
+import pytest
+
+from repro.search.index import InvertedIndex
+
+
+def build_index() -> InvertedIndex:
+    index = InvertedIndex()
+    index.add_documents(
+        [
+            ("d1", "buffer overflow in the Linux kernel network stack"),
+            ("d2", "cross-site scripting in a web management interface"),
+            ("d3", "Linux kernel use after free in the scheduler"),
+        ]
+    )
+    return index
+
+
+def test_len_and_contains():
+    index = build_index()
+    assert len(index) == 3
+    assert "d1" in index
+    assert "missing" not in index
+    assert index.vocabulary_size > 5
+
+
+def test_duplicate_document_rejected():
+    index = build_index()
+    with pytest.raises(ValueError):
+        index.add_document("d1", "again")
+
+
+def test_document_frequency_and_postings():
+    index = build_index()
+    assert index.document_frequency("linux") == 2
+    assert index.document_frequency("kernel") == 2
+    # Tokens are stored normalized; "scripting" is indexed as its stem.
+    assert index.document_frequency("script") == 1
+    assert index.document_frequency("scripting") == 0
+    assert index.document_frequency("nonexistent") == 0
+    postings = index.postings("linux")
+    assert {p.doc_id for p in postings} == {"d1", "d3"}
+
+
+def test_document_length():
+    index = build_index()
+    assert index.document_length("d1") > 0
+    with pytest.raises(KeyError):
+        index.document_length("missing")
+
+
+def test_document_ids_order():
+    index = build_index()
+    assert index.document_ids() == ("d1", "d2", "d3")
+
+
+def test_candidates_restrict_to_shared_tokens():
+    index = build_index()
+    candidates = index.candidates(["linux", "kernel"])
+    assert set(candidates) == {"d1", "d3"}
+    assert candidates["d1"]["linux"] == 1
+    # Tokens absent from the query are not reported.
+    assert "buffer" not in candidates["d1"]
+
+
+def test_candidates_with_unseen_token_is_empty():
+    index = build_index()
+    assert index.candidates(["zzzz"]) == {}
+
+
+def test_term_frequency_recorded():
+    index = InvertedIndex()
+    index.add_document("d", "linux linux kernel")
+    posting = index.postings("linux")[0]
+    assert posting.term_frequency == 2

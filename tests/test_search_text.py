@@ -1,0 +1,77 @@
+"""Tests for tokenization and text utilities."""
+
+from repro.search.text import (
+    jaccard_similarity,
+    normalize_token,
+    term_frequencies,
+    tokenize,
+    vocabulary,
+)
+
+
+def test_tokenize_lowercases_and_strips_punctuation():
+    assert tokenize("Cisco ASA!", remove_stop_words=False) == ["cisco", "asa"]
+
+
+def test_tokenize_removes_stop_words():
+    tokens = tokenize("the attacker allows a vulnerability in the system")
+    assert "the" not in tokens
+    assert "attacker" not in tokens
+    assert "vulnerability" not in tokens
+    assert "system" in tokens
+
+
+def test_tokenize_keeps_compound_identifiers_and_their_parts():
+    tokens = tokenize("NI cRIO-9063 firmware")
+    assert "crio-9063" in tokens
+    assert "crio" in tokens
+    assert "9063" in tokens
+
+
+def test_compound_and_split_forms_match_each_other():
+    with_dash = set(tokenize("cRIO-9063"))
+    without_dash = set(tokenize("cRIO 9063"))
+    assert with_dash & without_dash  # they share the split parts
+
+
+def test_normalize_plural_stripping():
+    assert normalize_token("windows") == "window"
+    assert normalize_token("appliances") == normalize_token("appliance")
+    assert normalize_token("class") == "class"  # -ss is preserved
+    assert normalize_token("bus") == "bus"  # too short to strip
+
+
+def test_normalize_ing_stripping():
+    assert normalize_token("operating") == "operat"
+    assert normalize_token("ring") == "ring"  # too short to strip
+
+
+def test_normalization_is_idempotent():
+    for token in ("windows", "operating", "appliances", "modbus", "asa"):
+        once = normalize_token(token)
+        assert normalize_token(once) == once
+
+
+def test_empty_text_tokenizes_to_empty():
+    assert tokenize("") == []
+    assert tokenize("the and of") == []
+
+
+def test_term_frequencies():
+    counts = term_frequencies("linux kernel linux")
+    assert counts["linux"] == 2
+    assert counts["kernel"] == 1
+
+
+def test_vocabulary_union():
+    vocab = vocabulary(["linux kernel", "windows kernel"])
+    assert {"linux", "window", "kernel"} <= vocab
+
+
+def test_jaccard_similarity_bounds_and_symmetry():
+    assert jaccard_similarity("", "linux") == 0.0
+    assert jaccard_similarity("linux kernel", "linux kernel") == 1.0
+    a = jaccard_similarity("linux kernel driver", "windows kernel driver")
+    b = jaccard_similarity("windows kernel driver", "linux kernel driver")
+    assert a == b
+    assert 0.0 < a < 1.0

@@ -1,0 +1,97 @@
+"""Tests for the TF-IDF model."""
+
+import pytest
+
+from repro.search.index import InvertedIndex
+from repro.search.tfidf import TfIdfModel
+
+
+def build_model() -> TfIdfModel:
+    index = InvertedIndex()
+    index.add_documents(
+        [
+            ("linux1", "buffer overflow in the Linux kernel network stack"),
+            ("linux2", "Linux kernel use after free in the scheduler"),
+            ("web1", "cross-site scripting in a web management interface"),
+            ("asa1", "remote code execution in Cisco ASA firewall VPN portal"),
+        ]
+    )
+    return TfIdfModel(index).fit()
+
+
+def test_idf_is_higher_for_rarer_tokens():
+    model = build_model()
+    assert model.inverse_document_frequency("cisco") > model.inverse_document_frequency("linux")
+
+
+def test_idf_of_unseen_token_is_maximal():
+    model = build_model()
+    unseen = model.inverse_document_frequency("zzzz")
+    seen = model.inverse_document_frequency("linux")
+    assert unseen > seen
+
+
+def test_idf_on_empty_index_is_zero():
+    model = TfIdfModel(InvertedIndex())
+    assert model.inverse_document_frequency("anything") == 0.0
+
+
+def test_document_norm_requires_fit():
+    index = InvertedIndex()
+    index.add_document("d", "some text here")
+    model = TfIdfModel(index)
+    with pytest.raises(KeyError):
+        model.document_norm("d")
+    model.fit()
+    assert model.document_norm("d") > 0
+
+
+def test_query_vector_weights_are_positive():
+    model = build_model()
+    vector = model.query_vector("Linux kernel")
+    assert set(vector) == {"linux", "kernel"}
+    assert all(weight > 0 for weight in vector.values())
+
+
+def test_score_ranks_matching_documents_first():
+    model = build_model()
+    results = model.score("Linux kernel")
+    assert results
+    doc_ids = [doc_id for doc_id, _ in results]
+    assert set(doc_ids) == {"linux1", "linux2"}
+    assert all(0.0 < score <= 1.0 + 1e-9 for _, score in results)
+
+
+def test_score_empty_query_returns_nothing():
+    model = build_model()
+    assert model.score("") == []
+    assert model.score("the and of") == []
+
+
+def test_score_is_deterministically_ordered():
+    model = build_model()
+    assert model.score("kernel overflow") == model.score("kernel overflow")
+
+
+def test_score_min_score_filters():
+    model = build_model()
+    all_results = model.score("Cisco ASA firewall")
+    assert all_results
+    top_score = all_results[0][1]
+    filtered = model.score("Cisco ASA firewall", min_score=top_score + 0.01)
+    assert filtered == []
+
+
+def test_exact_document_text_scores_near_one():
+    model = build_model()
+    results = model.score("cross-site scripting in a web management interface")
+    best_id, best_score = results[0]
+    assert best_id == "web1"
+    assert best_score > 0.9
+
+
+def test_score_without_explicit_fit_lazily_fits():
+    index = InvertedIndex()
+    index.add_document("d", "linux kernel overflow")
+    model = TfIdfModel(index)
+    assert model.score("linux")  # triggers the lazy fit path

@@ -26,6 +26,13 @@ BENCH_SCALE = float(os.environ.get("CPSEC_BENCH_SCALE", "1.0"))
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark ``slow`` so ``-m "not slow"`` keeps tier-1 quick."""
+    for item in items:
+        if item.path and item.path.is_relative_to(Path(__file__).parent):
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def bench_scale() -> float:
     """The corpus scale in use (recorded into every result file)."""

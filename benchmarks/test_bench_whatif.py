@@ -41,22 +41,33 @@ def test_whatif_comparison(benchmark, engine, bench_scale, record_result):
     worsened = worsened_sensor_variant(baseline)
     study = WhatIfStudy(engine)
 
+    stats_before = engine.stats.snapshot()
     comparisons = benchmark.pedantic(
         lambda: study.sweep(baseline, {"hardened-ws": improved, "smart-transmitter": worsened}),
         rounds=1,
         iterations=1,
     )
+    stats_after = engine.stats.snapshot()
 
     improved_cmp = comparisons["hardened-ws"]
     worsened_cmp = comparisons["smart-transmitter"]
+    scored = stats_after["components_scored"] - stats_before["components_scored"]
+    reused = stats_after["components_reused"] - stats_before["components_reused"]
     lines = [
         f"corpus scale: {bench_scale}",
+        f"components scored: {scored} (baseline {len(baseline)} + 1 per variant)",
+        f"components reused incrementally: {reused}",
         "",
         render_whatif(improved_cmp),
         "",
         render_whatif(worsened_cmp),
     ]
     record_result("whatif", "\n".join(lines))
+
+    # The sweep is incremental: the baseline is scored in full, then each of
+    # the two variants re-scores only its single changed component.
+    assert scored == len(baseline) + 2
+    assert reused == 2 * (len(baseline) - 1)
 
     # The paper's comparison rule resolves both directions correctly.
     assert improved_cmp.variant_is_better

@@ -86,6 +86,15 @@ def main() -> None:
     smart_sensor.name = "smart-transmitter-variant"
     print(render_whatif(study.compare(baseline, smart_sensor)))
 
+    print("\n=== Incremental engine statistics ===")
+    stats = engine.stats
+    print(f"components scored in full: {stats.components_scored}")
+    print(f"components reused incrementally (what-if loop): {stats.components_reused}")
+    print(f"attribute cache: {stats.attribute_cache_hits} hits / "
+          f"{stats.attribute_cache_misses} misses")
+    print("Each what-if comparison re-scored only the single edited component;")
+    print("everything else was served from the baseline association.")
+
 
 if __name__ == "__main__":
     main()

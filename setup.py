@@ -4,6 +4,13 @@ The project metadata lives in ``pyproject.toml``; this file exists so that
 ``pip install -e .`` works in offline environments whose setuptools/pip
 combination cannot build PEP 660 editable wheels (no ``wheel`` package, no
 network to fetch build requirements).
+
+Testing and the perf gate (see README.md):
+
+* quick tier:  ``PYTHONPATH=src python -m pytest -q -m "not slow"``
+* full tier-1: ``PYTHONPATH=src python -m pytest -x -q``
+* perf gate:   ``PYTHONPATH=src python -m pytest benchmarks -q`` (paper-scale
+  corpus; ``CPSEC_BENCH_SCALE`` shrinks it for smoke runs)
 """
 
 from setuptools import setup

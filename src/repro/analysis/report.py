@@ -126,6 +126,13 @@ def render_whatif(comparison: WhatIfComparison) -> str:
         f"{comparison.variant_total}\n"
         f"Verdict: {verdict}\n"
     )
+    if comparison.component_set_changed:
+        added = ", ".join(comparison.added_components) or "none"
+        removed = ", ".join(comparison.removed_components) or "none"
+        header += (
+            f"Component set changed (added: {added}; removed: {removed}) -- "
+            "totals compare different populations\n"
+        )
     return header + "\n" + table
 
 

@@ -10,6 +10,17 @@ better security posture."
 
 :class:`WhatIfStudy` re-runs the association for each architectural variant
 and compares posture metrics component by component.
+
+The association step is incremental: variants are scored through
+:meth:`repro.search.engine.SearchEngine.reassociate`, which reuses the
+baseline's per-component results for every component whose attribute set is
+unchanged.  A typical what-if edit touches one component of seven, so the
+sweep pays roughly 1/7th of a full association per variant -- with results
+identical to a full re-run (the equivalence tests enforce this).
+
+Components that exist in only one of the two architectures are surfaced as
+:attr:`WhatIfComparison.added_components` / ``removed_components`` so that a
+rename (remove + add) cannot masquerade as a posture improvement.
 """
 
 from __future__ import annotations
@@ -51,6 +62,10 @@ class WhatIfComparison:
     baseline_metrics: PostureMetrics
     variant_metrics: PostureMetrics
     component_deltas: tuple[ComponentDelta, ...]
+    #: Component names present only in the variant (in variant order).
+    added_components: tuple[str, ...] = ()
+    #: Component names present only in the baseline (in baseline order).
+    removed_components: tuple[str, ...] = ()
 
     @property
     def baseline_total(self) -> int:
@@ -71,6 +86,16 @@ class WhatIfComparison:
         """Components whose association changed between the variants."""
         return tuple(delta for delta in self.component_deltas if delta.delta_total != 0)
 
+    @property
+    def component_set_changed(self) -> bool:
+        """Whether the two architectures do not share the same component set.
+
+        When true, the totals compare different populations: a renamed or
+        removed component lowers the variant total without any mitigation
+        having happened, so ``variant_is_better`` should be read with care.
+        """
+        return bool(self.added_components or self.removed_components)
+
 
 @dataclass
 class WhatIfStudy:
@@ -82,10 +107,21 @@ class WhatIfStudy:
         """Associate one architecture (exposed for callers that need the raw artifact)."""
         return self.engine.associate(graph)
 
+    def reassociate(
+        self, baseline_association: SystemAssociation, variant: SystemGraph
+    ) -> SystemAssociation:
+        """Associate a variant incrementally, reusing unchanged components.
+
+        Thin delegation to :meth:`SearchEngine.reassociate`: only components
+        whose attribute set differs from the same-named baseline component are
+        re-scored; the result is identical to a full :meth:`associate`.
+        """
+        return self.engine.reassociate(baseline_association, variant)
+
     def compare(self, baseline: SystemGraph, variant: SystemGraph) -> WhatIfComparison:
         """Associate both architectures and compare their postures."""
         baseline_association = self.engine.associate(baseline)
-        variant_association = self.engine.associate(variant)
+        variant_association = self.reassociate(baseline_association, variant)
         return self.compare_associations(baseline_association, variant_association)
 
     def compare_associations(
@@ -95,6 +131,9 @@ class WhatIfStudy:
         baseline_metrics = compute_posture(baseline)
         variant_metrics = compute_posture(variant)
         deltas = []
+        baseline_names = {
+            association.component.name for association in baseline.components
+        }
         variant_by_name = {
             association.component.name: association for association in variant.components
         }
@@ -118,16 +157,29 @@ class WhatIfStudy:
             baseline_metrics=baseline_metrics,
             variant_metrics=variant_metrics,
             component_deltas=tuple(deltas),
+            added_components=tuple(
+                name for name in variant_by_name if name not in baseline_names
+            ),
+            removed_components=tuple(
+                association.component.name
+                for association in baseline.components
+                if association.component.name not in variant_by_name
+            ),
         )
 
     def sweep(
         self, baseline: SystemGraph, variants: dict[str, SystemGraph]
     ) -> dict[str, WhatIfComparison]:
-        """Compare several named variants against one baseline."""
+        """Compare several named variants against one baseline.
+
+        The baseline is associated once; every variant is then scored through
+        the incremental :meth:`reassociate` path, so unchanged components are
+        never re-scored.
+        """
         baseline_association = self.engine.associate(baseline)
         results = {}
         for name, variant in variants.items():
-            variant_association = self.engine.associate(variant)
+            variant_association = self.reassociate(baseline_association, variant)
             results[name] = self.compare_associations(
                 baseline_association, variant_association
             )

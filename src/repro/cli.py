@@ -12,12 +12,17 @@ exposes the reproduction's pipeline the same way::
 
 All commands are offline and deterministic; ``--scale`` controls the size of
 the synthetic corpus (1.0 reproduces paper-scale populations).
+
+Search commands accept ``--snapshot PATH``: the first run saves the tokenized
+index there, later runs load it and skip the index rebuild (results are
+identical either way; a snapshot that does not match the corpus is rebuilt).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.analysis.recommendations import recommend
 from repro.analysis.report import (
@@ -46,8 +51,26 @@ def _load_model(path: str | None):
     return build_centrifuge_model()
 
 
-def _engine(scale: float, scorer: str = "coverage") -> SearchEngine:
-    return SearchEngine(build_corpus(scale=scale), scorer=scorer)
+def _engine(
+    scale: float, scorer: str = "coverage", snapshot: str | None = None
+) -> SearchEngine:
+    corpus = build_corpus(scale=scale)
+    if snapshot:
+        path = Path(snapshot)
+        if path.exists():
+            try:
+                return SearchEngine.from_index_snapshot(corpus, path, scorer=scorer)
+            except (ValueError, OSError) as error:
+                # Any malformed, mismatched, or unreadable snapshot falls back
+                # to a rebuild (which overwrites the bad file below).
+                print(f"ignoring stale index snapshot: {error}", file=sys.stderr)
+        engine = SearchEngine(corpus, scorer=scorer)
+        try:
+            engine.save_index_snapshot(path)
+        except OSError as error:
+            print(f"could not write index snapshot: {error}", file=sys.stderr)
+        return engine
+    return SearchEngine(corpus, scorer=scorer)
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -70,7 +93,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 def _cmd_associate(args: argparse.Namespace) -> int:
     model = _load_model(args.model)
-    engine = _engine(args.scale, args.scorer)
+    engine = _engine(args.scale, args.scorer, args.snapshot)
     association = engine.associate(model)
     print(render_posture_report(association))
     return 0
@@ -78,7 +101,7 @@ def _cmd_associate(args: argparse.Namespace) -> int:
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     model = _load_model(args.model)
-    engine = _engine(args.scale, args.scorer)
+    engine = _engine(args.scale, args.scorer, args.snapshot)
     association = engine.associate(model)
     print(render_table1(association))
     return 0
@@ -87,7 +110,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_whatif(args: argparse.Namespace) -> int:
     baseline = _load_model(args.model)
     variant = hardened_workstation_variant(baseline)
-    study = WhatIfStudy(_engine(args.scale, args.scorer))
+    study = WhatIfStudy(_engine(args.scale, args.scorer, args.snapshot))
     comparison = study.compare(baseline, variant)
     print(render_whatif(comparison))
     return 0
@@ -125,7 +148,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_chains(args: argparse.Namespace) -> int:
     model = _load_model(args.model)
-    engine = _engine(args.scale, args.scorer)
+    engine = _engine(args.scale, args.scorer, args.snapshot)
     association = engine.associate(model)
     chains = find_exploit_chains(association, args.target, max_length=args.max_length)
     if not chains:
@@ -162,10 +185,9 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 def _cmd_recommend(args: argparse.Namespace) -> int:
     model = _load_model(args.model)
-    corpus = build_corpus(scale=args.scale)
-    engine = SearchEngine(corpus, scorer=args.scorer)
+    engine = _engine(args.scale, args.scorer, args.snapshot)
     association = engine.associate(model)
-    recommendations = recommend(association, corpus, per_component=args.per_component)
+    recommendations = recommend(association, engine.corpus, per_component=args.per_component)
     if not recommendations:
         print("no recommendations derived from the association")
         return 1
@@ -205,6 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--model", default=None, help="GraphML model path (default: built-in centrifuge)")
         sub.add_argument("--scale", type=float, default=0.1, help="synthetic corpus scale (1.0 = paper scale)")
         sub.add_argument("--scorer", default="coverage", choices=("coverage", "cosine", "jaccard"))
+        sub.add_argument("--snapshot", default=None, help="index snapshot path (created on first run, loaded afterwards)")
 
     associate = subparsers.add_parser("associate", help="associate attack vectors with a model")
     add_search_options(associate)

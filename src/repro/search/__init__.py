@@ -6,9 +6,12 @@ attack-vector corpus, associate attack patterns, weaknesses, and
 vulnerabilities with each attribute of each component through text matching.
 
 * :mod:`repro.search.text` -- tokenization and light normalization,
-* :mod:`repro.search.index` -- an inverted index over corpus records,
-* :mod:`repro.search.tfidf` -- TF-IDF weighting and cosine scoring,
-* :mod:`repro.search.engine` -- the attribute/component/system association API,
+* :mod:`repro.search.index` -- an inverted index over corpus records, with
+  JSON snapshots for skipping rebuilds,
+* :mod:`repro.search.tfidf` -- TF-IDF weighting and cosine scoring over
+  vectors precomputed at fit time,
+* :mod:`repro.search.engine` -- the attribute/component/system association
+  API, with exact result caching and incremental re-association,
 * :mod:`repro.search.filters` -- the filtering pipeline that manages the large
   result space (Section 3 of the paper),
 * :mod:`repro.search.chains` -- exploit chains over the system topology.
@@ -17,6 +20,7 @@ vulnerabilities with each attribute of each component through text matching.
 from repro.search.engine import (
     AttributeMatches,
     ComponentAssociation,
+    EngineStats,
     Match,
     SearchEngine,
     SystemAssociation,
@@ -36,6 +40,7 @@ from repro.search.tfidf import TfIdfModel
 
 __all__ = [
     "SearchEngine",
+    "EngineStats",
     "Match",
     "AttributeMatches",
     "ComponentAssociation",

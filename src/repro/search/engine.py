@@ -19,11 +19,34 @@ hardware platforms will relate more closely to vulnerability instances":
   attribute's distinctive terms are covered by the CVE text,
 * fidelity-aware mode skips vulnerability matching for attributes that are
   not implementation-specific (the paper's suggested abstraction strategy).
+
+The engine is built for the dashboard's interactive what-if loop (Section 3):
+
+* scoring uses the TF-IDF vectors precomputed at index-build time, so no IDF
+  is recomputed per candidate per query,
+* results are cached per attribute and per ``(text, kind, scorer, threshold)``
+  -- identical attributes recur across components (e.g. the SIS and BPCS
+  platforms both run Windows 7), so a warm :meth:`SearchEngine.associate` call
+  is orders of magnitude faster than a cold one while returning identical
+  results,
+* :meth:`SearchEngine.reassociate` re-scores only the components whose
+  attribute set changed relative to a baseline association and reuses the
+  baseline's :class:`ComponentAssociation` objects otherwise,
+* :meth:`SearchEngine.save_index_snapshot` /
+  :meth:`SearchEngine.from_index_snapshot` persist the tokenized indexes so
+  repeated CLI or benchmark runs skip the index rebuild.
+
+All of these are exact optimizations: the cached, incremental, and
+snapshot-loaded paths return bit-identical associations to a fresh, uncached
+engine (enforced by the equivalence test suite).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 from repro.corpus.schema import (
     AttackPattern,
@@ -41,6 +64,52 @@ from repro.search.tfidf import TfIdfModel
 
 #: Supported scoring strategies.
 SCORERS = ("coverage", "cosine", "jaccard")
+
+#: Snapshot format version; bump when the payload layout changes.
+SNAPSHOT_VERSION = 1
+
+
+def _corpus_fingerprint(corpus: CorpusStore) -> str:
+    """Content hash of every (identifier, text) pair, per record class.
+
+    Stored in index snapshots so that a snapshot whose tokenized postings no
+    longer match the corpus *texts* (not just the identifier set) is rejected
+    instead of silently scoring against stale tokenization.
+    """
+    digest = hashlib.sha256()
+    for kind in RecordKind:
+        for record in corpus.records_of_kind(kind):
+            digest.update(record.identifier.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(record.text.encode("utf-8"))
+            digest.update(b"\x01")
+    return digest.hexdigest()
+
+
+@dataclass
+class EngineStats:
+    """Counters describing cache effectiveness and incremental reuse.
+
+    ``components_scored`` counts full :meth:`SearchEngine.associate_component`
+    evaluations; ``components_reused`` counts components served from a baseline
+    association by :meth:`SearchEngine.reassociate` without re-scoring.
+    """
+
+    attribute_cache_hits: int = 0
+    attribute_cache_misses: int = 0
+    text_cache_hits: int = 0
+    text_cache_misses: int = 0
+    components_scored: int = 0
+    components_reused: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy of the counters (for deltas in tests/benchmarks)."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
 
 
 @dataclass(frozen=True)
@@ -128,6 +197,10 @@ class SystemAssociation:
     system: SystemGraph
     components: tuple[ComponentAssociation, ...] = ()
     scorer: str = "coverage"
+    #: Full engine configuration that produced this association (set by
+    #: :meth:`SearchEngine.associate`); lets incremental re-association detect
+    #: any config drift, not just a scorer change.
+    engine_config: tuple | None = field(default=None, repr=False)
 
     def component(self, name: str) -> ComponentAssociation:
         """The association for one component."""
@@ -213,6 +286,10 @@ class SearchEngine:
         two exist for the ablation benchmarks.
     max_per_class:
         Optional cap on matches kept per attribute per record class.
+    enable_cache:
+        When true (the default), attribute- and text-level results are cached
+        and reused across components and repeated calls.  The cache is exact:
+        disabling it changes speed, never results.
     """
 
     def __init__(
@@ -226,6 +303,8 @@ class SearchEngine:
         fidelity_aware: bool = True,
         scorer: str = "coverage",
         max_per_class: int | None = None,
+        enable_cache: bool = True,
+        _index_payload: dict | None = None,
     ) -> None:
         if scorer not in SCORERS:
             raise ValueError(f"unknown scorer {scorer!r}; expected one of {SCORERS}")
@@ -237,34 +316,134 @@ class SearchEngine:
         self.fidelity_aware = fidelity_aware
         self.scorer = scorer
         self.max_per_class = max_per_class
+        self.enable_cache = enable_cache
+        self.stats = EngineStats()
 
         self._records: dict[str, AttackVectorRecord] = {}
         self._indexes: dict[RecordKind, InvertedIndex] = {}
         self._models: dict[RecordKind, TfIdfModel] = {}
         self._platform_tokens: dict[str, frozenset[str]] = {}
-        self._build_indexes()
+        self._attribute_cache: dict[tuple, AttributeMatches] = {}
+        self._text_cache: dict[tuple, tuple[Match, ...]] = {}
+        self._vulnerability_cache: dict[tuple, tuple[Match, ...]] = {}
+        self._build_indexes(_index_payload)
 
     # -- index construction --------------------------------------------------
 
-    def _build_indexes(self) -> None:
+    def _build_indexes(self, index_payload: dict | None = None) -> None:
         for kind in RecordKind:
-            index = InvertedIndex()
-            for record in self.corpus.records_of_kind(kind):
-                index.add_document(record.identifier, record.text)
+            records = self.corpus.records_of_kind(kind)
+            if index_payload is None:
+                index = InvertedIndex()
+                for record in records:
+                    index.add_document(record.identifier, record.text)
+            else:
+                kind_payload = index_payload.get(kind.value)
+                if not isinstance(kind_payload, dict):
+                    raise ValueError(
+                        f"index snapshot is missing the {kind.value!r} index"
+                    )
+                index = InvertedIndex.from_dict(kind_payload)
+                if set(index.document_ids()) != {r.identifier for r in records}:
+                    raise ValueError(
+                        f"index snapshot does not match the corpus for {kind.value!r}"
+                    )
+            for record in records:
                 self._records[record.identifier] = record
             self._indexes[kind] = index
-            self._models[kind] = TfIdfModel(index)
+            # Fitting eagerly precomputes the IDF table, weighted postings,
+            # and norms every scorer relies on, so the first query pays no
+            # hidden fit cost.
+            self._models[kind] = TfIdfModel(index).fit()
         for vulnerability in self.corpus.vulnerabilities:
             for platform in vulnerability.affected_platforms:
                 if platform not in self._platform_tokens:
                     self._platform_tokens[platform] = frozenset(tokenize(platform))
+
+    # -- snapshots ------------------------------------------------------------
+
+    def index_snapshot(self) -> dict:
+        """A JSON-serializable snapshot of the per-class inverted indexes."""
+        payload = {kind.value: self._indexes[kind].to_dict() for kind in RecordKind}
+        payload["version"] = SNAPSHOT_VERSION
+        payload["corpus_fingerprint"] = _corpus_fingerprint(self.corpus)
+        return payload
+
+    def save_index_snapshot(self, path: str | Path) -> Path:
+        """Write the index snapshot to a JSON file and return the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.index_snapshot()), encoding="utf-8")
+        return path
+
+    @classmethod
+    def from_index_snapshot(
+        cls, corpus: CorpusStore, path: str | Path, **kwargs
+    ) -> "SearchEngine":
+        """Build an engine from a saved index snapshot, skipping tokenization.
+
+        The snapshot must have been produced from the same corpus: document
+        ids are validated per record class and a mismatch raises
+        :class:`ValueError`.  Results are bit-identical to a freshly built
+        engine; only construction time changes.
+        """
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"index snapshot must be a JSON object, got {type(payload).__name__}"
+            )
+        version = payload.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported index snapshot version {version!r}; "
+                f"expected {SNAPSHOT_VERSION}"
+            )
+        if payload.get("corpus_fingerprint") != _corpus_fingerprint(corpus):
+            raise ValueError(
+                "index snapshot does not match the corpus contents"
+            )
+        return cls(corpus, _index_payload=payload, **kwargs)
+
+    # -- caching ---------------------------------------------------------------
+
+    def _config_key(self) -> tuple:
+        return (
+            self.scorer,
+            self.pattern_threshold,
+            self.weakness_threshold,
+            self.vulnerability_text_threshold,
+            self.platform_coverage,
+            self.fidelity_aware,
+            self.max_per_class,
+        )
+
+    def clear_caches(self) -> None:
+        """Drop every cached result (stats counters are kept)."""
+        self._attribute_cache.clear()
+        self._text_cache.clear()
+        self._vulnerability_cache.clear()
+
+    def cache_info(self) -> dict[str, int]:
+        """Sizes of the result caches (entries, not bytes)."""
+        return {
+            "attribute_entries": len(self._attribute_cache),
+            "text_entries": len(self._text_cache),
+            "vulnerability_entries": len(self._vulnerability_cache),
+        }
 
     # -- low-level matching ---------------------------------------------------
 
     def match_text(
         self, text: str, kind: RecordKind, threshold: float
     ) -> list[Match]:
-        """Match free text against one record class."""
+        """Match free text against one record class (cached when enabled)."""
+        cache_key = None
+        if self.enable_cache:
+            cache_key = (text, kind, threshold, self._config_key())
+            cached = self._text_cache.get(cache_key)
+            if cached is not None:
+                self.stats.text_cache_hits += 1
+                return list(cached)
+            self.stats.text_cache_misses += 1
         if self.scorer == "jaccard":
             scored = self._jaccard_scores(text, kind)
         elif self.scorer == "cosine":
@@ -279,23 +458,27 @@ class SearchEngine:
         matches.sort(key=lambda m: (-m.score, m.identifier))
         if self.max_per_class is not None:
             matches = matches[: self.max_per_class]
+        if cache_key is not None:
+            self._text_cache[cache_key] = tuple(matches)
         return matches
 
     def _coverage_scores(self, text: str, kind: RecordKind) -> list[tuple[str, float]]:
         model = self._models[kind]
-        index = self._indexes[kind]
         query = model.query_vector(text)
         if not query:
             return []
         total_mass = sum(query.values())
         if total_mass == 0.0:
             return []
-        candidates = index.candidates(query.keys())
-        scores = []
-        for doc_id, token_counts in candidates.items():
-            covered = sum(query[token] for token in token_counts)
-            scores.append((doc_id, covered / total_mass))
-        return scores
+        # Accumulate the covered IDF mass per document straight off the
+        # precomputed posting lists; the token iteration order matches the
+        # candidate-set construction it replaces, so float sums are identical.
+        covered: dict[str, float] = {}
+        for token in set(query):
+            mass = query[token]
+            for doc_id in model.posting_doc_ids(token):
+                covered[doc_id] = covered.get(doc_id, 0.0) + mass
+        return [(doc_id, value / total_mass) for doc_id, value in covered.items()]
 
     def _jaccard_scores(self, text: str, kind: RecordKind) -> list[tuple[str, float]]:
         scores = []
@@ -356,21 +539,43 @@ class SearchEngine:
     # -- attribute / component / system association ---------------------------
 
     def match_attribute(self, attribute: Attribute) -> AttributeMatches:
-        """Associate one attribute with attack patterns, weaknesses, and CVEs."""
+        """Associate one attribute with attack patterns, weaknesses, and CVEs.
+
+        Results are cached per attribute value: identical attributes on
+        different components (shared platforms, shared protocols) are scored
+        once.
+        """
+        cache_key = None
+        if self.enable_cache:
+            cache_key = (attribute, self._config_key())
+            cached = self._attribute_cache.get(cache_key)
+            if cached is not None:
+                self.stats.attribute_cache_hits += 1
+                return cached
+            self.stats.attribute_cache_misses += 1
         text = attribute.text
         patterns = self.match_text(text, RecordKind.ATTACK_PATTERN, self.pattern_threshold)
         weaknesses = self.match_text(text, RecordKind.WEAKNESS, self.weakness_threshold)
-        vulnerabilities: list[Match] = []
+        vulnerabilities: tuple[Match, ...] = ()
         if not self.fidelity_aware or attribute.is_specific():
             vulnerabilities = self._match_vulnerabilities(text)
-        return AttributeMatches(
+        result = AttributeMatches(
             attribute=attribute,
             attack_patterns=tuple(patterns),
             weaknesses=tuple(weaknesses),
-            vulnerabilities=tuple(vulnerabilities),
+            vulnerabilities=vulnerabilities,
         )
+        if cache_key is not None:
+            self._attribute_cache[cache_key] = result
+        return result
 
-    def _match_vulnerabilities(self, text: str) -> list[Match]:
+    def _match_vulnerabilities(self, text: str) -> tuple[Match, ...]:
+        cache_key = None
+        if self.enable_cache:
+            cache_key = (text, self._config_key())
+            cached = self._vulnerability_cache.get(cache_key)
+            if cached is not None:
+                return cached
         attribute_tokens = frozenset(tokenize(text))
         by_id: dict[str, Match] = {}
         for match in self._platform_matches(attribute_tokens):
@@ -384,10 +589,14 @@ class SearchEngine:
         matches = sorted(by_id.values(), key=lambda m: (-m.score, m.identifier))
         if self.max_per_class is not None:
             matches = matches[: self.max_per_class]
-        return matches
+        result = tuple(matches)
+        if cache_key is not None:
+            self._vulnerability_cache[cache_key] = result
+        return result
 
     def associate_component(self, component: Component) -> ComponentAssociation:
         """Associate every attribute of a component."""
+        self.stats.components_scored += 1
         attribute_matches = tuple(
             self.match_attribute(attribute) for attribute in component.attributes
         )
@@ -400,4 +609,52 @@ class SearchEngine:
         components = tuple(
             self.associate_component(component) for component in system.components
         )
-        return SystemAssociation(system=system, components=components, scorer=self.scorer)
+        return SystemAssociation(
+            system=system,
+            components=components,
+            scorer=self.scorer,
+            engine_config=self._config_key(),
+        )
+
+    def reassociate(
+        self, baseline: SystemAssociation, variant: SystemGraph
+    ) -> SystemAssociation:
+        """Associate a variant architecture incrementally against a baseline.
+
+        Components whose attribute tuple is unchanged relative to the
+        same-named baseline component reuse the baseline's
+        :class:`ComponentAssociation` (matching depends only on attribute
+        text); everything else -- changed, renamed, or added components -- is
+        re-scored.  The result equals :meth:`associate` on the variant,
+        bit for bit, provided the baseline was produced by an engine over the
+        same corpus (e.g. this one).  A baseline produced under a different
+        configuration -- scorer, thresholds, fidelity mode, result cap -- or
+        with no recorded configuration is detected and the variant is
+        re-scored in full rather than mixing configurations silently.
+        """
+        if baseline.engine_config != self._config_key():
+            return self.associate(variant)
+        baseline_by_name = {
+            association.component.name: association
+            for association in baseline.components
+        }
+        components = []
+        for component in variant.components:
+            previous = baseline_by_name.get(component.name)
+            if previous is None or previous.component.attributes != component.attributes:
+                components.append(self.associate_component(component))
+            elif previous.component == component:
+                self.stats.components_reused += 1
+                components.append(previous)
+            else:
+                # Same attributes but other fields (description, criticality,
+                # ...) changed: the matches carry over, the component payload
+                # must not.
+                self.stats.components_reused += 1
+                components.append(replace(previous, component=component))
+        return SystemAssociation(
+            system=variant,
+            components=tuple(components),
+            scorer=self.scorer,
+            engine_config=self._config_key(),
+        )

@@ -4,12 +4,24 @@ The corpus at paper scale contains tens of thousands of vulnerability texts;
 scoring a query against every record would make the interactive what-if loop
 of the dashboard (Section 3) unusable.  The inverted index restricts scoring
 to records that share at least one informative token with the query.
+
+Postings are stored columnar -- per token, parallel arrays of document ids
+and term frequencies -- which keeps construction, snapshotting, and the
+TF-IDF fit pass cheap at paper scale (hundreds of thousands of postings).
+Two features support the cached/incremental engine:
+
+* a monotonically increasing :attr:`InvertedIndex.revision` lets dependents
+  (e.g. :class:`repro.search.tfidf.TfIdfModel`) detect when their precomputed
+  weights are stale,
+* :meth:`InvertedIndex.to_dict` / :meth:`InvertedIndex.from_dict` snapshot the
+  tokenized postings so repeated runs skip re-tokenizing the whole corpus
+  (the dominant cost of index construction at scale 1.0).
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 
 from repro.search.text import tokenize
@@ -27,8 +39,11 @@ class InvertedIndex:
     """Token -> posting-list index over (id, text) documents."""
 
     def __init__(self) -> None:
-        self._postings: dict[str, list[Posting]] = {}
+        # token -> ([doc_id, ...], [term_frequency, ...]) parallel arrays,
+        # in document insertion order.
+        self._postings: dict[str, tuple[list[str], list[int]]] = {}
         self._doc_lengths: dict[str, int] = {}
+        self._revision = 0
 
     def __len__(self) -> int:
         return len(self._doc_lengths)
@@ -41,14 +56,30 @@ class InvertedIndex:
         """Number of distinct tokens in the index."""
         return len(self._postings)
 
+    @property
+    def revision(self) -> int:
+        """Mutation counter; increments whenever a document is added.
+
+        Dependents that precompute per-token or per-document weights compare
+        this against the revision they fitted at to decide whether to refit.
+        """
+        return self._revision
+
     def add_document(self, doc_id: str, text: str) -> None:
         """Index one document; re-adding an id raises."""
         if doc_id in self._doc_lengths:
             raise ValueError(f"document already indexed: {doc_id!r}")
         counts = Counter(tokenize(text))
         self._doc_lengths[doc_id] = sum(counts.values())
+        postings = self._postings
         for token, frequency in counts.items():
-            self._postings.setdefault(token, []).append(Posting(doc_id, frequency))
+            arrays = postings.get(token)
+            if arrays is None:
+                postings[token] = ([doc_id], [frequency])
+            else:
+                arrays[0].append(doc_id)
+                arrays[1].append(frequency)
+        self._revision += 1
 
     def add_documents(self, documents: Iterable[tuple[str, str]]) -> int:
         """Index many (id, text) documents; returns the number indexed."""
@@ -60,11 +91,32 @@ class InvertedIndex:
 
     def document_frequency(self, token: str) -> int:
         """Number of documents containing the token."""
-        return len(self._postings.get(token, ()))
+        arrays = self._postings.get(token)
+        return len(arrays[0]) if arrays is not None else 0
+
+    def tokens(self) -> Iterator[str]:
+        """Iterate over every distinct token in the index, in first-seen order."""
+        return iter(self._postings)
 
     def postings(self, token: str) -> tuple[Posting, ...]:
         """The posting list of a token (empty if unseen)."""
-        return tuple(self._postings.get(token, ()))
+        arrays = self._postings.get(token)
+        if arrays is None:
+            return ()
+        return tuple(
+            Posting(doc_id, frequency) for doc_id, frequency in zip(*arrays)
+        )
+
+    def posting_arrays(self, token: str) -> tuple[Sequence[str], Sequence[int]]:
+        """The raw ``(doc_ids, term_frequencies)`` arrays of a token.
+
+        This is the zero-copy accessor hot paths (TF-IDF fit, scoring)
+        use; callers must treat the arrays as read-only.
+        """
+        arrays = self._postings.get(token)
+        if arrays is None:
+            return ((), ())
+        return arrays
 
     def document_length(self, doc_id: str) -> int:
         """Total token count of an indexed document."""
@@ -85,8 +137,63 @@ class InvertedIndex:
         """
         results: dict[str, Counter] = {}
         for token in set(query_tokens):
-            for posting in self._postings.get(token, ()):
-                results.setdefault(posting.doc_id, Counter())[token] = (
-                    posting.term_frequency
-                )
+            arrays = self._postings.get(token)
+            if arrays is None:
+                continue
+            for doc_id, frequency in zip(*arrays):
+                results.setdefault(doc_id, Counter())[token] = frequency
         return results
+
+    # -- snapshots -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot of the tokenized index.
+
+        Document ids appear once, in insertion order; posting lists reference
+        them by position.  Order is preserved everywhere, so an index rebuilt
+        through :meth:`from_dict` scores queries bit-identically to the
+        original (floating-point accumulation order is unchanged).
+        """
+        positions = {doc_id: number for number, doc_id in enumerate(self._doc_lengths)}
+        return {
+            "documents": [[doc_id, length] for doc_id, length in self._doc_lengths.items()],
+            "postings": {
+                token: [[positions[doc_id] for doc_id in doc_ids], frequencies]
+                for token, (doc_ids, frequencies) in self._postings.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InvertedIndex":
+        """Rebuild an index from :meth:`to_dict` output, skipping tokenization.
+
+        Raises :class:`ValueError` for any malformed payload (wrong shapes,
+        posting positions outside the document table, mismatched array
+        lengths), so callers can treat every corrupt snapshot uniformly.
+        """
+        index = cls()
+        doc_lengths = index._doc_lengths
+        try:
+            for doc_id, length in payload.get("documents", ()):
+                doc_lengths[doc_id] = length
+            doc_list = list(doc_lengths)
+            for token, (doc_positions, frequencies) in payload.get("postings", {}).items():
+                if len(doc_positions) != len(frequencies):
+                    raise ValueError(
+                        f"posting arrays of token {token!r} differ in length"
+                    )
+                if doc_positions and not (
+                    0 <= min(doc_positions) and max(doc_positions) < len(doc_list)
+                ):
+                    raise ValueError(
+                        f"posting positions of token {token!r} fall outside "
+                        "the document table"
+                    )
+                index._postings[token] = (
+                    [doc_list[position] for position in doc_positions],
+                    list(frequencies),
+                )
+        except (TypeError, KeyError, IndexError, AttributeError) as error:
+            raise ValueError(f"malformed index snapshot payload: {error}") from error
+        index._revision = len(doc_lengths)
+        return index

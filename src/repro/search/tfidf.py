@@ -4,13 +4,19 @@ Queries (component attributes) are short and records are short paragraphs, so
 classic lnc.ltc-style TF-IDF with cosine normalization is both adequate and
 easy to reason about; the ablation benchmark compares it against plain token
 overlap (Jaccard) to justify the choice.
+
+:meth:`TfIdfModel.fit` precomputes everything that depends only on the corpus
+-- the per-token IDF table, the IDF-weighted posting lists, and the document
+norms -- so that scoring a query never recomputes IDF per candidate.  The
+model tracks the index :attr:`~repro.search.index.InvertedIndex.revision` it
+fitted at and refits automatically when the index has grown, which keeps the
+precomputed vectors exact rather than approximate.
 """
 
 from __future__ import annotations
 
 import math
 from collections import Counter
-from collections.abc import Iterable
 
 from repro.search.index import InvertedIndex
 from repro.search.text import tokenize
@@ -22,6 +28,11 @@ class TfIdfModel:
     def __init__(self, index: InvertedIndex) -> None:
         self._index = index
         self._norms: dict[str, float] = {}
+        self._idf: dict[str, float] = {}
+        self._default_idf = 0.0
+        self._weighted_postings: dict[str, tuple[tuple[str, float], ...]] = {}
+        self._posting_doc_ids: dict[str, tuple[str, ...]] = {}
+        self._fitted_revision: int | None = None
 
     @property
     def index(self) -> InvertedIndex:
@@ -35,6 +46,8 @@ class TfIdfModel:
         total = len(self._index)
         if total == 0:
             return 0.0
+        if self._fitted_revision == self._index.revision:
+            return self._idf.get(token, self._default_idf)
         frequency = self._index.document_frequency(token)
         return math.log((total + 1) / (frequency + 1)) + 1.0
 
@@ -42,7 +55,13 @@ class TfIdfModel:
         return 1.0 + math.log(term_frequency) if term_frequency > 0 else 0.0
 
     def document_norm(self, doc_id: str) -> float:
-        """Euclidean norm of a document's weighted vector (cached)."""
+        """Euclidean norm of a document's weighted vector (cached).
+
+        A never-fitted model raises :class:`KeyError`; a fitted model whose
+        index has since grown refits first, like every other accessor.
+        """
+        if self._fitted_revision is not None:
+            self._ensure_current()
         if doc_id not in self._norms:
             raise KeyError(
                 f"norm not computed for document {doc_id!r}; call fit() first"
@@ -50,38 +69,73 @@ class TfIdfModel:
         return self._norms[doc_id]
 
     def fit(self) -> "TfIdfModel":
-        """Precompute document norms for cosine normalization."""
+        """Precompute IDF weights, weighted postings, and document norms.
+
+        One pass over the postings fills three tables:
+
+        * ``token -> IDF`` (plus the default IDF for unseen tokens),
+        * ``token -> ((doc_id, tf-idf weight), ...)`` for cosine scoring,
+        * ``doc_id -> norm`` for cosine normalization.
+        """
+        total = len(self._index)
+        self._default_idf = math.log((total + 1) / 1) + 1.0 if total else 0.0
         squares: dict[str, float] = {doc_id: 0.0 for doc_id in self._index.document_ids()}
-        for doc_id in squares:
-            squares[doc_id] = 0.0
-        # Accumulate per-token contributions by walking the postings once.
-        for token in self._all_tokens():
-            idf = self.inverse_document_frequency(token)
-            for posting in self._index.postings(token):
-                weight = self._document_weight(posting.term_frequency) * idf
-                squares[posting.doc_id] += weight * weight
+        idf_table: dict[str, float] = {}
+        weighted: dict[str, tuple[tuple[str, float], ...]] = {}
+        doc_ids_table: dict[str, tuple[str, ...]] = {}
+        for token in self._index.tokens():
+            doc_ids, frequencies = self._index.posting_arrays(token)
+            if total:
+                idf = math.log((total + 1) / (len(doc_ids) + 1)) + 1.0
+            else:  # pragma: no cover - an empty index has no tokens
+                idf = 0.0
+            idf_table[token] = idf
+            row = []
+            for doc_id, term_frequency in zip(doc_ids, frequencies):
+                weight = self._document_weight(term_frequency) * idf
+                squares[doc_id] += weight * weight
+                row.append((doc_id, weight))
+            weighted[token] = tuple(row)
+            doc_ids_table[token] = tuple(doc_ids)
+        self._idf = idf_table
+        self._weighted_postings = weighted
+        self._posting_doc_ids = doc_ids_table
         self._norms = {
             doc_id: math.sqrt(value) if value > 0 else 1.0
             for doc_id, value in squares.items()
         }
+        self._fitted_revision = self._index.revision
         return self
 
-    def _all_tokens(self) -> Iterable[str]:
-        # The index does not expose its token table directly; reconstruct it
-        # from the documents' candidate sets is wasteful, so we reach into the
-        # internal postings mapping deliberately (single-package coupling).
-        return self._index._postings.keys()  # noqa: SLF001
+    def _ensure_current(self) -> None:
+        """Refit if the index has changed since the last :meth:`fit`."""
+        if self._fitted_revision != self._index.revision:
+            self.fit()
+
+    def posting_doc_ids(self, token: str) -> tuple[str, ...]:
+        """Document ids containing a token, in posting order (precomputed)."""
+        self._ensure_current()
+        return self._posting_doc_ids.get(token, ())
+
+    def weighted_postings(self, token: str) -> tuple[tuple[str, float], ...]:
+        """Precomputed ``(doc_id, tf-idf weight)`` postings for a token."""
+        self._ensure_current()
+        return self._weighted_postings.get(token, ())
 
     # -- scoring ---------------------------------------------------------------
 
     def query_vector(self, text: str) -> dict[str, float]:
         """The IDF-weighted query vector for a text."""
+        self._ensure_current()
         counts = Counter(tokenize(text))
-        vector = {}
-        for token, frequency in counts.items():
-            weight = (1.0 + math.log(frequency)) * self.inverse_document_frequency(token)
-            vector[token] = weight
-        return vector
+        if not len(self._index):
+            return {token: 0.0 for token in counts}
+        idf_table = self._idf
+        default_idf = self._default_idf
+        return {
+            token: (1.0 + math.log(frequency)) * idf_table.get(token, default_idf)
+            for token, frequency in counts.items()
+        }
 
     def score(self, text: str, min_score: float = 0.0) -> list[tuple[str, float]]:
         """Cosine scores of all candidate documents for a query text.
@@ -90,23 +144,23 @@ class TfIdfModel:
         doc id for determinism.  Documents sharing no token with the query are
         never returned.
         """
-        if not self._norms and len(self._index):
-            self.fit()
+        self._ensure_current()
         query = self.query_vector(text)
         if not query:
             return []
         query_norm = math.sqrt(sum(weight * weight for weight in query.values()))
         if query_norm == 0.0:
             return []
-        candidates = self._index.candidates(query.keys())
+        dots: dict[str, float] = {}
+        weighted_postings = self._weighted_postings
+        for token in set(query):
+            query_weight = query[token]
+            for doc_id, doc_weight in weighted_postings.get(token, ()):
+                dots[doc_id] = dots.get(doc_id, 0.0) + doc_weight * query_weight
+        norms = self._norms
         scores: list[tuple[str, float]] = []
-        for doc_id, token_counts in candidates.items():
-            dot = 0.0
-            for token, term_frequency in token_counts.items():
-                idf = self.inverse_document_frequency(token)
-                doc_weight = self._document_weight(term_frequency) * idf
-                dot += doc_weight * query[token]
-            score = dot / (self.document_norm(doc_id) * query_norm)
+        for doc_id, dot in dots.items():
+            score = dot / (norms[doc_id] * query_norm)
             if score > min_score:
                 scores.append((doc_id, score))
         scores.sort(key=lambda pair: (-pair[1], pair[0]))

@@ -1,0 +1,36 @@
+"""Shared helper for the exactness test suites (not collected by pytest)."""
+
+from __future__ import annotations
+
+
+def association_signature(association):
+    """A fully comparable projection of a :class:`SystemAssociation`.
+
+    Captures component order, attribute order, match partition per record
+    class, match order, identifiers, and scores -- everything the golden
+    equivalence tests must prove identical between engine variants.
+    """
+    return [
+        (
+            component_association.component.name,
+            [
+                (
+                    attribute_match.attribute,
+                    [
+                        (match.identifier, match.kind, match.score)
+                        for match in attribute_match.attack_patterns
+                    ],
+                    [
+                        (match.identifier, match.kind, match.score)
+                        for match in attribute_match.weaknesses
+                    ],
+                    [
+                        (match.identifier, match.kind, match.score)
+                        for match in attribute_match.vulnerabilities
+                    ],
+                )
+                for attribute_match in component_association.attribute_matches
+            ],
+        )
+        for component_association in association.components
+    ]

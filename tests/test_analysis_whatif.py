@@ -3,6 +3,7 @@
 from repro.analysis.whatif import WhatIfStudy
 from repro.casestudies.centrifuge import build_centrifuge_model, hardened_workstation_variant
 from repro.graph.attributes import Attribute, Fidelity
+from repro.graph.model import Component
 from repro.graph.refinement import swap_attribute
 
 
@@ -68,3 +69,49 @@ def test_component_deltas_cover_all_shared_components(engine, centrifuge_model):
     assert {delta.name for delta in comparison.component_deltas} == set(
         centrifuge_model.component_names()
     )
+
+
+def test_rename_surfaces_added_and_removed_components(engine):
+    baseline = build_centrifuge_model()
+    renamed = baseline.copy("renamed-variant")
+    workstation = renamed.component("Programming WS")
+    renamed.remove_component("Programming WS")
+    renamed.add_component(
+        Component(
+            name="Engineering Laptop",
+            kind=workstation.kind,
+            attributes=workstation.attributes,
+            description=workstation.description,
+        )
+    )
+    comparison = WhatIfStudy(engine).compare(baseline, renamed)
+    assert comparison.added_components == ("Engineering Laptop",)
+    assert comparison.removed_components == ("Programming WS",)
+    assert comparison.component_set_changed
+    # The delta table still only covers shared components.
+    assert "Programming WS" not in {d.name for d in comparison.component_deltas}
+
+
+def test_unchanged_component_sets_report_no_additions(engine):
+    baseline = build_centrifuge_model()
+    comparison = WhatIfStudy(engine).compare(baseline, baseline.copy())
+    assert comparison.added_components == ()
+    assert comparison.removed_components == ()
+    assert not comparison.component_set_changed
+
+
+def test_sweep_rescored_only_changed_components(engine):
+    baseline = build_centrifuge_model()
+    variants = {
+        "hardened-ws": hardened_workstation_variant(baseline),
+        "identical": baseline.copy(),
+    }
+    before = engine.stats.snapshot()
+    WhatIfStudy(engine).sweep(baseline, variants)
+    after = engine.stats.snapshot()
+    scored = after["components_scored"] - before["components_scored"]
+    reused = after["components_reused"] - before["components_reused"]
+    # Baseline: every component scored once.  hardened-ws: only the swapped
+    # workstation re-scored.  identical: nothing re-scored.
+    assert scored == len(baseline) + 1
+    assert reused == (len(baseline) - 1) + len(baseline)

@@ -106,3 +106,39 @@ def test_consequences_unknown_record(capsys):
     assert main(["consequences", "--record", "CWE-79", "--duration", "120"]) == 1
     out = capsys.readouterr().out
     assert "no executable scenario" in out
+
+
+def test_associate_with_snapshot_saves_then_loads(tmp_path, capsys):
+    snapshot = tmp_path / "index.json"
+    assert main(["associate", "--scale", "0.02", "--snapshot", str(snapshot)]) == 0
+    first = capsys.readouterr().out
+    assert snapshot.exists()
+    # Second run loads the snapshot and must print the identical report.
+    assert main(["associate", "--scale", "0.02", "--snapshot", str(snapshot)]) == 0
+    second = capsys.readouterr().out
+    assert second == first
+
+
+def test_stale_snapshot_is_rebuilt(tmp_path, capsys):
+    snapshot = tmp_path / "index.json"
+    assert main(["associate", "--scale", "0.02", "--snapshot", str(snapshot)]) == 0
+    reference = capsys.readouterr().out
+    # Re-using the snapshot at a different corpus scale must not poison the
+    # results: the mismatch is detected and the index rebuilt.
+    assert main(["associate", "--scale", "0.03", "--snapshot", str(snapshot)]) == 0
+    captured = capsys.readouterr()
+    assert "ignoring stale index snapshot" in captured.err
+    assert captured.out != reference
+    # The rebuilt snapshot now matches scale 0.03 and loads cleanly.
+    assert main(["associate", "--scale", "0.03", "--snapshot", str(snapshot)]) == 0
+    assert "ignoring stale" not in capsys.readouterr().err
+
+
+def test_snapshot_pointing_at_directory_degrades_gracefully(tmp_path, capsys):
+    # A directory is unreadable as a snapshot and unwritable as one; both
+    # failures must warn and fall back to an in-memory engine, not crash.
+    assert main(["associate", "--scale", "0.02", "--snapshot", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    assert "posture index" in captured.out.lower()
+    assert "ignoring stale index snapshot" in captured.err
+    assert "could not write index snapshot" in captured.err

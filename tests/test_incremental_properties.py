@@ -1,0 +1,210 @@
+"""Property-based tests (seeded-random generators) for the cached engine.
+
+Each property is exercised over many randomly generated -- but seeded, hence
+reproducible -- inputs:
+
+* cache-hit equals cache-miss: repeated and cache-disabled queries return
+  identical matches,
+* snapshot round-trip preserves the index postings and every TF-IDF score,
+* incremental ``reassociate`` equals full ``associate`` for arbitrary
+  single-component edits (attribute swap, addition, removal, rename, and
+  component add/remove).
+
+The generators use :class:`random.Random` with fixed seeds rather than an
+external property-testing framework so failures replay exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from helpers_equivalence import association_signature
+from repro.corpus.schema import RecordKind
+from repro.graph.attributes import Attribute, AttributeKind, Fidelity
+from repro.graph.model import Component, ComponentKind, SystemGraph
+from repro.search.engine import SearchEngine
+from repro.search.index import InvertedIndex
+from repro.search.tfidf import TfIdfModel
+
+WORDS = (
+    "buffer overflow kernel firewall modbus plc scada windows linux firmware "
+    "sensor actuator credential injection spoofing replay flooding telemetry "
+    "historian workstation gateway vpn portal authentication certificate"
+).split()
+
+
+def random_text(rng: random.Random, max_words: int = 12) -> str:
+    return " ".join(rng.choices(WORDS, k=rng.randint(1, max_words)))
+
+
+def random_index(rng: random.Random, documents: int) -> InvertedIndex:
+    index = InvertedIndex()
+    for number in range(documents):
+        index.add_document(f"DOC-{number}", random_text(rng))
+    return index
+
+
+# -- index / model invariants -------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_snapshot_round_trip_preserves_index_and_scores(seed):
+    rng = random.Random(seed)
+    index = random_index(rng, documents=rng.randint(1, 40))
+    restored = InvertedIndex.from_dict(index.to_dict())
+
+    assert restored.document_ids() == index.document_ids()
+    assert len(restored) == len(index)
+    assert restored.vocabulary_size == index.vocabulary_size
+    for token in index.tokens():
+        assert restored.postings(token) == index.postings(token)
+
+    model = TfIdfModel(index).fit()
+    restored_model = TfIdfModel(restored).fit()
+    for token in index.tokens():
+        assert restored_model.inverse_document_frequency(token) == (
+            model.inverse_document_frequency(token)
+        )
+    for doc_id in index.document_ids():
+        assert restored_model.document_norm(doc_id) == model.document_norm(doc_id)
+    for _ in range(20):
+        query = random_text(rng)
+        assert restored_model.score(query) == model.score(query)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_refit_after_adding_documents_matches_fresh_model(seed):
+    rng = random.Random(100 + seed)
+    index = random_index(rng, documents=10)
+    model = TfIdfModel(index).fit()
+    model.score(random_text(rng))  # populate the precomputed tables
+    index.add_document("DOC-LATE", random_text(rng))
+
+    fresh = TfIdfModel(index).fit()
+    for _ in range(10):
+        query = random_text(rng)
+        # The stale model must notice the revision change and refit.
+        assert model.score(query) == fresh.score(query)
+        assert model.query_vector(query) == fresh.query_vector(query)
+
+
+# -- cache-hit equals cache-miss ----------------------------------------------
+
+
+@pytest.mark.parametrize("scorer", ("coverage", "cosine", "jaccard"))
+def test_cache_hit_equals_cache_miss_on_random_queries(seed_only_corpus, scorer):
+    rng = random.Random(7)
+    cached = SearchEngine(seed_only_corpus, scorer=scorer)
+    uncached = SearchEngine(seed_only_corpus, scorer=scorer, enable_cache=False)
+    queries = [random_text(rng) for _ in range(15)]
+    # Duplicate queries so the second occurrence is a guaranteed cache hit.
+    queries.extend(queries[:5])
+    for query in queries:
+        for kind in RecordKind:
+            first = cached.match_text(query, kind, threshold=0.05)
+            again = cached.match_text(query, kind, threshold=0.05)
+            reference = uncached.match_text(query, kind, threshold=0.05)
+            assert first == again == reference
+    assert cached.stats.text_cache_hits > 0
+    assert uncached.stats.text_cache_hits == 0
+
+
+def test_cache_distinguishes_thresholds_and_kinds(seed_only_corpus):
+    engine = SearchEngine(seed_only_corpus)
+    loose = engine.match_text("windows buffer overflow", RecordKind.WEAKNESS, 0.05)
+    tight = engine.match_text("windows buffer overflow", RecordKind.WEAKNESS, 0.5)
+    assert len(tight) <= len(loose)
+    assert all(match.score >= 0.5 for match in tight)
+    patterns = engine.match_text("windows buffer overflow", RecordKind.ATTACK_PATTERN, 0.05)
+    assert {m.kind for m in patterns} <= {RecordKind.ATTACK_PATTERN}
+
+
+# -- incremental reassociate equals full associate ----------------------------
+
+
+def random_attribute(rng: random.Random) -> Attribute:
+    return Attribute(
+        name=random_text(rng, max_words=3),
+        kind=rng.choice(tuple(AttributeKind)),
+        fidelity=rng.choice(tuple(Fidelity)),
+        description=random_text(rng, max_words=6),
+    )
+
+
+def random_system(rng: random.Random) -> SystemGraph:
+    graph = SystemGraph(name=f"random-{rng.randint(0, 10**6)}")
+    for number in range(rng.randint(2, 6)):
+        graph.add_component(
+            Component(
+                name=f"component-{number}",
+                kind=rng.choice(tuple(ComponentKind)),
+                attributes=tuple(
+                    random_attribute(rng) for _ in range(rng.randint(0, 4))
+                ),
+                description=random_text(rng, max_words=5),
+            )
+        )
+    return graph
+
+
+def random_single_component_edit(rng: random.Random, graph: SystemGraph) -> SystemGraph:
+    variant = graph.copy(f"{graph.name}-variant")
+    target = rng.choice(variant.components)
+    operation = rng.choice(("swap", "add", "remove", "rename", "drop", "new"))
+    if operation == "swap" and target.attributes:
+        attributes = list(target.attributes)
+        attributes[rng.randrange(len(attributes))] = random_attribute(rng)
+        variant.replace_component(target.with_attributes(attributes))
+    elif operation == "add":
+        variant.replace_component(target.add_attributes(random_attribute(rng)))
+    elif operation == "remove" and target.attributes:
+        variant.replace_component(target.with_attributes(target.attributes[:-1]))
+    elif operation == "rename":
+        variant.remove_component(target.name)
+        variant.add_component(
+            Component(
+                name=f"{target.name}-renamed",
+                kind=target.kind,
+                attributes=target.attributes,
+                description=target.description,
+            )
+        )
+    elif operation == "drop" and len(variant) > 1:
+        variant.remove_component(target.name)
+    else:
+        variant.add_component(
+            Component(
+                name=f"component-new-{rng.randint(0, 10**6)}",
+                attributes=tuple(random_attribute(rng) for _ in range(rng.randint(0, 3))),
+            )
+        )
+    return variant
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_reassociate_equals_associate_for_random_edits(seed_only_corpus, seed):
+    rng = random.Random(1000 + seed)
+    engine = SearchEngine(seed_only_corpus)
+    reference = SearchEngine(seed_only_corpus, enable_cache=False)
+    baseline = random_system(rng)
+    baseline_association = engine.associate(baseline)
+    for _ in range(4):
+        variant = random_single_component_edit(rng, baseline)
+        incremental = engine.reassociate(baseline_association, variant)
+        full = reference.associate(variant)
+        assert association_signature(incremental) == association_signature(full)
+
+
+def test_reassociate_reuses_unchanged_components(seed_only_corpus):
+    rng = random.Random(42)
+    engine = SearchEngine(seed_only_corpus)
+    baseline = random_system(rng)
+    baseline_association = engine.associate(baseline)
+    variant = baseline.copy("identical")
+    before = engine.stats.snapshot()
+    engine.reassociate(baseline_association, variant)
+    after = engine.stats.snapshot()
+    assert after["components_scored"] == before["components_scored"]
+    assert after["components_reused"] == before["components_reused"] + len(baseline)

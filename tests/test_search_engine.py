@@ -172,3 +172,45 @@ def test_jaccard_scorer_mode(seed_only_corpus):
                           vulnerability_text_threshold=0.02)
     matches = engine.match_attribute(WINDOWS)
     assert matches.total > 0
+
+
+def test_warm_association_is_served_from_cache(small_corpus):
+    engine = SearchEngine(small_corpus)
+    first = engine.match_attribute(WINDOWS)
+    hits_before = engine.stats.attribute_cache_hits
+    second = engine.match_attribute(WINDOWS)
+    assert second is first  # cached AttributeMatches object, not a recompute
+    assert engine.stats.attribute_cache_hits == hits_before + 1
+    assert engine.cache_info()["attribute_entries"] >= 1
+
+
+def test_cache_can_be_disabled(small_corpus):
+    engine = SearchEngine(small_corpus, enable_cache=False)
+    first = engine.match_attribute(WINDOWS)
+    second = engine.match_attribute(WINDOWS)
+    assert first is not second
+    assert first == second
+    assert engine.cache_info() == {
+        "attribute_entries": 0, "text_entries": 0, "vulnerability_entries": 0,
+    }
+    assert engine.stats.attribute_cache_hits == 0
+
+
+def test_clear_caches_empties_every_table(small_corpus):
+    engine = SearchEngine(small_corpus)
+    engine.match_attribute(WINDOWS)
+    assert any(engine.cache_info().values())
+    engine.clear_caches()
+    assert not any(engine.cache_info().values())
+
+
+def test_stats_reset(small_corpus):
+    engine = SearchEngine(small_corpus)
+    engine.match_attribute(WINDOWS)
+    assert engine.stats.attribute_cache_misses > 0
+    engine.stats.reset()
+    assert engine.stats.snapshot() == {
+        "attribute_cache_hits": 0, "attribute_cache_misses": 0,
+        "text_cache_hits": 0, "text_cache_misses": 0,
+        "components_scored": 0, "components_reused": 0,
+    }

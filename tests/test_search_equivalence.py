@@ -1,0 +1,182 @@
+"""Golden equivalence tests for the cached/incremental/snapshot engine.
+
+The performance work on :mod:`repro.search` (precomputed TF-IDF vectors,
+attribute-level result caching, incremental re-association, index snapshots)
+is only admissible if it is *exact*: every optimized path must return the
+same ``SystemAssociation`` -- same identifiers, same scores, same ordering --
+as a fresh engine with caching disabled.  These tests pin that contract
+across all three scorers and both fidelity modes, on both case studies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers_equivalence import association_signature
+from repro.casestudies.centrifuge import build_centrifuge_model, hardened_workstation_variant
+from repro.casestudies.uav import build_uav_model
+from repro.search.engine import SCORERS, SearchEngine
+
+MODELS = {
+    "centrifuge": build_centrifuge_model,
+    "uav": build_uav_model,
+}
+
+
+@pytest.fixture(scope="module", params=SCORERS)
+def scorer(request):
+    return request.param
+
+
+@pytest.fixture(scope="module", params=(True, False), ids=("fidelity", "no-fidelity"))
+def fidelity_aware(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def engine_pair(small_corpus, scorer, fidelity_aware):
+    """A cached engine and its uncached reference, same configuration."""
+    cached = SearchEngine(small_corpus, scorer=scorer, fidelity_aware=fidelity_aware)
+    reference = SearchEngine(
+        small_corpus, scorer=scorer, fidelity_aware=fidelity_aware, enable_cache=False
+    )
+    return cached, reference
+
+
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+def test_cached_engine_equals_uncached_reference(engine_pair, model_name):
+    cached, reference = engine_pair
+    model = MODELS[model_name]()
+    cold = cached.associate(model)
+    warm = cached.associate(model)  # fully served from the caches
+    expected = association_signature(reference.associate(model))
+    assert association_signature(cold) == expected
+    assert association_signature(warm) == expected
+
+
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+def test_incremental_reassociate_equals_full_associate(engine_pair, model_name):
+    cached, reference = engine_pair
+    baseline = MODELS[model_name]()
+    variant = hardened_workstation_variant(baseline) if model_name == "centrifuge" else (
+        baseline.copy("uav-variant")
+    )
+    if model_name == "uav":
+        # Drop one component so the incremental path sees a structural edit.
+        variant.remove_component(variant.component_names()[-1])
+    baseline_association = cached.associate(baseline)
+    incremental = cached.reassociate(baseline_association, variant)
+    full = reference.associate(variant)
+    assert association_signature(incremental) == association_signature(full)
+    assert incremental.system is variant
+    assert incremental.scorer == cached.scorer
+
+
+def test_snapshot_loaded_engine_equals_built_engine(tmp_path, engine_pair, small_corpus,
+                                                    scorer, fidelity_aware):
+    cached, reference = engine_pair
+    path = cached.save_index_snapshot(tmp_path / "index.json")
+    loaded = SearchEngine.from_index_snapshot(
+        small_corpus, path, scorer=scorer, fidelity_aware=fidelity_aware
+    )
+    model = build_centrifuge_model()
+    assert association_signature(loaded.associate(model)) == association_signature(
+        reference.associate(model)
+    )
+
+
+def test_snapshot_rejects_mismatched_corpus(tmp_path, small_corpus, seed_only_corpus):
+    path = SearchEngine(small_corpus).save_index_snapshot(tmp_path / "index.json")
+    with pytest.raises(ValueError, match="does not match the corpus"):
+        SearchEngine.from_index_snapshot(seed_only_corpus, path)
+
+
+def test_snapshot_rejects_unknown_version(tmp_path, small_corpus):
+    path = tmp_path / "index.json"
+    path.write_text('{"version": 999}', encoding="utf-8")
+    with pytest.raises(ValueError, match="snapshot version"):
+        SearchEngine.from_index_snapshot(small_corpus, path)
+
+
+def test_snapshot_rejects_non_object_payload(tmp_path, small_corpus):
+    path = tmp_path / "index.json"
+    path.write_text("[1, 2, 3]", encoding="utf-8")
+    with pytest.raises(ValueError, match="JSON object"):
+        SearchEngine.from_index_snapshot(small_corpus, path)
+
+
+def test_snapshot_rejects_missing_record_class(tmp_path, small_corpus):
+    import json
+
+    engine = SearchEngine(small_corpus)
+    payload = engine.index_snapshot()
+    del payload["weakness"]
+    path = tmp_path / "index.json"
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    with pytest.raises(ValueError, match="missing the 'weakness' index"):
+        SearchEngine.from_index_snapshot(small_corpus, path)
+
+
+def test_malformed_posting_payloads_raise_value_error(small_corpus):
+    from repro.search.index import InvertedIndex
+
+    with pytest.raises(ValueError, match="outside the document table"):
+        InvertedIndex.from_dict(
+            {"documents": [["d1", 2]], "postings": {"tok": [[0, 5], [1, 1]]}}
+        )
+    with pytest.raises(ValueError, match="differ in length"):
+        InvertedIndex.from_dict(
+            {"documents": [["d1", 2]], "postings": {"tok": [[0], [1, 2]]}}
+        )
+    with pytest.raises(ValueError):
+        InvertedIndex.from_dict({"documents": "not-a-list-of-pairs"})
+    with pytest.raises(ValueError, match="malformed index snapshot"):
+        InvertedIndex.from_dict({"documents": [["d1", 2]], "postings": {"tok": 3}})
+
+
+def test_reassociate_rescores_in_full_on_scorer_drift(small_corpus):
+    model = build_centrifuge_model()
+    engine = SearchEngine(small_corpus, scorer="coverage")
+    baseline = engine.associate(model)
+    engine.scorer = "jaccard"
+    drifted = engine.reassociate(baseline, model.copy())
+    fresh = SearchEngine(
+        small_corpus, scorer="jaccard", enable_cache=False
+    ).associate(model)
+    assert drifted.scorer == "jaccard"
+    assert association_signature(drifted) == association_signature(fresh)
+
+
+def test_reassociate_rescores_in_full_on_threshold_drift(small_corpus):
+    model = build_centrifuge_model()
+    engine = SearchEngine(small_corpus)
+    baseline = engine.associate(model)
+    engine.pattern_threshold *= 2
+    drifted = engine.reassociate(baseline, model.copy())
+    fresh = SearchEngine(
+        small_corpus, pattern_threshold=engine.pattern_threshold, enable_cache=False
+    ).associate(model)
+    assert association_signature(drifted) == association_signature(fresh)
+
+
+def test_reassociate_without_recorded_config_rescores_in_full(small_corpus):
+    from repro.search.engine import SystemAssociation
+
+    model = build_centrifuge_model()
+    engine = SearchEngine(small_corpus)
+    # A hand-built baseline (engine_config=None) must never be trusted.
+    bare = SystemAssociation(system=model, components=(), scorer=engine.scorer)
+    rebuilt = engine.reassociate(bare, model.copy())
+    fresh = SearchEngine(small_corpus, enable_cache=False).associate(model)
+    assert association_signature(rebuilt) == association_signature(fresh)
+
+
+def test_snapshot_rejects_same_ids_different_texts(tmp_path, small_corpus):
+    from repro.corpus.store import CorpusStore
+
+    path = SearchEngine(small_corpus).save_index_snapshot(tmp_path / "index.json")
+    payload = small_corpus.to_dict()
+    payload["weaknesses"][0]["description"] += " freshly edited description"
+    edited_corpus = CorpusStore.from_dict(payload)
+    with pytest.raises(ValueError, match="does not match the corpus contents"):
+        SearchEngine.from_index_snapshot(edited_corpus, path)

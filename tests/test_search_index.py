@@ -74,3 +74,40 @@ def test_term_frequency_recorded():
     index.add_document("d", "linux linux kernel")
     posting = index.postings("linux")[0]
     assert posting.term_frequency == 2
+
+
+def test_tokens_iterates_full_vocabulary():
+    index = build_index()
+    tokens = list(index.tokens())
+    assert len(tokens) == index.vocabulary_size
+    assert "linux" in tokens and "kernel" in tokens
+    assert all(index.document_frequency(token) > 0 for token in tokens)
+
+
+def test_revision_increments_per_document():
+    index = InvertedIndex()
+    assert index.revision == 0
+    index.add_document("a", "one text")
+    index.add_document("b", "another text")
+    assert index.revision == 2
+
+
+def test_snapshot_round_trip_preserves_everything():
+    index = build_index()
+    restored = InvertedIndex.from_dict(index.to_dict())
+    assert restored.document_ids() == index.document_ids()
+    assert restored.vocabulary_size == index.vocabulary_size
+    assert list(restored.tokens()) == list(index.tokens())
+    for token in index.tokens():
+        assert restored.postings(token) == index.postings(token)
+    for doc_id in index.document_ids():
+        assert restored.document_length(doc_id) == index.document_length(doc_id)
+
+
+def test_snapshot_is_json_serializable():
+    import json
+
+    index = build_index()
+    payload = json.loads(json.dumps(index.to_dict()))
+    restored = InvertedIndex.from_dict(payload)
+    assert restored.document_ids() == index.document_ids()

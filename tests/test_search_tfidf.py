@@ -95,3 +95,43 @@ def test_score_without_explicit_fit_lazily_fits():
     index.add_document("d", "linux kernel overflow")
     model = TfIdfModel(index)
     assert model.score("linux")  # triggers the lazy fit path
+
+
+def test_fit_precomputes_idf_and_weighted_postings():
+    model = build_model()
+    for token in model.index.tokens():
+        doc_ids = model.posting_doc_ids(token)
+        weighted = model.weighted_postings(token)
+        assert doc_ids == tuple(doc_id for doc_id, _ in weighted)
+        assert all(weight > 0 for _, weight in weighted)
+    assert model.posting_doc_ids("zzzz") == ()
+    assert model.weighted_postings("zzzz") == ()
+
+
+def test_model_refits_when_index_grows():
+    index = InvertedIndex()
+    index.add_document("d1", "linux kernel overflow")
+    model = TfIdfModel(index).fit()
+    # "kernel" stays in one document while the collection grows, so its IDF
+    # must rise after the refit.
+    idf_before = model.inverse_document_frequency("kernel")
+    index.add_document("d2", "linux scheduler bug")
+    # The precomputed table is refreshed transparently on the next query.
+    assert model.score("linux")
+    idf_after = model.inverse_document_frequency("kernel")
+    assert idf_after > idf_before
+    assert model.document_norm("d2") > 0
+
+
+def test_document_norm_refreshes_after_index_growth():
+    index = InvertedIndex()
+    index.add_document("d1", "linux kernel overflow")
+    model = TfIdfModel(index).fit()
+    stale_norm = model.document_norm("d1")
+    index.add_document("d2", "linux scheduler bug")
+    # A fitted model refits transparently: the old document's norm reflects
+    # the new IDFs and the new document has a norm at all.
+    fresh = TfIdfModel(index).fit()
+    assert model.document_norm("d1") == fresh.document_norm("d1")
+    assert model.document_norm("d1") != stale_norm
+    assert model.document_norm("d2") == fresh.document_norm("d2")

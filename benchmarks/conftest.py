@@ -5,12 +5,19 @@ the Fig. 1 pipeline, or a claim made in Sections 2-3; see DESIGN.md's
 experiment index) and records the values it measured under
 ``benchmarks/results/`` so EXPERIMENTS.md can be checked against actual runs.
 
+Each recorded result produces two files: the human-readable ``<name>.txt``
+and a machine-readable ``<name>.json`` (schema: ``benchmark``, ``scale``,
+plus whatever structured ``data`` -- timings, record counts -- the benchmark
+passes), so the perf trajectory can be tracked across PRs by tooling instead
+of by parsing prose.
+
 The corpus scale defaults to the paper-equivalent 1.0 (about 22k synthetic
 vulnerabilities); set ``CPSEC_BENCH_SCALE`` to a smaller value for quick runs.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -18,7 +25,11 @@ import pytest
 
 from repro.casestudies.centrifuge import build_centrifuge_model
 from repro.corpus.synthesis import build_corpus
+from repro.ioutils import atomic_write_text
 from repro.search.engine import SearchEngine
+
+#: Schema version of the JSON result files.
+RESULT_SCHEMA_VERSION = 1
 
 #: Corpus scale used by the benchmarks (1.0 = paper-scale populations).
 BENCH_SCALE = float(os.environ.get("CPSEC_BENCH_SCALE", "1.0"))
@@ -65,12 +76,28 @@ def centrifuge_association(engine, centrifuge_model):
 
 @pytest.fixture(scope="session")
 def record_result():
-    """Write a named result artifact under ``benchmarks/results/``."""
+    """Write a named result artifact under ``benchmarks/results/``.
+
+    Emits ``<name>.txt`` with the human-readable content and ``<name>.json``
+    with ``{"schema_version", "benchmark", "scale", ...data}``; pass
+    structured measurements (timings in seconds, record counts) via ``data``.
+    Both files are written atomically.
+    """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
 
-    def _record(name: str, content: str) -> Path:
+    def _record(name: str, content: str, data: dict | None = None) -> Path:
         path = RESULTS_DIR / f"{name}.txt"
-        path.write_text(content + "\n", encoding="utf-8")
+        atomic_write_text(path, content + "\n")
+        payload = {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "benchmark": name,
+            "scale": BENCH_SCALE,
+            **(data or {}),
+        }
+        atomic_write_text(
+            RESULTS_DIR / f"{name}.json",
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        )
         print(f"\n[{name}]\n{content}\n")
         return path
 

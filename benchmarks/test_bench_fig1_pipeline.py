@@ -43,7 +43,19 @@ def test_fig1_pipeline(benchmark, corpus, bench_scale, record_result):
         "",
         render_posture_report(association, metrics),
     ]
-    record_result("fig1_pipeline", "\n".join(lines))
+    record_result(
+        "fig1_pipeline",
+        "\n".join(lines),
+        data={
+            "record_counts": {
+                "components": len(association.components),
+                "attack_patterns": totals[RecordKind.ATTACK_PATTERN],
+                "weaknesses": totals[RecordKind.WEAKNESS],
+                "vulnerabilities": totals[RecordKind.VULNERABILITY],
+                "total": association.total,
+            },
+        },
+    )
 
     # The merged artifact must exist for every component and be "large" --
     # the paper's motivation for filtering.

@@ -26,12 +26,14 @@ def measure(scale, tmp_dir):
     # Earlier benchmarks leave millions of live objects in session fixtures;
     # collector sweeps triggered by allocation-heavy phases would otherwise
     # dominate these single-sample timings.
+    gc_was_enabled = gc.isenabled()
     gc.collect()
     gc.disable()
     try:
         return _measure(scale, tmp_dir)
     finally:
-        gc.enable()
+        if gc_was_enabled:
+            gc.enable()
 
 
 def _measure(scale, tmp_dir):
@@ -116,7 +118,27 @@ def test_search_scaling(benchmark, bench_scale, record_result, tmp_path):
          "Warm assoc [s]", "Snapshot load [s]", "Associated records"),
         rows,
     )
-    record_result("search_scaling", table)
+    record_result(
+        "search_scaling",
+        table,
+        data={
+            "measurements": [
+                {
+                    "scale": scale,
+                    "record_counts": {
+                        "corpus": result["records"],
+                        "associated": result["total"],
+                    },
+                    "timings": {
+                        key: result[key]
+                        for key in ("corpus_time", "index_time", "cold_time",
+                                    "warm_time", "save_time", "load_time")
+                    },
+                }
+                for scale, result in measured
+            ],
+        },
+    )
 
     for _, result in measured:
         # Association stays interactive (well under a minute) even at full

@@ -62,7 +62,21 @@ def test_whatif_comparison(benchmark, engine, bench_scale, record_result):
         "",
         render_whatif(worsened_cmp),
     ]
-    record_result("whatif", "\n".join(lines))
+    record_result(
+        "whatif",
+        "\n".join(lines),
+        data={
+            "record_counts": {
+                "baseline_total": improved_cmp.baseline_total,
+                "hardened_ws_total": improved_cmp.variant_total,
+                "smart_transmitter_total": worsened_cmp.variant_total,
+            },
+            "incremental": {
+                "components_scored": scored,
+                "components_reused": reused,
+            },
+        },
+    )
 
     # The sweep is incremental: the baseline is scored in full, then each of
     # the two variants re-scores only its single changed component.

@@ -49,6 +49,7 @@ from repro.corpus import CorpusStore, build_corpus, seed_corpus
 from repro.cps import HazardMonitor, ScadaSimulation
 from repro.graph import SystemGraph, read_graphml, write_graphml
 from repro.search import FilterPipeline, SearchEngine, find_exploit_chains
+from repro.workspace import Workspace
 
 __version__ = "1.0.0"
 
@@ -63,6 +64,7 @@ __all__ = [
     "SearchEngine",
     "FilterPipeline",
     "find_exploit_chains",
+    "Workspace",
     "PostureMetrics",
     "compute_posture",
     "WhatIfStudy",

@@ -11,12 +11,16 @@ better security posture."
 :class:`WhatIfStudy` re-runs the association for each architectural variant
 and compares posture metrics component by component.
 
-The association step is incremental: variants are scored through
-:meth:`repro.search.engine.SearchEngine.reassociate`, which reuses the
-baseline's per-component results for every component whose attribute set is
-unchanged.  A typical what-if edit touches one component of seven, so the
-sweep pays roughly 1/7th of a full association per variant -- with results
-identical to a full re-run (the equivalence tests enforce this).
+The association step is incremental and batched: single comparisons go
+through :meth:`repro.search.engine.SearchEngine.reassociate`, which reuses
+the baseline's per-component results for every component whose attribute set
+is unchanged, and :meth:`WhatIfStudy.sweep` scores all variants in one
+:meth:`repro.search.engine.SearchEngine.associate_many` batch, so every
+*distinct* edited component across the whole sweep is scored exactly once.
+A typical what-if edit touches one component of seven, so the sweep pays for
+the edits, not the copies -- with results identical to a full re-run (the
+equivalence tests enforce this).  Setting ``workers`` fans the scoring of
+edited components out across a thread pool without changing a single score.
 
 Components that exist in only one of the two architectures are surfaced as
 :attr:`WhatIfComparison.added_components` / ``removed_components`` so that a
@@ -99,13 +103,19 @@ class WhatIfComparison:
 
 @dataclass
 class WhatIfStudy:
-    """Runs what-if comparisons against a fixed corpus/search configuration."""
+    """Runs what-if comparisons against a fixed corpus/search configuration.
+
+    ``workers`` is forwarded to every engine association call; any value
+    returns bit-identical comparisons (the parallel merge is deterministic),
+    larger values only change wall-clock time.
+    """
 
     engine: SearchEngine
+    workers: int = 1
 
     def associate(self, graph: SystemGraph) -> SystemAssociation:
         """Associate one architecture (exposed for callers that need the raw artifact)."""
-        return self.engine.associate(graph)
+        return self.engine.associate(graph, workers=self.workers)
 
     def reassociate(
         self, baseline_association: SystemAssociation, variant: SystemGraph
@@ -116,7 +126,9 @@ class WhatIfStudy:
         whose attribute set differs from the same-named baseline component are
         re-scored; the result is identical to a full :meth:`associate`.
         """
-        return self.engine.reassociate(baseline_association, variant)
+        return self.engine.reassociate(
+            baseline_association, variant, workers=self.workers
+        )
 
     def compare(self, baseline: SystemGraph, variant: SystemGraph) -> WhatIfComparison:
         """Associate both architectures and compare their postures."""
@@ -172,15 +184,16 @@ class WhatIfStudy:
     ) -> dict[str, WhatIfComparison]:
         """Compare several named variants against one baseline.
 
-        The baseline is associated once; every variant is then scored through
-        the incremental :meth:`reassociate` path, so unchanged components are
-        never re-scored.
+        The baseline is associated once; all variants are then scored in one
+        :meth:`SearchEngine.associate_many` batch against it, so unchanged
+        components are never re-scored and a component shared by several
+        variants is scored at most once for the whole sweep.
         """
-        baseline_association = self.engine.associate(baseline)
-        results = {}
-        for name, variant in variants.items():
-            variant_association = self.reassociate(baseline_association, variant)
-            results[name] = self.compare_associations(
-                baseline_association, variant_association
-            )
-        return results
+        baseline_association = self.engine.associate(baseline, workers=self.workers)
+        associations = self.engine.associate_many(
+            variants.values(), workers=self.workers, baseline=baseline_association
+        )
+        return {
+            name: self.compare_associations(baseline_association, association)
+            for name, association in zip(variants, associations)
+        }

@@ -13,9 +13,20 @@ exposes the reproduction's pipeline the same way::
 All commands are offline and deterministic; ``--scale`` controls the size of
 the synthetic corpus (1.0 reproduces paper-scale populations).
 
-Search commands accept ``--snapshot PATH``: the first run saves the tokenized
-index there, later runs load it and skip the index rebuild (results are
-identical either way; a snapshot that does not match the corpus is rebuilt).
+Search commands accept two artifact options and a parallelism knob:
+
+* ``--workspace PATH`` -- the first run builds the corpus and engine, then
+  saves the whole prepared bundle (corpus JSON + index snapshots + engine
+  configuration) in one file; later runs load it and skip corpus synthesis
+  *and* the index rebuild, which makes a paper-scale cold start sub-second,
+* ``--snapshot PATH`` -- the lighter PR-1 artifact: only the tokenized
+  indexes are persisted and the corpus is still regenerated,
+* ``--workers N`` -- fans per-component association scoring across a thread
+  pool.
+
+Results are identical with or without any of these; an artifact that does
+not match the requested corpus is rebuilt (and overwritten) rather than
+trusted.
 """
 
 from __future__ import annotations
@@ -43,6 +54,7 @@ from repro.cps.scada import ScadaSimulation
 from repro.graph.graphml import read_graphml, write_graphml
 from repro.graph.validation import validate_model
 from repro.search.engine import SearchEngine
+from repro.workspace import Workspace
 
 
 def _load_model(path: str | None):
@@ -51,9 +63,46 @@ def _load_model(path: str | None):
     return build_centrifuge_model()
 
 
+def _workspace_engine(scale: float, scorer: str, workspace: str) -> SearchEngine:
+    """Load (or build and save) a one-file workspace artifact."""
+    path = Path(workspace)
+    if path.exists():
+        try:
+            loaded = Workspace.load(path)
+            if loaded.matches(scale=scale):
+                return loaded.engine(scorer=scorer)
+            print(
+                "ignoring workspace artifact built with different parameters",
+                file=sys.stderr,
+            )
+        except (ValueError, OSError) as error:
+            # Any malformed, mismatched, or unreadable artifact falls back to
+            # a rebuild (which overwrites the bad file below).
+            print(f"ignoring stale workspace artifact: {error}", file=sys.stderr)
+    built = Workspace.build(scale=scale, scorer=scorer)
+    try:
+        built.save(path)
+    except OSError as error:
+        print(f"could not write workspace artifact: {error}", file=sys.stderr)
+    # Returns the engine the workspace was just built from -- nothing is
+    # tokenized or fitted twice.
+    return built.engine(scorer=scorer)
+
+
 def _engine(
-    scale: float, scorer: str = "coverage", snapshot: str | None = None
+    scale: float,
+    scorer: str = "coverage",
+    snapshot: str | None = None,
+    workspace: str | None = None,
 ) -> SearchEngine:
+    if workspace:
+        if snapshot:
+            print(
+                "--snapshot is ignored when --workspace is given "
+                "(the workspace bundles the index)",
+                file=sys.stderr,
+            )
+        return _workspace_engine(scale, scorer, workspace)
     corpus = build_corpus(scale=scale)
     if snapshot:
         path = Path(snapshot)
@@ -93,16 +142,16 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 def _cmd_associate(args: argparse.Namespace) -> int:
     model = _load_model(args.model)
-    engine = _engine(args.scale, args.scorer, args.snapshot)
-    association = engine.associate(model)
+    engine = _engine(args.scale, args.scorer, args.snapshot, args.workspace)
+    association = engine.associate(model, workers=args.workers)
     print(render_posture_report(association))
     return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     model = _load_model(args.model)
-    engine = _engine(args.scale, args.scorer, args.snapshot)
-    association = engine.associate(model)
+    engine = _engine(args.scale, args.scorer, args.snapshot, args.workspace)
+    association = engine.associate(model, workers=args.workers)
     print(render_table1(association))
     return 0
 
@@ -110,7 +159,10 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_whatif(args: argparse.Namespace) -> int:
     baseline = _load_model(args.model)
     variant = hardened_workstation_variant(baseline)
-    study = WhatIfStudy(_engine(args.scale, args.scorer, args.snapshot))
+    study = WhatIfStudy(
+        _engine(args.scale, args.scorer, args.snapshot, args.workspace),
+        workers=args.workers,
+    )
     comparison = study.compare(baseline, variant)
     print(render_whatif(comparison))
     return 0
@@ -148,8 +200,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_chains(args: argparse.Namespace) -> int:
     model = _load_model(args.model)
-    engine = _engine(args.scale, args.scorer, args.snapshot)
-    association = engine.associate(model)
+    engine = _engine(args.scale, args.scorer, args.snapshot, args.workspace)
+    association = engine.associate(model, workers=args.workers)
     chains = find_exploit_chains(association, args.target, max_length=args.max_length)
     if not chains:
         print(f"no exploit chains reach {args.target!r}")
@@ -185,8 +237,8 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 def _cmd_recommend(args: argparse.Namespace) -> int:
     model = _load_model(args.model)
-    engine = _engine(args.scale, args.scorer, args.snapshot)
-    association = engine.associate(model)
+    engine = _engine(args.scale, args.scorer, args.snapshot, args.workspace)
+    association = engine.associate(model, workers=args.workers)
     recommendations = recommend(association, engine.corpus, per_component=args.per_component)
     if not recommendations:
         print("no recommendations derived from the association")
@@ -228,6 +280,8 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--scale", type=float, default=0.1, help="synthetic corpus scale (1.0 = paper scale)")
         sub.add_argument("--scorer", default="coverage", choices=("coverage", "cosine", "jaccard"))
         sub.add_argument("--snapshot", default=None, help="index snapshot path (created on first run, loaded afterwards)")
+        sub.add_argument("--workspace", default=None, help="one-file workspace artifact path (created on first run; later runs skip corpus synthesis and index builds)")
+        sub.add_argument("--workers", type=int, default=1, help="thread-pool fan-out for association scoring (results are identical for any value)")
 
     associate = subparsers.add_parser("associate", help="associate attack vectors with a model")
     add_search_options(associate)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 _AV = {"N": 0.85, "A": 0.62, "L": 0.55, "P": 0.2}
 _AC = {"L": 0.77, "H": 0.44}
@@ -54,7 +55,17 @@ class CvssVector:
 
     @classmethod
     def parse(cls, vector: str) -> "CvssVector":
-        """Parse a ``CVSS:3.1/AV:N/AC:L/...`` vector string."""
+        """Parse a ``CVSS:3.1/AV:N/AC:L/...`` vector string.
+
+        Parsed vectors are cached per input string: real-world feeds repeat a
+        small set of base vectors tens of thousands of times, so corpus
+        synthesis and deserialization share one immutable instance per
+        distinct vector instead of re-validating each occurrence.
+        """
+        return _parse_cached(vector)
+
+    @classmethod
+    def _parse(cls, vector: str) -> "CvssVector":
         parts = [p for p in vector.strip().split("/") if p]
         metrics: dict[str, str] = {}
         for part in parts:
@@ -94,8 +105,8 @@ class CvssVector:
         return self.scope == "C"
 
     def base_score(self) -> float:
-        """The CVSS v3.1 base score in [0.0, 10.0]."""
-        return cvss_base_score(self)
+        """The CVSS v3.1 base score in [0.0, 10.0] (cached per vector)."""
+        return _base_score_cached(self)
 
     def severity(self) -> str:
         """The qualitative severity rating of the base score."""
@@ -105,6 +116,16 @@ class CvssVector:
     def network_exploitable(self) -> bool:
         """Whether the vulnerability is exploitable over a network."""
         return self.attack_vector in {"N", "A"}
+
+
+@lru_cache(maxsize=4096)
+def _parse_cached(vector: str) -> "CvssVector":
+    return CvssVector._parse(vector)
+
+
+@lru_cache(maxsize=4096)
+def _base_score_cached(vector: CvssVector) -> float:
+    return cvss_base_score(vector)
 
 
 def cvss_base_score(vector: CvssVector) -> float:

@@ -13,6 +13,7 @@ from collections.abc import Iterable, Iterator
 from pathlib import Path
 
 from repro.corpus.cvss import CvssVector
+from repro.ioutils import atomic_write_text
 from repro.corpus.schema import (
     Abstraction,
     AttackPattern,
@@ -272,10 +273,12 @@ class CorpusStore:
         return store
 
     def save(self, path: str | Path) -> Path:
-        """Write the corpus to a JSON file and return the path."""
-        path = Path(path)
-        path.write_text(json.dumps(self.to_dict()), encoding="utf-8")
-        return path
+        """Atomically write the corpus to a JSON file and return the path.
+
+        The payload lands via write-temp-then-rename, so an interrupted save
+        leaves the previous file intact rather than a truncated one.
+        """
+        return atomic_write_text(path, json.dumps(self.to_dict()))
 
     @classmethod
     def load(cls, path: str | Path) -> "CorpusStore":

@@ -587,3 +587,27 @@ def build_corpus(scale: float = 1.0, seed: int = 7, include_background: bool = T
         scale=scale, seed=seed, include_background=include_background
     )
     return builder.build(include_seed=True)
+
+
+#: Bump whenever the synthetic generator's *output* changes for identical
+#: parameters (new profiles/themes/templates, tokenization-relevant text
+#: edits, seed-corpus changes).  Saved workspace artifacts record it, so an
+#: artifact generated by older synthesis code stops matching and is rebuilt
+#: instead of silently serving a stale corpus.
+SYNTHESIS_VERSION = 1
+
+
+def build_params(scale: float = 1.0, seed: int = 7, include_background: bool = True) -> dict:
+    """The JSON-serializable generation parameters of :func:`build_corpus`.
+
+    Workspace artifacts (:mod:`repro.workspace`) record these so that a saved
+    artifact can be matched against the parameters a CLI run asks for --
+    generation is deterministic, so equal parameters (including the
+    :data:`SYNTHESIS_VERSION` of the generator itself) mean an equal corpus.
+    """
+    return {
+        "scale": scale,
+        "seed": seed,
+        "include_background": include_background,
+        "synthesis_version": SYNTHESIS_VERSION,
+    }

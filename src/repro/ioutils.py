@@ -1,0 +1,65 @@
+"""Atomic file-write helpers shared by every artifact writer.
+
+Corpus stores, index snapshots, workspace artifacts, and benchmark result
+files are all written through :func:`atomic_write_bytes`: the payload goes to
+a temporary file in the destination directory first and is moved into place
+with :func:`os.replace`, which is atomic on POSIX and Windows.  An
+interrupted run can therefore never leave a half-written artifact behind --
+readers see either the previous complete file or the new complete file.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def _create_temp_beside(path: Path) -> tuple[int, str]:
+    """Open an exclusive temp file next to ``path`` with umask-default mode.
+
+    The 0o666 creation mode lets the kernel apply the process umask, so the
+    final artifact gets the same permissions a plain ``open()``-and-write
+    would have produced -- without mkstemp's 0600 or any umask round trip
+    (which would momentarily zero the process umask for every thread).
+    """
+    directory = path.parent if str(path.parent) else Path(".")
+    while True:
+        temp_name = str(
+            directory / f"{path.name}.{os.getpid()}.{os.urandom(4).hex()}.tmp"
+        )
+        try:
+            return (
+                os.open(temp_name, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o666),
+                temp_name,
+            )
+        except FileExistsError:  # pragma: no cover - 32-bit random collision
+            continue
+
+
+def atomic_write_bytes(path: str | Path, payload: bytes) -> Path:
+    """Write ``payload`` to ``path`` atomically; returns the path.
+
+    The temporary file is created next to the destination (same filesystem,
+    so the final rename cannot degrade to a copy) and is removed on any
+    failure between creation and rename.
+    """
+    path = Path(path)
+    descriptor, temp_name = _create_temp_beside(path)
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> Path:
+    """Write ``text`` to ``path`` atomically; returns the path."""
+    return atomic_write_bytes(path, text.encode(encoding))

@@ -1,0 +1,69 @@
+"""Bounded, thread-safe LRU cache for engine result memoization.
+
+The search engine memoizes per-attribute and per-text match results; one
+analyst session over one model needs a few hundred entries, but a long-lived
+service scoring many models (the multi-analyst dashboard workload) would grow
+an unbounded dict forever.  :class:`LruCache` bounds each result cache with a
+least-recently-used eviction policy.
+
+Eviction changes *speed only, never results*: a re-queried evicted key is
+recomputed from the immutable precomputed index arrays and yields the exact
+same value it had before eviction (the equivalence suite pins this).
+
+All operations take an internal lock, so the cache is safe under the
+``workers=N`` parallel association fan-out.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+
+class LruCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of entries kept; ``None`` means unbounded (the cache
+        then degenerates to a locked dict and never evicts).
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self.evictions = 0
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value (marking it most recently used), or ``None``."""
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                self._data.move_to_end(key)
+            return value
+
+    def put(self, key: Hashable, value: Any) -> int:
+        """Store a value; returns the number of entries evicted (0 or 1)."""
+        evicted = 0
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._data) > self.max_entries:
+                    self._data.popitem(last=False)
+                    evicted += 1
+            self.evictions += evicted
+        return evicted
+
+    def clear(self) -> None:
+        """Drop every entry (the eviction counter is kept)."""
+        with self._lock:
+            self._data.clear()

@@ -22,29 +22,42 @@ hardware platforms will relate more closely to vulnerability instances":
 
 The engine is built for the dashboard's interactive what-if loop (Section 3):
 
-* scoring uses the TF-IDF vectors precomputed at index-build time, so no IDF
-  is recomputed per candidate per query,
+* scoring runs over flat contiguous arrays precomputed at index-build time
+  (positional postings, dense weight vectors, per-record match prototypes),
+  so no IDF, CVSS score, or record lookup is recomputed per candidate per
+  query,
 * results are cached per attribute and per ``(text, kind, scorer, threshold)``
-  -- identical attributes recur across components (e.g. the SIS and BPCS
-  platforms both run Windows 7), so a warm :meth:`SearchEngine.associate` call
-  is orders of magnitude faster than a cold one while returning identical
-  results,
+  in bounded, thread-safe LRU caches -- identical attributes recur across
+  components (e.g. the SIS and BPCS platforms both run Windows 7), so a warm
+  :meth:`SearchEngine.associate` call is orders of magnitude faster than a
+  cold one while returning identical results,
+* :meth:`SearchEngine.associate` fans component scoring out across a thread
+  pool (``workers=N``) with an order-preserving merge, and
+  :meth:`SearchEngine.associate_many` batches several systems while scoring
+  every distinct component exactly once,
 * :meth:`SearchEngine.reassociate` re-scores only the components whose
   attribute set changed relative to a baseline association and reuses the
   baseline's :class:`ComponentAssociation` objects otherwise,
 * :meth:`SearchEngine.save_index_snapshot` /
-  :meth:`SearchEngine.from_index_snapshot` persist the tokenized indexes so
-  repeated CLI or benchmark runs skip the index rebuild.
+  :meth:`SearchEngine.from_index_snapshot` persist the tokenized indexes, and
+  :meth:`SearchEngine.from_prepared` rebuilds a full engine from a workspace
+  artifact (see :mod:`repro.workspace`) without touching corpus records until
+  something actually needs them.
 
-All of these are exact optimizations: the cached, incremental, and
-snapshot-loaded paths return bit-identical associations to a fresh, uncached
-engine (enforced by the equivalence test suite).
+All of these are exact optimizations: the cached, incremental, parallel, and
+artifact-loaded paths return bit-identical associations to a fresh, uncached,
+serial engine (enforced by the equivalence test suite).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
@@ -58,6 +71,8 @@ from repro.corpus.schema import (
 from repro.corpus.store import CorpusStore
 from repro.graph.attributes import Attribute
 from repro.graph.model import Component, SystemGraph
+from repro.ioutils import atomic_write_text
+from repro.search.cache import LruCache
 from repro.search.index import InvertedIndex
 from repro.search.text import jaccard_similarity, tokenize
 from repro.search.tfidf import TfIdfModel
@@ -68,13 +83,19 @@ SCORERS = ("coverage", "cosine", "jaccard")
 #: Snapshot format version; bump when the payload layout changes.
 SNAPSHOT_VERSION = 1
 
+#: Default bound on each result cache (entries, not bytes).  One analyst
+#: session needs a few hundred entries; the bound only matters for long-lived
+#: multi-model services.
+DEFAULT_MAX_CACHE_ENTRIES = 65536
+
 
 def _corpus_fingerprint(corpus: CorpusStore) -> str:
     """Content hash of every (identifier, text) pair, per record class.
 
-    Stored in index snapshots so that a snapshot whose tokenized postings no
-    longer match the corpus *texts* (not just the identifier set) is rejected
-    instead of silently scoring against stale tokenization.
+    Stored in index snapshots and workspace artifacts so that a payload whose
+    tokenized postings no longer match the corpus *texts* (not just the
+    identifier set) is rejected instead of silently scoring against stale
+    tokenization.
     """
     digest = hashlib.sha256()
     for kind in RecordKind:
@@ -86,13 +107,86 @@ def _corpus_fingerprint(corpus: CorpusStore) -> str:
     return digest.hexdigest()
 
 
+_SWITCH_LOCK = threading.Lock()
+_SWITCH_DEPTH = 0
+_SAVED_SWITCH_INTERVAL = 0.0
+
+
+@contextmanager
+def _fast_thread_switching():
+    """Temporarily shorten the GIL switch interval around a thread pool.
+
+    Scoring tasks interleave short pure-Python stretches with numpy sections
+    that release the GIL; under the default 5 ms switch interval a CPU-bound
+    thread convoys the others and a pool runs *slower* than the serial loop.
+    A sub-millisecond interval restores fair interleaving for the duration of
+    the fan-out.
+
+    The interval is process-global state, so overlapping fan-outs (several
+    engines serving concurrent requests) are reference-counted: the first
+    entry saves and shortens, the last exit restores, and nobody restores
+    while another fan-out is still running.
+    """
+    global _SWITCH_DEPTH, _SAVED_SWITCH_INTERVAL
+    with _SWITCH_LOCK:
+        if _SWITCH_DEPTH == 0:
+            _SAVED_SWITCH_INTERVAL = sys.getswitchinterval()
+            sys.setswitchinterval(0.0005)
+        _SWITCH_DEPTH += 1
+    try:
+        yield
+    finally:
+        with _SWITCH_LOCK:
+            _SWITCH_DEPTH -= 1
+            if _SWITCH_DEPTH == 0:
+                sys.setswitchinterval(_SAVED_SWITCH_INTERVAL)
+
+
+def _record_proto(record: AttackVectorRecord) -> dict:
+    """The static :class:`Match` fields of one record, precomputed once.
+
+    Packing the non-score fields per record at build time removes the
+    per-match isinstance chain and the CVSS base-score recomputation that
+    used to dominate cold association.  The dict doubles as the
+    ``__dict__`` template for the fast :class:`Match` constructor in
+    :meth:`SearchEngine._to_match`.
+    """
+    if isinstance(record, Vulnerability):
+        return {
+            "identifier": record.identifier,
+            "kind": RecordKind.VULNERABILITY,
+            "name": record.identifier,
+            "severity": record.severity,
+            "cvss_score": record.base_score,
+            "network_exploitable": record.cvss.network_exploitable,
+        }
+    if isinstance(record, Weakness):
+        kind, name, severity = RecordKind.WEAKNESS, record.name, record.likelihood
+    else:
+        assert isinstance(record, AttackPattern)
+        kind, name, severity = RecordKind.ATTACK_PATTERN, record.name, record.severity
+    return {
+        "identifier": record.identifier,
+        "kind": kind,
+        "name": name,
+        "severity": severity,
+        "cvss_score": None,
+        "network_exploitable": None,
+    }
+
+
 @dataclass
 class EngineStats:
     """Counters describing cache effectiveness and incremental reuse.
 
     ``components_scored`` counts full :meth:`SearchEngine.associate_component`
     evaluations; ``components_reused`` counts components served from a baseline
-    association by :meth:`SearchEngine.reassociate` without re-scoring.
+    association by :meth:`SearchEngine.reassociate` without re-scoring; the
+    ``*_cache_evictions`` counters track entries dropped by the LRU bound
+    (sizes are reported by :meth:`SearchEngine.cache_info`).
+
+    Updates go through :meth:`bump`, which takes a lock so the counters stay
+    consistent under the parallel association fan-out.
     """
 
     attribute_cache_hits: int = 0
@@ -101,15 +195,28 @@ class EngineStats:
     text_cache_misses: int = 0
     components_scored: int = 0
     components_reused: int = 0
+    attribute_cache_evictions: int = 0
+    text_cache_evictions: int = 0
+    vulnerability_cache_evictions: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Atomically increment one counter."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
 
     def reset(self) -> None:
         """Zero every counter."""
-        for name in self.__dataclass_fields__:
-            setattr(self, name, 0)
+        with self._lock:
+            for name in self.__dataclass_fields__:
+                setattr(self, name, 0)
 
     def snapshot(self) -> dict[str, int]:
         """A plain-dict copy of the counters (for deltas in tests/benchmarks)."""
-        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+        with self._lock:
+            return {name: getattr(self, name) for name in self.__dataclass_fields__}
 
 
 @dataclass(frozen=True)
@@ -290,6 +397,9 @@ class SearchEngine:
         When true (the default), attribute- and text-level results are cached
         and reused across components and repeated calls.  The cache is exact:
         disabling it changes speed, never results.
+    max_cache_entries:
+        LRU bound applied to each result cache; ``None`` disables eviction.
+        Eviction changes speed, never results.
     """
 
     def __init__(
@@ -304,11 +414,39 @@ class SearchEngine:
         scorer: str = "coverage",
         max_per_class: int | None = None,
         enable_cache: bool = True,
+        max_cache_entries: int | None = DEFAULT_MAX_CACHE_ENTRIES,
         _index_payload: dict | None = None,
+    ) -> None:
+        self._init_config(
+            pattern_threshold=pattern_threshold,
+            weakness_threshold=weakness_threshold,
+            vulnerability_text_threshold=vulnerability_text_threshold,
+            platform_coverage=platform_coverage,
+            fidelity_aware=fidelity_aware,
+            scorer=scorer,
+            max_per_class=max_per_class,
+            enable_cache=enable_cache,
+            max_cache_entries=max_cache_entries,
+        )
+        self._corpus: CorpusStore | None = corpus
+        self._corpus_loader: Callable[[], CorpusStore] | None = None
+        self._build_indexes(_index_payload)
+
+    def _init_config(
+        self,
+        *,
+        pattern_threshold: float = 0.12,
+        weakness_threshold: float = 0.12,
+        vulnerability_text_threshold: float = 0.55,
+        platform_coverage: float = 0.6,
+        fidelity_aware: bool = True,
+        scorer: str = "coverage",
+        max_per_class: int | None = None,
+        enable_cache: bool = True,
+        max_cache_entries: int | None = DEFAULT_MAX_CACHE_ENTRIES,
     ) -> None:
         if scorer not in SCORERS:
             raise ValueError(f"unknown scorer {scorer!r}; expected one of {SCORERS}")
-        self.corpus = corpus
         self.pattern_threshold = pattern_threshold
         self.weakness_threshold = weakness_threshold
         self.vulnerability_text_threshold = vulnerability_text_threshold
@@ -317,20 +455,44 @@ class SearchEngine:
         self.scorer = scorer
         self.max_per_class = max_per_class
         self.enable_cache = enable_cache
+        self.max_cache_entries = max_cache_entries
         self.stats = EngineStats()
 
-        self._records: dict[str, AttackVectorRecord] = {}
         self._indexes: dict[RecordKind, InvertedIndex] = {}
         self._models: dict[RecordKind, TfIdfModel] = {}
+        self._match_protos: dict[str, dict] = {}
         self._platform_tokens: dict[str, frozenset[str]] = {}
-        self._attribute_cache: dict[tuple, AttributeMatches] = {}
-        self._text_cache: dict[tuple, tuple[Match, ...]] = {}
-        self._vulnerability_cache: dict[tuple, tuple[Match, ...]] = {}
-        self._build_indexes(_index_payload)
+        self._platform_vuln_ids: dict[str, tuple[str, ...]] = {}
+        self._fingerprint_cache: str | None = None
+        self._corpus_load_lock = threading.Lock()
+        self._attribute_cache = LruCache(max_cache_entries)
+        self._text_cache = LruCache(max_cache_entries)
+        self._vulnerability_cache = LruCache(max_cache_entries)
+
+    # -- corpus access ---------------------------------------------------------
+
+    @property
+    def corpus(self) -> CorpusStore:
+        """The attack-vector corpus (materialized on first use).
+
+        Engines built through :meth:`from_prepared` defer corpus
+        reconstruction -- coverage and cosine scoring never touch corpus
+        records -- and materialize it here only when a consumer (the jaccard
+        scorer, cross-reference traversal, recommendations) needs it.
+        Materialization is locked so concurrent first touches under a
+        ``workers=N`` fan-out load the corpus once.
+        """
+        if self._corpus is None:
+            with self._corpus_load_lock:
+                if self._corpus is None:
+                    assert self._corpus_loader is not None
+                    self._corpus = self._corpus_loader()
+        return self._corpus
 
     # -- index construction --------------------------------------------------
 
     def _build_indexes(self, index_payload: dict | None = None) -> None:
+        protos: dict[str, dict] = {}
         for kind in RecordKind:
             records = self.corpus.records_of_kind(kind)
             if index_payload is None:
@@ -349,31 +511,42 @@ class SearchEngine:
                         f"index snapshot does not match the corpus for {kind.value!r}"
                     )
             for record in records:
-                self._records[record.identifier] = record
+                protos[record.identifier] = _record_proto(record)
             self._indexes[kind] = index
             # Fitting eagerly precomputes the IDF table, weighted postings,
             # and norms every scorer relies on, so the first query pays no
             # hidden fit cost.
             self._models[kind] = TfIdfModel(index).fit()
+        self._match_protos = protos
         for vulnerability in self.corpus.vulnerabilities:
             for platform in vulnerability.affected_platforms:
                 if platform not in self._platform_tokens:
                     self._platform_tokens[platform] = frozenset(tokenize(platform))
+        self._platform_vuln_ids = {
+            platform: tuple(
+                vulnerability.identifier
+                for vulnerability in self.corpus.vulnerabilities_for_platform(platform)
+            )
+            for platform in self._platform_tokens
+        }
 
     # -- snapshots ------------------------------------------------------------
+
+    def _fingerprint(self) -> str:
+        if self._fingerprint_cache is None:
+            self._fingerprint_cache = _corpus_fingerprint(self.corpus)
+        return self._fingerprint_cache
 
     def index_snapshot(self) -> dict:
         """A JSON-serializable snapshot of the per-class inverted indexes."""
         payload = {kind.value: self._indexes[kind].to_dict() for kind in RecordKind}
         payload["version"] = SNAPSHOT_VERSION
-        payload["corpus_fingerprint"] = _corpus_fingerprint(self.corpus)
+        payload["corpus_fingerprint"] = self._fingerprint()
         return payload
 
     def save_index_snapshot(self, path: str | Path) -> Path:
-        """Write the index snapshot to a JSON file and return the path."""
-        path = Path(path)
-        path.write_text(json.dumps(self.index_snapshot()), encoding="utf-8")
-        return path
+        """Atomically write the index snapshot to a JSON file; returns the path."""
+        return atomic_write_text(path, json.dumps(self.index_snapshot()))
 
     @classmethod
     def from_index_snapshot(
@@ -403,6 +576,121 @@ class SearchEngine:
             )
         return cls(corpus, _index_payload=payload, **kwargs)
 
+    # -- prepared payloads (workspace artifacts) -------------------------------
+
+    def prepared_payload(self) -> dict:
+        """Everything needed to rebuild this engine without corpus records.
+
+        The payload bundles the per-class index snapshots with the derived
+        scoring tables that normally come out of a corpus pass: per-record
+        match prototypes and the platform -> vulnerability-id mapping.  Used
+        by :class:`repro.workspace.Workspace`; consumed by
+        :meth:`from_prepared`.
+        """
+        protos = self._match_protos.values()
+        return {
+            "version": SNAPSHOT_VERSION,
+            "corpus_fingerprint": self._fingerprint(),
+            "indexes": {
+                kind.value: self._indexes[kind].to_dict() for kind in RecordKind
+            },
+            # Columnar layout: six parallel scalar lists decode much faster
+            # than tens of thousands of per-record JSON objects.
+            "match_protos": {
+                "identifiers": [proto["identifier"] for proto in protos],
+                "kinds": [proto["kind"].value for proto in protos],
+                "names": [proto["name"] for proto in protos],
+                "severities": [proto["severity"] for proto in protos],
+                "cvss_scores": [proto["cvss_score"] for proto in protos],
+                "network_exploitable": [
+                    proto["network_exploitable"] for proto in protos
+                ],
+            },
+            "platform_vulnerabilities": {
+                platform: list(ids)
+                for platform, ids in self._platform_vuln_ids.items()
+            },
+        }
+
+    @classmethod
+    def from_prepared(
+        cls,
+        prepared: dict,
+        corpus_loader: Callable[[], CorpusStore],
+        **kwargs,
+    ) -> "SearchEngine":
+        """Rebuild an engine from a :meth:`prepared_payload` dict.
+
+        ``corpus_loader`` is called lazily, the first time something touches
+        :attr:`corpus` (jaccard scoring, recommendations, snapshots of a
+        mutated corpus); association with the coverage or cosine scorer never
+        does.  Results are bit-identical to an engine built from the original
+        corpus -- the prepared tables *are* the build products, serialized.
+        """
+        if not isinstance(prepared, dict):
+            raise ValueError(
+                f"prepared payload must be a JSON object, got {type(prepared).__name__}"
+            )
+        version = prepared.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported prepared payload version {version!r}; "
+                f"expected {SNAPSHOT_VERSION}"
+            )
+        engine = cls.__new__(cls)
+        engine._init_config(**kwargs)
+        engine._corpus = None
+        engine._corpus_loader = corpus_loader
+        try:
+            indexes = prepared["indexes"]
+            for kind in RecordKind:
+                kind_payload = indexes.get(kind.value)
+                if isinstance(kind_payload, InvertedIndex):
+                    # Hydrated form: the workspace loader already decoded the
+                    # binary posting buffers into index objects.
+                    index = kind_payload
+                elif isinstance(kind_payload, dict):
+                    index = InvertedIndex.from_dict(kind_payload)
+                else:
+                    raise ValueError(
+                        f"prepared payload is missing the {kind.value!r} index"
+                    )
+                engine._indexes[kind] = index
+                engine._models[kind] = TfIdfModel(index).fit()
+            columns = prepared["match_protos"]
+            kind_table = {kind.value: kind for kind in RecordKind}
+            engine._match_protos = {
+                identifier: {
+                    "identifier": identifier,
+                    "kind": kind_table[kind_value],
+                    "name": name,
+                    "severity": severity,
+                    "cvss_score": cvss_score,
+                    "network_exploitable": network,
+                }
+                for identifier, kind_value, name, severity, cvss_score, network in zip(
+                    columns["identifiers"],
+                    columns["kinds"],
+                    columns["names"],
+                    columns["severities"],
+                    columns["cvss_scores"],
+                    columns["network_exploitable"],
+                    strict=True,
+                )
+            }
+            engine._platform_vuln_ids = {
+                platform: tuple(ids)
+                for platform, ids in prepared["platform_vulnerabilities"].items()
+            }
+        except (KeyError, TypeError, IndexError) as error:
+            raise ValueError(f"malformed prepared payload: {error}") from error
+        engine._platform_tokens = {
+            platform: frozenset(tokenize(platform))
+            for platform in engine._platform_vuln_ids
+        }
+        engine._fingerprint_cache = prepared.get("corpus_fingerprint")
+        return engine
+
     # -- caching ---------------------------------------------------------------
 
     def _config_key(self) -> tuple:
@@ -422,12 +710,16 @@ class SearchEngine:
         self._text_cache.clear()
         self._vulnerability_cache.clear()
 
-    def cache_info(self) -> dict[str, int]:
-        """Sizes of the result caches (entries, not bytes)."""
+    def cache_info(self) -> dict[str, int | None]:
+        """Sizes, LRU bounds, and eviction totals of the result caches."""
         return {
             "attribute_entries": len(self._attribute_cache),
             "text_entries": len(self._text_cache),
             "vulnerability_entries": len(self._vulnerability_cache),
+            "attribute_evictions": self._attribute_cache.evictions,
+            "text_evictions": self._text_cache.evictions,
+            "vulnerability_evictions": self._vulnerability_cache.evictions,
+            "max_entries": self._attribute_cache.max_entries,
         }
 
     # -- low-level matching ---------------------------------------------------
@@ -441,15 +733,19 @@ class SearchEngine:
             cache_key = (text, kind, threshold, self._config_key())
             cached = self._text_cache.get(cache_key)
             if cached is not None:
-                self.stats.text_cache_hits += 1
+                self.stats.bump("text_cache_hits")
                 return list(cached)
-            self.stats.text_cache_misses += 1
+            self.stats.bump("text_cache_misses")
         if self.scorer == "jaccard":
             scored = self._jaccard_scores(text, kind)
         elif self.scorer == "cosine":
             scored = self._models[kind].score(text)
         else:
-            scored = self._coverage_scores(text, kind)
+            # min_fraction applies the same >=threshold predicate as the
+            # filter below, inside the dense accumulator, so sub-threshold
+            # candidates are never materialized; the generic filter is then a
+            # no-op for this scorer.  Keep the two predicates in sync.
+            scored = self._models[kind].coverage(text, min_fraction=threshold)
         matches = [
             self._to_match(identifier, score)
             for identifier, score in scored
@@ -459,26 +755,10 @@ class SearchEngine:
         if self.max_per_class is not None:
             matches = matches[: self.max_per_class]
         if cache_key is not None:
-            self._text_cache[cache_key] = tuple(matches)
+            evicted = self._text_cache.put(cache_key, tuple(matches))
+            if evicted:
+                self.stats.bump("text_cache_evictions", evicted)
         return matches
-
-    def _coverage_scores(self, text: str, kind: RecordKind) -> list[tuple[str, float]]:
-        model = self._models[kind]
-        query = model.query_vector(text)
-        if not query:
-            return []
-        total_mass = sum(query.values())
-        if total_mass == 0.0:
-            return []
-        # Accumulate the covered IDF mass per document straight off the
-        # precomputed posting lists; the token iteration order matches the
-        # candidate-set construction it replaces, so float sums are identical.
-        covered: dict[str, float] = {}
-        for token in set(query):
-            mass = query[token]
-            for doc_id in model.posting_doc_ids(token):
-                covered[doc_id] = covered.get(doc_id, 0.0) + mass
-        return [(doc_id, value / total_mass) for doc_id, value in covered.items()]
 
     def _jaccard_scores(self, text: str, kind: RecordKind) -> list[tuple[str, float]]:
         scores = []
@@ -499,42 +779,27 @@ class SearchEngine:
                 matched_platforms.append((platform, coverage))
         seen: dict[str, float] = {}
         for platform, coverage in matched_platforms:
-            for vulnerability in self.corpus.vulnerabilities_for_platform(platform):
-                previous = seen.get(vulnerability.identifier, 0.0)
+            for identifier in self._platform_vuln_ids.get(platform, ()):
+                previous = seen.get(identifier, 0.0)
                 if coverage > previous:
-                    seen[vulnerability.identifier] = coverage
+                    seen[identifier] = coverage
         for identifier, coverage in seen.items():
             matches.append(self._to_match(identifier, coverage))
         return matches
 
     def _to_match(self, identifier: str, score: float) -> Match:
-        record = self._records[identifier]
-        if isinstance(record, Vulnerability):
-            return Match(
-                identifier=identifier,
-                kind=RecordKind.VULNERABILITY,
-                score=round(score, 6),
-                name=record.identifier,
-                severity=record.severity,
-                cvss_score=record.base_score,
-                network_exploitable=record.cvss.network_exploitable,
-            )
-        if isinstance(record, Weakness):
-            return Match(
-                identifier=identifier,
-                kind=RecordKind.WEAKNESS,
-                score=round(score, 6),
-                name=record.name,
-                severity=record.likelihood,
-            )
-        assert isinstance(record, AttackPattern)
-        return Match(
-            identifier=identifier,
-            kind=RecordKind.ATTACK_PATTERN,
-            score=round(score, 6),
-            name=record.name,
-            severity=record.severity,
-        )
+        # Fast construction: cold association materializes tens of thousands
+        # of Match objects, and the generated frozen-dataclass __init__
+        # (object.__setattr__ per field) is the dominant cost.  Cloning the
+        # precomputed prototype dict straight into __dict__ produces an
+        # identical instance -- equality, hashing, and repr read the same
+        # fields -- and every engine-internal score is >= 0 by construction,
+        # which is all __post_init__ would check.
+        payload = dict(self._match_protos[identifier])
+        payload["score"] = round(score, 6)
+        match = object.__new__(Match)
+        object.__setattr__(match, "__dict__", payload)
+        return match
 
     # -- attribute / component / system association ---------------------------
 
@@ -550,9 +815,9 @@ class SearchEngine:
             cache_key = (attribute, self._config_key())
             cached = self._attribute_cache.get(cache_key)
             if cached is not None:
-                self.stats.attribute_cache_hits += 1
+                self.stats.bump("attribute_cache_hits")
                 return cached
-            self.stats.attribute_cache_misses += 1
+            self.stats.bump("attribute_cache_misses")
         text = attribute.text
         patterns = self.match_text(text, RecordKind.ATTACK_PATTERN, self.pattern_threshold)
         weaknesses = self.match_text(text, RecordKind.WEAKNESS, self.weakness_threshold)
@@ -566,7 +831,9 @@ class SearchEngine:
             vulnerabilities=vulnerabilities,
         )
         if cache_key is not None:
-            self._attribute_cache[cache_key] = result
+            evicted = self._attribute_cache.put(cache_key, result)
+            if evicted:
+                self.stats.bump("attribute_cache_evictions", evicted)
         return result
 
     def _match_vulnerabilities(self, text: str) -> tuple[Match, ...]:
@@ -591,12 +858,14 @@ class SearchEngine:
             matches = matches[: self.max_per_class]
         result = tuple(matches)
         if cache_key is not None:
-            self._vulnerability_cache[cache_key] = result
+            evicted = self._vulnerability_cache.put(cache_key, result)
+            if evicted:
+                self.stats.bump("vulnerability_cache_evictions", evicted)
         return result
 
     def associate_component(self, component: Component) -> ComponentAssociation:
         """Associate every attribute of a component."""
-        self.stats.components_scored += 1
+        self.stats.bump("components_scored")
         attribute_matches = tuple(
             self.match_attribute(attribute) for attribute in component.attributes
         )
@@ -604,11 +873,53 @@ class SearchEngine:
             component=component, attribute_matches=attribute_matches
         )
 
-    def associate(self, system: SystemGraph) -> SystemAssociation:
-        """Associate the whole system model (Fig. 1's merge step)."""
-        components = tuple(
-            self.associate_component(component) for component in system.components
-        )
+    def _associate_components(
+        self, components: Sequence[Component], workers: int
+    ) -> list[ComponentAssociation]:
+        """Score components serially or across a thread pool, in input order.
+
+        The parallel path fans out over *distinct attributes*, not
+        components: components share attributes (every platform component
+        runs the same OS), so attribute-level tasks give the pool even
+        granularity and score each distinct attribute exactly once -- a
+        component-level fan-out would let concurrent cache misses duplicate
+        that work.  Component assembly then runs serially off the warmed
+        cache.  Per-attribute scoring is a pure function of the immutable
+        precomputed posting arrays and the caches are lock-protected and
+        value-deterministic, so any worker count is bit-identical to the
+        serial loop.  With caching disabled the fan-out falls back to
+        per-component tasks (there is no cache to warm).
+        """
+        if workers > 1:
+            if self.enable_cache:
+                attributes: list[Attribute] = []
+                seen: set[Attribute] = set()
+                for component in components:
+                    for attribute in component.attributes:
+                        if attribute not in seen:
+                            seen.add(attribute)
+                            attributes.append(attribute)
+                if len(attributes) > 1:
+                    with _fast_thread_switching(), ThreadPoolExecutor(
+                        max_workers=min(workers, len(attributes))
+                    ) as pool:
+                        for _ in pool.map(self.match_attribute, attributes):
+                            pass
+            elif len(components) > 1:
+                with _fast_thread_switching(), ThreadPoolExecutor(
+                    max_workers=min(workers, len(components))
+                ) as pool:
+                    return list(pool.map(self.associate_component, components))
+        return [self.associate_component(component) for component in components]
+
+    def associate(self, system: SystemGraph, *, workers: int = 1) -> SystemAssociation:
+        """Associate the whole system model (Fig. 1's merge step).
+
+        ``workers`` fans per-component scoring out across a thread pool; the
+        merge preserves component order, so any worker count returns the same
+        association bit for bit (the parallel-determinism tests pin this).
+        """
+        components = tuple(self._associate_components(system.components, workers))
         return SystemAssociation(
             system=system,
             components=components,
@@ -616,45 +927,124 @@ class SearchEngine:
             engine_config=self._config_key(),
         )
 
+    def associate_many(
+        self,
+        systems: Iterable[SystemGraph],
+        *,
+        workers: int = 1,
+        baseline: SystemAssociation | None = None,
+    ) -> list[SystemAssociation]:
+        """Associate several systems in one batch, in input order.
+
+        Every *distinct* component across the whole batch is scored exactly
+        once -- what-if sweeps share most components between variants, so the
+        batch pays for the edits, not for the copies.  With ``baseline``
+        (an association produced under this engine's configuration),
+        components unchanged from the same-named baseline component are
+        reused without scoring, exactly like :meth:`reassociate`.  The
+        distinct components that do need scoring are fanned out across
+        ``workers`` threads.  Results are bit-identical to calling
+        :meth:`associate` per system.
+        """
+        systems = list(systems)
+        config = self._config_key()
+        baseline_by_name: dict[str, ComponentAssociation] = {}
+        if baseline is not None and baseline.engine_config == config:
+            baseline_by_name = {
+                association.component.name: association
+                for association in baseline.components
+            }
+        to_score: list[Component] = []
+        slots: dict[Component, int] = {}
+        plans: list[list] = []
+        for system in systems:
+            plan: list = []
+            for component in system.components:
+                reused = self._reuse_from_baseline(component, baseline_by_name)
+                if reused is not None:
+                    plan.append(reused)
+                    continue
+                slot = slots.get(component)
+                if slot is None:
+                    slot = slots[component] = len(to_score)
+                    to_score.append(component)
+                plan.append(slot)
+            plans.append(plan)
+        scored = self._associate_components(to_score, workers)
+        return [
+            SystemAssociation(
+                system=system,
+                components=tuple(
+                    scored[item] if isinstance(item, int) else item for item in plan
+                ),
+                scorer=self.scorer,
+                engine_config=config,
+            )
+            for system, plan in zip(systems, plans)
+        ]
+
+    def _reuse_from_baseline(
+        self,
+        component: Component,
+        baseline_by_name: dict[str, ComponentAssociation],
+    ) -> ComponentAssociation | None:
+        """The baseline association to reuse for a component, if any.
+
+        A component qualifies when a same-named baseline component carries the
+        identical attribute tuple (matching depends only on attribute text).
+        When only non-attribute fields (description, criticality, ...)
+        changed, the matches carry over but the component payload must not.
+        """
+        previous = baseline_by_name.get(component.name)
+        if previous is None or previous.component.attributes != component.attributes:
+            return None
+        self.stats.bump("components_reused")
+        if previous.component == component:
+            return previous
+        return replace(previous, component=component)
+
     def reassociate(
-        self, baseline: SystemAssociation, variant: SystemGraph
+        self,
+        baseline: SystemAssociation,
+        variant: SystemGraph,
+        *,
+        workers: int = 1,
     ) -> SystemAssociation:
         """Associate a variant architecture incrementally against a baseline.
 
         Components whose attribute tuple is unchanged relative to the
         same-named baseline component reuse the baseline's
-        :class:`ComponentAssociation` (matching depends only on attribute
-        text); everything else -- changed, renamed, or added components -- is
-        re-scored.  The result equals :meth:`associate` on the variant,
-        bit for bit, provided the baseline was produced by an engine over the
-        same corpus (e.g. this one).  A baseline produced under a different
-        configuration -- scorer, thresholds, fidelity mode, result cap -- or
-        with no recorded configuration is detected and the variant is
-        re-scored in full rather than mixing configurations silently.
+        :class:`ComponentAssociation`; everything else -- changed, renamed, or
+        added components -- is re-scored (fanned out across ``workers``
+        threads when more than one).  The result equals :meth:`associate` on
+        the variant, bit for bit, provided the baseline was produced by an
+        engine over the same corpus (e.g. this one).  A baseline produced
+        under a different configuration -- scorer, thresholds, fidelity mode,
+        result cap -- or with no recorded configuration is detected and the
+        variant is re-scored in full rather than mixing configurations
+        silently.
         """
         if baseline.engine_config != self._config_key():
-            return self.associate(variant)
+            return self.associate(variant, workers=workers)
         baseline_by_name = {
             association.component.name: association
             for association in baseline.components
         }
-        components = []
+        plan: list = []
+        to_score: list[Component] = []
         for component in variant.components:
-            previous = baseline_by_name.get(component.name)
-            if previous is None or previous.component.attributes != component.attributes:
-                components.append(self.associate_component(component))
-            elif previous.component == component:
-                self.stats.components_reused += 1
-                components.append(previous)
+            reused = self._reuse_from_baseline(component, baseline_by_name)
+            if reused is None:
+                plan.append(len(to_score))
+                to_score.append(component)
             else:
-                # Same attributes but other fields (description, criticality,
-                # ...) changed: the matches carry over, the component payload
-                # must not.
-                self.stats.components_reused += 1
-                components.append(replace(previous, component=component))
+                plan.append(reused)
+        scored = self._associate_components(to_score, workers)
         return SystemAssociation(
             system=variant,
-            components=tuple(components),
+            components=tuple(
+                scored[item] if isinstance(item, int) else item for item in plan
+            ),
             scorer=self.scorer,
             engine_config=self._config_key(),
         )

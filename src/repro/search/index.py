@@ -5,26 +5,53 @@ scoring a query against every record would make the interactive what-if loop
 of the dashboard (Section 3) unusable.  The inverted index restricts scoring
 to records that share at least one informative token with the query.
 
-Postings are stored columnar -- per token, parallel arrays of document ids
-and term frequencies -- which keeps construction, snapshotting, and the
-TF-IDF fit pass cheap at paper scale (hundreds of thousands of postings).
-Two features support the cached/incremental engine:
+Postings are stored columnar and *positional* -- per token, parallel
+contiguous ``array`` buffers of document positions (row numbers in insertion
+order) and term frequencies.  Integer positions instead of document-id
+strings keep the hot paths flat:
 
+* the TF-IDF fit pass and the scorers accumulate into preallocated
+  per-position buffers with no per-record dict hops,
+* snapshots (:meth:`InvertedIndex.to_dict` / :meth:`InvertedIndex.from_dict`)
+  serialize the position arrays directly, so loading a snapshot is a bulk
+  ``array`` fill rather than a per-posting id lookup,
 * a monotonically increasing :attr:`InvertedIndex.revision` lets dependents
   (e.g. :class:`repro.search.tfidf.TfIdfModel`) detect when their precomputed
-  weights are stale,
-* :meth:`InvertedIndex.to_dict` / :meth:`InvertedIndex.from_dict` snapshot the
-  tokenized postings so repeated runs skip re-tokenizing the whole corpus
-  (the dominant cost of index construction at scale 1.0).
+  weights are stale.
+
+The string-facing accessors (:meth:`postings`, :meth:`document_ids`) are
+unchanged from the row-of-strings layout they replace.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import Counter
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.search.text import tokenize
+
+
+def validate_posting_positions(token: str, positions: "array") -> None:
+    """Reject position arrays that are not strictly increasing.
+
+    ``add_document`` only ever appends a growing document position per
+    token, so legitimate snapshots are strictly increasing.  Anything else
+    (duplicates, reordering) would be *silently mis-scored* downstream: the
+    vectorized accumulators use fancy-index ``+=``, which applies a repeated
+    position once instead of summing it.  Corrupt payloads must fail
+    loudly instead.
+    """
+    if len(positions) > 1:
+        values = np.array(positions, dtype=np.uint32)
+        if bool(np.any(values[1:] <= values[:-1])):
+            raise ValueError(
+                f"posting positions of token {token!r} are not strictly "
+                "increasing"
+            )
 
 
 @dataclass(frozen=True)
@@ -39,10 +66,11 @@ class InvertedIndex:
     """Token -> posting-list index over (id, text) documents."""
 
     def __init__(self) -> None:
-        # token -> ([doc_id, ...], [term_frequency, ...]) parallel arrays,
-        # in document insertion order.
-        self._postings: dict[str, tuple[list[str], list[int]]] = {}
+        # token -> (array('I') document positions, array('I') term
+        # frequencies) parallel buffers, in document insertion order.
+        self._postings: dict[str, tuple[array, array]] = {}
         self._doc_lengths: dict[str, int] = {}
+        self._doc_ids: list[str] = []
         self._revision = 0
 
     def __len__(self) -> int:
@@ -70,14 +98,16 @@ class InvertedIndex:
         if doc_id in self._doc_lengths:
             raise ValueError(f"document already indexed: {doc_id!r}")
         counts = Counter(tokenize(text))
+        position = len(self._doc_ids)
         self._doc_lengths[doc_id] = sum(counts.values())
+        self._doc_ids.append(doc_id)
         postings = self._postings
         for token, frequency in counts.items():
             arrays = postings.get(token)
             if arrays is None:
-                postings[token] = ([doc_id], [frequency])
+                postings[token] = (array("I", (position,)), array("I", (frequency,)))
             else:
-                arrays[0].append(doc_id)
+                arrays[0].append(position)
                 arrays[1].append(frequency)
         self._revision += 1
 
@@ -103,19 +133,22 @@ class InvertedIndex:
         arrays = self._postings.get(token)
         if arrays is None:
             return ()
+        doc_ids = self._doc_ids
         return tuple(
-            Posting(doc_id, frequency) for doc_id, frequency in zip(*arrays)
+            Posting(doc_ids[position], frequency)
+            for position, frequency in zip(*arrays)
         )
 
-    def posting_arrays(self, token: str) -> tuple[Sequence[str], Sequence[int]]:
-        """The raw ``(doc_ids, term_frequencies)`` arrays of a token.
+    def posting_arrays(self, token: str) -> tuple[array, array]:
+        """The raw ``(document positions, term frequencies)`` buffers.
 
-        This is the zero-copy accessor hot paths (TF-IDF fit, scoring)
-        use; callers must treat the arrays as read-only.
+        Positions index into :meth:`document_ids`.  This is the zero-copy
+        accessor hot paths (TF-IDF fit, scoring) use; callers must treat the
+        buffers as read-only.  Unseen tokens return a pair of empty arrays.
         """
         arrays = self._postings.get(token)
         if arrays is None:
-            return ((), ())
+            return (array("I"), array("I"))
         return arrays
 
     def document_length(self, doc_id: str) -> int:
@@ -127,7 +160,7 @@ class InvertedIndex:
 
     def document_ids(self) -> tuple[str, ...]:
         """All indexed document ids, in insertion order."""
-        return tuple(self._doc_lengths)
+        return tuple(self._doc_ids)
 
     def candidates(self, query_tokens: Iterable[str]) -> dict[str, Counter]:
         """Documents sharing at least one query token.
@@ -136,12 +169,13 @@ class InvertedIndex:
         restricted to the query tokens, which is all the scorer needs.
         """
         results: dict[str, Counter] = {}
+        doc_ids = self._doc_ids
         for token in set(query_tokens):
             arrays = self._postings.get(token)
             if arrays is None:
                 continue
-            for doc_id, frequency in zip(*arrays):
-                results.setdefault(doc_id, Counter())[token] = frequency
+            for position, frequency in zip(*arrays):
+                results.setdefault(doc_ids[position], Counter())[token] = frequency
         return results
 
     # -- snapshots -----------------------------------------------------------
@@ -150,18 +184,42 @@ class InvertedIndex:
         """A JSON-serializable snapshot of the tokenized index.
 
         Document ids appear once, in insertion order; posting lists reference
-        them by position.  Order is preserved everywhere, so an index rebuilt
-        through :meth:`from_dict` scores queries bit-identically to the
-        original (floating-point accumulation order is unchanged).
+        them by position -- exactly the in-memory layout, so the snapshot
+        round-trip involves no id translation in either direction.  Order is
+        preserved everywhere, so an index rebuilt through :meth:`from_dict`
+        scores queries bit-identically to the original (floating-point
+        accumulation order is unchanged).
         """
-        positions = {doc_id: number for number, doc_id in enumerate(self._doc_lengths)}
         return {
             "documents": [[doc_id, length] for doc_id, length in self._doc_lengths.items()],
             "postings": {
-                token: [[positions[doc_id] for doc_id in doc_ids], frequencies]
-                for token, (doc_ids, frequencies) in self._postings.items()
+                token: [positions.tolist(), frequencies.tolist()]
+                for token, (positions, frequencies) in self._postings.items()
             },
         }
+
+    @classmethod
+    def from_posting_arrays(
+        cls,
+        doc_ids: Iterable[str],
+        doc_lengths: Iterable[int],
+        postings: dict[str, tuple[array, array]],
+    ) -> "InvertedIndex":
+        """Adopt prebuilt positional posting buffers without copying.
+
+        This is the binary workspace-artifact fast path: the caller hands
+        over ``array('I')`` buffers decoded straight from disk and the index
+        trusts their contents (the workspace layer validates the framing,
+        posting bounds, and section sizes before handing them over).
+        """
+        index = cls()
+        index._doc_ids = list(doc_ids)
+        index._doc_lengths = dict(zip(index._doc_ids, doc_lengths, strict=True))
+        if len(index._doc_lengths) != len(index._doc_ids):
+            raise ValueError("duplicate document ids in posting arrays")
+        index._postings = postings
+        index._revision = len(index._doc_ids)
+        return index
 
     @classmethod
     def from_dict(cls, payload: dict) -> "InvertedIndex":
@@ -176,24 +234,30 @@ class InvertedIndex:
         try:
             for doc_id, length in payload.get("documents", ()):
                 doc_lengths[doc_id] = length
-            doc_list = list(doc_lengths)
+            index._doc_ids = list(doc_lengths)
+            total = len(index._doc_ids)
             for token, (doc_positions, frequencies) in payload.get("postings", {}).items():
                 if len(doc_positions) != len(frequencies):
                     raise ValueError(
                         f"posting arrays of token {token!r} differ in length"
                     )
                 if doc_positions and not (
-                    0 <= min(doc_positions) and max(doc_positions) < len(doc_list)
+                    0 <= min(doc_positions) and max(doc_positions) < total
                 ):
                     raise ValueError(
                         f"posting positions of token {token!r} fall outside "
                         "the document table"
                     )
-                index._postings[token] = (
-                    [doc_list[position] for position in doc_positions],
-                    list(frequencies),
-                )
-        except (TypeError, KeyError, IndexError, AttributeError) as error:
+                if frequencies and min(frequencies) <= 0:
+                    # Tokenization never yields tf <= 0; a zero would turn
+                    # into a -inf TF-IDF weight downstream.
+                    raise ValueError(
+                        f"non-positive term frequency for token {token!r}"
+                    )
+                positions = array("I", doc_positions)
+                validate_posting_positions(token, positions)
+                index._postings[token] = (positions, array("I", frequencies))
+        except (TypeError, KeyError, IndexError, AttributeError, OverflowError) as error:
             raise ValueError(f"malformed index snapshot payload: {error}") from error
         index._revision = len(doc_lengths)
         return index

@@ -7,16 +7,25 @@ overlap (Jaccard) to justify the choice.
 
 :meth:`TfIdfModel.fit` precomputes everything that depends only on the corpus
 -- the per-token IDF table, the IDF-weighted posting lists, and the document
-norms -- so that scoring a query never recomputes IDF per candidate.  The
-model tracks the index :attr:`~repro.search.index.InvertedIndex.revision` it
-fitted at and refits automatically when the index has grown, which keeps the
-precomputed vectors exact rather than approximate.
+norms.  The fit pass and the scorers operate on flat contiguous arrays keyed
+by *document position* (the row number in the index's insertion order):
+postings come out of :meth:`repro.search.index.InvertedIndex.posting_arrays`
+as integer-position buffers, weights live in dense ``float64`` arrays, and
+scoring accumulates into a preallocated per-position vector instead of a
+``doc_id -> float`` dict.  Document-id strings only appear at the very edge,
+when results above the caller's threshold are materialized.
+
+The model tracks the index :attr:`~repro.search.index.InvertedIndex.revision`
+it fitted at and refits automatically when the index has grown, which keeps
+the precomputed vectors exact rather than approximate.
 """
 
 from __future__ import annotations
 
 import math
 from collections import Counter
+
+import numpy as np
 
 from repro.search.index import InvertedIndex
 from repro.search.text import tokenize
@@ -27,11 +36,15 @@ class TfIdfModel:
 
     def __init__(self, index: InvertedIndex) -> None:
         self._index = index
-        self._norms: dict[str, float] = {}
+        self._doc_ids: tuple[str, ...] = ()
+        self._doc_positions: dict[str, int] = {}
         self._idf: dict[str, float] = {}
         self._default_idf = 0.0
-        self._weighted_postings: dict[str, tuple[tuple[str, float], ...]] = {}
-        self._posting_doc_ids: dict[str, tuple[str, ...]] = {}
+        # token -> dense arrays of document positions / tf-idf weights, in
+        # posting order.  Positions index into ``_doc_ids`` and ``_norms``.
+        self._posting_positions: dict[str, np.ndarray] = {}
+        self._posting_weights: dict[str, np.ndarray] = {}
+        self._norms: np.ndarray = np.zeros(0)
         self._fitted_revision: int | None = None
 
     @property
@@ -51,9 +64,6 @@ class TfIdfModel:
         frequency = self._index.document_frequency(token)
         return math.log((total + 1) / (frequency + 1)) + 1.0
 
-    def _document_weight(self, term_frequency: int) -> float:
-        return 1.0 + math.log(term_frequency) if term_frequency > 0 else 0.0
-
     def document_norm(self, doc_id: str) -> float:
         """Euclidean norm of a document's weighted vector (cached).
 
@@ -62,49 +72,54 @@ class TfIdfModel:
         """
         if self._fitted_revision is not None:
             self._ensure_current()
-        if doc_id not in self._norms:
+        position = self._doc_positions.get(doc_id)
+        if position is None:
             raise KeyError(
                 f"norm not computed for document {doc_id!r}; call fit() first"
             )
-        return self._norms[doc_id]
+        return float(self._norms[position])
 
     def fit(self) -> "TfIdfModel":
         """Precompute IDF weights, weighted postings, and document norms.
 
-        One pass over the postings fills three tables:
+        One vectorized pass over the positional posting buffers fills three
+        tables:
 
         * ``token -> IDF`` (plus the default IDF for unseen tokens),
-        * ``token -> ((doc_id, tf-idf weight), ...)`` for cosine scoring,
-        * ``doc_id -> norm`` for cosine normalization.
+        * ``token -> (position array, tf-idf weight array)`` for scoring,
+        * the dense per-position norm vector for cosine normalization.
         """
-        total = len(self._index)
+        index = self._index
+        total = len(index)
+        doc_ids = index.document_ids()
+        self._doc_ids = doc_ids
+        self._doc_positions = {doc_id: i for i, doc_id in enumerate(doc_ids)}
         self._default_idf = math.log((total + 1) / 1) + 1.0 if total else 0.0
-        squares: dict[str, float] = {doc_id: 0.0 for doc_id in self._index.document_ids()}
+        squares = np.zeros(total)
         idf_table: dict[str, float] = {}
-        weighted: dict[str, tuple[tuple[str, float], ...]] = {}
-        doc_ids_table: dict[str, tuple[str, ...]] = {}
-        for token in self._index.tokens():
-            doc_ids, frequencies = self._index.posting_arrays(token)
+        posting_positions: dict[str, np.ndarray] = {}
+        posting_weights: dict[str, np.ndarray] = {}
+        log = math.log
+        for token in index.tokens():
+            raw_positions, raw_frequencies = index.posting_arrays(token)
             if total:
-                idf = math.log((total + 1) / (len(doc_ids) + 1)) + 1.0
+                idf = log((total + 1) / (len(raw_positions) + 1)) + 1.0
             else:  # pragma: no cover - an empty index has no tokens
                 idf = 0.0
             idf_table[token] = idf
-            row = []
-            for doc_id, term_frequency in zip(doc_ids, frequencies):
-                weight = self._document_weight(term_frequency) * idf
-                squares[doc_id] += weight * weight
-                row.append((doc_id, weight))
-            weighted[token] = tuple(row)
-            doc_ids_table[token] = tuple(doc_ids)
+            # np.array copies out of the ``array`` buffers, so later
+            # ``add_document`` appends never race against exported views.
+            positions = np.array(raw_positions, dtype=np.intp)
+            frequencies = np.array(raw_frequencies, dtype=np.float64)
+            weights = (1.0 + np.log(frequencies)) * idf
+            squares[positions] += weights * weights
+            posting_positions[token] = positions
+            posting_weights[token] = weights
         self._idf = idf_table
-        self._weighted_postings = weighted
-        self._posting_doc_ids = doc_ids_table
-        self._norms = {
-            doc_id: math.sqrt(value) if value > 0 else 1.0
-            for doc_id, value in squares.items()
-        }
-        self._fitted_revision = self._index.revision
+        self._posting_positions = posting_positions
+        self._posting_weights = posting_weights
+        self._norms = np.sqrt(np.where(squares > 0.0, squares, 1.0))
+        self._fitted_revision = index.revision
         return self
 
     def _ensure_current(self) -> None:
@@ -112,15 +127,42 @@ class TfIdfModel:
         if self._fitted_revision != self._index.revision:
             self.fit()
 
+    def document_count(self) -> int:
+        """Number of documents the fitted tables cover."""
+        self._ensure_current()
+        return len(self._doc_ids)
+
     def posting_doc_ids(self, token: str) -> tuple[str, ...]:
         """Document ids containing a token, in posting order (precomputed)."""
         self._ensure_current()
-        return self._posting_doc_ids.get(token, ())
+        positions = self._posting_positions.get(token)
+        if positions is None:
+            return ()
+        doc_ids = self._doc_ids
+        return tuple(doc_ids[position] for position in positions.tolist())
+
+    def posting_positions(self, token: str) -> np.ndarray | None:
+        """Dense document-position array of a token (``None`` if unseen)."""
+        self._ensure_current()
+        return self._posting_positions.get(token)
+
+    def doc_id_at(self, position: int) -> str:
+        """The document id at one insertion-order position."""
+        self._ensure_current()
+        return self._doc_ids[position]
 
     def weighted_postings(self, token: str) -> tuple[tuple[str, float], ...]:
         """Precomputed ``(doc_id, tf-idf weight)`` postings for a token."""
         self._ensure_current()
-        return self._weighted_postings.get(token, ())
+        positions = self._posting_positions.get(token)
+        if positions is None:
+            return ()
+        doc_ids = self._doc_ids
+        weights = self._posting_weights[token]
+        return tuple(
+            (doc_ids[position], float(weight))
+            for position, weight in zip(positions.tolist(), weights.tolist())
+        )
 
     # -- scoring ---------------------------------------------------------------
 
@@ -142,7 +184,8 @@ class TfIdfModel:
 
         Returns ``(doc_id, score)`` pairs sorted by descending score, then by
         doc id for determinism.  Documents sharing no token with the query are
-        never returned.
+        never returned.  The dot products accumulate into one dense
+        per-position vector, so candidate sets cost no per-document dict ops.
         """
         self._ensure_current()
         query = self.query_vector(text)
@@ -151,17 +194,62 @@ class TfIdfModel:
         query_norm = math.sqrt(sum(weight * weight for weight in query.values()))
         if query_norm == 0.0:
             return []
-        dots: dict[str, float] = {}
-        weighted_postings = self._weighted_postings
-        for token in set(query):
-            query_weight = query[token]
-            for doc_id, doc_weight in weighted_postings.get(token, ()):
-                dots[doc_id] = dots.get(doc_id, 0.0) + doc_weight * query_weight
-        norms = self._norms
-        scores: list[tuple[str, float]] = []
-        for doc_id, dot in dots.items():
-            score = dot / (norms[doc_id] * query_norm)
-            if score > min_score:
-                scores.append((doc_id, score))
+        dots = np.zeros(len(self._doc_ids))
+        posting_positions = self._posting_positions
+        posting_weights = self._posting_weights
+        for token, query_weight in query.items():
+            positions = posting_positions.get(token)
+            if positions is None:
+                continue
+            dots[positions] += posting_weights[token] * query_weight
+        touched = np.nonzero(dots)[0]
+        if touched.size == 0:
+            return []
+        values = dots[touched] / (self._norms[touched] * query_norm)
+        keep = values > min_score
+        doc_ids = self._doc_ids
+        scores = [
+            (doc_ids[position], value)
+            for position, value in zip(touched[keep].tolist(), values[keep].tolist())
+        ]
         scores.sort(key=lambda pair: (-pair[1], pair[0]))
         return scores
+
+    def coverage(
+        self, text: str, min_fraction: float | None = None
+    ) -> list[tuple[str, float]]:
+        """Query-coverage fractions: covered IDF mass per candidate document.
+
+        For each document sharing at least one token with the query, returns
+        the fraction of the query's total IDF mass found in that document
+        (the engine's attack-pattern/weakness scorer).  ``min_fraction``
+        filters inside the dense accumulator, before any per-document objects
+        are materialized.
+        """
+        self._ensure_current()
+        query = self.query_vector(text)
+        if not query:
+            return []
+        total_mass = sum(query.values())
+        if total_mass == 0.0:
+            return []
+        covered = np.zeros(len(self._doc_ids))
+        posting_positions = self._posting_positions
+        for token, mass in query.items():
+            positions = posting_positions.get(token)
+            if positions is None:
+                continue
+            covered[positions] += mass
+        touched = np.nonzero(covered)[0]
+        if touched.size == 0:
+            return []
+        fractions = covered[touched] / total_mass
+        if min_fraction is not None:
+            keep = fractions >= min_fraction
+            touched = touched[keep]
+            fractions = fractions[keep]
+        doc_ids = self._doc_ids
+        return [
+            (doc_ids[position], fraction)
+            for position, fraction in zip(touched.tolist(), fractions.tolist())
+        ]

@@ -1,0 +1,402 @@
+"""Single-file workspace artifact for sub-second cold starts.
+
+A cold run of the pipeline at corpus scale 1.0 pays for synthetic corpus
+generation, tokenization of ~24k record texts, and the TF-IDF fit before the
+first query can be answered -- exactly the "analyst opens the tool" path the
+paper's design-phase exploration loop depends on.  The workspace bundles
+every prepared build product in **one file**, the way vector-database loaders
+persist their embeddings: save once, load in milliseconds ever after.
+
+The artifact is a framed container::
+
+    CPSECWS1\\n
+    <header length in bytes, decimal>\\n
+    <header JSON>
+    <section bytes, concatenated>
+
+The header records the format version, the deterministic corpus-generation
+parameters, the engine configuration in effect at build time, and byte ranges
+for three sections:
+
+* ``prepared`` -- the engine's :meth:`~repro.search.engine.SearchEngine.
+  prepared_payload` minus the posting lists (columnar match prototypes,
+  platform tables, per-index document tables, corpus fingerprint), parsed
+  eagerly on load,
+* ``postings`` -- every index's positional posting buffers as raw
+  little-endian ``uint32`` bytes, decoded with bulk ``array.frombytes``
+  instead of JSON number parsing (hundreds of thousands of postings),
+* ``corpus`` -- the full corpus JSON, kept as raw bytes and parsed
+  **lazily**: coverage/cosine association never touches corpus records, so
+  the fast path skips deserializing ~10 MB of JSON entirely.
+
+Framing means one ``open()``/``read()`` per cold start, and sections can be
+decoded independently; writes go through the shared atomic
+write-temp-then-rename helper so an interrupted save can never leave a
+corrupt artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from array import array
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.corpus.store import CorpusStore
+from repro.corpus.synthesis import build_corpus, build_params
+from repro.ioutils import atomic_write_bytes
+from repro.search.engine import SearchEngine
+from repro.search.index import InvertedIndex, validate_posting_positions
+
+#: Magic line identifying a workspace artifact file.
+MAGIC = b"CPSECWS1"
+
+#: Workspace format version; bump when the layout changes.
+WORKSPACE_VERSION = 1
+
+#: Engine-configuration fields recorded in the artifact and replayed as
+#: defaults by :meth:`Workspace.engine`, with the types a loaded artifact
+#: must carry for each (checked by :meth:`Workspace.load`, so a corrupt
+#: configuration is rejected as :class:`ValueError` -- the rebuild-fallback
+#: signal -- instead of surfacing later as a :class:`TypeError`).
+ENGINE_CONFIG_TYPES: dict[str, tuple[type, ...]] = {
+    "pattern_threshold": (int, float),
+    "weakness_threshold": (int, float),
+    "vulnerability_text_threshold": (int, float),
+    "platform_coverage": (int, float),
+    "fidelity_aware": (bool,),
+    "scorer": (str,),
+    "max_per_class": (int, type(None)),
+    "enable_cache": (bool,),
+    "max_cache_entries": (int, type(None)),
+}
+
+ENGINE_CONFIG_FIELDS = tuple(ENGINE_CONFIG_TYPES)
+
+
+def _validate_engine_config(engine_config: dict) -> dict:
+    """Reject unknown keys or wrong-typed values in a loaded configuration."""
+    if not isinstance(engine_config, dict):
+        raise ValueError("workspace engine_config must be a JSON object")
+    for key, value in engine_config.items():
+        expected = ENGINE_CONFIG_TYPES.get(key)
+        if expected is None:
+            raise ValueError(f"unknown workspace engine_config key {key!r}")
+        if not isinstance(value, expected) or (
+            isinstance(value, bool) and bool not in expected
+        ):
+            raise ValueError(
+                f"workspace engine_config key {key!r} has invalid value {value!r}"
+            )
+    return engine_config
+
+
+@dataclass
+class Workspace:
+    """A saved (corpus, prepared engine, configuration) bundle.
+
+    Build one from scratch with :meth:`build`, or around an existing corpus
+    and engine with :meth:`from_engine`; persist with :meth:`save` and
+    restore with :meth:`load`.  Engines produced by :meth:`engine` are
+    bit-identical to engines built from the original corpus (the workspace
+    equivalence tests pin this).
+    """
+
+    prepared: dict
+    params: dict | None = None
+    engine_config: dict = field(default_factory=dict)
+    _corpus: CorpusStore | None = field(default=None, repr=False)
+    _corpus_bytes: bytes | None = field(default=None, repr=False)
+    #: The engine this workspace was built from, handed back by
+    #: :meth:`engine` when the requested configuration matches, so that
+    #: build-then-associate flows never tokenize-and-fit a second engine.
+    _built_engine: SearchEngine | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self._corpus_lock = threading.Lock()
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        scale: float = 1.0,
+        seed: int = 7,
+        include_background: bool = True,
+        **engine_kwargs,
+    ) -> "Workspace":
+        """Synthesize the corpus, build the engine, and bundle both."""
+        corpus = build_corpus(
+            scale=scale, seed=seed, include_background=include_background
+        )
+        engine = SearchEngine(corpus, **engine_kwargs)
+        workspace = cls.from_engine(engine)
+        workspace.params = build_params(
+            scale=scale, seed=seed, include_background=include_background
+        )
+        return workspace
+
+    @classmethod
+    def from_engine(cls, engine: SearchEngine) -> "Workspace":
+        """Bundle an existing engine (and its corpus) into a workspace."""
+        return cls(
+            prepared=engine.prepared_payload(),
+            params=None,
+            engine_config={
+                name: getattr(engine, name) for name in ENGINE_CONFIG_FIELDS
+            },
+            _corpus=engine.corpus,
+            _built_engine=engine,
+        )
+
+    # -- corpus ---------------------------------------------------------------
+
+    @property
+    def corpus(self) -> CorpusStore:
+        """The corpus, materialized from the raw section bytes on first use.
+
+        Materialization is locked: concurrent first touches (the jaccard
+        scorer under a ``workers=N`` fan-out) parse the corpus JSON once,
+        not once per thread.
+        """
+        if self._corpus is None:
+            with self._corpus_lock:
+                if self._corpus is None:
+                    if self._corpus_bytes is None:
+                        raise ValueError(
+                            "workspace has neither a corpus nor corpus bytes"
+                        )
+                    self._corpus = CorpusStore.from_dict(
+                        json.loads(self._corpus_bytes)
+                    )
+                    self._corpus_bytes = None
+        return self._corpus
+
+    @property
+    def corpus_fingerprint(self) -> str | None:
+        """Content hash of the bundled corpus (from the prepared payload)."""
+        return self.prepared.get("corpus_fingerprint")
+
+    def matches(
+        self,
+        scale: float = 1.0,
+        seed: int = 7,
+        include_background: bool = True,
+    ) -> bool:
+        """Whether this workspace was built with the given corpus parameters.
+
+        Corpus generation is deterministic, so matching parameters guarantee
+        the bundled corpus equals what :func:`repro.corpus.synthesis.
+        build_corpus` would regenerate.  The recorded parameters include the
+        generator's :data:`~repro.corpus.synthesis.SYNTHESIS_VERSION`, so an
+        artifact saved by an older generator stops matching when the
+        synthetic output changes, instead of being silently trusted.
+        Workspaces built around externally supplied corpora (no recorded
+        parameters) never match.
+        """
+        if self.params is None:
+            return False
+        return self.params == build_params(
+            scale=scale, seed=seed, include_background=include_background
+        )
+
+    # -- engines --------------------------------------------------------------
+
+    def engine(self, **overrides) -> SearchEngine:
+        """A search engine over the bundled artifacts, skipping every rebuild.
+
+        Keyword overrides win over the recorded engine configuration (e.g.
+        ``workspace.engine(scorer="cosine")``).  A workspace that was just
+        built (:meth:`build` / :meth:`from_engine`) hands back the engine it
+        was built from when every override matches the recorded
+        configuration, so the build-save-associate flow fits exactly one
+        engine.  Loaded workspaces construct from the prepared payload with
+        the corpus attached lazily: association with the coverage or cosine
+        scorer runs without ever deserializing corpus records.
+        """
+        if self._built_engine is not None and all(
+            key in self.engine_config and self.engine_config[key] == value
+            for key, value in overrides.items()
+        ):
+            return self._built_engine
+        kwargs = {**self.engine_config, **overrides}
+        return SearchEngine.from_prepared(
+            self.prepared, corpus_loader=lambda: self.corpus, **kwargs
+        )
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Atomically write the one-file artifact; returns the path.
+
+        Posting lists leave the prepared payload and land in the binary
+        section: per index, per token, the position array followed by the
+        frequency array, as little-endian ``uint32``.
+        """
+        prepared = dict(self.prepared)
+        index_meta: dict[str, dict] = {}
+        postings_blob = bytearray()
+        for kind_value, index_payload in prepared.pop("indexes").items():
+            if isinstance(index_payload, InvertedIndex):
+                index_payload = index_payload.to_dict()
+            tokens: list[str] = []
+            counts: list[int] = []
+            for token, (positions, frequencies) in index_payload["postings"].items():
+                tokens.append(token)
+                counts.append(len(positions))
+                for values in (positions, frequencies):
+                    buffer = array("I", values)
+                    if sys.byteorder == "big":  # pragma: no cover - LE hosts
+                        buffer.byteswap()
+                    postings_blob += buffer.tobytes()
+            documents = index_payload["documents"]
+            index_meta[kind_value] = {
+                "doc_ids": [doc_id for doc_id, _ in documents],
+                "doc_lengths": [length for _, length in documents],
+                "tokens": tokens,
+                "counts": counts,
+            }
+        prepared["index_meta"] = index_meta
+        prepared_bytes = json.dumps(prepared).encode("utf-8")
+        if self._corpus_bytes is not None:
+            corpus_bytes = self._corpus_bytes
+        else:
+            corpus_bytes = json.dumps(self.corpus.to_dict()).encode("utf-8")
+        offsets = {}
+        cursor = 0
+        for name, section in (
+            ("prepared", prepared_bytes),
+            ("postings", postings_blob),
+            ("corpus", corpus_bytes),
+        ):
+            offsets[name] = [cursor, len(section)]
+            cursor += len(section)
+        header = {
+            "version": WORKSPACE_VERSION,
+            "itemsize": 4,
+            "params": self.params,
+            "engine_config": self.engine_config,
+            "corpus_fingerprint": self.corpus_fingerprint,
+            "sections": offsets,
+        }
+        header_bytes = json.dumps(header).encode("utf-8")
+        payload = b"".join(
+            (
+                MAGIC,
+                b"\n",
+                str(len(header_bytes)).encode("ascii"),
+                b"\n",
+                header_bytes,
+                prepared_bytes,
+                bytes(postings_blob),
+                corpus_bytes,
+            )
+        )
+        return atomic_write_bytes(path, payload)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Workspace":
+        """Read a saved artifact; raises :class:`ValueError` when malformed.
+
+        The prepared and postings sections are decoded eagerly (they are
+        needed to build an engine); the corpus section stays raw bytes until
+        something touches :attr:`corpus`.
+        """
+        raw = Path(path).read_bytes()
+        newline = raw.find(b"\n")
+        if raw[:newline] != MAGIC:
+            raise ValueError(f"not a workspace artifact: {path}")
+        second_newline = raw.find(b"\n", newline + 1)
+        try:
+            if second_newline < 0:
+                raise ValueError("workspace header framing is truncated")
+            header_length = int(raw[newline + 1 : second_newline])
+            base = second_newline + 1
+            header = json.loads(raw[base : base + header_length])
+            if not isinstance(header, dict):
+                raise ValueError("workspace header must be a JSON object")
+            version = header.get("version")
+            if version != WORKSPACE_VERSION:
+                raise ValueError(
+                    f"unsupported workspace version {version!r}; "
+                    f"expected {WORKSPACE_VERSION}"
+                )
+            if array("I").itemsize != 4 or header.get("itemsize") != 4:
+                raise ValueError(
+                    "workspace posting buffers use a 4-byte uint layout this "
+                    "platform cannot adopt"
+                )
+            sections = header["sections"]
+            base += header_length
+
+            def section(name: str) -> bytes:
+                offset, length = sections[name]
+                start = base + offset
+                if start + length > len(raw):
+                    raise ValueError("workspace sections exceed the file size")
+                return raw[start : start + length]
+
+            prepared = json.loads(section("prepared"))
+            blob = section("postings")
+            corpus_bytes = section("corpus")
+            prepared["indexes"] = _decode_indexes(
+                prepared.pop("index_meta"), blob
+            )
+            if header.get("corpus_fingerprint") != prepared.get("corpus_fingerprint"):
+                raise ValueError(
+                    "workspace header and prepared payload disagree on the "
+                    "corpus fingerprint"
+                )
+            engine_config = _validate_engine_config(header.get("engine_config") or {})
+        except (KeyError, TypeError, IndexError, json.JSONDecodeError) as error:
+            raise ValueError(f"malformed workspace artifact: {error}") from error
+        return cls(
+            prepared=prepared,
+            params=header.get("params"),
+            engine_config=engine_config,
+            _corpus_bytes=corpus_bytes,
+        )
+
+
+def _decode_indexes(index_meta: dict, blob: bytes) -> dict[str, InvertedIndex]:
+    """Decode the binary postings section into index objects, in order."""
+    indexes: dict[str, InvertedIndex] = {}
+    cursor = 0
+    for kind_value, meta in index_meta.items():
+        postings: dict[str, tuple[array, array]] = {}
+        total_documents = len(meta["doc_ids"])
+        for token, count in zip(meta["tokens"], meta["counts"], strict=True):
+            nbytes = 4 * count
+            rows = []
+            for _ in range(2):
+                buffer = array("I")
+                chunk = blob[cursor : cursor + nbytes]
+                if len(chunk) != nbytes:
+                    raise ValueError("workspace postings section is truncated")
+                buffer.frombytes(chunk)
+                if sys.byteorder == "big":  # pragma: no cover - LE hosts
+                    buffer.byteswap()
+                cursor += nbytes
+                rows.append(buffer)
+            positions, frequencies = rows
+            if positions and max(positions) >= total_documents:
+                raise ValueError(
+                    f"posting positions of token {token!r} fall outside "
+                    "the document table"
+                )
+            validate_posting_positions(token, positions)
+            if frequencies and min(frequencies) == 0:
+                # uint32 buffers cannot be negative; zero would become a
+                # -inf TF-IDF weight downstream.
+                raise ValueError(
+                    f"zero term frequency for token {token!r}"
+                )
+            postings[token] = (positions, frequencies)
+        indexes[kind_value] = InvertedIndex.from_posting_arrays(
+            meta["doc_ids"], meta["doc_lengths"], postings
+        )
+    if cursor != len(blob):
+        raise ValueError("workspace postings section has trailing bytes")
+    return indexes

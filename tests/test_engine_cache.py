@@ -1,0 +1,112 @@
+"""LRU bound on the engine result caches: eviction policy and exactness."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers_equivalence import association_signature
+from repro.casestudies.centrifuge import build_centrifuge_model
+from repro.search.cache import LruCache
+from repro.search.engine import SearchEngine
+
+
+# -- the cache itself ---------------------------------------------------------
+
+
+def test_lru_cache_evicts_least_recently_used():
+    cache = LruCache(max_entries=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh "a"; "b" becomes the LRU entry
+    assert cache.put("c", 3) == 1
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert cache.evictions == 1
+    assert len(cache) == 2
+
+
+def test_lru_cache_unbounded_never_evicts():
+    cache = LruCache(max_entries=None)
+    for number in range(500):
+        assert cache.put(number, number) == 0
+    assert len(cache) == 500
+    assert cache.evictions == 0
+
+
+def test_lru_cache_rejects_non_positive_bound():
+    with pytest.raises(ValueError):
+        LruCache(max_entries=0)
+
+
+def test_lru_cache_clear_keeps_eviction_counter():
+    cache = LruCache(max_entries=1)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.evictions == 1
+
+
+# -- the engine under a tight bound -------------------------------------------
+
+
+def test_bounded_engine_returns_exact_results(small_corpus):
+    model = build_centrifuge_model()
+    tight = SearchEngine(small_corpus, max_cache_entries=2)
+    reference = SearchEngine(small_corpus, enable_cache=False)
+    expected = association_signature(reference.associate(model))
+    assert association_signature(tight.associate(model)) == expected
+    # Evictions happened (the model has far more than 2 distinct attributes)
+    # yet a re-run -- recomputing the evicted entries -- stays identical.
+    assert tight.stats.text_cache_evictions > 0
+    assert association_signature(tight.associate(model)) == expected
+
+
+def test_eviction_counters_and_sizes_are_reported(small_corpus):
+    engine = SearchEngine(small_corpus, max_cache_entries=2)
+    engine.associate(build_centrifuge_model())
+    info = engine.cache_info()
+    assert info["max_entries"] == 2
+    assert info["attribute_entries"] <= 2
+    assert info["text_entries"] <= 2
+    assert info["vulnerability_entries"] <= 2
+    snapshot = engine.stats.snapshot()
+    assert snapshot["text_cache_evictions"] == info["text_evictions"]
+    assert snapshot["attribute_cache_evictions"] == info["attribute_evictions"]
+    assert snapshot["vulnerability_cache_evictions"] == info["vulnerability_evictions"]
+
+
+def test_unbounded_engine_reports_no_evictions(small_corpus):
+    engine = SearchEngine(small_corpus, max_cache_entries=None)
+    engine.associate(build_centrifuge_model())
+    assert engine.cache_info()["max_entries"] is None
+    assert engine.stats.text_cache_evictions == 0
+    assert engine.stats.attribute_cache_evictions == 0
+
+
+def test_default_bound_is_generous(small_corpus):
+    engine = SearchEngine(small_corpus)
+    assert engine.cache_info()["max_entries"] == 65536
+
+
+def test_fast_match_construction_equals_public_constructor(small_corpus):
+    """Engine-built Match objects equal Match(...) built the public way."""
+    from repro.search.engine import Match
+
+    engine = SearchEngine(small_corpus)
+    model = build_centrifuge_model()
+    association = engine.associate(model)
+    match = association.components[0].unique_matches()[0]
+    rebuilt = Match(
+        identifier=match.identifier,
+        kind=match.kind,
+        score=match.score,
+        name=match.name,
+        severity=match.severity,
+        cvss_score=match.cvss_score,
+        network_exploitable=match.network_exploitable,
+    )
+    assert match == rebuilt
+    assert hash(match) == hash(rebuilt)
+    assert repr(match) == repr(rebuilt)

@@ -1,0 +1,189 @@
+"""Parallel association must be bit-identical to the serial path.
+
+The ``workers=N`` fan-out and the ``associate_many`` batch API are only
+admissible if the merge is deterministic: every worker count, batch shape,
+and baseline-reuse combination must return the same ``SystemAssociation`` --
+same identifiers, same scores, same ordering -- as the serial, uncached
+reference engine.  These tests pin that contract across all three scorers
+and both fidelity modes, on both case studies, plus randomized what-if
+sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from helpers_equivalence import association_signature
+from repro.analysis.whatif import WhatIfStudy
+from repro.casestudies.centrifuge import (
+    build_centrifuge_model,
+    hardened_workstation_variant,
+)
+from repro.casestudies.uav import build_uav_model
+from repro.search.engine import SCORERS, SearchEngine
+
+MODELS = {
+    "centrifuge": build_centrifuge_model,
+    "uav": build_uav_model,
+}
+
+WORKER_COUNTS = (2, 8)
+
+
+@pytest.fixture(scope="module", params=SCORERS)
+def scorer(request):
+    return request.param
+
+
+@pytest.fixture(scope="module", params=(True, False), ids=("fidelity", "no-fidelity"))
+def fidelity_aware(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def engine_pair(small_corpus, scorer, fidelity_aware):
+    """A cached engine (used with workers) and its serial uncached reference."""
+    parallel = SearchEngine(small_corpus, scorer=scorer, fidelity_aware=fidelity_aware)
+    reference = SearchEngine(
+        small_corpus, scorer=scorer, fidelity_aware=fidelity_aware, enable_cache=False
+    )
+    return parallel, reference
+
+
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_associate_equals_serial(engine_pair, model_name, workers):
+    parallel, reference = engine_pair
+    model = MODELS[model_name]()
+    expected = association_signature(reference.associate(model))
+    got = parallel.associate(model, workers=workers)
+    assert association_signature(got) == expected
+    assert got.system is model
+    assert got.engine_config == parallel._config_key()
+    # A second parallel pass (fully cache-served) stays identical too.
+    assert association_signature(parallel.associate(model, workers=workers)) == expected
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_equals_workers_one_bit_for_bit(small_corpus, workers):
+    engine = SearchEngine(small_corpus)
+    model = build_centrifuge_model()
+    serial = engine.associate(model, workers=1)
+    engine.clear_caches()
+    parallel = engine.associate(model, workers=workers)
+    assert association_signature(serial) == association_signature(parallel)
+
+
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+def test_associate_many_equals_per_system_associate(engine_pair, model_name):
+    parallel, reference = engine_pair
+    baseline = MODELS[model_name]()
+    variant = (
+        hardened_workstation_variant(baseline)
+        if model_name == "centrifuge"
+        else baseline.copy("uav-variant")
+    )
+    if model_name == "uav":
+        variant.remove_component(variant.component_names()[-1])
+    batch = parallel.associate_many([baseline, variant, baseline], workers=4)
+    assert len(batch) == 3
+    expected_baseline = association_signature(reference.associate(baseline))
+    expected_variant = association_signature(reference.associate(variant))
+    assert association_signature(batch[0]) == expected_baseline
+    assert association_signature(batch[1]) == expected_variant
+    assert association_signature(batch[2]) == expected_baseline
+    assert batch[0].system is baseline and batch[1].system is variant
+
+
+def test_associate_many_scores_each_distinct_component_once(small_corpus):
+    engine = SearchEngine(small_corpus)
+    model = build_centrifuge_model()
+    before = engine.stats.snapshot()
+    engine.associate_many([model, model.copy("twin"), model.copy("triplet")])
+    after = engine.stats.snapshot()
+    # Three systems, identical component sets: one scoring pass total.
+    assert after["components_scored"] - before["components_scored"] == len(model)
+
+
+def test_associate_many_with_baseline_reuses_unchanged_components(small_corpus):
+    engine = SearchEngine(small_corpus)
+    baseline = build_centrifuge_model()
+    variant = hardened_workstation_variant(baseline)
+    baseline_association = engine.associate(baseline)
+    before = engine.stats.snapshot()
+    batch = engine.associate_many([variant], baseline=baseline_association)
+    after = engine.stats.snapshot()
+    baseline_by_name = {
+        association.component.name: association.component
+        for association in baseline_association.components
+    }
+    changed = sum(
+        1
+        for component in variant.components
+        if baseline_by_name.get(component.name) is None
+        or baseline_by_name[component.name].attributes != component.attributes
+    )
+    assert after["components_scored"] - before["components_scored"] == changed
+    assert after["components_reused"] - before["components_reused"] == (
+        len(variant) - changed
+    )
+    fresh = SearchEngine(small_corpus, enable_cache=False).associate(variant)
+    assert association_signature(batch[0]) == association_signature(fresh)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_reassociate_with_workers_equals_serial(small_corpus, workers):
+    engine = SearchEngine(small_corpus)
+    baseline = build_centrifuge_model()
+    variant = hardened_workstation_variant(baseline)
+    baseline_association = engine.associate(baseline)
+    incremental = engine.reassociate(baseline_association, variant, workers=workers)
+    fresh = SearchEngine(small_corpus, enable_cache=False).associate(variant)
+    assert association_signature(incremental) == association_signature(fresh)
+
+
+@pytest.mark.parametrize("workers", (1, 4))
+def test_whatif_sweep_with_workers_equals_serial_study(small_corpus, workers):
+    rng = random.Random(11)
+    baseline = build_centrifuge_model()
+    variants = {"hardened": hardened_workstation_variant(baseline)}
+    # A couple of random attribute-dropping variants widen the sweep.
+    for number in range(2):
+        variant = baseline.copy(f"v{number}")
+        target = rng.choice(variant.components)
+        if target.attributes:
+            variant.replace_component(target.with_attributes(target.attributes[:-1]))
+        variants[f"v{number}"] = variant
+
+    study = WhatIfStudy(SearchEngine(small_corpus), workers=workers)
+    results = study.sweep(baseline, variants)
+    reference_engine = SearchEngine(small_corpus, enable_cache=False)
+    baseline_reference = reference_engine.associate(baseline)
+    for name, variant in variants.items():
+        comparison = results[name]
+        reference = reference_engine.associate(variant)
+        assert comparison.baseline_total == sum(
+            baseline_reference.total_counts().values()
+        )
+        assert comparison.variant_total == sum(reference.total_counts().values())
+
+
+def test_stats_stay_consistent_under_parallel_fanout(small_corpus):
+    engine = SearchEngine(small_corpus)
+    model = build_centrifuge_model()
+    engine.associate(model, workers=8)
+    snapshot = engine.stats.snapshot()
+    assert snapshot["components_scored"] == len(model)
+    # The parallel fan-out warms each distinct attribute exactly once
+    # (misses), then assembly serves every evaluation from the cache (hits);
+    # the locked counters must account for all of them exactly.
+    unique_attributes = len(
+        {attribute for component in model.components for attribute in component.attributes}
+    )
+    attribute_evaluations = sum(
+        len(component.attributes) for component in model.components
+    )
+    assert snapshot["attribute_cache_misses"] == unique_attributes
+    assert snapshot["attribute_cache_hits"] == attribute_evaluations

@@ -190,18 +190,20 @@ def test_cache_can_be_disabled(small_corpus):
     second = engine.match_attribute(WINDOWS)
     assert first is not second
     assert first == second
-    assert engine.cache_info() == {
-        "attribute_entries": 0, "text_entries": 0, "vulnerability_entries": 0,
-    }
+    info = engine.cache_info()
+    assert info["attribute_entries"] == 0
+    assert info["text_entries"] == 0
+    assert info["vulnerability_entries"] == 0
     assert engine.stats.attribute_cache_hits == 0
 
 
 def test_clear_caches_empties_every_table(small_corpus):
     engine = SearchEngine(small_corpus)
     engine.match_attribute(WINDOWS)
-    assert any(engine.cache_info().values())
+    entry_keys = ("attribute_entries", "text_entries", "vulnerability_entries")
+    assert any(engine.cache_info()[key] for key in entry_keys)
     engine.clear_caches()
-    assert not any(engine.cache_info().values())
+    assert not any(engine.cache_info()[key] for key in entry_keys)
 
 
 def test_stats_reset(small_corpus):
@@ -213,4 +215,6 @@ def test_stats_reset(small_corpus):
         "attribute_cache_hits": 0, "attribute_cache_misses": 0,
         "text_cache_hits": 0, "text_cache_misses": 0,
         "components_scored": 0, "components_reused": 0,
+        "attribute_cache_evictions": 0, "text_cache_evictions": 0,
+        "vulnerability_cache_evictions": 0,
     }

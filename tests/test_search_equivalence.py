@@ -132,6 +132,12 @@ def test_malformed_posting_payloads_raise_value_error(small_corpus):
         InvertedIndex.from_dict({"documents": "not-a-list-of-pairs"})
     with pytest.raises(ValueError, match="malformed index snapshot"):
         InvertedIndex.from_dict({"documents": [["d1", 2]], "postings": {"tok": 3}})
+    # Tokenization never yields tf <= 0; a crafted zero would turn into a
+    # -inf TF-IDF weight, so it is rejected at the boundary.
+    with pytest.raises(ValueError, match="non-positive term frequency"):
+        InvertedIndex.from_dict(
+            {"documents": [["d1", 2]], "postings": {"tok": [[0], [0]]}}
+        )
 
 
 def test_reassociate_rescores_in_full_on_scorer_drift(small_corpus):

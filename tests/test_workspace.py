@@ -1,0 +1,215 @@
+"""Workspace artifact tests: exactness, laziness, and corruption handling.
+
+The one-file workspace is only admissible if an engine rebuilt from it is
+*exact*: same associations, same scores, same ordering as an engine built
+from the original corpus.  The artifact must also fail loudly (ValueError)
+on any corruption instead of scoring against a damaged payload, and the
+fast path must not materialize the corpus at all.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from helpers_equivalence import association_signature
+from repro.casestudies.centrifuge import build_centrifuge_model
+from repro.casestudies.uav import build_uav_model
+from repro.search.engine import SCORERS, SearchEngine
+from repro.workspace import MAGIC, Workspace
+
+TEST_SCALE = 0.03
+
+
+@pytest.fixture(scope="module")
+def workspace():
+    return Workspace.build(scale=TEST_SCALE)
+
+
+@pytest.fixture(scope="module")
+def saved_path(workspace, tmp_path_factory):
+    return workspace.save(tmp_path_factory.mktemp("ws") / "repro.cpsecws")
+
+
+@pytest.mark.parametrize("scorer", SCORERS)
+@pytest.mark.parametrize("model_builder", (build_centrifuge_model, build_uav_model))
+def test_workspace_engine_equals_fresh_engine(
+    small_corpus, saved_path, scorer, model_builder
+):
+    loaded = Workspace.load(saved_path)
+    model = model_builder()
+    got = loaded.engine(scorer=scorer).associate(model)
+    reference = SearchEngine(small_corpus, scorer=scorer, enable_cache=False)
+    assert association_signature(got) == association_signature(
+        reference.associate(model)
+    )
+
+
+def test_workspace_round_trip_preserves_metadata(saved_path):
+    loaded = Workspace.load(saved_path)
+    assert loaded.matches(scale=TEST_SCALE)
+    assert not loaded.matches(scale=1.0)
+    assert not loaded.matches(scale=TEST_SCALE, seed=8)
+    assert loaded.corpus_fingerprint
+    assert loaded.engine_config["scorer"] == "coverage"
+
+
+def test_fast_path_never_materializes_the_corpus(saved_path):
+    loaded = Workspace.load(saved_path)
+    engine = loaded.engine()
+    engine.associate(build_centrifuge_model())
+    # Coverage scoring runs entirely on the prepared arrays.
+    assert loaded._corpus is None
+    assert engine._corpus is None
+    # Jaccard needs record texts, so it materializes the corpus lazily...
+    jaccard = loaded.engine(scorer="jaccard")
+    jaccard.associate(build_centrifuge_model())
+    assert jaccard.corpus is loaded.corpus
+    # ... and the materialized corpus matches what was bundled.
+    assert len(loaded.corpus) == len(jaccard.corpus)
+
+
+def test_lazy_corpus_matches_original(small_corpus, saved_path):
+    loaded = Workspace.load(saved_path)
+    assert loaded.corpus.to_dict() == small_corpus.to_dict()
+
+
+def test_engine_config_overrides_win(saved_path):
+    loaded = Workspace.load(saved_path)
+    engine = loaded.engine(scorer="cosine", pattern_threshold=0.5)
+    assert engine.scorer == "cosine"
+    assert engine.pattern_threshold == 0.5
+    default_engine = loaded.engine()
+    assert default_engine.scorer == "coverage"
+    assert default_engine.pattern_threshold == 0.12
+
+
+def test_save_is_atomic_over_existing_artifact(workspace, tmp_path):
+    path = tmp_path / "repro.cpsecws"
+    path.write_bytes(b"previous artifact contents")
+    workspace.save(path)
+    assert path.read_bytes().startswith(MAGIC)
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+def test_load_rejects_non_artifact(tmp_path):
+    path = tmp_path / "not-a-workspace"
+    path.write_text("{}", encoding="utf-8")
+    with pytest.raises(ValueError, match="not a workspace artifact"):
+        Workspace.load(path)
+
+
+def test_load_rejects_unknown_version(workspace, tmp_path):
+    path = workspace.save(tmp_path / "ws")
+    raw = path.read_bytes()
+    first = raw.index(b"\n")
+    second = raw.index(b"\n", first + 1)
+    header_length = int(raw[first + 1 : second])
+    header = json.loads(raw[second + 1 : second + 1 + header_length])
+    header["version"] = 999
+    edited = json.dumps(header).encode("utf-8")
+    frame = MAGIC + b"\n" + str(len(edited)).encode() + b"\n" + edited
+    path.write_bytes(frame + raw[second + 1 + header_length :])
+    with pytest.raises(ValueError, match="workspace version"):
+        Workspace.load(path)
+
+
+def test_load_rejects_corrupt_engine_config(workspace, tmp_path):
+    """Bad configuration must be ValueError (the rebuild signal), not TypeError."""
+    import json as json_module
+
+    from repro.workspace import MAGIC as magic
+
+    path = workspace.save(tmp_path / "ws")
+    raw = path.read_bytes()
+    first = raw.index(b"\n")
+    second = raw.index(b"\n", first + 1)
+    header_length = int(raw[first + 1 : second])
+    header = json_module.loads(raw[second + 1 : second + 1 + header_length])
+
+    def rewrite(engine_config):
+        edited_header = dict(header, engine_config=engine_config)
+        edited = json_module.dumps(edited_header).encode("utf-8")
+        frame = magic + b"\n" + str(len(edited)).encode() + b"\n" + edited
+        path.write_bytes(frame + raw[second + 1 + header_length :])
+
+    rewrite(dict(header["engine_config"], bogus_field=1))
+    with pytest.raises(ValueError, match="unknown workspace engine_config key"):
+        Workspace.load(path)
+    rewrite(dict(header["engine_config"], pattern_threshold="0.12"))
+    with pytest.raises(ValueError, match="invalid value"):
+        Workspace.load(path)
+
+
+def test_load_rejects_truncated_file(workspace, tmp_path):
+    path = workspace.save(tmp_path / "ws")
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    with pytest.raises(ValueError):
+        Workspace.load(path)
+
+
+def test_load_rejects_garbled_header(tmp_path):
+    path = tmp_path / "ws"
+    path.write_bytes(MAGIC + b"\nnot-a-length\n{}")
+    with pytest.raises(ValueError):
+        Workspace.load(path)
+
+
+def test_saved_then_loaded_workspace_can_be_resaved(saved_path, tmp_path):
+    """A loaded workspace (hydrated indexes) must survive another save."""
+    loaded = Workspace.load(saved_path)
+    resaved = Workspace.load(loaded.save(tmp_path / "resaved.cpsecws"))
+    model = build_centrifuge_model()
+    assert association_signature(
+        resaved.engine().associate(model)
+    ) == association_signature(Workspace.load(saved_path).engine().associate(model))
+
+
+def test_built_workspace_hands_back_its_engine(small_corpus):
+    """build + engine() must not tokenize-and-fit a second engine."""
+    workspace = Workspace.build(scale=TEST_SCALE)
+    first = workspace.engine()
+    assert workspace.engine() is first
+    assert workspace.engine(scorer="coverage") is first  # matches recorded config
+    different = workspace.engine(scorer="cosine")
+    assert different is not first
+    assert different.scorer == "cosine"
+
+
+def test_loaded_workspace_constructs_fresh_engines(saved_path):
+    loaded = Workspace.load(saved_path)
+    assert loaded.engine() is not loaded.engine()
+
+
+def test_index_rejects_duplicate_posting_positions():
+    from repro.search.index import InvertedIndex
+
+    with pytest.raises(ValueError, match="strictly increasing"):
+        InvertedIndex.from_dict(
+            {"documents": [["d1", 2], ["d2", 3]], "postings": {"tok": [[0, 0], [1, 2]]}}
+        )
+
+
+def test_from_engine_records_configuration(small_corpus, tmp_path):
+    engine = SearchEngine(
+        small_corpus, scorer="cosine", max_per_class=5, max_cache_entries=128
+    )
+    workspace = Workspace.from_engine(engine)
+    assert workspace.engine_config["scorer"] == "cosine"
+    assert workspace.engine_config["max_per_class"] == 5
+    assert workspace.engine_config["max_cache_entries"] == 128
+    assert workspace.engine_config["enable_cache"] is True
+    # The cache configuration survives the save/load round trip.
+    loaded = Workspace.load(workspace.save(tmp_path / "ws"))
+    assert loaded.engine().cache_info()["max_entries"] == 128
+    # No generation parameters recorded -> never claims to match a scale.
+    assert not workspace.matches(scale=TEST_SCALE)
+    rebuilt = workspace.engine()
+    model = build_centrifuge_model()
+    assert association_signature(rebuilt.associate(model)) == association_signature(
+        SearchEngine(
+            small_corpus, scorer="cosine", max_per_class=5, enable_cache=False
+        ).associate(model)
+    )

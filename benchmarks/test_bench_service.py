@@ -1,0 +1,138 @@
+"""Service latency: warm requests in-process and over HTTP, plus cold start.
+
+The acceptance bar for the service redesign: a long-lived service loaded
+from a workspace artifact answers a **warm** ``associate`` request in under
+50 ms at corpus scale 1.0, and a **cold** service (fresh process, artifact
+on disk) still answers its first request in under a second via
+``Workspace.load``.  The HTTP numbers quantify what the transport costs on
+top of the in-process path (same service object, same responses -- the
+equivalence suite proves them byte-identical).
+"""
+
+import statistics
+import threading
+import time
+
+import pytest
+
+from repro.corpus.synthesis import build_params
+from repro.service import (
+    AnalysisService,
+    AssociateRequest,
+    ServiceClient,
+    canonical_json,
+    start_server,
+)
+from repro.workspace import Workspace
+
+#: Warm requests measured per transport.
+REQUEST_COUNT = 30
+
+
+@pytest.fixture(scope="module")
+def warm_workspace(engine, bench_scale):
+    """The benchmark engine wrapped as a workspace the service can serve.
+
+    ``from_engine`` records no corpus parameters (it cannot know them), so
+    they are attached here -- the corpus fixture is built with exactly these
+    -- letting the service route scale-matching requests to this workspace.
+    """
+    workspace = Workspace.from_engine(engine)
+    workspace.params = build_params(scale=bench_scale, seed=7, include_background=True)
+    return workspace
+
+
+def _timed(callable_, count: int) -> list[float]:
+    times = []
+    for _ in range(count):
+        start = time.perf_counter()
+        callable_()
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def test_bench_service_requests(
+    warm_workspace, bench_scale, record_result, tmp_path_factory
+):
+    service = AnalysisService(workspace=warm_workspace)
+    request = AssociateRequest(scale=bench_scale)
+
+    start = time.perf_counter()
+    reference = service.associate(request)
+    first_request_s = time.perf_counter() - start
+
+    in_process = _timed(lambda: service.associate(request), REQUEST_COUNT)
+
+    # The same requests with response caching disabled: engine caches are
+    # warm, but posture metrics are recomputed per request.  This is the
+    # latency a *distinct* (never-seen) request pays on a warm engine.
+    uncached_service = AnalysisService(
+        workspace=warm_workspace, max_response_cache_entries=0
+    )
+    uncached_service.associate(request)
+    uncached = _timed(lambda: uncached_service.associate(request), REQUEST_COUNT)
+
+    server = start_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}")
+        client.associate(request)  # connection + serialization warm-up
+        wall_start = time.perf_counter()
+        http = _timed(lambda: client.associate(request), REQUEST_COUNT)
+        http_wall_s = time.perf_counter() - wall_start
+        http_rps = REQUEST_COUNT / http_wall_s
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    # Cold start: a fresh service over the artifact on disk, timed to its
+    # first answered request (load + fit + cold association, no synthesis).
+    artifact = tmp_path_factory.mktemp("service_bench") / "bench.cpsecws"
+    warm_workspace.save(artifact)
+    start = time.perf_counter()
+    cold_service = AnalysisService(workspace=artifact, save_artifacts=False)
+    cold_response = cold_service.associate(request)
+    cold_start_s = time.perf_counter() - start
+    assert canonical_json(cold_response.to_dict()) == canonical_json(
+        reference.to_dict()
+    )
+
+    warm_in_process_s = statistics.median(in_process)
+    warm_uncached_s = statistics.median(uncached)
+    warm_http_s = statistics.median(http)
+    content = "\n".join(
+        [
+            f"corpus scale:                {bench_scale}",
+            f"first request (engine warm): {first_request_s * 1000:.1f} ms",
+            f"warm associate, in-process:  {warm_in_process_s * 1000:.3f} ms (median of {REQUEST_COUNT})",
+            f"warm associate, no resp. cache: {warm_uncached_s * 1000:.3f} ms (median of {REQUEST_COUNT})",
+            f"warm associate, HTTP:        {warm_http_s * 1000:.3f} ms (median of {REQUEST_COUNT})",
+            f"HTTP throughput:             {http_rps:.0f} requests/s (sequential)",
+            f"cold start from artifact:    {cold_start_s * 1000:.1f} ms (load + first request)",
+        ]
+    )
+    record_result(
+        "service_latency",
+        content,
+        data={
+            "request_count": REQUEST_COUNT,
+            "first_request_s": first_request_s,
+            "warm_in_process_s": warm_in_process_s,
+            "warm_in_process_min_s": min(in_process),
+            "warm_uncached_s": warm_uncached_s,
+            "warm_http_s": warm_http_s,
+            "warm_http_min_s": min(http),
+            "http_requests_per_s": http_rps,
+            "cold_start_s": cold_start_s,
+        },
+    )
+
+    # Acceptance floors: warm requests under 50 ms on either transport, and
+    # (at paper scale and below) a sub-second artifact cold start.
+    assert warm_in_process_s < 0.05
+    assert warm_http_s < 0.05
+    if bench_scale <= 1.0:
+        assert cold_start_s < 1.0

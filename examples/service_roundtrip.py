@@ -1,0 +1,111 @@
+"""Round-trip every service operation against a running ``cpsec serve``.
+
+The CI service-smoke job uses this as its scripted client: it POSTs one
+representative request per operation, fails on any non-200 response or
+schema mismatch, and (unless ``--skip-local``) checks the wire bytes against
+an in-process :class:`AnalysisService` answering the same requests --
+the transport must change nothing.
+
+Usage::
+
+    PYTHONPATH=src python examples/service_roundtrip.py \\
+        --url http://127.0.0.1:8765 --scale 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.service import (
+    OPERATIONS,
+    SCHEMA_VERSION,
+    AnalysisService,
+    AssociateRequest,
+    ChainsRequest,
+    ConsequencesRequest,
+    ExportRequest,
+    RecommendRequest,
+    ServiceClient,
+    ServiceError,
+    SimulateRequest,
+    Table1Request,
+    TopologyRequest,
+    ValidateRequest,
+    WhatIfRequest,
+    canonical_json,
+)
+
+
+def build_requests(scale: float) -> dict:
+    """One representative request per operation."""
+    return {
+        "associate": AssociateRequest(scale=scale),
+        "table1": Table1Request(scale=scale),
+        "whatif": WhatIfRequest(scale=scale),
+        "chains": ChainsRequest(scale=scale, limit=3),
+        "topology": TopologyRequest(),
+        "recommend": RecommendRequest(scale=scale, per_component=2),
+        "simulate": SimulateRequest(scenario="triton-like-sis-bypass"),
+        "consequences": ConsequencesRequest(record="CWE-78", duration_s=300.0),
+        "validate": ValidateRequest(),
+        "export": ExportRequest(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", required=True, help="base URL of the running service")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="corpus scale the requests ask for (match the served workspace)")
+    parser.add_argument("--skip-local", action="store_true",
+                        help="only exercise the HTTP path (no in-process comparison)")
+    args = parser.parse_args(argv)
+
+    client = ServiceClient(args.url)
+    health = client.health()
+    if health.get("status") != "ok" or health.get("schema_version") != SCHEMA_VERSION:
+        print(f"FAIL healthz: unexpected payload {health}", file=sys.stderr)
+        return 1
+    print(f"healthz: ok (service version {health.get('version')}, "
+          f"{len(health.get('engines', []))} warm engine(s))")
+
+    local = None if args.skip_local else AnalysisService()
+    requests = build_requests(args.scale)
+    assert set(requests) == set(OPERATIONS), "round-trip must cover every operation"
+    failures: list[str] = []
+    for operation, request in requests.items():
+        try:
+            wire = client.call_raw(operation, request.to_dict())
+        except ServiceError as error:
+            failures.append(f"{operation}: HTTP {error.status} {error.code}: {error.message}")
+            continue
+        payload = json.loads(wire)
+        if payload.get("schema_version") != SCHEMA_VERSION:
+            failures.append(
+                f"{operation}: schema_version {payload.get('schema_version')!r} "
+                f"!= {SCHEMA_VERSION}"
+            )
+            continue
+        # The payload must parse back into the typed response...
+        OPERATIONS[operation][1].from_dict(payload)
+        # ...and match the in-process service byte for byte.
+        if local is not None:
+            mine = getattr(local, operation)(request)
+            if canonical_json(mine.to_dict()) != wire.decode("utf-8"):
+                failures.append(f"{operation}: HTTP response diverges from in-process")
+                continue
+        print(f"{operation}: ok ({len(wire)} bytes)")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    print(f"all {len(requests)} operations round-tripped"
+          + ("" if args.skip_local else " and matched the in-process service"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,10 @@ Subpackages
     Centrifuge plant, controllers, SIS, bus/firewall, closed-loop simulation.
 ``repro.attacks``
     Attack interventions, named scenarios, consequence mapping.
+``repro.service``
+    Typed operations API: the long-lived analysis service, the stdlib HTTP
+    server behind ``cpsec serve``, and the matching client (imported
+    directly as :mod:`repro.service` to keep the core import light).
 ``repro.baselines``
     STRIDE and attack-tree baselines plus coverage comparison.
 ``repro.casestudies``
@@ -51,7 +55,7 @@ from repro.graph import SystemGraph, read_graphml, write_graphml
 from repro.search import FilterPipeline, SearchEngine, find_exploit_chains
 from repro.workspace import Workspace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",

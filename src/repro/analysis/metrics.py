@@ -46,6 +46,35 @@ class ComponentPosture:
         """Total associated records for the component."""
         return self.attack_patterns + self.weaknesses + self.vulnerabilities
 
+    def to_dict(self) -> dict:
+        """A JSON-serializable form (round-trips through :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "attack_patterns": self.attack_patterns,
+            "weaknesses": self.weaknesses,
+            "vulnerabilities": self.vulnerabilities,
+            "exposure_distance": self.exposure_distance,
+            "criticality": self.criticality,
+            "mean_cvss": self.mean_cvss,
+            "max_cvss": self.max_cvss,
+            "posture_index": self.posture_index,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ComponentPosture":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            name=payload["name"],
+            attack_patterns=payload["attack_patterns"],
+            weaknesses=payload["weaknesses"],
+            vulnerabilities=payload["vulnerabilities"],
+            exposure_distance=payload["exposure_distance"],
+            criticality=payload["criticality"],
+            mean_cvss=payload["mean_cvss"],
+            max_cvss=payload["max_cvss"],
+            posture_index=payload["posture_index"],
+        )
+
 
 @dataclass(frozen=True)
 class PostureMetrics:
@@ -86,6 +115,31 @@ class PostureMetrics:
         consequence-aware posture ranking.
         """
         return sorted(self.components, key=lambda c: (-c.max_cvss, c.name))
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable form (round-trips through :meth:`from_dict`)."""
+        return {
+            "system_name": self.system_name,
+            "components": [component.to_dict() for component in self.components],
+            "total_attack_patterns": self.total_attack_patterns,
+            "total_weaknesses": self.total_weaknesses,
+            "total_vulnerabilities": self.total_vulnerabilities,
+            "system_posture_index": self.system_posture_index,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PostureMetrics":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            system_name=payload["system_name"],
+            components=tuple(
+                ComponentPosture.from_dict(item) for item in payload["components"]
+            ),
+            total_attack_patterns=payload["total_attack_patterns"],
+            total_weaknesses=payload["total_weaknesses"],
+            total_vulnerabilities=payload["total_vulnerabilities"],
+            system_posture_index=payload["system_posture_index"],
+        )
 
 
 def compute_posture(

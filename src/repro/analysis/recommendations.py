@@ -136,6 +136,31 @@ class Recommendation:
             f"({self.weakness_name}) -- {self.summary}"
         )
 
+    def to_dict(self) -> dict:
+        """A JSON-serializable form (round-trips through :meth:`from_dict`)."""
+        return {
+            "component": self.component,
+            "weakness_id": self.weakness_id,
+            "weakness_name": self.weakness_name,
+            "summary": self.summary,
+            "whatif_change": self.whatif_change,
+            "evidence_count": self.evidence_count,
+            "priority": self.priority,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Recommendation":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            component=payload["component"],
+            weakness_id=payload["weakness_id"],
+            weakness_name=payload["weakness_name"],
+            summary=payload["summary"],
+            whatif_change=payload["whatif_change"],
+            evidence_count=payload["evidence_count"],
+            priority=payload["priority"],
+        )
+
 
 def recommend_for_component(
     association: ComponentAssociation,

@@ -40,6 +40,17 @@ def render_table1(association: SystemAssociation, attributes: Sequence[str] | No
     ``attributes`` restricts and orders the rows; by default the rows of the
     published table are used (only those present in the association appear).
     """
+    return render_table1_rows(association.attribute_table(), attributes)
+
+
+def render_table1_rows(
+    table_rows: Sequence[dict], attributes: Sequence[str] | None = None
+) -> str:
+    """Render Table 1 from :meth:`SystemAssociation.attribute_table` rows.
+
+    This is the transport-friendly variant: the rows are plain dicts, so a
+    service response carrying them renders identically to a local association.
+    """
     if attributes is None:
         attributes = (
             "Cisco ASA",
@@ -49,7 +60,7 @@ def render_table1(association: SystemAssociation, attributes: Sequence[str] | No
             "NI cRIO 9063",
             "NI cRIO 9064",
         )
-    table = {row["attribute"]: row for row in association.attribute_table()}
+    table = {row["attribute"]: row for row in table_rows}
     rows = []
     for name in attributes:
         row = table.get(name)
@@ -68,6 +79,15 @@ def render_posture_report(
 ) -> str:
     """Render the per-component posture summary of an association."""
     metrics = metrics or compute_posture(association)
+    return render_posture_summary(metrics, severity_histogram(association))
+
+
+def render_posture_summary(metrics: PostureMetrics, histogram: dict[str, int]) -> str:
+    """Render the posture summary from precomputed metrics and histogram.
+
+    This is the transport-friendly variant: both inputs are available in a
+    service response, so no :class:`SystemAssociation` is needed to render.
+    """
     rows = []
     for component in metrics.ranking_by_posture():
         rows.append(
@@ -81,8 +101,12 @@ def render_posture_report(
                 f"{component.posture_index:.1f}",
             )
         )
-    histogram = severity_histogram(association)
-    severity_line = ", ".join(f"{label}: {count}" for label, count in histogram.items())
+    # Fixed severity order: histogram dicts that travelled through sorted-key
+    # JSON must render identically to freshly computed ones.
+    order = ("None", "Low", "Medium", "High", "Critical")
+    labels = [label for label in order if label in histogram]
+    labels += [label for label in histogram if label not in order]
+    severity_line = ", ".join(f"{label}: {histogram[label]}" for label in labels)
     header = (
         f"System: {metrics.system_name}\n"
         f"Associated records: {metrics.total_attack_patterns} attack patterns, "

@@ -42,6 +42,29 @@ class ComponentTopology:
         """High-betweenness articulation points are natural defense locations."""
         return self.is_articulation_point and self.betweenness > 0.0
 
+    def to_dict(self) -> dict:
+        """A JSON-serializable form (round-trips through :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "degree": self.degree,
+            "betweenness": self.betweenness,
+            "is_articulation_point": self.is_articulation_point,
+            "exposure_distance": self.exposure_distance,
+            "reachable_components": self.reachable_components,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ComponentTopology":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            name=payload["name"],
+            degree=payload["degree"],
+            betweenness=payload["betweenness"],
+            is_articulation_point=payload["is_articulation_point"],
+            exposure_distance=payload["exposure_distance"],
+            reachable_components=payload["reachable_components"],
+        )
+
 
 @dataclass(frozen=True)
 class TopologyReport:
@@ -66,6 +89,27 @@ class TopologyReport:
     def ranking_by_betweenness(self) -> list[ComponentTopology]:
         """Components ordered by how many attack paths traverse them."""
         return sorted(self.components, key=lambda c: (-c.betweenness, c.name))
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable form (round-trips through :meth:`from_dict`)."""
+        return {
+            "system_name": self.system_name,
+            "components": [component.to_dict() for component in self.components],
+            "attack_surface": list(self.attack_surface),
+            "boundary_components": list(self.boundary_components),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TopologyReport":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            system_name=payload["system_name"],
+            components=tuple(
+                ComponentTopology.from_dict(item) for item in payload["components"]
+            ),
+            attack_surface=tuple(payload["attack_surface"]),
+            boundary_components=tuple(payload["boundary_components"]),
+        )
 
 
 def analyze_topology(graph: SystemGraph) -> TopologyReport:

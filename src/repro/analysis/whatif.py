@@ -56,6 +56,27 @@ class ComponentDelta:
         """Whether the variant associates with fewer attack vectors."""
         return self.variant_total < self.baseline_total
 
+    def to_dict(self) -> dict:
+        """A JSON-serializable form (round-trips through :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "baseline_total": self.baseline_total,
+            "variant_total": self.variant_total,
+            "baseline_posture": self.baseline_posture,
+            "variant_posture": self.variant_posture,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ComponentDelta":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            name=payload["name"],
+            baseline_total=payload["baseline_total"],
+            variant_total=payload["variant_total"],
+            baseline_posture=payload["baseline_posture"],
+            variant_posture=payload["variant_posture"],
+        )
+
 
 @dataclass(frozen=True)
 class WhatIfComparison:
@@ -99,6 +120,33 @@ class WhatIfComparison:
         having happened, so ``variant_is_better`` should be read with care.
         """
         return bool(self.added_components or self.removed_components)
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable form (round-trips through :meth:`from_dict`)."""
+        return {
+            "baseline_name": self.baseline_name,
+            "variant_name": self.variant_name,
+            "baseline_metrics": self.baseline_metrics.to_dict(),
+            "variant_metrics": self.variant_metrics.to_dict(),
+            "component_deltas": [delta.to_dict() for delta in self.component_deltas],
+            "added_components": list(self.added_components),
+            "removed_components": list(self.removed_components),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WhatIfComparison":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            baseline_name=payload["baseline_name"],
+            variant_name=payload["variant_name"],
+            baseline_metrics=PostureMetrics.from_dict(payload["baseline_metrics"]),
+            variant_metrics=PostureMetrics.from_dict(payload["variant_metrics"]),
+            component_deltas=tuple(
+                ComponentDelta.from_dict(item) for item in payload["component_deltas"]
+            ),
+            added_components=tuple(payload["added_components"]),
+            removed_components=tuple(payload["removed_components"]),
+        )
 
 
 @dataclass

@@ -50,6 +50,37 @@ class ConsequenceAssessment:
             f"SIS tripped: {self.sis_tripped}"
         )
 
+    def to_dict(self) -> dict:
+        """A JSON-serializable form (round-trips through :meth:`from_dict`)."""
+        return {
+            "record_id": self.record_id,
+            "component": self.component,
+            "scenario": self.scenario,
+            "hazards": [kind.value for kind in self.hazards],
+            "new_hazards": [kind.value for kind in self.new_hazards],
+            "safety_hazard": self.safety_hazard,
+            "product_lost": self.product_lost,
+            "peak_temperature_c": self.peak_temperature_c,
+            "peak_speed_rpm": self.peak_speed_rpm,
+            "sis_tripped": self.sis_tripped,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ConsequenceAssessment":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            record_id=payload["record_id"],
+            component=payload["component"],
+            scenario=payload["scenario"],
+            hazards=tuple(HazardKind(value) for value in payload["hazards"]),
+            new_hazards=tuple(HazardKind(value) for value in payload["new_hazards"]),
+            safety_hazard=payload["safety_hazard"],
+            product_lost=payload["product_lost"],
+            peak_temperature_c=payload["peak_temperature_c"],
+            peak_speed_rpm=payload["peak_speed_rpm"],
+            sis_tripped=payload["sis_tripped"],
+        )
+
 
 @dataclass
 class ConsequenceMapper:

@@ -9,6 +9,16 @@ exposes the reproduction's pipeline the same way::
     cpsec whatif --scale 0.1
     cpsec simulate --scenario triton-like-sis-bypass
     cpsec validate --model centrifuge.graphml
+    cpsec serve --workspace repro.cpsecws --port 8765
+
+Every subcommand is a **thin adapter** over the typed operations API in
+:mod:`repro.service`: it builds a request dataclass, hands it to a backend
+-- an in-process :class:`~repro.service.service.AnalysisService` by default,
+or a :class:`~repro.service.client.ServiceClient` against a running
+``cpsec serve`` instance when ``--url`` is given -- and renders the typed
+response.  The two backends return byte-identical response JSON for the same
+request (the service equivalence tests pin this), so ``--url`` changes where
+the work happens, never what is printed.
 
 All commands are offline and deterministic; ``--scale`` controls the size of
 the synthetic corpus (1.0 reproduces paper-scale populations).
@@ -16,9 +26,8 @@ the synthetic corpus (1.0 reproduces paper-scale populations).
 Search commands accept two artifact options and a parallelism knob:
 
 * ``--workspace PATH`` -- the first run builds the corpus and engine, then
-  saves the whole prepared bundle (corpus JSON + index snapshots + engine
-  configuration) in one file; later runs load it and skip corpus synthesis
-  *and* the index rebuild, which makes a paper-scale cold start sub-second,
+  saves the whole prepared bundle in one file; later runs load it and skip
+  corpus synthesis *and* the index rebuild (``cpsec serve`` requires one),
 * ``--snapshot PATH`` -- the lighter PR-1 artifact: only the tokenized
   indexes are persisted and the corpus is still regenerated,
 * ``--workers N`` -- fans per-component association scoring across a thread
@@ -26,7 +35,9 @@ Search commands accept two artifact options and a parallelism knob:
 
 Results are identical with or without any of these; an artifact that does
 not match the requested corpus is rebuilt (and overwritten) rather than
-trusted.
+trusted.  Operational errors -- an unreadable model file, an unreachable
+``--url``, an unloadable workspace for ``serve`` -- exit with code 2 and a
+one-line message instead of a traceback.
 """
 
 from __future__ import annotations
@@ -35,161 +46,144 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.analysis.recommendations import recommend
+from repro import __version__
 from repro.analysis.report import (
     render_consequences,
-    render_posture_report,
+    render_posture_summary,
     render_table,
-    render_table1,
+    render_table1_rows,
     render_whatif,
 )
-from repro.analysis.topology import analyze_topology
-from repro.analysis.whatif import WhatIfStudy
-from repro.search.chains import chain_summary, find_exploit_chains
-from repro.attacks.consequence import ConsequenceMapper
-from repro.attacks.scenarios import SCENARIO_LIBRARY
-from repro.casestudies.centrifuge import build_centrifuge_model, hardened_workstation_variant
-from repro.corpus.synthesis import build_corpus
-from repro.cps.scada import ScadaSimulation
-from repro.graph.graphml import read_graphml, write_graphml
-from repro.graph.validation import validate_model
-from repro.search.engine import SearchEngine
+from repro.graph.graphml import read_graphml
+from repro.service.client import ServiceClient
+from repro.service.http import start_server
+from repro.service.protocol import (
+    AssociateRequest,
+    ChainsRequest,
+    ConsequencesRequest,
+    ExportRequest,
+    RecommendRequest,
+    ServiceError,
+    SimulateRequest,
+    Table1Request,
+    TopologyRequest,
+    ValidateRequest,
+    WhatIfRequest,
+)
+from repro.service.service import AnalysisService
 from repro.workspace import Workspace
 
 
-def _load_model(path: str | None):
-    if path:
-        return read_graphml(path)
-    return build_centrifuge_model()
+class CliError(Exception):
+    """An operational CLI failure: printed as one line, exit code 2."""
 
 
-def _workspace_engine(scale: float, scorer: str, workspace: str) -> SearchEngine:
-    """Load (or build and save) a one-file workspace artifact."""
-    path = Path(workspace)
-    if path.exists():
-        try:
-            loaded = Workspace.load(path)
-            if loaded.matches(scale=scale):
-                return loaded.engine(scorer=scorer)
+def _backend(args: argparse.Namespace):
+    """The operations backend: in-process service, or a client for ``--url``."""
+    url = getattr(args, "url", None)
+    if url:
+        if getattr(args, "workspace", None) or getattr(args, "snapshot", None):
             print(
-                "ignoring workspace artifact built with different parameters",
+                "--workspace/--snapshot are ignored with --url "
+                "(artifacts live on the server)",
                 file=sys.stderr,
             )
-        except (ValueError, OSError) as error:
-            # Any malformed, mismatched, or unreadable artifact falls back to
-            # a rebuild (which overwrites the bad file below).
-            print(f"ignoring stale workspace artifact: {error}", file=sys.stderr)
-    built = Workspace.build(scale=scale, scorer=scorer)
+        return ServiceClient(url)
+    # No scale ceiling in-process: the request-size guard exists to protect a
+    # shared server, not to limit what a local user may synthesize.
+    return AnalysisService(
+        workspace=getattr(args, "workspace", None),
+        snapshot=getattr(args, "snapshot", None),
+        max_scale=None,
+    )
+
+
+def _model_payload(args: argparse.Namespace) -> dict | None:
+    """The request's model payload: a GraphML file's dict form, or None."""
+    path = getattr(args, "model", None)
+    if not path:
+        return None
     try:
-        built.save(path)
-    except OSError as error:
-        print(f"could not write workspace artifact: {error}", file=sys.stderr)
-    # Returns the engine the workspace was just built from -- nothing is
-    # tokenized or fitted twice.
-    return built.engine(scorer=scorer)
-
-
-def _engine(
-    scale: float,
-    scorer: str = "coverage",
-    snapshot: str | None = None,
-    workspace: str | None = None,
-) -> SearchEngine:
-    if workspace:
-        if snapshot:
-            print(
-                "--snapshot is ignored when --workspace is given "
-                "(the workspace bundles the index)",
-                file=sys.stderr,
-            )
-        return _workspace_engine(scale, scorer, workspace)
-    corpus = build_corpus(scale=scale)
-    if snapshot:
-        path = Path(snapshot)
-        if path.exists():
-            try:
-                return SearchEngine.from_index_snapshot(corpus, path, scorer=scorer)
-            except (ValueError, OSError) as error:
-                # Any malformed, mismatched, or unreadable snapshot falls back
-                # to a rebuild (which overwrites the bad file below).
-                print(f"ignoring stale index snapshot: {error}", file=sys.stderr)
-        engine = SearchEngine(corpus, scorer=scorer)
-        try:
-            engine.save_index_snapshot(path)
-        except OSError as error:
-            print(f"could not write index snapshot: {error}", file=sys.stderr)
-        return engine
-    return SearchEngine(corpus, scorer=scorer)
+        return read_graphml(path).to_dict()
+    except (OSError, ValueError, SyntaxError) as error:
+        raise CliError(f"cannot read model {path}: {error}") from error
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    model = build_centrifuge_model()
-    write_graphml(model, args.output)
-    print(f"wrote {len(model)} components to {args.output}")
+    response = _backend(args).export(ExportRequest(model=_model_payload(args)))
+    try:
+        Path(args.output).write_text(response.graphml, encoding="utf-8")
+    except OSError as error:
+        raise CliError(f"cannot write {args.output}: {error}") from error
+    print(f"wrote {response.component_count} components to {args.output}")
     return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    model = _load_model(args.model)
-    findings = validate_model(model)
-    if not findings:
+    response = _backend(args).validate(ValidateRequest(model=_model_payload(args)))
+    if not response.findings:
         print("model is clean")
         return 0
-    for finding in findings:
+    for finding in response.findings:
         print(finding)
     return 0
 
 
 def _cmd_associate(args: argparse.Namespace) -> int:
-    model = _load_model(args.model)
-    engine = _engine(args.scale, args.scorer, args.snapshot, args.workspace)
-    association = engine.associate(model, workers=args.workers)
-    print(render_posture_report(association))
+    response = _backend(args).associate(
+        AssociateRequest(
+            model=_model_payload(args),
+            scale=args.scale,
+            scorer=args.scorer,
+            workers=args.workers,
+        )
+    )
+    print(render_posture_summary(response.posture, response.severity_histogram))
     return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    model = _load_model(args.model)
-    engine = _engine(args.scale, args.scorer, args.snapshot, args.workspace)
-    association = engine.associate(model, workers=args.workers)
-    print(render_table1(association))
+    response = _backend(args).table1(
+        Table1Request(
+            model=_model_payload(args),
+            scale=args.scale,
+            scorer=args.scorer,
+            workers=args.workers,
+        )
+    )
+    print(render_table1_rows(response.attribute_table))
     return 0
 
 
 def _cmd_whatif(args: argparse.Namespace) -> int:
-    baseline = _load_model(args.model)
-    variant = hardened_workstation_variant(baseline)
-    study = WhatIfStudy(
-        _engine(args.scale, args.scorer, args.snapshot, args.workspace),
-        workers=args.workers,
+    response = _backend(args).whatif(
+        WhatIfRequest(
+            model=_model_payload(args),
+            scale=args.scale,
+            scorer=args.scorer,
+            workers=args.workers,
+        )
     )
-    comparison = study.compare(baseline, variant)
-    print(render_whatif(comparison))
+    print(render_whatif(response.comparison))
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    if args.scenario == "nominal":
-        interventions = []
-    else:
-        scenario = SCENARIO_LIBRARY.get(args.scenario)
-        if scenario is None:
-            print(f"unknown scenario {args.scenario!r}; known scenarios:", file=sys.stderr)
-            for name in SCENARIO_LIBRARY:
-                print(f"  {name}", file=sys.stderr)
-            return 2
-        interventions = scenario.interventions()
-    simulation = ScadaSimulation(interventions=interventions)
-    trace = simulation.run(duration_s=args.duration, dt=0.5)
-    report = trace.hazards()
-    print(f"scenario: {args.scenario}")
-    print(f"peak temperature: {trace.max_temperature():.1f} C")
-    print(f"peak speed: {trace.max_speed():.0f} rpm")
-    print(f"SIS tripped: {simulation.sis.tripped} ({simulation.sis.trip_reason})")
+    response = _backend(args).simulate(
+        SimulateRequest(scenario=args.scenario, duration_s=args.duration)
+    )
+    print(f"scenario: {response.scenario}")
+    print(f"peak temperature: {response.peak_temperature_c:.1f} C")
+    print(f"peak speed: {response.peak_speed_rpm:.0f} rpm")
+    print(f"SIS tripped: {response.sis_tripped} ({response.sis_trip_reason})")
     rows = [
-        (event.kind.value, f"{event.start_time_s:.0f}", f"{event.duration_s:.0f}",
-         f"{event.peak_value:.1f}")
-        for event in report.events
+        (
+            event["kind"],
+            f"{event['start_time_s']:.0f}",
+            f"{event['duration_s']:.0f}",
+            f"{event['peak_value']:.1f}",
+        )
+        for event in response.hazard_events
     ]
     if rows:
         print(render_table(("Hazard", "Start [s]", "Duration [s]", "Peak"), rows))
@@ -199,22 +193,36 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_chains(args: argparse.Namespace) -> int:
-    model = _load_model(args.model)
-    engine = _engine(args.scale, args.scorer, args.snapshot, args.workspace)
-    association = engine.associate(model, workers=args.workers)
-    chains = find_exploit_chains(association, args.target, max_length=args.max_length)
-    if not chains:
+    response = _backend(args).chains(
+        ChainsRequest(
+            model=_model_payload(args),
+            target=args.target,
+            max_length=args.max_length,
+            limit=args.limit,
+            scale=args.scale,
+            scorer=args.scorer,
+            workers=args.workers,
+        )
+    )
+    if response.total_chains == 0:
         print(f"no exploit chains reach {args.target!r}")
         return 1
-    for chain in chains[: args.limit]:
+    for chain in response.chains:
         print(chain.describe())
-    print(f"summary: {chain_summary(chains)}")
+    # Rebuild the summary in its canonical key order: a dict that travelled
+    # through sorted-key JSON must print identically to a local one.
+    summary = {
+        key: response.summary[key]
+        for key in ("count", "best_score", "shortest", "entry_points")
+        if key in response.summary
+    }
+    print(f"summary: {summary}")
     return 0
 
 
 def _cmd_topology(args: argparse.Namespace) -> int:
-    model = _load_model(args.model)
-    report = analyze_topology(model)
+    response = _backend(args).topology(TopologyRequest(model=_model_payload(args)))
+    report = response.report
     rows = [
         (
             component.name,
@@ -236,26 +244,70 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 
 def _cmd_recommend(args: argparse.Namespace) -> int:
-    model = _load_model(args.model)
-    engine = _engine(args.scale, args.scorer, args.snapshot, args.workspace)
-    association = engine.associate(model, workers=args.workers)
-    recommendations = recommend(association, engine.corpus, per_component=args.per_component)
-    if not recommendations:
+    response = _backend(args).recommend(
+        RecommendRequest(
+            model=_model_payload(args),
+            per_component=args.per_component,
+            scale=args.scale,
+            scorer=args.scorer,
+            workers=args.workers,
+        )
+    )
+    if not response.recommendations:
         print("no recommendations derived from the association")
         return 1
-    for recommendation in recommendations:
+    for recommendation in response.recommendations:
         print(recommendation.describe())
         print(f"        what-if to evaluate: {recommendation.whatif_change}")
     return 0
 
 
 def _cmd_consequences(args: argparse.Namespace) -> int:
-    mapper = ConsequenceMapper(duration_s=args.duration)
-    assessments = mapper.assess(args.record, args.component)
-    if not assessments:
+    response = _backend(args).consequences(
+        ConsequencesRequest(
+            record=args.record,
+            component=args.component,
+            duration_s=args.duration,
+        )
+    )
+    if not response.assessments:
         print(f"no executable scenario covers {args.record}")
         return 1
-    print(render_consequences(assessments))
+    print(render_consequences(response.assessments))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    path = Path(args.workspace)
+    if not path.exists():
+        raise CliError(
+            f"workspace artifact not found: {path} "
+            f"(build one with `cpsec associate --scale 1.0 --workspace {path}`)"
+        )
+    try:
+        workspace = Workspace.load(path)
+    except (ValueError, OSError) as error:
+        raise CliError(f"cannot load workspace artifact {path}: {error}") from error
+    service = AnalysisService(workspace=workspace, save_artifacts=False)
+    # Fit the recorded engine now so the first request hits a warm service
+    # instead of paying the TF-IDF fit inside its own latency budget.
+    workspace.shared_engine()
+    server = start_server(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    host, port = server.server_address[:2]
+    scale = (workspace.params or {}).get("scale")
+    print(
+        f"serving analysis service on http://{host}:{port} "
+        f"(workspace {path}, scale {scale})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
     return 0
 
 
@@ -265,23 +317,40 @@ def build_parser() -> argparse.ArgumentParser:
         prog="cpsec",
         description="Model-based cyber-physical systems security analysis.",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    export = subparsers.add_parser("export", help="export the centrifuge model to GraphML")
-    export.add_argument("--output", default="centrifuge.graphml")
-    export.set_defaults(func=_cmd_export)
+    def add_url_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--url",
+            default=None,
+            help="base URL of a running `cpsec serve` instance (default: run in-process)",
+        )
 
-    validate = subparsers.add_parser("validate", help="validate a system model")
-    validate.add_argument("--model", default=None, help="GraphML model path (default: built-in centrifuge)")
-    validate.set_defaults(func=_cmd_validate)
+    def add_model_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--model", default=None, help="GraphML model path (default: built-in centrifuge)")
 
     def add_search_options(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument("--model", default=None, help="GraphML model path (default: built-in centrifuge)")
+        add_model_option(sub)
+        add_url_option(sub)
         sub.add_argument("--scale", type=float, default=0.1, help="synthetic corpus scale (1.0 = paper scale)")
         sub.add_argument("--scorer", default="coverage", choices=("coverage", "cosine", "jaccard"))
         sub.add_argument("--snapshot", default=None, help="index snapshot path (created on first run, loaded afterwards)")
         sub.add_argument("--workspace", default=None, help="one-file workspace artifact path (created on first run; later runs skip corpus synthesis and index builds)")
         sub.add_argument("--workers", type=int, default=1, help="thread-pool fan-out for association scoring (results are identical for any value)")
+
+    export = subparsers.add_parser("export", help="export the centrifuge model to GraphML")
+    export.add_argument("--output", default="centrifuge.graphml")
+    add_model_option(export)
+    add_url_option(export)
+    export.set_defaults(func=_cmd_export)
+
+    validate = subparsers.add_parser("validate", help="validate a system model")
+    add_model_option(validate)
+    add_url_option(validate)
+    validate.set_defaults(func=_cmd_validate)
 
     associate = subparsers.add_parser("associate", help="associate attack vectors with a model")
     add_search_options(associate)
@@ -303,7 +372,8 @@ def build_parser() -> argparse.ArgumentParser:
     chains.set_defaults(func=_cmd_chains)
 
     topology = subparsers.add_parser("topology", help="topological security profile of a model")
-    topology.add_argument("--model", default=None, help="GraphML model path (default: built-in centrifuge)")
+    add_model_option(topology)
+    add_url_option(topology)
     topology.set_defaults(func=_cmd_topology)
 
     recommend_parser = subparsers.add_parser("recommend", help="derive design-time mitigation recommendations")
@@ -314,13 +384,22 @@ def build_parser() -> argparse.ArgumentParser:
     simulate = subparsers.add_parser("simulate", help="run the SCADA simulation, optionally under attack")
     simulate.add_argument("--scenario", default="nominal")
     simulate.add_argument("--duration", type=float, default=420.0)
+    add_url_option(simulate)
     simulate.set_defaults(func=_cmd_simulate)
 
     consequences = subparsers.add_parser("consequences", help="map one attack-vector record to physical consequences")
     consequences.add_argument("--record", default="CWE-78")
     consequences.add_argument("--component", default="BPCS Platform")
     consequences.add_argument("--duration", type=float, default=420.0)
+    add_url_option(consequences)
     consequences.set_defaults(func=_cmd_consequences)
+
+    serve = subparsers.add_parser("serve", help="serve the analysis operations over HTTP from one warm engine")
+    serve.add_argument("--workspace", required=True, help="workspace artifact to serve (see `--workspace` on search commands)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument("--verbose", action="store_true", help="log every request to stderr")
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 
@@ -329,7 +408,19 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``cpsec`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CliError as error:
+        print(f"cpsec: {error}", file=sys.stderr)
+        return 2
+    except ServiceError as error:
+        print(error.message, file=sys.stderr)
+        for key, value in error.details.items():
+            if isinstance(value, list) and value:
+                print(f"{key.replace('_', ' ')}:", file=sys.stderr)
+                for item in value:
+                    print(f"  {item}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

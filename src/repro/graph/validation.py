@@ -35,6 +35,25 @@ class ValidationFinding:
     def __str__(self) -> str:
         return f"[{self.severity.value}] {self.code} {self.subject}: {self.message}"
 
+    def to_dict(self) -> dict:
+        """A JSON-serializable form (round-trips through :meth:`from_dict`)."""
+        return {
+            "severity": self.severity.value,
+            "code": self.code,
+            "subject": self.subject,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ValidationFinding":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            severity=Severity(payload["severity"]),
+            code=payload["code"],
+            subject=payload["subject"],
+            message=payload["message"],
+        )
+
 
 def validate_model(graph: SystemGraph) -> list[ValidationFinding]:
     """Run all checks and return the findings (empty list means clean)."""

@@ -50,6 +50,29 @@ class ExploitChain:
         vectors = ", ".join(f"{name}:{match.identifier}" for name, match in self.vectors)
         return f"{hops} (score {self.score:.3f}; {vectors})"
 
+    def to_dict(self) -> dict:
+        """A JSON-serializable form (round-trips through :meth:`from_dict`)."""
+        return {
+            "path": list(self.path),
+            "vectors": [
+                {"component": name, "match": match.to_dict()}
+                for name, match in self.vectors
+            ],
+            "score": self.score,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExploitChain":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            path=tuple(payload["path"]),
+            vectors=tuple(
+                (item["component"], Match.from_dict(item["match"]))
+                for item in payload["vectors"]
+            ),
+            score=payload["score"],
+        )
+
 
 def find_exploit_chains(
     association: SystemAssociation,

@@ -235,6 +235,31 @@ class Match:
         if self.score < 0.0:
             raise ValueError(f"match score must be non-negative, got {self.score}")
 
+    def to_dict(self) -> dict:
+        """A JSON-serializable form (round-trips through :meth:`from_dict`)."""
+        return {
+            "identifier": self.identifier,
+            "kind": self.kind.value,
+            "score": self.score,
+            "name": self.name,
+            "severity": self.severity,
+            "cvss_score": self.cvss_score,
+            "network_exploitable": self.network_exploitable,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Match":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            identifier=payload["identifier"],
+            kind=RecordKind(payload["kind"]),
+            score=payload["score"],
+            name=payload["name"],
+            severity=payload["severity"],
+            cvss_score=payload["cvss_score"],
+            network_exploitable=payload["network_exploitable"],
+        )
+
 
 @dataclass(frozen=True)
 class AttributeMatches:
@@ -720,6 +745,26 @@ class SearchEngine:
             "text_evictions": self._text_cache.evictions,
             "vulnerability_evictions": self._vulnerability_cache.evictions,
             "max_entries": self._attribute_cache.max_entries,
+        }
+
+    def health_info(self) -> dict:
+        """A JSON-serializable snapshot of the engine's runtime state.
+
+        This is the payload a long-lived service exposes on its health
+        endpoint: configuration, per-class index sizes, the corpus
+        fingerprint, the stats counters, and the cache occupancy.  Reading it
+        never materializes a lazily attached corpus.
+        """
+        return {
+            "scorer": self.scorer,
+            "fidelity_aware": self.fidelity_aware,
+            "corpus_fingerprint": self._fingerprint_cache,
+            "index_documents": {
+                kind.value: len(index.document_ids())
+                for kind, index in self._indexes.items()
+            },
+            "stats": self.stats.snapshot(),
+            "cache_info": self.cache_info(),
         }
 
     # -- low-level matching ---------------------------------------------------

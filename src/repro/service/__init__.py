@@ -1,0 +1,80 @@
+"""The analyst-facing operations API and the long-lived analysis service.
+
+This package is the seam between the analysis library and its frontends:
+
+* :mod:`repro.service.protocol` -- typed, versioned, JSON-round-tripping
+  request/response dataclasses for every operation,
+* :mod:`repro.service.service` -- :class:`AnalysisService`, one warm
+  engine/workspace shared by every caller,
+* :mod:`repro.service.http` -- stdlib ``ThreadingHTTPServer`` frontend
+  (``cpsec serve``),
+* :mod:`repro.service.client` -- :class:`ServiceClient`, the same typed
+  surface over HTTP.
+
+The CLI's subcommands are thin adapters over this package; library users and
+remote analysts drive exactly the same operations.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.http import AnalysisServiceServer, start_server
+from repro.service.protocol import (
+    OPERATIONS,
+    SCHEMA_VERSION,
+    AssociateRequest,
+    AssociateResponse,
+    ChainsRequest,
+    ChainsResponse,
+    ConsequencesRequest,
+    ConsequencesResponse,
+    ExportRequest,
+    ExportResponse,
+    RecommendRequest,
+    RecommendResponse,
+    ServiceError,
+    SimulateRequest,
+    SimulateResponse,
+    Table1Request,
+    Table1Response,
+    TopologyRequest,
+    TopologyResponse,
+    ValidateRequest,
+    ValidateResponse,
+    WhatIfRequest,
+    WhatIfResponse,
+    canonical_json,
+    parse_request,
+)
+from repro.service.service import MODEL_REGISTRY, AnalysisService
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "OPERATIONS",
+    "MODEL_REGISTRY",
+    "AnalysisService",
+    "AnalysisServiceServer",
+    "ServiceClient",
+    "ServiceError",
+    "start_server",
+    "canonical_json",
+    "parse_request",
+    "AssociateRequest",
+    "AssociateResponse",
+    "Table1Request",
+    "Table1Response",
+    "WhatIfRequest",
+    "WhatIfResponse",
+    "ChainsRequest",
+    "ChainsResponse",
+    "TopologyRequest",
+    "TopologyResponse",
+    "RecommendRequest",
+    "RecommendResponse",
+    "SimulateRequest",
+    "SimulateResponse",
+    "ConsequencesRequest",
+    "ConsequencesResponse",
+    "ValidateRequest",
+    "ValidateResponse",
+    "ExportRequest",
+    "ExportResponse",
+]

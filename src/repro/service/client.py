@@ -1,0 +1,153 @@
+"""HTTP client speaking the typed operations protocol.
+
+:class:`ServiceClient` exposes the same method-per-operation surface as
+:class:`repro.service.service.AnalysisService`, so callers (including every
+CLI subcommand) are written once against the protocol and pointed at either
+an in-process service or a remote ``cpsec serve`` instance::
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    response = client.associate(AssociateRequest(scale=1.0))
+
+Requests are serialized with the protocol's canonical JSON, responses are
+parsed back into the typed response dataclasses, and error bodies are
+re-raised as :class:`ServiceError` -- the same exception the in-process
+service raises, so error handling is transport-agnostic too.  Stdlib only
+(:mod:`urllib.request`).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.service.protocol import (
+    OPERATIONS,
+    AssociateRequest,
+    AssociateResponse,
+    ChainsRequest,
+    ChainsResponse,
+    ConsequencesRequest,
+    ConsequencesResponse,
+    ExportRequest,
+    ExportResponse,
+    RecommendRequest,
+    RecommendResponse,
+    ServiceError,
+    SimulateRequest,
+    SimulateResponse,
+    Table1Request,
+    Table1Response,
+    TopologyRequest,
+    TopologyResponse,
+    ValidateRequest,
+    ValidateResponse,
+    WhatIfRequest,
+    WhatIfResponse,
+    canonical_json,
+)
+
+
+class ServiceClient:
+    """A typed client for a running analysis service."""
+
+    def __init__(self, base_url: str, *, timeout: float = 300.0) -> None:
+        if not base_url.startswith(("http://", "https://")):
+            raise ValueError(f"base_url must be an http(s) URL, got {base_url!r}")
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: bytes | None = None) -> bytes:
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError:
+                payload = {"error": {"message": raw.decode("utf-8", "replace")}}
+            raise ServiceError.from_dict(payload, status=error.code) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {error.reason}",
+                code="unreachable",
+                status=503,
+            ) from None
+
+    def call_raw(self, operation: str, payload: dict) -> bytes:
+        """POST a raw payload to an operation; returns the raw response bytes.
+
+        The equivalence tests use this to compare the HTTP wire bytes with
+        the canonical serialization of the in-process response.
+        """
+        body = canonical_json(payload).encode("utf-8")
+        return self._request("POST", f"/v1/{operation}", body)
+
+    def call(self, operation: str, request):
+        """Invoke one typed operation and return its typed response."""
+        try:
+            _, response_type = OPERATIONS[operation]
+        except KeyError:
+            raise ServiceError(
+                f"unknown operation {operation!r}",
+                code="unknown_operation",
+                status=404,
+            ) from None
+        raw = self.call_raw(operation, request.to_dict())
+        try:
+            return response_type.from_dict(json.loads(raw))
+        except ServiceError:
+            raise
+        except (KeyError, TypeError, ValueError) as error:
+            # A truncated or non-conforming reply (buggy proxy, wrong server)
+            # must surface as a typed error, not a parsing traceback.
+            raise ServiceError(
+                f"malformed {operation} response from {self.base_url}: {error}",
+                code="malformed_response",
+                status=502,
+            ) from None
+
+    def health(self) -> dict:
+        """The service's ``/healthz`` payload."""
+        return json.loads(self._request("GET", "/healthz"))
+
+    # -- typed operations (same surface as AnalysisService) -------------------
+
+    def associate(self, request: AssociateRequest) -> AssociateResponse:
+        return self.call("associate", request)
+
+    def table1(self, request: Table1Request) -> Table1Response:
+        return self.call("table1", request)
+
+    def whatif(self, request: WhatIfRequest) -> WhatIfResponse:
+        return self.call("whatif", request)
+
+    def chains(self, request: ChainsRequest) -> ChainsResponse:
+        return self.call("chains", request)
+
+    def topology(self, request: TopologyRequest) -> TopologyResponse:
+        return self.call("topology", request)
+
+    def recommend(self, request: RecommendRequest) -> RecommendResponse:
+        return self.call("recommend", request)
+
+    def simulate(self, request: SimulateRequest) -> SimulateResponse:
+        return self.call("simulate", request)
+
+    def consequences(self, request: ConsequencesRequest) -> ConsequencesResponse:
+        return self.call("consequences", request)
+
+    def validate(self, request: ValidateRequest) -> ValidateResponse:
+        return self.call("validate", request)
+
+    def export(self, request: ExportRequest) -> ExportResponse:
+        return self.call("export", request)

@@ -1,0 +1,158 @@
+"""Stdlib HTTP frontend for the analysis service.
+
+A thin :class:`http.server.ThreadingHTTPServer` adapter: every typed
+operation is exposed as ``POST /v1/<operation>`` with the request dataclass
+as the JSON body and the response dataclass as the JSON body of a 200, and
+``GET /healthz`` reports the service's warm-engine state.  Response bodies
+are written with :func:`repro.service.protocol.canonical_json`, so the HTTP
+path is byte-identical to the in-process path for the same request (the
+equivalence tests compare them literally).
+
+Request threads share one :class:`AnalysisService`; the engine's
+lock-protected LRU caches and stats counters (PR 1-2) are what make that
+sharing safe.  Start a server from the CLI with ``cpsec serve`` or
+programmatically::
+
+    service = AnalysisService(workspace="repro.cpsecws", save_artifacts=False)
+    with start_server(service, port=8765) as server:
+        server.serve_forever()
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.protocol import (
+    ServiceError,
+    canonical_json,
+    parse_request,
+)
+from repro.service.service import AnalysisService
+
+#: Largest accepted request body, in bytes.  Inline model payloads are a few
+#: tens of kilobytes; anything larger is a client error, not a model.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class AnalysisRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the shared :class:`AnalysisService`."""
+
+    server_version = "cpsec-service/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _write_json(self, status: int, payload: dict) -> None:
+        body = canonical_json(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _write_error(self, error: ServiceError) -> None:
+        # The request body may not have been (fully) read on an error path;
+        # on a keep-alive connection its bytes would be parsed as the next
+        # request, so error responses always close the connection.
+        self.close_connection = True
+        self._write_json(error.status, error.to_dict())
+
+    def _read_body(self) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError as error:
+            raise ServiceError(
+                f"invalid Content-Length header: {error}", code="malformed_payload"
+            ) from error
+        if not 0 <= length <= MAX_BODY_BYTES:
+            raise ServiceError(
+                f"Content-Length must be within [0, {MAX_BODY_BYTES}], got {length}",
+                code="body_too_large" if length > 0 else "malformed_payload",
+                status=413 if length > 0 else 400,
+            )
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw or b"{}")
+        except json.JSONDecodeError as error:
+            raise ServiceError(
+                f"request body is not valid JSON: {error}",
+                code="malformed_json",
+            ) from error
+        if not isinstance(payload, dict):
+            raise ServiceError(
+                "request body must be a JSON object", code="malformed_payload"
+            )
+        return payload
+
+    # -- routes ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path in ("/healthz", "/health"):
+            self._write_json(200, self.server.service.health())
+            return
+        self._write_error(
+            ServiceError(
+                f"no such resource {self.path!r}; operations are POST /v1/<op>",
+                code="not_found",
+                status=404,
+            )
+        )
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if not self.path.startswith("/v1/"):
+                raise ServiceError(
+                    f"no such resource {self.path!r}; operations are POST /v1/<op>",
+                    code="not_found",
+                    status=404,
+                )
+            operation = self.path[len("/v1/"):]
+            payload = self._read_body()
+            request = parse_request(operation, payload)
+            response = getattr(self.server.service, operation)(request)
+            self._write_json(200, response.to_dict())
+        except ServiceError as error:
+            self._write_error(error)
+        except Exception as error:  # pragma: no cover - defensive boundary
+            # The handler is the crash boundary of a server thread: anything
+            # unexpected becomes a 500 instead of a dropped connection.
+            self._write_error(
+                ServiceError(
+                    f"internal error: {type(error).__name__}: {error}",
+                    code="internal_error",
+                    status=500,
+                )
+            )
+
+
+class AnalysisServiceServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`AnalysisService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: AnalysisService,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, AnalysisRequestHandler)
+        self.service = service
+        self.verbose = verbose
+
+
+def start_server(
+    service: AnalysisService,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    verbose: bool = False,
+) -> AnalysisServiceServer:
+    """Bind a server (``port=0`` picks a free port); call ``serve_forever``."""
+    return AnalysisServiceServer((host, port), service, verbose=verbose)

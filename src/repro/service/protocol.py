@@ -1,0 +1,495 @@
+"""Typed operations protocol for the analysis service.
+
+Every analyst-facing operation of the toolchain -- associate, table1,
+whatif, chains, topology, recommend, simulate, consequences, validate,
+export -- is described here as a pair of frozen dataclasses: a request and a
+response.  Both sides are JSON-serializable (``to_dict`` / ``from_dict``
+round-trip exactly) and versioned with ``schema_version``, so the same
+protocol drives
+
+* the in-process :class:`repro.service.service.AnalysisService`,
+* the stdlib HTTP server in :mod:`repro.service.http`, and
+* the :class:`repro.service.client.ServiceClient`
+
+with bit-identical response JSON on every path (the service equivalence
+tests pin this).  :func:`canonical_json` is the one serialization every
+transport uses -- sorted keys, compact separators -- which is what makes
+byte-level comparisons meaningful.
+
+System models travel as :meth:`repro.graph.model.SystemGraph.to_dict`
+payloads (or as a registry name like ``"centrifuge"``); analysis artifacts
+travel as the dict forms of their dataclasses (``PostureMetrics``,
+``WhatIfComparison``, ``TopologyReport``, ...), so a client can rebuild the
+typed objects and reuse every renderer the library ships.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+
+from repro.analysis.metrics import PostureMetrics
+from repro.analysis.recommendations import Recommendation
+from repro.analysis.topology import TopologyReport
+from repro.analysis.whatif import WhatIfComparison
+from repro.attacks.consequence import ConsequenceAssessment
+from repro.graph.validation import ValidationFinding
+from repro.search.chains import ExploitChain
+
+#: Version of the request/response schema; bump on incompatible changes.
+SCHEMA_VERSION = 1
+
+
+def canonical_json(payload: dict) -> str:
+    """The one JSON serialization used by every transport.
+
+    Sorted keys and compact separators make the output a function of the
+    payload alone, so the in-process and HTTP paths can be compared byte for
+    byte.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class ServiceError(Exception):
+    """A typed operation failure that maps onto an HTTP status.
+
+    Raised by :class:`AnalysisService` methods for request-level problems
+    (unknown scenario, malformed model, unsupported schema version) and
+    re-raised by :class:`ServiceClient` from error response bodies, so the
+    caller sees the same exception whichever transport it used.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str = "invalid_request",
+        status: int = 400,
+        details: dict | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.code = code
+        self.status = status
+        self.details = details or {}
+
+    def to_dict(self) -> dict:
+        """The error response body."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "error": {
+                "code": self.code,
+                "message": self.message,
+                "details": self.details,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict, status: int = 400) -> "ServiceError":
+        """Rebuild from an error response body."""
+        error = payload.get("error") or {}
+        return cls(
+            error.get("message", "service error"),
+            code=error.get("code", "error"),
+            status=status,
+            details=error.get("details") or {},
+        )
+
+
+def _check_envelope(cls: type, payload: dict) -> None:
+    """Shared validation for every message ``from_dict``."""
+    if not isinstance(payload, dict):
+        raise ServiceError(
+            f"{cls.__name__} payload must be a JSON object, "
+            f"got {type(payload).__name__}",
+            code="malformed_payload",
+        )
+    version = payload.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise ServiceError(
+            f"unsupported schema version {version!r}; expected {SCHEMA_VERSION}",
+            code="unsupported_schema_version",
+        )
+    known = {field.name for field in fields(cls)} | {"schema_version"}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ServiceError(
+            f"unknown {cls.__name__} fields: {', '.join(unknown)}",
+            code="unknown_fields",
+        )
+
+
+@dataclass(frozen=True)
+class _FlatMessage:
+    """Base for messages whose fields are all JSON-native values.
+
+    Subclasses with nested typed fields override ``to_dict``/``from_dict``;
+    flat ones inherit the generic implementation, which also rejects unknown
+    fields and mismatched schema versions.
+    """
+
+    def to_dict(self) -> dict:
+        payload = {"schema_version": SCHEMA_VERSION}
+        for field in fields(self):
+            payload[field.name] = getattr(self, field.name)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict):
+        _check_envelope(cls, payload)
+        kwargs = {
+            field.name: payload[field.name]
+            for field in fields(cls)
+            if field.name in payload
+        }
+        try:
+            return cls(**kwargs)
+        except TypeError as error:
+            # A required field was absent: surface the protocol's typed
+            # error, not a bare constructor TypeError.
+            raise ServiceError(
+                f"malformed {cls.__name__} payload: {error}",
+                code="malformed_payload",
+            ) from error
+
+
+# -- requests -----------------------------------------------------------------
+#
+# ``model`` (and ``variant``) accept a registry name (``"centrifuge"``,
+# ``"uav"``), a ``SystemGraph.to_dict`` payload, or ``None`` for the default
+# model.  ``scale``/``scorer``/``workers`` select and drive the engine.
+
+
+@dataclass(frozen=True)
+class AssociateRequest(_FlatMessage):
+    """Associate attack vectors with a system model."""
+
+    model: str | dict | None = None
+    scale: float = 0.1
+    scorer: str = "coverage"
+    workers: int = 1
+
+
+@dataclass(frozen=True)
+class Table1Request(_FlatMessage):
+    """Reproduce the paper's Table 1 (per-attribute association counts)."""
+
+    model: str | dict | None = None
+    scale: float = 0.1
+    scorer: str = "coverage"
+    workers: int = 1
+
+
+@dataclass(frozen=True)
+class WhatIfRequest(_FlatMessage):
+    """Compare a variant architecture against a baseline.
+
+    ``variant=None`` applies the built-in hardened-workstation variant to the
+    baseline model server-side.
+    """
+
+    model: str | dict | None = None
+    variant: str | dict | None = None
+    scale: float = 0.1
+    scorer: str = "coverage"
+    workers: int = 1
+
+
+@dataclass(frozen=True)
+class ChainsRequest(_FlatMessage):
+    """Enumerate exploit chains from entry points to a target component."""
+
+    model: str | dict | None = None
+    target: str = "BPCS Platform"
+    max_length: int = 6
+    limit: int = 10
+    scale: float = 0.1
+    scorer: str = "coverage"
+    workers: int = 1
+
+
+@dataclass(frozen=True)
+class TopologyRequest(_FlatMessage):
+    """Topological security profile of a model (no corpus needed)."""
+
+    model: str | dict | None = None
+
+
+@dataclass(frozen=True)
+class RecommendRequest(_FlatMessage):
+    """Derive design-time mitigation recommendations."""
+
+    model: str | dict | None = None
+    per_component: int = 3
+    scale: float = 0.1
+    scorer: str = "coverage"
+    workers: int = 1
+
+
+@dataclass(frozen=True)
+class SimulateRequest(_FlatMessage):
+    """Run the SCADA simulation, optionally under a named attack scenario."""
+
+    scenario: str = "nominal"
+    duration_s: float = 420.0
+    dt: float = 0.5
+
+
+@dataclass(frozen=True)
+class ConsequencesRequest(_FlatMessage):
+    """Map one attack-vector record to physical consequences."""
+
+    record: str = "CWE-78"
+    component: str = "BPCS Platform"
+    duration_s: float = 420.0
+
+
+@dataclass(frozen=True)
+class ValidateRequest(_FlatMessage):
+    """Validate a system model for structural and fidelity smells."""
+
+    model: str | dict | None = None
+
+
+@dataclass(frozen=True)
+class ExportRequest(_FlatMessage):
+    """Export a system model to GraphML text."""
+
+    model: str | dict | None = None
+
+
+# -- responses ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AssociateResponse:
+    """Posture metrics and severity profile of an association."""
+
+    posture: PostureMetrics
+    severity_histogram: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "posture": self.posture.to_dict(),
+            "severity_histogram": dict(self.severity_histogram),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AssociateResponse":
+        _check_envelope(cls, payload)
+        return cls(
+            posture=PostureMetrics.from_dict(payload["posture"]),
+            severity_histogram=dict(payload["severity_histogram"]),
+        )
+
+
+@dataclass(frozen=True)
+class Table1Response(_FlatMessage):
+    """Every attribute's association counts (Table 1 rows, in model order)."""
+
+    attribute_table: list
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Table1Response":
+        _check_envelope(cls, payload)
+        return cls(attribute_table=[dict(row) for row in payload["attribute_table"]])
+
+
+@dataclass(frozen=True)
+class WhatIfResponse:
+    """A posture comparison between the baseline and the variant."""
+
+    comparison: WhatIfComparison
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "comparison": self.comparison.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WhatIfResponse":
+        _check_envelope(cls, payload)
+        return cls(comparison=WhatIfComparison.from_dict(payload["comparison"]))
+
+
+@dataclass(frozen=True)
+class ChainsResponse:
+    """Exploit chains to the target (best-first, truncated to the limit)."""
+
+    target: str
+    chains: tuple
+    summary: dict
+    total_chains: int
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "target": self.target,
+            "chains": [chain.to_dict() for chain in self.chains],
+            "summary": dict(self.summary),
+            "total_chains": self.total_chains,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ChainsResponse":
+        _check_envelope(cls, payload)
+        return cls(
+            target=payload["target"],
+            chains=tuple(ExploitChain.from_dict(item) for item in payload["chains"]),
+            summary=dict(payload["summary"]),
+            total_chains=payload["total_chains"],
+        )
+
+
+@dataclass(frozen=True)
+class TopologyResponse:
+    """The topological security profile of the model."""
+
+    report: TopologyReport
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "report": self.report.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TopologyResponse":
+        _check_envelope(cls, payload)
+        return cls(report=TopologyReport.from_dict(payload["report"]))
+
+
+@dataclass(frozen=True)
+class RecommendResponse:
+    """Prioritized design-time recommendations."""
+
+    recommendations: tuple
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "recommendations": [item.to_dict() for item in self.recommendations],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RecommendResponse":
+        _check_envelope(cls, payload)
+        return cls(
+            recommendations=tuple(
+                Recommendation.from_dict(item) for item in payload["recommendations"]
+            )
+        )
+
+
+@dataclass(frozen=True)
+class SimulateResponse(_FlatMessage):
+    """Outcome of one closed-loop simulation run.
+
+    ``hazard_events`` rows carry ``kind``, ``start_time_s``, ``duration_s``,
+    and ``peak_value``.
+    """
+
+    scenario: str
+    peak_temperature_c: float
+    peak_speed_rpm: float
+    sis_tripped: bool
+    sis_trip_reason: str
+    hazard_events: list
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimulateResponse":
+        _check_envelope(cls, payload)
+        return cls(
+            scenario=payload["scenario"],
+            peak_temperature_c=payload["peak_temperature_c"],
+            peak_speed_rpm=payload["peak_speed_rpm"],
+            sis_tripped=payload["sis_tripped"],
+            sis_trip_reason=payload["sis_trip_reason"],
+            hazard_events=[dict(row) for row in payload["hazard_events"]],
+        )
+
+
+@dataclass(frozen=True)
+class ConsequencesResponse:
+    """Consequence assessments for one record on one component."""
+
+    assessments: tuple
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "assessments": [item.to_dict() for item in self.assessments],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ConsequencesResponse":
+        _check_envelope(cls, payload)
+        return cls(
+            assessments=tuple(
+                ConsequenceAssessment.from_dict(item)
+                for item in payload["assessments"]
+            )
+        )
+
+
+@dataclass(frozen=True)
+class ValidateResponse:
+    """Findings of the model validator (empty means clean)."""
+
+    findings: tuple
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ValidateResponse":
+        _check_envelope(cls, payload)
+        return cls(
+            findings=tuple(
+                ValidationFinding.from_dict(item) for item in payload["findings"]
+            )
+        )
+
+
+@dataclass(frozen=True)
+class ExportResponse(_FlatMessage):
+    """A model exported as GraphML text (the caller decides where it lands)."""
+
+    graphml: str
+    component_count: int
+
+
+#: Operation name -> (request type, response type).  The single source of
+#: truth shared by the service, the HTTP server's routing table, the client,
+#: and the README's schema table.
+OPERATIONS: dict[str, tuple[type, type]] = {
+    "associate": (AssociateRequest, AssociateResponse),
+    "table1": (Table1Request, Table1Response),
+    "whatif": (WhatIfRequest, WhatIfResponse),
+    "chains": (ChainsRequest, ChainsResponse),
+    "topology": (TopologyRequest, TopologyResponse),
+    "recommend": (RecommendRequest, RecommendResponse),
+    "simulate": (SimulateRequest, SimulateResponse),
+    "consequences": (ConsequencesRequest, ConsequencesResponse),
+    "validate": (ValidateRequest, ValidateResponse),
+    "export": (ExportRequest, ExportResponse),
+}
+
+
+def parse_request(operation: str, payload: dict):
+    """Parse a raw JSON payload into the typed request for ``operation``."""
+    try:
+        request_type, _ = OPERATIONS[operation]
+    except KeyError:
+        raise ServiceError(
+            f"unknown operation {operation!r}",
+            code="unknown_operation",
+            status=404,
+            details={"known_operations": sorted(OPERATIONS)},
+        ) from None
+    return request_type.from_dict(payload)

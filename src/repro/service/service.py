@@ -1,0 +1,570 @@
+"""The long-lived analysis service: one warm engine, many analysts.
+
+The ROADMAP's "serve the engine" item lands here.  An
+:class:`AnalysisService` owns one warm :class:`~repro.workspace.Workspace`
+per corpus scale (plus, optionally, a one-file workspace artifact and/or an
+index snapshot on disk), a model registry, and the consequence-simulation
+machinery, and exposes every CLI operation as a method taking a typed
+request and returning a typed response (see
+:mod:`repro.service.protocol`).
+
+Three frontends drive the same object:
+
+* the CLI constructs one in-process per invocation (thin adapters in
+  :mod:`repro.cli`),
+* the stdlib HTTP server (:mod:`repro.service.http`) shares one instance
+  across its request threads,
+* library users call it directly for programmatic batch analysis.
+
+Thread safety: engine construction is serialized per corpus scale (a
+``_ScaleSlot`` lock per scale, so concurrent first requests build once),
+engines themselves use the lock-protected LRU caches and
+:class:`~repro.search.engine.EngineStats` built in earlier PRs, and every
+operation is a pure function of its request once the engine is warm -- N
+threads hammering one service return byte-identical responses to serial
+runs (the concurrency tests pin this).
+"""
+
+from __future__ import annotations
+
+import copy
+import functools
+import hashlib
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.analysis.metrics import compute_posture, severity_histogram
+from repro.analysis.recommendations import recommend
+from repro.analysis.topology import analyze_topology
+from repro.analysis.whatif import WhatIfStudy
+from repro.attacks.consequence import ConsequenceMapper
+from repro.attacks.scenarios import SCENARIO_LIBRARY
+from repro.casestudies.centrifuge import (
+    build_centrifuge_model,
+    hardened_workstation_variant,
+)
+from repro.casestudies.uav import build_uav_model
+from repro.cps.scada import ScadaSimulation
+from repro.graph.graphml import to_graphml_string
+from repro.graph.model import SystemGraph
+from repro.graph.validation import validate_model
+from repro.search.cache import LruCache
+from repro.search.chains import chain_summary, find_exploit_chains
+from repro.search.engine import SCORERS, SearchEngine
+from repro.service.protocol import (
+    OPERATIONS,
+    SCHEMA_VERSION,
+    AssociateRequest,
+    AssociateResponse,
+    ChainsRequest,
+    ChainsResponse,
+    ConsequencesRequest,
+    ConsequencesResponse,
+    ExportRequest,
+    ExportResponse,
+    RecommendRequest,
+    RecommendResponse,
+    ServiceError,
+    SimulateRequest,
+    SimulateResponse,
+    Table1Request,
+    Table1Response,
+    TopologyRequest,
+    TopologyResponse,
+    ValidateRequest,
+    ValidateResponse,
+    WhatIfRequest,
+    WhatIfResponse,
+    canonical_json,
+)
+from repro.workspace import Workspace
+
+#: Named models a request can refer to instead of shipping a model payload.
+MODEL_REGISTRY = {
+    "centrifuge": build_centrifuge_model,
+    "uav": build_uav_model,
+}
+
+#: The model used when a request does not name or carry one.
+DEFAULT_MODEL = "centrifuge"
+
+#: How many off-artifact corpus scales a service keeps warm at once.  Each
+#: slot holds a full corpus + engine, so the bound is what keeps a long-lived
+#: server's memory finite when clients ask for many distinct scales; the
+#: least-recently-used slot is dropped (a re-request simply rebuilds it).
+MAX_SCALE_SLOTS = 4
+
+
+def _cached_operation(method):
+    """Serve repeated identical requests from the bounded response cache.
+
+    Every operation is deterministic over the immutable corpus, so the
+    canonical request JSON fully determines the response; caching whole
+    responses turns a warm request into a copy instead of a posture
+    recomputation over thousands of matches.  The cache keeps a pristine
+    copy and every caller gets its own: the response dataclasses are frozen
+    but carry dict/list fields, and a mutation by one caller must never
+    poison what later identical requests (or the HTTP serializer) see.
+    Errors are never cached -- an exception propagates before the put.
+    """
+
+    name = method.__name__
+
+    @functools.wraps(method)
+    def wrapper(self, request):
+        cache = self._response_cache
+        if cache is None:
+            return method(self, request)
+        # Hash the canonical request JSON: inline model payloads can be
+        # megabytes, and keeping them alive as cache keys would let 1024
+        # entries pin gigabytes.  A digest keeps every key constant-size.
+        digest = hashlib.sha256(
+            canonical_json(request.to_dict()).encode("utf-8")
+        ).hexdigest()
+        key = (name, digest)
+        cached = cache.get(key)
+        if cached is not None:
+            return copy.deepcopy(cached)
+        response = method(self, request)
+        cache.put(key, copy.deepcopy(response))
+        return response
+
+    return wrapper
+
+
+class _ScaleSlot:
+    """One corpus scale's lazily built workspace, with its own build lock."""
+
+    __slots__ = ("lock", "workspace")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.workspace: Workspace | None = None
+
+
+class AnalysisService:
+    """Typed operations over one warm engine per corpus scale.
+
+    Parameters
+    ----------
+    workspace:
+        A :class:`Workspace`, or the path of a one-file workspace artifact.
+        A path is loaded lazily on the first request whose scale it might
+        serve; a missing, stale, or corrupt artifact is rebuilt at the
+        requested scale and (when ``save_artifacts`` is true) saved back --
+        the same degrade-to-rebuild semantics the CLI always had.
+    snapshot:
+        Optional index-snapshot path (the lighter PR-1 artifact), used when
+        no workspace serves the requested scale.
+    save_artifacts:
+        When true (the CLI default), rebuilt workspaces/snapshots are written
+        back to their configured paths.  A long-lived server passes false so
+        a single odd-scale request cannot overwrite the warm artifact it was
+        started from.
+    max_response_cache_entries:
+        LRU bound on the whole-response cache.  Every operation is a pure
+        function of its request over an immutable corpus, so identical
+        requests are answered with a copy of the cached response; this is
+        what makes a *warm* request tens of milliseconds of posture
+        recomputation cheaper than a merely engine-warm one.  ``None`` means
+        unbounded, ``0`` disables response caching (speed changes, bytes
+        never do -- the equivalence tests run both ways).
+    max_scale:
+        Upper bound on the corpus scale a request may ask for -- a shared
+        HTTP server's protection against one request synthesizing an
+        arbitrarily large corpus.  The CLI's in-process backend passes
+        ``None`` (no bound beyond positivity), preserving local freedom.
+    """
+
+    def __init__(
+        self,
+        *,
+        workspace: Workspace | str | Path | None = None,
+        snapshot: str | Path | None = None,
+        save_artifacts: bool = True,
+        max_response_cache_entries: int | None = 1024,
+        max_scale: float | None = 4.0,
+    ) -> None:
+        self._artifact_path: Path | None = None
+        self._artifact: Workspace | None = None
+        self._artifact_lock = threading.Lock()
+        if isinstance(workspace, Workspace):
+            self._artifact = workspace
+        elif workspace is not None:
+            self._artifact_path = Path(workspace)
+        self._snapshot_path = Path(snapshot) if snapshot else None
+        if self._snapshot_path is not None and (
+            self._artifact is not None or self._artifact_path is not None
+        ):
+            self._warn(
+                "--snapshot is ignored when --workspace is given "
+                "(the workspace bundles the index)"
+            )
+            self._snapshot_path = None
+        self._save_artifacts = save_artifacts
+        self._max_scale = max_scale
+        self._slots: dict[float, _ScaleSlot] = {}
+        self._slots_lock = threading.Lock()
+        self._response_cache = (
+            None
+            if max_response_cache_entries == 0
+            else LruCache(max_response_cache_entries)
+        )
+        self._started_at = time.monotonic()
+
+    # -- plumbing -------------------------------------------------------------
+
+    @staticmethod
+    def _warn(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    def _resolve_model(self, model: str | dict | None) -> SystemGraph:
+        """Materialize a request's model: registry name, payload, or default."""
+        if model is None:
+            model = DEFAULT_MODEL
+        if isinstance(model, str):
+            builder = MODEL_REGISTRY.get(model)
+            if builder is None:
+                raise ServiceError(
+                    f"unknown model {model!r}",
+                    code="unknown_model",
+                    status=404,
+                    details={"known_models": sorted(MODEL_REGISTRY)},
+                )
+            return builder()
+        if isinstance(model, dict):
+            try:
+                return SystemGraph.from_dict(model)
+            except (KeyError, TypeError, ValueError) as error:
+                raise ServiceError(
+                    f"malformed model payload: {error}",
+                    code="malformed_model",
+                    status=422,
+                ) from error
+        raise ServiceError(
+            f"model must be a registry name or a model payload, "
+            f"got {type(model).__name__}",
+            code="malformed_model",
+            status=422,
+        )
+
+    def _check_scale(self, scale: float) -> float:
+        if not isinstance(scale, (int, float)) or isinstance(scale, bool):
+            raise ServiceError(
+                f"scale must be a number, got {scale!r}", code="invalid_scale"
+            )
+        if scale <= 0.0 or (self._max_scale is not None and scale > self._max_scale):
+            bound = "inf" if self._max_scale is None else f"{self._max_scale:g}"
+            raise ServiceError(
+                f"scale must be within (0, {bound}], got {scale}",
+                code="invalid_scale",
+            )
+        return float(scale)
+
+    @staticmethod
+    def _check_int(name: str, value, minimum: int, maximum: int) -> int:
+        """Validate an integral request field; typed 400 on anything else."""
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ServiceError(
+                f"{name} must be an integer, got {value!r}",
+                code=f"invalid_{name}",
+            )
+        if not minimum <= value <= maximum:
+            raise ServiceError(
+                f"{name} must be within [{minimum}, {maximum}], got {value}",
+                code=f"invalid_{name}",
+            )
+        return value
+
+    #: Longest accepted simulation horizon (one simulated day); keeps a
+    #: single HTTP request from pinning a server thread indefinitely.
+    MAX_SIMULATION_S = 86_400.0
+
+    def _check_simulation_window(self, duration_s, dt=0.5) -> tuple[float, float]:
+        for name, value in (("duration_s", duration_s), ("dt", dt)):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ServiceError(
+                    f"{name} must be a number, got {value!r}", code="invalid_duration"
+                )
+        if not 0.0 < duration_s <= self.MAX_SIMULATION_S:
+            raise ServiceError(
+                f"duration_s must be within (0, {self.MAX_SIMULATION_S:.0f}], "
+                f"got {duration_s}",
+                code="invalid_duration",
+            )
+        if not 0.0 < dt <= duration_s:
+            raise ServiceError(
+                f"dt must be within (0, duration_s], got {dt}",
+                code="invalid_duration",
+            )
+        return float(duration_s), float(dt)
+
+    def _check_scorer(self, scorer: str) -> str:
+        if scorer not in SCORERS:
+            raise ServiceError(
+                f"unknown scorer {scorer!r}; expected one of {SCORERS}",
+                code="invalid_scorer",
+            )
+        return scorer
+
+    def _engine(self, scale: float, scorer: str) -> SearchEngine:
+        """The warm engine for (scale, scorer), built at most once per config."""
+        scale = self._check_scale(scale)
+        scorer = self._check_scorer(scorer)
+        artifact = self._load_artifact()
+        if artifact is not None and artifact.matches(scale=scale):
+            return artifact.shared_engine(scorer=scorer)
+        if self._artifact_path is not None and self._save_artifacts:
+            # CLI semantics: a configured artifact that does not serve the
+            # requested scale is rebuilt at that scale and overwritten.
+            return self._rebuild_artifact(scale, scorer).shared_engine(scorer=scorer)
+        with self._slots_lock:
+            slot = self._slots.get(scale)
+            if slot is None:
+                slot = self._slots[scale] = _ScaleSlot()
+            else:
+                # Reinsert so plain dict order doubles as LRU order.
+                self._slots[scale] = self._slots.pop(scale)
+            while len(self._slots) > MAX_SCALE_SLOTS:
+                self._slots.pop(next(iter(self._slots)))
+        with slot.lock:
+            if slot.workspace is None:
+                slot.workspace = self._build_workspace(scale, scorer)
+        return slot.workspace.shared_engine(scorer=scorer)
+
+    def _load_artifact(self) -> Workspace | None:
+        """The attached workspace artifact, loaded at most once per path."""
+        if self._artifact is not None or self._artifact_path is None:
+            return self._artifact
+        with self._artifact_lock:
+            if self._artifact is None and self._artifact_path.exists():
+                try:
+                    self._artifact = Workspace.load(self._artifact_path)
+                except (ValueError, OSError) as error:
+                    self._warn(f"ignoring stale workspace artifact: {error}")
+        return self._artifact
+
+    def _rebuild_artifact(self, scale: float, scorer: str) -> Workspace:
+        with self._artifact_lock:
+            if self._artifact is not None and self._artifact.matches(scale=scale):
+                return self._artifact
+            if self._artifact is not None:
+                self._warn(
+                    "ignoring workspace artifact built with different parameters"
+                )
+            built = Workspace.build(scale=scale, scorer=scorer)
+            try:
+                built.save(self._artifact_path)
+            except OSError as error:
+                self._warn(f"could not write workspace artifact: {error}")
+            self._artifact = built
+            return built
+
+    def _build_workspace(self, scale: float, scorer: str) -> Workspace:
+        """Build one scale's workspace, via the index snapshot when configured."""
+        if self._snapshot_path is None:
+            return Workspace.build(scale=scale, scorer=scorer)
+        from repro.corpus.synthesis import build_corpus
+
+        corpus = build_corpus(scale=scale)
+        if self._snapshot_path.exists():
+            try:
+                engine = SearchEngine.from_index_snapshot(
+                    corpus, self._snapshot_path, scorer=scorer
+                )
+                return Workspace.from_engine(engine)
+            except (ValueError, OSError) as error:
+                self._warn(f"ignoring stale index snapshot: {error}")
+        engine = SearchEngine(corpus, scorer=scorer)
+        if self._save_artifacts:
+            try:
+                engine.save_index_snapshot(self._snapshot_path)
+            except OSError as error:
+                self._warn(f"could not write index snapshot: {error}")
+        return Workspace.from_engine(engine)
+
+    def _associate(self, request) -> tuple:
+        """Shared associate step: (engine, association) for a request."""
+        workers = self._check_int("workers", request.workers, 1, 64)
+        engine = self._engine(request.scale, request.scorer)
+        model = self._resolve_model(request.model)
+        return engine, engine.associate(model, workers=workers)
+
+    # -- operations -----------------------------------------------------------
+
+    @_cached_operation
+    def associate(self, request: AssociateRequest) -> AssociateResponse:
+        """Associate attack vectors with a model; posture + severity profile."""
+        _, association = self._associate(request)
+        return AssociateResponse(
+            posture=compute_posture(association),
+            severity_histogram=severity_histogram(association),
+        )
+
+    @_cached_operation
+    def table1(self, request: Table1Request) -> Table1Response:
+        """Per-attribute association counts (the paper's Table 1 rows)."""
+        _, association = self._associate(request)
+        return Table1Response(attribute_table=association.attribute_table())
+
+    @_cached_operation
+    def whatif(self, request: WhatIfRequest) -> WhatIfResponse:
+        """Compare a variant architecture against the baseline."""
+        workers = self._check_int("workers", request.workers, 1, 64)
+        engine = self._engine(request.scale, request.scorer)
+        baseline = self._resolve_model(request.model)
+        if request.variant is None:
+            variant = hardened_workstation_variant(baseline)
+        else:
+            variant = self._resolve_model(request.variant)
+        study = WhatIfStudy(engine, workers=workers)
+        return WhatIfResponse(comparison=study.compare(baseline, variant))
+
+    @_cached_operation
+    def chains(self, request: ChainsRequest) -> ChainsResponse:
+        """Exploit chains from entry points to the target component."""
+        max_length = self._check_int("max_length", request.max_length, 1, 32)
+        limit = self._check_int("limit", request.limit, 1, 10_000)
+        _, association = self._associate(request)
+        try:
+            chains = find_exploit_chains(
+                association, request.target, max_length=max_length
+            )
+        except KeyError:
+            raise ServiceError(
+                f"unknown component {request.target!r}",
+                code="unknown_component",
+                status=404,
+                details={
+                    "known_components": list(
+                        association.system.component_names()
+                    )
+                },
+            ) from None
+        return ChainsResponse(
+            target=request.target,
+            chains=tuple(chains[:limit]),
+            summary=chain_summary(chains),
+            total_chains=len(chains),
+        )
+
+    @_cached_operation
+    def topology(self, request: TopologyRequest) -> TopologyResponse:
+        """Topological security profile of the model (no corpus involved)."""
+        model = self._resolve_model(request.model)
+        return TopologyResponse(report=analyze_topology(model))
+
+    @_cached_operation
+    def recommend(self, request: RecommendRequest) -> RecommendResponse:
+        """Design-time mitigation recommendations from an association."""
+        per_component = self._check_int(
+            "per_component", request.per_component, 1, 100
+        )
+        engine, association = self._associate(request)
+        recommendations = recommend(
+            association, engine.corpus, per_component=per_component
+        )
+        return RecommendResponse(recommendations=tuple(recommendations))
+
+    @_cached_operation
+    def simulate(self, request: SimulateRequest) -> SimulateResponse:
+        """One closed-loop SCADA run, nominal or under a named scenario."""
+        duration_s, dt = self._check_simulation_window(request.duration_s, request.dt)
+        if request.scenario == "nominal":
+            interventions = []
+        else:
+            scenario = SCENARIO_LIBRARY.get(request.scenario)
+            if scenario is None:
+                raise ServiceError(
+                    f"unknown scenario {request.scenario!r}",
+                    code="unknown_scenario",
+                    status=404,
+                    details={"known_scenarios": list(SCENARIO_LIBRARY)},
+                )
+            interventions = scenario.interventions()
+        simulation = ScadaSimulation(interventions=interventions)
+        trace = simulation.run(duration_s=duration_s, dt=dt)
+        report = trace.hazards()
+        return SimulateResponse(
+            scenario=request.scenario,
+            peak_temperature_c=trace.max_temperature(),
+            peak_speed_rpm=trace.max_speed(),
+            sis_tripped=simulation.sis.tripped,
+            sis_trip_reason=simulation.sis.trip_reason,
+            hazard_events=[
+                {
+                    "kind": event.kind.value,
+                    "start_time_s": event.start_time_s,
+                    "duration_s": event.duration_s,
+                    "peak_value": event.peak_value,
+                }
+                for event in report.events
+            ],
+        )
+
+    @_cached_operation
+    def consequences(self, request: ConsequencesRequest) -> ConsequencesResponse:
+        """Physical-consequence assessments for one record on one component."""
+        duration_s, _ = self._check_simulation_window(request.duration_s)
+        mapper = ConsequenceMapper(duration_s=duration_s)
+        assessments = mapper.assess(request.record, request.component)
+        return ConsequencesResponse(assessments=tuple(assessments))
+
+    @_cached_operation
+    def validate(self, request: ValidateRequest) -> ValidateResponse:
+        """Structural/fidelity validation findings for the model."""
+        model = self._resolve_model(request.model)
+        return ValidateResponse(findings=tuple(validate_model(model)))
+
+    @_cached_operation
+    def export(self, request: ExportRequest) -> ExportResponse:
+        """The model as GraphML text (the caller decides where it lands)."""
+        model = self._resolve_model(request.model)
+        return ExportResponse(
+            graphml=to_graphml_string(model), component_count=len(model)
+        )
+
+    # -- introspection --------------------------------------------------------
+
+    def health(self) -> dict:
+        """Liveness and warm-state payload for the ``/healthz`` endpoint."""
+        engines = []
+        seen: dict[int, Workspace] = {}
+        artifact = self._artifact
+        if artifact is not None:
+            seen[id(artifact)] = artifact
+        with self._slots_lock:
+            for slot in self._slots.values():
+                # Dedupe by identity: Workspace equality would deep-compare
+                # the multi-megabyte prepared bundle on every health probe.
+                if slot.workspace is not None:
+                    seen.setdefault(id(slot.workspace), slot.workspace)
+        for workspace in seen.values():
+            scale = (workspace.params or {}).get("scale")
+            for engine in workspace.engine_handles():
+                info = engine.health_info()
+                info["scale"] = scale
+                engines.append(info)
+        response_cache = self._response_cache
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "status": "ok",
+            "version": __version__,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "operations": sorted(OPERATIONS),
+            "models": sorted(MODEL_REGISTRY),
+            "response_cache": {
+                "enabled": response_cache is not None,
+                "entries": len(response_cache) if response_cache is not None else 0,
+                "evictions": response_cache.evictions
+                if response_cache is not None
+                else 0,
+                "max_entries": response_cache.max_entries
+                if response_cache is not None
+                else 0,
+            },
+            "engines": engines,
+        }

@@ -104,7 +104,10 @@ class Workspace:
     equivalence tests pin this).
     """
 
-    prepared: dict
+    #: Prepared engine payload.  ``None`` on a freshly bundled engine
+    #: (:meth:`from_engine` defers the ~60 ms serialization until save or an
+    #: engine rebuild actually needs it); always a dict after :meth:`load`.
+    prepared: dict | None
     params: dict | None = None
     engine_config: dict = field(default_factory=dict)
     _corpus: CorpusStore | None = field(default=None, repr=False)
@@ -116,6 +119,9 @@ class Workspace:
 
     def __post_init__(self) -> None:
         self._corpus_lock = threading.Lock()
+        self._prepared_lock = threading.Lock()
+        self._engine_handles: dict[tuple, SearchEngine] = {}
+        self._engine_handles_lock = threading.Lock()
 
     # -- construction ---------------------------------------------------------
 
@@ -140,9 +146,14 @@ class Workspace:
 
     @classmethod
     def from_engine(cls, engine: SearchEngine) -> "Workspace":
-        """Bundle an existing engine (and its corpus) into a workspace."""
+        """Bundle an existing engine (and its corpus) into a workspace.
+
+        The prepared payload is *not* serialized here: build-then-associate
+        flows that never save or reconfigure would pay for it without ever
+        reading it.  It materializes lazily (see :attr:`prepared`).
+        """
         return cls(
-            prepared=engine.prepared_payload(),
+            prepared=None,
             params=None,
             engine_config={
                 name: getattr(engine, name) for name in ENGINE_CONFIG_FIELDS
@@ -150,6 +161,18 @@ class Workspace:
             _corpus=engine.corpus,
             _built_engine=engine,
         )
+
+    def _materialized_prepared(self) -> dict:
+        """The prepared payload, serialized from the built engine on demand."""
+        if self.prepared is None:
+            with self._prepared_lock:
+                if self.prepared is None:
+                    if self._built_engine is None:
+                        raise ValueError(
+                            "workspace has neither a prepared payload nor an engine"
+                        )
+                    self.prepared = self._built_engine.prepared_payload()
+        return self.prepared
 
     # -- corpus ---------------------------------------------------------------
 
@@ -177,7 +200,7 @@ class Workspace:
     @property
     def corpus_fingerprint(self) -> str | None:
         """Content hash of the bundled corpus (from the prepared payload)."""
-        return self.prepared.get("corpus_fingerprint")
+        return self._materialized_prepared().get("corpus_fingerprint")
 
     def matches(
         self,
@@ -223,8 +246,34 @@ class Workspace:
             return self._built_engine
         kwargs = {**self.engine_config, **overrides}
         return SearchEngine.from_prepared(
-            self.prepared, corpus_loader=lambda: self.corpus, **kwargs
+            self._materialized_prepared(),
+            corpus_loader=lambda: self.corpus,
+            **kwargs,
         )
+
+    def shared_engine(self, **overrides) -> SearchEngine:
+        """A long-lived engine handle, one per effective configuration.
+
+        :meth:`engine` constructs a fresh engine (a TF-IDF refit per record
+        class) on every call; a long-lived service wants the *same* warm
+        engine back for repeated requests so its result caches and stats
+        accumulate.  This method memoizes engines per effective configuration
+        (recorded config merged with the overrides) under a lock, so N
+        concurrent requests share one engine instead of racing N builds.
+        """
+        effective = {**self.engine_config, **overrides}
+        key = tuple(sorted(effective.items()))
+        with self._engine_handles_lock:
+            engine = self._engine_handles.get(key)
+            if engine is None:
+                engine = self.engine(**overrides)
+                self._engine_handles[key] = engine
+        return engine
+
+    def engine_handles(self) -> tuple[SearchEngine, ...]:
+        """Every engine handed out by :meth:`shared_engine` so far."""
+        with self._engine_handles_lock:
+            return tuple(self._engine_handles.values())
 
     # -- persistence ----------------------------------------------------------
 
@@ -235,7 +284,7 @@ class Workspace:
         section: per index, per token, the position array followed by the
         frequency array, as little-endian ``uint32``.
         """
-        prepared = dict(self.prepared)
+        prepared = dict(self._materialized_prepared())
         index_meta: dict[str, dict] = {}
         postings_blob = bytearray()
         for kind_value, index_payload in prepared.pop("indexes").items():

@@ -134,6 +134,61 @@ def test_stale_snapshot_is_rebuilt(tmp_path, capsys):
     assert "ignoring stale" not in capsys.readouterr().err
 
 
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert out.startswith("cpsec ")
+
+
+def test_missing_model_file_exits_2(capsys):
+    assert main(["associate", "--scale", "0.02", "--model", "/no/such/model.graphml"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("cpsec: cannot read model")
+    assert "Traceback" not in err
+
+
+def test_corrupt_model_file_exits_2(tmp_path, capsys):
+    path = tmp_path / "bad.graphml"
+    path.write_text("this is not xml", encoding="utf-8")
+    assert main(["validate", "--model", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("cpsec: cannot read model")
+
+
+def test_negative_simulation_duration_exits_2(capsys):
+    assert main(["simulate", "--duration", "-5"]) == 2
+    err = capsys.readouterr().err
+    assert "duration_s" in err
+    assert "Traceback" not in err
+
+
+def test_serve_missing_workspace_exits_2(tmp_path, capsys):
+    assert main(["serve", "--workspace", str(tmp_path / "none.cpsecws")]) == 2
+    err = capsys.readouterr().err
+    assert "workspace artifact not found" in err
+
+
+def test_serve_corrupt_workspace_exits_2(tmp_path, capsys):
+    path = tmp_path / "corrupt.cpsecws"
+    path.write_bytes(b"garbage bytes, not an artifact")
+    assert main(["serve", "--workspace", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert "cannot load workspace artifact" in err
+
+
+def test_associate_with_workspace_saves_then_loads(tmp_path, capsys):
+    workspace = tmp_path / "ws.cpsecws"
+    assert main(["associate", "--scale", "0.02", "--workspace", str(workspace)]) == 0
+    first = capsys.readouterr().out
+    assert workspace.exists()
+    # Second run loads the artifact and must print the identical report.
+    assert main(["associate", "--scale", "0.02", "--workspace", str(workspace)]) == 0
+    second = capsys.readouterr().out
+    assert second == first
+
+
 def test_snapshot_pointing_at_directory_degrades_gracefully(tmp_path, capsys):
     # A directory is unreadable as a snapshot and unwritable as one; both
     # failures must warn and fall back to an in-memory engine, not crash.

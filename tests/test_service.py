@@ -1,0 +1,300 @@
+"""Behavioural tests for the in-process :class:`AnalysisService`.
+
+The service must be a pure re-plumbing of the library: every operation's
+response carries exactly what the corresponding direct library calls
+produce, artifacts (workspace/snapshot) only change construction time, and
+request-level failures surface as typed :class:`ServiceError`\\ s.
+"""
+
+import pytest
+
+from repro.analysis.metrics import compute_posture, severity_histogram
+from repro.analysis.whatif import WhatIfStudy
+from repro.casestudies.centrifuge import (
+    build_centrifuge_model,
+    hardened_workstation_variant,
+)
+from repro.corpus.synthesis import build_corpus
+from repro.graph.graphml import from_graphml_string
+from repro.search.engine import SearchEngine
+from repro.service import (
+    AnalysisService,
+    AssociateRequest,
+    ChainsRequest,
+    ConsequencesRequest,
+    ExportRequest,
+    RecommendRequest,
+    ServiceError,
+    SimulateRequest,
+    Table1Request,
+    TopologyRequest,
+    ValidateRequest,
+    WhatIfRequest,
+    canonical_json,
+)
+
+SCALE = 0.02
+
+
+@pytest.fixture(scope="module")
+def service():
+    return AnalysisService()
+
+
+@pytest.fixture(scope="module")
+def reference_engine():
+    return SearchEngine(build_corpus(scale=SCALE))
+
+
+def test_associate_matches_direct_library_calls(service, reference_engine):
+    response = service.associate(AssociateRequest(scale=SCALE))
+    association = reference_engine.associate(build_centrifuge_model())
+    assert response.posture.to_dict() == compute_posture(association).to_dict()
+    assert response.severity_histogram == severity_histogram(association)
+
+
+def test_table1_matches_attribute_table(service, reference_engine):
+    response = service.table1(Table1Request(scale=SCALE))
+    association = reference_engine.associate(build_centrifuge_model())
+    assert response.attribute_table == association.attribute_table()
+
+
+def test_whatif_defaults_to_hardened_workstation_variant(service, reference_engine):
+    response = service.whatif(WhatIfRequest(scale=SCALE))
+    baseline = build_centrifuge_model()
+    expected = WhatIfStudy(reference_engine).compare(
+        baseline, hardened_workstation_variant(baseline)
+    )
+    assert response.comparison.to_dict() == expected.to_dict()
+
+
+def test_chains_applies_limit_and_reports_totals(service):
+    unlimited = service.chains(ChainsRequest(scale=SCALE, limit=1000))
+    limited = service.chains(ChainsRequest(scale=SCALE, limit=2))
+    assert limited.total_chains == unlimited.total_chains
+    assert len(limited.chains) == min(2, unlimited.total_chains)
+    assert limited.chains == unlimited.chains[:2]
+    assert limited.summary == unlimited.summary
+    assert limited.summary["count"] == unlimited.total_chains
+
+
+def test_topology_needs_no_engine():
+    # A fresh service answers topology without ever building a corpus.
+    fresh = AnalysisService()
+    response = fresh.topology(TopologyRequest())
+    assert not fresh._slots  # no engine slot was created
+    assert response.report.system_name
+    assert "Corporate Network" in response.report.attack_surface
+
+
+def test_recommend_honours_per_component(service):
+    many = service.recommend(RecommendRequest(scale=SCALE, per_component=3))
+    few = service.recommend(RecommendRequest(scale=SCALE, per_component=1))
+    assert len(few.recommendations) <= len(many.recommendations)
+    assert all(r.priority > 0 for r in many.recommendations)
+
+
+def test_simulate_nominal_and_attack(service):
+    nominal = service.simulate(SimulateRequest(scenario="nominal", duration_s=120.0))
+    assert nominal.hazard_events == []
+    assert not nominal.sis_tripped
+    attack = service.simulate(
+        SimulateRequest(scenario="triton-like-sis-bypass", duration_s=420.0)
+    )
+    assert any(event["kind"] == "thermal_runaway" for event in attack.hazard_events)
+
+
+def test_consequences_known_and_unknown_record(service):
+    known = service.consequences(ConsequencesRequest(record="CWE-78", duration_s=120.0))
+    assert known.assessments
+    assert all(a.record_id == "CWE-78" for a in known.assessments)
+    unknown = service.consequences(ConsequencesRequest(record="CWE-79", duration_s=120.0))
+    assert unknown.assessments == ()
+
+
+def test_validate_and_export(service):
+    validate = service.validate(ValidateRequest())
+    assert isinstance(validate.findings, tuple)
+    export = service.export(ExportRequest())
+    model = from_graphml_string(export.graphml)
+    assert len(model) == export.component_count == len(build_centrifuge_model())
+
+
+def test_model_registry_and_inline_payloads(service):
+    uav = service.topology(TopologyRequest(model="uav"))
+    assert uav.report.system_name != "centrifuge-scada"
+    inline = build_centrifuge_model().to_dict()
+    via_payload = service.topology(TopologyRequest(model=inline))
+    via_default = service.topology(TopologyRequest())
+    assert via_payload.to_dict() == via_default.to_dict()
+
+
+def test_engines_are_warm_and_shared(service):
+    first = service._engine(SCALE, "coverage")
+    second = service._engine(SCALE, "coverage")
+    assert first is second
+    cosine = service._engine(SCALE, "cosine")
+    assert cosine is not first
+    # Repeated identical requests are byte-identical (warm caches are exact).
+    a = service.associate(AssociateRequest(scale=SCALE))
+    b = service.associate(AssociateRequest(scale=SCALE))
+    assert canonical_json(a.to_dict()) == canonical_json(b.to_dict())
+
+
+@pytest.mark.parametrize(
+    "request_obj, code",
+    [
+        (AssociateRequest(scale=SCALE, model="nope"), "unknown_model"),
+        (AssociateRequest(scale=SCALE, model=42), "malformed_model"),
+        (AssociateRequest(scale=SCALE, model={"components": [{"bad": 1}]}), "malformed_model"),
+        (AssociateRequest(scale=-1.0), "invalid_scale"),
+        (AssociateRequest(scale=SCALE, scorer="bm25"), "invalid_scorer"),
+        (ChainsRequest(scale=SCALE, target="No Such Component"), "unknown_component"),
+        (SimulateRequest(scenario="nope"), "unknown_scenario"),
+        (SimulateRequest(duration_s=-5.0), "invalid_duration"),
+        (SimulateRequest(duration_s=1e15), "invalid_duration"),
+        (SimulateRequest(duration_s=120.0, dt=0.0), "invalid_duration"),
+        (ConsequencesRequest(duration_s=0.0), "invalid_duration"),
+        (AssociateRequest(scale=SCALE, workers="many"), "invalid_workers"),
+        (AssociateRequest(scale=SCALE, workers=0), "invalid_workers"),
+        (ChainsRequest(scale=SCALE, max_length="six"), "invalid_max_length"),
+        (ChainsRequest(scale=SCALE, limit=0), "invalid_limit"),
+        (ChainsRequest(scale=SCALE, limit=-1), "invalid_limit"),
+        (RecommendRequest(scale=SCALE, per_component=0), "invalid_per_component"),
+    ],
+)
+def test_request_errors_are_typed(service, request_obj, code):
+    operation = {
+        "AssociateRequest": "associate",
+        "ChainsRequest": "chains",
+        "SimulateRequest": "simulate",
+        "ConsequencesRequest": "consequences",
+        "RecommendRequest": "recommend",
+    }[type(request_obj).__name__]
+    with pytest.raises(ServiceError) as excinfo:
+        getattr(service, operation)(request_obj)
+    assert excinfo.value.code == code
+
+
+def test_unknown_scenario_lists_known_ones(service):
+    with pytest.raises(ServiceError) as excinfo:
+        service.simulate(SimulateRequest(scenario="nope"))
+    assert "triton-like-sis-bypass" in excinfo.value.details["known_scenarios"]
+
+
+def test_workspace_artifact_is_built_then_reloaded(tmp_path, capsys):
+    path = tmp_path / "ws.cpsecws"
+    first = AnalysisService(workspace=path)
+    reference = first.associate(AssociateRequest(scale=SCALE))
+    assert path.exists()
+    second = AnalysisService(workspace=path)
+    reloaded = second.associate(AssociateRequest(scale=SCALE))
+    assert canonical_json(reloaded.to_dict()) == canonical_json(reference.to_dict())
+    # The artifact served the request: no in-memory scale slot was built.
+    assert second._artifact is not None
+    assert not second._slots
+
+
+def test_mismatched_workspace_artifact_is_rebuilt(tmp_path, capsys):
+    path = tmp_path / "ws.cpsecws"
+    AnalysisService(workspace=path).associate(AssociateRequest(scale=SCALE))
+    service = AnalysisService(workspace=path)
+    service.associate(AssociateRequest(scale=0.03))
+    err = capsys.readouterr().err
+    assert "ignoring workspace artifact built with different parameters" in err
+    # The artifact now matches the new scale and reloads cleanly.
+    third = AnalysisService(workspace=path)
+    third.associate(AssociateRequest(scale=0.03))
+    assert "ignoring" not in capsys.readouterr().err
+
+
+def test_server_mode_does_not_overwrite_artifact(tmp_path):
+    path = tmp_path / "ws.cpsecws"
+    AnalysisService(workspace=path).associate(AssociateRequest(scale=SCALE))
+    stamp = path.read_bytes()
+    server_side = AnalysisService(workspace=path, save_artifacts=False)
+    server_side.associate(AssociateRequest(scale=0.03))
+    assert path.read_bytes() == stamp  # odd-scale request built in memory
+    assert 0.03 in server_side._slots
+
+
+def test_snapshot_path_is_used_and_rebuilt(tmp_path, capsys):
+    snapshot = tmp_path / "index.json"
+    first = AnalysisService(snapshot=snapshot)
+    reference = first.associate(AssociateRequest(scale=SCALE))
+    assert snapshot.exists()
+    second = AnalysisService(snapshot=snapshot)
+    reloaded = second.associate(AssociateRequest(scale=SCALE))
+    assert canonical_json(reloaded.to_dict()) == canonical_json(reference.to_dict())
+    assert "ignoring stale" not in capsys.readouterr().err
+    # A different scale invalidates the fingerprint and rebuilds.
+    AnalysisService(snapshot=snapshot).associate(AssociateRequest(scale=0.03))
+    assert "ignoring stale index snapshot" in capsys.readouterr().err
+
+
+def test_snapshot_is_ignored_when_workspace_given(tmp_path, capsys):
+    AnalysisService(workspace=tmp_path / "ws.bin", snapshot=tmp_path / "index.json")
+    assert "--snapshot is ignored" in capsys.readouterr().err
+
+
+def test_response_cache_serves_equal_isolated_copies(service):
+    request = AssociateRequest(scale=SCALE)
+    first = service.associate(request)
+    second = service.associate(request)
+    assert first == second
+    assert first is not second  # each caller owns its copy...
+    first.severity_histogram.clear()  # ...so mutation cannot poison the cache
+    assert service.associate(request) == second
+    assert service.health()["response_cache"]["entries"] >= 1
+
+
+def test_disabled_response_cache_still_returns_identical_bytes():
+    cached = AnalysisService()
+    uncached = AnalysisService(max_response_cache_entries=0)
+    request = AssociateRequest(scale=SCALE)
+    a = cached.associate(request)
+    b = uncached.associate(request)
+    c = uncached.associate(request)
+    assert b is not c  # recomputed every time...
+    assert canonical_json(a.to_dict()) == canonical_json(b.to_dict())
+    assert canonical_json(b.to_dict()) == canonical_json(c.to_dict())
+
+
+def test_scale_bound_is_a_server_guard_not_a_cli_limit():
+    # The shared-server default rejects huge scales with a typed error...
+    with pytest.raises(ServiceError) as excinfo:
+        AnalysisService().associate(AssociateRequest(scale=100.0))
+    assert excinfo.value.code == "invalid_scale"
+    # ...but the CLI's in-process backend (max_scale=None) only requires
+    # positivity, so local users keep their freedom.
+    unbounded = AnalysisService(max_scale=None)
+    assert unbounded._check_scale(100.0) == 100.0
+    with pytest.raises(ServiceError):
+        unbounded._check_scale(0.0)
+
+
+def test_scale_slots_are_lru_bounded():
+    from repro.service.service import MAX_SCALE_SLOTS
+
+    service = AnalysisService(max_response_cache_entries=0)
+    # Touch more distinct scales than the bound; all must answer correctly
+    # while the slot map stays bounded (LRU evicted, not accumulated).
+    scales = [0.01 + 0.005 * step for step in range(MAX_SCALE_SLOTS + 2)]
+    for scale in scales:
+        service.topology(TopologyRequest())  # no slot
+        service.table1(Table1Request(scale=scale))
+    assert len(service._slots) == MAX_SCALE_SLOTS
+    assert list(service._slots) == scales[-MAX_SCALE_SLOTS:]
+
+
+def test_health_reports_warm_engines(service):
+    service.associate(AssociateRequest(scale=SCALE))
+    payload = service.health()
+    assert payload["status"] == "ok"
+    assert "associate" in payload["operations"]
+    assert "centrifuge" in payload["models"]
+    scales = {engine["scale"] for engine in payload["engines"]}
+    assert SCALE in scales
+    for engine in payload["engines"]:
+        assert engine["stats"]["components_scored"] >= 0
+        assert "attribute_entries" in engine["cache_info"]

@@ -1,0 +1,180 @@
+"""Concurrent use of one shared service must change nothing but wall-clock.
+
+This is the workload the PR 1-2 infrastructure (thread-safe LRU caches,
+lock-protected :class:`EngineStats`) was built for: N threads issuing mixed
+``associate`` / ``whatif`` / ``chains`` requests against one warm in-process
+service.  Two properties are pinned:
+
+* every concurrent response is **byte-identical** to the serial single-shot
+  response for the same request, and
+* the stats counters stay exactly consistent -- every increment goes through
+  a lock, so the totals equal the arithmetic of the request mix (a single
+  lost update would break the equality).
+"""
+
+import threading
+
+from repro.casestudies.centrifuge import (
+    build_centrifuge_model,
+    hardened_workstation_variant,
+)
+from repro.service import (
+    AnalysisService,
+    AssociateRequest,
+    ChainsRequest,
+    WhatIfRequest,
+    canonical_json,
+)
+
+SCALE = 0.02
+THREADS = 8
+ROUNDS = 3
+
+MIX = (
+    ("associate", AssociateRequest(scale=SCALE)),
+    ("whatif", WhatIfRequest(scale=SCALE)),
+    ("chains", ChainsRequest(scale=SCALE, limit=5)),
+)
+
+
+def _serial_references() -> dict[str, str]:
+    service = AnalysisService()
+    return {
+        operation: canonical_json(getattr(service, operation)(request).to_dict())
+        for operation, request in MIX
+    }
+
+
+def test_concurrent_mixed_requests_are_byte_identical_to_serial():
+    expected = _serial_references()
+    # Response caching disabled: every request must recompute through the
+    # engine's caches concurrently, which is the contention being tested.
+    service = AnalysisService(max_response_cache_entries=0)
+    results: list[tuple[str, str, str | None]] = []
+    results_lock = threading.Lock()
+    barrier = threading.Barrier(THREADS)
+
+    def hammer(offset: int) -> None:
+        barrier.wait()  # maximize interleaving: everyone starts together
+        for round_index in range(ROUNDS):
+            # Stagger the mix per thread so different operations overlap.
+            for step in range(len(MIX)):
+                operation, request = MIX[(offset + round_index + step) % len(MIX)]
+                try:
+                    payload = canonical_json(
+                        getattr(service, operation)(request).to_dict()
+                    )
+                    failure = None
+                except Exception as error:  # noqa: BLE001 - recorded for assert
+                    payload, failure = "", f"{type(error).__name__}: {error}"
+                with results_lock:
+                    results.append((operation, payload, failure))
+
+    threads = [
+        threading.Thread(target=hammer, args=(index,)) for index in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert len(results) == THREADS * ROUNDS * len(MIX)
+    for operation, payload, failure in results:
+        assert failure is None, f"{operation} raised under concurrency: {failure}"
+        assert payload == expected[operation], f"{operation} diverged under concurrency"
+
+
+def test_engine_stats_have_no_lost_updates_under_concurrency():
+    baseline = build_centrifuge_model()
+    variant = hardened_workstation_variant(baseline)
+    base_by_name = {component.name: component for component in baseline.components}
+    changed = [
+        component
+        for component in variant.components
+        if component.attributes != base_by_name[component.name].attributes
+    ]
+    assert changed  # the hardened variant must actually edit something
+
+    # Response caching off so every request exercises the counters; the
+    # arithmetic below assumes each request recomputes.
+    service = AnalysisService(max_response_cache_entries=0)
+    engine = service._engine(SCALE, "coverage")
+    before = engine.stats.snapshot()
+
+    barrier = threading.Barrier(THREADS)
+
+    def hammer() -> None:
+        barrier.wait()
+        for _ in range(ROUNDS):
+            for operation, request in MIX:
+                getattr(service, operation)(request)
+
+    threads = [threading.Thread(target=hammer) for _ in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    after = engine.stats.snapshot()
+    total = THREADS * ROUNDS  # executions of each MIX entry
+
+    # associate and chains each fully associate the baseline; whatif
+    # associates the baseline and then re-scores only the changed components,
+    # reusing the rest from the baseline association.
+    components = len(baseline.components)
+    expected_scored = (
+        total * components          # associate
+        + total * components        # chains
+        + total * (components + len(changed))  # whatif: baseline + edits
+    )
+    expected_reused = total * (components - len(changed))
+    assert after["components_scored"] - before["components_scored"] == expected_scored
+    assert after["components_reused"] - before["components_reused"] == expected_reused
+
+    # Every scored component walks its attributes through match_attribute,
+    # which bumps exactly one of hits/misses per call -- so the sum is exact
+    # even though the hit/miss split depends on thread timing.
+    baseline_attribute_calls = sum(
+        len(component.attributes) for component in baseline.components
+    )
+    changed_attribute_calls = sum(len(component.attributes) for component in changed)
+    expected_attribute_calls = (
+        2 * total * baseline_attribute_calls  # associate + chains
+        + total * (baseline_attribute_calls + changed_attribute_calls)  # whatif
+    )
+    observed_attribute_calls = (
+        after["attribute_cache_hits"]
+        + after["attribute_cache_misses"]
+        - before["attribute_cache_hits"]
+        - before["attribute_cache_misses"]
+    )
+    assert observed_attribute_calls == expected_attribute_calls
+
+
+def test_response_cache_is_shared_and_exact_under_concurrency():
+    expected = _serial_references()
+    service = AnalysisService()  # response cache on (the server default)
+    results: list[tuple[str, str]] = []
+    results_lock = threading.Lock()
+    barrier = threading.Barrier(THREADS)
+
+    def hammer() -> None:
+        barrier.wait()
+        for _ in range(ROUNDS):
+            for operation, request in MIX:
+                payload = canonical_json(
+                    getattr(service, operation)(request).to_dict()
+                )
+                with results_lock:
+                    results.append((operation, payload))
+
+    threads = [threading.Thread(target=hammer) for _ in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    for operation, payload in results:
+        assert payload == expected[operation]
+    # Once warm, identical requests return equal (isolated) responses.
+    assert service.associate(MIX[0][1]) == service.associate(MIX[0][1])

@@ -1,0 +1,175 @@
+"""HTTP transport tests: the server, the client, and transport equivalence.
+
+The acceptance bar for the service redesign: for every operation, the
+in-process path and the HTTP path produce **byte-identical** response JSON
+for the same request, and every CLI subcommand prints the same bytes whether
+it ran in-process or against a live ``cpsec serve`` instance.
+"""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.service import (
+    AnalysisService,
+    AssociateRequest,
+    ChainsRequest,
+    ConsequencesRequest,
+    ExportRequest,
+    RecommendRequest,
+    ServiceClient,
+    ServiceError,
+    SimulateRequest,
+    Table1Request,
+    TopologyRequest,
+    ValidateRequest,
+    WhatIfRequest,
+    canonical_json,
+    start_server,
+)
+
+SCALE = 0.02
+
+#: One representative request per operation, exercised on both transports.
+REQUESTS = {
+    "associate": AssociateRequest(scale=SCALE),
+    "table1": Table1Request(scale=SCALE),
+    "whatif": WhatIfRequest(scale=SCALE),
+    "chains": ChainsRequest(scale=SCALE, limit=3),
+    "topology": TopologyRequest(),
+    "recommend": RecommendRequest(scale=SCALE, per_component=2),
+    "simulate": SimulateRequest(scenario="nominal", duration_s=120.0),
+    "consequences": ConsequencesRequest(record="CWE-78", duration_s=120.0),
+    "validate": ValidateRequest(),
+    "export": ExportRequest(),
+}
+
+
+@pytest.fixture(scope="module")
+def live():
+    """One shared warm service behind a real HTTP server on a free port."""
+    service = AnalysisService()
+    server = start_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield service, ServiceClient(f"http://{host}:{port}"), f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.mark.parametrize("operation", sorted(REQUESTS))
+def test_http_wire_bytes_equal_in_process_json(live, operation):
+    service, client, _ = live
+    request = REQUESTS[operation]
+    local = getattr(service, operation)(request)
+    wire = client.call_raw(operation, request.to_dict())
+    assert wire.decode("utf-8") == canonical_json(local.to_dict())
+
+
+@pytest.mark.parametrize("operation", sorted(REQUESTS))
+def test_typed_client_round_trips_every_operation(live, operation):
+    service, client, _ = live
+    request = REQUESTS[operation]
+    local = getattr(service, operation)(request)
+    remote = getattr(client, operation)(request)
+    assert remote == local
+
+
+def test_healthz_endpoint(live):
+    _, client, url = live
+    payload = client.health()
+    assert payload["status"] == "ok"
+    assert payload["schema_version"] == 1
+    with urllib.request.urlopen(f"{url}/healthz", timeout=10) as response:
+        assert response.status == 200
+        assert json.loads(response.read())["status"] == "ok"
+
+
+def test_unknown_operation_is_404(live):
+    _, client, _ = live
+    with pytest.raises(ServiceError) as excinfo:
+        client.call_raw("shard", {})
+    assert excinfo.value.status == 404
+    assert excinfo.value.code == "unknown_operation"
+
+
+def test_malformed_json_body_is_400(live):
+    _, _, url = live
+    request = urllib.request.Request(
+        f"{url}/v1/associate", data=b"{not json", method="POST"
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=10)
+    assert excinfo.value.code == 400
+    body = json.loads(excinfo.value.read())
+    assert body["error"]["code"] == "malformed_json"
+
+
+def test_unknown_request_field_is_rejected_over_http(live):
+    _, client, _ = live
+    with pytest.raises(ServiceError) as excinfo:
+        client.call_raw("associate", {"scale": SCALE, "shard": 1})
+    assert excinfo.value.code == "unknown_fields"
+
+
+def test_service_errors_cross_the_wire(live):
+    _, client, _ = live
+    with pytest.raises(ServiceError) as excinfo:
+        client.simulate(SimulateRequest(scenario="nope"))
+    assert excinfo.value.status == 404
+    assert excinfo.value.code == "unknown_scenario"
+    assert "triton-like-sis-bypass" in excinfo.value.details["known_scenarios"]
+
+
+def test_get_on_unknown_path_is_404(live):
+    _, _, url = live
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(f"{url}/v1/associate", timeout=10)
+    assert excinfo.value.code == 404
+
+
+CLI_COMMANDS = [
+    ["associate", "--scale", str(SCALE)],
+    ["table1", "--scale", str(SCALE)],
+    ["whatif", "--scale", str(SCALE)],
+    ["chains", "--scale", str(SCALE), "--limit", "3"],
+    ["topology"],
+    ["recommend", "--scale", str(SCALE), "--per-component", "2"],
+    ["simulate", "--scenario", "nominal", "--duration", "120"],
+    ["consequences", "--record", "CWE-78", "--duration", "120"],
+    ["validate"],
+]
+
+
+@pytest.mark.parametrize("argv", CLI_COMMANDS, ids=lambda argv: argv[0])
+def test_cli_prints_identical_bytes_in_process_and_via_url(live, argv, capsys):
+    _, _, url = live
+    in_process_code = main(argv)
+    in_process = capsys.readouterr().out
+    remote_code = main(argv + ["--url", url])
+    remote = capsys.readouterr().out
+    assert remote_code == in_process_code
+    assert remote == in_process
+
+
+def test_cli_export_writes_identical_files_via_url(live, tmp_path, capsys):
+    _, _, url = live
+    local_path = tmp_path / "local.graphml"
+    remote_path = tmp_path / "remote.graphml"
+    assert main(["export", "--output", str(local_path)]) == 0
+    assert main(["export", "--output", str(remote_path), "--url", url]) == 0
+    capsys.readouterr()
+    assert remote_path.read_bytes() == local_path.read_bytes()
+
+
+def test_cli_unreachable_url_exits_2(capsys):
+    # Port 9 (discard) on localhost is not listening in the test environment.
+    code = main(["topology", "--url", "http://127.0.0.1:9"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "cannot reach service" in captured.err

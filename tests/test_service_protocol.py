@@ -1,0 +1,224 @@
+"""Round-trip and validation tests for the typed operations protocol."""
+
+import json
+
+import pytest
+
+from repro.analysis.metrics import ComponentPosture, PostureMetrics
+from repro.analysis.recommendations import Recommendation
+from repro.analysis.topology import ComponentTopology, TopologyReport
+from repro.analysis.whatif import ComponentDelta, WhatIfComparison
+from repro.corpus.schema import RecordKind
+from repro.graph.validation import Severity, ValidationFinding
+from repro.search.chains import ExploitChain
+from repro.search.engine import Match
+from repro.service.protocol import (
+    OPERATIONS,
+    SCHEMA_VERSION,
+    AssociateRequest,
+    AssociateResponse,
+    ChainsRequest,
+    ChainsResponse,
+    RecommendResponse,
+    ServiceError,
+    SimulateRequest,
+    TopologyResponse,
+    ValidateResponse,
+    WhatIfRequest,
+    WhatIfResponse,
+    canonical_json,
+    parse_request,
+)
+
+
+def _sample_metrics(name: str = "sys") -> PostureMetrics:
+    return PostureMetrics(
+        system_name=name,
+        components=(
+            ComponentPosture(
+                name="A",
+                attack_patterns=3,
+                weaknesses=2,
+                vulnerabilities=1,
+                exposure_distance=None,
+                criticality=0.5,
+                mean_cvss=7.5,
+                max_cvss=9.8,
+                posture_index=4.2,
+            ),
+        ),
+        total_attack_patterns=3,
+        total_weaknesses=2,
+        total_vulnerabilities=1,
+        system_posture_index=4.2,
+    )
+
+
+def test_every_request_round_trips_with_defaults():
+    for operation, (request_type, _) in OPERATIONS.items():
+        request = request_type()
+        payload = request.to_dict()
+        assert payload["schema_version"] == SCHEMA_VERSION
+        rebuilt = request_type.from_dict(payload)
+        assert rebuilt == request, operation
+        # And through actual JSON text, the way the wire sees it.
+        rebuilt = request_type.from_dict(json.loads(canonical_json(payload)))
+        assert rebuilt == request, operation
+
+
+def test_customized_request_round_trips():
+    request = ChainsRequest(
+        model={"name": "m", "components": [], "connections": []},
+        target="SIS Platform",
+        max_length=3,
+        limit=2,
+        scale=0.5,
+        scorer="cosine",
+        workers=4,
+    )
+    assert ChainsRequest.from_dict(request.to_dict()) == request
+
+
+def test_unknown_request_field_is_rejected():
+    with pytest.raises(ServiceError) as excinfo:
+        AssociateRequest.from_dict({"scale": 0.1, "shard": 3})
+    assert excinfo.value.code == "unknown_fields"
+    assert "shard" in excinfo.value.message
+
+
+def test_mismatched_schema_version_is_rejected():
+    with pytest.raises(ServiceError) as excinfo:
+        SimulateRequest.from_dict({"schema_version": 99})
+    assert excinfo.value.code == "unsupported_schema_version"
+
+
+def test_non_object_payload_is_rejected():
+    with pytest.raises(ServiceError):
+        WhatIfRequest.from_dict(["not", "a", "dict"])
+
+
+def test_missing_required_response_field_is_a_typed_error():
+    from repro.service.protocol import ExportResponse
+
+    with pytest.raises(ServiceError) as excinfo:
+        ExportResponse.from_dict({"schema_version": SCHEMA_VERSION})
+    assert excinfo.value.code == "malformed_payload"
+
+
+def test_parse_request_routes_and_rejects():
+    request = parse_request("associate", {"scale": 0.25})
+    assert isinstance(request, AssociateRequest)
+    assert request.scale == 0.25
+    with pytest.raises(ServiceError) as excinfo:
+        parse_request("nope", {})
+    assert excinfo.value.status == 404
+    assert "known_operations" in excinfo.value.details
+
+
+def test_associate_response_round_trips():
+    response = AssociateResponse(
+        posture=_sample_metrics(),
+        severity_histogram={"None": 0, "Critical": 2},
+    )
+    rebuilt = AssociateResponse.from_dict(json.loads(canonical_json(response.to_dict())))
+    assert rebuilt == response
+    assert rebuilt.posture.component("A").max_cvss == 9.8
+
+
+def test_whatif_response_round_trips():
+    comparison = WhatIfComparison(
+        baseline_name="base",
+        variant_name="var",
+        baseline_metrics=_sample_metrics("base"),
+        variant_metrics=_sample_metrics("var"),
+        component_deltas=(
+            ComponentDelta(
+                name="A",
+                baseline_total=6,
+                variant_total=4,
+                baseline_posture=4.2,
+                variant_posture=2.1,
+            ),
+        ),
+        added_components=("B",),
+        removed_components=(),
+    )
+    response = WhatIfResponse(comparison=comparison)
+    rebuilt = WhatIfResponse.from_dict(json.loads(canonical_json(response.to_dict())))
+    assert rebuilt == response
+    assert rebuilt.comparison.component_set_changed
+
+
+def test_chains_response_round_trips():
+    match = Match(
+        identifier="CVE-2020-0001",
+        kind=RecordKind.VULNERABILITY,
+        score=0.75,
+        name="CVE-2020-0001",
+        severity="High",
+        cvss_score=8.1,
+        network_exploitable=True,
+    )
+    chain = ExploitChain(path=("A", "B"), vectors=(("A", match), ("B", match)), score=0.5625)
+    response = ChainsResponse(
+        target="B", chains=(chain,), summary={"count": 1}, total_chains=1
+    )
+    rebuilt = ChainsResponse.from_dict(json.loads(canonical_json(response.to_dict())))
+    assert rebuilt == response
+    assert rebuilt.chains[0].describe() == chain.describe()
+
+
+def test_topology_and_validate_and_recommend_round_trip():
+    report = TopologyReport(
+        system_name="sys",
+        components=(
+            ComponentTopology(
+                name="A",
+                degree=2,
+                betweenness=0.5,
+                is_articulation_point=True,
+                exposure_distance=1,
+                reachable_components=3,
+            ),
+        ),
+        attack_surface=("A",),
+        boundary_components=(),
+    )
+    response = TopologyResponse(report=report)
+    assert TopologyResponse.from_dict(response.to_dict()) == response
+
+    finding = ValidationFinding(Severity.WARNING, "ISOLATED", "A", "no connections")
+    validate = ValidateResponse(findings=(finding,))
+    rebuilt = ValidateResponse.from_dict(validate.to_dict())
+    assert rebuilt == validate
+    assert str(rebuilt.findings[0]) == str(finding)
+
+    recommendation = Recommendation(
+        component="A",
+        weakness_id="CWE-78",
+        weakness_name="OS Command Injection",
+        summary="neutralize input",
+        whatif_change="constrain the API",
+        evidence_count=2,
+        priority=4.0,
+    )
+    recommend = RecommendResponse(recommendations=(recommendation,))
+    assert RecommendResponse.from_dict(recommend.to_dict()) == recommend
+
+
+def test_service_error_round_trips():
+    error = ServiceError(
+        "unknown scenario 'x'",
+        code="unknown_scenario",
+        status=404,
+        details={"known_scenarios": ["a", "b"]},
+    )
+    rebuilt = ServiceError.from_dict(json.loads(canonical_json(error.to_dict())), status=404)
+    assert rebuilt.message == error.message
+    assert rebuilt.code == error.code
+    assert rebuilt.status == 404
+    assert rebuilt.details == error.details
+
+
+def test_canonical_json_is_key_order_independent():
+    assert canonical_json({"b": 1, "a": [1.5, True]}) == canonical_json({"a": [1.5, True], "b": 1})

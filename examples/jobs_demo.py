@@ -1,0 +1,131 @@
+"""Exercise the async job surface of a running ``cpsec serve``.
+
+The CI service-smoke job uses this as its scripted client for the job
+engine: against a (multi-workspace) server it
+
+1. hits ``GET /v1/ops`` and checks the expected workspace names are served,
+2. submits a slow simulation job and streams its SSE events until at least
+   two progress events arrived (then cancels it -- smoke runs stay quick),
+3. submits a second slow job and cancels it, verifying the terminal state,
+4. submits an association job and checks its final payload is byte-identical
+   to the synchronous endpoint's response,
+5. checks ``/healthz`` reports per-workspace stats and job counters.
+
+Usage::
+
+    PYTHONPATH=src python examples/jobs_demo.py \\
+        --url http://127.0.0.1:8765 --scale 0.05 \\
+        --workspace-name smoke2 --workspace-scale 0.03 \\
+        --expect-workspaces default,smoke2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.service import ServiceClient, ServiceError, canonical_json
+
+SLOW_SIMULATE = {"scenario": "nominal", "duration_s": 86400.0, "dt": 0.5}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", required=True, help="base URL of the running service")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="corpus scale of the server's default workspace")
+    parser.add_argument("--workspace-name", default=None,
+                        help="a named workspace to route the association job to")
+    parser.add_argument("--workspace-scale", type=float, default=None,
+                        help="that workspace's corpus scale (defaults to --scale)")
+    parser.add_argument("--expect-workspaces", default=None,
+                        help="comma-separated workspace names /v1/ops must list")
+    args = parser.parse_args(argv)
+
+    client = ServiceClient(args.url)
+    failures: list[str] = []
+
+    # 1. discovery
+    ops = client.ops()
+    print(f"/v1/ops: {len(ops['operations'])} operations, "
+          f"workspaces {ops['workspaces']}, jobs_enabled={ops['jobs_enabled']}")
+    if len(ops["operations"]) != 10 or not ops["jobs_enabled"]:
+        failures.append(f"/v1/ops unexpected payload: {ops}")
+    if args.expect_workspaces:
+        expected = sorted(name for name in args.expect_workspaces.split(",") if name)
+        if sorted(ops["workspaces"]) != expected:
+            failures.append(
+                f"/v1/ops workspaces {ops['workspaces']} != expected {expected}"
+            )
+
+    # 2. slow job + SSE progress stream
+    job = client.submit("simulate", SLOW_SIMULATE)
+    print(f"submitted slow job {job['job_id']}")
+    progress_seen = 0
+    last_seq = -1
+    for event in client.stream_events(job["job_id"]):
+        last_seq_ok = event["seq"] > last_seq
+        last_seq = event["seq"]
+        if not last_seq_ok:
+            failures.append(f"SSE seq not monotonic at {event}")
+            break
+        if event["kind"] == "progress":
+            progress_seen += 1
+            print(f"  progress {event['phase']} {event['done']}/{event['total']}")
+            if progress_seen >= 2:
+                break
+    if progress_seen < 2:
+        failures.append(f"streamed only {progress_seen} progress events")
+    client.cancel(job["job_id"])
+    finished = client.wait(job["job_id"], timeout=60.0)
+    print(f"slow job ended as {finished['state']}")
+
+    # 3. cancel a second job outright
+    second = client.submit("simulate", SLOW_SIMULATE)
+    client.cancel(second["job_id"])
+    record = client.wait(second["job_id"], timeout=60.0)
+    print(f"second job cancelled -> state {record['state']}")
+    if record["state"] != "cancelled":
+        failures.append(f"cancelled job ended as {record['state']}")
+
+    # 4. association job == synchronous endpoint, byte for byte
+    request: dict = {"scale": args.workspace_scale or args.scale}
+    if args.workspace_name:
+        request["workspace"] = args.workspace_name
+    wire = client.call_raw("associate", request)
+    assoc_job = client.submit("associate", request)
+    assoc = client.wait(assoc_job["job_id"], timeout=300.0)
+    if assoc["state"] != "succeeded":
+        failures.append(f"association job ended as {assoc['state']}: {assoc.get('error')}")
+    elif canonical_json(assoc["result"]) != wire.decode("utf-8"):
+        failures.append("association job result diverges from synchronous response")
+    else:
+        print(f"association job result matches synchronous bytes "
+              f"({len(wire)} bytes)")
+
+    # 5. health: job counters and per-workspace stats
+    health = client.health()
+    jobs_stats = health.get("jobs") or {}
+    workspaces = health.get("workspaces") or {}
+    print(f"/healthz: jobs {jobs_stats.get('by_state')}, "
+          f"workspaces {sorted(workspaces)}")
+    if jobs_stats.get("by_state", {}).get("cancelled", 0) < 2:
+        failures.append(f"health job counters look wrong: {jobs_stats}")
+    for name, stats in workspaces.items():
+        if stats["loaded"] and not stats.get("engine_pool"):
+            failures.append(f"workspace {name} reports no engine pool stats")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    print("job engine smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except ServiceError as error:
+        print(f"FAIL service error: {error.code}: {error.message}", file=sys.stderr)
+        sys.exit(1)

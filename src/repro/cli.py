@@ -9,7 +9,17 @@ exposes the reproduction's pipeline the same way::
     cpsec whatif --scale 0.1
     cpsec simulate --scenario triton-like-sis-bypass
     cpsec validate --model centrifuge.graphml
-    cpsec serve --workspace repro.cpsecws --port 8765
+    cpsec serve --workspace paper=repro.cpsecws --workspace smoke=smoke.cpsecws
+    cpsec jobs submit associate --request '{"scale": 1.0}' --watch --url http://127.0.0.1:8765
+    cpsec jobs status --url http://127.0.0.1:8765
+
+``serve`` accepts repeated ``--workspace NAME=PATH`` flags and serves every
+named workspace warm behind one endpoint; requests and jobs route with their
+optional ``workspace`` field (``cpsec jobs submit --workspace-name``).
+Long-running operations run as background **jobs** (``cpsec jobs
+submit|status|watch|cancel``) with progress streamed over SSE; the server
+journals job history (``--job-journal``) and drains gracefully on
+SIGINT/SIGTERM.
 
 Every subcommand is a **thin adapter** over the typed operations API in
 :mod:`repro.service`: it builds a request dataclass, hands it to a backend
@@ -43,7 +53,11 @@ one-line message instead of a traceback.
 from __future__ import annotations
 
 import argparse
+import http.client
+import json
+import signal
 import sys
+import threading
 from pathlib import Path
 
 from repro import __version__
@@ -55,9 +69,11 @@ from repro.analysis.report import (
     render_whatif,
 )
 from repro.graph.graphml import read_graphml
+from repro.jobs import JobManager
 from repro.service.client import ServiceClient
 from repro.service.http import start_server
 from repro.service.protocol import (
+    OPERATIONS,
     AssociateRequest,
     ChainsRequest,
     ConsequencesRequest,
@@ -71,7 +87,6 @@ from repro.service.protocol import (
     WhatIfRequest,
 )
 from repro.service.service import AnalysisService
-from repro.workspace import Workspace
 
 
 class CliError(Exception):
@@ -277,37 +292,199 @@ def _cmd_consequences(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_workspace_specs(specs: list[str]) -> list[tuple[str, Path]]:
+    """Parse repeatable ``[NAME=]PATH`` workspace flags into (name, path).
+
+    A bare path is registered under the name ``default``; the first entry
+    (whatever its name) becomes the server's default routing target.
+    """
+    entries: list[tuple[str, Path]] = []
+    seen: set[str] = set()
+    for spec in specs:
+        name, sep, path_str = spec.partition("=")
+        if not sep:
+            name, path_str = "default", spec
+        name = name.strip()
+        if not name:
+            raise CliError(f"invalid workspace spec {spec!r} (use NAME=PATH)")
+        if name in seen:
+            raise CliError(f"duplicate workspace name {name!r}")
+        seen.add(name)
+        path = Path(path_str)
+        if not path.exists():
+            raise CliError(
+                f"workspace artifact not found: {path} "
+                f"(build one with `cpsec associate --scale 1.0 --workspace {path}`)"
+            )
+        entries.append((name, path))
+    return entries
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
-    path = Path(args.workspace)
-    if not path.exists():
-        raise CliError(
-            f"workspace artifact not found: {path} "
-            f"(build one with `cpsec associate --scale 1.0 --workspace {path}`)"
-        )
-    try:
-        workspace = Workspace.load(path)
-    except (ValueError, OSError) as error:
-        raise CliError(f"cannot load workspace artifact {path}: {error}") from error
-    service = AnalysisService(workspace=workspace, save_artifacts=False)
-    # Fit the recorded engine now so the first request hits a warm service
-    # instead of paying the TF-IDF fit inside its own latency budget.
-    workspace.shared_engine()
+    entries = _parse_workspace_specs(args.workspace)
+    service = AnalysisService(
+        workspaces={name: path for name, path in entries},
+        default_workspace=entries[0][0],
+        save_artifacts=False,
+    )
+    described = []
+    for name, path in entries:
+        # Load and fit every registered engine now so the first request per
+        # workspace hits a warm service instead of paying the TF-IDF fit
+        # inside its own latency budget.
+        try:
+            workspace = service.warm_workspace(name)
+        except ServiceError as error:
+            raise CliError(
+                f"cannot load workspace artifact {path}: {error.message}"
+            ) from error
+        scale = (workspace.params or {}).get("scale")
+        described.append(f"{name}={path} (scale {scale})")
+    journal_path = None
+    if args.job_journal != "none":
+        journal_path = args.job_journal or f"{entries[0][1]}.jobs.jsonl"
+    jobs = JobManager(
+        service,
+        workers=args.job_workers,
+        max_queued=args.job_queue,
+        journal_path=journal_path,
+    )
     server = start_server(
-        service, host=args.host, port=args.port, verbose=args.verbose
+        service, host=args.host, port=args.port, verbose=args.verbose, jobs=jobs
     )
     host, port = server.server_address[:2]
-    scale = (workspace.params or {}).get("scale")
     print(
         f"serving analysis service on http://{host}:{port} "
-        f"(workspace {path}, scale {scale})",
+        f"[{', '.join(described)}]",
         flush=True,
     )
+
+    # Graceful shutdown: SIGINT/SIGTERM stop the accept loop, refuse new job
+    # submissions, drain running jobs (bounded), and flush the journal --
+    # instead of dying mid-request.
+    stop = threading.Event()
+
+    def _request_shutdown(signum, frame) -> None:  # pragma: no cover - signal
+        stop.set()
+
+    previous_handlers = {
+        signum: signal.signal(signum, _request_shutdown)
+        for signum in (signal.SIGINT, signal.SIGTERM)
+    }
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
-        pass
-    finally:
+        stop.wait()
+        # The handlers stay installed through the drain: a second signal
+        # while jobs are being cancelled/journalled must not kill the
+        # process mid-flush and void the graceful-shutdown guarantee.
+        print(
+            "shutting down: refusing new submissions, draining running jobs",
+            flush=True,
+        )
+        jobs.begin_drain()
+        server.shutdown()
+        drained = jobs.close(timeout=args.drain_timeout)
         server.server_close()
+        thread.join(timeout=5)
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+    if drained:
+        print("shutdown complete (jobs drained, journal flushed)", flush=True)
+    else:
+        print(
+            f"shutdown complete (drain timeout {args.drain_timeout:g}s elapsed; "
+            "remaining jobs were cancelled, journal flushed)",
+            flush=True,
+        )
+    return 0
+
+
+def _jobs_client(args: argparse.Namespace) -> ServiceClient:
+    if not args.url:
+        raise CliError(
+            "cpsec jobs requires --url pointing at a running `cpsec serve`"
+        )
+    return ServiceClient(args.url)
+
+
+def _watch_job(client: ServiceClient, job_id: str) -> int:
+    """Stream a job's events to stdout until it ends; exit 1 on failure."""
+    try:
+        for event in client.stream_events(job_id):
+            if event["kind"] == "progress":
+                print(
+                    f"  [{event['seq']}] {event['phase']}: "
+                    f"{event['done']}/{event['total']}"
+                )
+            else:
+                print(f"  [{event['seq']}] state: {event['state']}")
+    except (OSError, http.client.HTTPException) as error:
+        # A server restart or network drop mid-stream must stay a one-line
+        # operational error, not a traceback (the job itself is unaffected;
+        # `cpsec jobs watch <id>` resumes it).
+        raise CliError(
+            f"lost the event stream for {job_id}: {error} "
+            f"(re-run `cpsec jobs watch {job_id}` to resume)"
+        ) from error
+    record = client.job(job_id)
+    if record["state"] == "succeeded":
+        print(f"{job_id} succeeded")
+        return 0
+    error = record.get("error") or {}
+    suffix = f": {error.get('code')}: {error.get('message')}" if error else ""
+    print(f"{job_id} {record['state']}{suffix}")
+    return 1 if record["state"] == "failed" else 0
+
+
+def _cmd_jobs_submit(args: argparse.Namespace) -> int:
+    client = _jobs_client(args)
+    try:
+        payload = json.loads(args.request) if args.request else {}
+    except json.JSONDecodeError as error:
+        raise CliError(f"--request is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise CliError("--request must be a JSON object")
+    if args.workspace_name:
+        payload["workspace"] = args.workspace_name
+    job = client.submit(args.operation, payload)
+    print(f"submitted {job['job_id']} ({job['operation']}, state {job['state']})")
+    if args.watch:
+        return _watch_job(client, job["job_id"])
+    return 0
+
+
+def _cmd_jobs_status(args: argparse.Namespace) -> int:
+    client = _jobs_client(args)
+    records = [client.job(args.job_id)] if args.job_id else client.jobs()
+    if not records:
+        print("no jobs")
+        return 0
+    for record in records:
+        line = f"{record['job_id']} {record['operation']} {record['state']}"
+        progress = record.get("progress")
+        if progress:
+            line += f" ({progress['phase']} {progress['done']}/{progress['total']})"
+        print(line)
+        error = record.get("error")
+        if error:
+            print(f"  error: {error.get('code')}: {error.get('message')}")
+    return 0
+
+
+def _cmd_jobs_watch(args: argparse.Namespace) -> int:
+    return _watch_job(_jobs_client(args), args.job_id)
+
+
+def _cmd_jobs_cancel(args: argparse.Namespace) -> int:
+    record = _jobs_client(args).cancel(args.job_id)
+    state = record["state"]
+    if state == "running" and record.get("cancel_requested"):
+        print(f"{record['job_id']} cancel requested (still running; "
+              "it stops at its next progress point)")
+    else:
+        print(f"{record['job_id']} {state}")
     return 0
 
 
@@ -394,12 +571,58 @@ def build_parser() -> argparse.ArgumentParser:
     add_url_option(consequences)
     consequences.set_defaults(func=_cmd_consequences)
 
-    serve = subparsers.add_parser("serve", help="serve the analysis operations over HTTP from one warm engine")
-    serve.add_argument("--workspace", required=True, help="workspace artifact to serve (see `--workspace` on search commands)")
+    serve = subparsers.add_parser("serve", help="serve the analysis operations over HTTP from warm engines")
+    serve.add_argument(
+        "--workspace",
+        action="append",
+        required=True,
+        metavar="[NAME=]PATH",
+        help="workspace artifact to serve; repeat to serve several named "
+             "workspaces (e.g. --workspace paper=a.cpsecws --workspace smoke=b.cpsecws); "
+             "a bare path is registered as 'default'; the first entry serves "
+             "requests that name no workspace",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8765)
     serve.add_argument("--verbose", action="store_true", help="log every request to stderr")
+    serve.add_argument("--job-workers", type=int, default=2, help="background jobs run concurrently (default 2)")
+    serve.add_argument("--job-queue", type=int, default=32, help="queued-job bound; past it submissions get a typed 429 (default 32)")
+    serve.add_argument("--job-journal", default=None, metavar="PATH",
+                       help="JSON-lines job journal (default: <first workspace>.jobs.jsonl; 'none' disables persistence)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="seconds to wait for running jobs on shutdown (default 10)")
     serve.set_defaults(func=_cmd_serve)
+
+    jobs_parser = subparsers.add_parser("jobs", help="submit and observe background jobs on a running `cpsec serve`")
+    jobs_sub = jobs_parser.add_subparsers(dest="jobs_command", required=True)
+
+    def add_jobs_url(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--url", required=True, help="base URL of a running `cpsec serve` instance")
+
+    jobs_submit = jobs_sub.add_parser("submit", help="submit one operation as a background job")
+    jobs_submit.add_argument("operation", choices=sorted(OPERATIONS))
+    jobs_submit.add_argument("--request", default=None, metavar="JSON",
+                             help='request payload as JSON (e.g. \'{"scale": 1.0, "scorer": "jaccard"}\')')
+    jobs_submit.add_argument("--workspace-name", default=None,
+                             help="route the job to a named server workspace")
+    jobs_submit.add_argument("--watch", action="store_true", help="stream events until the job ends")
+    add_jobs_url(jobs_submit)
+    jobs_submit.set_defaults(func=_cmd_jobs_submit)
+
+    jobs_status = jobs_sub.add_parser("status", help="one job's state, or every job")
+    jobs_status.add_argument("job_id", nargs="?", default=None)
+    add_jobs_url(jobs_status)
+    jobs_status.set_defaults(func=_cmd_jobs_status)
+
+    jobs_watch = jobs_sub.add_parser("watch", help="stream a job's progress events (SSE)")
+    jobs_watch.add_argument("job_id")
+    add_jobs_url(jobs_watch)
+    jobs_watch.set_defaults(func=_cmd_jobs_watch)
+
+    jobs_cancel = jobs_sub.add_parser("cancel", help="cancel a queued or running job")
+    jobs_cancel.add_argument("job_id")
+    add_jobs_url(jobs_cancel)
+    jobs_cancel.set_defaults(func=_cmd_jobs_cancel)
 
     return parser
 

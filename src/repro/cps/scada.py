@@ -25,6 +25,7 @@ from repro.cps.network import Firewall, Message, MessageBus, MessageKind
 from repro.cps.plant import CentrifugePlant, PlantState
 from repro.cps.sensors import Tachometer, TemperatureSensor
 from repro.cps.sis import SafetyInstrumentedSystem
+from repro.progress import progress_sink
 
 #: Device names used on the bus; they match the system-model component names.
 WORKSTATION = "Programming WS"
@@ -232,7 +233,13 @@ class ScadaSimulation:
     # -- main loop --------------------------------------------------------------
 
     def run(self, duration_s: float = 600.0, dt: float = 0.5) -> SimulationTrace:
-        """Run the closed loop and return the full trace."""
+        """Run the closed loop and return the full trace.
+
+        With an ambient progress sink installed (:mod:`repro.progress` -- the
+        job engine's streaming path), ``("simulate", tick, steps)`` is emitted
+        roughly every 4% of the horizon; with no sink (every synchronous
+        caller) the loop body only pays an ``is None`` test per tick.
+        """
         if duration_s <= 0 or dt <= 0:
             raise ValueError("duration_s and dt must be positive")
         steps = int(round(duration_s / dt))
@@ -240,6 +247,8 @@ class ScadaSimulation:
             "time", "speed", "temperature", "speed_setpoint", "temperature_setpoint",
             "drive", "cooling", "tripped", "bpcs_speed", "bpcs_temperature",
         )}
+        sink = progress_sink()
+        report_stride = max(1, steps // 25)
 
         previous_time = 0.0
         for step_index in range(steps):
@@ -277,6 +286,10 @@ class ScadaSimulation:
             records["bpcs_speed"][step_index] = self._bpcs_view["speed"]
             records["bpcs_temperature"][step_index] = self._bpcs_view["temperature"]
             previous_time = time_s + dt
+            if sink is not None and (
+                (step_index + 1) % report_stride == 0 or step_index + 1 == steps
+            ):
+                sink("simulate", step_index + 1, steps)
 
         return SimulationTrace(
             times_s=records["time"],

@@ -1,0 +1,32 @@
+"""Async job engine: typed operations as cancellable, observable jobs.
+
+* :mod:`repro.jobs.manager` -- :class:`JobManager` (bounded worker pool,
+  typed :class:`JobRecord` lifecycle, monotonic :class:`JobEvent` streams,
+  cooperative cancellation),
+* :mod:`repro.jobs.store` -- the append-only JSON-lines journal that makes
+  job history survive ``cpsec serve`` restarts.
+
+The HTTP server exposes the manager as ``POST /v1/jobs`` + SSE event
+streams; :class:`~repro.service.client.ServiceClient` and ``cpsec jobs``
+speak the same surface.  Progress flows from the instrumented long paths via
+:mod:`repro.progress`.
+"""
+
+from repro.jobs.manager import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobEvent,
+    JobManager,
+    JobRecord,
+)
+from repro.jobs.store import JobJournal, read_journal
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobEvent",
+    "JobManager",
+    "JobRecord",
+    "JobJournal",
+    "read_journal",
+]

@@ -1,0 +1,591 @@
+"""The async job engine: typed operations as observable background jobs.
+
+:class:`JobManager` wraps an :class:`~repro.service.service.AnalysisService`
+(or anything with the same method-per-operation surface) and runs any of the
+typed operations on a **bounded worker pool**, turning a blocking request
+into a :class:`JobRecord` the caller can poll, stream, and cancel:
+
+* states walk ``queued -> running -> succeeded | failed | cancelled``
+  (:data:`JOB_STATES`); every transition appends a monotonic
+  :class:`JobEvent`,
+* progress events flow from the instrumented long paths (association
+  scoring, sweep batches, simulation ticks) through the ambient sink in
+  :mod:`repro.progress` -- the manager installs a per-job sink around the
+  operation call, so concurrent jobs never see each other's progress,
+* cancellation is cooperative: ``cancel()`` flips a flag that the progress
+  sink checks, raising :class:`~repro.progress.OperationCancelled` out of
+  the operation at the next progress point.  A still-queued job is cancelled
+  before it ever starts,
+* the lifecycle is journalled (:mod:`repro.jobs.store`), so a restarted
+  server replays its history; jobs interrupted by the restart come back as
+  ``failed`` with code ``interrupted``,
+* submissions beyond the queue bound fail fast with a typed 429
+  :class:`~repro.service.protocol.ServiceError` (``queue_full``), and a
+  draining manager (graceful shutdown) refuses new work with a 503.
+
+Determinism: a job runs the *same* service method the synchronous endpoint
+runs, on the same warm engines and response cache, so its final ``result``
+payload is byte-identical to the synchronous response for the same request
+(the job determinism tests pin this for every operation).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.jobs.store import JobJournal, read_journal
+from repro.progress import OperationCancelled, report_to
+from repro.service.protocol import (
+    JOB_STATES,
+    SCHEMA_VERSION,
+    TERMINAL_JOB_STATES,
+    ServiceError,
+    parse_request,
+)
+
+#: The protocol owns the state tables; the jobs package re-exports them.
+TERMINAL_STATES = TERMINAL_JOB_STATES
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One observable moment of a job: a state change or a progress step.
+
+    ``seq`` is job-local, starts at 0, and increases by exactly 1 per event
+    -- the monotonic spine an SSE client resumes from (``?after=seq``).
+    """
+
+    seq: int
+    kind: str  # "state" | "progress"
+    timestamp: float
+    state: str | None = None
+    phase: str | None = None
+    done: int | None = None
+    total: int | None = None
+
+    def to_dict(self) -> dict:
+        """The JSON form streamed to SSE subscribers."""
+        payload: dict = {
+            "seq": self.seq,
+            "kind": self.kind,
+            "timestamp": self.timestamp,
+        }
+        if self.kind == "state":
+            payload["state"] = self.state
+        else:
+            payload["phase"] = self.phase
+            payload["done"] = self.done
+            payload["total"] = self.total
+        return payload
+
+
+class JobRecord:
+    """One submitted job: identity, lifecycle, events, and outcome.
+
+    Mutable, but only ever mutated by its :class:`JobManager` under the
+    manager's condition lock; callers read consistent copies via
+    :meth:`to_dict`.
+    """
+
+    __slots__ = (
+        "job_id",
+        "operation",
+        "payload",
+        "state",
+        "created_at",
+        "started_at",
+        "finished_at",
+        "result",
+        "error",
+        "events",
+        "cancel_requested",
+        "replayed",
+    )
+
+    def __init__(self, job_id: str, operation: str, payload: dict, created_at: float):
+        self.job_id = job_id
+        self.operation = operation
+        self.payload = payload
+        self.state = "queued"
+        self.created_at = created_at
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.result: dict | None = None
+        self.error: dict | None = None
+        self.events: list[JobEvent] = []
+        self.cancel_requested = False
+        self.replayed = False
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job has reached a state it never leaves."""
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self, *, include_result: bool = True) -> dict:
+        """The JSON form served by ``GET /v1/jobs/<id>``.
+
+        ``include_result=False`` (the list endpoint) drops the potentially
+        large ``result`` payload but keeps everything else.
+        """
+        progress = None
+        for event in reversed(self.events):
+            if event.kind == "progress":
+                progress = event.to_dict()
+                break
+        payload: dict = {
+            "schema_version": SCHEMA_VERSION,
+            "job_id": self.job_id,
+            "operation": self.operation,
+            "request": self.payload,
+            "state": self.state,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "cancel_requested": self.cancel_requested,
+            "replayed": self.replayed,
+            "event_count": len(self.events),
+            "progress": progress,
+            "error": self.error,
+        }
+        if include_result:
+            payload["result"] = self.result
+        return payload
+
+
+class JobManager:
+    """Runs typed operations as background jobs on a bounded worker pool.
+
+    Parameters
+    ----------
+    service:
+        The operations backend; each job calls ``getattr(service,
+        operation)(request)`` exactly like a synchronous frontend would.
+    workers:
+        Worker-pool size: how many jobs run concurrently.
+    max_queued:
+        Bound on jobs *waiting* for a worker.  Submissions past the bound
+        fail with a typed 429 ``queue_full`` error -- backpressure instead of
+        an unbounded queue on a shared server.
+    journal_path:
+        Optional JSON-lines journal (see :mod:`repro.jobs.store`).  Replayed
+        at construction; ``None`` keeps history in memory only.
+    max_history:
+        Bound on *terminal* jobs kept in memory (oldest pruned first;
+        queued/running jobs are never pruned).  Terminal records carry full
+        result payloads, so an unbounded map would grow a long-lived server
+        forever.  ``None`` disables pruning.  The on-disk journal keeps the
+        full history regardless (compaction is a ROADMAP item).
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        workers: int = 2,
+        max_queued: int = 32,
+        journal_path=None,
+        max_history: int | None = 256,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if max_queued < 1:
+            raise ValueError(f"max_queued must be positive, got {max_queued}")
+        if max_history is not None and max_history < 1:
+            raise ValueError(f"max_history must be positive, got {max_history}")
+        self._service = service
+        self.workers = workers
+        self.max_queued = max_queued
+        self.max_history = max_history
+        self._jobs: dict[str, JobRecord] = {}
+        self._cond = threading.Condition()
+        self._draining = False
+        self._journal: JobJournal | None = None
+        if journal_path is not None:
+            self._replay(journal_path)
+            self._journal = JobJournal(journal_path)
+            self._journal_interrupted()
+            with self._cond:
+                self._prune_locked()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="cpsec-job"
+        )
+
+    # -- journal replay --------------------------------------------------------
+
+    def _replay(self, journal_path) -> None:
+        """Rebuild job history from the journal, before accepting new work."""
+        self._interrupted: list[JobRecord] = []
+        for entry in read_journal(journal_path):
+            job_id = entry.get("job_id")
+            kind = entry.get("kind")
+            if kind == "submitted":
+                payload = entry.get("request")
+                operation = entry.get("operation")
+                if not isinstance(job_id, str) or not isinstance(operation, str):
+                    continue
+                job = JobRecord(
+                    job_id,
+                    operation,
+                    payload if isinstance(payload, dict) else {},
+                    float(entry.get("created_at") or 0.0),
+                )
+                job.replayed = True
+                self._jobs[job_id] = job
+                continue
+            job = self._jobs.get(job_id)
+            if job is None:
+                continue
+            if kind == "started":
+                job.state = "running"
+                job.started_at = entry.get("started_at")
+            elif kind == "cancel_requested":
+                job.cancel_requested = True
+            elif kind == "finished":
+                state = entry.get("state")
+                if state in TERMINAL_STATES:
+                    job.state = state
+                    job.finished_at = entry.get("finished_at")
+                    result = entry.get("result")
+                    error = entry.get("error")
+                    job.result = result if isinstance(result, dict) else None
+                    job.error = error if isinstance(error, dict) else None
+        for job in self._jobs.values():
+            if not job.terminal:
+                # The previous process died with this job queued/running; the
+                # work is gone, so the honest terminal state is a failure.
+                job.state = "failed"
+                job.finished_at = None
+                job.error = {
+                    "code": "interrupted",
+                    "message": "server restarted while the job was pending",
+                }
+                self._interrupted.append(job)
+            # Replayed jobs get a single synthetic event so an SSE subscriber
+            # sees the terminal state immediately instead of hanging.
+            job.events = [
+                JobEvent(
+                    seq=0, kind="state", timestamp=time.time(), state=job.state
+                )
+            ]
+
+    def _journal_interrupted(self) -> None:
+        """Append ``finished`` lines for jobs the restart interrupted."""
+        for job in self._interrupted:
+            self._journal.append(
+                "finished",
+                job_id=job.job_id,
+                state=job.state,
+                finished_at=job.finished_at,
+                result=None,
+                error=job.error,
+            )
+        self._interrupted = []
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, operation: str, payload: dict | None = None) -> JobRecord:
+        """Queue one typed operation as a background job.
+
+        The payload is parsed into the typed request **now**, so a malformed
+        submission fails fast with the protocol's usual typed error instead
+        of surfacing minutes later as a failed job.
+        """
+        payload = dict(payload or {})
+        request = parse_request(operation, payload)  # typed 4xx on bad input
+        with self._cond:
+            if self._draining:
+                raise ServiceError(
+                    "server is draining and refuses new job submissions",
+                    code="shutting_down",
+                    status=503,
+                )
+            queued = sum(1 for job in self._jobs.values() if job.state == "queued")
+            if queued >= self.max_queued:
+                raise ServiceError(
+                    f"job queue is full ({queued} queued, bound {self.max_queued})",
+                    code="queue_full",
+                    status=429,
+                    details={"max_queued": self.max_queued},
+                )
+            job = JobRecord(
+                f"job-{uuid.uuid4().hex[:12]}", operation, payload, time.time()
+            )
+            self._jobs[job.job_id] = job
+            self._append_event(job, "state", state="queued")
+            self._prune_locked()
+        if self._journal is not None:
+            self._journal.append(
+                "submitted",
+                job_id=job.job_id,
+                operation=operation,
+                request=payload,
+                created_at=job.created_at,
+            )
+        self._pool.submit(self._execute, job, request)
+        return job
+
+    # -- execution -------------------------------------------------------------
+
+    def _execute(self, job: JobRecord, request) -> None:
+        with self._cond:
+            # cancel() finishes a still-queued job in the same critical
+            # section that sets cancel_requested, so a non-queued state here
+            # is the one and only cancel-before-start signal.
+            if job.state != "queued":
+                return
+            job.state = "running"
+            job.started_at = time.time()
+            self._append_event(job, "state", state="running")
+        if self._journal is not None:
+            self._journal.append(
+                "started", job_id=job.job_id, started_at=job.started_at
+            )
+
+        def sink(phase: str, done: int, total: int) -> None:
+            self._report_progress(job, phase, done, total)
+
+        try:
+            with report_to(sink):
+                response = getattr(self._service, job.operation)(request)
+            result = response.to_dict()
+        except OperationCancelled:
+            with self._cond:
+                self._finish_locked(job, "cancelled")
+        except ServiceError as error:
+            with self._cond:
+                self._finish_locked(
+                    job,
+                    "failed",
+                    error={
+                        "code": error.code,
+                        "message": error.message,
+                        "status": error.status,
+                        "details": error.details,
+                    },
+                )
+        except Exception as error:  # noqa: BLE001 - worker crash boundary
+            with self._cond:
+                self._finish_locked(
+                    job,
+                    "failed",
+                    error={
+                        "code": "internal_error",
+                        "message": f"{type(error).__name__}: {error}",
+                        "status": 500,
+                    },
+                )
+        else:
+            with self._cond:
+                self._finish_locked(job, "succeeded", result=result)
+        self._journal_finish(job)
+
+    def _report_progress(self, job: JobRecord, phase: str, done: int, total: int) -> None:
+        with self._cond:
+            if job.cancel_requested:
+                raise OperationCancelled(job.job_id)
+            self._append_event(job, "progress", phase=phase, done=done, total=total)
+
+    def _append_event(self, job: JobRecord, kind: str, **fields) -> None:
+        """Append one event and wake every waiter.  Caller holds the lock.
+
+        Invariant: ``seq`` equals the event's list index (events are only
+        ever appended, under this lock), which is what lets readers slice
+        instead of scanning.
+        """
+        job.events.append(
+            JobEvent(seq=len(job.events), kind=kind, timestamp=time.time(), **fields)
+        )
+        self._cond.notify_all()
+
+    def _prune_locked(self) -> None:
+        """Drop the oldest terminal jobs beyond the history bound.
+
+        Caller holds the lock.  Dict insertion order is creation order, so
+        iterating forwards prunes oldest-first; queued/running jobs are
+        skipped (and do not count against the bound being restored -- the
+        queue bound already limits those).
+        """
+        if self.max_history is None:
+            return
+        excess = len(self._jobs) - self.max_history
+        if excess <= 0:
+            return
+        for job_id in [
+            job_id for job_id, job in self._jobs.items() if job.terminal
+        ]:
+            if excess <= 0:
+                break
+            del self._jobs[job_id]
+            excess -= 1
+
+    def _finish_locked(
+        self, job: JobRecord, state: str, *, result=None, error=None
+    ) -> None:
+        # Outcome fields land before the state flip: the HTTP handlers read
+        # records without taking this lock, and a reader that observes a
+        # terminal state must never see the pre-outcome result/error.
+        job.finished_at = time.time()
+        job.result = result
+        job.error = error
+        job.state = state
+        self._append_event(job, "state", state=state)
+        # Finishing may restore the history bound submit could not (only
+        # terminal jobs are prunable).
+        self._prune_locked()
+
+    def _journal_finish(self, job: JobRecord) -> None:
+        if self._journal is not None and job.terminal:
+            self._journal.append(
+                "finished",
+                job_id=job.job_id,
+                state=job.state,
+                finished_at=job.finished_at,
+                result=job.result,
+                error=job.error,
+            )
+
+    # -- observation -----------------------------------------------------------
+
+    def get(self, job_id: str) -> JobRecord:
+        """The job, or a typed 404."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(
+                f"unknown job {job_id!r}",
+                code="unknown_job",
+                status=404,
+            )
+        return job
+
+    def jobs(self) -> list[JobRecord]:
+        """Every known job, oldest first."""
+        with self._cond:
+            return sorted(self._jobs.values(), key=lambda job: job.created_at)
+
+    def events_since(
+        self, job_id: str, after: int = -1, timeout: float | None = None
+    ) -> tuple[list[JobEvent], bool]:
+        """Events with ``seq > after``, blocking up to ``timeout`` for news.
+
+        Returns ``(events, done)`` where ``done`` means the job is terminal
+        *and* every event has been handed out -- the signal for an SSE stream
+        to close.  A timeout with no news returns ``([], False)`` so the
+        streamer can emit a keep-alive and wait again.
+        """
+        job = self.get(job_id)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                # seq == list index (see _append_event), so this is a slice,
+                # not a scan -- O(new events) per wake even on long streams.
+                events = job.events[max(after + 1, 0):]
+                if events:
+                    done = job.terminal and events[-1].seq == job.events[-1].seq
+                    return events, done
+                if job.terminal:
+                    return [], True
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return [], False
+                self._cond.wait(remaining)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> JobRecord:
+        """Block until the job is terminal (or the timeout passes)."""
+        job = self.get(job_id)
+        with self._cond:
+            self._cond.wait_for(lambda: job.terminal, timeout)
+        return job
+
+    # -- cancellation ----------------------------------------------------------
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Request cancellation; idempotent on terminal jobs.
+
+        A queued job is cancelled immediately (the worker skips it); a
+        running job is cancelled cooperatively at its next progress point.
+        Operations that emit no progress (the sub-millisecond ones) simply
+        finish.
+        """
+        job = self.get(job_id)
+        journal_kinds: list[str] = []
+        with self._cond:
+            if not job.terminal and not job.cancel_requested:
+                job.cancel_requested = True
+                journal_kinds.append("cancel_requested")
+                if job.state == "queued":
+                    self._finish_locked(job, "cancelled")
+                    journal_kinds.append("finished")
+        if self._journal is not None:
+            if "cancel_requested" in journal_kinds:
+                self._journal.append("cancel_requested", job_id=job.job_id)
+            if "finished" in journal_kinds:
+                self._journal_finish(job)
+        return job
+
+    # -- shutdown --------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        """Whether the manager refuses new submissions."""
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Refuse new submissions from now on (running jobs continue)."""
+        with self._cond:
+            self._draining = True
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Refuse new work and wait for in-flight jobs; True when all done."""
+        self.begin_drain()
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: all(job.terminal for job in self._jobs.values()), timeout
+            )
+
+    def close(self, timeout: float | None = 10.0) -> bool:
+        """Drain (bounded), stop the pool, and flush/close the journal.
+
+        Jobs still running when the drain timeout elapses are cancelled
+        cooperatively -- the pool's worker threads are non-daemon, so a job
+        left running would keep the whole process alive at interpreter exit.
+        Returns whether the drain completed without cancelling anything.
+        """
+        drained = self.drain(timeout)
+        if not drained:
+            for job in self.jobs():
+                if not job.terminal:
+                    self.cancel(job.job_id)
+            # Give the cancels a moment to land so the journal records the
+            # terminal states before it closes.
+            with self._cond:
+                self._cond.wait_for(
+                    lambda: all(job.terminal for job in self._jobs.values()), 10.0
+                )
+        self._pool.shutdown(wait=True, cancel_futures=True)
+        if self._journal is not None:
+            self._journal.close()
+        return drained
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Queue/state counters for the ``/healthz`` payload."""
+        with self._cond:
+            by_state = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                by_state[job.state] += 1
+            return {
+                "workers": self.workers,
+                "max_queued": self.max_queued,
+                "max_history": self.max_history,
+                "draining": self._draining,
+                "journal": str(self._journal.path) if self._journal else None,
+                "total": len(self._jobs),
+                "by_state": by_state,
+            }

@@ -1,0 +1,105 @@
+"""Persistent job store: an append-only JSON-lines journal.
+
+A long-lived ``cpsec serve`` process must not lose job history across
+restarts: an analyst who submitted a paper-scale sweep before a deploy wants
+``GET /v1/jobs/<id>`` to answer afterwards.  The store is deliberately the
+simplest durable structure that supports that -- one JSON object per line,
+append-only, flushed per lifecycle event:
+
+* ``submitted`` -- job id, operation, request payload, creation time,
+* ``started`` -- the worker picked the job up,
+* ``cancel_requested`` -- a cancel arrived (before or during the run),
+* ``finished`` -- terminal state plus the result payload (succeeded) or the
+  typed error (failed).
+
+Per-tick *progress* events are **not** journalled: a paper-scale simulation
+emits thousands and they are only meaningful to a live SSE subscriber; the
+journal records what happened, not how fast.
+
+Replay (:func:`read_journal`) tolerates a torn final line -- the one partial
+write a crash can leave -- by skipping undecodable lines.  The
+:class:`repro.jobs.manager.JobManager` replays the journal at construction
+and re-marks jobs that were still queued/running when the process died as
+``failed`` with code ``interrupted``, appending the matching ``finished``
+lines so a second restart replays to the same state.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+#: Journal line format version; bump when the line layout changes.
+JOURNAL_VERSION = 1
+
+
+class JobJournal:
+    """Append-only JSON-lines writer for job lifecycle events.
+
+    Lines are flushed on every append, so at most the line being written when
+    the process dies can be lost (and replay skips it).  Appends are
+    lock-protected: worker threads finish jobs concurrently.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+        # Heal a torn tail: a crash mid-write can leave a final line without
+        # its newline; appending straight after it would merge two lines and
+        # corrupt the *new* entry too.  Terminating the torn line sacrifices
+        # only the bytes the crash already lost.
+        if self.path.stat().st_size > 0:
+            with open(self.path, "rb") as probe:
+                probe.seek(-1, 2)
+                if probe.read(1) != b"\n":
+                    self._handle.write("\n")
+                    self._handle.flush()
+
+    def append(self, kind: str, **fields) -> None:
+        """Write one lifecycle line (a no-op after :meth:`close`)."""
+        line = json.dumps(
+            {"v": JOURNAL_VERSION, "kind": kind, **fields},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+
+
+def read_journal(path: str | Path) -> list[dict]:
+    """Every decodable lifecycle entry of a journal file, in order.
+
+    A missing file is an empty history (first boot).  Undecodable or
+    wrong-shape lines -- the torn tail a crash can leave, or foreign junk --
+    are skipped rather than fatal: losing one line must not take the whole
+    history down with it.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict) and entry.get("v") == JOURNAL_VERSION:
+                entries.append(entry)
+    return entries

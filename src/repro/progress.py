@@ -1,0 +1,71 @@
+"""Ambient progress reporting for long-running operations.
+
+The job engine (:mod:`repro.jobs`) runs any typed operation in a background
+thread and wants observable progress from the long paths -- association
+scoring loops, what-if sweeps, simulation ticks -- **without** threading a
+callback through every request dataclass (the wire protocol must stay
+unchanged, and the synchronous fast path must stay byte-identical).
+
+The mechanism is an ambient *sink* held in a :class:`contextvars.ContextVar`:
+
+* a caller that wants progress wraps the operation in :func:`report_to`,
+* instrumented loops fetch the sink **once** via :func:`progress_sink` and
+  emit ``sink(phase, done, total)`` as work completes,
+* with no sink installed (every synchronous caller), the cost is a single
+  ``ContextVar.get()`` plus an ``is None`` branch per operation -- the hot
+  loops themselves are untouched.
+
+A sink may raise :class:`OperationCancelled` to abort the operation
+cooperatively; the job engine uses this for mid-run cancellation.  Sinks run
+on the thread executing the operation, so they must be cheap and must not
+call back into the engine.
+
+``ContextVar`` isolation means concurrent jobs on one service each see only
+their own sink, and synchronous requests running alongside jobs see none.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+#: A progress sink: ``sink(phase, done, total)`` with ``0 <= done <= total``.
+ProgressSink = Callable[[str, int, int], None]
+
+_SINK: ContextVar[ProgressSink | None] = ContextVar(
+    "cpsec_progress_sink", default=None
+)
+
+
+class OperationCancelled(Exception):
+    """Raised out of an instrumented loop to abort an operation mid-run.
+
+    Progress sinks raise this (typically because a cancellation flag was
+    set); the operation unwinds without producing a result and the caller
+    that installed the sink decides what "cancelled" means.
+    """
+
+
+def progress_sink() -> ProgressSink | None:
+    """The ambient sink for the current context, or ``None``.
+
+    Instrumented code calls this once per operation, outside the hot loop,
+    and skips all emission when it returns ``None``.
+    """
+    return _SINK.get()
+
+
+@contextmanager
+def report_to(sink: ProgressSink | None) -> Iterator[None]:
+    """Install ``sink`` as the ambient progress sink for the ``with`` body.
+
+    Installation is context-local: other threads (and other contexts on the
+    same thread) are unaffected, and the previous sink is restored on exit
+    even when the body raises.
+    """
+    token = _SINK.set(sink)
+    try:
+        yield
+    finally:
+        _SINK.reset(token)

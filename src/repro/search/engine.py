@@ -72,6 +72,7 @@ from repro.corpus.store import CorpusStore
 from repro.graph.attributes import Attribute
 from repro.graph.model import Component, SystemGraph
 from repro.ioutils import atomic_write_text
+from repro.progress import progress_sink
 from repro.search.cache import LruCache
 from repro.search.index import InvertedIndex
 from repro.search.text import jaccard_similarity, tokenize
@@ -934,7 +935,16 @@ class SearchEngine:
         value-deterministic, so any worker count is bit-identical to the
         serial loop.  With caching disabled the fan-out falls back to
         per-component tasks (there is no cache to warm).
+
+        When an ambient progress sink is installed (see
+        :mod:`repro.progress` -- the job engine's streaming path), one
+        ``("score", i, n)`` event is emitted per attribute warmed by the
+        fan-out and one ``("associate", i, n)`` event per assembled
+        component, in completion order.  With no sink installed (every
+        synchronous caller) the scoring loops are the exact same statements
+        as before; emission costs one ``ContextVar.get()`` per call.
         """
+        sink = progress_sink()
         if workers > 1:
             if self.enable_cache:
                 attributes: list[Attribute] = []
@@ -945,17 +955,54 @@ class SearchEngine:
                             seen.add(attribute)
                             attributes.append(attribute)
                 if len(attributes) > 1:
-                    with _fast_thread_switching(), ThreadPoolExecutor(
-                        max_workers=min(workers, len(attributes))
-                    ) as pool:
-                        for _ in pool.map(self.match_attribute, attributes):
-                            pass
+                    with _fast_thread_switching():
+                        pool = ThreadPoolExecutor(
+                            max_workers=min(workers, len(attributes))
+                        )
+                        try:
+                            for scored, _ in enumerate(
+                                pool.map(self.match_attribute, attributes), start=1
+                            ):
+                                if sink is not None:
+                                    sink("score", scored, len(attributes))
+                        except BaseException:
+                            # A sink-raised cancellation must not sit through
+                            # the rest of the fan-out: drop every not-yet-
+                            # started task (in-flight ones finish -- their
+                            # cached results stay exact for the next caller).
+                            pool.shutdown(wait=False, cancel_futures=True)
+                            raise
+                        finally:
+                            pool.shutdown(wait=True)
             elif len(components) > 1:
-                with _fast_thread_switching(), ThreadPoolExecutor(
-                    max_workers=min(workers, len(components))
-                ) as pool:
-                    return list(pool.map(self.associate_component, components))
-        return [self.associate_component(component) for component in components]
+                with _fast_thread_switching():
+                    pool = ThreadPoolExecutor(
+                        max_workers=min(workers, len(components))
+                    )
+                    try:
+                        if sink is None:
+                            return list(
+                                pool.map(self.associate_component, components)
+                            )
+                        results: list[ComponentAssociation] = []
+                        for association in pool.map(
+                            self.associate_component, components
+                        ):
+                            results.append(association)
+                            sink("associate", len(results), len(components))
+                        return results
+                    except BaseException:
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise
+                    finally:
+                        pool.shutdown(wait=True)
+        if sink is None:
+            return [self.associate_component(component) for component in components]
+        assembled: list[ComponentAssociation] = []
+        for component in components:
+            assembled.append(self.associate_component(component))
+            sink("associate", len(assembled), len(components))
+        return assembled
 
     def associate(self, system: SystemGraph, *, workers: int = 1) -> SystemAssociation:
         """Associate the whole system model (Fig. 1's merge step).

@@ -7,12 +7,14 @@ This package is the seam between the analysis library and its frontends:
 * :mod:`repro.service.service` -- :class:`AnalysisService`, one warm
   engine/workspace shared by every caller,
 * :mod:`repro.service.http` -- stdlib ``ThreadingHTTPServer`` frontend
-  (``cpsec serve``),
+  (``cpsec serve``): synchronous ``POST /v1/<op>`` routes plus the async
+  job surface (``/v1/jobs``, SSE event streams, ``/v1/ops`` discovery),
 * :mod:`repro.service.client` -- :class:`ServiceClient`, the same typed
-  surface over HTTP.
+  surface over HTTP, including ``submit``/``wait``/``stream_events``.
 
 The CLI's subcommands are thin adapters over this package; library users and
-remote analysts drive exactly the same operations.
+remote analysts drive exactly the same operations.  Background execution
+lives in :mod:`repro.jobs`; progress plumbing in :mod:`repro.progress`.
 """
 
 from repro.service.client import ServiceClient

@@ -13,16 +13,30 @@ parsed back into the typed response dataclasses, and error bodies are
 re-raised as :class:`ServiceError` -- the same exception the in-process
 service raises, so error handling is transport-agnostic too.  Stdlib only
 (:mod:`urllib.request`).
+
+The client also speaks the **async job surface** of a server started with a
+job engine (``cpsec serve``)::
+
+    job = client.submit("associate", AssociateRequest(scale=1.0))
+    for event in client.stream_events(job["job_id"]):
+        print(event)                        # monotonic state/progress events
+    job = client.wait(job["job_id"])        # terminal job record
+    response = client.job_result(job)       # typed response, byte-identical
+                                            # to client.associate(...)
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import time
 import urllib.error
 import urllib.request
+from collections.abc import Iterator
 
 from repro.service.protocol import (
     OPERATIONS,
+    TERMINAL_JOB_STATES,
     AssociateRequest,
     AssociateResponse,
     ChainsRequest,
@@ -119,6 +133,150 @@ class ServiceClient:
     def health(self) -> dict:
         """The service's ``/healthz`` payload."""
         return json.loads(self._request("GET", "/healthz"))
+
+    def ops(self) -> dict:
+        """The server's ``GET /v1/ops`` discovery payload."""
+        return json.loads(self._request("GET", "/v1/ops"))
+
+    # -- jobs ------------------------------------------------------------------
+
+    def submit(self, operation: str, request=None) -> dict:
+        """Submit one typed operation as a background job; the job record.
+
+        ``request`` may be a typed request dataclass or a plain payload dict
+        (``None`` submits the operation's defaults).
+        """
+        if request is None:
+            payload = {}
+        elif isinstance(request, dict):
+            payload = request
+        else:
+            payload = request.to_dict()
+        body = canonical_json({"operation": operation, "request": payload})
+        raw = self._request("POST", "/v1/jobs", body.encode("utf-8"))
+        return json.loads(raw)
+
+    def job(self, job_id: str) -> dict:
+        """One job's record (including its ``result`` payload, if any)."""
+        return json.loads(self._request("GET", f"/v1/jobs/{job_id}"))
+
+    def jobs(self) -> list[dict]:
+        """Every job the server knows about (without result payloads)."""
+        return json.loads(self._request("GET", "/v1/jobs"))["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        """Request cancellation; returns the (possibly updated) job record."""
+        return json.loads(self._request("POST", f"/v1/jobs/{job_id}/cancel", b"{}"))
+
+    def stream_events(
+        self,
+        job_id: str,
+        after: int | None = None,
+        *,
+        deadline: float | None = None,
+        read_timeout: float | None = None,
+    ) -> Iterator[dict]:
+        """Yield a job's SSE events as dicts until the terminal state event.
+
+        Events carry ``seq``/``kind`` plus ``state`` or
+        ``phase``/``done``/``total``; ``seq`` is strictly increasing, so a
+        dropped connection resumes with ``after=<last seen seq>``.
+
+        ``deadline`` (a :func:`time.monotonic` instant) stops the stream
+        early; ``read_timeout`` bounds each blocking socket read (default:
+        the client timeout).  :meth:`wait` uses both to honour its timeout
+        even while the stream is silent.
+        """
+        path = f"/v1/jobs/{job_id}/events"
+        if after is not None:
+            path += f"?after={after}"
+        request = urllib.request.Request(f"{self.base_url}{path}", method="GET")
+        try:
+            stream = urllib.request.urlopen(
+                request, timeout=read_timeout or self.timeout
+            )
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError:
+                payload = {"error": {"message": raw.decode("utf-8", "replace")}}
+            raise ServiceError.from_dict(payload, status=error.code) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {error.reason}",
+                code="unreachable",
+                status=503,
+            ) from None
+        with stream:
+            data_lines: list[str] = []
+            for raw_line in stream:
+                if deadline is not None and time.monotonic() > deadline:
+                    return
+                line = raw_line.decode("utf-8").rstrip("\n").rstrip("\r")
+                if line.startswith(":"):
+                    continue  # keep-alive comment
+                if line:
+                    if line.startswith("data:"):
+                        data_lines.append(line[len("data:"):].lstrip())
+                    continue
+                if not data_lines:
+                    continue
+                event = json.loads("\n".join(data_lines))
+                data_lines = []
+                yield event
+                if (
+                    event.get("kind") == "state"
+                    and event.get("state") in TERMINAL_JOB_STATES
+                ):
+                    return
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll_interval: float = 0.2
+    ) -> dict:
+        """Block until the job is terminal; returns the full job record.
+
+        Waits on the SSE stream (no polling), bounding both the overall
+        deadline and each socket read by ``timeout`` so a silent stream
+        cannot overshoot it, and falls back to polling ``GET /v1/jobs/<id>``
+        if the stream drops mid-job.
+        """
+        deadline = time.monotonic() + timeout
+        try:
+            for _ in self.stream_events(
+                job_id,
+                deadline=deadline,
+                read_timeout=max(0.1, timeout),
+            ):
+                pass
+        except ServiceError:
+            raise
+        except (OSError, http.client.HTTPException):
+            pass  # stream dropped or read timed out; poll below
+        while True:
+            record = self.job(job_id)
+            if record["state"] in TERMINAL_JOB_STATES:
+                return record
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"job {job_id} still {record['state']} after {timeout:g}s",
+                    code="timeout",
+                    status=504,
+                )
+            time.sleep(poll_interval)
+
+    def job_result(self, job: dict):
+        """A finished job's ``result`` as the operation's typed response."""
+        if job.get("state") != "succeeded" or job.get("result") is None:
+            raise ServiceError(
+                f"job {job.get('job_id')} has no result (state "
+                f"{job.get('state')!r})",
+                code="job_not_succeeded",
+                status=409,
+                details={"error": job.get("error")},
+            )
+        _, response_type = OPERATIONS[job["operation"]]
+        return response_type.from_dict(job["result"])
 
     # -- typed operations (same surface as AnalysisService) -------------------
 

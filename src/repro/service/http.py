@@ -8,6 +8,20 @@ are written with :func:`repro.service.protocol.canonical_json`, so the HTTP
 path is byte-identical to the in-process path for the same request (the
 equivalence tests compare them literally).
 
+When the server carries a :class:`~repro.jobs.manager.JobManager`, the
+**async job surface** is exposed next to the synchronous one:
+
+* ``POST /v1/jobs`` -- submit ``{"operation": ..., "request": {...}}`` as a
+  background job (202 + the job record),
+* ``GET /v1/jobs`` / ``GET /v1/jobs/<id>`` -- job list / one job (with its
+  final ``result`` payload, byte-identical to the synchronous response),
+* ``GET /v1/jobs/<id>/events[?after=seq]`` -- a Server-Sent-Events stream
+  of the job's monotonic state/progress events; the stream closes after the
+  terminal state event and sends ``: keep-alive`` comments while idle,
+* ``POST /v1/jobs/<id>/cancel`` -- cooperative cancellation,
+* ``GET /v1/ops`` -- discovery: operations, ``schema_version``, registered
+  workspace names.
+
 Request threads share one :class:`AnalysisService`; the engine's
 lock-protected LRU caches and stats counters (PR 1-2) are what make that
 sharing safe.  Start a server from the CLI with ``cpsec serve`` or
@@ -21,9 +35,11 @@ programmatically::
 from __future__ import annotations
 
 import json
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.service.protocol import (
+    SCHEMA_VERSION,
     ServiceError,
     canonical_json,
     parse_request,
@@ -33,6 +49,11 @@ from repro.service.service import AnalysisService
 #: Largest accepted request body, in bytes.  Inline model payloads are a few
 #: tens of kilobytes; anything larger is a client error, not a model.
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Seconds an idle SSE stream waits for news before emitting a keep-alive
+#: comment.  The comment doubles as disconnect detection: writing to a gone
+#: client raises, ending the streamer thread.
+SSE_KEEPALIVE_S = 15.0
 
 
 class AnalysisRequestHandler(BaseHTTPRequestHandler):
@@ -89,29 +110,156 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
             )
         return payload
 
+    def _jobs(self):
+        """The server's job manager, or a typed 503 when jobs are disabled."""
+        jobs = getattr(self.server, "jobs", None)
+        if jobs is None:
+            raise ServiceError(
+                "this server was started without a job engine",
+                code="jobs_disabled",
+                status=503,
+            )
+        return jobs
+
+    # -- jobs routes ----------------------------------------------------------
+
+    def _handle_jobs_get(self, path: str, query: dict) -> None:
+        jobs = self._jobs()
+        if path == "/v1/jobs":
+            self._write_json(
+                200,
+                {
+                    "schema_version": SCHEMA_VERSION,
+                    "jobs": [
+                        job.to_dict(include_result=False) for job in jobs.jobs()
+                    ],
+                },
+            )
+            return
+        parts = path.split("/")  # ['', 'v1', 'jobs', <id>, ('events')]
+        if len(parts) == 4:
+            self._write_json(200, jobs.get(parts[3]).to_dict())
+            return
+        if len(parts) == 5 and parts[4] == "events":
+            self._stream_job_events(jobs, parts[3], query)
+            return
+        raise ServiceError(
+            f"no such resource {path!r}", code="not_found", status=404
+        )
+
+    def _stream_job_events(self, jobs, job_id: str, query: dict) -> None:
+        after = -1
+        if "after" in query:
+            try:
+                after = int(query["after"][0])
+            except (TypeError, ValueError) as error:
+                raise ServiceError(
+                    f"invalid after parameter: {error}", code="malformed_payload"
+                ) from error
+        jobs.get(job_id)  # typed 404 before any bytes hit the wire
+        # SSE has no Content-Length, so the connection cannot be reused.
+        self.close_connection = True
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        cursor = after
+        try:
+            while True:
+                events, done = jobs.events_since(
+                    job_id, cursor, timeout=SSE_KEEPALIVE_S
+                )
+                for event in events:
+                    cursor = event.seq
+                    frame = (
+                        f"id: {event.seq}\n"
+                        f"event: {event.kind}\n"
+                        f"data: {canonical_json(event.to_dict())}\n\n"
+                    )
+                    self.wfile.write(frame.encode("utf-8"))
+                if not events and not done:
+                    self.wfile.write(b": keep-alive\n\n")
+                self.wfile.flush()
+                if done:
+                    return
+        except (BrokenPipeError, ConnectionResetError):
+            # The subscriber went away mid-stream; the job keeps running and
+            # a new subscriber can resume from ?after=<last seen seq>.
+            return
+
+    def _handle_jobs_post(self, path: str) -> None:
+        jobs = self._jobs()
+        if path == "/v1/jobs":
+            payload = self._read_body()
+            operation = payload.get("operation")
+            if not isinstance(operation, str):
+                raise ServiceError(
+                    "job submissions need an 'operation' name",
+                    code="malformed_payload",
+                )
+            request = payload.get("request") or {}
+            if not isinstance(request, dict):
+                raise ServiceError(
+                    "'request' must be a JSON object", code="malformed_payload"
+                )
+            job = jobs.submit(operation, request)
+            self._write_json(202, job.to_dict())
+            return
+        parts = path.split("/")
+        if len(parts) == 5 and parts[4] == "cancel":
+            self._write_json(200, jobs.cancel(parts[3]).to_dict())
+            return
+        raise ServiceError(
+            f"no such resource {path!r}", code="not_found", status=404
+        )
+
     # -- routes ---------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path in ("/healthz", "/health"):
-            self._write_json(200, self.server.service.health())
-            return
-        self._write_error(
-            ServiceError(
+        parsed = urllib.parse.urlsplit(self.path)
+        path = parsed.path
+        try:
+            if path in ("/healthz", "/health"):
+                payload = self.server.service.health()
+                jobs = getattr(self.server, "jobs", None)
+                if jobs is not None:
+                    payload["jobs"] = jobs.stats()
+                    if jobs.draining:
+                        payload["status"] = "draining"
+                self._write_json(200, payload)
+                return
+            if path == "/v1/ops":
+                payload = self.server.service.ops_info()
+                payload["jobs_enabled"] = getattr(self.server, "jobs", None) is not None
+                self._write_json(200, payload)
+                return
+            if path == "/v1/jobs" or path.startswith("/v1/jobs/"):
+                self._handle_jobs_get(path, urllib.parse.parse_qs(parsed.query))
+                return
+            raise ServiceError(
                 f"no such resource {self.path!r}; operations are POST /v1/<op>",
                 code="not_found",
                 status=404,
             )
-        )
+        except ServiceError as error:
+            self._write_error(error)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        # Route on the bare path, like do_GET: a query string must not turn
+        # an existing resource into a 404.
+        path = urllib.parse.urlsplit(self.path).path
         try:
-            if not self.path.startswith("/v1/"):
+            if path == "/v1/jobs" or path.startswith("/v1/jobs/"):
+                self._handle_jobs_post(path)
+                return
+            if not path.startswith("/v1/"):
                 raise ServiceError(
                     f"no such resource {self.path!r}; operations are POST /v1/<op>",
                     code="not_found",
                     status=404,
                 )
-            operation = self.path[len("/v1/"):]
+            operation = path[len("/v1/"):]
             payload = self._read_body()
             request = parse_request(operation, payload)
             response = getattr(self.server.service, operation)(request)
@@ -141,10 +289,14 @@ class AnalysisServiceServer(ThreadingHTTPServer):
         service: AnalysisService,
         *,
         verbose: bool = False,
+        jobs=None,
     ) -> None:
         super().__init__(address, AnalysisRequestHandler)
         self.service = service
         self.verbose = verbose
+        #: Optional :class:`repro.jobs.manager.JobManager`; ``None`` serves
+        #: the synchronous API only (job routes answer a typed 503).
+        self.jobs = jobs
 
 
 def start_server(
@@ -153,6 +305,7 @@ def start_server(
     port: int = 8765,
     *,
     verbose: bool = False,
+    jobs=None,
 ) -> AnalysisServiceServer:
     """Bind a server (``port=0`` picks a free port); call ``serve_forever``."""
-    return AnalysisServiceServer((host, port), service, verbose=verbose)
+    return AnalysisServiceServer((host, port), service, verbose=verbose, jobs=jobs)

@@ -39,6 +39,14 @@ from repro.search.chains import ExploitChain
 #: Version of the request/response schema; bump on incompatible changes.
 SCHEMA_VERSION = 1
 
+#: Background-job lifecycle states, in order (see :mod:`repro.jobs`).  Part
+#: of the wire protocol: clients decide "is this job over" from these.
+JOB_STATES = ("queued", "running", "succeeded", "failed", "cancelled")
+
+#: Job states a job never leaves.  The single source of truth shared by the
+#: manager, the SSE streamer, and every client.
+TERMINAL_JOB_STATES = frozenset({"succeeded", "failed", "cancelled"})
+
 
 def canonical_json(payload: dict) -> str:
     """The one JSON serialization used by every transport.
@@ -158,6 +166,10 @@ class _FlatMessage:
 # ``model`` (and ``variant``) accept a registry name (``"centrifuge"``,
 # ``"uav"``), a ``SystemGraph.to_dict`` payload, or ``None`` for the default
 # model.  ``scale``/``scorer``/``workers`` select and drive the engine.
+# ``workspace`` optionally names one of the server's registered workspaces
+# (see ``cpsec serve --workspace name=path``); ``None`` keeps the server's
+# default routing.  Operations that never touch an engine still validate the
+# name, so a typo cannot be silently ignored.
 
 
 @dataclass(frozen=True)
@@ -168,6 +180,7 @@ class AssociateRequest(_FlatMessage):
     scale: float = 0.1
     scorer: str = "coverage"
     workers: int = 1
+    workspace: str | None = None
 
 
 @dataclass(frozen=True)
@@ -178,6 +191,7 @@ class Table1Request(_FlatMessage):
     scale: float = 0.1
     scorer: str = "coverage"
     workers: int = 1
+    workspace: str | None = None
 
 
 @dataclass(frozen=True)
@@ -193,6 +207,7 @@ class WhatIfRequest(_FlatMessage):
     scale: float = 0.1
     scorer: str = "coverage"
     workers: int = 1
+    workspace: str | None = None
 
 
 @dataclass(frozen=True)
@@ -206,6 +221,7 @@ class ChainsRequest(_FlatMessage):
     scale: float = 0.1
     scorer: str = "coverage"
     workers: int = 1
+    workspace: str | None = None
 
 
 @dataclass(frozen=True)
@@ -213,6 +229,7 @@ class TopologyRequest(_FlatMessage):
     """Topological security profile of a model (no corpus needed)."""
 
     model: str | dict | None = None
+    workspace: str | None = None
 
 
 @dataclass(frozen=True)
@@ -224,6 +241,7 @@ class RecommendRequest(_FlatMessage):
     scale: float = 0.1
     scorer: str = "coverage"
     workers: int = 1
+    workspace: str | None = None
 
 
 @dataclass(frozen=True)
@@ -233,6 +251,7 @@ class SimulateRequest(_FlatMessage):
     scenario: str = "nominal"
     duration_s: float = 420.0
     dt: float = 0.5
+    workspace: str | None = None
 
 
 @dataclass(frozen=True)
@@ -242,6 +261,7 @@ class ConsequencesRequest(_FlatMessage):
     record: str = "CWE-78"
     component: str = "BPCS Platform"
     duration_s: float = 420.0
+    workspace: str | None = None
 
 
 @dataclass(frozen=True)
@@ -249,6 +269,7 @@ class ValidateRequest(_FlatMessage):
     """Validate a system model for structural and fidelity smells."""
 
     model: str | dict | None = None
+    workspace: str | None = None
 
 
 @dataclass(frozen=True)
@@ -256,6 +277,7 @@ class ExportRequest(_FlatMessage):
     """Export a system model to GraphML text."""
 
     model: str | dict | None = None
+    workspace: str | None = None
 
 
 # -- responses ----------------------------------------------------------------

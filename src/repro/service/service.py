@@ -33,6 +33,7 @@ import hashlib
 import sys
 import threading
 import time
+from dataclasses import fields
 from pathlib import Path
 
 from repro import __version__
@@ -97,6 +98,12 @@ DEFAULT_MODEL = "centrifuge"
 #: least-recently-used slot is dropped (a re-request simply rebuilds it).
 MAX_SCALE_SLOTS = 4
 
+#: How many registered workspaces a service keeps *loaded* at once.  Only
+#: path-backed registry entries are evictable (an in-memory workspace object
+#: has nowhere to be reloaded from); the least-recently-used loaded entry is
+#: unloaded and transparently reloaded from its artifact on the next request.
+MAX_WARM_WORKSPACES = 8
+
 
 def _cached_operation(method):
     """Serve repeated identical requests from the bounded response cache.
@@ -145,6 +152,31 @@ class _ScaleSlot:
         self.workspace: Workspace | None = None
 
 
+class _WorkspaceEntry:
+    """One named workspace of the registry.
+
+    ``path`` is ``None`` for entries registered as in-memory
+    :class:`Workspace` objects -- those stay pinned (there is no artifact to
+    reload them from), while path-backed entries load lazily and participate
+    in the warm-workspace LRU.
+    """
+
+    __slots__ = ("name", "path", "workspace", "hits", "loads", "lock")
+
+    def __init__(
+        self, name: str, path: Path | None, workspace: Workspace | None
+    ) -> None:
+        self.name = name
+        self.path = path
+        self.workspace = workspace
+        self.hits = 0
+        self.loads = 0
+        #: Serializes *this entry's* artifact load only -- holding the global
+        #: registry lock across a multi-hundred-ms disk load would stall
+        #: routing for every other workspace.
+        self.lock = threading.Lock()
+
+
 class AnalysisService:
     """Typed operations over one warm engine per corpus scale.
 
@@ -177,6 +209,21 @@ class AnalysisService:
         HTTP server's protection against one request synthesizing an
         arbitrarily large corpus.  The CLI's in-process backend passes
         ``None`` (no bound beyond positivity), preserving local freedom.
+    workspaces:
+        Optional **workspace registry**: ``{name: Workspace-or-path}``.  A
+        request naming a registered workspace (its optional ``workspace``
+        field) is routed to that workspace's warm engine pool; naming an
+        unregistered one is a typed 404.  Path-backed entries load lazily
+        and are LRU-bounded by ``max_warm_workspaces`` (eviction counters
+        surface in :meth:`health`).
+    default_workspace:
+        Name of the registry entry that serves requests carrying no
+        ``workspace`` field (``cpsec serve`` points this at its first
+        ``--workspace``).  A default-routed request whose scale the entry
+        does not serve falls back to the legacy artifact/slot path instead
+        of erroring, preserving single-workspace server semantics.
+    max_warm_workspaces:
+        LRU bound on concurrently *loaded* path-backed registry entries.
     """
 
     def __init__(
@@ -187,6 +234,9 @@ class AnalysisService:
         save_artifacts: bool = True,
         max_response_cache_entries: int | None = 1024,
         max_scale: float | None = 4.0,
+        workspaces: dict[str, Workspace | str | Path] | None = None,
+        default_workspace: str | None = None,
+        max_warm_workspaces: int = MAX_WARM_WORKSPACES,
     ) -> None:
         self._artifact_path: Path | None = None
         self._artifact: Workspace | None = None
@@ -213,6 +263,28 @@ class AnalysisService:
             if max_response_cache_entries == 0
             else LruCache(max_response_cache_entries)
         )
+        if max_warm_workspaces < 1:
+            raise ValueError(
+                f"max_warm_workspaces must be positive, got {max_warm_workspaces}"
+            )
+        self._max_warm_workspaces = max_warm_workspaces
+        self._workspace_entries: dict[str, _WorkspaceEntry] = {}
+        self._workspace_lru: dict[str, None] = {}
+        self._workspace_evictions = 0
+        self._registry_lock = threading.Lock()
+        for name, source in (workspaces or {}).items():
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"workspace names must be non-empty strings, got {name!r}")
+            if isinstance(source, Workspace):
+                entry = _WorkspaceEntry(name, None, source)
+            else:
+                entry = _WorkspaceEntry(name, Path(source), None)
+            self._workspace_entries[name] = entry
+        if default_workspace is not None and default_workspace not in self._workspace_entries:
+            raise ValueError(
+                f"default workspace {default_workspace!r} is not registered"
+            )
+        self._default_workspace = default_workspace
         self._started_at = time.monotonic()
 
     # -- plumbing -------------------------------------------------------------
@@ -310,10 +382,119 @@ class AnalysisService:
             )
         return scorer
 
-    def _engine(self, scale: float, scorer: str) -> SearchEngine:
+    # -- workspace registry ----------------------------------------------------
+
+    def _check_workspace(self, name) -> str | None:
+        """Validate a request's optional ``workspace`` field.
+
+        Every operation validates the field -- even the ones that never touch
+        an engine -- so a typo is a typed 404, never a silent ignore.
+        """
+        if name is None:
+            return None
+        if not isinstance(name, str):
+            raise ServiceError(
+                f"workspace must be a registered workspace name, got {name!r}",
+                code="invalid_workspace",
+            )
+        if name not in self._workspace_entries:
+            raise ServiceError(
+                f"unknown workspace {name!r}",
+                code="unknown_workspace",
+                status=404,
+                details={"known_workspaces": sorted(self._workspace_entries)},
+            )
+        return name
+
+    def _registry_workspace(self, name: str) -> Workspace:
+        """The named registry entry's workspace, loaded and LRU-touched.
+
+        Path-backed entries load lazily under the registry lock and are
+        bounded by the warm-workspace LRU: the least-recently-used loaded
+        entry is unloaded (eviction counted, engines dropped with it) and
+        reloaded from its artifact on its next request.  In-memory entries
+        are pinned -- there is nothing to reload them from.
+        """
+        entry = self._workspace_entries[name]
+        with entry.lock:
+            workspace = entry.workspace
+            if workspace is None:
+                try:
+                    workspace = Workspace.load(entry.path)
+                except (ValueError, OSError) as error:
+                    raise ServiceError(
+                        f"cannot load workspace {name!r} from {entry.path}: {error}",
+                        code="workspace_load_failed",
+                        status=503,
+                    ) from error
+                entry.workspace = workspace
+                entry.loads += 1
+        with self._registry_lock:
+            entry.hits += 1
+            if entry.path is not None:
+                self._workspace_lru.pop(name, None)
+                self._workspace_lru[name] = None
+                while len(self._workspace_lru) > self._max_warm_workspaces:
+                    evicted = next(iter(self._workspace_lru))
+                    del self._workspace_lru[evicted]
+                    self._workspace_entries[evicted].workspace = None
+                    self._workspace_evictions += 1
+        return workspace
+
+    def warm_workspace(self, name: str, scorer: str | None = None) -> Workspace:
+        """Load a registered workspace and fit an engine now, not per-request.
+
+        ``cpsec serve`` calls this per ``--workspace`` at startup so the
+        first analyst request lands on a warm engine.
+        """
+        workspace = self._registry_workspace(self._check_workspace(name))
+        workspace.shared_engine(**({} if scorer is None else {"scorer": scorer}))
+        return workspace
+
+    def _workspace_engine(
+        self, name: str, scale: float, scorer: str, *, explicit: bool
+    ) -> SearchEngine | None:
+        """The named workspace's engine -- or what a scale mismatch means.
+
+        An *explicitly* requested workspace that does not serve the requested
+        scale is a typed 409 (the caller asked for a contradiction); the
+        implicitly routed default falls back (``None``) to the legacy
+        artifact/slot path, preserving single-workspace server semantics.
+        Workspaces with no recorded corpus parameters serve any scale --
+        there is nothing to check against.
+        """
+        workspace = self._registry_workspace(name)
+        if workspace.params is None or workspace.matches(scale=scale):
+            return workspace.shared_engine(scorer=scorer)
+        if explicit:
+            raise ServiceError(
+                f"workspace {name!r} serves corpus scale "
+                f"{workspace.params.get('scale')!r}, not {scale!r}",
+                code="workspace_scale_mismatch",
+                status=409,
+                details={
+                    "workspace": name,
+                    "workspace_scale": workspace.params.get("scale"),
+                    "requested_scale": scale,
+                },
+            )
+        return None
+
+    def _engine(
+        self, scale: float, scorer: str, workspace: str | None = None
+    ) -> SearchEngine:
         """The warm engine for (scale, scorer), built at most once per config."""
         scale = self._check_scale(scale)
         scorer = self._check_scorer(scorer)
+        workspace = self._check_workspace(workspace)
+        if workspace is not None:
+            return self._workspace_engine(workspace, scale, scorer, explicit=True)
+        if self._default_workspace is not None:
+            engine = self._workspace_engine(
+                self._default_workspace, scale, scorer, explicit=False
+            )
+            if engine is not None:
+                return engine
         artifact = self._load_artifact()
         if artifact is not None and artifact.matches(scale=scale):
             return artifact.shared_engine(scorer=scorer)
@@ -389,7 +570,7 @@ class AnalysisService:
     def _associate(self, request) -> tuple:
         """Shared associate step: (engine, association) for a request."""
         workers = self._check_int("workers", request.workers, 1, 64)
-        engine = self._engine(request.scale, request.scorer)
+        engine = self._engine(request.scale, request.scorer, request.workspace)
         model = self._resolve_model(request.model)
         return engine, engine.associate(model, workers=workers)
 
@@ -414,7 +595,7 @@ class AnalysisService:
     def whatif(self, request: WhatIfRequest) -> WhatIfResponse:
         """Compare a variant architecture against the baseline."""
         workers = self._check_int("workers", request.workers, 1, 64)
-        engine = self._engine(request.scale, request.scorer)
+        engine = self._engine(request.scale, request.scorer, request.workspace)
         baseline = self._resolve_model(request.model)
         if request.variant is None:
             variant = hardened_workstation_variant(baseline)
@@ -454,6 +635,7 @@ class AnalysisService:
     @_cached_operation
     def topology(self, request: TopologyRequest) -> TopologyResponse:
         """Topological security profile of the model (no corpus involved)."""
+        self._check_workspace(request.workspace)
         model = self._resolve_model(request.model)
         return TopologyResponse(report=analyze_topology(model))
 
@@ -472,6 +654,7 @@ class AnalysisService:
     @_cached_operation
     def simulate(self, request: SimulateRequest) -> SimulateResponse:
         """One closed-loop SCADA run, nominal or under a named scenario."""
+        self._check_workspace(request.workspace)
         duration_s, dt = self._check_simulation_window(request.duration_s, request.dt)
         if request.scenario == "nominal":
             interventions = []
@@ -508,6 +691,7 @@ class AnalysisService:
     @_cached_operation
     def consequences(self, request: ConsequencesRequest) -> ConsequencesResponse:
         """Physical-consequence assessments for one record on one component."""
+        self._check_workspace(request.workspace)
         duration_s, _ = self._check_simulation_window(request.duration_s)
         mapper = ConsequenceMapper(duration_s=duration_s)
         assessments = mapper.assess(request.record, request.component)
@@ -516,18 +700,43 @@ class AnalysisService:
     @_cached_operation
     def validate(self, request: ValidateRequest) -> ValidateResponse:
         """Structural/fidelity validation findings for the model."""
+        self._check_workspace(request.workspace)
         model = self._resolve_model(request.model)
         return ValidateResponse(findings=tuple(validate_model(model)))
 
     @_cached_operation
     def export(self, request: ExportRequest) -> ExportResponse:
         """The model as GraphML text (the caller decides where it lands)."""
+        self._check_workspace(request.workspace)
         model = self._resolve_model(request.model)
         return ExportResponse(
             graphml=to_graphml_string(model), component_count=len(model)
         )
 
     # -- introspection --------------------------------------------------------
+
+    def ops_info(self) -> dict:
+        """The ``GET /v1/ops`` discovery payload.
+
+        Lists every operation with its request/response shape, the model
+        registry, and the registered workspace names -- enough for a client
+        to introspect a server instead of hardcoding the README's table.
+        """
+        operations = {
+            name: {
+                "request_fields": [field.name for field in fields(request_type)],
+                "response_fields": [field.name for field in fields(response_type)],
+            }
+            for name, (request_type, response_type) in sorted(OPERATIONS.items())
+        }
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "version": __version__,
+            "operations": operations,
+            "models": sorted(MODEL_REGISTRY),
+            "workspaces": sorted(self._workspace_entries),
+            "default_workspace": self._default_workspace,
+        }
 
     def health(self) -> dict:
         """Liveness and warm-state payload for the ``/healthz`` endpoint."""
@@ -542,6 +751,32 @@ class AnalysisService:
                 # the multi-megabyte prepared bundle on every health probe.
                 if slot.workspace is not None:
                     seen.setdefault(id(slot.workspace), slot.workspace)
+        workspaces_payload: dict[str, dict] = {}
+        with self._registry_lock:
+            entries = list(self._workspace_entries.values())
+            registry_payload = {
+                "registered": len(entries),
+                "warm": sum(1 for entry in entries if entry.workspace is not None),
+                "max_warm": self._max_warm_workspaces,
+                "evictions": self._workspace_evictions,
+                "default": self._default_workspace,
+            }
+        for entry in entries:
+            workspace = entry.workspace
+            workspaces_payload[entry.name] = {
+                "loaded": workspace is not None,
+                "path": str(entry.path) if entry.path is not None else None,
+                "hits": entry.hits,
+                "loads": entry.loads,
+                "scale": (workspace.params or {}).get("scale")
+                if workspace is not None
+                else None,
+                "engine_pool": workspace.engine_pool_info()
+                if workspace is not None
+                else None,
+            }
+            if workspace is not None:
+                seen.setdefault(id(workspace), workspace)
         for workspace in seen.values():
             scale = (workspace.params or {}).get("scale")
             for engine in workspace.engine_handles():
@@ -566,5 +801,7 @@ class AnalysisService:
                 if response_cache is not None
                 else 0,
             },
+            "workspaces": workspaces_payload,
+            "workspace_registry": registry_payload,
             "engines": engines,
         }

@@ -75,6 +75,14 @@ ENGINE_CONFIG_TYPES: dict[str, tuple[type, ...]] = {
 
 ENGINE_CONFIG_FIELDS = tuple(ENGINE_CONFIG_TYPES)
 
+#: Bound on the warm engine handles one workspace keeps (distinct effective
+#: configurations: scorer variants, threshold overrides, ...).  Each handle
+#: owns fitted TF-IDF models and result caches, so an unbounded pool on a
+#: long-lived multi-workspace server would grow with every configuration a
+#: client ever asked for; the least-recently-used handle is dropped instead
+#: (a re-request rebuilds it -- speed changes, results never do).
+MAX_ENGINE_HANDLES = 8
+
 
 def _validate_engine_config(engine_config: dict) -> dict:
     """Reject unknown keys or wrong-typed values in a loaded configuration."""
@@ -122,6 +130,8 @@ class Workspace:
         self._prepared_lock = threading.Lock()
         self._engine_handles: dict[tuple, SearchEngine] = {}
         self._engine_handles_lock = threading.Lock()
+        self._engine_handle_evictions = 0
+        self.max_engine_handles: int | None = MAX_ENGINE_HANDLES
 
     # -- construction ---------------------------------------------------------
 
@@ -260,20 +270,44 @@ class Workspace:
         accumulate.  This method memoizes engines per effective configuration
         (recorded config merged with the overrides) under a lock, so N
         concurrent requests share one engine instead of racing N builds.
+
+        The pool is LRU-bounded by :attr:`max_engine_handles` (``None``
+        disables the bound); evictions are counted and surfaced through
+        :meth:`engine_pool_info` / the service's ``/healthz``.  Eviction
+        changes speed only -- a dropped configuration is rebuilt, bit
+        identically, on its next request.
         """
         effective = {**self.engine_config, **overrides}
         key = tuple(sorted(effective.items()))
         with self._engine_handles_lock:
             engine = self._engine_handles.get(key)
-            if engine is None:
+            if engine is not None:
+                # Reinsert so plain dict order doubles as LRU order.
+                self._engine_handles[key] = self._engine_handles.pop(key)
+            else:
                 engine = self.engine(**overrides)
                 self._engine_handles[key] = engine
+                while (
+                    self.max_engine_handles is not None
+                    and len(self._engine_handles) > self.max_engine_handles
+                ):
+                    self._engine_handles.pop(next(iter(self._engine_handles)))
+                    self._engine_handle_evictions += 1
         return engine
 
     def engine_handles(self) -> tuple[SearchEngine, ...]:
-        """Every engine handed out by :meth:`shared_engine` so far."""
+        """Every engine currently held by the :meth:`shared_engine` pool."""
         with self._engine_handles_lock:
             return tuple(self._engine_handles.values())
+
+    def engine_pool_info(self) -> dict:
+        """Occupancy, bound, and eviction count of the shared-engine pool."""
+        with self._engine_handles_lock:
+            return {
+                "engines": len(self._engine_handles),
+                "max_engines": self.max_engine_handles,
+                "evictions": self._engine_handle_evictions,
+            }
 
     # -- persistence ----------------------------------------------------------
 

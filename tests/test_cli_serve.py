@@ -1,0 +1,145 @@
+"""End-to-end ``cpsec serve`` process tests: startup, jobs, graceful signal
+shutdown.
+
+These run the real console entry point as a subprocess: the signal handling
+and drain sequencing cannot be meaningfully tested in-process.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.jobs.store import read_journal
+from repro.service import ServiceClient
+from repro.workspace import Workspace
+
+SCALE = 0.02
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve") / "serve.cpsecws"
+    Workspace.build(scale=SCALE).save(path)
+    return path
+
+
+def _spawn_serve(artifact: Path, *extra: str) -> tuple[subprocess.Popen, str, list]:
+    """Start ``cpsec serve`` on a free port; returns (process, url, stdout lines)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--workspace", f"main={artifact}",
+            "--port", "0",
+            *extra,
+        ],
+        cwd=artifact.parent,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    lines: list[str] = []
+
+    def _pump() -> None:
+        for line in process.stdout:
+            lines.append(line.rstrip("\n"))
+
+    threading.Thread(target=_pump, daemon=True).start()
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        banner = next((line for line in lines if "serving analysis service" in line), None)
+        if banner:
+            url = banner.split("on ", 1)[1].split(" ", 1)[0]
+            return process, url, lines
+        if process.poll() is not None:
+            break
+        time.sleep(0.1)
+    process.kill()
+    raise AssertionError(f"serve did not come up; output so far: {lines}")
+
+
+def test_serve_drains_gracefully_on_sigterm(artifact):
+    process, url, lines = _spawn_serve(artifact)
+    try:
+        client = ServiceClient(url)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["workspaces"]["main"]["loaded"]
+        job = client.submit("associate", {"scale": SCALE})
+        record = client.wait(job["job_id"], timeout=60.0)
+        assert record["state"] == "succeeded"
+
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=30.0) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+    output = "\n".join(lines)
+    assert "refusing new submissions" in output
+    assert "shutdown complete" in output
+    assert "jobs drained, journal flushed" in output
+
+    # The journal landed next to the first workspace and replays the job.
+    journal = artifact.parent / f"{artifact.name}.jobs.jsonl"
+    assert journal.exists()
+    kinds = [entry["kind"] for entry in read_journal(journal)]
+    assert "submitted" in kinds and "finished" in kinds
+
+    # A second serve over the same journal replays the history.
+    process2, url2, _ = _spawn_serve(artifact)
+    try:
+        replayed = ServiceClient(url2).job(job["job_id"])
+        assert replayed["state"] == "succeeded"
+        assert replayed["replayed"] is True
+        assert replayed["result"] == record["result"]
+    finally:
+        process2.send_signal(signal.SIGTERM)
+        try:
+            process2.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            process2.kill()
+
+
+def test_serve_rejects_bad_workspace_specs(artifact, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--workspace", f"main={artifact}",
+            "--workspace", f"main={artifact}",
+            "--port", "0",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 2
+    assert "duplicate workspace name" in result.stderr
+    missing = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--workspace", str(tmp_path / "ghost.cpsecws"),
+            "--port", "0",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert missing.returncode == 2
+    assert "workspace artifact not found" in missing.stderr

@@ -1,0 +1,349 @@
+"""HTTP surface of the job engine: SSE streams, cancellation, discovery.
+
+One live two-workspace server with a job manager backs the whole module.
+The acceptance bars pinned here:
+
+* a job's final payload is byte-identical to the synchronous endpoint's
+  wire bytes, for every operation,
+* an association job streams >= 5 monotonic progress events over SSE,
+* two named workspaces are served warm by one process with per-workspace
+  stats in ``/healthz``, and ``GET /v1/ops`` makes the server
+  introspectable,
+* queue overflow is a typed 429, drain is a typed 503, and a subscriber
+  disconnecting mid-stream harms neither the job nor the server.
+"""
+
+import json
+import socket
+import threading
+import urllib.request
+
+import pytest
+
+from repro.jobs import JobManager
+from repro.service import (
+    AnalysisService,
+    AssociateRequest,
+    ChainsRequest,
+    ConsequencesRequest,
+    ExportRequest,
+    RecommendRequest,
+    ServiceClient,
+    ServiceError,
+    SimulateRequest,
+    Table1Request,
+    TopologyRequest,
+    ValidateRequest,
+    WhatIfRequest,
+    start_server,
+)
+from repro.workspace import Workspace
+
+SCALE_A = 0.02
+SCALE_B = 0.03
+
+#: One representative request per operation, routed to workspace "b" when it
+#: needs an engine (exercising the registry on every engine-backed path).
+REQUESTS = {
+    "associate": AssociateRequest(scale=SCALE_B, workspace="b"),
+    "table1": Table1Request(scale=SCALE_B, workspace="b"),
+    "whatif": WhatIfRequest(scale=SCALE_B, workspace="b"),
+    "chains": ChainsRequest(scale=SCALE_B, workspace="b", limit=3),
+    "topology": TopologyRequest(),
+    "recommend": RecommendRequest(scale=SCALE_B, workspace="b", per_component=2),
+    "simulate": SimulateRequest(scenario="nominal", duration_s=120.0),
+    "consequences": ConsequencesRequest(record="CWE-78", duration_s=120.0),
+    "validate": ValidateRequest(),
+    "export": ExportRequest(),
+}
+
+SLOW_SIMULATE = {"scenario": "nominal", "duration_s": 86400.0, "dt": 0.5}
+
+TERMINAL = {"succeeded", "failed", "cancelled"}
+
+
+@pytest.fixture(scope="module")
+def live():
+    """A two-workspace service with a job engine behind a real HTTP server."""
+    service = AnalysisService(
+        workspaces={
+            "a": Workspace.build(scale=SCALE_A),
+            "b": Workspace.build(scale=SCALE_B),
+        },
+        default_workspace="a",
+    )
+    service.warm_workspace("a")
+    service.warm_workspace("b")
+    jobs = JobManager(service, workers=2)
+    server = start_server(service, port=0, jobs=jobs)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield service, jobs, ServiceClient(f"http://{host}:{port}"), (host, port)
+    server.shutdown()
+    server.server_close()
+    jobs.close(timeout=10.0)
+    thread.join(timeout=5)
+
+
+@pytest.mark.parametrize("operation", sorted(REQUESTS))
+def test_job_result_byte_identical_to_sync_endpoint(live, operation):
+    _, _, client, _ = live
+    request = REQUESTS[operation]
+    wire = client.call_raw(operation, request.to_dict())
+    job = client.submit(operation, request)
+    record = client.wait(job["job_id"], timeout=60.0)
+    assert record["state"] == "succeeded"
+    from repro.service import canonical_json
+
+    assert canonical_json(record["result"]) == wire.decode("utf-8")
+
+
+def test_association_job_streams_monotonic_progress_over_sse(live):
+    _, _, client, _ = live
+    # A never-before-seen request (distinct scorer) cannot be served from the
+    # response cache, so the scoring loop actually runs and emits progress.
+    job = client.submit(
+        "associate", {"scale": SCALE_B, "workspace": "b", "scorer": "cosine"}
+    )
+    events = list(client.stream_events(job["job_id"]))
+    seqs = [event["seq"] for event in events]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)
+    progress = [event for event in events if event["kind"] == "progress"]
+    assert len(progress) >= 5
+    dones = [event["done"] for event in progress if event["phase"] == "associate"]
+    assert dones == sorted(dones)  # monotonic within the phase
+    assert events[-1]["kind"] == "state"
+    assert events[-1]["state"] == "succeeded"
+
+
+def test_sse_stream_resumes_from_after_cursor(live):
+    _, _, client, _ = live
+    job = client.submit("topology", {})
+    record = client.wait(job["job_id"], timeout=30.0)
+    assert record["state"] == "succeeded"
+    all_events = list(client.stream_events(job["job_id"]))
+    resumed = list(client.stream_events(job["job_id"], after=all_events[0]["seq"]))
+    assert resumed == all_events[1:]
+
+
+def test_wait_honours_timeout_on_a_silent_job(live):
+    import time
+
+    _, _, client, _ = live
+    job = client.submit("simulate", SLOW_SIMULATE)
+    start = time.monotonic()
+    with pytest.raises(ServiceError) as excinfo:
+        client.wait(job["job_id"], timeout=0.5)
+    elapsed = time.monotonic() - start
+    assert excinfo.value.code == "timeout"
+    assert excinfo.value.status == 504
+    assert elapsed < 10.0  # the deadline held even though the stream was live
+    client.cancel(job["job_id"])
+    record = client.wait(job["job_id"], timeout=30.0)
+    assert record["state"] == "cancelled"
+
+
+def test_job_cancel_over_http(live):
+    _, _, client, _ = live
+    job = client.submit("simulate", SLOW_SIMULATE)
+    for event in client.stream_events(job["job_id"]):
+        if event["kind"] == "progress":
+            break
+    client.cancel(job["job_id"])
+    record = client.wait(job["job_id"], timeout=30.0)
+    assert record["state"] == "cancelled"
+    assert record["result"] is None
+
+
+def test_sse_client_disconnect_mid_stream_is_harmless(live):
+    _, jobs, client, (host, port) = live
+    job = client.submit("simulate", SLOW_SIMULATE)
+    # Raw socket subscriber that reads a few frames and hangs up mid-stream.
+    with socket.create_connection((host, port), timeout=10.0) as raw:
+        raw.sendall(
+            f"GET /v1/jobs/{job['job_id']}/events HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n\r\n".encode()
+        )
+        chunks = b""
+        while b"event:" not in chunks:
+            chunks += raw.recv(4096)
+        # ...and disconnect without reading the rest of the stream.
+    client.cancel(job["job_id"])
+    record = client.wait(job["job_id"], timeout=30.0)
+    assert record["state"] == "cancelled"
+    # The server is still fully functional after the broken pipe.
+    assert client.health()["status"] == "ok"
+
+
+def test_queue_full_over_http_is_typed_429(live):
+    service, _, client, _ = live
+    tight = JobManager(service, workers=1, max_queued=1)
+    server = start_server(service, port=0, jobs=tight)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    tight_client = ServiceClient(f"http://{host}:{port}")
+    try:
+        running = tight_client.submit("simulate", SLOW_SIMULATE)
+        for event in tight_client.stream_events(running["job_id"]):
+            if event["kind"] == "progress":
+                break
+        tight_client.submit("simulate", SLOW_SIMULATE)
+        with pytest.raises(ServiceError) as excinfo:
+            tight_client.submit("topology", {})
+        assert excinfo.value.status == 429
+        assert excinfo.value.code == "queue_full"
+    finally:
+        for record in tight_client.jobs():
+            tight_client.cancel(record["job_id"])
+        server.shutdown()
+        server.server_close()
+        tight.close(timeout=30.0)
+        thread.join(timeout=5)
+
+
+def test_draining_server_refuses_submissions_and_reports_it(live):
+    service, _, client, _ = live
+    draining = JobManager(service, workers=1)
+    server = start_server(service, port=0, jobs=draining)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    drain_client = ServiceClient(f"http://{host}:{port}")
+    try:
+        draining.begin_drain()
+        with pytest.raises(ServiceError) as excinfo:
+            drain_client.submit("topology", {})
+        assert excinfo.value.status == 503
+        assert excinfo.value.code == "shutting_down"
+        assert drain_client.health()["status"] == "draining"
+        # Synchronous requests still drain through normally.
+        assert drain_client.call_raw("topology", {})
+    finally:
+        server.shutdown()
+        server.server_close()
+        draining.close(timeout=10.0)
+        thread.join(timeout=5)
+
+
+def test_jobs_disabled_server_answers_typed_503(live):
+    service, _, _, _ = live
+    server = start_server(service, port=0)  # no job manager
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+    try:
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit("topology", {})
+        assert excinfo.value.status == 503
+        assert excinfo.value.code == "jobs_disabled"
+        assert client.ops()["jobs_enabled"] is False
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def test_unknown_job_is_404_everywhere(live):
+    _, _, client, _ = live
+    for call in (
+        lambda: client.job("job-missing"),
+        lambda: client.cancel("job-missing"),
+        lambda: list(client.stream_events("job-missing")),
+    ):
+        with pytest.raises(ServiceError) as excinfo:
+            call()
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "unknown_job"
+
+
+def test_ops_discovery_endpoint(live):
+    _, _, client, _ = live
+    payload = client.ops()
+    assert payload["schema_version"] == 1
+    assert payload["jobs_enabled"] is True
+    assert sorted(payload["workspaces"]) == ["a", "b"]
+    assert payload["default_workspace"] == "a"
+    assert set(payload["operations"]) == set(REQUESTS)
+    fields = payload["operations"]["associate"]["request_fields"]
+    assert "workspace" in fields and "scale" in fields
+
+
+def test_healthz_reports_jobs_and_per_workspace_stats(live):
+    _, _, client, _ = live
+    client.submit("associate", {"scale": SCALE_A, "workspace": "a"})
+    payload = client.health()
+    assert payload["status"] == "ok"
+    assert payload["jobs"]["workers"] == 2
+    assert payload["jobs"]["total"] >= 1
+    assert set(payload["jobs"]["by_state"]) == {
+        "queued", "running", "succeeded", "failed", "cancelled"
+    }
+    workspaces = payload["workspaces"]
+    assert set(workspaces) == {"a", "b"}
+    assert workspaces["a"]["loaded"] and workspaces["b"]["loaded"]
+    assert workspaces["a"]["scale"] == SCALE_A
+    assert workspaces["b"]["scale"] == SCALE_B
+    for stats in workspaces.values():
+        assert stats["engine_pool"]["engines"] >= 1
+        assert "evictions" in stats["engine_pool"]
+    registry = payload["workspace_registry"]
+    assert registry["registered"] == 2
+    assert registry["warm"] == 2
+    assert registry["default"] == "a"
+
+
+def test_workspace_routing_and_mismatch_over_http(live):
+    service, _, client, _ = live
+    # Routed to "b" explicitly == what a plain single-workspace service says.
+    wire = client.call_raw("associate", {"scale": SCALE_B, "workspace": "b"})
+    plain = AnalysisService().associate(AssociateRequest(scale=SCALE_B))
+    from repro.service import canonical_json
+
+    assert wire.decode("utf-8") == canonical_json(plain.to_dict())
+    # Explicitly asking a workspace for a scale it does not serve is a 409.
+    with pytest.raises(ServiceError) as excinfo:
+        client.call_raw("associate", {"scale": SCALE_A, "workspace": "b"})
+    assert excinfo.value.status == 409
+    assert excinfo.value.code == "workspace_scale_mismatch"
+    # Naming an unregistered workspace is a 404 with the known names.
+    with pytest.raises(ServiceError) as excinfo:
+        client.call_raw("topology", {"workspace": "zz"})
+    assert excinfo.value.status == 404
+    assert excinfo.value.code == "unknown_workspace"
+    assert excinfo.value.details["known_workspaces"] == ["a", "b"]
+
+
+def test_post_routes_ignore_query_strings(live):
+    _, _, client, _ = live
+    job = client.submit("simulate", SLOW_SIMULATE)
+    # Cancel through a query-string-bearing URL: must hit the same route.
+    record = json.loads(
+        client._request("POST", f"/v1/jobs/{job['job_id']}/cancel?source=ui", b"{}")
+    )
+    assert record["job_id"] == job["job_id"]
+    assert client.wait(job["job_id"], timeout=30.0)["state"] == "cancelled"
+
+
+def test_sse_frames_are_well_formed(live):
+    """The raw wire format: id/event/data frames, blank-line separated."""
+    _, _, client, (host, port) = live
+    job = client.submit("topology", {})
+    client.wait(job["job_id"], timeout=30.0)
+    with urllib.request.urlopen(
+        f"http://{host}:{port}/v1/jobs/{job['job_id']}/events", timeout=30.0
+    ) as stream:
+        assert stream.headers["Content-Type"] == "text/event-stream"
+        body = stream.read().decode("utf-8")
+    frames = [frame for frame in body.split("\n\n") if frame.strip()]
+    assert frames
+    for frame in frames:
+        lines = frame.split("\n")
+        assert lines[0].startswith("id: ")
+        assert lines[1].startswith("event: ")
+        assert lines[2].startswith("data: ")
+        payload = json.loads(lines[2][len("data: "):])
+        assert payload["seq"] == int(lines[0][len("id: "):])

@@ -1,0 +1,325 @@
+"""Job-engine lifecycle tests against the in-process service.
+
+The contract under test: any typed operation runs as a background job whose
+final payload is **byte-identical** to the synchronous call, with a
+monotonic event stream, cooperative cancellation (before start and mid-run),
+bounded queueing (typed 429), graceful draining (typed 503), and a journal
+that survives restarts.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.jobs import JobJournal, JobManager, read_journal
+from repro.progress import OperationCancelled, progress_sink, report_to
+from repro.service import (
+    AnalysisService,
+    AssociateRequest,
+    ChainsRequest,
+    ConsequencesRequest,
+    ExportRequest,
+    RecommendRequest,
+    ServiceError,
+    SimulateRequest,
+    Table1Request,
+    TopologyRequest,
+    ValidateRequest,
+    WhatIfRequest,
+    canonical_json,
+)
+
+SCALE = 0.02
+
+#: One representative request per operation (mirrors the HTTP suite).
+REQUESTS = {
+    "associate": AssociateRequest(scale=SCALE),
+    "table1": Table1Request(scale=SCALE),
+    "whatif": WhatIfRequest(scale=SCALE),
+    "chains": ChainsRequest(scale=SCALE, limit=3),
+    "topology": TopologyRequest(),
+    "recommend": RecommendRequest(scale=SCALE, per_component=2),
+    "simulate": SimulateRequest(scenario="nominal", duration_s=120.0),
+    "consequences": ConsequencesRequest(record="CWE-78", duration_s=120.0),
+    "validate": ValidateRequest(),
+    "export": ExportRequest(),
+}
+
+#: A job that runs for seconds and emits thousands of progress points --
+#: the controllable "slow job" used by cancellation/queue tests.
+SLOW_SIMULATE = {"scenario": "nominal", "duration_s": 86400.0, "dt": 0.5}
+
+
+@pytest.fixture(scope="module")
+def service():
+    return AnalysisService()
+
+
+@pytest.fixture()
+def manager(service):
+    manager = JobManager(service, workers=2)
+    yield manager
+    manager.close(timeout=10.0)
+
+
+def _wait_for_first_progress(manager, job, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        events, _ = manager.events_since(job.job_id, after=-1, timeout=1.0)
+        if any(event.kind == "progress" for event in events):
+            return
+    raise AssertionError(f"job {job.job_id} emitted no progress within {timeout}s")
+
+
+@pytest.mark.parametrize("operation", sorted(REQUESTS))
+def test_job_payload_byte_identical_to_synchronous_call(
+    service, manager, operation
+):
+    request = REQUESTS[operation]
+    sync = getattr(service, operation)(request)
+    job = manager.submit(operation, request.to_dict())
+    manager.wait(job.job_id, timeout=60.0)
+    assert job.state == "succeeded"
+    assert canonical_json(job.result) == canonical_json(sync.to_dict())
+
+
+def test_job_events_are_monotonic_and_progress_rich(service):
+    # A response-cache-free service guarantees the engine path actually runs
+    # (a cached response would legitimately skip the scoring loop).
+    uncached = AnalysisService(max_response_cache_entries=0)
+    manager = JobManager(uncached, workers=1)
+    try:
+        job = manager.submit("associate", {"scale": SCALE})
+        manager.wait(job.job_id, timeout=60.0)
+        assert job.state == "succeeded"
+        events = job.events
+        # seq is dense and strictly increasing from 0.
+        assert [event.seq for event in events] == list(range(len(events)))
+        states = [event.state for event in events if event.kind == "state"]
+        assert states == ["queued", "running", "succeeded"]
+        progress = [event for event in events if event.kind == "progress"]
+        assert len(progress) >= 5  # one per centrifuge component
+        by_phase: dict = {}
+        for event in progress:
+            assert 0 <= event.done <= event.total
+            assert by_phase.get(event.phase, -1) <= event.done  # monotonic
+            by_phase[event.phase] = event.done
+        assert by_phase["associate"] == progress[-1].total
+    finally:
+        manager.close(timeout=10.0)
+
+
+def test_cancel_mid_run(manager):
+    job = manager.submit("simulate", SLOW_SIMULATE)
+    _wait_for_first_progress(manager, job)
+    manager.cancel(job.job_id)
+    manager.wait(job.job_id, timeout=30.0)
+    assert job.state == "cancelled"
+    assert job.result is None
+    assert job.events[-1].kind == "state"
+    assert job.events[-1].state == "cancelled"
+
+
+def test_cancel_before_start(service):
+    manager = JobManager(service, workers=1)
+    try:
+        running = manager.submit("simulate", SLOW_SIMULATE)
+        _wait_for_first_progress(manager, running)
+        queued = manager.submit("simulate", SLOW_SIMULATE)
+        assert queued.state == "queued"
+        manager.cancel(queued.job_id)
+        assert queued.state == "cancelled"
+        assert queued.started_at is None  # never ran
+        manager.cancel(running.job_id)
+        manager.wait(running.job_id, timeout=30.0)
+        assert running.state == "cancelled"
+    finally:
+        manager.close(timeout=10.0)
+
+
+def test_cancel_is_idempotent_on_terminal_jobs(manager):
+    job = manager.submit("topology", {})
+    manager.wait(job.job_id, timeout=30.0)
+    assert job.state == "succeeded"
+    again = manager.cancel(job.job_id)
+    assert again.state == "succeeded"  # a finished job stays finished
+
+
+def test_queue_full_is_typed_429(service):
+    manager = JobManager(service, workers=1, max_queued=1)
+    try:
+        running = manager.submit("simulate", SLOW_SIMULATE)
+        _wait_for_first_progress(manager, running)  # the worker is busy now
+        manager.submit("simulate", SLOW_SIMULATE)  # fills the queue
+        with pytest.raises(ServiceError) as excinfo:
+            manager.submit("topology", {})
+        assert excinfo.value.status == 429
+        assert excinfo.value.code == "queue_full"
+        assert excinfo.value.details["max_queued"] == 1
+    finally:
+        for job in manager.jobs():
+            manager.cancel(job.job_id)
+        manager.close(timeout=30.0)
+
+
+def test_close_cancels_jobs_the_drain_timeout_left_running(service):
+    manager = JobManager(service, workers=1)
+    job = manager.submit("simulate", SLOW_SIMULATE)
+    _wait_for_first_progress(manager, job)
+    # A zero-ish drain window cannot outlast a day-long simulation: close()
+    # must cancel it cooperatively instead of hanging the process.
+    assert manager.close(timeout=0.05) is False
+    assert job.state == "cancelled"
+
+
+def test_draining_manager_refuses_submissions_with_503(manager):
+    manager.begin_drain()
+    with pytest.raises(ServiceError) as excinfo:
+        manager.submit("topology", {})
+    assert excinfo.value.status == 503
+    assert excinfo.value.code == "shutting_down"
+
+
+def test_malformed_submissions_fail_fast(manager):
+    with pytest.raises(ServiceError) as excinfo:
+        manager.submit("shard", {})
+    assert excinfo.value.code == "unknown_operation"
+    with pytest.raises(ServiceError) as excinfo:
+        manager.submit("associate", {"no_such_field": 1})
+    assert excinfo.value.code == "unknown_fields"
+    assert not manager.jobs()  # nothing was queued
+
+
+def test_failed_operation_becomes_failed_job(manager):
+    job = manager.submit("simulate", {"scenario": "nope"})
+    manager.wait(job.job_id, timeout=30.0)
+    assert job.state == "failed"
+    assert job.error["code"] == "unknown_scenario"
+    assert job.error["status"] == 404
+
+
+def test_history_is_bounded_and_prunes_oldest_terminal_jobs(service):
+    manager = JobManager(service, workers=1, max_history=3)
+    try:
+        jobs = []
+        for _ in range(6):
+            job = manager.submit("topology", {})
+            manager.wait(job.job_id, timeout=30.0)
+            jobs.append(job)
+        assert all(job.state == "succeeded" for job in jobs)
+        remaining = [job.job_id for job in manager.jobs()]
+        assert len(remaining) == 3
+        assert remaining == [job.job_id for job in jobs[-3:]]  # oldest pruned
+        with pytest.raises(ServiceError):
+            manager.get(jobs[0].job_id)  # pruned history is a 404
+        assert manager.stats()["max_history"] == 3
+    finally:
+        manager.close(timeout=10.0)
+
+
+def test_unknown_job_is_typed_404(manager):
+    with pytest.raises(ServiceError) as excinfo:
+        manager.get("job-doesnotexist")
+    assert excinfo.value.status == 404
+    assert excinfo.value.code == "unknown_job"
+
+
+def test_journal_replays_history_and_results(service, tmp_path):
+    journal = tmp_path / "jobs.jsonl"
+    first = JobManager(service, workers=2, journal_path=journal)
+    job = first.submit("associate", {"scale": SCALE})
+    first.wait(job.job_id, timeout=60.0)
+    cancelled = first.submit("simulate", SLOW_SIMULATE)
+    _wait_for_first_progress(first, cancelled)
+    first.cancel(cancelled.job_id)
+    first.wait(cancelled.job_id, timeout=30.0)
+    assert first.close(timeout=30.0)
+
+    second = JobManager(service, workers=2, journal_path=journal)
+    try:
+        replayed = second.get(job.job_id)
+        assert replayed.replayed
+        assert replayed.state == "succeeded"
+        # The journalled result is the byte-identical payload itself.
+        assert canonical_json(replayed.result) == canonical_json(job.result)
+        assert second.get(cancelled.job_id).state == "cancelled"
+        # A replayed terminal job streams one terminal event and closes.
+        events, done = second.events_since(job.job_id, after=-1, timeout=1.0)
+        assert done
+        assert [event.state for event in events] == ["succeeded"]
+    finally:
+        second.close(timeout=10.0)
+
+
+def test_journal_marks_interrupted_jobs_failed(service, tmp_path):
+    journal_path = tmp_path / "jobs.jsonl"
+    journal = JobJournal(journal_path)
+    # A job that was mid-run when the "process died": submitted + started,
+    # never finished.
+    journal.append(
+        "submitted",
+        job_id="job-interrupted1",
+        operation="simulate",
+        request=SLOW_SIMULATE,
+        created_at=1.0,
+    )
+    journal.append("started", job_id="job-interrupted1", started_at=1.5)
+    journal.close()
+    # Torn tail: a crash mid-write leaves half a line; replay must survive it.
+    with open(journal_path, "a", encoding="utf-8") as handle:
+        handle.write('{"v":1,"kind":"finish')
+
+    manager = JobManager(service, workers=1, journal_path=journal_path)
+    try:
+        job = manager.get("job-interrupted1")
+        assert job.state == "failed"
+        assert job.error["code"] == "interrupted"
+    finally:
+        manager.close(timeout=10.0)
+    # The interruption was journalled, so a *second* restart replays the
+    # same terminal state without re-deriving it.
+    entries = read_journal(journal_path)
+    finished = [entry for entry in entries if entry["kind"] == "finished"]
+    assert finished and finished[-1]["state"] == "failed"
+    third = JobManager(service, workers=1, journal_path=journal_path)
+    try:
+        assert third.get("job-interrupted1").state == "failed"
+    finally:
+        third.close(timeout=10.0)
+
+
+def test_progress_sink_is_context_local(engine, centrifuge_model):
+    """A sink installed in one thread must never leak into another."""
+    seen: list[tuple] = []
+    barrier = threading.Barrier(2, timeout=30.0)
+    stranger_sink_views: list = []
+
+    def instrumented():
+        barrier.wait()
+        with report_to(lambda *event: seen.append(event)):
+            engine.associate(centrifuge_model)
+
+    def stranger():
+        barrier.wait()
+        stranger_sink_views.append(progress_sink())
+
+    threads = [
+        threading.Thread(target=instrumented),
+        threading.Thread(target=stranger),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert seen, "the instrumented thread saw progress"
+    assert stranger_sink_views == [None]
+
+
+def test_cancellation_exception_propagates_from_sink(engine, centrifuge_model):
+    def sink(phase, done, total):
+        raise OperationCancelled("stop")
+
+    with pytest.raises(OperationCancelled):
+        with report_to(sink):
+            engine.associate(centrifuge_model)

@@ -1,0 +1,117 @@
+"""Workspace registry behaviour: LRU warm bound, fallback, engine pools.
+
+The registry is what lets one ``cpsec serve`` process serve several named
+workspaces: path-backed entries load lazily, stay warm up to the LRU bound,
+and reload transparently (bit-identically) after eviction; the default entry
+preserves single-workspace server semantics for requests that name nothing.
+"""
+
+import pytest
+
+from repro.service import (
+    AnalysisService,
+    AssociateRequest,
+    ServiceError,
+    canonical_json,
+)
+from repro.workspace import Workspace
+
+SCALE_A = 0.02
+SCALE_B = 0.03
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    root = tmp_path_factory.mktemp("registry")
+    path_a = root / "a.cpsecws"
+    path_b = root / "b.cpsecws"
+    Workspace.build(scale=SCALE_A).save(path_a)
+    Workspace.build(scale=SCALE_B).save(path_b)
+    return path_a, path_b
+
+
+def test_path_backed_entries_load_lazily_and_lru_evict(artifacts):
+    path_a, path_b = artifacts
+    # Response caching off: a repeated request must actually reach the
+    # registry, or the reload-after-eviction path would never be exercised.
+    service = AnalysisService(
+        workspaces={"a": path_a, "b": path_b},
+        max_warm_workspaces=1,
+        max_response_cache_entries=0,
+    )
+    baseline_a = service.associate(AssociateRequest(scale=SCALE_A, workspace="a"))
+    health = service.health()
+    assert health["workspaces"]["a"]["loaded"]
+    assert not health["workspaces"]["b"]["loaded"]  # lazy until requested
+    # Loading "b" evicts "a" (warm bound 1).
+    service.associate(AssociateRequest(scale=SCALE_B, workspace="b"))
+    health = service.health()
+    assert health["workspaces"]["b"]["loaded"]
+    assert not health["workspaces"]["a"]["loaded"]
+    assert health["workspace_registry"]["evictions"] == 1
+    assert health["workspace_registry"]["warm"] == 1
+    # An evicted workspace reloads from its artifact, bit-identically.
+    reloaded = service.associate(AssociateRequest(scale=SCALE_A, workspace="a"))
+    assert canonical_json(reloaded.to_dict()) == canonical_json(baseline_a.to_dict())
+    assert service.health()["workspaces"]["a"]["loads"] == 2
+
+
+def test_default_workspace_falls_back_on_scale_mismatch(artifacts):
+    path_a, _ = artifacts
+    service = AnalysisService(
+        workspaces={"a": path_a}, default_workspace="a", save_artifacts=False
+    )
+    # Matching scale: served by the registry default, no slot built.
+    service.associate(AssociateRequest(scale=SCALE_A))
+    assert not service._slots
+    # Mismatching scale on the *implicit* default: legacy in-memory slot
+    # (single-workspace `cpsec serve` semantics), not an error.
+    response = service.associate(AssociateRequest(scale=SCALE_B))
+    assert SCALE_B in service._slots
+    plain = AnalysisService().associate(AssociateRequest(scale=SCALE_B))
+    assert canonical_json(response.to_dict()) == canonical_json(plain.to_dict())
+
+
+def test_unloadable_artifact_is_a_typed_503(tmp_path):
+    bogus = tmp_path / "corrupt.cpsecws"
+    bogus.write_bytes(b"not a workspace artifact")
+    service = AnalysisService(workspaces={"bad": bogus})
+    with pytest.raises(ServiceError) as excinfo:
+        service.associate(AssociateRequest(scale=SCALE_A, workspace="bad"))
+    assert excinfo.value.status == 503
+    assert excinfo.value.code == "workspace_load_failed"
+
+
+def test_constructor_validates_registry():
+    with pytest.raises(ValueError):
+        AnalysisService(workspaces={"": "x.cpsecws"})
+    with pytest.raises(ValueError):
+        AnalysisService(default_workspace="ghost")
+    with pytest.raises(ValueError):
+        AnalysisService(max_warm_workspaces=0)
+
+
+def test_shared_engine_pool_is_lru_bounded():
+    workspace = Workspace.build(scale=SCALE_A)
+    workspace.max_engine_handles = 2
+    coverage = workspace.shared_engine(scorer="coverage")
+    workspace.shared_engine(scorer="cosine")
+    info = workspace.engine_pool_info()
+    assert info == {"engines": 2, "max_engines": 2, "evictions": 0}
+    # A third configuration evicts the least recently used (coverage).
+    workspace.shared_engine(scorer="jaccard")
+    info = workspace.engine_pool_info()
+    assert info["engines"] == 2
+    assert info["evictions"] == 1
+    # The evicted configuration comes back on demand (for a freshly *built*
+    # workspace that is the original built engine; a *loaded* one rebuilds
+    # from the prepared payload -- identical results either way).
+    rebuilt = workspace.shared_engine(scorer="coverage")
+    assert rebuilt is coverage
+    assert rebuilt.scorer == "coverage"
+    assert workspace.engine_pool_info()["engines"] == 2
+    # Touching an entry refreshes its LRU position.
+    workspace.shared_engine(scorer="jaccard")
+    workspace.shared_engine(scorer="cosine")  # evicts coverage again, not jaccard
+    handles = {engine.scorer for engine in workspace.engine_handles()}
+    assert handles == {"jaccard", "cosine"}

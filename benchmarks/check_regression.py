@@ -1,0 +1,161 @@
+"""Compare benchmark JSON twins against committed baselines.
+
+CI's benchmark-regression job reruns the benchmark suite at smoke scale into
+a scratch directory and then runs this script: every timing in a candidate
+twin is compared against the same-named timing in the committed baseline of
+the same benchmark, and the job fails when any timing regressed by more than
+the tolerance (default 30%).
+
+Rules that keep the check honest on shared runners:
+
+* baselines and candidates are only compared when they were measured at the
+  **same corpus scale** (a scale-1.0 baseline says nothing about a 0.1 run),
+* timings below ``--min-seconds`` (default 5 ms) are ignored -- at that
+  magnitude the check would measure scheduler noise, not the code,
+* the gate is **machine-calibrated**: the committed baselines were measured
+  on whatever box the author used, so every candidate/baseline ratio is
+  first normalized by the suite-wide *median* ratio.  A runner that is
+  uniformly 2x slower gets a median of ~2.0 and passes; only timings that
+  regressed relative to the rest of the suite trip the gate
+  (``--no-calibrate`` restores absolute comparison for same-machine runs),
+* new benchmarks (no baseline) and new timing keys pass; a *missing*
+  candidate for an existing baseline fails, so a benchmark cannot silently
+  disappear.
+
+Usage::
+
+    python benchmarks/check_regression.py \\
+        --baseline benchmarks/results/smoke --candidate /tmp/bench-results \\
+        [--tolerance 0.30] [--min-seconds 0.005]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _flatten_timings(payload, prefix: str = "") -> dict[str, float]:
+    """Every numeric leaf under a ``timings``-like subtree, dotted-keyed."""
+    flat: dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            flat.update(_flatten_timings(value, f"{prefix}{key}."))
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            flat.update(_flatten_timings(value, f"{prefix}{index}."))
+    elif isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        flat[prefix.rstrip(".")] = float(payload)
+    return flat
+
+
+def _timings(twin: dict) -> dict[str, float]:
+    """The comparable timings of one result twin.
+
+    Covers both the flat ``timings`` dict most benchmarks emit and the
+    ``measurements: [{scale, timings}]`` list of the scaling benchmark
+    (rows are matched by their recorded scale).
+    """
+    flat: dict[str, float] = {}
+    if isinstance(twin.get("timings"), (dict, list)):
+        flat.update(_flatten_timings(twin["timings"], "timings."))
+    for row in twin.get("measurements") or []:
+        if isinstance(row, dict) and isinstance(row.get("timings"), dict):
+            flat.update(
+                _flatten_timings(row["timings"], f"scale[{row.get('scale')}].")
+            )
+    return flat
+
+
+def compare(
+    baseline_dir: Path,
+    candidate_dir: Path,
+    tolerance: float,
+    min_seconds: float,
+    calibrate: bool = True,
+) -> list[str]:
+    """Every regression message (empty means the gate passes)."""
+    failures: list[str] = []
+    ratios: list[tuple[str, str, float, float]] = []
+    for baseline_path in sorted(baseline_dir.glob("*.json")):
+        candidate_path = candidate_dir / baseline_path.name
+        if not candidate_path.exists():
+            failures.append(
+                f"{baseline_path.name}: candidate result missing "
+                "(benchmark disappeared?)"
+            )
+            continue
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        candidate = json.loads(candidate_path.read_text(encoding="utf-8"))
+        if baseline.get("scale") != candidate.get("scale"):
+            print(
+                f"skip {baseline_path.name}: scale "
+                f"{candidate.get('scale')} != baseline {baseline.get('scale')}"
+            )
+            continue
+        baseline_timings = _timings(baseline)
+        candidate_timings = _timings(candidate)
+        for key, base_value in sorted(baseline_timings.items()):
+            cand_value = candidate_timings.get(key)
+            if cand_value is None:
+                continue  # renamed/removed timing: not a regression signal
+            if base_value < min_seconds and cand_value < min_seconds:
+                continue
+            ratios.append(
+                (baseline_path.name, key, base_value, cand_value)
+            )
+    speed_factor = 1.0
+    if calibrate and ratios:
+        ordered = sorted(cand / base for _, _, base, cand in ratios)
+        speed_factor = ordered[len(ordered) // 2]
+        print(
+            f"machine calibration: median candidate/baseline ratio "
+            f"{speed_factor:.2f}"
+        )
+    allowed = speed_factor * (1.0 + tolerance)
+    for name, key, base_value, cand_value in ratios:
+        if cand_value > base_value * allowed:
+            failures.append(
+                f"{name}: {key} regressed "
+                f"{base_value:.4f}s -> {cand_value:.4f}s "
+                f"({cand_value / base_value:.2f}x vs allowed "
+                f"{allowed:.2f}x = median {speed_factor:.2f} "
+                f"+ {tolerance * 100:.0f}% tolerance)"
+            )
+    print(f"compared {len(ratios)} timings against {baseline_dir}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=Path)
+    parser.add_argument("--candidate", required=True, type=Path)
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed relative slowdown (default 0.30 = 30%%)")
+    parser.add_argument("--min-seconds", type=float, default=0.005,
+                        help="ignore timings below this (noise floor)")
+    parser.add_argument("--no-calibrate", action="store_true",
+                        help="compare absolute timings (same-machine runs)")
+    args = parser.parse_args(argv)
+    if not args.baseline.is_dir():
+        print(f"baseline directory not found: {args.baseline}", file=sys.stderr)
+        return 2
+    failures = compare(
+        args.baseline,
+        args.candidate,
+        args.tolerance,
+        args.min_seconds,
+        calibrate=not args.no_calibrate,
+    )
+    for failure in failures:
+        print(f"REGRESSION {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("no benchmark regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,7 +34,14 @@ RESULT_SCHEMA_VERSION = 1
 #: Corpus scale used by the benchmarks (1.0 = paper-scale populations).
 BENCH_SCALE = float(os.environ.get("CPSEC_BENCH_SCALE", "1.0"))
 
-RESULTS_DIR = Path(__file__).parent / "results"
+#: Where result twins land.  CI's benchmark-regression job points this at a
+#: scratch directory so a run can be compared against the committed
+#: baselines without overwriting them.
+RESULTS_DIR = Path(
+    os.environ.get(
+        "CPSEC_BENCH_RESULTS_DIR", str(Path(__file__).parent / "results")
+    )
+)
 
 
 def pytest_collection_modifyitems(items):

@@ -1,0 +1,187 @@
+"""Sharded-index scoring and incremental workspace ingest (PR 5 tentpole).
+
+Two claims are measured and enforced here, both at paper scale:
+
+* **Pruned scoring is free-or-better.**  The sharded engine skips whole
+  shards whose vocabulary cannot intersect the query (pruning counters prove
+  it) while returning bit-identical associations; its cold associate must
+  not be slower than the monolithic engine beyond measurement noise.
+
+* **Ingest is incremental.**  Appending a small delta (~5% of the corpus)
+  with ``Workspace.extend`` -- load, tokenize only the delta, append one
+  frame -- must be at least 5x faster than the rebuild it replaces
+  (synthesize + build + save), with the extended artifact scoring exactly
+  like a from-scratch engine over the merged corpus.
+"""
+
+from __future__ import annotations
+
+import gc
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+from helpers_equivalence import association_signature  # noqa: E402
+
+from repro.analysis.report import render_table  # noqa: E402
+from repro.casestudies.centrifuge import build_centrifuge_model  # noqa: E402
+from repro.corpus.synthesis import (  # noqa: E402
+    build_corpus,
+    build_extension_corpus,
+)
+from repro.search.engine import SearchEngine  # noqa: E402
+from repro.workspace import Workspace  # noqa: E402
+
+
+def _best_of(measure, rounds: int = 3):
+    """Best wall-clock of N rounds (1-CPU CI hosts are noisy)."""
+    results = [measure() for _ in range(rounds)]
+    return min(results, key=lambda pair: pair[0])
+
+
+def test_sharded_scoring_and_incremental_ingest(
+    benchmark, bench_scale, corpus, record_result, tmp_path
+):
+    model = build_centrifuge_model()
+
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        # -- index build: sharded vs monolithic -------------------------------
+        def build_engine(sharded):
+            start = time.perf_counter()
+            engine = SearchEngine(corpus, sharded=sharded)
+            return time.perf_counter() - start, engine
+
+        build_sharded_time, sharded_engine = _best_of(lambda: build_engine(True))
+        build_mono_time, mono_engine = _best_of(lambda: build_engine(False))
+
+        # -- cold associate: pruned vs dense, interleaved ----------------------
+        def cold(engine):
+            engine.clear_caches()
+            start = time.perf_counter()
+            association = engine.associate(model)
+            return time.perf_counter() - start, association
+
+        sharded_times, mono_times = [], []
+        for _ in range(5):
+            elapsed, sharded_association = cold(sharded_engine)
+            sharded_times.append(elapsed)
+            elapsed, mono_association = cold(mono_engine)
+            mono_times.append(elapsed)
+        cold_sharded_time = min(sharded_times)
+        cold_mono_time = min(mono_times)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    reference = association_signature(mono_association)
+    assert association_signature(sharded_association) == reference
+    pruning = sharded_engine.cache_info()
+    assert pruning["candidates_pruned"] > 0
+    assert pruning["shards_skipped"] > 0
+
+    # -- ingest: extend vs rebuild ---------------------------------------------
+    artifact = tmp_path / "repro.cpsecws"
+    Workspace.build(scale=bench_scale, seed=7).save(artifact)
+    base_bytes = artifact.stat().st_size
+    delta_count = max(10, int(len(corpus) * 0.05))
+    delta = list(
+        build_extension_corpus(count=delta_count, seed=42).all_records()
+    )
+
+    def rebuild():
+        """What ingest used to cost: synthesize + build + save everything."""
+        target = tmp_path / "rebuild.cpsecws"
+        start = time.perf_counter()
+        workspace = Workspace.build(scale=bench_scale, seed=7)
+        workspace.corpus.add_all(delta)
+        # The freshly built engine predates the delta; bundle a new one.
+        rebuilt = Workspace.from_engine(SearchEngine(workspace.corpus))
+        rebuilt.save(target)
+        return time.perf_counter() - start, target
+
+    def extend():
+        """The incremental path: load, extend, append one frame."""
+        target = tmp_path / "extend.cpsecws"
+        target.write_bytes(artifact.read_bytes())
+        start = time.perf_counter()
+        workspace = Workspace.load(target)
+        workspace.extend(delta, path=target)
+        return time.perf_counter() - start, target
+
+    rebuild_time, rebuilt_path = _best_of(rebuild, rounds=2)
+    extend_time, extended_path = _best_of(extend, rounds=2)
+    extend_speedup = rebuild_time / extend_time
+    appended_bytes = extended_path.stat().st_size - base_bytes
+    rewrite_bytes = rebuilt_path.stat().st_size
+
+    # Exactness: the extended artifact and the full rebuild agree bit for bit.
+    extended_engine = Workspace.load(extended_path).engine()
+    rebuilt_engine = Workspace.load(rebuilt_path).engine()
+    extended_reference = association_signature(rebuilt_engine.associate(model))
+    assert (
+        association_signature(extended_engine.associate(model))
+        == extended_reference
+    )
+
+    # The benchmarked quantity: one incremental ingest round.
+    benchmark.pedantic(lambda: extend()[0], rounds=2, iterations=1)
+
+    rows = [
+        ("index build", f"{build_mono_time:.3f}", f"{build_sharded_time:.3f}"),
+        ("cold associate", f"{cold_mono_time:.4f}", f"{cold_sharded_time:.4f}"),
+    ]
+    lines = [
+        f"corpus scale: {bench_scale} ({len(corpus)} records)",
+        f"pruning: {pruning['candidates_pruned']} candidates pruned across "
+        f"{pruning['shards_skipped']} skipped shards (bit-identical)",
+        f"ingest delta: {len(delta)} records (~5% of corpus)",
+        f"extend {extend_time:.3f}s vs rebuild {rebuild_time:.3f}s "
+        f"-> {extend_speedup:.1f}x (floor: 5x)",
+        f"bytes: appended {appended_bytes} vs rewritten {rewrite_bytes}",
+        "",
+        render_table(("Path", "Monolithic [s]", "Sharded [s]"), rows),
+    ]
+    record_result(
+        "sharding_ingest",
+        "\n".join(lines),
+        data={
+            "record_counts": {
+                "corpus": len(corpus),
+                "delta": len(delta),
+                "associated": mono_association.total,
+            },
+            "timings": {
+                "index_build_sharded": build_sharded_time,
+                "index_build_monolithic": build_mono_time,
+                "cold_associate_sharded": cold_sharded_time,
+                "cold_associate_monolithic": cold_mono_time,
+                "extend_time": extend_time,
+                "rebuild_time": rebuild_time,
+            },
+            "pruning": {
+                "candidates_pruned": pruning["candidates_pruned"],
+                "shards_skipped": pruning["shards_skipped"],
+            },
+            "bytes": {
+                "base_artifact": base_bytes,
+                "appended": appended_bytes,
+                "rewritten": rewrite_bytes,
+            },
+            "extend_speedup": extend_speedup,
+            "sharded_bit_identical": True,
+        },
+    )
+
+    # Acceptance floors, enforced at paper scale (smoke-scale CI runs record
+    # the numbers but skip the wall-clock ratios -- at millisecond scale one
+    # noisy-neighbor stall flips any verdict).
+    if bench_scale >= 1.0:
+        assert extend_speedup >= 5.0
+        # Pruned scoring must not regress the cold path beyond noise.
+        assert cold_sharded_time <= cold_mono_time * 1.25
+        # The append is a small fraction of what a rewrite moves.
+        assert appended_bytes < rewrite_bytes / 5

@@ -19,6 +19,7 @@ import json
 import sys
 
 from repro.service import (
+    MUTATING_OPERATIONS,
     OPERATIONS,
     SCHEMA_VERSION,
     AnalysisService,
@@ -26,6 +27,7 @@ from repro.service import (
     ChainsRequest,
     ConsequencesRequest,
     ExportRequest,
+    ExtendRequest,
     RecommendRequest,
     ServiceClient,
     ServiceError,
@@ -39,7 +41,7 @@ from repro.service import (
 
 
 def build_requests(scale: float) -> dict:
-    """One representative request per operation."""
+    """One representative request per *pure* (repeatable) operation."""
     return {
         "associate": AssociateRequest(scale=scale),
         "table1": Table1Request(scale=scale),
@@ -52,6 +54,25 @@ def build_requests(scale: float) -> dict:
         "validate": ValidateRequest(),
         "export": ExportRequest(),
     }
+
+
+def roundtrip_extend(client: ServiceClient) -> str | None:
+    """Exercise the mutating ``extend`` operation (last: it changes state).
+
+    Appends a tiny unique record batch to the server's default workspace and
+    checks the typed response.  Server-only -- the in-process comparison
+    service has no artifact to extend.  Returns an error string or ``None``.
+    """
+    from repro.corpus.synthesis import build_extension_corpus
+
+    records = build_extension_corpus(count=5, seed=12345, start_serial=990000)
+    try:
+        response = client.extend(ExtendRequest(records=records.to_dict()))
+    except ServiceError as error:
+        return f"extend: HTTP {error.status} {error.code}: {error.message}"
+    if sum(response.added.values()) != len(records):
+        return f"extend: added {response.added} != {len(records)} submitted"
+    return None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -73,7 +94,9 @@ def main(argv: list[str] | None = None) -> int:
 
     local = None if args.skip_local else AnalysisService()
     requests = build_requests(args.scale)
-    assert set(requests) == set(OPERATIONS), "round-trip must cover every operation"
+    assert set(requests) == set(OPERATIONS) - MUTATING_OPERATIONS, (
+        "round-trip must cover every pure operation"
+    )
     failures: list[str] = []
     for operation, request in requests.items():
         try:
@@ -98,12 +121,19 @@ def main(argv: list[str] | None = None) -> int:
                 continue
         print(f"{operation}: ok ({len(wire)} bytes)")
 
+    extend_failure = roundtrip_extend(client)
+    if extend_failure:
+        failures.append(extend_failure)
+    else:
+        print("extend: ok (appended a delta frame to the default workspace)")
+
     if failures:
         for failure in failures:
             print(f"FAIL {failure}", file=sys.stderr)
         return 1
-    print(f"all {len(requests)} operations round-tripped"
-          + ("" if args.skip_local else " and matched the in-process service"))
+    print(f"all {len(requests) + 1} operations round-tripped"
+          + ("" if args.skip_local else
+             " and the pure ones matched the in-process service"))
     return 0
 
 

@@ -78,6 +78,7 @@ from repro.service.protocol import (
     ChainsRequest,
     ConsequencesRequest,
     ExportRequest,
+    ExtendRequest,
     RecommendRequest,
     ServiceError,
     SimulateRequest,
@@ -292,6 +293,51 @@ def _cmd_consequences(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workspace_extend(args: argparse.Namespace) -> int:
+    """Append new records to a workspace artifact without a rebuild."""
+    try:
+        payload = json.loads(Path(args.records).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise CliError(f"cannot read records {args.records}: {error}") from error
+    if not isinstance(payload, dict):
+        raise CliError("records file must be a JSON object (CorpusStore.to_dict form)")
+    if args.url:
+        if args.workspace:
+            print(
+                "--workspace is ignored with --url (artifacts live on the "
+                "server; use --workspace-name to pick one)",
+                file=sys.stderr,
+            )
+        backend = ServiceClient(args.url)
+        request = ExtendRequest(records=payload, workspace=args.workspace_name)
+    else:
+        if not args.workspace:
+            raise CliError(
+                "cpsec workspace extend needs --workspace PATH "
+                "(or --url pointing at a running `cpsec serve`)"
+            )
+        backend = AnalysisService(workspace=args.workspace, max_scale=None)
+        request = ExtendRequest(records=payload)
+    response = backend.extend(request)
+    added = ", ".join(
+        f"{kind}={count}"
+        for kind, count in sorted(response.added.items())
+        if count
+    )
+    target = response.path or response.workspace or "workspace"
+    print(f"extended {target}: {added or 'nothing'}")
+    print(
+        "totals: "
+        + ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(response.total_documents.items())
+        )
+    )
+    if response.appended_bytes:
+        print(f"appended {response.appended_bytes} bytes (no rewrite)")
+    return 0
+
+
 def _parse_workspace_specs(specs: list[str]) -> list[tuple[str, Path]]:
     """Parse repeatable ``[NAME=]PATH`` workspace flags into (name, path).
 
@@ -348,6 +394,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.job_workers,
         max_queued=args.job_queue,
         journal_path=journal_path,
+        journal_keep=args.journal_keep if args.journal_keep > 0 else None,
     )
     server = start_server(
         service, host=args.host, port=args.port, verbose=args.verbose, jobs=jobs
@@ -571,6 +618,37 @@ def build_parser() -> argparse.ArgumentParser:
     add_url_option(consequences)
     consequences.set_defaults(func=_cmd_consequences)
 
+    workspace_parser = subparsers.add_parser(
+        "workspace", help="manage one-file workspace artifacts"
+    )
+    workspace_sub = workspace_parser.add_subparsers(
+        dest="workspace_command", required=True
+    )
+    ws_extend = workspace_sub.add_parser(
+        "extend",
+        help="append new records to a workspace artifact as a delta frame "
+             "(no rebuild, no rewrite)",
+    )
+    ws_extend.add_argument(
+        "--workspace", default=None,
+        help="workspace artifact path to extend in place",
+    )
+    ws_extend.add_argument(
+        "--records", required=True, metavar="FILE",
+        help="JSON file of new records (CorpusStore.to_dict form; see "
+             "repro.corpus.synthesis.build_extension_corpus for a generator)",
+    )
+    ws_extend.add_argument(
+        "--url", default=None,
+        help="extend a workspace served by a running `cpsec serve` instead",
+    )
+    ws_extend.add_argument(
+        "--workspace-name", default=None,
+        help="named server workspace to extend (with --url; default: the "
+             "server's default workspace)",
+    )
+    ws_extend.set_defaults(func=_cmd_workspace_extend)
+
     serve = subparsers.add_parser("serve", help="serve the analysis operations over HTTP from warm engines")
     serve.add_argument(
         "--workspace",
@@ -589,6 +667,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--job-queue", type=int, default=32, help="queued-job bound; past it submissions get a typed 429 (default 32)")
     serve.add_argument("--job-journal", default=None, metavar="PATH",
                        help="JSON-lines job journal (default: <first workspace>.jobs.jsonl; 'none' disables persistence)")
+    serve.add_argument("--journal-keep", type=int, default=256, metavar="N",
+                       help="terminal jobs retained in the journal; older ones are "
+                            "compacted away, oversized results spill to side files "
+                            "(default 256; 0 keeps everything)")
     serve.add_argument("--drain-timeout", type=float, default=10.0,
                        help="seconds to wait for running jobs on shutdown (default 10)")
     serve.set_defaults(func=_cmd_serve)

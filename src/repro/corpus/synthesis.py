@@ -597,6 +597,51 @@ def build_corpus(scale: float = 1.0, seed: int = 7, include_background: bool = T
 SYNTHESIS_VERSION = 1
 
 
+#: Identifier serial floor used by :func:`build_extension_corpus`; far above
+#: anything :func:`build_corpus` emits at any scale, so extension batches
+#: never collide with a base corpus (or with each other, given distinct
+#: ``start_serial`` values).
+EXTENSION_SERIAL_BASE = 900000
+
+
+def build_extension_corpus(
+    count: int = 100,
+    seed: int = 99,
+    start_serial: int = EXTENSION_SERIAL_BASE,
+) -> CorpusStore:
+    """A deterministic batch of *new* records for incremental ingest.
+
+    Models the feed-update workload: mostly fresh CVEs across the existing
+    platform populations, plus a few new weaknesses and attack patterns per
+    theme -- the delta an analyst appends with ``cpsec workspace extend``
+    instead of rebuilding the whole workspace.  Identifiers start at
+    ``start_serial`` so the batch is disjoint from every
+    :func:`build_corpus` output; two batches with different
+    ``(seed, start_serial)`` pairs are disjoint from each other.
+    """
+    if count < 1:
+        raise ValueError(f"count must be positive, got {count}")
+    builder = SyntheticCorpusBuilder(scale=1.0, seed=seed)
+    profiles = TABLE1_PROFILES + BACKGROUND_PROFILES
+    vulnerability_count = max(1, round(count * 0.8))
+    weakness_count = max(1, round(count * 0.12))
+    pattern_count = max(1, count - vulnerability_count - weakness_count)
+    store = CorpusStore()
+    serial = start_serial
+    for index in range(vulnerability_count):
+        serial += 1
+        store.add(builder._vulnerability(profiles[index % len(profiles)], serial))
+    identifier = start_serial
+    for index in range(weakness_count):
+        identifier += 1
+        store.add(builder._weakness(_THEMES[index % len(_THEMES)], identifier, index))
+    identifier = start_serial + weakness_count
+    for index in range(pattern_count):
+        identifier += 1
+        store.add(builder._pattern(_THEMES[index % len(_THEMES)], identifier, index))
+    return store
+
+
 def build_params(scale: float = 1.0, seed: int = 7, include_background: bool = True) -> dict:
     """The JSON-serializable generation parameters of :func:`build_corpus`.
 

@@ -37,7 +37,7 @@ import uuid
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.jobs.store import JobJournal, read_journal
+from repro.jobs.store import JobJournal, load_spilled_result, read_journal
 from repro.progress import OperationCancelled, report_to
 from repro.service.protocol import (
     JOB_STATES,
@@ -177,8 +177,15 @@ class JobManager:
         Bound on *terminal* jobs kept in memory (oldest pruned first;
         queued/running jobs are never pruned).  Terminal records carry full
         result payloads, so an unbounded map would grow a long-lived server
-        forever.  ``None`` disables pruning.  The on-disk journal keeps the
-        full history regardless (compaction is a ROADMAP item).
+        forever.  ``None`` disables pruning.
+    journal_keep:
+        Retention bound on *terminal* jobs in the on-disk journal
+        (``cpsec serve --journal-keep``).  The journal is compacted -- old
+        terminal jobs' lines and spilled results dropped, atomically -- at
+        startup and again every ``journal_keep`` finishes, so steady-state
+        journal size is bounded at roughly twice the retention window.
+        ``None`` keeps everything (the pre-rotation behavior).  Oversized
+        result payloads spill to ``<journal>.d/`` side files either way.
     """
 
     def __init__(
@@ -189,6 +196,7 @@ class JobManager:
         max_queued: int = 32,
         journal_path=None,
         max_history: int | None = 256,
+        journal_keep: int | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -196,10 +204,14 @@ class JobManager:
             raise ValueError(f"max_queued must be positive, got {max_queued}")
         if max_history is not None and max_history < 1:
             raise ValueError(f"max_history must be positive, got {max_history}")
+        if journal_keep is not None and journal_keep < 1:
+            raise ValueError(f"journal_keep must be positive, got {journal_keep}")
         self._service = service
         self.workers = workers
         self.max_queued = max_queued
         self.max_history = max_history
+        self.journal_keep = journal_keep
+        self._finished_since_compact = 0
         self._jobs: dict[str, JobRecord] = {}
         self._cond = threading.Condition()
         self._draining = False
@@ -208,6 +220,8 @@ class JobManager:
             self._replay(journal_path)
             self._journal = JobJournal(journal_path)
             self._journal_interrupted()
+            if journal_keep is not None:
+                self._journal.compact(journal_keep, TERMINAL_STATES)
             with self._cond:
                 self._prune_locked()
         self._pool = ThreadPoolExecutor(
@@ -219,6 +233,7 @@ class JobManager:
     def _replay(self, journal_path) -> None:
         """Rebuild job history from the journal, before accepting new work."""
         self._interrupted: list[JobRecord] = []
+        self._journal_path = journal_path
         for entry in read_journal(journal_path):
             job_id = entry.get("job_id")
             kind = entry.get("kind")
@@ -249,9 +264,9 @@ class JobManager:
                 if state in TERMINAL_STATES:
                     job.state = state
                     job.finished_at = entry.get("finished_at")
-                    result = entry.get("result")
                     error = entry.get("error")
-                    job.result = result if isinstance(result, dict) else None
+                    # Inline result, or a spilled-result side file reference.
+                    job.result = load_spilled_result(journal_path, entry)
                     job.error = error if isinstance(error, dict) else None
         for job in self._jobs.values():
             if not job.terminal:
@@ -275,8 +290,7 @@ class JobManager:
     def _journal_interrupted(self) -> None:
         """Append ``finished`` lines for jobs the restart interrupted."""
         for job in self._interrupted:
-            self._journal.append(
-                "finished",
+            self._journal.append_finished(
                 job_id=job.job_id,
                 state=job.state,
                 finished_at=job.finished_at,
@@ -438,15 +452,26 @@ class JobManager:
         self._prune_locked()
 
     def _journal_finish(self, job: JobRecord) -> None:
-        if self._journal is not None and job.terminal:
-            self._journal.append(
-                "finished",
-                job_id=job.job_id,
-                state=job.state,
-                finished_at=job.finished_at,
-                result=job.result,
-                error=job.error,
-            )
+        if self._journal is None or not job.terminal:
+            return
+        self._journal.append_finished(
+            job_id=job.job_id,
+            state=job.state,
+            finished_at=job.finished_at,
+            result=job.result,
+            error=job.error,
+        )
+        if self.journal_keep is None:
+            return
+        with self._cond:
+            self._finished_since_compact += 1
+            if self._finished_since_compact < self.journal_keep:
+                return
+            self._finished_since_compact = 0
+        # Outside the condition lock: compaction reads and rewrites the
+        # whole file under the journal's own lock, and must not stall
+        # submitters/streamers waiting on the manager condition.
+        self._journal.compact(self.journal_keep, TERMINAL_STATES)
 
     # -- observation -----------------------------------------------------------
 
@@ -584,8 +609,15 @@ class JobManager:
                 "workers": self.workers,
                 "max_queued": self.max_queued,
                 "max_history": self.max_history,
+                "journal_keep": self.journal_keep,
                 "draining": self._draining,
                 "journal": str(self._journal.path) if self._journal else None,
+                "journal_compactions": (
+                    self._journal.compactions if self._journal else 0
+                ),
+                "spilled_results": (
+                    self._journal.spilled_results if self._journal else 0
+                ),
                 "total": len(self._jobs),
                 "by_state": by_state,
             }

@@ -22,16 +22,34 @@ write a crash can leave -- by skipping undecodable lines.  The
 and re-marks jobs that were still queued/running when the process died as
 ``failed`` with code ``interrupted``, appending the matching ``finished``
 lines so a second restart replays to the same state.
+
+Two mechanisms keep the journal from growing forever on a long-lived server:
+
+* **result spill** -- a ``finished`` line whose result payload exceeds
+  :data:`MAX_INLINE_RESULT_BYTES` stores the result in a side file under
+  ``<journal>.d/`` and journals only a ``result_spill`` reference, so one
+  paper-scale export cannot bloat every future replay,
+* **compaction** (:meth:`JobJournal.compact`) -- rewrites the journal
+  keeping every line of non-terminal jobs plus the lines of the last *N*
+  terminal jobs (and deletes the spill files of the dropped ones).  The
+  manager triggers it at startup and every ``journal_keep`` finishes.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 from pathlib import Path
 
+from repro.ioutils import atomic_write_text
+
 #: Journal line format version; bump when the line layout changes.
 JOURNAL_VERSION = 1
+
+#: Largest result payload journalled inline; larger ones spill to a side
+#: file.  64 KiB keeps replay proportional to job *count*, not result size.
+MAX_INLINE_RESULT_BYTES = 64 * 1024
 
 
 class JobJournal:
@@ -42,9 +60,17 @@ class JobJournal:
     lock-protected: worker threads finish jobs concurrently.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        max_inline_result_bytes: int = MAX_INLINE_RESULT_BYTES,
+    ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.max_inline_result_bytes = max_inline_result_bytes
+        self.compactions = 0
+        self.spilled_results = 0
         self._lock = threading.Lock()
         self._handle = open(self.path, "a", encoding="utf-8")
         # Heal a torn tail: a crash mid-write can leave a final line without
@@ -58,6 +84,11 @@ class JobJournal:
                     self._handle.write("\n")
                     self._handle.flush()
 
+    @property
+    def spill_dir(self) -> Path:
+        """Directory holding spilled (oversized) result payloads."""
+        return self.path.with_name(self.path.name + ".d")
+
     def append(self, kind: str, **fields) -> None:
         """Write one lifecycle line (a no-op after :meth:`close`)."""
         line = json.dumps(
@@ -66,10 +97,102 @@ class JobJournal:
             separators=(",", ":"),
         )
         with self._lock:
+            self._append_locked(line)
+
+    def _append_locked(self, line: str) -> None:
+        if self._handle.closed:
+            return
+        self._handle.write(line + "\n")
+        self._handle.flush()
+
+    def append_finished(
+        self, *, job_id: str, state: str, finished_at, result, error
+    ) -> None:
+        """Journal a terminal transition, spilling an oversized result.
+
+        The result payload is serialized once; when it exceeds the inline
+        bound it lands (atomically) in ``<journal>.d/<job_id>.result.json``
+        and the journal line carries a ``result_spill`` reference instead.
+        Replay resolves the reference through :func:`load_spilled_result`.
+        """
+        fields: dict = {
+            "job_id": job_id,
+            "state": state,
+            "finished_at": finished_at,
+            "error": error,
+        }
+        spill_name = None
+        if result is not None:
+            encoded = json.dumps(result, sort_keys=True, separators=(",", ":"))
+            if len(encoded) > self.max_inline_result_bytes:
+                spill_name = f"{job_id}.result.json"
+                self.spill_dir.mkdir(parents=True, exist_ok=True)
+                atomic_write_text(self.spill_dir / spill_name, encoded)
+        if spill_name is not None:
+            fields["result"] = None
+            fields["result_spill"] = spill_name
+        else:
+            fields["result"] = result
+        line = json.dumps(
+            {"v": JOURNAL_VERSION, "kind": "finished", **fields},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        with self._lock:
+            if spill_name is not None:
+                self.spilled_results += 1
+            self._append_locked(line)
+
+    def compact(self, keep_terminal: int, terminal_states) -> int:
+        """Rewrite the journal keeping only the last ``keep_terminal`` jobs.
+
+        Every line of a job that never reached a terminal state is kept (the
+        manager needs them to mark interruptions after a restart); terminal
+        jobs beyond the bound -- oldest first, by the order their terminal
+        lines were written -- are dropped wholesale, together with their
+        spilled result files.  The rewrite is atomic (write-temp-then-
+        rename) and the append handle reopens on the compacted file, so a
+        crash mid-compaction leaves either the old or the new journal, never
+        a torn one.  Returns the number of jobs dropped.
+        """
+        if keep_terminal < 0:
+            raise ValueError(f"keep_terminal must be >= 0, got {keep_terminal}")
+        with self._lock:
             if self._handle.closed:
-                return
-            self._handle.write(line + "\n")
+                return 0
             self._handle.flush()
+            entries = read_journal(self.path)
+            terminal_order: list[str] = []
+            terminal_seen: set[str] = set()
+            for entry in entries:
+                if (
+                    entry.get("kind") == "finished"
+                    and entry.get("state") in terminal_states
+                ):
+                    job_id = entry.get("job_id")
+                    if isinstance(job_id, str) and job_id not in terminal_seen:
+                        terminal_seen.add(job_id)
+                        terminal_order.append(job_id)
+            dropped = set(terminal_order[: max(0, len(terminal_order) - keep_terminal)])
+            if not dropped:
+                return 0
+            kept_lines = [
+                json.dumps(entry, sort_keys=True, separators=(",", ":"))
+                for entry in entries
+                if entry.get("job_id") not in dropped
+            ]
+            self._handle.close()
+            atomic_write_text(
+                self.path, "".join(line + "\n" for line in kept_lines)
+            )
+            self._handle = open(self.path, "a", encoding="utf-8")
+            self.compactions += 1
+            for job_id in dropped:
+                try:
+                    os.unlink(self.spill_dir / f"{job_id}.result.json")
+                except OSError:
+                    pass  # never spilled, or already gone
+        return len(dropped)
 
     def close(self) -> None:
         """Flush and close the underlying file."""
@@ -103,3 +226,26 @@ def read_journal(path: str | Path) -> list[dict]:
             if isinstance(entry, dict) and entry.get("v") == JOURNAL_VERSION:
                 entries.append(entry)
     return entries
+
+
+def load_spilled_result(journal_path: str | Path, entry: dict) -> dict | None:
+    """Resolve a ``finished`` entry's result, following a spill reference.
+
+    Returns the inline result when present, the side file's payload for a
+    ``result_spill`` reference, or ``None`` when the side file is gone or
+    unreadable (the job record then replays without its result -- losing one
+    oversized payload must not take the history down).
+    """
+    result = entry.get("result")
+    if isinstance(result, dict):
+        return result
+    spill_name = entry.get("result_spill")
+    if not isinstance(spill_name, str) or "/" in spill_name or "\\" in spill_name:
+        return None
+    path = Path(journal_path)
+    spill_path = path.with_name(path.name + ".d") / spill_name
+    try:
+        payload = json.loads(spill_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None

@@ -26,6 +26,12 @@ The engine is built for the dashboard's interactive what-if loop (Section 3):
   (positional postings, dense weight vectors, per-record match prototypes),
   so no IDF, CVSS score, or record lookup is recomputed per candidate per
   query,
+* each record kind is sharded by a platform/theme-derived key
+  (:mod:`repro.search.sharding`) and the TF-IDF scorers skip whole shards
+  whose vocabulary cannot intersect the query -- candidate pruning beyond
+  the token-level inverted index, counted in
+  :attr:`EngineStats.shards_skipped` / :attr:`EngineStats.candidates_pruned`
+  and bit-identical to the monolithic layout (``sharded=False``),
 * results are cached per attribute and per ``(text, kind, scorer, threshold)``
   in bounded, thread-safe LRU caches -- identical attributes recur across
   components (e.g. the SIS and BPCS platforms both run Windows 7), so a warm
@@ -75,6 +81,7 @@ from repro.ioutils import atomic_write_text
 from repro.progress import progress_sink
 from repro.search.cache import LruCache
 from repro.search.index import InvertedIndex
+from repro.search.sharding import DEFAULT_MAX_SHARDS, ShardMap
 from repro.search.text import jaccard_similarity, tokenize
 from repro.search.tfidf import TfIdfModel
 
@@ -199,6 +206,12 @@ class EngineStats:
     attribute_cache_evictions: int = 0
     text_cache_evictions: int = 0
     vulnerability_cache_evictions: int = 0
+    #: Whole shards skipped by the sharded scorers because their vocabulary
+    #: could not intersect the query (see :mod:`repro.search.sharding`).
+    shards_skipped: int = 0
+    #: Candidate records inside those skipped shards that were never touched
+    #: -- pruning beyond the token-level inverted index.
+    candidates_pruned: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -426,6 +439,15 @@ class SearchEngine:
     max_cache_entries:
         LRU bound applied to each result cache; ``None`` disables eviction.
         Eviction changes speed, never results.
+    sharded:
+        When true (the default), the per-kind indexes are partitioned by a
+        platform/theme-derived shard key and the TF-IDF scorers skip whole
+        shards whose vocabulary cannot intersect the query (see
+        :mod:`repro.search.sharding`).  Sharding changes speed, never
+        results -- the pruned path is bit-identical to the monolithic one.
+    max_shards:
+        Bound on shards per record kind; the long tail of shard keys pools
+        into one overflow shard.
     """
 
     def __init__(
@@ -441,6 +463,8 @@ class SearchEngine:
         max_per_class: int | None = None,
         enable_cache: bool = True,
         max_cache_entries: int | None = DEFAULT_MAX_CACHE_ENTRIES,
+        sharded: bool = True,
+        max_shards: int = DEFAULT_MAX_SHARDS,
         _index_payload: dict | None = None,
     ) -> None:
         self._init_config(
@@ -453,6 +477,8 @@ class SearchEngine:
             max_per_class=max_per_class,
             enable_cache=enable_cache,
             max_cache_entries=max_cache_entries,
+            sharded=sharded,
+            max_shards=max_shards,
         )
         self._corpus: CorpusStore | None = corpus
         self._corpus_loader: Callable[[], CorpusStore] | None = None
@@ -470,9 +496,13 @@ class SearchEngine:
         max_per_class: int | None = None,
         enable_cache: bool = True,
         max_cache_entries: int | None = DEFAULT_MAX_CACHE_ENTRIES,
+        sharded: bool = True,
+        max_shards: int = DEFAULT_MAX_SHARDS,
     ) -> None:
         if scorer not in SCORERS:
             raise ValueError(f"unknown scorer {scorer!r}; expected one of {SCORERS}")
+        if max_shards < 1:
+            raise ValueError(f"max_shards must be positive, got {max_shards}")
         self.pattern_threshold = pattern_threshold
         self.weakness_threshold = weakness_threshold
         self.vulnerability_text_threshold = vulnerability_text_threshold
@@ -482,10 +512,13 @@ class SearchEngine:
         self.max_per_class = max_per_class
         self.enable_cache = enable_cache
         self.max_cache_entries = max_cache_entries
+        self.sharded = sharded
+        self.max_shards = max_shards
         self.stats = EngineStats()
 
         self._indexes: dict[RecordKind, InvertedIndex] = {}
         self._models: dict[RecordKind, TfIdfModel] = {}
+        self._shard_maps: dict[RecordKind, ShardMap] = {}
         self._match_protos: dict[str, dict] = {}
         self._platform_tokens: dict[str, frozenset[str]] = {}
         self._platform_vuln_ids: dict[str, tuple[str, ...]] = {}
@@ -539,10 +572,16 @@ class SearchEngine:
             for record in records:
                 protos[record.identifier] = _record_proto(record)
             self._indexes[kind] = index
+            shard_map = None
+            if self.sharded:
+                shard_map = ShardMap.build(records, self.max_shards)
+                self._shard_maps[kind] = shard_map
             # Fitting eagerly precomputes the IDF table, weighted postings,
             # and norms every scorer relies on, so the first query pays no
             # hidden fit cost.
-            self._models[kind] = TfIdfModel(index).fit()
+            self._models[kind] = TfIdfModel(
+                index, shard_map=shard_map, stats=self.stats
+            ).fit()
         self._match_protos = protos
         for vulnerability in self.corpus.vulnerabilities:
             for platform in vulnerability.affected_platforms:
@@ -636,6 +675,10 @@ class SearchEngine:
                 platform: list(ids)
                 for platform, ids in self._platform_vuln_ids.items()
             },
+            "shards": {
+                kind.value: shard_map.to_dict()
+                for kind, shard_map in self._shard_maps.items()
+            },
         }
 
     @classmethod
@@ -669,6 +712,7 @@ class SearchEngine:
         engine._corpus_loader = corpus_loader
         try:
             indexes = prepared["indexes"]
+            shard_payloads = prepared.get("shards") or {}
             for kind in RecordKind:
                 kind_payload = indexes.get(kind.value)
                 if isinstance(kind_payload, InvertedIndex):
@@ -682,7 +726,15 @@ class SearchEngine:
                         f"prepared payload is missing the {kind.value!r} index"
                     )
                 engine._indexes[kind] = index
-                engine._models[kind] = TfIdfModel(index).fit()
+                shard_map = None
+                if engine.sharded:
+                    shard_payload = shard_payloads.get(kind.value)
+                    if shard_payload is not None:
+                        shard_map = ShardMap.from_dict(shard_payload)
+                        engine._shard_maps[kind] = shard_map
+                engine._models[kind] = TfIdfModel(
+                    index, shard_map=shard_map, stats=engine.stats
+                ).fit()
             columns = prepared["match_protos"]
             kind_table = {kind.value: kind for kind in RecordKind}
             engine._match_protos = {
@@ -737,7 +789,7 @@ class SearchEngine:
         self._vulnerability_cache.clear()
 
     def cache_info(self) -> dict[str, int | None]:
-        """Sizes, LRU bounds, and eviction totals of the result caches."""
+        """Sizes, LRU bounds, eviction totals, and shard-pruning totals."""
         return {
             "attribute_entries": len(self._attribute_cache),
             "text_entries": len(self._text_cache),
@@ -746,6 +798,8 @@ class SearchEngine:
             "text_evictions": self._text_cache.evictions,
             "vulnerability_evictions": self._vulnerability_cache.evictions,
             "max_entries": self._attribute_cache.max_entries,
+            "shards_skipped": self.stats.shards_skipped,
+            "candidates_pruned": self.stats.candidates_pruned,
         }
 
     def health_info(self) -> dict:

@@ -221,6 +221,67 @@ class InvertedIndex:
         index._revision = len(index._doc_ids)
         return index
 
+    def extend_from_arrays(
+        self,
+        doc_ids: Iterable[str],
+        doc_lengths: Iterable[int],
+        postings: dict[str, tuple[array, array]],
+    ) -> int:
+        """Append prebuilt delta posting buffers; returns documents added.
+
+        This is the workspace *extend* fast path: the delta carries global
+        document positions continuing this index's numbering, so appending
+        is a per-token buffer concatenation with no re-tokenization.  The
+        delta is validated at the boundary -- positions must continue
+        strictly increasing from the existing postings and stay inside the
+        grown document table, term frequencies must be positive, and
+        re-added document ids raise -- so a corrupt delta section fails
+        loudly instead of silently mis-scoring.
+        """
+        base_total = len(self._doc_ids)
+        new_ids = list(doc_ids)
+        new_lengths = list(doc_lengths)
+        if len(new_ids) != len(new_lengths):
+            raise ValueError("document ids and lengths differ in length")
+        for doc_id in new_ids:
+            if doc_id in self._doc_lengths:
+                raise ValueError(f"document already indexed: {doc_id!r}")
+        if len(set(new_ids)) != len(new_ids):
+            raise ValueError("duplicate document ids in posting delta")
+        total = base_total + len(new_ids)
+        existing = self._postings
+        for token, (positions, frequencies) in postings.items():
+            if len(positions) != len(frequencies):
+                raise ValueError(
+                    f"posting arrays of token {token!r} differ in length"
+                )
+            if not positions:
+                continue
+            if not (base_total <= min(positions) and max(positions) < total):
+                raise ValueError(
+                    f"posting positions of token {token!r} fall outside "
+                    "the appended document range"
+                )
+            validate_posting_positions(token, positions)
+            if min(frequencies) <= 0:
+                raise ValueError(
+                    f"non-positive term frequency for token {token!r}"
+                )
+        for doc_id, length in zip(new_ids, new_lengths):
+            self._doc_lengths[doc_id] = length
+        self._doc_ids.extend(new_ids)
+        for token, (positions, frequencies) in postings.items():
+            if not positions:
+                continue
+            arrays = existing.get(token)
+            if arrays is None:
+                existing[token] = (array("I", positions), array("I", frequencies))
+            else:
+                arrays[0].extend(positions)
+                arrays[1].extend(frequencies)
+        self._revision += len(new_ids)
+        return len(new_ids)
+
     @classmethod
     def from_dict(cls, payload: dict) -> "InvertedIndex":
         """Rebuild an index from :meth:`to_dict` output, skipping tokenization.

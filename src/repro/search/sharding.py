@@ -1,0 +1,178 @@
+"""Platform/theme-derived sharding of the per-kind record populations.
+
+The per-kind inverted indexes are monoliths: every query allocates a dense
+accumulator over *all* records of the kind and scans it for candidates, even
+though a typical component attribute ("Windows 7", "MODBUS TCP") can only
+ever match records from a handful of platform or theme populations.  A
+:class:`ShardMap` partitions the records of one kind by a shard key derived
+from the corpus structure itself:
+
+* vulnerabilities shard by their first CPE-like platform tag (``cisco asa``,
+  ``microsoft windows 7``, ...),
+* weaknesses shard by their first platform class (the synthesis themes:
+  ``windows``, ``linux``, ``web``, ...),
+* attack patterns shard by their first attack domain.
+
+The map is *advisory*: it never changes which records exist or how they
+score, only how the TF-IDF scorers lay out their accumulators.  A per-shard
+vocabulary set lets :meth:`repro.search.tfidf.TfIdfModel.score` /
+:meth:`~repro.search.tfidf.TfIdfModel.coverage` skip whole shards whose
+vocabulary cannot intersect the query -- candidate pruning *beyond* the
+token-level inverted index -- while remaining bit-identical to the
+monolithic path (the sharding equivalence tests pin this).
+
+Shard count is bounded by ``max_shards``: the largest key populations keep
+their own shard and the long tail pools into one overflow shard, so a corpus
+with thousands of distinct platform tags cannot degrade scoring into a
+python-level loop over thousands of tiny shards.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.corpus.schema import AttackVectorRecord, Vulnerability, Weakness
+
+#: Default bound on shards per record kind (see module docstring).
+DEFAULT_MAX_SHARDS = 16
+
+#: Key of the pooled overflow shard (records whose key did not earn its own
+#: shard, and records with no platform/theme/domain tags at all).
+OTHER_SHARD = "*other*"
+
+
+def shard_key_for_record(record: AttackVectorRecord) -> str:
+    """The platform/theme-derived shard key of one record.
+
+    Uses the first structured tag of the record -- platform for CVEs,
+    platform class for CWEs, attack domain for CAPECs -- lowercased for
+    stability.  Records with no tags fall into the overflow shard.
+    """
+    if isinstance(record, Vulnerability):
+        tags: Sequence[str] = record.affected_platforms
+    elif isinstance(record, Weakness):
+        tags = record.platforms
+    else:
+        tags = record.domains
+    return tags[0].lower() if tags else OTHER_SHARD
+
+
+class ShardMap:
+    """An assignment of record positions (insertion order) to named shards.
+
+    ``keys[shard_id]`` names each shard; ``assignments[position]`` is the
+    shard id of the record at that index position.  Both are append-only:
+    :meth:`assign_extension` adds assignments for new records without ever
+    moving existing ones, so posting positions stay stable across
+    :meth:`repro.workspace.Workspace.extend`.
+    """
+
+    __slots__ = ("keys", "assignments", "_key_index")
+
+    def __init__(self, keys: Sequence[str], assignments: Sequence[int]) -> None:
+        self.keys: list[str] = list(keys)
+        self.assignments: list[int] = list(assignments)
+        self._key_index = {key: index for index, key in enumerate(self.keys)}
+        if len(self._key_index) != len(self.keys):
+            raise ValueError("shard keys must be unique")
+        if self.assignments and not (
+            0 <= min(self.assignments) and max(self.assignments) < len(self.keys)
+        ):
+            raise ValueError("shard assignments fall outside the key table")
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @classmethod
+    def build(
+        cls,
+        records: Iterable[AttackVectorRecord],
+        max_shards: int = DEFAULT_MAX_SHARDS,
+    ) -> "ShardMap":
+        """Shard a record population, pooling the long tail of keys.
+
+        The ``max_shards - 1`` most populous keys (ties broken by key name,
+        so the result is deterministic) keep their own shard, in first-seen
+        order; every other record lands in :data:`OTHER_SHARD`.
+        """
+        if max_shards < 1:
+            raise ValueError(f"max_shards must be positive, got {max_shards}")
+        raw_keys = [shard_key_for_record(record) for record in records]
+        counts: dict[str, int] = {}
+        for key in raw_keys:
+            counts[key] = counts.get(key, 0) + 1
+        distinct = [key for key in counts if key != OTHER_SHARD]
+        if len(distinct) + (OTHER_SHARD in counts) > max_shards:
+            ranked = sorted(distinct, key=lambda key: (-counts[key], key))
+            kept = set(ranked[: max_shards - 1])
+        else:
+            kept = set(distinct)
+        keys: list[str] = []
+        key_index: dict[str, int] = {}
+        assignments: list[int] = []
+        for key in raw_keys:
+            if key not in kept:
+                key = OTHER_SHARD
+            index = key_index.get(key)
+            if index is None:
+                index = key_index[key] = len(keys)
+                keys.append(key)
+            assignments.append(index)
+        return cls(keys, assignments)
+
+    def assign_extension(
+        self,
+        records: Iterable[AttackVectorRecord],
+        max_shards: int = DEFAULT_MAX_SHARDS,
+    ) -> tuple[list[str], list[int]]:
+        """Shard ids for appended records: ``(new keys, their assignments)``.
+
+        Known keys reuse their shard; unknown keys get a new shard while the
+        bound allows and pool into :data:`OTHER_SHARD` afterwards.  Mutates
+        this map (the returned ``new_keys`` were appended to :attr:`keys`)
+        and returns the delta so callers can persist it.
+        """
+        new_keys: list[str] = []
+        assignments: list[int] = []
+        for record in records:
+            key = shard_key_for_record(record)
+            index = self._key_index.get(key)
+            if index is None:
+                if len(self.keys) < max_shards:
+                    index = self._key_index[key] = len(self.keys)
+                    self.keys.append(key)
+                    new_keys.append(key)
+                else:
+                    index = self._key_index.get(OTHER_SHARD)
+                    if index is None:
+                        # The bound is already met, but the overflow shard is
+                        # the one shard that must always be addressable.
+                        index = self._key_index[OTHER_SHARD] = len(self.keys)
+                        self.keys.append(OTHER_SHARD)
+                        new_keys.append(OTHER_SHARD)
+            assignments.append(index)
+        self.assignments.extend(assignments)
+        return new_keys, assignments
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable form (round-trips through :meth:`from_dict`)."""
+        return {"keys": list(self.keys), "assignments": list(self.assignments)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardMap":
+        """Rebuild from :meth:`to_dict` output; :class:`ValueError` when malformed."""
+        try:
+            keys = payload["keys"]
+            assignments = payload["assignments"]
+            if not all(isinstance(key, str) for key in keys):
+                raise ValueError("shard keys must be strings")
+            if not all(
+                isinstance(value, int) and not isinstance(value, bool)
+                for value in assignments
+            ):
+                raise ValueError("shard assignments must be integers")
+            return cls(keys, assignments)
+        except (KeyError, TypeError) as error:
+            raise ValueError(f"malformed shard map payload: {error}") from error

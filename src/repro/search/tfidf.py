@@ -17,7 +17,19 @@ when results above the caller's threshold are materialized.
 
 The model tracks the index :attr:`~repro.search.index.InvertedIndex.revision`
 it fitted at and refits automatically when the index has grown, which keeps
-the precomputed vectors exact rather than approximate.
+the precomputed vectors exact rather than approximate.  A refit after an
+append-only extension reuses the position and log-TF arrays of every token
+whose posting list did not grow -- only the IDF scalars (which depend on the
+total document count) and the per-token weight products are recomputed, so
+refitting after a small delta costs far less than the original fit.
+
+With a :class:`repro.search.sharding.ShardMap` attached, the scorers also
+prune at shard granularity: postings are additionally split per shard, and a
+query whose tokens only appear in a few shards accumulates into small
+per-shard vectors instead of one dense corpus-wide vector.  Pruning is exact
+-- every (token, document) product is identical and applied in the same
+order, so the pruned path is bit-identical to the monolithic one (the
+sharding equivalence tests pin this).
 """
 
 from __future__ import annotations
@@ -28,14 +40,50 @@ from collections import Counter
 import numpy as np
 
 from repro.search.index import InvertedIndex
+from repro.search.sharding import ShardMap
 from repro.search.text import tokenize
+
+#: Fraction of a kind's documents that must be prunable (sit in shards the
+#: query vocabulary cannot touch) before the per-shard path replaces the
+#: dense accumulator.  The token-level inverted index already restricts the
+#: accumulation to query-token postings, so what shard pruning saves is the
+#: dense allocate-and-scan over the whole document table -- a win only when
+#: the active shards are a small slice of it.  Below the threshold, one
+#: vectorized pass over a big array beats many small per-shard passes; the
+#: threshold changes speed, never results.
+PRUNE_MIN_FRACTION = 0.75
 
 
 class TfIdfModel:
-    """TF-IDF scorer bound to an :class:`InvertedIndex`."""
+    """TF-IDF scorer bound to an :class:`InvertedIndex`.
 
-    def __init__(self, index: InvertedIndex) -> None:
+    Parameters
+    ----------
+    index:
+        The inverted index to score over.
+    shard_map:
+        Optional :class:`~repro.search.sharding.ShardMap` covering the
+        index's documents; enables shard-level candidate pruning.  A map
+        whose assignment count does not match the index (e.g. documents were
+        added without extending the map) silently disables pruning -- speed
+        changes, results never do.
+    stats:
+        Optional stats sink with a thread-safe ``bump(name, amount)`` method
+        (:class:`repro.search.engine.EngineStats`); receives
+        ``shards_skipped`` / ``candidates_pruned`` increments from the
+        pruned scoring path.
+    """
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        *,
+        shard_map: ShardMap | None = None,
+        stats=None,
+    ) -> None:
         self._index = index
+        self._shard_map = shard_map
+        self._stats = stats
         self._doc_ids: tuple[str, ...] = ()
         self._doc_positions: dict[str, int] = {}
         self._idf: dict[str, float] = {}
@@ -44,8 +92,25 @@ class TfIdfModel:
         # posting order.  Positions index into ``_doc_ids`` and ``_norms``.
         self._posting_positions: dict[str, np.ndarray] = {}
         self._posting_weights: dict[str, np.ndarray] = {}
+        # token -> (1 + log tf) array, cached so a refit after an append-only
+        # extension can rebuild weights with a scalar multiply instead of
+        # re-copying and re-logging the raw frequency buffers.
+        self._posting_logtf: dict[str, np.ndarray] = {}
         self._norms: np.ndarray = np.zeros(0)
         self._fitted_revision: int | None = None
+        # Sharding tables (built by fit() when a usable shard map is
+        # attached; None disables the pruned path entirely).
+        self._shard_positions: list[np.ndarray] | None = None
+        self._shard_postings: dict[str, dict[int, tuple[np.ndarray, np.ndarray]]] = {}
+        # token -> int bitmask of the shards holding the token (bit i set =>
+        # shard i has postings).  One dict get + int OR per query token makes
+        # the activation probe nearly free on queries that end up dense.
+        self._shard_masks: dict[str, int] = {}
+        self._shard_sizes: list[int] = []
+        self._full_shard_mask = 0
+        self._prune_min_docs = 1
+        self._shard_assignments: np.ndarray | None = None
+        self._shard_local_of: np.ndarray | None = None
 
     @property
     def index(self) -> InvertedIndex:
@@ -88,10 +153,27 @@ class TfIdfModel:
         * ``token -> IDF`` (plus the default IDF for unseen tokens),
         * ``token -> (position array, tf-idf weight array)`` for scoring,
         * the dense per-position norm vector for cosine normalization.
+
+        A refit over an index that *grew* (append-only, so the previous
+        document prefix is unchanged) reuses the cached position and log-TF
+        arrays of every token whose posting list did not grow; the IDF
+        scalars -- which depend on the total document count, hence change
+        for every token on any growth -- and the weight products are always
+        recomputed, which is what keeps the refit exact.
         """
         index = self._index
         total = len(index)
         doc_ids = index.document_ids()
+        # The previous fit's tables are reusable only for an append-only
+        # extension of what was fitted before (the document prefix must be
+        # unchanged -- InvertedIndex only ever appends).
+        previous_positions = self._posting_positions
+        previous_logtf = self._posting_logtf
+        reusable = (
+            self._fitted_revision is not None
+            and len(self._doc_ids) <= total
+            and doc_ids[: len(self._doc_ids)] == self._doc_ids
+        )
         self._doc_ids = doc_ids
         self._doc_positions = {doc_id: i for i, doc_id in enumerate(doc_ids)}
         self._default_idf = math.log((total + 1) / 1) + 1.0 if total else 0.0
@@ -99,6 +181,7 @@ class TfIdfModel:
         idf_table: dict[str, float] = {}
         posting_positions: dict[str, np.ndarray] = {}
         posting_weights: dict[str, np.ndarray] = {}
+        posting_logtf: dict[str, np.ndarray] = {}
         log = math.log
         for token in index.tokens():
             raw_positions, raw_frequencies = index.posting_arrays(token)
@@ -107,20 +190,114 @@ class TfIdfModel:
             else:  # pragma: no cover - an empty index has no tokens
                 idf = 0.0
             idf_table[token] = idf
-            # np.array copies out of the ``array`` buffers, so later
-            # ``add_document`` appends never race against exported views.
-            positions = np.array(raw_positions, dtype=np.intp)
-            frequencies = np.array(raw_frequencies, dtype=np.float64)
-            weights = (1.0 + np.log(frequencies)) * idf
+            positions = previous_positions.get(token) if reusable else None
+            if positions is not None and len(positions) == len(raw_positions):
+                logtf = previous_logtf[token]
+            else:
+                # np.array copies out of the ``array`` buffers, so later
+                # ``add_document`` appends never race against exported views.
+                positions = np.array(raw_positions, dtype=np.intp)
+                logtf = 1.0 + np.log(np.array(raw_frequencies, dtype=np.float64))
+            weights = logtf * idf
             squares[positions] += weights * weights
             posting_positions[token] = positions
             posting_weights[token] = weights
+            posting_logtf[token] = logtf
         self._idf = idf_table
         self._posting_positions = posting_positions
         self._posting_weights = posting_weights
+        self._posting_logtf = posting_logtf
         self._norms = np.sqrt(np.where(squares > 0.0, squares, 1.0))
+        self._fit_shards(total)
         self._fitted_revision = index.revision
         return self
+
+    def _fit_shards(self, total: int) -> None:
+        """Build the shard pruning tables (or disable pruning).
+
+        Records each shard's global positions, a global-to-shard-local
+        position remap, and -- in one vectorized ``bitwise_or.reduceat``
+        pass -- the per-token shard bitmask the activation probe reads.  The
+        per-token posting *splits* (what the pruned accumulator iterates)
+        are not built here: they materialize lazily, per token, the first
+        time a pruned query touches the token (see :meth:`_shard_entry`), so
+        the fit pass stays a fraction of the monolithic fit cost instead of
+        re-walking every posting list.
+        """
+        shard_map = self._shard_map
+        if (
+            shard_map is None
+            or not 1 < len(shard_map) <= 63  # bitmask must fit an int64 lane
+            or len(shard_map.assignments) != total
+        ):
+            self._shard_positions = None
+            self._shard_postings = {}
+            self._shard_masks = {}
+            return
+        assignments = np.array(shard_map.assignments, dtype=np.intp)
+        shard_positions = [
+            np.flatnonzero(assignments == shard) for shard in range(len(shard_map))
+        ]
+        self._prune_min_docs = max(1, int(total * PRUNE_MIN_FRACTION))
+        local_of = np.empty(total, dtype=np.intp)
+        for positions in shard_positions:
+            local_of[positions] = np.arange(len(positions), dtype=np.intp)
+        tokens = list(self._posting_positions)
+        position_arrays = [self._posting_positions[token] for token in tokens]
+        if position_arrays:
+            counts = np.fromiter(
+                (len(positions) for positions in position_arrays),
+                dtype=np.intp,
+                count=len(tokens),
+            )
+            offsets = np.zeros(len(tokens), dtype=np.intp)
+            np.cumsum(counts[:-1], out=offsets[1:])
+            bits = np.left_shift(1, assignments[np.concatenate(position_arrays)])
+            masks = np.bitwise_or.reduceat(bits, offsets)
+            shard_masks = dict(zip(tokens, masks.tolist()))
+        else:  # pragma: no cover - an empty index has no tokens
+            shard_masks = {}
+        self._shard_assignments = assignments
+        self._shard_local_of = local_of
+        self._shard_positions = shard_positions
+        self._shard_postings = {}
+        self._shard_masks = shard_masks
+        self._shard_sizes = [len(positions) for positions in shard_positions]
+        self._full_shard_mask = (1 << len(shard_positions)) - 1
+
+    def _shard_entry(self, token: str) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+        """The token's per-shard (local positions, weights) split, memoized.
+
+        Built on first use by a pruned query and cached until the next
+        refit.  Within a shard, posting order (increasing global position)
+        is preserved -- the invariant the bit-identity argument rests on.
+        Concurrent first builds under the parallel fan-out are benign: both
+        threads compute identical content and the last dict write wins.
+        """
+        entry = self._shard_postings.get(token)
+        if entry is not None:
+            return entry
+        positions = self._posting_positions[token]
+        weights = self._posting_weights[token]
+        local_of = self._shard_local_of
+        mask = self._shard_masks[token]
+        if mask & (mask - 1) == 0:
+            # Single-shard token (the common case for platform-specific
+            # vocabulary): reuse the weight array, remap positions only.
+            entry = {mask.bit_length() - 1: (local_of[positions], weights)}
+        else:
+            shard_ids = self._shard_assignments[positions]
+            order = np.argsort(shard_ids, kind="stable")
+            sorted_ids = shard_ids[order]
+            boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+            entry = {}
+            for chunk in np.split(order, boundaries):
+                entry[int(shard_ids[chunk[0]])] = (
+                    local_of[positions[chunk]],
+                    weights[chunk],
+                )
+        self._shard_postings[token] = entry
+        return entry
 
     def _ensure_current(self) -> None:
         """Refit if the index has changed since the last :meth:`fit`."""
@@ -179,13 +356,105 @@ class TfIdfModel:
             for token, frequency in counts.items()
         }
 
+    def _active_shards(self, query) -> list[int] | None:
+        """Shards whose vocabulary intersects the query, if pruning pays.
+
+        Returns ``None`` when sharding is off, every shard is active, or the
+        prunable document count is below :data:`PRUNE_MIN_FRACTION` of the
+        index (one vectorized dense pass then beats many small per-shard
+        passes).  Otherwise returns the active shard ids in increasing order
+        and reports the skipped shard / pruned candidate counts to the stats
+        sink.  The decision changes speed only -- both paths produce
+        bit-identical results.
+        """
+        shard_positions = self._shard_positions
+        if shard_positions is None:
+            return None
+        masks = self._shard_masks
+        full = self._full_shard_mask
+        mask = 0
+        for token in query:
+            token_mask = masks.get(token)
+            if token_mask is not None:
+                mask |= token_mask
+                if mask == full:
+                    return None
+        if mask == 0:
+            return []
+        sizes = self._shard_sizes
+        active: list[int] = []
+        active_docs = 0
+        remaining = mask
+        while remaining:
+            lowest = remaining & -remaining
+            shard = lowest.bit_length() - 1
+            active.append(shard)
+            active_docs += sizes[shard]
+            remaining ^= lowest
+        pruned = len(self._doc_ids) - active_docs
+        if pruned < self._prune_min_docs:
+            return None
+        stats = self._stats
+        if stats is not None:
+            stats.bump("shards_skipped", len(sizes) - len(active))
+            stats.bump("candidates_pruned", pruned)
+        return active
+
+    def _accumulate_pruned(
+        self, query, active: list[int], weighted: bool
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Accumulate per-shard and merge back to global insertion order.
+
+        With ``weighted`` true each posting adds its tf-idf weight times the
+        query weight (cosine); otherwise each posting adds the query token's
+        scalar mass (coverage).  Every (token, document) contribution is the
+        exact float the monolithic accumulator would add, applied in the
+        same query-token order, and the merged output is re-sorted by global
+        position -- so the result is bit-identical to the dense path,
+        element for element.
+        """
+        shard_positions = self._shard_positions
+        accumulators = {
+            shard: np.zeros(len(shard_positions[shard])) for shard in active
+        }
+        masks = self._shard_masks
+        # Token-major iteration touches exactly the (token, shard) pairs that
+        # hold postings; every shard seen here is active by construction
+        # (active is the union of the query tokens' shard sets).
+        for token, query_value in query.items():
+            if token not in masks:
+                continue
+            entry = self._shard_entry(token)
+            if weighted:
+                for shard, (local_positions, weights) in entry.items():
+                    accumulators[shard][local_positions] += weights * query_value
+            else:
+                for shard, (local_positions, _weights) in entry.items():
+                    accumulators[shard][local_positions] += query_value
+        out_positions: list[np.ndarray] = []
+        out_values: list[np.ndarray] = []
+        for shard in active:
+            accumulator = accumulators[shard]
+            touched = np.nonzero(accumulator)[0]
+            if touched.size:
+                out_positions.append(shard_positions[shard][touched])
+                out_values.append(accumulator[touched])
+        if not out_positions:
+            return np.zeros(0, dtype=np.intp), np.zeros(0)
+        positions = np.concatenate(out_positions)
+        values = np.concatenate(out_values)
+        order = np.argsort(positions)
+        return positions[order], values[order]
+
     def score(self, text: str, min_score: float = 0.0) -> list[tuple[str, float]]:
         """Cosine scores of all candidate documents for a query text.
 
         Returns ``(doc_id, score)`` pairs sorted by descending score, then by
         doc id for determinism.  Documents sharing no token with the query are
         never returned.  The dot products accumulate into one dense
-        per-position vector, so candidate sets cost no per-document dict ops.
+        per-position vector -- or, when a shard map is attached and the query
+        vocabulary misses whole shards, into compact per-shard vectors that
+        merge to the identical result.
         """
         self._ensure_current()
         query = self.query_vector(text)
@@ -194,18 +463,27 @@ class TfIdfModel:
         query_norm = math.sqrt(sum(weight * weight for weight in query.values()))
         if query_norm == 0.0:
             return []
-        dots = np.zeros(len(self._doc_ids))
-        posting_positions = self._posting_positions
-        posting_weights = self._posting_weights
-        for token, query_weight in query.items():
-            positions = posting_positions.get(token)
-            if positions is None:
-                continue
-            dots[positions] += posting_weights[token] * query_weight
-        touched = np.nonzero(dots)[0]
-        if touched.size == 0:
-            return []
-        values = dots[touched] / (self._norms[touched] * query_norm)
+        active = self._active_shards(query)
+        if active is not None:
+            if not active:
+                return []
+            touched, dot_values = self._accumulate_pruned(query, active, True)
+            if touched.size == 0:
+                return []
+            values = dot_values / (self._norms[touched] * query_norm)
+        else:
+            dots = np.zeros(len(self._doc_ids))
+            posting_positions = self._posting_positions
+            posting_weights = self._posting_weights
+            for token, query_weight in query.items():
+                positions = posting_positions.get(token)
+                if positions is None:
+                    continue
+                dots[positions] += posting_weights[token] * query_weight
+            touched = np.nonzero(dots)[0]
+            if touched.size == 0:
+                return []
+            values = dots[touched] / (self._norms[touched] * query_norm)
         keep = values > min_score
         doc_ids = self._doc_ids
         scores = [
@@ -233,17 +511,29 @@ class TfIdfModel:
         total_mass = sum(query.values())
         if total_mass == 0.0:
             return []
-        covered = np.zeros(len(self._doc_ids))
-        posting_positions = self._posting_positions
-        for token, mass in query.items():
-            positions = posting_positions.get(token)
-            if positions is None:
-                continue
-            covered[positions] += mass
-        touched = np.nonzero(covered)[0]
-        if touched.size == 0:
-            return []
-        fractions = covered[touched] / total_mass
+        active = self._active_shards(query)
+        if active is not None:
+            if not active:
+                return []
+            # The coverage accumulator adds the query token's scalar mass to
+            # every posting; broadcasting the scalar over a shard's postings
+            # adds the identical float the dense path adds.
+            touched, covered_values = self._accumulate_pruned(query, active, False)
+            if touched.size == 0:
+                return []
+            fractions = covered_values / total_mass
+        else:
+            covered = np.zeros(len(self._doc_ids))
+            posting_positions = self._posting_positions
+            for token, mass in query.items():
+                positions = posting_positions.get(token)
+                if positions is None:
+                    continue
+                covered[positions] += mass
+            touched = np.nonzero(covered)[0]
+            if touched.size == 0:
+                return []
+            fractions = covered[touched] / total_mass
         if min_fraction is not None:
             keep = fractions >= min_fraction
             touched = touched[keep]

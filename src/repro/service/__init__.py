@@ -20,6 +20,7 @@ lives in :mod:`repro.jobs`; progress plumbing in :mod:`repro.progress`.
 from repro.service.client import ServiceClient
 from repro.service.http import AnalysisServiceServer, start_server
 from repro.service.protocol import (
+    MUTATING_OPERATIONS,
     OPERATIONS,
     SCHEMA_VERSION,
     AssociateRequest,
@@ -30,6 +31,8 @@ from repro.service.protocol import (
     ConsequencesResponse,
     ExportRequest,
     ExportResponse,
+    ExtendRequest,
+    ExtendResponse,
     RecommendRequest,
     RecommendResponse,
     ServiceError,
@@ -51,6 +54,7 @@ from repro.service.service import MODEL_REGISTRY, AnalysisService
 __all__ = [
     "SCHEMA_VERSION",
     "OPERATIONS",
+    "MUTATING_OPERATIONS",
     "MODEL_REGISTRY",
     "AnalysisService",
     "AnalysisServiceServer",
@@ -77,6 +81,8 @@ __all__ = [
     "ConsequencesResponse",
     "ValidateRequest",
     "ValidateResponse",
+    "ExtendRequest",
+    "ExtendResponse",
     "ExportRequest",
     "ExportResponse",
 ]

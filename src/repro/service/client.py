@@ -45,6 +45,8 @@ from repro.service.protocol import (
     ConsequencesResponse,
     ExportRequest,
     ExportResponse,
+    ExtendRequest,
+    ExtendResponse,
     RecommendRequest,
     RecommendResponse,
     ServiceError,
@@ -309,3 +311,6 @@ class ServiceClient:
 
     def export(self, request: ExportRequest) -> ExportResponse:
         return self.call("export", request)
+
+    def extend(self, request: ExtendRequest) -> ExtendResponse:
+        return self.call("extend", request)

@@ -280,6 +280,23 @@ class ExportRequest(_FlatMessage):
     workspace: str | None = None
 
 
+@dataclass(frozen=True)
+class ExtendRequest(_FlatMessage):
+    """Incrementally ingest new records into a served workspace.
+
+    ``records`` is a :meth:`repro.corpus.store.CorpusStore.to_dict` payload
+    carrying only the *new* records.  The named workspace (or the server's
+    default) has the records appended to its artifact as a delta frame --
+    no rebuild, no full rewrite -- and serves the extended corpus from the
+    next request on.  Unlike every other operation, ``extend`` mutates
+    server state: it is never response-cached, and repeating it fails with
+    a duplicate-identifier error rather than silently double-ingesting.
+    """
+
+    records: dict | None = None
+    workspace: str | None = None
+
+
 # -- responses ----------------------------------------------------------------
 
 
@@ -486,6 +503,25 @@ class ExportResponse(_FlatMessage):
     component_count: int
 
 
+@dataclass(frozen=True)
+class ExtendResponse(_FlatMessage):
+    """Outcome of one incremental workspace extension.
+
+    ``added`` maps record kind to the number of records ingested;
+    ``total_documents`` is the per-kind corpus size afterwards;
+    ``corpus_fingerprint`` is the workspace's new chained fingerprint;
+    ``appended_bytes`` is the delta-frame size appended to the artifact
+    (0 for an in-memory workspace with no backing file).
+    """
+
+    added: dict
+    total_documents: dict
+    corpus_fingerprint: str
+    appended_bytes: int
+    workspace: str | None = None
+    path: str | None = None
+
+
 #: Operation name -> (request type, response type).  The single source of
 #: truth shared by the service, the HTTP server's routing table, the client,
 #: and the README's schema table.
@@ -500,7 +536,13 @@ OPERATIONS: dict[str, tuple[type, type]] = {
     "consequences": (ConsequencesRequest, ConsequencesResponse),
     "validate": (ValidateRequest, ValidateResponse),
     "export": (ExportRequest, ExportResponse),
+    "extend": (ExtendRequest, ExtendResponse),
 }
+
+#: Operations that mutate server state.  Everything else is a pure function
+#: of its request over an immutable corpus (and therefore response-cacheable
+#: and safely repeatable); these are not.
+MUTATING_OPERATIONS = frozenset({"extend"})
 
 
 def parse_request(operation: str, payload: dict):

@@ -48,6 +48,7 @@ from repro.casestudies.centrifuge import (
     hardened_workstation_variant,
 )
 from repro.casestudies.uav import build_uav_model
+from repro.corpus.store import CorpusStore
 from repro.cps.scada import ScadaSimulation
 from repro.graph.graphml import to_graphml_string
 from repro.graph.model import SystemGraph
@@ -66,6 +67,8 @@ from repro.service.protocol import (
     ConsequencesResponse,
     ExportRequest,
     ExportResponse,
+    ExtendRequest,
+    ExtendResponse,
     RecommendRequest,
     RecommendResponse,
     ServiceError,
@@ -496,11 +499,18 @@ class AnalysisService:
             if engine is not None:
                 return engine
         artifact = self._load_artifact()
-        if artifact is not None and artifact.matches(scale=scale):
+        if artifact is not None and (
+            artifact.params is None or artifact.matches(scale=scale)
+        ):
+            # No recorded corpus parameters (an extended artifact, or one
+            # built around an external corpus) means "serves any scale" --
+            # the same rule the workspace registry applies.  Rebuilding here
+            # would overwrite extended data with a fresh synthesis.
             return artifact.shared_engine(scorer=scorer)
         if self._artifact_path is not None and self._save_artifacts:
-            # CLI semantics: a configured artifact that does not serve the
-            # requested scale is rebuilt at that scale and overwritten.
+            # CLI semantics: a configured artifact that records *different*
+            # generator parameters than the requested scale is rebuilt at
+            # that scale and overwritten.
             return self._rebuild_artifact(scale, scorer).shared_engine(scorer=scorer)
         with self._slots_lock:
             slot = self._slots.get(scale)
@@ -530,7 +540,10 @@ class AnalysisService:
 
     def _rebuild_artifact(self, scale: float, scorer: str) -> Workspace:
         with self._artifact_lock:
-            if self._artifact is not None and self._artifact.matches(scale=scale):
+            if self._artifact is not None and (
+                self._artifact.params is None
+                or self._artifact.matches(scale=scale)
+            ):
                 return self._artifact
             if self._artifact is not None:
                 self._warn(
@@ -712,6 +725,122 @@ class AnalysisService:
         return ExportResponse(
             graphml=to_graphml_string(model), component_count=len(model)
         )
+
+    def extend(self, request: ExtendRequest) -> ExtendResponse:
+        """Incrementally ingest new records into a served workspace.
+
+        The target is the request's named workspace, else the default
+        registry entry, else the service's configured artifact.  Path-backed
+        targets get a delta frame *appended* to their artifact -- a fresh
+        copy is loaded, extended, and swapped in, so in-flight requests keep
+        their consistent pre-extension engines -- and in-memory workspaces
+        are extended in place.  Deliberately **not** response-cached (it
+        mutates state), and the whole response cache is dropped afterwards:
+        every cached response describes the pre-extension corpus.
+        """
+        name = self._check_workspace(request.workspace)
+        if not isinstance(request.records, dict) or not request.records:
+            raise ServiceError(
+                "extend needs a 'records' payload (CorpusStore.to_dict form) "
+                "carrying at least one record",
+                code="malformed_records",
+            )
+        try:
+            delta_store = CorpusStore.from_dict(request.records)
+        except (KeyError, TypeError, ValueError) as error:
+            raise ServiceError(
+                f"malformed records payload: {error}",
+                code="malformed_records",
+                status=422,
+            ) from error
+        records = list(delta_store.all_records())
+        if not records:
+            raise ServiceError(
+                "records payload contains no records", code="malformed_records"
+            )
+        if name is None:
+            name = self._default_workspace
+        try:
+            if name is not None:
+                summary = self._extend_registry_entry(name, records)
+            else:
+                summary = self._extend_artifact(records)
+        except ValueError as error:
+            # Duplicate identifiers (the one data-level conflict) and corrupt
+            # payloads both surface here as typed conflicts, not 500s.
+            raise ServiceError(
+                f"cannot extend workspace: {error}",
+                code="extend_conflict",
+                status=409,
+            ) from error
+        if self._response_cache is not None:
+            self._response_cache.clear()
+        return ExtendResponse(
+            added=summary["added"],
+            total_documents=summary["total_documents"],
+            corpus_fingerprint=summary["corpus_fingerprint"],
+            appended_bytes=summary["appended_bytes"],
+            workspace=name,
+            path=summary["path"],
+        )
+
+    def _extend_registry_entry(self, name: str, records: list) -> dict:
+        """Extend one registry entry (path-backed: append + swap a fresh copy)."""
+        entry = self._workspace_entries[name]
+        with entry.lock:
+            if entry.path is not None:
+                try:
+                    workspace = Workspace.load(entry.path)
+                except (ValueError, OSError) as error:
+                    raise ServiceError(
+                        f"cannot load workspace {name!r} from {entry.path}: {error}",
+                        code="workspace_load_failed",
+                        status=503,
+                    ) from error
+                summary = workspace.extend(records, path=entry.path)
+                entry.workspace = workspace
+                entry.loads += 1
+            else:
+                workspace = entry.workspace
+                summary = workspace.extend(records)
+        # Re-warm outside the entry lock so concurrent routing is not
+        # stalled behind a TF-IDF fit; the first post-extend request then
+        # lands on a warm engine, matching serve-startup behavior.
+        workspace.shared_engine()
+        return summary
+
+    def _extend_artifact(self, records: list) -> dict:
+        """Extend the service's configured artifact (the CLI's --workspace)."""
+        with self._artifact_lock:
+            if self._artifact_path is not None:
+                if not self._artifact_path.exists():
+                    raise ServiceError(
+                        f"workspace artifact not found: {self._artifact_path} "
+                        "(build it first, then extend)",
+                        code="workspace_not_found",
+                        status=404,
+                    )
+                try:
+                    workspace = Workspace.load(self._artifact_path)
+                except (ValueError, OSError) as error:
+                    raise ServiceError(
+                        f"cannot load workspace artifact "
+                        f"{self._artifact_path}: {error}",
+                        code="workspace_load_failed",
+                        status=503,
+                    ) from error
+                summary = workspace.extend(records, path=self._artifact_path)
+                self._artifact = workspace
+            elif self._artifact is not None:
+                summary = self._artifact.extend(records)
+            else:
+                raise ServiceError(
+                    "no workspace is configured to extend (start with "
+                    "--workspace, or name a registered workspace)",
+                    code="no_workspace",
+                    status=409,
+                )
+        return summary
 
     # -- introspection --------------------------------------------------------
 

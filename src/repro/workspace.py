@@ -33,28 +33,54 @@ Framing means one ``open()``/``read()`` per cold start, and sections can be
 decoded independently; writes go through the shared atomic
 write-temp-then-rename helper so an interrupted save can never leave a
 corrupt artifact.
+
+Ingesting new records does **not** rewrite the artifact:
+:meth:`Workspace.extend` appends a self-describing *delta frame* --
+``CPSECWSX`` magic, its own header, a postings delta (global positions
+continuing the base numbering), the new records' match prototypes, shard
+assignments, and the delta corpus JSON -- to the end of the file.
+:meth:`Workspace.load` replays every frame over the base sections, so a
+loaded extended workspace is structurally identical to the in-memory result
+of the same ``extend`` calls (the same apply function runs in both
+directions).  Each frame records the corpus fingerprint it chains from;
+a frame whose predecessor does not match -- a file someone rewrote between
+load and append -- fails the load loudly instead of mixing corpora.  A
+frame *torn* by a crash mid-append is recovered from instead: the load
+serves the last consistent state (the extend never completed) and the next
+``extend`` truncates the torn bytes before appending its own frame.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import sys
 import threading
 from array import array
+from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.corpus.schema import AttackVectorRecord, RecordKind
 from repro.corpus.store import CorpusStore
 from repro.corpus.synthesis import build_corpus, build_params
 from repro.ioutils import atomic_write_bytes
-from repro.search.engine import SearchEngine
+from repro.search.engine import SearchEngine, _corpus_fingerprint, _record_proto
 from repro.search.index import InvertedIndex, validate_posting_positions
+from repro.search.sharding import DEFAULT_MAX_SHARDS, ShardMap
+from repro.search.text import tokenize
 
 #: Magic line identifying a workspace artifact file.
 MAGIC = b"CPSECWS1"
 
+#: Magic line identifying an appended delta frame (see module docstring).
+DELTA_MAGIC = b"CPSECWSX"
+
 #: Workspace format version; bump when the layout changes.
 WORKSPACE_VERSION = 1
+
+#: Delta frame format version; bump when the frame layout changes.
+DELTA_VERSION = 1
 
 #: Engine-configuration fields recorded in the artifact and replayed as
 #: defaults by :meth:`Workspace.engine`, with the types a loaded artifact
@@ -71,6 +97,8 @@ ENGINE_CONFIG_TYPES: dict[str, tuple[type, ...]] = {
     "max_per_class": (int, type(None)),
     "enable_cache": (bool,),
     "max_cache_entries": (int, type(None)),
+    "sharded": (bool,),
+    "max_shards": (int,),
 }
 
 ENGINE_CONFIG_FIELDS = tuple(ENGINE_CONFIG_TYPES)
@@ -132,6 +160,17 @@ class Workspace:
         self._engine_handles_lock = threading.Lock()
         self._engine_handle_evictions = 0
         self.max_engine_handles: int | None = MAX_ENGINE_HANDLES
+        #: Delta-corpus payloads not yet merged into :attr:`_corpus`: raw
+        #: JSON bytes (from loaded delta frames) or record lists (from
+        #: in-memory :meth:`extend` calls on a still-raw corpus).  Parsed
+        #: lazily with the base corpus bytes.
+        self._corpus_deltas: list[bytes | list[AttackVectorRecord]] = []
+        #: Byte length of the artifact content this workspace reflects (set
+        #: by :meth:`save` and :meth:`load`).  :meth:`extend` truncates the
+        #: file back to this length before appending, so a torn tail left by
+        #: a crashed append (ignored at load) cannot end up *mid-file* in
+        #: front of a new frame.
+        self._valid_length: int | None = None
 
     # -- construction ---------------------------------------------------------
 
@@ -194,7 +233,7 @@ class Workspace:
         scorer under a ``workers=N`` fan-out) parse the corpus JSON once,
         not once per thread.
         """
-        if self._corpus is None:
+        if self._corpus is None or self._corpus_deltas:
             with self._corpus_lock:
                 if self._corpus is None:
                     if self._corpus_bytes is None:
@@ -205,6 +244,17 @@ class Workspace:
                         json.loads(self._corpus_bytes)
                     )
                     self._corpus_bytes = None
+                while self._corpus_deltas:
+                    # Merge first, pop after: the unlocked fast-path guard
+                    # above reads ``_corpus_deltas``, and a reader racing
+                    # this merge must keep seeing a pending delta (and take
+                    # the lock) until the records are fully in.
+                    delta = self._corpus_deltas[0]
+                    if isinstance(delta, bytes):
+                        self._corpus.merge(CorpusStore.from_dict(json.loads(delta)))
+                    else:
+                        self._corpus.add_all(delta)
+                    self._corpus_deltas.pop(0)
         return self._corpus
 
     @property
@@ -309,6 +359,237 @@ class Workspace:
                 "evictions": self._engine_handle_evictions,
             }
 
+    # -- incremental ingest ----------------------------------------------------
+
+    def _hydrated_prepared(self) -> dict:
+        """The prepared payload with every index as an :class:`InvertedIndex`.
+
+        Loaded workspaces already hold hydrated indexes; freshly built ones
+        hold the JSON snapshot form, which is decoded here once so deltas
+        can append to live posting buffers.
+        """
+        prepared = self._materialized_prepared()
+        indexes = prepared["indexes"]
+        for kind in RecordKind:
+            payload = indexes.get(kind.value)
+            if isinstance(payload, dict):
+                indexes[kind.value] = InvertedIndex.from_dict(payload)
+        return prepared
+
+    def extend(
+        self,
+        records,
+        *,
+        path: str | Path | None = None,
+    ) -> dict:
+        """Ingest new records incrementally; optionally append to the artifact.
+
+        Updates the bundled indexes, match prototypes, platform tables, and
+        shard maps in place -- no re-tokenization of the existing corpus, no
+        TF-IDF refit until the next :meth:`engine` call -- and, when ``path``
+        is given, appends one self-describing delta frame to that artifact
+        file instead of rewriting it.  Engines created by this workspace
+        *before* the extension are invalidated (dropped from the shared
+        pool); callers must not keep using previously obtained engine
+        objects, because they do not know the new records.
+
+        ``records`` is an iterable of attack-vector records whose
+        identifiers must be new to the workspace.  Returns a summary dict
+        (per-kind added counts, new totals, the chained corpus fingerprint,
+        and the appended byte count).
+
+        The corpus fingerprint of an extended workspace is a *chain*:
+        ``sha256(base_fingerprint + ":" + delta_fingerprint)``.  It still
+        uniquely identifies the corpus contents (and the frame order), but
+        it intentionally differs from the flat fingerprint a from-scratch
+        engine over the merged corpus would compute -- the chain is what
+        lets :meth:`extend` avoid materializing and re-hashing the full
+        corpus on every append.
+        """
+        records = list(records)
+        if not records:
+            raise ValueError("extend() needs at least one record")
+        if path is not None and not Path(path).exists():
+            # Appending a frame to a nonexistent file would create an
+            # artifact with no base sections -- unloadable by construction.
+            raise ValueError(
+                f"workspace artifact not found: {path} (save() it first)"
+            )
+        prepared = self._hydrated_prepared()
+        delta = self._build_delta(prepared, records)
+        self._apply_delta(prepared, delta)
+        self._corpus_deltas.append(records)
+        appended = 0
+        if path is not None:
+            frame = _encode_delta_frame(delta)
+            with open(path, "r+b") as handle:
+                handle.seek(0, 2)
+                size = handle.tell()
+                if self._valid_length is not None and size > self._valid_length:
+                    # Drop a torn tail a crashed append left behind (load
+                    # ignored it); appending after it would bury garbage
+                    # mid-file where no recovery is possible.
+                    handle.truncate(self._valid_length)
+                    size = self._valid_length
+                handle.seek(size)
+                handle.write(frame)
+                handle.flush()
+            if self._valid_length is not None:
+                self._valid_length += len(frame)
+            else:
+                self._valid_length = size + len(frame)
+            appended = len(frame)
+        # The corpus no longer equals any deterministic generator output,
+        # and every previously fitted engine is missing the new records.
+        self.params = None
+        self._built_engine = None
+        with self._engine_handles_lock:
+            self._engine_handles.clear()
+        indexes = prepared["indexes"]
+        return {
+            "added": delta["added"],
+            "total_documents": {
+                kind.value: len(indexes[kind.value]) for kind in RecordKind
+            },
+            "corpus_fingerprint": delta["fingerprint_after"],
+            "appended_bytes": appended,
+            "path": str(path) if path is not None else None,
+        }
+
+    def _build_delta(self, prepared: dict, records: list) -> dict:
+        """Compute one delta frame's contents from new records (no mutation)."""
+        indexes = prepared["indexes"]
+        by_kind: dict[RecordKind, list] = {kind: [] for kind in RecordKind}
+        delta_store = CorpusStore()
+        for record in records:
+            delta_store.add(record)  # rejects duplicates within the delta
+            by_kind[record.kind].append(record)
+        for kind, kind_records in by_kind.items():
+            index = indexes[kind.value]
+            for record in kind_records:
+                if record.identifier in index:
+                    raise ValueError(
+                        f"record already in workspace: {record.identifier!r}"
+                    )
+        index_deltas: dict[str, dict] = {}
+        for kind, kind_records in by_kind.items():
+            if not kind_records:
+                continue
+            base_count = len(indexes[kind.value])
+            doc_ids: list[str] = []
+            doc_lengths: list[int] = []
+            postings: dict[str, tuple[array, array]] = {}
+            for offset, record in enumerate(kind_records):
+                counts = Counter(tokenize(record.text))
+                doc_ids.append(record.identifier)
+                doc_lengths.append(sum(counts.values()))
+                position = base_count + offset
+                for token, frequency in counts.items():
+                    arrays = postings.get(token)
+                    if arrays is None:
+                        postings[token] = (
+                            array("I", (position,)),
+                            array("I", (frequency,)),
+                        )
+                    else:
+                        arrays[0].append(position)
+                        arrays[1].append(frequency)
+            index_deltas[kind.value] = {
+                "doc_ids": doc_ids,
+                "doc_lengths": doc_lengths,
+                "postings": postings,
+            }
+        protos = prepared["match_protos"]
+        proto_delta = {column: [] for column in protos}
+        for record in delta_store.all_records():
+            proto = _record_proto_columns(record)
+            for column, value in proto.items():
+                proto_delta[column].append(value)
+        platform_delta: dict[str, list[str]] = {}
+        for vulnerability in delta_store.vulnerabilities:
+            for platform in vulnerability.affected_platforms:
+                platform_delta.setdefault(platform, []).append(
+                    vulnerability.identifier
+                )
+        shard_delta: dict[str, dict] = {}
+        shard_payloads = prepared.get("shards") or {}
+        max_shards = self.engine_config.get("max_shards", DEFAULT_MAX_SHARDS)
+        for kind, kind_records in by_kind.items():
+            payload = shard_payloads.get(kind.value)
+            if payload is None or not kind_records:
+                continue
+            shard_map = ShardMap.from_dict(payload)  # private copy
+            new_keys, assignments = shard_map.assign_extension(
+                kind_records, max_shards
+            )
+            shard_delta[kind.value] = {
+                "new_keys": new_keys,
+                "assignments": assignments,
+            }
+        base_fingerprint = prepared.get("corpus_fingerprint")
+        delta_fingerprint = _corpus_fingerprint(delta_store)
+        chained = hashlib.sha256(
+            f"{base_fingerprint}:{delta_fingerprint}".encode("utf-8")
+        ).hexdigest()
+        return {
+            "indexes": index_deltas,
+            "match_protos": proto_delta,
+            "platform_vulnerabilities": platform_delta,
+            "shards": shard_delta,
+            "fingerprint_before": base_fingerprint,
+            "fingerprint_after": chained,
+            "corpus_bytes": json.dumps(delta_store.to_dict()).encode("utf-8"),
+            "added": {
+                kind.value: len(kind_records)
+                for kind, kind_records in by_kind.items()
+            },
+        }
+
+    @staticmethod
+    def _apply_delta(prepared: dict, delta: dict) -> None:
+        """Apply one delta frame to hydrated prepared structures.
+
+        The *same* function runs for an in-memory :meth:`extend` and for
+        every frame replayed by :meth:`load`, which is what guarantees that
+        a reloaded extended artifact is structurally identical to the
+        workspace that appended the frames.
+        """
+        if delta["fingerprint_before"] != prepared.get("corpus_fingerprint"):
+            raise ValueError(
+                "workspace delta frame does not chain from this corpus "
+                "(fingerprint mismatch)"
+            )
+        indexes = prepared["indexes"]
+        for kind_value, index_delta in delta["indexes"].items():
+            if kind_value not in indexes:
+                raise ValueError(f"delta frame names unknown index {kind_value!r}")
+            indexes[kind_value].extend_from_arrays(
+                index_delta["doc_ids"],
+                index_delta["doc_lengths"],
+                index_delta["postings"],
+            )
+        protos = prepared["match_protos"]
+        proto_delta = delta["match_protos"]
+        lengths = {len(column) for column in proto_delta.values()}
+        if len(lengths) > 1 or set(proto_delta) != set(protos):
+            raise ValueError("delta frame match prototypes are malformed")
+        for column, values in proto_delta.items():
+            protos[column].extend(values)
+        platforms = prepared["platform_vulnerabilities"]
+        for platform, identifiers in delta["platform_vulnerabilities"].items():
+            merged = list(platforms.get(platform, ())) + list(identifiers)
+            # The engine's platform table is sorted per platform; keep the
+            # invariant so extended and from-scratch engines agree.
+            platforms[platform] = sorted(merged)
+        shard_payloads = prepared.get("shards") or {}
+        for kind_value, shard_update in delta["shards"].items():
+            payload = shard_payloads.get(kind_value)
+            if payload is None:
+                continue
+            payload["keys"].extend(shard_update["new_keys"])
+            payload["assignments"].extend(shard_update["assignments"])
+        prepared["corpus_fingerprint"] = delta["fingerprint_after"]
+
     # -- persistence ----------------------------------------------------------
 
     def save(self, path: str | Path) -> Path:
@@ -324,16 +605,8 @@ class Workspace:
         for kind_value, index_payload in prepared.pop("indexes").items():
             if isinstance(index_payload, InvertedIndex):
                 index_payload = index_payload.to_dict()
-            tokens: list[str] = []
-            counts: list[int] = []
-            for token, (positions, frequencies) in index_payload["postings"].items():
-                tokens.append(token)
-                counts.append(len(positions))
-                for values in (positions, frequencies):
-                    buffer = array("I", values)
-                    if sys.byteorder == "big":  # pragma: no cover - LE hosts
-                        buffer.byteswap()
-                    postings_blob += buffer.tobytes()
+            tokens, counts, blob = _pack_postings(index_payload["postings"].items())
+            postings_blob += blob
             documents = index_payload["documents"]
             index_meta[kind_value] = {
                 "doc_ids": [doc_id for doc_id, _ in documents],
@@ -343,41 +616,32 @@ class Workspace:
             }
         prepared["index_meta"] = index_meta
         prepared_bytes = json.dumps(prepared).encode("utf-8")
-        if self._corpus_bytes is not None:
+        if self._corpus_bytes is not None and not self._corpus_deltas:
             corpus_bytes = self._corpus_bytes
         else:
+            # Touching .corpus merges any pending extension deltas, so a
+            # post-extend save() writes the *merged* corpus -- the indexes
+            # and match prototypes in the prepared section already include
+            # the delta records.
             corpus_bytes = json.dumps(self.corpus.to_dict()).encode("utf-8")
-        offsets = {}
-        cursor = 0
-        for name, section in (
-            ("prepared", prepared_bytes),
-            ("postings", postings_blob),
-            ("corpus", corpus_bytes),
-        ):
-            offsets[name] = [cursor, len(section)]
-            cursor += len(section)
-        header = {
-            "version": WORKSPACE_VERSION,
-            "itemsize": 4,
-            "params": self.params,
-            "engine_config": self.engine_config,
-            "corpus_fingerprint": self.corpus_fingerprint,
-            "sections": offsets,
-        }
-        header_bytes = json.dumps(header).encode("utf-8")
-        payload = b"".join(
+        payload = _frame_bytes(
+            MAGIC,
+            {
+                "version": WORKSPACE_VERSION,
+                "itemsize": 4,
+                "params": self.params,
+                "engine_config": self.engine_config,
+                "corpus_fingerprint": self.corpus_fingerprint,
+            },
             (
-                MAGIC,
-                b"\n",
-                str(len(header_bytes)).encode("ascii"),
-                b"\n",
-                header_bytes,
-                prepared_bytes,
-                bytes(postings_blob),
-                corpus_bytes,
-            )
+                ("prepared", prepared_bytes),
+                ("postings", postings_blob),
+                ("corpus", corpus_bytes),
+            ),
         )
-        return atomic_write_bytes(path, payload)
+        written = atomic_write_bytes(path, payload)
+        self._valid_length = len(payload)
+        return written
 
     @classmethod
     def load(cls, path: str | Path) -> "Workspace":
@@ -385,7 +649,10 @@ class Workspace:
 
         The prepared and postings sections are decoded eagerly (they are
         needed to build an engine); the corpus section stays raw bytes until
-        something touches :attr:`corpus`.
+        something touches :attr:`corpus`.  Delta frames appended by
+        :meth:`extend` are replayed in order over the base sections (their
+        corpus deltas stay raw too); a frame whose fingerprint chain does
+        not match the state it claims to extend fails the whole load.
         """
         raw = Path(path).read_bytes()
         newline = raw.find(b"\n")
@@ -433,23 +700,71 @@ class Workspace:
                     "corpus fingerprint"
                 )
             engine_config = _validate_engine_config(header.get("engine_config") or {})
+            consumed = base + max(
+                offset + length for offset, length in sections.values()
+            )
         except (KeyError, TypeError, IndexError, json.JSONDecodeError) as error:
             raise ValueError(f"malformed workspace artifact: {error}") from error
-        return cls(
+        workspace = cls(
             prepared=prepared,
             params=header.get("params"),
             engine_config=engine_config,
             _corpus_bytes=corpus_bytes,
         )
+        cursor = consumed
+        if consumed < len(raw):
+            replayed = 0
+            try:
+                while cursor < len(raw):
+                    try:
+                        delta, cursor = _decode_delta_frame(raw, cursor)
+                    except _TornDeltaFrame:
+                        # A crash mid-append tore the final frame.  The
+                        # extend that wrote it never completed, so the last
+                        # consistent state is the artifact *without* it:
+                        # serve that, and let the next extend() truncate the
+                        # torn bytes before appending (``_valid_length``).
+                        break
+                    cls._apply_delta(prepared, delta)
+                    workspace._corpus_deltas.append(delta["corpus_bytes"])
+                    replayed += 1
+            except (KeyError, TypeError, IndexError, json.JSONDecodeError) as error:
+                raise ValueError(
+                    f"malformed workspace delta frame: {error}"
+                ) from error
+            # An extended corpus no longer equals any generator output.
+            if replayed:
+                workspace.params = None
+        workspace._valid_length = cursor
+        return workspace
 
 
-def _decode_indexes(index_meta: dict, blob: bytes) -> dict[str, InvertedIndex]:
-    """Decode the binary postings section into index objects, in order."""
-    indexes: dict[str, InvertedIndex] = {}
+def _record_proto_columns(record: AttackVectorRecord) -> dict:
+    """One record's match-prototype values, keyed by prepared-payload column."""
+    proto = _record_proto(record)
+    return {
+        "identifiers": proto["identifier"],
+        "kinds": proto["kind"].value,
+        "names": proto["name"],
+        "severities": proto["severity"],
+        "cvss_scores": proto["cvss_score"],
+        "network_exploitable": proto["network_exploitable"],
+    }
+
+
+def _decode_posting_blob(
+    index_meta: dict, blob: bytes
+) -> dict[str, dict[str, tuple[array, array]]]:
+    """Decode a binary postings blob into per-kind posting dicts, in order.
+
+    Shared by the base-section and delta-frame decoders; bounds checks
+    against the document table are the caller's job (the base decoder checks
+    directly, the delta path checks inside ``extend_from_arrays``).
+    """
+    by_kind: dict[str, dict[str, tuple[array, array]]] = {}
     cursor = 0
     for kind_value, meta in index_meta.items():
         postings: dict[str, tuple[array, array]] = {}
-        total_documents = len(meta["doc_ids"])
         for token, count in zip(meta["tokens"], meta["counts"], strict=True):
             nbytes = 4 * count
             rows = []
@@ -464,11 +779,6 @@ def _decode_indexes(index_meta: dict, blob: bytes) -> dict[str, InvertedIndex]:
                 cursor += nbytes
                 rows.append(buffer)
             positions, frequencies = rows
-            if positions and max(positions) >= total_documents:
-                raise ValueError(
-                    f"posting positions of token {token!r} fall outside "
-                    "the document table"
-                )
             validate_posting_positions(token, positions)
             if frequencies and min(frequencies) == 0:
                 # uint32 buffers cannot be negative; zero would become a
@@ -477,9 +787,192 @@ def _decode_indexes(index_meta: dict, blob: bytes) -> dict[str, InvertedIndex]:
                     f"zero term frequency for token {token!r}"
                 )
             postings[token] = (positions, frequencies)
+        by_kind[kind_value] = postings
+    if cursor != len(blob):
+        raise ValueError("workspace postings section has trailing bytes")
+    return by_kind
+
+
+def _decode_indexes(index_meta: dict, blob: bytes) -> dict[str, InvertedIndex]:
+    """Decode the binary postings section into index objects, in order."""
+    indexes: dict[str, InvertedIndex] = {}
+    postings_by_kind = _decode_posting_blob(index_meta, blob)
+    for kind_value, meta in index_meta.items():
+        postings = postings_by_kind[kind_value]
+        total_documents = len(meta["doc_ids"])
+        for token, (positions, _frequencies) in postings.items():
+            if positions and max(positions) >= total_documents:
+                raise ValueError(
+                    f"posting positions of token {token!r} fall outside "
+                    "the document table"
+                )
         indexes[kind_value] = InvertedIndex.from_posting_arrays(
             meta["doc_ids"], meta["doc_lengths"], postings
         )
-    if cursor != len(blob):
-        raise ValueError("workspace postings section has trailing bytes")
     return indexes
+
+
+def _pack_postings(postings_items) -> tuple[list[str], list[int], bytearray]:
+    """Pack ``(token, (positions, frequencies))`` pairs into the binary form.
+
+    The one writer of the posting wire layout -- per token, the position
+    array followed by the frequency array, as little-endian ``uint32`` --
+    shared by the base :meth:`Workspace.save` sections and the delta frames
+    (the read side shares :func:`_decode_posting_blob` the same way).
+    """
+    tokens: list[str] = []
+    counts: list[int] = []
+    blob = bytearray()
+    for token, (positions, frequencies) in postings_items:
+        tokens.append(token)
+        counts.append(len(positions))
+        for values in (positions, frequencies):
+            buffer = array("I", values)
+            if sys.byteorder == "big":  # pragma: no cover - LE hosts
+                buffer.byteswap()
+            blob += buffer.tobytes()
+    return tokens, counts, blob
+
+
+def _frame_bytes(magic: bytes, header: dict, sections) -> bytes:
+    """Assemble one framed payload: magic, header length, header, sections.
+
+    ``sections`` is an ordered ``(name, bytes)`` sequence; their offsets are
+    recorded into the header.  The one writer of the framing both the base
+    artifact and the delta frames use.
+    """
+    offsets = {}
+    cursor = 0
+    for name, section in sections:
+        offsets[name] = [cursor, len(section)]
+        cursor += len(section)
+    header_bytes = json.dumps({**header, "sections": offsets}).encode("utf-8")
+    return b"".join(
+        (
+            magic,
+            b"\n",
+            str(len(header_bytes)).encode("ascii"),
+            b"\n",
+            header_bytes,
+            *(bytes(section) for _, section in sections),
+        )
+    )
+
+
+def _encode_delta_frame(delta: dict) -> bytes:
+    """Serialize one delta frame (see the module docstring for the layout)."""
+    index_meta: dict[str, dict] = {}
+    postings_blob = bytearray()
+    for kind_value, index_delta in delta["indexes"].items():
+        tokens, counts, blob = _pack_postings(index_delta["postings"].items())
+        postings_blob += blob
+        index_meta[kind_value] = {
+            "doc_ids": list(index_delta["doc_ids"]),
+            "doc_lengths": list(index_delta["doc_lengths"]),
+            "tokens": tokens,
+            "counts": counts,
+        }
+    prepared_delta = {
+        "index_meta": index_meta,
+        "match_protos": delta["match_protos"],
+        "platform_vulnerabilities": delta["platform_vulnerabilities"],
+        "shards": delta["shards"],
+        "added": delta["added"],
+    }
+    return _frame_bytes(
+        DELTA_MAGIC,
+        {
+            "version": DELTA_VERSION,
+            "itemsize": 4,
+            "fingerprint_before": delta["fingerprint_before"],
+            "fingerprint_after": delta["fingerprint_after"],
+        },
+        (
+            ("prepared", json.dumps(prepared_delta).encode("utf-8")),
+            ("postings", postings_blob),
+            ("corpus", delta["corpus_bytes"]),
+        ),
+    )
+
+
+class _TornDeltaFrame(ValueError):
+    """A final delta frame cut short by a crash mid-append.
+
+    Distinct from corruption: every byte present is consistent, the frame
+    just does not reach its declared extent (it runs past the end of the
+    file).  The extend that wrote it never completed, so the artifact's last
+    consistent state is simply the content *before* the torn frame --
+    :meth:`Workspace.load` recovers by ignoring it.
+    """
+
+
+def _decode_delta_frame(raw: bytes, cursor: int) -> tuple[dict, int]:
+    """Decode the delta frame starting at ``cursor``; returns (delta, end).
+
+    Raises :class:`_TornDeltaFrame` for truncation-class failures (the
+    frame's declared extent runs past the end of the file) and plain
+    :class:`ValueError` for everything else (foreign bytes, corruption).
+    """
+    newline = raw.find(b"\n", cursor)
+    if newline < 0:
+        if DELTA_MAGIC.startswith(raw[cursor:]):
+            raise _TornDeltaFrame("delta frame magic torn at end of file")
+        raise ValueError("trailing bytes are not a workspace delta frame")
+    if raw[cursor:newline] != DELTA_MAGIC:
+        raise ValueError("trailing bytes are not a workspace delta frame")
+    second_newline = raw.find(b"\n", newline + 1)
+    if second_newline < 0:
+        raise _TornDeltaFrame("delta frame header length torn at end of file")
+    header_length = int(raw[newline + 1 : second_newline])
+    base = second_newline + 1
+    if base + header_length > len(raw):
+        raise _TornDeltaFrame("delta frame header torn at end of file")
+    header = json.loads(raw[base : base + header_length])
+    if not isinstance(header, dict):
+        raise ValueError("workspace delta header must be a JSON object")
+    version = header.get("version")
+    if version != DELTA_VERSION:
+        raise ValueError(
+            f"unsupported workspace delta version {version!r}; "
+            f"expected {DELTA_VERSION}"
+        )
+    if array("I").itemsize != 4 or header.get("itemsize") != 4:
+        raise ValueError(
+            "workspace delta posting buffers use a 4-byte uint layout this "
+            "platform cannot adopt"
+        )
+    sections = header["sections"]
+    base += header_length
+    end = base + max(offset + length for offset, length in sections.values())
+    if end > len(raw):
+        raise _TornDeltaFrame("delta frame sections torn at end of file")
+
+    def section(name: str) -> bytes:
+        offset, length = sections[name]
+        start = base + offset
+        if start + length > len(raw):
+            raise ValueError("workspace delta sections exceed the file size")
+        return raw[start : start + length]
+
+    prepared_delta = json.loads(section("prepared"))
+    postings_by_kind = _decode_posting_blob(
+        prepared_delta["index_meta"], section("postings")
+    )
+    delta = {
+        "indexes": {
+            kind_value: {
+                "doc_ids": meta["doc_ids"],
+                "doc_lengths": meta["doc_lengths"],
+                "postings": postings_by_kind[kind_value],
+            }
+            for kind_value, meta in prepared_delta["index_meta"].items()
+        },
+        "match_protos": prepared_delta["match_protos"],
+        "platform_vulnerabilities": prepared_delta["platform_vulnerabilities"],
+        "shards": prepared_delta["shards"],
+        "added": prepared_delta.get("added", {}),
+        "fingerprint_before": header["fingerprint_before"],
+        "fingerprint_after": header["fingerprint_after"],
+        "corpus_bytes": section("corpus"),
+    }
+    return delta, end

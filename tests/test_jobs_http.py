@@ -267,7 +267,9 @@ def test_ops_discovery_endpoint(live):
     assert payload["jobs_enabled"] is True
     assert sorted(payload["workspaces"]) == ["a", "b"]
     assert payload["default_workspace"] == "a"
-    assert set(payload["operations"]) == set(REQUESTS)
+    # Discovery lists every operation: the pure ones the REQUESTS table
+    # covers plus the mutating extend operation.
+    assert set(payload["operations"]) == set(REQUESTS) | {"extend"}
     fields = payload["operations"]["associate"]["request_fields"]
     assert "workspace" in fields and "scale" in fields
 

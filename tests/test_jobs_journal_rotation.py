@@ -1,0 +1,214 @@
+"""Job journal retention: compaction, result spill, and replay fidelity.
+
+The JSON-lines journal is append-only and used to grow forever; with
+``journal_keep`` set, old terminal jobs are compacted away (atomically) and
+oversized result payloads spill to side files so replay stays proportional
+to job *count*.  Neither mechanism may change what a replayed history says
+about the retained jobs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.jobs.manager import JobManager
+from repro.jobs.store import (
+    JobJournal,
+    load_spilled_result,
+    read_journal,
+)
+from repro.service.protocol import TERMINAL_JOB_STATES
+from repro.service.service import AnalysisService
+
+
+@pytest.fixture(scope="module")
+def service():
+    return AnalysisService(max_scale=None)
+
+
+def _run_jobs(manager, count: int) -> list[str]:
+    job_ids = []
+    for _ in range(count):
+        job = manager.submit("validate", {})
+        manager.wait(job.job_id, timeout=30)
+        assert job.state == "succeeded"
+        job_ids.append(job.job_id)
+    return job_ids
+
+
+# -- compaction ----------------------------------------------------------------
+
+
+def test_steady_state_journal_is_bounded(tmp_path, service):
+    journal = tmp_path / "jobs.jsonl"
+    manager = JobManager(
+        service, workers=2, journal_path=journal, journal_keep=3
+    )
+    _run_jobs(manager, 10)
+    manager.close()
+    jobs_on_disk = {entry["job_id"] for entry in read_journal(journal)}
+    # Compaction fires every `journal_keep` finishes, so the steady state
+    # holds at most ~2x the retention bound, never the full history.
+    assert 3 <= len(jobs_on_disk) <= 6
+
+
+def test_startup_compaction_trims_an_oversized_journal(tmp_path, service):
+    journal = tmp_path / "jobs.jsonl"
+    manager = JobManager(service, workers=2, journal_path=journal)  # no bound
+    job_ids = _run_jobs(manager, 8)
+    manager.close()
+    assert len({e["job_id"] for e in read_journal(journal)}) == 8
+
+    restarted = JobManager(
+        service, workers=1, journal_path=journal, journal_keep=2
+    )
+    kept = {entry["job_id"] for entry in read_journal(journal)}
+    assert kept == set(job_ids[-2:])  # newest terminal jobs survive
+    # Replay happened before compaction, so this process still remembers
+    # everything (memory has its own max_history bound)...
+    assert {job.job_id for job in restarted.jobs()} >= kept
+    assert restarted.stats()["journal_compactions"] == 1
+    assert restarted.stats()["journal_keep"] == 2
+    restarted.close()
+
+    # ...but the next restart replays exactly the compacted retention window.
+    second = JobManager(service, workers=1, journal_path=journal, journal_keep=2)
+    assert {job.job_id for job in second.jobs()} == kept
+    for job in second.jobs():
+        assert job.state == "succeeded"
+        assert job.replayed
+    second.close()
+
+
+def test_compaction_keeps_every_nonterminal_line(tmp_path):
+    """Lines of jobs that never finished survive any compaction."""
+    journal_path = tmp_path / "jobs.jsonl"
+    journal = JobJournal(journal_path)
+    for index in range(5):
+        journal.append(
+            "submitted", job_id=f"job-t{index}", operation="validate",
+            request={}, created_at=float(index),
+        )
+        journal.append_finished(
+            job_id=f"job-t{index}", state="succeeded", finished_at=float(index),
+            result={"ok": index}, error=None,
+        )
+    journal.append(
+        "submitted", job_id="job-hung", operation="validate",
+        request={}, created_at=99.0,
+    )
+    journal.append("started", job_id="job-hung", started_at=99.5)
+    dropped = journal.compact(1, TERMINAL_JOB_STATES)
+    journal.close()
+    assert dropped == 4
+    entries = read_journal(journal_path)
+    kept_ids = {entry["job_id"] for entry in entries}
+    assert kept_ids == {"job-t4", "job-hung"}
+    # The hung job keeps both its lines for the interruption marker.
+    assert sum(1 for e in entries if e["job_id"] == "job-hung") == 2
+
+
+def test_compaction_is_a_noop_within_the_bound(tmp_path):
+    journal_path = tmp_path / "jobs.jsonl"
+    journal = JobJournal(journal_path)
+    journal.append_finished(
+        job_id="job-a", state="succeeded", finished_at=1.0, result=None, error=None
+    )
+    before = journal_path.read_bytes()
+    assert journal.compact(5, TERMINAL_JOB_STATES) == 0
+    journal.close()
+    assert journal_path.read_bytes() == before
+
+
+# -- result spill --------------------------------------------------------------
+
+
+def test_oversized_results_spill_and_replay(tmp_path, service):
+    journal = tmp_path / "jobs.jsonl"
+    manager = JobManager(service, workers=1, journal_path=journal)
+    manager._journal.max_inline_result_bytes = 256  # force the spill
+    job = manager.submit("export", {})  # GraphML result: multi-KB
+    manager.wait(job.job_id, timeout=30)
+    assert job.state == "succeeded"
+    live_result = dict(job.result)
+    manager.close()
+
+    spill_dir = tmp_path / "jobs.jsonl.d"
+    assert list(spill_dir.iterdir()) == [spill_dir / f"{job.job_id}.result.json"]
+    finished = [e for e in read_journal(journal) if e["kind"] == "finished"][-1]
+    assert finished["result"] is None
+    assert finished["result_spill"] == f"{job.job_id}.result.json"
+    assert load_spilled_result(journal, finished) == live_result
+
+    restarted = JobManager(service, workers=1, journal_path=journal)
+    assert restarted.get(job.job_id).result == live_result
+    assert restarted.stats()["spilled_results"] == 0  # counter is per-process
+    restarted.close()
+
+
+def test_missing_spill_file_degrades_to_resultless_replay(tmp_path, service):
+    journal = tmp_path / "jobs.jsonl"
+    manager = JobManager(service, workers=1, journal_path=journal)
+    manager._journal.max_inline_result_bytes = 256
+    job = manager.submit("export", {})
+    manager.wait(job.job_id, timeout=30)
+    manager.close()
+    (tmp_path / "jobs.jsonl.d" / f"{job.job_id}.result.json").unlink()
+
+    restarted = JobManager(service, workers=1, journal_path=journal)
+    replayed = restarted.get(job.job_id)
+    assert replayed.state == "succeeded"  # history survives...
+    assert replayed.result is None  # ...only the oversized payload is gone
+    restarted.close()
+
+
+def test_spill_reference_cannot_escape_the_spill_dir(tmp_path):
+    entry = {"result_spill": "../../etc/passwd", "result": None}
+    assert load_spilled_result(tmp_path / "jobs.jsonl", entry) is None
+
+
+def test_compaction_deletes_dropped_spill_files(tmp_path):
+    journal_path = tmp_path / "jobs.jsonl"
+    journal = JobJournal(journal_path, max_inline_result_bytes=8)
+    for index in range(3):
+        journal.append_finished(
+            job_id=f"job-s{index}", state="succeeded", finished_at=float(index),
+            result={"payload": "x" * 64}, error=None,
+        )
+    assert journal.spilled_results == 3
+    journal.compact(1, TERMINAL_JOB_STATES)
+    journal.close()
+    remaining = sorted(p.name for p in (tmp_path / "jobs.jsonl.d").iterdir())
+    assert remaining == ["job-s2.result.json"]
+
+
+# -- knobs ---------------------------------------------------------------------
+
+
+def test_journal_keep_validation(service):
+    with pytest.raises(ValueError, match="journal_keep"):
+        JobManager(service, journal_keep=0)
+
+
+def test_serve_flag_parses():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["serve", "--workspace", "x.cpsecws", "--journal-keep", "17"]
+    )
+    assert args.journal_keep == 17
+    defaults = build_parser().parse_args(["serve", "--workspace", "x.cpsecws"])
+    assert defaults.journal_keep == 256
+
+
+def test_healthz_surfaces_retention_stats(tmp_path, service):
+    manager = JobManager(
+        service, workers=1, journal_path=tmp_path / "j.jsonl", journal_keep=9
+    )
+    stats = manager.stats()
+    assert stats["journal_keep"] == 9
+    assert stats["journal_compactions"] == 0
+    assert stats["spilled_results"] == 0
+    manager.close()

@@ -217,4 +217,5 @@ def test_stats_reset(small_corpus):
         "components_scored": 0, "components_reused": 0,
         "attribute_cache_evictions": 0, "text_cache_evictions": 0,
         "vulnerability_cache_evictions": 0,
+        "shards_skipped": 0, "candidates_pruned": 0,
     }

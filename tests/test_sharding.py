@@ -1,0 +1,215 @@
+"""Sharded-index pruning: exactness, counters, and persistence.
+
+The shard maps partition each record kind by platform/theme key so the
+TF-IDF scorers can skip shards whose vocabulary cannot intersect the query.
+The optimization is only admissible if it is *exact*: a sharded engine must
+return bit-identical associations to a monolithic (``sharded=False``,
+uncached) engine across every scorer, both fidelity modes, and both case
+studies -- and the pruning must be observable through the stats counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers_equivalence import association_signature
+from repro.casestudies.centrifuge import build_centrifuge_model
+from repro.casestudies.uav import build_uav_model
+from repro.corpus.schema import RecordKind
+from repro.corpus.seed import seed_corpus
+from repro.search.engine import SCORERS, SearchEngine
+from repro.search.sharding import OTHER_SHARD, ShardMap, shard_key_for_record
+from repro.search.tfidf import TfIdfModel
+from repro.workspace import Workspace
+
+MODELS = {
+    "centrifuge": build_centrifuge_model,
+    "uav": build_uav_model,
+}
+
+
+# -- shard map unit behavior ---------------------------------------------------
+
+
+def test_shard_keys_derive_from_platform_theme_tags(small_corpus):
+    vulnerability = small_corpus.vulnerabilities[0]
+    assert shard_key_for_record(vulnerability) == (
+        vulnerability.affected_platforms[0].lower()
+    )
+    weakness = small_corpus.weaknesses[0]
+    expected = (
+        weakness.platforms[0].lower() if weakness.platforms else OTHER_SHARD
+    )
+    assert shard_key_for_record(weakness) == expected
+
+
+def test_shard_map_build_is_deterministic(small_corpus):
+    records = small_corpus.vulnerabilities
+    first = ShardMap.build(records, max_shards=8)
+    second = ShardMap.build(records, max_shards=8)
+    assert first.keys == second.keys
+    assert first.assignments == second.assignments
+    assert len(first.assignments) == len(records)
+
+
+def test_shard_map_pools_long_tail_into_other(small_corpus):
+    records = small_corpus.vulnerabilities
+    distinct = {shard_key_for_record(record) for record in records}
+    bound = max(2, len(distinct) - 2)
+    shard_map = ShardMap.build(records, max_shards=bound)
+    assert len(shard_map.keys) <= bound
+    assert OTHER_SHARD in shard_map.keys
+    # Every record is assigned, and assignments stay in range.
+    assert len(shard_map.assignments) == len(records)
+    assert max(shard_map.assignments) < len(shard_map.keys)
+
+
+def test_shard_map_round_trips_through_dict(small_corpus):
+    shard_map = ShardMap.build(small_corpus.weaknesses, max_shards=8)
+    rebuilt = ShardMap.from_dict(shard_map.to_dict())
+    assert rebuilt.keys == shard_map.keys
+    assert rebuilt.assignments == shard_map.assignments
+    with pytest.raises(ValueError):
+        ShardMap.from_dict({"keys": ["a"], "assignments": [3]})
+    with pytest.raises(ValueError):
+        ShardMap.from_dict({"keys": ["a", "a"], "assignments": []})
+
+
+def test_shard_map_extension_reuses_and_appends_keys(small_corpus):
+    records = small_corpus.vulnerabilities
+    shard_map = ShardMap.build(records, max_shards=32)
+    before_keys = list(shard_map.keys)
+    new_keys, assignments = shard_map.assign_extension(records[:3], 32)
+    # Known platforms reuse their shard: no new keys, in-range assignments.
+    assert new_keys == []
+    assert shard_map.keys == before_keys
+    assert all(0 <= shard < len(before_keys) for shard in assignments)
+    assert len(shard_map.assignments) == len(records) + 3
+
+
+# -- exactness -----------------------------------------------------------------
+
+
+@pytest.fixture(scope="module", params=SCORERS)
+def scorer(request):
+    return request.param
+
+
+@pytest.fixture(scope="module", params=(True, False), ids=("fidelity", "no-fidelity"))
+def fidelity_aware(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def engine_pair(small_corpus, scorer, fidelity_aware):
+    """A sharded engine and its monolithic uncached reference."""
+    sharded = SearchEngine(small_corpus, scorer=scorer, fidelity_aware=fidelity_aware)
+    reference = SearchEngine(
+        small_corpus,
+        scorer=scorer,
+        fidelity_aware=fidelity_aware,
+        sharded=False,
+        enable_cache=False,
+    )
+    return sharded, reference
+
+
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+def test_sharded_engine_is_bit_identical_to_monolithic(engine_pair, model_name):
+    sharded, reference = engine_pair
+    model = MODELS[model_name]()
+    assert association_signature(sharded.associate(model)) == association_signature(
+        reference.associate(model)
+    )
+
+
+def test_pruned_scoring_matches_dense_scoring_per_text(small_corpus):
+    """Model-level check: pruned and dense paths agree per query, exactly."""
+    sharded = SearchEngine(small_corpus)
+    dense = SearchEngine(small_corpus, sharded=False)
+    texts = [
+        "National Instruments LabVIEW",
+        "Cisco ASA 5506-X firewall appliance",
+        "Microsoft Windows 7 SP1 workstation",
+        "MODBUS TCP fieldbus communication",
+    ]
+    for kind in RecordKind:
+        for text in texts:
+            assert sharded._models[kind].coverage(text) == dense._models[
+                kind
+            ].coverage(text)
+            assert sharded._models[kind].score(text) == dense._models[kind].score(
+                text
+            )
+
+
+def test_pruning_counters_fire_and_surface(small_corpus, centrifuge_model):
+    engine = SearchEngine(small_corpus)
+    engine.associate(centrifuge_model)
+    assert engine.stats.shards_skipped > 0
+    assert engine.stats.candidates_pruned > 0
+    info = engine.cache_info()
+    assert info["shards_skipped"] == engine.stats.shards_skipped
+    assert info["candidates_pruned"] == engine.stats.candidates_pruned
+    health = engine.health_info()
+    assert health["stats"]["candidates_pruned"] == engine.stats.candidates_pruned
+
+
+def test_unsharded_engine_never_prunes(small_corpus, centrifuge_model):
+    engine = SearchEngine(small_corpus, sharded=False)
+    engine.associate(centrifuge_model)
+    assert engine.stats.shards_skipped == 0
+    assert engine.stats.candidates_pruned == 0
+    assert engine._shard_maps == {}
+
+
+def test_model_with_stale_shard_map_disables_pruning(small_corpus):
+    """Documents added without extending the map degrade to dense scoring."""
+    from repro.search.index import InvertedIndex
+
+    index = InvertedIndex()
+    for record in small_corpus.weaknesses:
+        index.add_document(record.identifier, record.text)
+    shard_map = ShardMap.build(small_corpus.weaknesses, max_shards=8)
+    model = TfIdfModel(index, shard_map=shard_map).fit()
+    assert model._shard_positions is not None
+    index.add_document("CWE-999999", "freshly appended weakness text")
+    model._ensure_current()  # auto-refit: map no longer covers the index
+    assert model._shard_positions is None
+    # ...and scoring still works (dense path) with exact auto-refit results.
+    fresh = TfIdfModel(index).fit()
+    assert model.score("weakness text") == fresh.score("weakness text")
+
+
+# -- persistence ---------------------------------------------------------------
+
+
+def test_workspace_round_trips_shard_maps(tmp_path, small_corpus):
+    workspace = Workspace.from_engine(SearchEngine(small_corpus))
+    path = workspace.save(tmp_path / "ws.cpsecws")
+    loaded = Workspace.load(path)
+    engine = loaded.engine()
+    assert set(engine._shard_maps) == set(RecordKind)
+    model = build_centrifuge_model()
+    reference = SearchEngine(small_corpus, sharded=False, enable_cache=False)
+    assert association_signature(engine.associate(model)) == association_signature(
+        reference.associate(model)
+    )
+    engine.associate(model)
+    assert engine.stats.candidates_pruned > 0
+
+
+def test_loaded_workspace_honours_sharded_off_override(tmp_path, small_corpus):
+    workspace = Workspace.from_engine(SearchEngine(small_corpus))
+    path = workspace.save(tmp_path / "ws.cpsecws")
+    engine = Workspace.load(path).engine(sharded=False)
+    assert engine._shard_maps == {}
+
+
+def test_seed_only_corpus_shards_without_error(seed_only_corpus):
+    engine = SearchEngine(seed_only_corpus)
+    model = build_centrifuge_model()
+    reference = SearchEngine(seed_only_corpus, sharded=False, enable_cache=False)
+    assert association_signature(engine.associate(model)) == association_signature(
+        reference.associate(model)
+    )

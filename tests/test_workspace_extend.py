@@ -1,0 +1,457 @@
+"""Incremental workspace ingest: delta frames, exactness, and the service op.
+
+``Workspace.extend`` must be an *exact* shortcut: an engine over an extended
+workspace -- whether extended in memory, or loaded back from an artifact
+with appended delta frames -- must return bit-identical associations to a
+fresh monolithic engine built from scratch over the merged corpus, across
+every scorer, both fidelity modes, and both case studies.  The service's
+``extend`` operation layers typed errors, artifact swapping, and response-
+cache invalidation on top.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from helpers_equivalence import association_signature
+from repro.casestudies.centrifuge import build_centrifuge_model
+from repro.casestudies.uav import build_uav_model
+from repro.corpus.synthesis import build_corpus, build_extension_corpus
+from repro.search.engine import SCORERS, SearchEngine
+from repro.service.client import ServiceClient
+from repro.service.http import start_server
+from repro.service.protocol import (
+    AssociateRequest,
+    ExtendRequest,
+    ServiceError,
+    canonical_json,
+)
+from repro.service.service import AnalysisService
+from repro.workspace import Workspace
+
+MODELS = {
+    "centrifuge": build_centrifuge_model,
+    "uav": build_uav_model,
+}
+
+#: Matches tests/conftest.py's corpus scale (kept local: `from conftest
+#: import ...` is ambiguous when benchmarks/conftest.py is also on the path).
+TEST_SCALE = 0.03
+
+DELTA_COUNT = 40
+
+
+@pytest.fixture(scope="module")
+def delta_records():
+    return list(build_extension_corpus(count=DELTA_COUNT, seed=42).all_records())
+
+
+@pytest.fixture(scope="module")
+def second_delta_records():
+    return list(
+        build_extension_corpus(
+            count=15, seed=43, start_serial=950000
+        ).all_records()
+    )
+
+
+@pytest.fixture(scope="module")
+def base_artifact(tmp_path_factory):
+    """A saved base workspace artifact at test scale."""
+    path = tmp_path_factory.mktemp("extend") / "base.cpsecws"
+    Workspace.build(scale=TEST_SCALE).save(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def extended_artifact(tmp_path_factory, base_artifact, delta_records):
+    """A copy of the base artifact with one appended delta frame."""
+    path = tmp_path_factory.mktemp("extended") / "ws.cpsecws"
+    path.write_bytes(base_artifact.read_bytes())
+    workspace = Workspace.load(path)
+    summary = workspace.extend(delta_records, path=path)
+    assert summary["appended_bytes"] > 0
+    return path, workspace, summary
+
+
+@pytest.fixture(scope="module")
+def merged_corpus(delta_records):
+    """A fresh from-scratch corpus equal to base + delta."""
+    corpus = build_corpus(scale=TEST_SCALE)
+    corpus.add_all(delta_records)
+    return corpus
+
+
+# -- exactness -----------------------------------------------------------------
+
+
+@pytest.fixture(scope="module", params=SCORERS)
+def scorer(request):
+    return request.param
+
+
+@pytest.fixture(scope="module", params=(True, False), ids=("fidelity", "no-fidelity"))
+def fidelity_aware(request):
+    return request.param
+
+
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+def test_extended_workspace_equals_fresh_monolithic_rebuild(
+    extended_artifact, merged_corpus, scorer, fidelity_aware, model_name
+):
+    _, workspace, _ = extended_artifact
+    model = MODELS[model_name]()
+    engine = workspace.engine(scorer=scorer, fidelity_aware=fidelity_aware)
+    reference = SearchEngine(
+        merged_corpus,
+        scorer=scorer,
+        fidelity_aware=fidelity_aware,
+        sharded=False,
+        enable_cache=False,
+    )
+    assert association_signature(engine.associate(model)) == association_signature(
+        reference.associate(model)
+    )
+
+
+def test_reloaded_extended_artifact_equals_in_memory_extension(
+    extended_artifact, merged_corpus
+):
+    path, workspace, _ = extended_artifact
+    reloaded = Workspace.load(path)
+    model = build_centrifuge_model()
+    assert association_signature(
+        reloaded.engine().associate(model)
+    ) == association_signature(workspace.engine().associate(model))
+    # The reloaded corpus carries the delta records too (parsed lazily).
+    assert len(reloaded.corpus) == len(merged_corpus)
+    assert reloaded.params is None  # no longer a pure generator output
+
+
+def test_second_stacked_delta_frame_replays_exactly(
+    extended_artifact, delta_records, second_delta_records, tmp_path
+):
+    source, _, _ = extended_artifact
+    path = tmp_path / "stacked.cpsecws"
+    path.write_bytes(source.read_bytes())  # private copy: one frame so far
+    workspace = Workspace.load(path)
+    workspace.extend(second_delta_records, path=path)
+    reloaded = Workspace.load(path)
+    merged = build_corpus(scale=TEST_SCALE)
+    merged.add_all(delta_records)
+    merged.add_all(second_delta_records)
+    reference = SearchEngine(merged, sharded=False, enable_cache=False)
+    model = build_uav_model()
+    assert association_signature(
+        reloaded.engine().associate(model)
+    ) == association_signature(reference.associate(model))
+
+
+def test_extend_is_appendonly_and_small(base_artifact, tmp_path, delta_records):
+    path = tmp_path / "ws.cpsecws"
+    path.write_bytes(base_artifact.read_bytes())
+    base_bytes = path.read_bytes()
+    workspace = Workspace.load(path)
+    summary = workspace.extend(delta_records, path=path)
+    grown = path.read_bytes()
+    # Strict append: the base bytes are untouched, the frame is the delta.
+    assert grown[: len(base_bytes)] == base_bytes
+    assert len(grown) - len(base_bytes) == summary["appended_bytes"]
+    assert summary["appended_bytes"] < len(base_bytes) / 4
+    assert sum(summary["added"].values()) == len(delta_records)
+
+
+def test_save_after_extend_writes_the_merged_corpus(
+    base_artifact, tmp_path, delta_records
+):
+    """Regression: a post-extend save() must not drop the delta records.
+
+    The corpus section is kept as raw bytes on load; a save() that reused
+    them verbatim after an extend would write indexes that reference
+    records the corpus section does not contain.
+    """
+    path = tmp_path / "ws.cpsecws"
+    path.write_bytes(base_artifact.read_bytes())
+    workspace = Workspace.load(path)
+    workspace.extend(delta_records)  # in-memory only, corpus still raw
+    folded = tmp_path / "folded.cpsecws"
+    workspace.save(folded)
+    reloaded = Workspace.load(folded)
+    base_count = len(Workspace.load(base_artifact).corpus)
+    assert len(reloaded.corpus) == base_count + len(delta_records)
+    for record in delta_records:
+        assert record.identifier in reloaded.corpus
+    # And the folded artifact still scores like the extended one.
+    model = build_centrifuge_model()
+    assert association_signature(
+        reloaded.engine().associate(model)
+    ) == association_signature(workspace.engine().associate(model))
+
+
+def test_extend_invalidates_prior_engines(base_artifact, tmp_path, delta_records):
+    path = tmp_path / "ws.cpsecws"
+    path.write_bytes(base_artifact.read_bytes())
+    workspace = Workspace.load(path)
+    before = workspace.shared_engine()
+    workspace.extend(delta_records)
+    after = workspace.shared_engine()
+    assert after is not before
+    assert workspace.engine_handles() == (after,)
+
+
+# -- failure modes -------------------------------------------------------------
+
+
+def test_extend_rejects_duplicate_identifiers(base_artifact, tmp_path):
+    path = tmp_path / "ws.cpsecws"
+    path.write_bytes(base_artifact.read_bytes())
+    workspace = Workspace.load(path)
+    existing = workspace.corpus.vulnerabilities[0]
+    with pytest.raises(ValueError, match="already in workspace"):
+        workspace.extend([existing])
+
+
+def test_extend_rejects_empty_batch(base_artifact):
+    workspace = Workspace.load(base_artifact)
+    with pytest.raises(ValueError, match="at least one record"):
+        workspace.extend([])
+
+
+def test_extend_rejects_missing_artifact_path(base_artifact, tmp_path, delta_records):
+    workspace = Workspace.load(base_artifact)
+    with pytest.raises(ValueError, match="not found"):
+        workspace.extend(delta_records, path=tmp_path / "ghost.cpsecws")
+
+
+def test_torn_final_frame_recovers_to_the_previous_state(
+    base_artifact, tmp_path, delta_records
+):
+    """A crash mid-append must not brick the artifact.
+
+    The torn frame's extend never completed, so the honest state is the
+    artifact without it; load recovers there, and the next extend truncates
+    the torn bytes before appending so they never end up mid-file.
+    """
+    path = tmp_path / "ws.cpsecws"
+    path.write_bytes(base_artifact.read_bytes())
+    base_model_sig = association_signature(
+        Workspace.load(path).engine().associate(build_centrifuge_model())
+    )
+    Workspace.load(path).extend(delta_records, path=path)
+    raw = path.read_bytes()
+    for cut in (64, len(raw) - len(base_artifact.read_bytes()) - 3):
+        path.write_bytes(raw[:-cut])  # tear the appended frame
+        recovered = Workspace.load(path)
+        assert recovered.params is not None  # the extension never applied
+        assert association_signature(
+            recovered.engine().associate(build_centrifuge_model())
+        ) == base_model_sig
+    # Extending the recovered workspace truncates the torn tail first; the
+    # re-appended frame then replays cleanly.
+    workspace = Workspace.load(path)
+    workspace.extend(delta_records, path=path)
+    reloaded = Workspace.load(path)
+    assert sum(1 for _ in reloaded.corpus.all_records()) == len(
+        Workspace.load(base_artifact).corpus
+    ) + len(delta_records)
+
+
+def test_frame_chained_to_other_corpus_fails_the_load(
+    base_artifact, tmp_path, delta_records
+):
+    """A frame spliced onto an artifact it does not chain from is rejected."""
+    donor = tmp_path / "donor.cpsecws"
+    donor.write_bytes(base_artifact.read_bytes())
+    base_size = donor.stat().st_size
+    Workspace.load(donor).extend(delta_records, path=donor)
+    frame = donor.read_bytes()[base_size:]
+
+    other = tmp_path / "other.cpsecws"
+    Workspace.build(scale=0.02).save(other)
+    with open(other, "ab") as handle:
+        handle.write(frame)
+    with pytest.raises(ValueError, match="does not chain|fingerprint"):
+        Workspace.load(other)
+
+
+def test_trailing_garbage_fails_the_load(base_artifact, tmp_path):
+    path = tmp_path / "ws.cpsecws"
+    path.write_bytes(base_artifact.read_bytes() + b"not a frame")
+    with pytest.raises(ValueError, match="delta frame"):
+        Workspace.load(path)
+
+
+# -- the typed service operation ----------------------------------------------
+
+
+@pytest.fixture()
+def service_artifact(base_artifact, tmp_path):
+    path = tmp_path / "served.cpsecws"
+    path.write_bytes(base_artifact.read_bytes())
+    return path
+
+
+def test_service_extend_swaps_in_extended_workspace(service_artifact):
+    service = AnalysisService(
+        workspaces={"main": service_artifact},
+        default_workspace="main",
+        save_artifacts=False,
+    )
+    request = AssociateRequest(scale=TEST_SCALE)
+    before = service.associate(request)
+    delta = build_extension_corpus(count=20, seed=77, start_serial=970000)
+    response = service.extend(ExtendRequest(records=delta.to_dict()))
+    assert sum(response.added.values()) == len(delta)
+    assert response.workspace == "main"
+    assert response.appended_bytes > 0
+    after = service.associate(request)
+    # The response cache was dropped and the new engine sees the delta.
+    assert canonical_json(before.to_dict()) != canonical_json(after.to_dict())
+    # A cold service over the extended artifact answers identically.
+    cold = AnalysisService(
+        workspaces={"main": service_artifact},
+        default_workspace="main",
+        save_artifacts=False,
+    )
+    assert canonical_json(cold.associate(request).to_dict()) == canonical_json(
+        after.to_dict()
+    )
+
+
+def test_service_extend_typed_errors(service_artifact):
+    service = AnalysisService(
+        workspaces={"main": service_artifact},
+        default_workspace="main",
+        save_artifacts=False,
+    )
+    with pytest.raises(ServiceError) as excinfo:
+        service.extend(ExtendRequest())
+    assert excinfo.value.code == "malformed_records"
+    with pytest.raises(ServiceError) as excinfo:
+        service.extend(ExtendRequest(records={"vulnerabilities": "nope"}))
+    assert excinfo.value.status in (400, 422)
+    with pytest.raises(ServiceError) as excinfo:
+        service.extend(
+            ExtendRequest(records={"weaknesses": []}, workspace="ghost")
+        )
+    assert excinfo.value.status == 404
+    # Duplicate ingest is a typed 409 conflict, not a 500.
+    delta = build_extension_corpus(count=5, seed=80, start_serial=980000)
+    service.extend(ExtendRequest(records=delta.to_dict()))
+    with pytest.raises(ServiceError) as excinfo:
+        service.extend(ExtendRequest(records=delta.to_dict()))
+    assert excinfo.value.status == 409
+    assert excinfo.value.code == "extend_conflict"
+
+
+def test_cli_backend_serves_extended_artifact_without_rebuilding(
+    service_artifact,
+):
+    """Regression: the legacy artifact path must not clobber extended data.
+
+    An extended artifact records no generator parameters; the CLI's
+    in-process backend (``save_artifacts=True``) used to treat that as
+    "stale -> rebuild and overwrite", silently destroying the appended
+    delta frames.  Parameter-less artifacts serve any scale instead, like
+    the workspace registry always did.
+    """
+    delta = build_extension_corpus(count=10, seed=95, start_serial=991000)
+    extend_service = AnalysisService(workspace=service_artifact, max_scale=None)
+    extend_service.extend(ExtendRequest(records=delta.to_dict()))
+    bytes_after_extend = service_artifact.read_bytes()
+
+    cli_service = AnalysisService(workspace=service_artifact, max_scale=None)
+    response = cli_service.associate(AssociateRequest(scale=TEST_SCALE))
+    assert service_artifact.read_bytes() == bytes_after_extend  # no rewrite
+    registry_service = AnalysisService(
+        workspaces={"w": service_artifact},
+        default_workspace="w",
+        save_artifacts=False,
+    )
+    assert canonical_json(response.to_dict()) == canonical_json(
+        registry_service.associate(AssociateRequest(scale=TEST_SCALE)).to_dict()
+    )
+
+
+def test_service_extend_requires_a_configured_workspace():
+    service = AnalysisService()
+    delta = build_extension_corpus(count=3, seed=81, start_serial=985000)
+    with pytest.raises(ServiceError) as excinfo:
+        service.extend(ExtendRequest(records=delta.to_dict()))
+    assert excinfo.value.code == "no_workspace"
+
+
+def test_http_extend_round_trip(service_artifact):
+    service = AnalysisService(
+        workspaces={"main": service_artifact},
+        default_workspace="main",
+        save_artifacts=False,
+    )
+    server = start_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        client = ServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
+        delta = build_extension_corpus(count=8, seed=90, start_serial=987000)
+        response = client.extend(ExtendRequest(records=delta.to_dict()))
+        assert sum(response.added.values()) == len(delta)
+        # HTTP and in-process answers over the extended state are identical.
+        request = AssociateRequest(scale=TEST_SCALE)
+        wire = client.call_raw("associate", request.to_dict())
+        mine = service.associate(request)
+        assert wire.decode("utf-8") == canonical_json(mine.to_dict())
+        with pytest.raises(ServiceError) as excinfo:
+            client.extend(ExtendRequest(records=delta.to_dict()))
+        assert excinfo.value.status == 409
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+# -- the CLI subcommand --------------------------------------------------------
+
+
+def test_cli_workspace_extend(service_artifact, tmp_path, capsys):
+    from repro.cli import main
+
+    records_file = tmp_path / "delta.json"
+    delta = build_extension_corpus(count=6, seed=91, start_serial=988000)
+    records_file.write_text(json.dumps(delta.to_dict()), encoding="utf-8")
+    exit_code = main(
+        [
+            "workspace",
+            "extend",
+            "--workspace",
+            str(service_artifact),
+            "--records",
+            str(records_file),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "extended" in out and "appended" in out
+    # Second run: duplicate identifiers, one-line operational failure.
+    assert (
+        main(
+            [
+                "workspace",
+                "extend",
+                "--workspace",
+                str(service_artifact),
+                "--records",
+                str(records_file),
+            ]
+        )
+        == 2
+    )
+
+
+def test_cli_workspace_extend_needs_target(tmp_path):
+    from repro.cli import main
+
+    records_file = tmp_path / "delta.json"
+    records_file.write_text("{}", encoding="utf-8")
+    assert main(["workspace", "extend", "--records", str(records_file)]) == 2

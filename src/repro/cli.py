@@ -69,10 +69,11 @@ from repro.analysis.report import (
     render_whatif,
 )
 from repro.graph.graphml import read_graphml
-from repro.jobs import JobManager
+from repro.jobs import MERGE_OPERATION, JobManager
 from repro.service.client import ServiceClient
 from repro.service.http import start_server
 from repro.service.protocol import (
+    JOB_PRIORITIES,
     OPERATIONS,
     AssociateRequest,
     ChainsRequest,
@@ -86,6 +87,7 @@ from repro.service.protocol import (
     TopologyRequest,
     ValidateRequest,
     WhatIfRequest,
+    WhatIfResponse,
 )
 from repro.service.service import AnalysisService
 
@@ -172,6 +174,10 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 
 def _cmd_whatif(args: argparse.Namespace) -> int:
+    if args.sweep:
+        return _whatif_sweep(args)
+    if getattr(args, "async_sweep", False):
+        raise CliError("--async needs --sweep FILE (it parallelizes a sweep)")
     response = _backend(args).whatif(
         WhatIfRequest(
             model=_model_payload(args),
@@ -181,6 +187,79 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
         )
     )
     print(render_whatif(response.comparison))
+    return 0
+
+
+def _read_sweep_variants(path: str) -> dict:
+    """Parse a sweep file: ``{"variants": {name: registry-name-or-model}}``."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise CliError(f"cannot read sweep file {path}: {error}") from error
+    variants = payload.get("variants") if isinstance(payload, dict) else None
+    if not isinstance(variants, dict) or not variants:
+        raise CliError(
+            'sweep file must be {"variants": {name: registry-name-or-model, ...}}'
+        )
+    for name, spec in variants.items():
+        if not isinstance(spec, (str, dict)):
+            raise CliError(
+                f"variant {name!r} must be a registry name or a model payload"
+            )
+    return variants
+
+
+def _whatif_sweep(args: argparse.Namespace) -> int:
+    """Run one what-if comparison per named variant.
+
+    The synchronous path calls the ``whatif`` operation once per variant;
+    ``--async`` (with ``--url``) fans the variants out as batch jobs plus a
+    ``merge`` join, producing byte-identical per-variant payloads (the
+    dependency-chain tests pin this equivalence).
+    """
+    variants = _read_sweep_variants(args.sweep)
+    model = _model_payload(args)
+    requests = {
+        name: WhatIfRequest(
+            model=model,
+            variant=spec,
+            scale=args.scale,
+            scorer=args.scorer,
+            workers=args.workers,
+        )
+        for name, spec in variants.items()
+    }
+    if getattr(args, "async_sweep", False):
+        if not args.url:
+            raise CliError(
+                "--async sweeps need --url pointing at a running `cpsec serve`"
+            )
+        client = ServiceClient(args.url)
+        labels: dict[str, str] = {}
+        for name in sorted(requests):
+            job = client.submit("whatif", requests[name], priority="batch")
+            labels[job["job_id"]] = name
+        merge = client.submit(
+            MERGE_OPERATION, {"labels": labels}, depends_on=list(labels)
+        )
+        record = client.wait(merge["job_id"])
+        if record["state"] != "succeeded":
+            error = record.get("error") or {}
+            raise CliError(
+                f"sweep merge {record['state']}: "
+                f"{error.get('code')}: {error.get('message')}"
+            )
+        results = record["result"]["results"]
+    else:
+        backend = _backend(args)
+        results = {
+            name: backend.whatif(requests[name]).to_dict()
+            for name in sorted(requests)
+        }
+    for name in sorted(results):
+        comparison = WhatIfResponse.from_dict(results[name]).comparison
+        print(f"== {name} ==")
+        print(render_whatif(comparison))
     return 0
 
 
@@ -366,6 +445,26 @@ def _parse_workspace_specs(specs: list[str]) -> list[tuple[str, Path]]:
     return entries
 
 
+def _parse_quota(spec: str | None) -> tuple[float, float] | None:
+    """Parse ``--quota RATE[:BURST]`` into the manager's quota tuple."""
+    if spec is None:
+        return None
+    rate_str, sep, burst_str = spec.partition(":")
+    try:
+        rate = float(rate_str)
+        burst = float(burst_str) if sep else max(1.0, rate)
+    except ValueError as error:
+        raise CliError(
+            f"invalid --quota {spec!r} (use RATE or RATE:BURST, "
+            f"e.g. --quota 2 or --quota 0.5:10)"
+        ) from error
+    if rate <= 0 or burst < 1:
+        raise CliError(
+            f"--quota needs RATE > 0 and BURST >= 1, got {spec!r}"
+        )
+    return (rate, burst)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     entries = _parse_workspace_specs(args.workspace)
     service = AnalysisService(
@@ -395,6 +494,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queued=args.job_queue,
         journal_path=journal_path,
         journal_keep=args.journal_keep if args.journal_keep > 0 else None,
+        policy=args.job_policy,
+        quota=_parse_quota(args.quota),
     )
     server = start_server(
         service, host=args.host, port=args.port, verbose=args.verbose, jobs=jobs
@@ -495,7 +596,14 @@ def _cmd_jobs_submit(args: argparse.Namespace) -> int:
         raise CliError("--request must be a JSON object")
     if args.workspace_name:
         payload["workspace"] = args.workspace_name
-    job = client.submit(args.operation, payload)
+    job = client.submit(
+        args.operation,
+        payload,
+        priority=args.priority,
+        weight=args.weight,
+        depends_on=args.depends_on,
+        client_id=args.client,
+    )
     print(f"submitted {job['job_id']} ({job['operation']}, state {job['state']})")
     if args.watch:
         return _watch_job(client, job["job_id"])
@@ -586,6 +694,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     whatif = subparsers.add_parser("whatif", help="compare the baseline and hardened-workstation architectures")
     add_search_options(whatif)
+    whatif.add_argument(
+        "--sweep", default=None, metavar="FILE",
+        help='sweep file: {"variants": {name: registry-name-or-model, ...}}; '
+             "runs one comparison per named variant",
+    )
+    whatif.add_argument(
+        "--async", dest="async_sweep", action="store_true",
+        help="run the sweep as batch jobs plus a dependency merge on a "
+             "`cpsec serve` instance (needs --url); results are byte-identical "
+             "to the synchronous sweep",
+    )
     whatif.set_defaults(func=_cmd_whatif)
 
     chains = subparsers.add_parser("chains", help="enumerate exploit chains to a target component")
@@ -673,6 +792,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default 256; 0 keeps everything)")
     serve.add_argument("--drain-timeout", type=float, default=10.0,
                        help="seconds to wait for running jobs on shutdown (default 10)")
+    serve.add_argument("--job-policy", default="fair", choices=("fair", "fifo"),
+                       help="job scheduling policy: 'fair' (priorities + per-workspace "
+                            "weighted fair queueing) or 'fifo' (arrival order; default fair)")
+    serve.add_argument("--quota", default=None, metavar="RATE[:BURST]",
+                       help="per-client job submission quota as a token bucket: RATE "
+                            "tokens/second refilling up to BURST (default RATE rounded "
+                            "up to 1); exhausted clients get a typed 429 with "
+                            "retry_after_s (default: no quota)")
     serve.set_defaults(func=_cmd_serve)
 
     jobs_parser = subparsers.add_parser("jobs", help="submit and observe background jobs on a running `cpsec serve`")
@@ -682,11 +809,24 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--url", required=True, help="base URL of a running `cpsec serve` instance")
 
     jobs_submit = jobs_sub.add_parser("submit", help="submit one operation as a background job")
-    jobs_submit.add_argument("operation", choices=sorted(OPERATIONS))
+    jobs_submit.add_argument("operation", choices=sorted([*OPERATIONS, MERGE_OPERATION]))
     jobs_submit.add_argument("--request", default=None, metavar="JSON",
                              help='request payload as JSON (e.g. \'{"scale": 1.0, "scorer": "jaccard"}\')')
     jobs_submit.add_argument("--workspace-name", default=None,
                              help="route the job to a named server workspace")
+    jobs_submit.add_argument("--priority", default=None, choices=JOB_PRIORITIES,
+                             help="priority class (default: inferred per operation -- "
+                                  "whatif/simulate are batch, everything else interactive)")
+    jobs_submit.add_argument("--weight", type=float, default=None,
+                             help="fair-share weight of the submitting workspace "
+                                  "(0 < weight <= 1000, default 1)")
+    jobs_submit.add_argument("--depends-on", action="append", default=None,
+                             metavar="JOB_ID",
+                             help="job that must succeed before this one runs; repeatable "
+                                  "(a failed/cancelled dependency cancels this job)")
+    jobs_submit.add_argument("--client", default=None, metavar="ID",
+                             help="quota identity (with `cpsec serve --quota`; "
+                                  "default: the shared 'anonymous' bucket)")
     jobs_submit.add_argument("--watch", action="store_true", help="stream events until the job ends")
     add_jobs_url(jobs_submit)
     jobs_submit.set_defaults(func=_cmd_jobs_submit)

@@ -1,8 +1,13 @@
-"""Async job engine: typed operations as cancellable, observable jobs.
+"""Async job engine: typed operations as scheduled, observable jobs.
 
-* :mod:`repro.jobs.manager` -- :class:`JobManager` (bounded worker pool,
+* :mod:`repro.jobs.manager` -- :class:`JobManager` (scheduled worker pool,
   typed :class:`JobRecord` lifecycle, monotonic :class:`JobEvent` streams,
-  cooperative cancellation),
+  cooperative cancellation, dependency chains + the ``merge`` join),
+* :mod:`repro.jobs.scheduler` -- the pure scheduling policy: priority
+  classes with anti-starvation aging, per-workspace weighted fair queueing
+  (stride/virtual-time), and per-client token-bucket quotas,
+* :mod:`repro.jobs.clock` -- the injectable time seam that makes every
+  scheduling decision provable with a deterministic fake clock,
 * :mod:`repro.jobs.store` -- the append-only JSON-lines journal that makes
   job history survive ``cpsec serve`` restarts.
 
@@ -12,21 +17,41 @@ speak the same surface.  Progress flows from the instrumented long paths via
 :mod:`repro.progress`.
 """
 
+from repro.jobs.clock import SYSTEM_CLOCK, Clock, SystemClock
 from repro.jobs.manager import (
     JOB_STATES,
+    MERGE_OPERATION,
     TERMINAL_STATES,
     JobEvent,
     JobManager,
     JobRecord,
 )
+from repro.jobs.scheduler import (
+    DEFAULT_FLOW,
+    JOB_PRIORITIES,
+    SCHEDULER_POLICIES,
+    FairScheduler,
+    TokenBucket,
+    default_priority,
+)
 from repro.jobs.store import JobJournal, read_journal
 
 __all__ = [
+    "Clock",
+    "DEFAULT_FLOW",
+    "FairScheduler",
+    "JOB_PRIORITIES",
     "JOB_STATES",
-    "TERMINAL_STATES",
     "JobEvent",
+    "JobJournal",
     "JobManager",
     "JobRecord",
-    "JobJournal",
+    "MERGE_OPERATION",
+    "SCHEDULER_POLICIES",
+    "SYSTEM_CLOCK",
+    "SystemClock",
+    "TERMINAL_STATES",
+    "TokenBucket",
+    "default_priority",
     "read_journal",
 ]

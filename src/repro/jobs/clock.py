@@ -1,0 +1,47 @@
+"""The time seam of the job engine.
+
+Every time-dependent decision the scheduler makes -- submission timestamps,
+queue-wait accounting, token-bucket refill -- goes through a :class:`Clock`
+instead of calling :mod:`time` directly.  Production uses
+:class:`SystemClock`; the test suite injects a fake clock
+(``tests/helpers_jobs.py``) and *sets* time instead of sleeping through it,
+which is what makes every scheduling behavior -- fairness shares, quota
+refill, wait-time percentiles -- provable deterministically instead of being
+asserted against wall-time races.
+
+The seam deliberately covers only scheduling accounting.  Blocking
+primitives (condition waits backing SSE streams and ``JobManager.wait``)
+stay on real OS timeouts: a fake clock must never be able to hang a real
+subscriber, and the deterministic tests never block -- they single-step the
+scheduler instead (``JobManager.run_next``).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Monotonic + wall time, as an injectable pair."""
+
+    def time(self) -> float:
+        """Wall-clock seconds (journal and event timestamps)."""
+        raise NotImplementedError
+
+    def monotonic(self) -> float:
+        """Monotonic seconds (wait accounting, quota refill)."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real thing; the default for every production :class:`JobManager`."""
+
+    def time(self) -> float:
+        return time.time()
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+
+#: Shared default instance -- the clock is stateless.
+SYSTEM_CLOCK = SystemClock()

@@ -1,13 +1,24 @@
-"""The async job engine: typed operations as observable background jobs.
+"""The async job engine: typed operations as scheduled, observable jobs.
 
 :class:`JobManager` wraps an :class:`~repro.service.service.AnalysisService`
 (or anything with the same method-per-operation surface) and runs any of the
-typed operations on a **bounded worker pool**, turning a blocking request
+typed operations on a **scheduled worker pool**, turning a blocking request
 into a :class:`JobRecord` the caller can poll, stream, and cancel:
 
 * states walk ``queued -> running -> succeeded | failed | cancelled``
   (:data:`JOB_STATES`); every transition appends a monotonic
   :class:`JobEvent`,
+* dispatch order is a policy, not arrival order: priority classes
+  (``interactive`` beats ``batch``, aged so batch never fully starves),
+  per-workspace weighted fair queueing, and per-client token-bucket quotas
+  all live in :mod:`repro.jobs.scheduler`; the manager owns the locking and
+  the lifecycle around them,
+* jobs can depend on other jobs (``depends_on=[job_ids]``): a job waits --
+  queued, but invisible to the scheduler -- until every parent succeeds.  A
+  parent that fails or is cancelled cascade-cancels its unstarted dependents
+  (typed ``dependency_unsatisfied`` error), so nothing waits forever.  The
+  ``merge`` pseudo-operation joins a fan-out: it depends on N jobs and
+  succeeds with their results keyed by label, deterministically,
 * progress events flow from the instrumented long paths (association
   scoring, sweep batches, simulation ticks) through the ambient sink in
   :mod:`repro.progress` -- the manager installs a per-job sink around the
@@ -18,25 +29,43 @@ into a :class:`JobRecord` the caller can poll, stream, and cancel:
   before it ever starts,
 * the lifecycle is journalled (:mod:`repro.jobs.store`), so a restarted
   server replays its history; jobs interrupted by the restart come back as
-  ``failed`` with code ``interrupted``,
+  ``failed`` with code ``interrupted``.  Journals written before the
+  scheduler existed replay cleanly -- the priority/weight/dependency fields
+  are additive, defaulted on read,
 * submissions beyond the queue bound fail fast with a typed 429
-  :class:`~repro.service.protocol.ServiceError` (``queue_full``), and a
-  draining manager (graceful shutdown) refuses new work with a 503.
+  (``queue_full``), quota-exhausted clients get a typed 429
+  (``quota_exhausted``, with ``retry_after_s``) **before** anything touches
+  the journal, and a draining manager refuses new work with a 503.
+
+Time enters through the :class:`~repro.jobs.clock.Clock` seam: all
+scheduling accounting (timestamps, queue-wait percentiles, quota refill)
+reads the injected clock, so the deterministic tests drive a fake clock and
+single-step dispatch via :meth:`JobManager.run_next` (construct with
+``start_workers=False``) instead of sleeping through wall time.
 
 Determinism: a job runs the *same* service method the synchronous endpoint
 runs, on the same warm engines and response cache, so its final ``result``
 payload is byte-identical to the synchronous response for the same request
-(the job determinism tests pin this for every operation).
+(the job determinism tests pin this for every operation, and the dependency
+tests pin that a fan-out + ``merge`` equals the synchronous sweep).
 """
 
 from __future__ import annotations
 
+import math
 import threading
-import time
 import uuid
-from concurrent.futures import ThreadPoolExecutor
+from collections import deque
 from dataclasses import dataclass
 
+from repro.jobs.clock import SYSTEM_CLOCK, Clock
+from repro.jobs.scheduler import (
+    DEFAULT_FLOW,
+    JOB_PRIORITIES,
+    FairScheduler,
+    TokenBucket,
+    default_priority,
+)
 from repro.jobs.store import JobJournal, load_spilled_result, read_journal
 from repro.progress import OperationCancelled, report_to
 from repro.service.protocol import (
@@ -49,6 +78,18 @@ from repro.service.protocol import (
 
 #: The protocol owns the state tables; the jobs package re-exports them.
 TERMINAL_STATES = TERMINAL_JOB_STATES
+
+#: The dependency-join pseudo-operation: not a service method, handled by
+#: the manager itself.  A ``merge`` job depends on N parents and succeeds
+#: with ``{"results": {label: parent_result}}`` -- the deterministic join of
+#: a fan-out (``whatif sweep --async`` uses it).
+MERGE_OPERATION = "merge"
+
+#: Queue-wait samples kept per priority class for the /healthz percentiles.
+WAIT_SAMPLE_WINDOW = 512
+
+#: Bound on distinct per-client token buckets kept in memory.
+MAX_QUOTA_CLIENTS = 1024
 
 
 @dataclass(frozen=True)
@@ -84,7 +125,7 @@ class JobEvent:
 
 
 class JobRecord:
-    """One submitted job: identity, lifecycle, events, and outcome.
+    """One submitted job: identity, scheduling, lifecycle, and outcome.
 
     Mutable, but only ever mutated by its :class:`JobManager` under the
     manager's condition lock; callers read consistent copies via
@@ -104,9 +145,30 @@ class JobRecord:
         "events",
         "cancel_requested",
         "replayed",
+        "priority",
+        "weight",
+        "deps",
+        "client",
+        "flow",
+        "waiting_on",
+        "created_mono",
+        "wait_s",
+        "request_obj",
     )
 
-    def __init__(self, job_id: str, operation: str, payload: dict, created_at: float):
+    def __init__(
+        self,
+        job_id: str,
+        operation: str,
+        payload: dict,
+        created_at: float,
+        *,
+        priority: str | None = None,
+        weight: float = 1.0,
+        deps: list[str] | None = None,
+        client: str | None = None,
+        created_mono: float = 0.0,
+    ):
         self.job_id = job_id
         self.operation = operation
         self.payload = payload
@@ -119,6 +181,16 @@ class JobRecord:
         self.events: list[JobEvent] = []
         self.cancel_requested = False
         self.replayed = False
+        self.priority = priority if priority in JOB_PRIORITIES else default_priority(operation)
+        self.weight = weight
+        self.deps: list[str] = list(deps or [])
+        self.client = client
+        workspace = payload.get("workspace")
+        self.flow = workspace if isinstance(workspace, str) and workspace else DEFAULT_FLOW
+        self.waiting_on: set[str] = set()
+        self.created_mono = created_mono
+        self.wait_s: float | None = None
+        self.request_obj = None  # parsed typed request; never serialized
 
     @property
     def terminal(self) -> bool:
@@ -142,9 +214,14 @@ class JobRecord:
             "operation": self.operation,
             "request": self.payload,
             "state": self.state,
+            "priority": self.priority,
+            "weight": self.weight,
+            "depends_on": list(self.deps),
+            "client": self.client,
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "wait_s": self.wait_s,
             "cancel_requested": self.cancel_requested,
             "replayed": self.replayed,
             "event_count": len(self.events),
@@ -156,8 +233,17 @@ class JobRecord:
         return payload
 
 
+def _percentile(samples, q: float) -> float | None:
+    """Nearest-rank percentile of a sample window; None when empty."""
+    if not samples:
+        return None
+    data = sorted(samples)
+    index = min(len(data) - 1, max(0, math.ceil(q * len(data)) - 1))
+    return data[index]
+
+
 class JobManager:
-    """Runs typed operations as background jobs on a bounded worker pool.
+    """Runs typed operations as background jobs under a scheduling policy.
 
     Parameters
     ----------
@@ -167,25 +253,40 @@ class JobManager:
     workers:
         Worker-pool size: how many jobs run concurrently.
     max_queued:
-        Bound on jobs *waiting* for a worker.  Submissions past the bound
-        fail with a typed 429 ``queue_full`` error -- backpressure instead of
-        an unbounded queue on a shared server.
+        Bound on jobs *waiting* for a worker (dependency-blocked jobs
+        included).  Submissions past the bound fail with a typed 429
+        ``queue_full`` error -- backpressure instead of an unbounded queue
+        on a shared server.
     journal_path:
         Optional JSON-lines journal (see :mod:`repro.jobs.store`).  Replayed
         at construction; ``None`` keeps history in memory only.
     max_history:
         Bound on *terminal* jobs kept in memory (oldest pruned first;
-        queued/running jobs are never pruned).  Terminal records carry full
-        result payloads, so an unbounded map would grow a long-lived server
-        forever.  ``None`` disables pruning.
+        queued/running jobs are never pruned, and neither is a terminal job
+        a pending dependent still needs).  ``None`` disables pruning.
     journal_keep:
         Retention bound on *terminal* jobs in the on-disk journal
-        (``cpsec serve --journal-keep``).  The journal is compacted -- old
-        terminal jobs' lines and spilled results dropped, atomically -- at
-        startup and again every ``journal_keep`` finishes, so steady-state
-        journal size is bounded at roughly twice the retention window.
-        ``None`` keeps everything (the pre-rotation behavior).  Oversized
-        result payloads spill to ``<journal>.d/`` side files either way.
+        (``cpsec serve --journal-keep``); see :meth:`JobJournal.compact`.
+        ``None`` keeps everything.
+    policy:
+        ``"fair"`` (the default: priorities + weighted fair queueing) or
+        ``"fifo"`` (arrival order -- the benchmark baseline).
+    starvation_limit:
+        After this many consecutive interactive dispatches a ready batch
+        job runs (anti-starvation aging).
+    quota:
+        Optional ``(rate, burst)`` per-client token-bucket submission quota
+        (``cpsec serve --quota``).  Exhausted clients get a typed 429
+        ``quota_exhausted`` *before* the submission touches the journal.
+        ``None`` disables quotas.
+    clock:
+        The time source for all scheduling accounting (timestamps, wait
+        percentiles, quota refill).  Tests inject a fake clock; blocking
+        waits (``wait``, ``events_since``) stay on real OS time regardless.
+    start_workers:
+        ``False`` skips spawning worker threads; jobs then run only via
+        :meth:`run_next` -- the single-stepped mode the deterministic
+        scheduler tests drive.
     """
 
     def __init__(
@@ -197,6 +298,11 @@ class JobManager:
         journal_path=None,
         max_history: int | None = 256,
         journal_keep: int | None = None,
+        policy: str = "fair",
+        starvation_limit: int = 8,
+        quota: tuple[float, float] | None = None,
+        clock: Clock = SYSTEM_CLOCK,
+        start_workers: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -211,10 +317,29 @@ class JobManager:
         self.max_queued = max_queued
         self.max_history = max_history
         self.journal_keep = journal_keep
+        self._clock = clock
         self._finished_since_compact = 0
         self._jobs: dict[str, JobRecord] = {}
+        self._dependents: dict[str, list[JobRecord]] = {}
         self._cond = threading.Condition()
         self._draining = False
+        self._stop = False
+        self._scheduler = FairScheduler(
+            policy=policy, starvation_limit=starvation_limit
+        )
+        self._quota = None
+        if quota is not None:
+            rate, burst = quota
+            if rate <= 0 or burst < 1:
+                raise ValueError(
+                    f"quota needs rate > 0 and burst >= 1, got {quota!r}"
+                )
+            self._quota = (float(rate), float(burst))
+        self._buckets: dict[str, TokenBucket] = {}
+        self._quota_rejections = 0
+        self._wait_samples = {
+            cls: deque(maxlen=WAIT_SAMPLE_WINDOW) for cls in JOB_PRIORITIES
+        }
         self._journal: JobJournal | None = None
         if journal_path is not None:
             self._replay(journal_path)
@@ -224,14 +349,27 @@ class JobManager:
                 self._journal.compact(journal_keep, TERMINAL_STATES)
             with self._cond:
                 self._prune_locked()
-        self._pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="cpsec-job"
-        )
+        self._threads: list[threading.Thread] = []
+        if start_workers:
+            for index in range(workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"cpsec-job-{index}",
+                    daemon=False,
+                )
+                thread.start()
+                self._threads.append(thread)
 
     # -- journal replay --------------------------------------------------------
 
     def _replay(self, journal_path) -> None:
-        """Rebuild job history from the journal, before accepting new work."""
+        """Rebuild job history from the journal, before accepting new work.
+
+        The scheduling fields (``priority``/``weight``/``depends_on``/
+        ``client``) are additive: a journal written by the pre-scheduler
+        format simply lacks them, and replay defaults each one exactly as a
+        field-less submission would.
+        """
         self._interrupted: list[JobRecord] = []
         self._journal_path = journal_path
         for entry in read_journal(journal_path):
@@ -242,11 +380,30 @@ class JobManager:
                 operation = entry.get("operation")
                 if not isinstance(job_id, str) or not isinstance(operation, str):
                     continue
+                priority = entry.get("priority")
+                try:
+                    weight = float(entry.get("weight", 1.0))
+                except (TypeError, ValueError):
+                    weight = 1.0
+                if not (0 < weight <= 1000) or weight != weight:
+                    weight = 1.0
+                raw_deps = entry.get("depends_on")
+                deps = (
+                    [dep for dep in raw_deps if isinstance(dep, str)]
+                    if isinstance(raw_deps, list)
+                    else []
+                )
+                client = entry.get("client")
                 job = JobRecord(
                     job_id,
                     operation,
                     payload if isinstance(payload, dict) else {},
                     float(entry.get("created_at") or 0.0),
+                    priority=priority if priority in JOB_PRIORITIES else None,
+                    weight=weight,
+                    deps=deps,
+                    client=client if isinstance(client, str) else None,
+                    created_mono=self._clock.monotonic(),
                 )
                 job.replayed = True
                 self._jobs[job_id] = job
@@ -283,7 +440,10 @@ class JobManager:
             # sees the terminal state immediately instead of hanging.
             job.events = [
                 JobEvent(
-                    seq=0, kind="state", timestamp=time.time(), state=job.state
+                    seq=0,
+                    kind="state",
+                    timestamp=self._clock.time(),
+                    state=job.state,
                 )
             ]
 
@@ -301,21 +461,60 @@ class JobManager:
 
     # -- submission ------------------------------------------------------------
 
-    def submit(self, operation: str, payload: dict | None = None) -> JobRecord:
+    def submit(
+        self,
+        operation: str,
+        payload: dict | None = None,
+        *,
+        priority: str | None = None,
+        weight: float | None = None,
+        depends_on: list[str] | None = None,
+        client: str | None = None,
+    ) -> JobRecord:
         """Queue one typed operation as a background job.
 
         The payload is parsed into the typed request **now**, so a malformed
         submission fails fast with the protocol's usual typed error instead
-        of surfacing minutes later as a failed job.
+        of surfacing minutes later as a failed job.  Scheduling knobs:
+
+        * ``priority`` -- one of :data:`JOB_PRIORITIES`; defaults per
+          operation (:func:`~repro.jobs.scheduler.default_priority`),
+        * ``weight`` -- the submitting workspace's fair-share weight
+          (``0 < weight <= 1000``, default 1.0),
+        * ``depends_on`` -- job ids that must *succeed* before this job
+          runs; a failed or cancelled parent cancels this job instead,
+        * ``client`` -- quota identity; unnamed clients share the
+          ``anonymous`` bucket.
+
+        The :data:`MERGE_OPERATION` pseudo-operation requires
+        ``depends_on`` and accepts only an optional ``labels`` payload
+        mapping parent job ids to result keys.
         """
         payload = dict(payload or {})
-        request = parse_request(operation, payload)  # typed 4xx on bad input
+        deps = self._validate_deps(depends_on)
+        if operation == MERGE_OPERATION:
+            request = None
+            self._validate_merge(payload, deps)
+        else:
+            request = parse_request(operation, payload)  # typed 4xx on bad input
+        priority = self._validate_priority(operation, priority)
+        weight = self._validate_weight(weight)
+        client_key = client if isinstance(client, str) and client else "anonymous"
+        journal_immediate_cancel = False
         with self._cond:
             if self._draining:
                 raise ServiceError(
                     "server is draining and refuses new job submissions",
                     code="shutting_down",
                     status=503,
+                )
+            unknown = [dep for dep in deps if dep not in self._jobs]
+            if unknown:
+                raise ServiceError(
+                    f"unknown dependency job(s): {', '.join(unknown)}",
+                    code="unknown_dependency",
+                    status=400,
+                    details={"unknown": unknown},
                 )
             queued = sum(1 for job in self._jobs.values() if job.state == "queued")
             if queued >= self.max_queued:
@@ -325,53 +524,241 @@ class JobManager:
                     status=429,
                     details={"max_queued": self.max_queued},
                 )
+            # The quota gate is the LAST check before the record exists, so a
+            # rejected submission consumes neither memory nor journal space.
+            if self._quota is not None:
+                retry_after = self._bucket_for(client_key).try_take(
+                    self._clock.monotonic()
+                )
+                if retry_after > 0:
+                    self._quota_rejections += 1
+                    raise ServiceError(
+                        f"submission quota exhausted for client {client_key!r}",
+                        code="quota_exhausted",
+                        status=429,
+                        details={
+                            "client": client_key,
+                            "retry_after_s": round(retry_after, 3),
+                            "rate": self._quota[0],
+                            "burst": self._quota[1],
+                        },
+                    )
             job = JobRecord(
-                f"job-{uuid.uuid4().hex[:12]}", operation, payload, time.time()
+                f"job-{uuid.uuid4().hex[:12]}",
+                operation,
+                payload,
+                self._clock.time(),
+                priority=priority,
+                weight=weight,
+                deps=deps,
+                client=client if isinstance(client, str) and client else None,
+                created_mono=self._clock.monotonic(),
             )
+            job.request_obj = request
+            failed_parent: JobRecord | None = None
+            for dep_id in deps:
+                dep = self._jobs[dep_id]
+                if dep.state == "succeeded":
+                    continue
+                if dep.terminal:
+                    failed_parent = failed_parent or dep
+                else:
+                    job.waiting_on.add(dep_id)
+                    self._dependents.setdefault(dep_id, []).append(job)
             self._jobs[job.job_id] = job
             self._append_event(job, "state", state="queued")
+            cascade: list[JobRecord] = []
+            if failed_parent is not None:
+                # A dead parent means this job can never run; cancelling it
+                # now is the same promise cascade-cancellation makes later.
+                job.cancel_requested = True
+                cascade = self._finish_locked(
+                    job,
+                    "cancelled",
+                    error=_dependency_error(failed_parent),
+                )
+                journal_immediate_cancel = True
+            elif not job.waiting_on:
+                self._scheduler.add(job)
             self._prune_locked()
         if self._journal is not None:
-            self._journal.append(
-                "submitted",
-                job_id=job.job_id,
-                operation=operation,
-                request=payload,
-                created_at=job.created_at,
-            )
-        self._pool.submit(self._execute, job, request)
+            entry = {
+                "job_id": job.job_id,
+                "operation": operation,
+                "request": payload,
+                "created_at": job.created_at,
+                "priority": job.priority,
+                "weight": job.weight,
+            }
+            if job.deps:
+                entry["depends_on"] = job.deps
+            if job.client is not None:
+                entry["client"] = job.client
+            self._journal.append("submitted", **entry)
+        if journal_immediate_cancel:
+            self._journal_finish(job)
+        self._journal_cascade(cascade)
         return job
+
+    def _validate_priority(self, operation: str, priority: str | None) -> str:
+        if priority is None:
+            return default_priority(operation)
+        if priority not in JOB_PRIORITIES:
+            raise ServiceError(
+                f"unknown priority {priority!r}",
+                code="invalid_priority",
+                status=400,
+                details={"choices": list(JOB_PRIORITIES)},
+            )
+        return priority
+
+    def _validate_weight(self, weight) -> float:
+        if weight is None:
+            return 1.0
+        try:
+            value = float(weight)
+        except (TypeError, ValueError):
+            value = float("nan")
+        if not (0 < value <= 1000) or value != value:
+            raise ServiceError(
+                f"weight must be a number in (0, 1000], got {weight!r}",
+                code="invalid_weight",
+                status=400,
+            )
+        return value
+
+    def _validate_deps(self, depends_on) -> list[str]:
+        if depends_on is None:
+            return []
+        if not isinstance(depends_on, (list, tuple)) or any(
+            not isinstance(dep, str) for dep in depends_on
+        ):
+            raise ServiceError(
+                "depends_on must be a list of job ids",
+                code="invalid_dependencies",
+                status=400,
+            )
+        deps: list[str] = []
+        for dep in depends_on:
+            if dep not in deps:
+                deps.append(dep)
+        return deps
+
+    def _validate_merge(self, payload: dict, deps: list[str]) -> None:
+        if not deps:
+            raise ServiceError(
+                "merge requires at least one depends_on job",
+                code="invalid_dependencies",
+                status=400,
+            )
+        unknown_fields = sorted(set(payload) - {"labels"})
+        if unknown_fields:
+            raise ServiceError(
+                f"unknown fields for merge: {', '.join(unknown_fields)}",
+                code="unknown_fields",
+                status=400,
+                details={"unknown": unknown_fields},
+            )
+        labels = payload.get("labels", {})
+        if not isinstance(labels, dict) or any(
+            not isinstance(key, str) or not isinstance(value, str)
+            for key, value in labels.items()
+        ):
+            raise ServiceError(
+                "merge labels must map job ids to string labels",
+                code="invalid_labels",
+                status=400,
+            )
+
+    def _bucket_for(self, client_key: str) -> TokenBucket:
+        """This client's token bucket, creating (bounded) on first use."""
+        bucket = self._buckets.get(client_key)
+        if bucket is None:
+            if len(self._buckets) >= MAX_QUOTA_CLIENTS:
+                stalest = min(
+                    self._buckets, key=lambda key: self._buckets[key].updated
+                )
+                del self._buckets[stalest]
+            rate, burst = self._quota
+            bucket = self._buckets[client_key] = TokenBucket(
+                rate, burst, self._clock.monotonic()
+            )
+        return bucket
 
     # -- execution -------------------------------------------------------------
 
-    def _execute(self, job: JobRecord, request) -> None:
+    def _worker_loop(self) -> None:
+        """One worker thread: pop ready jobs from the scheduler, run them."""
+        while True:
+            with self._cond:
+                job = None
+                while job is None:
+                    if self._stop:
+                        return
+                    job = self._pop_ready_locked()
+                    if job is None:
+                        self._cond.wait()
+            self._run_job(job)
+
+    def run_next(self) -> JobRecord | None:
+        """Pop one ready job and run it on the calling thread.
+
+        The single-stepped dispatch mode: with ``start_workers=False`` the
+        deterministic tests call this to advance the scheduler one decision
+        at a time.  Returns the job that ran, or ``None`` when nothing was
+        ready.
+        """
         with self._cond:
-            # cancel() finishes a still-queued job in the same critical
-            # section that sets cancel_requested, so a non-queued state here
-            # is the one and only cancel-before-start signal.
-            if job.state != "queued":
-                return
+            job = self._pop_ready_locked()
+        if job is None:
+            return None
+        self._run_job(job)
+        return job
+
+    def _pop_ready_locked(self) -> JobRecord | None:
+        """Dispatch one job: pop from the scheduler and mark it running.
+
+        Pop and the running transition share one critical section, so
+        ``cancel()`` -- which finishes still-queued jobs under the same lock
+        -- can never race a worker into running a cancelled job.
+        """
+        while True:
+            job = self._scheduler.pop_next()
+            if job is None:
+                return None
+            if job.terminal:  # defensive: cancel() removes queued jobs
+                continue
             job.state = "running"
-            job.started_at = time.time()
+            job.started_at = self._clock.time()
+            job.wait_s = max(0.0, self._clock.monotonic() - job.created_mono)
+            self._wait_samples[job.priority].append(job.wait_s)
             self._append_event(job, "state", state="running")
+            return job
+
+    def _run_job(self, job: JobRecord) -> None:
+        """Execute one already-running job (called off-lock)."""
         if self._journal is not None:
             self._journal.append(
                 "started", job_id=job.job_id, started_at=job.started_at
             )
+        if job.operation == MERGE_OPERATION:
+            self._run_merge(job)
+            return
 
         def sink(phase: str, done: int, total: int) -> None:
             self._report_progress(job, phase, done, total)
 
+        cascade: list[JobRecord] = []
         try:
             with report_to(sink):
-                response = getattr(self._service, job.operation)(request)
+                response = getattr(self._service, job.operation)(job.request_obj)
             result = response.to_dict()
         except OperationCancelled:
             with self._cond:
-                self._finish_locked(job, "cancelled")
+                cascade = self._finish_locked(job, "cancelled")
         except ServiceError as error:
             with self._cond:
-                self._finish_locked(
+                cascade = self._finish_locked(
                     job,
                     "failed",
                     error={
@@ -383,7 +770,7 @@ class JobManager:
                 )
         except Exception as error:  # noqa: BLE001 - worker crash boundary
             with self._cond:
-                self._finish_locked(
+                cascade = self._finish_locked(
                     job,
                     "failed",
                     error={
@@ -394,8 +781,55 @@ class JobManager:
                 )
         else:
             with self._cond:
-                self._finish_locked(job, "succeeded", result=result)
+                cascade = self._finish_locked(job, "succeeded", result=result)
         self._journal_finish(job)
+        self._journal_cascade(cascade)
+
+    def _run_merge(self, job: JobRecord) -> None:
+        """Join a fan-out: succeed with every parent's result, keyed by label.
+
+        Parents are read in submission order, so the merged payload is
+        deterministic -- byte-identical across runs for the same fan-out.
+        """
+        cascade: list[JobRecord] = []
+        with self._cond:
+            if job.cancel_requested:
+                cascade = self._finish_locked(job, "cancelled")
+            else:
+                labels = job.payload.get("labels") or {}
+                results: dict = {}
+                missing: list[str] = []
+                for dep_id in job.deps:
+                    dep = self._jobs.get(dep_id)
+                    if dep is None or dep.result is None:
+                        missing.append(dep_id)
+                    else:
+                        results[labels.get(dep_id, dep_id)] = dep.result
+                if missing:
+                    cascade = self._finish_locked(
+                        job,
+                        "failed",
+                        error={
+                            "code": "dependency_result_missing",
+                            "message": (
+                                "merge dependencies lost their results: "
+                                + ", ".join(missing)
+                            ),
+                            "status": 500,
+                            "details": {"missing": missing},
+                        },
+                    )
+                else:
+                    cascade = self._finish_locked(
+                        job,
+                        "succeeded",
+                        result={
+                            "schema_version": SCHEMA_VERSION,
+                            "results": results,
+                        },
+                    )
+        self._journal_finish(job)
+        self._journal_cascade(cascade)
 
     def _report_progress(self, job: JobRecord, phase: str, done: int, total: int) -> None:
         with self._cond:
@@ -411,7 +845,12 @@ class JobManager:
         instead of scanning.
         """
         job.events.append(
-            JobEvent(seq=len(job.events), kind=kind, timestamp=time.time(), **fields)
+            JobEvent(
+                seq=len(job.events),
+                kind=kind,
+                timestamp=self._clock.time(),
+                **fields,
+            )
         )
         self._cond.notify_all()
 
@@ -420,16 +859,23 @@ class JobManager:
 
         Caller holds the lock.  Dict insertion order is creation order, so
         iterating forwards prunes oldest-first; queued/running jobs are
-        skipped (and do not count against the bound being restored -- the
-        queue bound already limits those).
+        skipped, and so is any terminal job a pending dependent still
+        references (a ``merge`` must be able to read its parents' results
+        when it finally runs).
         """
         if self.max_history is None:
             return
         excess = len(self._jobs) - self.max_history
         if excess <= 0:
             return
+        pinned: set[str] = set()
+        for job in self._jobs.values():
+            if not job.terminal and job.deps:
+                pinned.update(job.deps)
         for job_id in [
-            job_id for job_id, job in self._jobs.items() if job.terminal
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.terminal and job_id not in pinned
         ]:
             if excess <= 0:
                 break
@@ -438,18 +884,51 @@ class JobManager:
 
     def _finish_locked(
         self, job: JobRecord, state: str, *, result=None, error=None
+    ) -> list[JobRecord]:
+        """Finish one job and resolve its dependents.  Caller holds the lock.
+
+        Returns the dependents this finish *cascade-cancelled* (recursively);
+        the caller journals them after releasing the lock.
+        """
+        cascade: list[JobRecord] = []
+        self._finish_one_locked(job, state, result=result, error=error, cascade=cascade)
+        # Finishing may restore the history bound submit could not (only
+        # terminal jobs are prunable).
+        self._prune_locked()
+        return cascade
+
+    def _finish_one_locked(
+        self, job: JobRecord, state: str, *, result=None, error=None, cascade
     ) -> None:
         # Outcome fields land before the state flip: the HTTP handlers read
         # records without taking this lock, and a reader that observes a
         # terminal state must never see the pre-outcome result/error.
-        job.finished_at = time.time()
+        job.finished_at = self._clock.time()
         job.result = result
         job.error = error
         job.state = state
         self._append_event(job, "state", state=state)
-        # Finishing may restore the history bound submit could not (only
-        # terminal jobs are prunable).
-        self._prune_locked()
+        for child in self._dependents.pop(job.job_id, []):
+            if child.terminal:
+                continue
+            child.waiting_on.discard(job.job_id)
+            if state == "succeeded":
+                if not child.waiting_on and child.state == "queued":
+                    # Last parent done: the child becomes schedulable now
+                    # (the _append_event above already woke the workers).
+                    self._scheduler.add(child)
+            else:
+                # A failed/cancelled parent can never satisfy the child:
+                # cancel it now so nothing sits "queued" forever.
+                child.cancel_requested = True
+                self._scheduler.remove(child)
+                cascade.append(child)
+                self._finish_one_locked(
+                    child,
+                    "cancelled",
+                    error=_dependency_error(job),
+                    cascade=cascade,
+                )
 
     def _journal_finish(self, job: JobRecord) -> None:
         if self._journal is None or not job.terminal:
@@ -472,6 +951,11 @@ class JobManager:
         # whole file under the journal's own lock, and must not stall
         # submitters/streamers waiting on the manager condition.
         self._journal.compact(self.journal_keep, TERMINAL_STATES)
+
+    def _journal_cascade(self, cascade: list[JobRecord]) -> None:
+        """Journal the terminal lines of cascade-cancelled dependents."""
+        for child in cascade:
+            self._journal_finish(child)
 
     # -- observation -----------------------------------------------------------
 
@@ -500,9 +984,14 @@ class JobManager:
         *and* every event has been handed out -- the signal for an SSE stream
         to close.  A timeout with no news returns ``([], False)`` so the
         streamer can emit a keep-alive and wait again.
+
+        The deadline is real OS time on purpose: a fake scheduling clock
+        must never be able to hang a live subscriber.
         """
         job = self.get(job_id)
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = (
+            None if timeout is None else SYSTEM_CLOCK.monotonic() + timeout
+        )
         with self._cond:
             while True:
                 # seq == list index (see _append_event), so this is a slice,
@@ -514,7 +1003,9 @@ class JobManager:
                 if job.terminal:
                     return [], True
                 remaining = (
-                    None if deadline is None else deadline - time.monotonic()
+                    None
+                    if deadline is None
+                    else deadline - SYSTEM_CLOCK.monotonic()
                 )
                 if remaining is not None and remaining <= 0:
                     return [], False
@@ -532,25 +1023,28 @@ class JobManager:
     def cancel(self, job_id: str) -> JobRecord:
         """Request cancellation; idempotent on terminal jobs.
 
-        A queued job is cancelled immediately (the worker skips it); a
-        running job is cancelled cooperatively at its next progress point.
-        Operations that emit no progress (the sub-millisecond ones) simply
-        finish.
+        A queued job is cancelled immediately (and removed from the
+        scheduler); a running job is cancelled cooperatively at its next
+        progress point.  Cancelling a job with unstarted dependents
+        cascade-cancels them too -- a dependency chain never leaves a child
+        ``queued`` forever.
         """
         job = self.get(job_id)
         journal_kinds: list[str] = []
+        cascade: list[JobRecord] = []
         with self._cond:
             if not job.terminal and not job.cancel_requested:
                 job.cancel_requested = True
                 journal_kinds.append("cancel_requested")
                 if job.state == "queued":
-                    self._finish_locked(job, "cancelled")
+                    self._scheduler.remove(job)
+                    cascade = self._finish_locked(job, "cancelled")
                     journal_kinds.append("finished")
-        if self._journal is not None:
-            if "cancel_requested" in journal_kinds:
-                self._journal.append("cancel_requested", job_id=job.job_id)
-            if "finished" in journal_kinds:
-                self._journal_finish(job)
+        if self._journal is not None and "cancel_requested" in journal_kinds:
+            self._journal.append("cancel_requested", job_id=job.job_id)
+        if "finished" in journal_kinds:
+            self._journal_finish(job)
+        self._journal_cascade(cascade)
         return job
 
     # -- shutdown --------------------------------------------------------------
@@ -569,16 +1063,20 @@ class JobManager:
         """Refuse new work and wait for in-flight jobs; True when all done."""
         self.begin_drain()
         with self._cond:
+            if not self._threads:
+                # Single-stepped mode: nothing will ever run pending jobs,
+                # so waiting for them is waiting for the timeout.
+                return all(job.terminal for job in self._jobs.values())
             return self._cond.wait_for(
                 lambda: all(job.terminal for job in self._jobs.values()), timeout
             )
 
     def close(self, timeout: float | None = 10.0) -> bool:
-        """Drain (bounded), stop the pool, and flush/close the journal.
+        """Drain (bounded), stop the workers, and flush/close the journal.
 
-        Jobs still running when the drain timeout elapses are cancelled
-        cooperatively -- the pool's worker threads are non-daemon, so a job
-        left running would keep the whole process alive at interpreter exit.
+        Jobs still pending when the drain timeout elapses are cancelled
+        cooperatively -- the worker threads are non-daemon, so a job left
+        running would keep the whole process alive at interpreter exit.
         Returns whether the drain completed without cancelling anything.
         """
         drained = self.drain(timeout)
@@ -592,7 +1090,12 @@ class JobManager:
                 self._cond.wait_for(
                     lambda: all(job.terminal for job in self._jobs.values()), 10.0
                 )
-        self._pool.shutdown(wait=True, cancel_futures=True)
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
         if self._journal is not None:
             self._journal.close()
         return drained
@@ -600,11 +1103,35 @@ class JobManager:
     # -- introspection ---------------------------------------------------------
 
     def stats(self) -> dict:
-        """Queue/state counters for the ``/healthz`` payload."""
+        """Queue/state/scheduling counters for the ``/healthz`` payload."""
         with self._cond:
             by_state = {state: 0 for state in JOB_STATES}
+            by_priority = {
+                cls: {"queued": 0, "running": 0} for cls in JOB_PRIORITIES
+            }
+            waiting_on_dependencies = 0
             for job in self._jobs.values():
                 by_state[job.state] += 1
+                if job.state in by_priority[job.priority]:
+                    by_priority[job.priority][job.state] += 1
+                if job.state == "queued" and job.waiting_on:
+                    waiting_on_dependencies += 1
+            wait_s = {
+                cls: {
+                    "count": len(samples),
+                    "p50": _percentile(samples, 0.50),
+                    "p95": _percentile(samples, 0.95),
+                }
+                for cls, samples in self._wait_samples.items()
+            }
+            quota = None
+            if self._quota is not None:
+                quota = {
+                    "rate": self._quota[0],
+                    "burst": self._quota[1],
+                    "clients": len(self._buckets),
+                    "rejections": self._quota_rejections,
+                }
             return {
                 "workers": self.workers,
                 "max_queued": self.max_queued,
@@ -620,4 +1147,25 @@ class JobManager:
                 ),
                 "total": len(self._jobs),
                 "by_state": by_state,
+                "policy": self._scheduler.policy,
+                "by_priority": by_priority,
+                "waiting_on_dependencies": waiting_on_dependencies,
+                "wait_s": wait_s,
+                "scheduler": self._scheduler.info(),
+                "quota": quota,
             }
+
+
+def _dependency_error(parent: JobRecord) -> dict:
+    """The typed error a cascade-cancelled dependent carries."""
+    return {
+        "code": "dependency_unsatisfied",
+        "message": (
+            f"dependency {parent.job_id} finished as {parent.state}"
+        ),
+        "status": 409,
+        "details": {
+            "dependency": parent.job_id,
+            "dependency_state": parent.state,
+        },
+    }

@@ -20,6 +20,7 @@ lives in :mod:`repro.jobs`; progress plumbing in :mod:`repro.progress`.
 from repro.service.client import ServiceClient
 from repro.service.http import AnalysisServiceServer, start_server
 from repro.service.protocol import (
+    JOB_PRIORITIES,
     MUTATING_OPERATIONS,
     OPERATIONS,
     SCHEMA_VERSION,
@@ -53,6 +54,7 @@ from repro.service.service import MODEL_REGISTRY, AnalysisService
 
 __all__ = [
     "SCHEMA_VERSION",
+    "JOB_PRIORITIES",
     "OPERATIONS",
     "MUTATING_OPERATIONS",
     "MODEL_REGISTRY",

@@ -142,11 +142,22 @@ class ServiceClient:
 
     # -- jobs ------------------------------------------------------------------
 
-    def submit(self, operation: str, request=None) -> dict:
+    def submit(
+        self,
+        operation: str,
+        request=None,
+        *,
+        priority: str | None = None,
+        weight: float | None = None,
+        depends_on: list[str] | None = None,
+        client_id: str | None = None,
+    ) -> dict:
         """Submit one typed operation as a background job; the job record.
 
         ``request`` may be a typed request dataclass or a plain payload dict
-        (``None`` submits the operation's defaults).
+        (``None`` submits the operation's defaults).  The scheduling knobs
+        (``priority``, ``weight``, ``depends_on``, ``client_id``) ride the
+        submission envelope; the server validates them with typed errors.
         """
         if request is None:
             payload = {}
@@ -154,7 +165,16 @@ class ServiceClient:
             payload = request
         else:
             payload = request.to_dict()
-        body = canonical_json({"operation": operation, "request": payload})
+        envelope: dict = {"operation": operation, "request": payload}
+        if priority is not None:
+            envelope["priority"] = priority
+        if weight is not None:
+            envelope["weight"] = weight
+        if depends_on is not None:
+            envelope["depends_on"] = list(depends_on)
+        if client_id is not None:
+            envelope["client"] = client_id
+        body = canonical_json(envelope)
         raw = self._request("POST", "/v1/jobs", body.encode("utf-8"))
         return json.loads(raw)
 

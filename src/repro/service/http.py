@@ -12,7 +12,10 @@ When the server carries a :class:`~repro.jobs.manager.JobManager`, the
 **async job surface** is exposed next to the synchronous one:
 
 * ``POST /v1/jobs`` -- submit ``{"operation": ..., "request": {...}}`` as a
-  background job (202 + the job record),
+  background job (202 + the job record).  Optional scheduling fields ride
+  along: ``priority`` (``interactive`` | ``batch``), ``weight`` (fair-share
+  weight), ``depends_on`` (job ids that must succeed first; the ``merge``
+  pseudo-operation joins a fan-out) and ``client`` (quota identity),
 * ``GET /v1/jobs`` / ``GET /v1/jobs/<id>`` -- job list / one job (with its
   final ``result`` payload, byte-identical to the synchronous response),
 * ``GET /v1/jobs/<id>/events[?after=seq]`` -- a Server-Sent-Events stream
@@ -203,7 +206,22 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
                 raise ServiceError(
                     "'request' must be a JSON object", code="malformed_payload"
                 )
-            job = jobs.submit(operation, request)
+            client = payload.get("client")
+            if client is not None and not isinstance(client, str):
+                raise ServiceError(
+                    "'client' must be a string", code="malformed_payload"
+                )
+            # priority/weight/depends_on are validated by the manager itself
+            # (typed invalid_priority / invalid_weight / invalid_dependencies
+            # errors), so the handler only relays them.
+            job = jobs.submit(
+                operation,
+                request,
+                priority=payload.get("priority"),
+                weight=payload.get("weight"),
+                depends_on=payload.get("depends_on"),
+                client=client,
+            )
             self._write_json(202, job.to_dict())
             return
         parts = path.split("/")

@@ -47,6 +47,11 @@ JOB_STATES = ("queued", "running", "succeeded", "failed", "cancelled")
 #: manager, the SSE streamer, and every client.
 TERMINAL_JOB_STATES = frozenset({"succeeded", "failed", "cancelled"})
 
+#: Job priority classes, strongest first.  Part of the wire protocol: a
+#: submission's optional ``priority`` field must be one of these (the
+#: scheduler in :mod:`repro.jobs.scheduler` enforces and acts on them).
+JOB_PRIORITIES = ("interactive", "batch")
+
 
 def canonical_json(payload: dict) -> str:
     """The one JSON serialization used by every transport.

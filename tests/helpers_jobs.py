@@ -1,0 +1,213 @@
+"""Deterministic test harness for the job engine: no sleeps, no wall time.
+
+Three tools replace the sleep-and-poll patterns the jobs suites used to rely
+on:
+
+* :class:`FakeClock` -- an injectable :class:`repro.jobs.clock.Clock` whose
+  time only moves when a test calls :meth:`~FakeClock.advance`.  Every
+  scheduling decision (wait accounting, quota refill, timestamps) becomes a
+  function of the script, not of how fast the machine ran the test,
+* :class:`GateService` -- wraps a real service and turns the
+  :data:`SLOW_SIMULATE` sentinel request into a *gate*: the call announces
+  itself (:meth:`~GateService.wait_started`), then blocks on an event while
+  emitting progress points, so cancellation tests hold a job "mid-run" for
+  exactly as long as they need.  All waiting is condition-based -- there is
+  no ``time.sleep`` anywhere in this harness,
+* :class:`ScriptedService` -- a recording stub backend whose operations
+  return canned payloads (or raise scripted errors) instantly, for tests
+  that exercise pure scheduling behavior and never want real analysis work.
+
+Pair :class:`ScriptedService` + :class:`FakeClock` with
+``JobManager(..., start_workers=False)`` (see :func:`stepped_manager`) and
+the scheduler becomes single-steppable: each ``manager.run_next()`` executes
+exactly one dispatch decision on the calling thread.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+from repro.jobs import Clock, JobManager
+from repro.progress import progress_sink
+
+#: The duration that marks a simulate request as a gated slow job.  A day of
+#: simulated plant time at a 0.5s step is never something a test actually
+#: runs; it is the sentinel the jobs suites have always used for "a job that
+#: will not finish on its own".
+GATE_DURATION_S = 86400.0
+
+#: The canonical gated request (mirrors the historical slow-job payload).
+SLOW_SIMULATE = {"scenario": "nominal", "duration_s": GATE_DURATION_S, "dt": 0.5}
+
+#: Progress total the gated loop reports against.
+GATE_PROGRESS_TOTAL = 1_000_000
+
+
+class FakeClock(Clock):
+    """A clock that moves only when the test says so."""
+
+    def __init__(self, start: float = 1_700_000_000.0, mono_start: float = 0.0):
+        self._time = start
+        self._mono = mono_start
+        self._lock = threading.Lock()
+
+    def time(self) -> float:
+        with self._lock:
+            return self._time
+
+    def monotonic(self) -> float:
+        with self._lock:
+            return self._mono
+
+    def advance(self, seconds: float) -> None:
+        """Move both wall and monotonic time forward by ``seconds``."""
+        if seconds < 0:
+            raise ValueError(f"time only moves forward, got {seconds}")
+        with self._lock:
+            self._time += seconds
+            self._mono += seconds
+
+
+class GateService:
+    """A service wrapper that makes the slow-job sentinel controllable.
+
+    Every operation passes straight through to the wrapped service except a
+    ``simulate`` whose ``duration_s`` equals :data:`GATE_DURATION_S`.  That
+    call:
+
+    1. increments :attr:`started` and wakes :meth:`wait_started` waiters,
+    2. loops emitting a progress point through the ambient sink (which is
+       where the job manager's cooperative cancellation raises), waiting on
+       an event between points -- a condition wait, never a sleep,
+    3. if :meth:`release` is called instead of cancellation, runs a short
+       *real* simulation so the job still succeeds with a valid payload.
+    """
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self._cond = threading.Condition()
+        self._release = threading.Event()
+        self.started = 0
+
+    # -- test controls ---------------------------------------------------------
+
+    def wait_started(self, count: int = 1, timeout: float = 30.0) -> None:
+        """Block until ``count`` gated calls have announced themselves."""
+        with self._cond:
+            if not self._cond.wait_for(lambda: self.started >= count, timeout):
+                raise AssertionError(
+                    f"only {self.started}/{count} gated jobs started "
+                    f"within {timeout}s"
+                )
+
+    def release(self) -> None:
+        """Let every current and future gated call finish successfully."""
+        self._release.set()
+
+    # -- service surface -------------------------------------------------------
+
+    def simulate(self, request):
+        if getattr(request, "duration_s", None) != GATE_DURATION_S:
+            return self._inner.simulate(request)
+        with self._cond:
+            self.started += 1
+            self._cond.notify_all()
+        sink = progress_sink()
+        tick = 0
+        while not self._release.is_set():
+            tick += 1
+            if sink is not None:
+                # The manager's sink raises OperationCancelled here once a
+                # cancel lands, unwinding the gated call cooperatively.
+                sink("simulate", min(tick, GATE_PROGRESS_TOTAL), GATE_PROGRESS_TOTAL)
+            self._release.wait(0.05)
+        return self._inner.simulate(
+            dataclasses.replace(request, duration_s=1.0, dt=0.5)
+        )
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+
+class ScriptedResponse:
+    """The minimal response shape the job manager needs: ``to_dict()``."""
+
+    def __init__(self, payload: dict) -> None:
+        self._payload = dict(payload)
+
+    def to_dict(self) -> dict:
+        return dict(self._payload)
+
+
+class ScriptedService:
+    """A recording stub backend: every operation returns instantly.
+
+    ``script`` maps operation names to a behavior:
+
+    * a dict -- returned as the response payload,
+    * an Exception instance -- raised,
+    * a callable ``f(request)`` -- its return value is the payload (or is
+      raised, if it returns an exception).
+
+    Unscripted operations return ``{"operation": name, "call": n}`` where
+    ``n`` counts calls across the whole service -- distinct payloads without
+    any real work.  Every call is recorded in :attr:`calls` as
+    ``(operation, request)``.
+    """
+
+    def __init__(self, script: dict | None = None) -> None:
+        self.calls: list[tuple[str, object]] = []
+        self._script = dict(script or {})
+        self._lock = threading.Lock()
+
+    def __getattr__(self, operation: str):
+        if operation.startswith("_"):
+            raise AttributeError(operation)
+
+        def call(request):
+            with self._lock:
+                self.calls.append((operation, request))
+                count = len(self.calls)
+            behavior = self._script.get(operation)
+            if isinstance(behavior, Exception):
+                raise behavior
+            if callable(behavior):
+                outcome = behavior(request)
+                if isinstance(outcome, Exception):
+                    raise outcome
+                return ScriptedResponse(outcome)
+            if behavior is not None:
+                return ScriptedResponse(behavior)
+            return ScriptedResponse({"operation": operation, "call": count})
+
+        return call
+
+
+def stepped_manager(service=None, *, clock=None, **kwargs):
+    """A single-steppable manager + its fake clock.
+
+    No worker threads are started: jobs run only when the test calls
+    ``manager.run_next()``, one scheduler decision per call.  Returns
+    ``(manager, clock)``.
+    """
+    clock = clock or FakeClock()
+    manager = JobManager(
+        service if service is not None else ScriptedService(),
+        start_workers=False,
+        clock=clock,
+        **kwargs,
+    )
+    return manager, clock
+
+
+def drain_steps(manager, limit: int = 10_000) -> list:
+    """Run ``run_next`` until the scheduler is empty; the jobs in run order."""
+    ran = []
+    while True:
+        job = manager.run_next()
+        if job is None:
+            return ran
+        ran.append(job)
+        if len(ran) > limit:
+            raise AssertionError(f"scheduler still busy after {limit} steps")

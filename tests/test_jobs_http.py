@@ -20,6 +20,7 @@ import urllib.request
 
 import pytest
 
+from helpers_jobs import SLOW_SIMULATE, GateService
 from repro.jobs import JobManager
 from repro.service import (
     AnalysisService,
@@ -57,14 +58,18 @@ REQUESTS = {
     "export": ExportRequest(),
 }
 
-SLOW_SIMULATE = {"scenario": "nominal", "duration_s": 86400.0, "dt": 0.5}
-
 TERMINAL = {"succeeded", "failed", "cancelled"}
 
 
 @pytest.fixture(scope="module")
 def live():
-    """A two-workspace service with a job engine behind a real HTTP server."""
+    """A two-workspace service with a job engine behind a real HTTP server.
+
+    The job manager's backend is gated (``helpers_jobs.GateService``): a
+    ``SLOW_SIMULATE`` job blocks deterministically until cancelled instead of
+    grinding through a day of simulated plant time.  Synchronous endpoints
+    and every non-sentinel job pass straight through to the real service.
+    """
     service = AnalysisService(
         workspaces={
             "a": Workspace.build(scale=SCALE_A),
@@ -74,7 +79,7 @@ def live():
     )
     service.warm_workspace("a")
     service.warm_workspace("b")
-    jobs = JobManager(service, workers=2)
+    jobs = JobManager(GateService(service), workers=2)
     server = start_server(service, port=0, jobs=jobs)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
@@ -179,7 +184,7 @@ def test_sse_client_disconnect_mid_stream_is_harmless(live):
 
 def test_queue_full_over_http_is_typed_429(live):
     service, _, client, _ = live
-    tight = JobManager(service, workers=1, max_queued=1)
+    tight = JobManager(GateService(service), workers=1, max_queued=1)
     server = start_server(service, port=0, jobs=tight)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
@@ -328,6 +333,100 @@ def test_post_routes_ignore_query_strings(live):
     )
     assert record["job_id"] == job["job_id"]
     assert client.wait(job["job_id"], timeout=30.0)["state"] == "cancelled"
+
+
+def test_submit_scheduling_fields_over_http(live):
+    """priority/weight/depends_on ride the submission envelope end to end."""
+    _, _, client, _ = live
+    parent = client.submit("topology", {}, priority="interactive", weight=2.0)
+    record = client.wait(parent["job_id"], timeout=30.0)
+    assert record["state"] == "succeeded"
+    assert record["priority"] == "interactive"
+    assert record["weight"] == 2.0
+    assert record["depends_on"] == []
+    merge = client.submit(
+        "merge",
+        {"labels": {parent["job_id"]: "only"}},
+        depends_on=[parent["job_id"]],
+    )
+    merged = client.wait(merge["job_id"], timeout=30.0)
+    assert merged["state"] == "succeeded"
+    assert merged["depends_on"] == [parent["job_id"]]
+    assert merged["result"]["results"] == {"only": record["result"]}
+
+
+def test_default_priority_is_inferred_per_operation_over_http(live):
+    _, _, client, _ = live
+    batch = client.submit("simulate", SLOW_SIMULATE)
+    assert batch["priority"] == "batch"
+    interactive = client.submit("topology", {})
+    assert interactive["priority"] == "interactive"
+    client.cancel(batch["job_id"])
+    client.wait(batch["job_id"], timeout=30.0)
+    client.wait(interactive["job_id"], timeout=30.0)
+
+
+def test_invalid_scheduling_fields_are_typed_errors(live):
+    _, _, client, _ = live
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit("topology", {}, priority="urgent")
+    assert excinfo.value.status == 400
+    assert excinfo.value.code == "invalid_priority"
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit("topology", {}, weight=0)
+    assert excinfo.value.code == "invalid_weight"
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit("topology", {}, depends_on=["job-missing"])
+    assert excinfo.value.code == "unknown_dependency"
+    assert excinfo.value.details["unknown"] == ["job-missing"]
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit("merge", {})
+    assert excinfo.value.code == "invalid_dependencies"
+
+
+def test_healthz_reports_scheduler_and_wait_percentiles(live):
+    _, _, client, _ = live
+    job = client.submit("topology", {})
+    client.wait(job["job_id"], timeout=30.0)
+    stats = client.health()["jobs"]
+    assert stats["policy"] == "fair"
+    assert set(stats["by_priority"]) == {"interactive", "batch"}
+    assert set(stats["by_priority"]["interactive"]) == {"queued", "running"}
+    assert stats["scheduler"]["policy"] == "fair"
+    assert stats["scheduler"]["dispatched"]["interactive"] >= 1
+    wait = stats["wait_s"]["interactive"]
+    assert wait["count"] >= 1
+    assert wait["p50"] is not None
+    assert wait["p95"] >= wait["p50"] >= 0.0
+    assert stats["quota"] is None  # the live server runs without a quota
+
+
+def test_quota_exhaustion_over_http_is_typed_429(live):
+    """An exhausted token bucket is a typed 429 with retry_after details."""
+    service, _, _, _ = live
+    limited = JobManager(service, workers=1, quota=(0.001, 2))
+    server = start_server(service, port=0, jobs=limited)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    quota_client = ServiceClient(f"http://{host}:{port}")
+    try:
+        for _ in range(2):  # burst capacity
+            quota_client.submit("topology", {}, client_id="alice")
+        with pytest.raises(ServiceError) as excinfo:
+            quota_client.submit("topology", {}, client_id="alice")
+        assert excinfo.value.status == 429
+        assert excinfo.value.code == "quota_exhausted"
+        assert excinfo.value.details["client"] == "alice"
+        assert excinfo.value.details["retry_after_s"] > 0
+        # A different client has its own bucket.
+        quota_client.submit("topology", {}, client_id="bob")
+        assert quota_client.health()["jobs"]["quota"]["rejections"] == 1
+    finally:
+        server.shutdown()
+        server.server_close()
+        limited.close(timeout=10.0)
+        thread.join(timeout=5)
 
 
 def test_sse_frames_are_well_formed(live):

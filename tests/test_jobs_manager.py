@@ -5,13 +5,18 @@ final payload is **byte-identical** to the synchronous call, with a
 monotonic event stream, cooperative cancellation (before start and mid-run),
 bounded queueing (typed 429), graceful draining (typed 503), and a journal
 that survives restarts.
+
+Timing-sensitive scenarios run against the deterministic harness in
+``helpers_jobs``: the slow-job sentinel is gated (:class:`GateService`), so
+"the worker is busy" is an announced fact rather than a sleep-and-hope, and
+nothing in this module touches ``time.sleep``.
 """
 
 import threading
-import time
 
 import pytest
 
+from helpers_jobs import SLOW_SIMULATE, GateService
 from repro.jobs import JobJournal, JobManager, read_journal
 from repro.progress import OperationCancelled, progress_sink, report_to
 from repro.service import (
@@ -46,30 +51,24 @@ REQUESTS = {
     "export": ExportRequest(),
 }
 
-#: A job that runs for seconds and emits thousands of progress points --
-#: the controllable "slow job" used by cancellation/queue tests.
-SLOW_SIMULATE = {"scenario": "nominal", "duration_s": 86400.0, "dt": 0.5}
-
-
 @pytest.fixture(scope="module")
 def service():
     return AnalysisService()
 
 
 @pytest.fixture()
-def manager(service):
-    manager = JobManager(service, workers=2)
+def gate(service):
+    """The gated service: SLOW_SIMULATE jobs block until released/cancelled."""
+    gate = GateService(service)
+    yield gate
+    gate.release()
+
+
+@pytest.fixture()
+def manager(gate):
+    manager = JobManager(gate, workers=2)
     yield manager
     manager.close(timeout=10.0)
-
-
-def _wait_for_first_progress(manager, job, timeout=30.0):
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        events, _ = manager.events_since(job.job_id, after=-1, timeout=1.0)
-        if any(event.kind == "progress" for event in events):
-            return
-    raise AssertionError(f"job {job.job_id} emitted no progress within {timeout}s")
 
 
 @pytest.mark.parametrize("operation", sorted(REQUESTS))
@@ -110,9 +109,9 @@ def test_job_events_are_monotonic_and_progress_rich(service):
         manager.close(timeout=10.0)
 
 
-def test_cancel_mid_run(manager):
+def test_cancel_mid_run(manager, gate):
     job = manager.submit("simulate", SLOW_SIMULATE)
-    _wait_for_first_progress(manager, job)
+    gate.wait_started(1)
     manager.cancel(job.job_id)
     manager.wait(job.job_id, timeout=30.0)
     assert job.state == "cancelled"
@@ -122,10 +121,11 @@ def test_cancel_mid_run(manager):
 
 
 def test_cancel_before_start(service):
-    manager = JobManager(service, workers=1)
+    gate = GateService(service)
+    manager = JobManager(gate, workers=1)
     try:
         running = manager.submit("simulate", SLOW_SIMULATE)
-        _wait_for_first_progress(manager, running)
+        gate.wait_started(1)
         queued = manager.submit("simulate", SLOW_SIMULATE)
         assert queued.state == "queued"
         manager.cancel(queued.job_id)
@@ -147,10 +147,11 @@ def test_cancel_is_idempotent_on_terminal_jobs(manager):
 
 
 def test_queue_full_is_typed_429(service):
-    manager = JobManager(service, workers=1, max_queued=1)
+    gate = GateService(service)
+    manager = JobManager(gate, workers=1, max_queued=1)
     try:
         running = manager.submit("simulate", SLOW_SIMULATE)
-        _wait_for_first_progress(manager, running)  # the worker is busy now
+        gate.wait_started(1)  # the worker is busy now
         manager.submit("simulate", SLOW_SIMULATE)  # fills the queue
         with pytest.raises(ServiceError) as excinfo:
             manager.submit("topology", {})
@@ -164,9 +165,10 @@ def test_queue_full_is_typed_429(service):
 
 
 def test_close_cancels_jobs_the_drain_timeout_left_running(service):
-    manager = JobManager(service, workers=1)
+    gate = GateService(service)
+    manager = JobManager(gate, workers=1)
     job = manager.submit("simulate", SLOW_SIMULATE)
-    _wait_for_first_progress(manager, job)
+    gate.wait_started(1)
     # A zero-ish drain window cannot outlast a day-long simulation: close()
     # must cancel it cooperatively instead of hanging the process.
     assert manager.close(timeout=0.05) is False
@@ -227,11 +229,12 @@ def test_unknown_job_is_typed_404(manager):
 
 def test_journal_replays_history_and_results(service, tmp_path):
     journal = tmp_path / "jobs.jsonl"
-    first = JobManager(service, workers=2, journal_path=journal)
+    gate = GateService(service)
+    first = JobManager(gate, workers=2, journal_path=journal)
     job = first.submit("associate", {"scale": SCALE})
     first.wait(job.job_id, timeout=60.0)
     cancelled = first.submit("simulate", SLOW_SIMULATE)
-    _wait_for_first_progress(first, cancelled)
+    gate.wait_started(1)
     first.cancel(cancelled.job_id)
     first.wait(cancelled.job_id, timeout=30.0)
     assert first.close(timeout=30.0)

@@ -1,0 +1,446 @@
+"""Scheduling behavior of the job manager under the deterministic harness.
+
+Every test here drives a ``start_workers=False`` manager one
+``run_next()`` at a time with a :class:`helpers_jobs.FakeClock`, so the
+assertions are about *decisions* -- which job runs next, what a rejected
+submission costs, what cancelling a parent does to its chain -- not about
+racing real threads.  There is no ``time.sleep`` and no wall-clock
+dependence anywhere in this module.
+"""
+
+import pytest
+
+from helpers_jobs import FakeClock, ScriptedService, drain_steps, stepped_manager
+from repro.jobs import MERGE_OPERATION, JobManager, read_journal
+from repro.service import (
+    AnalysisService,
+    ServiceError,
+    WhatIfRequest,
+    canonical_json,
+)
+
+
+# ---------------------------------------------------------------------------
+# priority + fairness through the manager
+
+
+def test_interactive_jobs_run_before_earlier_batch_jobs():
+    manager, _ = stepped_manager()
+    try:
+        batch = manager.submit("simulate", {"scenario": "nominal"})
+        assert batch.priority == "batch"  # inferred from the operation
+        interactive = manager.submit("topology", {})
+        assert interactive.priority == "interactive"
+        assert manager.run_next() is interactive
+        assert manager.run_next() is batch
+    finally:
+        manager.close(timeout=5.0)
+
+
+def test_explicit_priority_overrides_the_default():
+    manager, _ = stepped_manager()
+    try:
+        demoted = manager.submit("topology", {}, priority="batch")
+        promoted = manager.submit(
+            "simulate", {"scenario": "nominal"}, priority="interactive"
+        )
+        assert manager.run_next() is promoted
+        assert manager.run_next() is demoted
+    finally:
+        manager.close(timeout=5.0)
+
+
+def test_per_workspace_fair_share_follows_weights():
+    """A weight-3 workspace gets three dispatches per weight-1 dispatch."""
+    manager, _ = stepped_manager()
+    try:
+        for _ in range(6):
+            manager.submit("associate", {"workspace": "heavy"}, weight=3.0)
+            manager.submit("associate", {"workspace": "light"}, weight=1.0)
+        order = [job.payload["workspace"] for job in drain_steps(manager)]
+        # While both workspaces still hold work (the first 8 dispatches --
+        # heavy's backlog of 6 drains 3x as fast), the share is exactly 3:1.
+        assert order[:4].count("heavy") == 3, order
+        assert order[:8].count("heavy") == 6, order
+        # Once heavy drains, the light backlog finishes out.
+        assert set(order[8:]) == {"light"}
+    finally:
+        manager.close(timeout=5.0)
+
+
+def test_fifo_policy_ignores_weights_and_priorities_order():
+    manager, _ = stepped_manager(policy="fifo")
+    try:
+        first = manager.submit("simulate", {"scenario": "nominal"})
+        second = manager.submit("topology", {}, weight=100.0)
+        assert manager.run_next() is first  # strict submission order
+        assert manager.run_next() is second
+        assert manager.stats()["policy"] == "fifo"
+    finally:
+        manager.close(timeout=5.0)
+
+
+def test_wait_time_percentiles_use_the_injected_clock(service_clock=None):
+    manager, clock = stepped_manager()
+    try:
+        manager.submit("topology", {})
+        clock.advance(2.0)  # the job sat queued for exactly two fake seconds
+        job = manager.run_next()
+        assert job.wait_s == pytest.approx(2.0)
+        wait = manager.stats()["wait_s"]["interactive"]
+        assert wait["count"] == 1
+        assert wait["p50"] == pytest.approx(2.0)
+        assert wait["p95"] == pytest.approx(2.0)
+    finally:
+        manager.close(timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# dependency chains
+
+
+def test_dependency_chain_runs_in_topological_order():
+    manager, _ = stepped_manager()
+    try:
+        parent = manager.submit("topology", {})
+        child = manager.submit("validate", {}, depends_on=[parent.job_id])
+        assert child.state == "queued"
+        ran = drain_steps(manager)
+        assert ran == [parent, child]
+        assert child.state == "succeeded"
+    finally:
+        manager.close(timeout=5.0)
+
+
+def test_fanout_merge_matches_synchronous_sweep_byte_for_byte():
+    """The async fan-out -> merge result is the synchronous sweep, exactly."""
+    service = AnalysisService()
+    manager, _ = stepped_manager(service)
+    try:
+        sweeps = {"narrow": WhatIfRequest(scale=0.02), "wide": WhatIfRequest(scale=0.03)}
+        labels = {}
+        for name, request in sweeps.items():
+            job = manager.submit("whatif", request.to_dict(), priority="batch")
+            labels[job.job_id] = name
+        merge = manager.submit(
+            MERGE_OPERATION,
+            {"labels": labels},
+            depends_on=list(labels),
+        )
+        drain_steps(manager)
+        assert merge.state == "succeeded"
+        merged = merge.result["results"]
+        assert set(merged) == set(sweeps)
+        for name, request in sweeps.items():
+            sync = service.whatif(request).to_dict()
+            assert canonical_json(merged[name]) == canonical_json(sync)
+    finally:
+        manager.close(timeout=5.0)
+
+
+def test_merge_requires_dependencies_and_valid_labels():
+    manager, _ = stepped_manager()
+    try:
+        with pytest.raises(ServiceError) as excinfo:
+            manager.submit(MERGE_OPERATION, {"labels": {}})
+        assert excinfo.value.code == "invalid_dependencies"
+        parent = manager.submit("topology", {})
+        with pytest.raises(ServiceError) as excinfo:
+            manager.submit(
+                MERGE_OPERATION,
+                {"labels": "not-a-dict"},
+                depends_on=[parent.job_id],
+            )
+        assert excinfo.value.code == "invalid_labels"
+    finally:
+        manager.close(timeout=5.0)
+
+
+def test_cancelling_a_parent_cancels_the_whole_unstarted_chain():
+    """Dependents of a cancelled job terminate; nothing stays queued forever."""
+    manager, _ = stepped_manager()
+    try:
+        parent = manager.submit("topology", {})
+        child = manager.submit("validate", {}, depends_on=[parent.job_id])
+        grandchild = manager.submit("export", {}, depends_on=[child.job_id])
+        manager.cancel(parent.job_id)
+        assert parent.state == "cancelled"
+        for dependent in (child, grandchild):
+            assert dependent.state == "cancelled"
+            assert dependent.error["code"] == "dependency_unsatisfied"
+            assert dependent.error["status"] == 409
+        assert manager.run_next() is None  # the scheduler is truly empty
+        assert manager.stats()["waiting_on_dependencies"] == 0
+    finally:
+        manager.close(timeout=5.0)
+
+
+def test_failed_parent_cascades_failure_reason_to_dependents():
+    service = ScriptedService({"topology": RuntimeError("boom")})
+    manager, _ = stepped_manager(service)
+    try:
+        parent = manager.submit("topology", {})
+        child = manager.submit("validate", {}, depends_on=[parent.job_id])
+        drain_steps(manager)
+        assert parent.state == "failed"
+        assert child.state == "cancelled"
+        assert child.error["code"] == "dependency_unsatisfied"
+        assert parent.job_id in child.error["message"]
+    finally:
+        manager.close(timeout=5.0)
+
+
+def test_submitting_against_a_terminal_failed_parent_cancels_immediately():
+    service = ScriptedService({"topology": RuntimeError("boom")})
+    manager, _ = stepped_manager(service)
+    try:
+        parent = manager.submit("topology", {})
+        drain_steps(manager)
+        assert parent.state == "failed"
+        late = manager.submit("validate", {}, depends_on=[parent.job_id])
+        assert late.state == "cancelled"
+        assert late.error["code"] == "dependency_unsatisfied"
+    finally:
+        manager.close(timeout=5.0)
+
+
+def test_unknown_dependency_is_a_typed_400():
+    manager, _ = stepped_manager()
+    try:
+        with pytest.raises(ServiceError) as excinfo:
+            manager.submit("topology", {}, depends_on=["job-nope"])
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "unknown_dependency"
+        assert not manager.jobs()  # nothing was queued
+    finally:
+        manager.close(timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# quotas
+
+
+def test_quota_exhaustion_is_a_typed_429_with_retry_hint():
+    manager, clock = stepped_manager(quota=(1.0, 2))
+    try:
+        manager.submit("topology", {}, client="alice")
+        manager.submit("topology", {}, client="alice")
+        with pytest.raises(ServiceError) as excinfo:
+            manager.submit("topology", {}, client="alice")
+        assert excinfo.value.status == 429
+        assert excinfo.value.code == "quota_exhausted"
+        assert excinfo.value.details["retry_after_s"] == pytest.approx(1.0)
+        # The fake clock refills the bucket deterministically.
+        clock.advance(1.0)
+        refilled = manager.submit("topology", {}, client="alice")
+        assert refilled.state == "queued"
+        assert manager.stats()["quota"]["rejections"] == 1
+    finally:
+        manager.close(timeout=5.0)
+
+
+def test_quota_rejected_submission_consumes_no_journal_space(tmp_path):
+    """A 429 must cost nothing: no job record, no journal line."""
+    journal = tmp_path / "jobs.jsonl"
+    manager, _ = stepped_manager(quota=(0.001, 1), journal_path=journal)
+    try:
+        manager.submit("topology", {}, client="alice")
+        lines_before = journal.read_text().count("\n")
+        jobs_before = len(manager.jobs())
+        for _ in range(5):
+            with pytest.raises(ServiceError):
+                manager.submit("topology", {}, client="alice")
+        assert journal.read_text().count("\n") == lines_before
+        assert len(manager.jobs()) == jobs_before
+    finally:
+        manager.close(timeout=5.0)
+
+
+def test_anonymous_submissions_share_one_quota_bucket():
+    """Omitting a client id is not a quota bypass: anonymous is a client."""
+    manager, _ = stepped_manager(quota=(0.001, 1))
+    try:
+        manager.submit("topology", {})
+        with pytest.raises(ServiceError) as excinfo:
+            manager.submit("topology", {})
+        assert excinfo.value.code == "quota_exhausted"
+        assert excinfo.value.details["client"] == "anonymous"
+        # A named client still has its own independent bucket.
+        named = manager.submit("topology", {}, client="alice")
+        assert named.state == "queued"
+    finally:
+        manager.close(timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# journal compatibility
+
+
+def test_scheduling_fields_survive_journal_replay(tmp_path):
+    journal = tmp_path / "jobs.jsonl"
+    first, _ = stepped_manager(journal_path=journal)
+    parent = first.submit(
+        "topology", {}, priority="batch", weight=2.5, client="alice"
+    )
+    child = first.submit("validate", {}, depends_on=[parent.job_id])
+    drain_steps(first)
+    assert first.close(timeout=5.0)
+
+    second, _ = stepped_manager(journal_path=journal)
+    try:
+        replayed_parent = second.get(parent.job_id)
+        assert replayed_parent.priority == "batch"
+        assert replayed_parent.weight == 2.5
+        assert replayed_parent.client == "alice"
+        replayed_child = second.get(child.job_id)
+        assert replayed_child.deps == [parent.job_id]
+        assert replayed_child.to_dict()["depends_on"] == [parent.job_id]
+        assert replayed_child.state == "succeeded"
+    finally:
+        second.close(timeout=5.0)
+
+
+def test_pre_scheduler_journal_replays_cleanly(tmp_path):
+    """A journal written before the scheduler existed still replays.
+
+    The fixture lines carry *only* the pre-scheduler fields; replay must
+    default priority, weight, and dependencies exactly as a field-less
+    submission would.
+    """
+    journal = tmp_path / "jobs.jsonl"
+    old_lines = [
+        '{"v": 1, "kind": "submitted", "job_id": "job-old1",'
+        ' "operation": "topology", "request": {}, "created_at": 10.0}',
+        '{"v": 1, "kind": "started", "job_id": "job-old1", "started_at": 10.5}',
+        '{"v": 1, "kind": "finished", "job_id": "job-old1",'
+        ' "state": "succeeded", "finished_at": 11.0, "result": {"ok": true}}',
+        '{"v": 1, "kind": "submitted", "job_id": "job-old2",'
+        ' "operation": "simulate", "request": {"scenario": "nominal"},'
+        ' "created_at": 12.0}',
+    ]
+    journal.write_text("".join(line + "\n" for line in old_lines))
+    manager, _ = stepped_manager(journal_path=journal)
+    try:
+        done = manager.get("job-old1")
+        assert done.state == "succeeded"
+        assert done.result == {"ok": True}
+        assert done.priority == "interactive"  # defaulted from the operation
+        assert done.weight == 1.0
+        assert done.deps == []
+        # The never-finished job is honestly failed, with batch defaults.
+        interrupted = manager.get("job-old2")
+        assert interrupted.state == "failed"
+        assert interrupted.error["code"] == "interrupted"
+        assert interrupted.priority == "batch"
+    finally:
+        manager.close(timeout=5.0)
+
+
+def test_torn_tail_journal_with_dependency_edge_replays(tmp_path):
+    """A crash mid-write must not lose the dependency edge written before it."""
+    journal = tmp_path / "jobs.jsonl"
+    # The process died between journalling the chain and running it: two
+    # complete submission lines (the second carrying the edge), then half a
+    # line from the write the crash interrupted.
+    journal.write_text(
+        '{"v": 1, "kind": "submitted", "job_id": "job-parent",'
+        ' "operation": "topology", "request": {}, "created_at": 1.0,'
+        ' "priority": "interactive", "weight": 1.0}\n'
+        '{"v": 1, "kind": "submitted", "job_id": "job-child",'
+        ' "operation": "validate", "request": {}, "created_at": 1.1,'
+        ' "priority": "interactive", "weight": 1.0,'
+        ' "depends_on": ["job-parent"]}\n'
+        '{"v":1,"kind":"subm'
+    )
+    manager, _ = stepped_manager(journal_path=journal)
+    try:
+        replayed = manager.get("job-child")
+        assert replayed.deps == ["job-parent"]
+        # Neither job ran before the crash: both replay as interrupted.
+        assert replayed.state == "failed"
+        assert replayed.error["code"] == "interrupted"
+        assert manager.get("job-parent").state == "failed"
+        # The torn tail itself was dropped, not replayed as garbage.
+        entries = read_journal(journal)
+        assert all(entry["kind"] != "subm" for entry in entries)
+    finally:
+        manager.close(timeout=5.0)
+
+
+def test_journal_replay_sanitizes_garbage_scheduling_fields(tmp_path):
+    """Hand-edited or corrupt field values degrade to defaults, not crashes."""
+    journal = tmp_path / "jobs.jsonl"
+    journal.write_text(
+        '{"v": 1, "kind": "submitted", "job_id": "job-garbled",'
+        ' "operation": "topology", "request": {}, "created_at": 1.0,'
+        ' "priority": "urgent", "weight": "heavy",'
+        ' "depends_on": [42, "job-real"], "client": 7}\n'
+    )
+    manager, _ = stepped_manager(journal_path=journal)
+    try:
+        job = manager.get("job-garbled")
+        assert job.priority == "interactive"  # unknown class -> default
+        assert job.weight == 1.0  # non-numeric -> default
+        assert job.deps == ["job-real"]  # non-string entries dropped
+        assert job.client is None
+    finally:
+        manager.close(timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# stats surface
+
+
+def test_stats_reports_scheduler_queue_and_dependency_depth():
+    manager, _ = stepped_manager()
+    try:
+        running_free = manager.submit("topology", {})
+        blocked = manager.submit("validate", {}, depends_on=[running_free.job_id])
+        stats = manager.stats()
+        assert stats["policy"] == "fair"
+        # Both jobs are in the "queued" state, but only the dependency-free
+        # one is *ready*: the scheduler depth tells them apart.
+        assert stats["by_priority"]["interactive"]["queued"] == 2
+        assert stats["waiting_on_dependencies"] == 1
+        assert stats["scheduler"]["depth"]["interactive"] == 1
+        drain_steps(manager)
+        done = manager.stats()
+        assert done["waiting_on_dependencies"] == 0
+        assert done["scheduler"]["dispatched"]["interactive"] == 2
+        assert blocked.state == "succeeded"
+    finally:
+        manager.close(timeout=5.0)
+
+
+def test_validation_rejects_bad_priority_weight_and_quota_config():
+    manager, _ = stepped_manager()
+    try:
+        with pytest.raises(ServiceError) as excinfo:
+            manager.submit("topology", {}, priority="urgent")
+        assert excinfo.value.code == "invalid_priority"
+        with pytest.raises(ServiceError) as excinfo:
+            manager.submit("topology", {}, weight=-1.0)
+        assert excinfo.value.code == "invalid_weight"
+    finally:
+        manager.close(timeout=5.0)
+    with pytest.raises(ValueError):
+        JobManager(ScriptedService(), quota=(0.0, 1), start_workers=False)
+
+
+def test_fake_clock_timestamps_flow_into_events():
+    clock = FakeClock(start=1_000.0)
+    manager, _ = stepped_manager(clock=clock)
+    try:
+        job = manager.submit("topology", {})
+        assert job.created_at == 1_000.0
+        clock.advance(5.0)
+        manager.run_next()
+        states = [
+            (event.state, event.timestamp)
+            for event in job.events
+            if event.kind == "state"
+        ]
+        assert states[0] == ("queued", 1_000.0)
+        assert states[-1] == ("succeeded", 1_005.0)
+    finally:
+        manager.close(timeout=5.0)

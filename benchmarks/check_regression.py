@@ -18,7 +18,8 @@ Rules that keep the check honest on shared runners:
   uniformly 2x slower gets a median of ~2.0 and passes; only timings that
   regressed relative to the rest of the suite trip the gate
   (``--no-calibrate`` restores absolute comparison for same-machine runs),
-* new benchmarks (no baseline) and new timing keys pass; a *missing*
+* new benchmarks (no committed baseline yet) and new timing keys are skipped
+  with a printed reason -- adding a benchmark lands in one step; a *missing*
   candidate for an existing baseline fails, so a benchmark cannot silently
   disappear.
 
@@ -79,6 +80,15 @@ def compare(
     """Every regression message (empty means the gate passes)."""
     failures: list[str] = []
     ratios: list[tuple[str, str, float, float]] = []
+    baseline_names = {path.name for path in baseline_dir.glob("*.json")}
+    for candidate_path in sorted(candidate_dir.glob("*.json")):
+        if candidate_path.name not in baseline_names:
+            # A brand-new benchmark lands in one step: its first run has no
+            # committed smoke baseline yet, which is a skip, not a failure.
+            print(
+                f"skip {candidate_path.name}: no committed baseline yet "
+                "(new benchmark)"
+            )
     for baseline_path in sorted(baseline_dir.glob("*.json")):
         candidate_path = candidate_dir / baseline_path.name
         if not candidate_path.exists():
@@ -87,8 +97,14 @@ def compare(
                 "(benchmark disappeared?)"
             )
             continue
-        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
-        candidate = json.loads(candidate_path.read_text(encoding="utf-8"))
+        try:
+            baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+            candidate = json.loads(candidate_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            # An unreadable twin (torn write, foreign junk) must surface as a
+            # skip with a reason, not as a traceback that masks real results.
+            print(f"skip {baseline_path.name}: unreadable twin ({error})")
+            continue
         if baseline.get("scale") != candidate.get("scale"):
             print(
                 f"skip {baseline_path.name}: scale "

@@ -1,0 +1,195 @@
+"""Zero-copy mmap cold load versus eager deserialization, across scales.
+
+The v2 artifact is page-aligned and offset-addressed, so
+``Workspace.load(path, mmap=True)`` only parses the ~100-byte header: the
+posting matrices become ``numpy`` views over mapped pages on first engine
+use, and the corpus JSON stays untouched until someone reads it.  This
+benchmark pins the two claims that justify the format:
+
+* the mmap cold load is **near-constant in corpus scale** (the eager load is
+  linear), and at paper scale at least 5x faster,
+* the mapped engine is **bit-identical** to the eager engine -- the fast
+  path changes bytes never, only when they are paid for.
+
+A third, unasserted measurement records the memory story: per-process RSS
+delta after loading + warming, eager versus mapped, measured in a fresh
+subprocess each (on a multi-worker host the mapped pages are additionally
+*shared* page cache, so N workers pay the delta once, not N times).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+from helpers_equivalence import association_signature  # noqa: E402
+
+from repro.analysis.report import render_table  # noqa: E402
+from repro.casestudies.centrifuge import build_centrifuge_model  # noqa: E402
+from repro.workspace import Workspace  # noqa: E402
+
+#: Subprocess snippet: load an artifact one way, warm the engine, report the
+#: RSS delta attributable to the load (VmRSS from /proc/self/status, in kB).
+_RSS_PROBE = """
+import json, sys
+from repro.casestudies.centrifuge import build_centrifuge_model
+from repro.workspace import Workspace
+
+def rss_kb():
+    with open("/proc/self/status") as handle:
+        for line in handle:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1])
+    return 0
+
+path, mode = sys.argv[1], sys.argv[2]
+before = rss_kb()
+workspace = Workspace.load(path, mmap=(mode == "mmap"))
+workspace.engine().associate(build_centrifuge_model())
+print(json.dumps({"mode": mode, "rss_delta_kb": rss_kb() - before}))
+"""
+
+
+def _measure_load(path: Path, *, mmap: bool) -> float:
+    """Best-of-2 cold ``Workspace.load`` wall time (gc fenced off)."""
+    best = float("inf")
+    for _ in range(2):
+        gc.collect()
+        start = time.perf_counter()
+        Workspace.load(path, mmap=mmap)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _rss_delta(path: Path, mode: str) -> int | None:
+    if not Path("/proc/self/status").exists():
+        return None
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(Path(__file__).resolve().parent.parent / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", _RSS_PROBE, str(path), mode],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+    )
+    if result.returncode != 0:
+        return None
+    return json.loads(result.stdout)["rss_delta_kb"]
+
+
+def test_mmap_cold_load_scaling_and_bit_identity(
+    bench_scale, record_result, tmp_path
+):
+    model = build_centrifuge_model()
+    # A 4x span (not 5x): scale 0.2 is unbuildable -- a synthetic CVE serial
+    # collides with a real seed identifier exactly there.
+    small_scale = bench_scale / 4.0
+    artifacts: dict[float, Path] = {}
+    for scale in (small_scale, bench_scale):
+        path = tmp_path / f"ws-{scale:g}.cpsecws"
+        Workspace.build(scale=scale, seed=7).save(path)
+        artifacts[scale] = path
+
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        timings = {
+            scale: {
+                "eager_load": _measure_load(path, mmap=False),
+                "mmap_load": _measure_load(path, mmap=True),
+            }
+            for scale, path in artifacts.items()
+        }
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    # Bit-identity at benchmark scale: mapped engine == eager engine.
+    big = artifacts[bench_scale]
+    reference = association_signature(
+        Workspace.load(big).engine().associate(model)
+    )
+    assert association_signature(
+        Workspace.load(big, mmap=True).engine().associate(model)
+    ) == reference
+
+    speedup = (
+        timings[bench_scale]["eager_load"] / timings[bench_scale]["mmap_load"]
+    )
+    # How much the mmap cold load grew when the corpus grew 4x (the eager
+    # load grows ~linearly; near-constant means this stays around 1x).
+    mmap_growth = (
+        timings[bench_scale]["mmap_load"] / timings[small_scale]["mmap_load"]
+    )
+    eager_growth = (
+        timings[bench_scale]["eager_load"] / timings[small_scale]["eager_load"]
+    )
+
+    rss = {
+        "eager_kb": _rss_delta(big, "eager"),
+        "mmap_kb": _rss_delta(big, "mmap"),
+    }
+
+    rows = [
+        (
+            f"{scale:g}",
+            f"{timing['eager_load'] * 1e3:.1f}",
+            f"{timing['mmap_load'] * 1e3:.1f}",
+            f"{timing['eager_load'] / timing['mmap_load']:.1f}x",
+        )
+        for scale, timing in sorted(timings.items())
+    ]
+    lines = [
+        f"corpus scale: {bench_scale} (and {small_scale:g} for the growth check)",
+        f"artifact size at scale {bench_scale}: {big.stat().st_size / 1e6:.1f} MB",
+        f"mmap cold-load speedup at scale {bench_scale}: {speedup:.1f}x "
+        "(floor at paper scale: 5x)",
+        f"load-time growth over a 4x corpus: eager {eager_growth:.1f}x, "
+        f"mmap {mmap_growth:.1f}x (near-constant)",
+        f"RSS delta after load+associate: eager {rss['eager_kb']} kB, "
+        f"mmap {rss['mmap_kb']} kB (mapped pages are shared page cache "
+        f"across workers; host has {os.cpu_count()} CPU(s))",
+        "mmap engine bit-identical to eager: yes",
+        "",
+        render_table(
+            ("Scale", "Eager load [ms]", "mmap load [ms]", "Speedup"), rows
+        ),
+    ]
+    record_result(
+        "mmap_cold_start",
+        "\n".join(lines),
+        data={
+            "artifact_bytes": big.stat().st_size,
+            "timings": {
+                "eager_load": timings[bench_scale]["eager_load"],
+                "mmap_load": timings[bench_scale]["mmap_load"],
+                "eager_load_small": timings[small_scale]["eager_load"],
+                "mmap_load_small": timings[small_scale]["mmap_load"],
+            },
+            "speedup": speedup,
+            "mmap_growth_over_4x_corpus": mmap_growth,
+            "eager_growth_over_4x_corpus": eager_growth,
+            "rss_delta_kb": rss,
+            "bit_identical": True,
+            "host_cpus": os.cpu_count(),
+        },
+    )
+
+    # Acceptance floors, enforced at paper scale only (smoke-scale loads are
+    # fractions of a millisecond -- scheduler noise, not signal): the mmap
+    # cold load is at least 5x faster than eager, and near-constant where
+    # the eager load is linear (well under the 4x corpus growth).
+    if bench_scale >= 1.0:
+        assert speedup >= 5.0
+        assert mmap_growth < 2.5
+        assert mmap_growth < eager_growth

@@ -55,7 +55,9 @@ from __future__ import annotations
 import argparse
 import http.client
 import json
+import os
 import signal
+import socket
 import sys
 import threading
 from pathlib import Path
@@ -77,6 +79,7 @@ from repro.service.protocol import (
     OPERATIONS,
     AssociateRequest,
     ChainsRequest,
+    CompactRequest,
     ConsequencesRequest,
     ExportRequest,
     ExtendRequest,
@@ -417,6 +420,44 @@ def _cmd_workspace_extend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workspace_compact(args: argparse.Namespace) -> int:
+    """Fold a workspace artifact's delta frames into one base frame."""
+    if args.url:
+        if args.workspace:
+            print(
+                "--workspace is ignored with --url (artifacts live on the "
+                "server; use --workspace-name to pick one)",
+                file=sys.stderr,
+            )
+        backend = ServiceClient(args.url)
+        request = CompactRequest(workspace=args.workspace_name)
+    else:
+        if not args.workspace:
+            raise CliError(
+                "cpsec workspace compact needs --workspace PATH "
+                "(or --url pointing at a running `cpsec serve`)"
+            )
+        backend = AnalysisService(workspace=args.workspace, max_scale=None)
+        request = CompactRequest()
+    response = backend.compact(request)
+    target = response.path or response.workspace or "workspace"
+    saved = response.bytes_before - response.bytes_after
+    print(
+        f"compacted {target}: folded {response.frames_folded} delta "
+        f"frame{'s' if response.frames_folded != 1 else ''}, "
+        f"{response.bytes_before} -> {response.bytes_after} bytes "
+        f"({saved:+d} reclaimed)"
+    )
+    print(
+        "totals: "
+        + ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(response.total_documents.items())
+        )
+    )
+    return 0
+
+
 def _parse_workspace_specs(specs: list[str]) -> list[tuple[str, Path]]:
     """Parse repeatable ``[NAME=]PATH`` workspace flags into (name, path).
 
@@ -465,30 +506,10 @@ def _parse_quota(spec: str | None) -> tuple[float, float] | None:
     return (rate, burst)
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    entries = _parse_workspace_specs(args.workspace)
-    service = AnalysisService(
-        workspaces={name: path for name, path in entries},
-        default_workspace=entries[0][0],
-        save_artifacts=False,
-    )
-    described = []
-    for name, path in entries:
-        # Load and fit every registered engine now so the first request per
-        # workspace hits a warm service instead of paying the TF-IDF fit
-        # inside its own latency budget.
-        try:
-            workspace = service.warm_workspace(name)
-        except ServiceError as error:
-            raise CliError(
-                f"cannot load workspace artifact {path}: {error.message}"
-            ) from error
-        scale = (workspace.params or {}).get("scale")
-        described.append(f"{name}={path} (scale {scale})")
-    journal_path = None
-    if args.job_journal != "none":
-        journal_path = args.job_journal or f"{entries[0][1]}.jobs.jsonl"
-    jobs = JobManager(
+def _build_jobs(args: argparse.Namespace, service, journal_path) -> JobManager:
+    """One job engine over the shared service (per process, never pre-fork:
+    the manager's worker threads would not survive a fork)."""
+    return JobManager(
         service,
         workers=args.job_workers,
         max_queued=args.job_queue,
@@ -497,19 +518,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         policy=args.job_policy,
         quota=_parse_quota(args.quota),
     )
-    server = start_server(
-        service, host=args.host, port=args.port, verbose=args.verbose, jobs=jobs
-    )
-    host, port = server.server_address[:2]
-    print(
-        f"serving analysis service on http://{host}:{port} "
-        f"[{', '.join(described)}]",
-        flush=True,
-    )
 
-    # Graceful shutdown: SIGINT/SIGTERM stop the accept loop, refuse new job
-    # submissions, drain running jobs (bounded), and flush the journal --
-    # instead of dying mid-request.
+
+def _run_server_loop(server, jobs, drain_timeout: float, *, quiet: bool = False) -> bool:
+    """Serve until SIGINT/SIGTERM, then drain; returns whether jobs drained.
+
+    Graceful shutdown: the signal stops the accept loop, refuses new job
+    submissions, drains running jobs (bounded), and flushes the journal --
+    instead of dying mid-request.  Shared by the single-process ``serve``
+    path and every pre-forked worker (workers run it ``quiet``; the parent
+    supervisor owns the console).
+    """
     stop = threading.Event()
 
     def _request_shutdown(signum, frame) -> None:  # pragma: no cover - signal
@@ -526,18 +545,183 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # The handlers stay installed through the drain: a second signal
         # while jobs are being cancelled/journalled must not kill the
         # process mid-flush and void the graceful-shutdown guarantee.
-        print(
-            "shutting down: refusing new submissions, draining running jobs",
-            flush=True,
-        )
+        if not quiet:
+            print(
+                "shutting down: refusing new submissions, draining running jobs",
+                flush=True,
+            )
         jobs.begin_drain()
         server.shutdown()
-        drained = jobs.close(timeout=args.drain_timeout)
+        drained = jobs.close(timeout=drain_timeout)
         server.server_close()
         thread.join(timeout=5)
     finally:
         for signum, handler in previous_handlers.items():
             signal.signal(signum, handler)
+    return drained
+
+
+def _serve_worker(slot: int, sock, service, args, journal_path) -> None:
+    """Body of one pre-forked request worker (runs in the child process).
+
+    The child inherits the parent's warm service -- fitted models and
+    mmap-backed posting buffers shared read-only across workers -- resets
+    the mutable state it must not inherit, builds its *own* job engine over
+    a per-worker journal (thread pools do not survive a fork), and serves
+    the listener socket inherited from the parent until SIGTERM drains it.
+    """
+    service.post_fork_reset()
+    jobs = _build_jobs(
+        args, service, f"{journal_path}.w{slot}" if journal_path else None
+    )
+    server = start_server(
+        service,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        jobs=jobs,
+        listen_socket=sock,
+    )
+    _run_server_loop(server, jobs, args.drain_timeout, quiet=True)
+
+
+def _serve_preforked(args: argparse.Namespace, service, described, journal_path) -> int:
+    """Parent side of ``cpsec serve --workers N``: bind, fork, supervise.
+
+    The parent binds one shared listening socket (so ``--port 0`` resolves
+    before any fork and every worker serves the same port), forks N workers
+    that each accept from it -- the kernel load-balances accepts -- and then
+    only supervises: a worker that dies is restarted from the still-warm
+    parent image; SIGINT/SIGTERM forwards to every worker and waits for
+    their graceful drains.
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        sock.bind((args.host, args.port))
+    except OSError as error:
+        sock.close()
+        raise CliError(f"cannot bind {args.host}:{args.port}: {error}") from error
+    sock.listen(128)
+    host, port = sock.getsockname()[:2]
+    print(
+        f"serving analysis service on http://{host}:{port} "
+        f"[{', '.join(described)}] ({args.workers} workers)",
+        flush=True,
+    )
+    children: dict[int, int] = {}
+    draining = False
+
+    def spawn(slot: int) -> None:
+        pid = os.fork()
+        if pid == 0:
+            # Child: serve until drained, then exit *here* -- never unwind
+            # back into the parent's CLI/supervisor stack.
+            code = 0
+            try:
+                _serve_worker(slot, sock, service, args, journal_path)
+            except BaseException:  # pragma: no cover - crash diagnostics
+                import traceback
+
+                traceback.print_exc()
+                code = 1
+            finally:
+                sys.stdout.flush()
+                sys.stderr.flush()
+                os._exit(code)
+        children[pid] = slot
+        print(f"worker {pid} started (slot {slot})", flush=True)
+        if draining:  # pragma: no cover - signal timing
+            # Shutdown raced the restart; the fresh worker drains too.
+            os.kill(pid, signal.SIGTERM)
+
+    for slot in range(args.workers):
+        spawn(slot)
+
+    def _begin_drain(signum, frame) -> None:  # pragma: no cover - signal
+        nonlocal draining
+        draining = True
+        for pid in list(children):
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+
+    previous_handlers = {
+        signum: signal.signal(signum, _begin_drain)
+        for signum in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        while children:
+            try:
+                # EINTR is retried by the runtime *after* running the signal
+                # handler, so a drain signal is acted on before this resumes.
+                pid, status = os.waitpid(-1, 0)
+            except ChildProcessError:  # pragma: no cover - defensive
+                break
+            slot = children.pop(pid, None)
+            if slot is None:  # pragma: no cover - foreign child
+                continue
+            if draining:
+                continue
+            code = os.waitstatus_to_exitcode(status)
+            print(
+                f"worker {pid} exited ({code}); restarting slot {slot}",
+                flush=True,
+            )
+            spawn(slot)
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+        sock.close()
+    print("shutdown complete (all workers drained, journals flushed)", flush=True)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    entries = _parse_workspace_specs(args.workspace)
+    if args.workers < 1:
+        raise CliError(f"--workers must be >= 1, got {args.workers}")
+    multiprocess = args.workers > 1
+    service = AnalysisService(
+        workspaces={name: path for name, path in entries},
+        default_workspace=entries[0][0],
+        save_artifacts=False,
+        # With several worker processes, load workspaces memory-mapped so
+        # the posting buffers live in OS page cache shared by every worker
+        # instead of N private heap copies.
+        workspace_mmap=multiprocess,
+    )
+    described = []
+    for name, path in entries:
+        # Load and fit every registered engine now so the first request per
+        # workspace hits a warm service instead of paying the TF-IDF fit
+        # inside its own latency budget (with --workers N, the fit also
+        # happens once, pre-fork, instead of once per worker).
+        try:
+            workspace = service.warm_workspace(name)
+        except ServiceError as error:
+            raise CliError(
+                f"cannot load workspace artifact {path}: {error.message}"
+            ) from error
+        scale = (workspace.params or {}).get("scale")
+        described.append(f"{name}={path} (scale {scale})")
+    journal_path = None
+    if args.job_journal != "none":
+        journal_path = args.job_journal or f"{entries[0][1]}.jobs.jsonl"
+    if multiprocess:
+        return _serve_preforked(args, service, described, journal_path)
+    jobs = _build_jobs(args, service, journal_path)
+    server = start_server(
+        service, host=args.host, port=args.port, verbose=args.verbose, jobs=jobs
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"serving analysis service on http://{host}:{port} "
+        f"[{', '.join(described)}]",
+        flush=True,
+    )
+    drained = _run_server_loop(server, jobs, args.drain_timeout)
     if drained:
         print("shutdown complete (jobs drained, journal flushed)", flush=True)
     else:
@@ -768,6 +952,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ws_extend.set_defaults(func=_cmd_workspace_extend)
 
+    ws_compact = workspace_sub.add_parser(
+        "compact",
+        help="fold accumulated delta frames back into contiguous base "
+             "sections (single mmap-able frame; atomic rewrite)",
+    )
+    ws_compact.add_argument(
+        "--workspace", default=None,
+        help="workspace artifact path to compact in place",
+    )
+    ws_compact.add_argument(
+        "--url", default=None,
+        help="compact a workspace served by a running `cpsec serve` instead",
+    )
+    ws_compact.add_argument(
+        "--workspace-name", default=None,
+        help="named server workspace to compact (with --url; default: the "
+             "server's default workspace)",
+    )
+    ws_compact.set_defaults(func=_cmd_workspace_compact)
+
     serve = subparsers.add_parser("serve", help="serve the analysis operations over HTTP from warm engines")
     serve.add_argument(
         "--workspace",
@@ -781,6 +985,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="pre-forked request worker processes sharing one "
+                            "listening socket and one mmap-backed artifact; "
+                            "crashed workers are restarted, SIGTERM drains all "
+                            "(default 1: single-process threaded serving)")
     serve.add_argument("--verbose", action="store_true", help="log every request to stderr")
     serve.add_argument("--job-workers", type=int, default=2, help="background jobs run concurrently (default 2)")
     serve.add_argument("--job-queue", type=int, default=32, help="queued-job bound; past it submissions get a typed 429 (default 32)")

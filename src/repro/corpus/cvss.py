@@ -128,6 +128,17 @@ def _base_score_cached(vector: CvssVector) -> float:
     return cvss_base_score(vector)
 
 
+def clear_caches() -> None:
+    """Drop the module's parse/score LRU caches.
+
+    Fork hygiene for pre-forked servers: these process-wide caches fill up
+    during parent warm-up, and a freshly forked worker should start with
+    the same cold-cache behaviour as a freshly started process.
+    """
+    _parse_cached.cache_clear()
+    _base_score_cached.cache_clear()
+
+
 def cvss_base_score(vector: CvssVector) -> float:
     """Compute the CVSS v3.1 base score for a parsed vector.
 

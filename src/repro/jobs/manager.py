@@ -372,9 +372,18 @@ class JobManager:
         """
         self._interrupted: list[JobRecord] = []
         self._journal_path = journal_path
+        quota_snapshot = None
         for entry in read_journal(journal_path):
             job_id = entry.get("job_id")
             kind = entry.get("kind")
+            if kind == "quota":
+                # Per-client token-bucket snapshot written at shutdown; the
+                # last one wins (compaction keeps only that one anyway).
+                clients = entry.get("clients")
+                wall = entry.get("wall")
+                if isinstance(clients, dict) and isinstance(wall, (int, float)):
+                    quota_snapshot = (float(wall), clients)
+                continue
             if kind == "submitted":
                 payload = entry.get("request")
                 operation = entry.get("operation")
@@ -446,6 +455,52 @@ class JobManager:
                     state=job.state,
                 )
             ]
+        self._restore_quota(quota_snapshot)
+
+    def _restore_quota(self, snapshot) -> None:
+        """Rebuild per-client token buckets from a journalled snapshot.
+
+        Buckets refill for the wall-clock downtime (``rate`` tokens/s, capped
+        at ``burst``) -- a restart neither resets a heavy client's quota nor
+        penalizes one for the deploy.  Journals with no snapshot (pre-quota
+        format, or quota newly enabled) replay with full buckets, exactly as
+        before.
+        """
+        if self._quota is None or snapshot is None:
+            return
+        wall, clients = snapshot
+        rate, burst = self._quota
+        elapsed = max(0.0, self._clock.time() - wall)
+        now_mono = self._clock.monotonic()
+        for client_key, recorded in clients.items():
+            if not isinstance(client_key, str) or isinstance(recorded, bool):
+                continue
+            if not isinstance(recorded, (int, float)):
+                continue
+            if len(self._buckets) >= MAX_QUOTA_CLIENTS:
+                break
+            bucket = TokenBucket(rate, burst, now_mono)
+            bucket.tokens = min(
+                burst, max(0.0, float(recorded)) + elapsed * rate
+            )
+            self._buckets[client_key] = bucket
+
+    def _journal_quota(self) -> None:
+        """Snapshot per-client token buckets into the journal (at shutdown).
+
+        Tokens are refreshed to *now* first, so the line pairs with its
+        ``wall`` timestamp and replay only has to add the downtime refill.
+        """
+        if self._journal is None or self._quota is None or not self._buckets:
+            return
+        now_mono = self._clock.monotonic()
+        clients = {}
+        for client_key, bucket in self._buckets.items():
+            elapsed = max(0.0, now_mono - bucket.updated)
+            clients[client_key] = round(
+                min(bucket.burst, bucket.tokens + elapsed * bucket.rate), 6
+            )
+        self._journal.append("quota", wall=self._clock.time(), clients=clients)
 
     def _journal_interrupted(self) -> None:
         """Append ``finished`` lines for jobs the restart interrupted."""
@@ -1097,6 +1152,7 @@ class JobManager:
             thread.join()
         self._threads = []
         if self._journal is not None:
+            self._journal_quota()
             self._journal.close()
         return drained
 

@@ -12,6 +12,11 @@ append-only, flushed per lifecycle event:
 * ``finished`` -- terminal state plus the result payload (succeeded) or the
   typed error (failed).
 
+One non-lifecycle line rides along: a ``quota`` snapshot of the per-client
+token buckets, appended at shutdown so a restart refills each client for
+the *downtime only* instead of handing everyone a fresh burst.  Journals
+without one (pre-quota format) replay with full buckets.
+
 Per-tick *progress* events are **not** journalled: a paper-scale simulation
 emits thousands and they are only meaningful to a live SSE subscriber; the
 journal records what happened, not how fast.
@@ -174,12 +179,20 @@ class JobJournal:
                         terminal_seen.add(job_id)
                         terminal_order.append(job_id)
             dropped = set(terminal_order[: max(0, len(terminal_order) - keep_terminal)])
-            if not dropped:
+            # Quota snapshots carry no job_id; each shutdown appends one, so
+            # compaction keeps only the newest (the only one replay uses).
+            quota_indexes = [
+                index
+                for index, entry in enumerate(entries)
+                if entry.get("kind") == "quota"
+            ]
+            stale_quota = set(quota_indexes[:-1])
+            if not dropped and not stale_quota:
                 return 0
             kept_lines = [
                 json.dumps(entry, sort_keys=True, separators=(",", ":"))
-                for entry in entries
-                if entry.get("job_id") not in dropped
+                for index, entry in enumerate(entries)
+                if entry.get("job_id") not in dropped and index not in stale_quota
             ]
             self._handle.close()
             atomic_write_text(

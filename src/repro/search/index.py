@@ -54,6 +54,14 @@ def validate_posting_positions(token: str, positions: "array") -> None:
             )
 
 
+def _mutable_concat(view, delta) -> array:
+    """A private mutable ``array('I')`` copy of ``view`` with ``delta`` appended."""
+    merged = array("I")
+    merged.frombytes(np.asarray(view, dtype=np.uint32).tobytes())
+    merged.extend(delta)
+    return merged
+
+
 @dataclass(frozen=True)
 class Posting:
     """One document's entry in a token's posting list."""
@@ -150,6 +158,15 @@ class InvertedIndex:
         if arrays is None:
             return (array("I"), array("I"))
         return arrays
+
+    def document_table(self) -> list[tuple[str, int]]:
+        """``(doc_id, token count)`` pairs in insertion order.
+
+        The document-table half of the :meth:`to_dict` snapshot, exposed
+        directly so artifact writers can serialize a hydrated index without
+        materializing the full posting snapshot.
+        """
+        return list(self._doc_lengths.items())
 
     def document_length(self, doc_id: str) -> int:
         """Total token count of an indexed document."""
@@ -276,9 +293,18 @@ class InvertedIndex:
             arrays = existing.get(token)
             if arrays is None:
                 existing[token] = (array("I", positions), array("I", frequencies))
-            else:
+            elif isinstance(arrays[0], array):
                 arrays[0].extend(positions)
                 arrays[1].extend(frequencies)
+            else:
+                # Zero-copy numpy views over a mapped workspace artifact are
+                # read-only; the first extension of a token copies the view
+                # into a private mutable buffer (copy-on-extend) -- unseen
+                # tokens and the mapped pages themselves stay zero-copy.
+                existing[token] = (
+                    _mutable_concat(arrays[0], positions),
+                    _mutable_concat(arrays[1], frequencies),
+                )
         self._revision += len(new_ids)
         return len(new_ids)
 

@@ -28,6 +28,8 @@ from repro.service.protocol import (
     AssociateResponse,
     ChainsRequest,
     ChainsResponse,
+    CompactRequest,
+    CompactResponse,
     ConsequencesRequest,
     ConsequencesResponse,
     ExportRequest,
@@ -85,6 +87,8 @@ __all__ = [
     "ValidateResponse",
     "ExtendRequest",
     "ExtendResponse",
+    "CompactRequest",
+    "CompactResponse",
     "ExportRequest",
     "ExportResponse",
 ]

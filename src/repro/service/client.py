@@ -41,6 +41,8 @@ from repro.service.protocol import (
     AssociateResponse,
     ChainsRequest,
     ChainsResponse,
+    CompactRequest,
+    CompactResponse,
     ConsequencesRequest,
     ConsequencesResponse,
     ExportRequest,
@@ -334,3 +336,6 @@ class ServiceClient:
 
     def extend(self, request: ExtendRequest) -> ExtendResponse:
         return self.call("extend", request)
+
+    def compact(self, request: CompactRequest) -> CompactResponse:
+        return self.call("compact", request)

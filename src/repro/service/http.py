@@ -297,7 +297,14 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
 
 
 class AnalysisServiceServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one :class:`AnalysisService`."""
+    """A threading HTTP server bound to one :class:`AnalysisService`.
+
+    ``listen_socket`` adopts an already-bound, already-listening socket
+    instead of binding a new one -- the pre-forked worker path: the parent
+    of ``cpsec serve --workers N`` binds one shared listener before forking,
+    every worker adopts the inherited descriptor here, and the kernel load
+    balances accepts across them.
+    """
 
     daemon_threads = True
 
@@ -308,8 +315,16 @@ class AnalysisServiceServer(ThreadingHTTPServer):
         *,
         verbose: bool = False,
         jobs=None,
+        listen_socket=None,
     ) -> None:
-        super().__init__(address, AnalysisRequestHandler)
+        if listen_socket is not None:
+            super().__init__(address, AnalysisRequestHandler, bind_and_activate=False)
+            self.socket.close()
+            self.socket = listen_socket
+            self.server_address = listen_socket.getsockname()
+            self.server_name, self.server_port = self.server_address[:2]
+        else:
+            super().__init__(address, AnalysisRequestHandler)
         self.service = service
         self.verbose = verbose
         #: Optional :class:`repro.jobs.manager.JobManager`; ``None`` serves
@@ -324,6 +339,9 @@ def start_server(
     *,
     verbose: bool = False,
     jobs=None,
+    listen_socket=None,
 ) -> AnalysisServiceServer:
     """Bind a server (``port=0`` picks a free port); call ``serve_forever``."""
-    return AnalysisServiceServer((host, port), service, verbose=verbose, jobs=jobs)
+    return AnalysisServiceServer(
+        (host, port), service, verbose=verbose, jobs=jobs, listen_socket=listen_socket
+    )

@@ -302,6 +302,24 @@ class ExtendRequest(_FlatMessage):
     workspace: str | None = None
 
 
+@dataclass(frozen=True)
+class CompactRequest(_FlatMessage):
+    """Fold a served workspace's delta frames into one base frame.
+
+    The named workspace (or the server's default) has its artifact rewritten
+    in place -- atomically, so concurrent readers keep serving the old bytes
+    -- as a single page-aligned base frame carrying the fully replayed state.
+    Results are bit-identical before and after; what changes is artifact
+    hygiene: a compacted artifact is the single-frame form the ``mmap`` load
+    path wants, and torn tails left by crashed extends are healed.  Like
+    ``extend`` it mutates server state and is never response-cached, but
+    unlike ``extend`` repeating it is harmless (the second compact folds
+    zero frames).
+    """
+
+    workspace: str | None = None
+
+
 # -- responses ----------------------------------------------------------------
 
 
@@ -527,6 +545,26 @@ class ExtendResponse(_FlatMessage):
     path: str | None = None
 
 
+@dataclass(frozen=True)
+class CompactResponse(_FlatMessage):
+    """Outcome of one workspace compaction.
+
+    ``frames_folded`` is the number of delta frames the rewrite absorbed
+    (0 when the artifact was already a single base frame);
+    ``bytes_before`` / ``bytes_after`` are the artifact sizes around the
+    rewrite; ``corpus_fingerprint`` is unchanged by compaction and echoed
+    for verification; ``total_documents`` is the per-kind corpus size.
+    """
+
+    frames_folded: int
+    bytes_before: int
+    bytes_after: int
+    corpus_fingerprint: str
+    total_documents: dict
+    workspace: str | None = None
+    path: str | None = None
+
+
 #: Operation name -> (request type, response type).  The single source of
 #: truth shared by the service, the HTTP server's routing table, the client,
 #: and the README's schema table.
@@ -542,12 +580,13 @@ OPERATIONS: dict[str, tuple[type, type]] = {
     "validate": (ValidateRequest, ValidateResponse),
     "export": (ExportRequest, ExportResponse),
     "extend": (ExtendRequest, ExtendResponse),
+    "compact": (CompactRequest, CompactResponse),
 }
 
 #: Operations that mutate server state.  Everything else is a pure function
 #: of its request over an immutable corpus (and therefore response-cacheable
 #: and safely repeatable); these are not.
-MUTATING_OPERATIONS = frozenset({"extend"})
+MUTATING_OPERATIONS = frozenset({"extend", "compact"})
 
 
 def parse_request(operation: str, payload: dict):

@@ -48,6 +48,7 @@ from repro.casestudies.centrifuge import (
     hardened_workstation_variant,
 )
 from repro.casestudies.uav import build_uav_model
+from repro.corpus.cvss import clear_caches as cvss_clear_caches
 from repro.corpus.store import CorpusStore
 from repro.cps.scada import ScadaSimulation
 from repro.graph.graphml import to_graphml_string
@@ -63,6 +64,8 @@ from repro.service.protocol import (
     AssociateResponse,
     ChainsRequest,
     ChainsResponse,
+    CompactRequest,
+    CompactResponse,
     ConsequencesRequest,
     ConsequencesResponse,
     ExportRequest,
@@ -227,6 +230,13 @@ class AnalysisService:
         of erroring, preserving single-workspace server semantics.
     max_warm_workspaces:
         LRU bound on concurrently *loaded* path-backed registry entries.
+    workspace_mmap:
+        Load path-backed workspaces and artifacts memory-mapped
+        (``Workspace.load(path, mmap=True)``): posting buffers become
+        zero-copy views over the mapped pages, cold load stops scaling with
+        corpus size, and pre-forked worker processes serving the same
+        artifact share one OS page cache instead of N private heap copies.
+        Results are bit-identical either way.
     """
 
     def __init__(
@@ -240,10 +250,15 @@ class AnalysisService:
         workspaces: dict[str, Workspace | str | Path] | None = None,
         default_workspace: str | None = None,
         max_warm_workspaces: int = MAX_WARM_WORKSPACES,
+        workspace_mmap: bool = False,
     ) -> None:
         self._artifact_path: Path | None = None
         self._artifact: Workspace | None = None
         self._artifact_lock = threading.Lock()
+        #: Load path-backed workspaces with ``Workspace.load(mmap=True)``:
+        #: posting buffers become zero-copy views over the mapped artifact,
+        #: so pre-forked worker processes share one OS page cache.
+        self._workspace_mmap = workspace_mmap
         if isinstance(workspace, Workspace):
             self._artifact = workspace
         elif workspace is not None:
@@ -423,7 +438,9 @@ class AnalysisService:
             workspace = entry.workspace
             if workspace is None:
                 try:
-                    workspace = Workspace.load(entry.path)
+                    workspace = Workspace.load(
+                        entry.path, mmap=self._workspace_mmap
+                    )
                 except (ValueError, OSError) as error:
                     raise ServiceError(
                         f"cannot load workspace {name!r} from {entry.path}: {error}",
@@ -533,7 +550,9 @@ class AnalysisService:
         with self._artifact_lock:
             if self._artifact is None and self._artifact_path.exists():
                 try:
-                    self._artifact = Workspace.load(self._artifact_path)
+                    self._artifact = Workspace.load(
+                        self._artifact_path, mmap=self._workspace_mmap
+                    )
                 except (ValueError, OSError) as error:
                     self._warn(f"ignoring stale workspace artifact: {error}")
         return self._artifact
@@ -841,6 +860,145 @@ class AnalysisService:
                     status=409,
                 )
         return summary
+
+    def compact(self, request: CompactRequest) -> CompactResponse:
+        """Fold a served workspace's delta frames into one base frame.
+
+        The target resolves exactly like :meth:`extend`: the request's named
+        workspace, else the default registry entry, else the service's
+        configured artifact.  Path-backed targets are rewritten atomically
+        as a single page-aligned base frame (a fresh copy is loaded,
+        compacted, and swapped in, so in-flight requests keep their
+        consistent engines and concurrent readers keep serving the old
+        bytes); a torn tail left by a crashed extend is healed by the
+        rewrite.  Mutating, so never response-cached; the response cache is
+        dropped afterwards for uniformity with :meth:`extend` (results are
+        bit-identical across a compact, but cache entries are cheap to
+        rebuild and mutation-clears-cache is one rule, not two).
+        """
+        name = self._check_workspace(request.workspace)
+        if name is None:
+            name = self._default_workspace
+        try:
+            if name is not None:
+                summary = self._compact_registry_entry(name)
+            else:
+                summary = self._compact_artifact()
+        except ValueError as error:
+            raise ServiceError(
+                f"cannot compact workspace: {error}",
+                code="compact_conflict",
+                status=409,
+            ) from error
+        if self._response_cache is not None:
+            self._response_cache.clear()
+        return CompactResponse(
+            frames_folded=summary["frames_folded"],
+            bytes_before=summary["bytes_before"],
+            bytes_after=summary["bytes_after"],
+            corpus_fingerprint=summary["corpus_fingerprint"],
+            total_documents=summary["total_documents"],
+            workspace=name,
+            path=summary["path"],
+        )
+
+    def _compact_registry_entry(self, name: str) -> dict:
+        """Compact one registry entry's artifact (swap in the fresh copy)."""
+        entry = self._workspace_entries[name]
+        with entry.lock:
+            if entry.path is None:
+                raise ServiceError(
+                    f"workspace {name!r} is in-memory; only artifact-backed "
+                    "workspaces can be compacted",
+                    code="no_artifact",
+                    status=409,
+                )
+            if not entry.path.exists():
+                raise ServiceError(
+                    f"workspace artifact not found: {entry.path}",
+                    code="workspace_not_found",
+                    status=404,
+                )
+            try:
+                workspace = Workspace.load(entry.path)
+            except (ValueError, OSError) as error:
+                raise ServiceError(
+                    f"cannot load workspace {name!r} from {entry.path}: {error}",
+                    code="workspace_load_failed",
+                    status=503,
+                ) from error
+            summary = workspace.compact(entry.path)
+            entry.workspace = workspace
+            entry.loads += 1
+        # Re-warm outside the entry lock, matching extend().
+        workspace.shared_engine()
+        return summary
+
+    def _compact_artifact(self) -> dict:
+        """Compact the service's configured artifact (the CLI's --workspace)."""
+        with self._artifact_lock:
+            if self._artifact_path is None:
+                raise ServiceError(
+                    "no workspace artifact is configured to compact (start "
+                    "with --workspace, or name a registered workspace)",
+                    code="no_workspace",
+                    status=409,
+                )
+            if not self._artifact_path.exists():
+                raise ServiceError(
+                    f"workspace artifact not found: {self._artifact_path}",
+                    code="workspace_not_found",
+                    status=404,
+                )
+            try:
+                workspace = Workspace.load(self._artifact_path)
+            except (ValueError, OSError) as error:
+                raise ServiceError(
+                    f"cannot load workspace artifact "
+                    f"{self._artifact_path}: {error}",
+                    code="workspace_load_failed",
+                    status=503,
+                ) from error
+            summary = workspace.compact(self._artifact_path)
+            self._artifact = workspace
+        return summary
+
+    # -- process lifecycle ----------------------------------------------------
+
+    def post_fork_reset(self) -> None:
+        """Drop mutable state a freshly forked worker must not inherit.
+
+        ``cpsec serve --workers N`` warms every workspace in the parent --
+        so the fitted TF-IDF models and posting buffers are shared
+        copy-on-write (or, mmap-loaded, shared page cache) across workers --
+        then forks.  Everything *observable* and mutable must reset in the
+        child: per-engine result caches and stats counters (a worker's
+        ``/healthz`` must not report the parent's warm-up traffic), the
+        whole-response cache, and the process-wide CVSS parse/score caches.
+        The expensive immutable state (fitted models, indexes, prototypes)
+        is deliberately kept -- results are a pure function of it, and
+        re-deriving it per worker would defeat pre-forking.
+        """
+        if self._response_cache is not None:
+            self._response_cache.clear()
+        workspaces = [
+            entry.workspace
+            for entry in self._workspace_entries.values()
+            if entry.workspace is not None
+        ]
+        if self._artifact is not None:
+            workspaces.append(self._artifact)
+        with self._slots_lock:
+            workspaces.extend(
+                slot.workspace
+                for slot in self._slots.values()
+                if slot.workspace is not None
+            )
+        for workspace in workspaces:
+            for engine in workspace.engine_handles():
+                engine.clear_caches()
+                engine.stats.reset()
+        cvss_clear_caches()
 
     # -- introspection --------------------------------------------------------
 

@@ -18,6 +18,21 @@ The header records the format version, the deterministic corpus-generation
 parameters, the engine configuration in effect at build time, and byte ranges
 for three sections:
 
+Format **version 2** (the default written by :meth:`Workspace.save`) keeps
+the same framing but page-aligns every section (the header block is padded
+so the first section starts on a 4096-byte boundary, and each further
+section offset is a multiple of 4096) and stores postings *columnar per
+kind*: all position values concatenated in token order, then all term
+frequencies.  That layout is what makes the artifact ``mmap``-able:
+``Workspace.load(path, mmap=True)`` maps the file read-only and builds every
+posting buffer as a ``numpy.frombuffer`` **view over the mapped pages** --
+no JSON parsing of postings, no byte copies, and N worker processes serving
+the same artifact share one OS page cache instead of N private heap copies.
+Cold ``load(mmap=True)`` of a compacted v2 artifact parses only the header;
+the prepared payload hydrates lazily on the first engine build, and the
+corpus JSON stays lazy exactly as in eager mode.  Version-1 artifacts (and
+``mmap=False``, the default) take the legacy eager-decode path.
+
 * ``prepared`` -- the engine's :meth:`~repro.search.engine.SearchEngine.
   prepared_payload` minus the posting lists (columnar match prototypes,
   platform tables, per-index document tables, corpus fingerprint), parsed
@@ -54,12 +69,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+import mmap as _mmap
 import sys
 import threading
 from array import array
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
+
+import numpy as np
 
 from repro.corpus.schema import AttackVectorRecord, RecordKind
 from repro.corpus.store import CorpusStore
@@ -76,8 +94,17 @@ MAGIC = b"CPSECWS1"
 #: Magic line identifying an appended delta frame (see module docstring).
 DELTA_MAGIC = b"CPSECWSX"
 
-#: Workspace format version; bump when the layout changes.
-WORKSPACE_VERSION = 1
+#: Workspace format version; bump when the layout changes.  Version 2 is
+#: the page-aligned, mmap-able layout; version 1 artifacts still load.
+WORKSPACE_VERSION = 2
+
+#: Workspace format versions :meth:`Workspace.load` understands.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Alignment of version-2 section starts (one page on every platform the
+#: artifact targets): a section boundary is also a page boundary, so the
+#: binary sections map cleanly and worker processes share whole pages.
+SECTION_ALIGN = 4096
 
 #: Delta frame format version; bump when the frame layout changes.
 DELTA_VERSION = 1
@@ -147,7 +174,10 @@ class Workspace:
     params: dict | None = None
     engine_config: dict = field(default_factory=dict)
     _corpus: CorpusStore | None = field(default=None, repr=False)
-    _corpus_bytes: bytes | None = field(default=None, repr=False)
+    #: Raw corpus-section payload, parsed lazily.  Eager loads hold a
+    #: ``bytes`` copy; mmap loads hold a zero-copy ``memoryview`` into the
+    #: mapped pages.
+    _corpus_bytes: bytes | memoryview | None = field(default=None, repr=False)
     #: The engine this workspace was built from, handed back by
     #: :meth:`engine` when the requested configuration matches, so that
     #: build-then-associate flows never tokenize-and-fit a second engine.
@@ -171,6 +201,18 @@ class Workspace:
         #: a crashed append (ignored at load) cannot end up *mid-file* in
         #: front of a new frame.
         self._valid_length: int | None = None
+        #: Delta frames this workspace carries on top of its base sections:
+        #: frames replayed by :meth:`load` plus frames appended by
+        #: :meth:`extend`.  :meth:`compact` folds them away and reports the
+        #: count.
+        self._replayed_frames = 0
+        #: Deferred-hydration state of a lazily mmap-loaded workspace
+        #: (buffer, section directory, header); ``None`` once hydrated or
+        #: for eager loads.  See :meth:`_materialized_prepared`.
+        self._mmap_pending: dict | None = None
+        #: The live memory map backing this workspace's posting views (kept
+        #: referenced so the mapping outlives the file handle).
+        self._mmap: _mmap.mmap | None = None
 
     # -- construction ---------------------------------------------------------
 
@@ -212,15 +254,31 @@ class Workspace:
         )
 
     def _materialized_prepared(self) -> dict:
-        """The prepared payload, serialized from the built engine on demand."""
+        """The prepared payload, serialized from the built engine on demand.
+
+        A lazily mmap-loaded workspace hydrates here instead: the prepared
+        JSON section is parsed and every posting buffer becomes a zero-copy
+        ``numpy`` view over the mapped pages.
+        """
         if self.prepared is None:
             with self._prepared_lock:
                 if self.prepared is None:
-                    if self._built_engine is None:
+                    if self._mmap_pending is not None:
+                        pending = self._mmap_pending
+                        self.prepared = _hydrate_prepared_v2(
+                            pending["buffer"],
+                            pending["base"],
+                            pending["sections"],
+                            pending["header"],
+                            zero_copy=pending["zero_copy"],
+                        )
+                        self._mmap_pending = None
+                    elif self._built_engine is None:
                         raise ValueError(
                             "workspace has neither a prepared payload nor an engine"
                         )
-                    self.prepared = self._built_engine.prepared_payload()
+                    else:
+                        self.prepared = self._built_engine.prepared_payload()
         return self.prepared
 
     # -- corpus ---------------------------------------------------------------
@@ -240,9 +298,12 @@ class Workspace:
                         raise ValueError(
                             "workspace has neither a corpus nor corpus bytes"
                         )
-                    self._corpus = CorpusStore.from_dict(
-                        json.loads(self._corpus_bytes)
-                    )
+                    payload = self._corpus_bytes
+                    if isinstance(payload, memoryview):
+                        # json.loads needs bytes; the copy happens only when
+                        # something actually touches the corpus.
+                        payload = payload.tobytes()
+                    self._corpus = CorpusStore.from_dict(json.loads(payload))
                     self._corpus_bytes = None
                 while self._corpus_deltas:
                     # Merge first, pop after: the unlocked fast-path guard
@@ -260,6 +321,11 @@ class Workspace:
     @property
     def corpus_fingerprint(self) -> str | None:
         """Content hash of the bundled corpus (from the prepared payload)."""
+        if self.prepared is None and self._mmap_pending is not None:
+            # The header carries the fingerprint; answering from it keeps a
+            # lazily mapped workspace lazy (hydration is cross-checked
+            # against the header when it does happen).
+            return self._mmap_pending["header"].get("corpus_fingerprint")
         return self._materialized_prepared().get("corpus_fingerprint")
 
     def matches(
@@ -439,6 +505,7 @@ class Workspace:
             else:
                 self._valid_length = size + len(frame)
             appended = len(frame)
+            self._replayed_frames += 1
         # The corpus no longer equals any deterministic generator output,
         # and every previously fitted engine is missing the new records.
         self.params = None
@@ -592,22 +659,36 @@ class Workspace:
 
     # -- persistence ----------------------------------------------------------
 
-    def save(self, path: str | Path) -> Path:
+    def save(self, path: str | Path, *, version: int = WORKSPACE_VERSION) -> Path:
         """Atomically write the one-file artifact; returns the path.
 
         Posting lists leave the prepared payload and land in the binary
-        section: per index, per token, the position array followed by the
-        frequency array, as little-endian ``uint32``.
+        section.  Version 2 (the default) writes them columnar per kind --
+        all positions in token order, then all term frequencies, as
+        little-endian ``uint32``, with every section start page-aligned --
+        which is the ``mmap``-able layout.  ``version=1`` writes the legacy
+        per-token interleaved layout for compatibility testing.
         """
+        if version not in SUPPORTED_VERSIONS:
+            raise ValueError(f"unsupported workspace version {version!r}")
         prepared = dict(self._materialized_prepared())
         index_meta: dict[str, dict] = {}
         postings_blob = bytearray()
         for kind_value, index_payload in prepared.pop("indexes").items():
             if isinstance(index_payload, InvertedIndex):
-                index_payload = index_payload.to_dict()
-            tokens, counts, blob = _pack_postings(index_payload["postings"].items())
+                documents = index_payload.document_table()
+                items = (
+                    (token, index_payload.posting_arrays(token))
+                    for token in index_payload.tokens()
+                )
+            else:
+                documents = index_payload["documents"]
+                items = index_payload["postings"].items()
+            if version == 2:
+                tokens, counts, blob = _pack_postings_columnar(items)
+            else:
+                tokens, counts, blob = _pack_postings(items)
             postings_blob += blob
-            documents = index_payload["documents"]
             index_meta[kind_value] = {
                 "doc_ids": [doc_id for doc_id, _ in documents],
                 "doc_lengths": [length for _, length in documents],
@@ -624,54 +705,118 @@ class Workspace:
             # and match prototypes in the prepared section already include
             # the delta records.
             corpus_bytes = json.dumps(self.corpus.to_dict()).encode("utf-8")
-        payload = _frame_bytes(
-            MAGIC,
-            {
-                "version": WORKSPACE_VERSION,
-                "itemsize": 4,
-                "params": self.params,
-                "engine_config": self.engine_config,
-                "corpus_fingerprint": self.corpus_fingerprint,
-            },
-            (
-                ("prepared", prepared_bytes),
-                ("postings", postings_blob),
-                ("corpus", corpus_bytes),
-            ),
+        header = {
+            "version": version,
+            "itemsize": 4,
+            "params": self.params,
+            "engine_config": self.engine_config,
+            "corpus_fingerprint": self.corpus_fingerprint,
+        }
+        sections = (
+            ("prepared", prepared_bytes),
+            ("postings", postings_blob),
+            ("corpus", corpus_bytes),
         )
+        if version == 2:
+            header["align"] = SECTION_ALIGN
+            payload = _frame_bytes_aligned(MAGIC, header, sections)
+        else:
+            payload = _frame_bytes(MAGIC, header, sections)
         written = atomic_write_bytes(path, payload)
         self._valid_length = len(payload)
         return written
 
+    def compact(self, path: str | Path) -> dict:
+        """Fold accumulated delta frames back into one contiguous base frame.
+
+        Rewrites ``path`` as a single version-2 base frame carrying the
+        *replayed* state of this workspace -- merged indexes, match
+        prototypes, platform tables, shard maps, and the merged corpus --
+        with the chained corpus fingerprint preserved, so an engine over the
+        compacted artifact is bit-identical to one over the frame-stacked
+        original.  The write is atomic (write-temp-then-rename): concurrent
+        readers keep serving the old artifact (an mmap reader keeps its
+        mapping of the old inode), and a crash mid-compact leaves the
+        original untouched.  A torn tail left by a crashed extend is healed
+        as a side effect -- the rewrite only ever contains consistent state.
+
+        A compacted artifact is exactly what ``load(path, mmap=True)`` wants:
+        one page-aligned base frame, zero delta frames to replay.  Returns a
+        summary dict (frames folded, byte sizes before/after, fingerprint,
+        per-kind document totals).
+        """
+        path = Path(path)
+        if not path.exists():
+            raise ValueError(f"workspace artifact not found: {path}")
+        bytes_before = path.stat().st_size
+        frames = self._replayed_frames
+        prepared = self._hydrated_prepared()
+        written = self.save(path)
+        self._replayed_frames = 0
+        return {
+            "path": str(written),
+            "frames_folded": frames,
+            "bytes_before": bytes_before,
+            "bytes_after": self._valid_length,
+            "corpus_fingerprint": prepared.get("corpus_fingerprint"),
+            "total_documents": {
+                kind.value: len(prepared["indexes"][kind.value])
+                for kind in RecordKind
+            },
+        }
+
     @classmethod
-    def load(cls, path: str | Path) -> "Workspace":
+    def load(cls, path: str | Path, *, mmap: bool = False) -> "Workspace":
         """Read a saved artifact; raises :class:`ValueError` when malformed.
 
-        The prepared and postings sections are decoded eagerly (they are
-        needed to build an engine); the corpus section stays raw bytes until
-        something touches :attr:`corpus`.  Delta frames appended by
-        :meth:`extend` are replayed in order over the base sections (their
-        corpus deltas stay raw too); a frame whose fingerprint chain does
-        not match the state it claims to extend fails the whole load.
+        With ``mmap=False`` (the default) the prepared and postings sections
+        are decoded eagerly into private buffers; the corpus section stays
+        raw bytes until something touches :attr:`corpus`.  With ``mmap=True``
+        the file is mapped read-only and every posting buffer becomes a
+        zero-copy ``numpy`` view over the mapped pages; a version-2 artifact
+        with no pending delta frames additionally defers the prepared-JSON
+        parse until the first engine build, so cold load cost is the header
+        parse alone -- independent of corpus scale -- and N processes mapping
+        the same artifact share one OS page cache.  Version-1 artifacts (and
+        big-endian hosts) fall back to the eager decode even when mapped.
+
+        Delta frames appended by :meth:`extend` are replayed in order over
+        the base sections (their corpus deltas stay raw too); a frame whose
+        fingerprint chain does not match the state it claims to extend fails
+        the whole load.
         """
-        raw = Path(path).read_bytes()
+        buffer: _mmap.mmap | None = None
+        if mmap:
+            with open(path, "rb") as handle:
+                try:
+                    buffer = _mmap.mmap(
+                        handle.fileno(), 0, access=_mmap.ACCESS_READ
+                    )
+                except (ValueError, OSError) as error:
+                    raise ValueError(
+                        f"cannot map workspace artifact {path}: {error}"
+                    ) from error
+            raw: bytes | _mmap.mmap = buffer
+        else:
+            raw = Path(path).read_bytes()
         newline = raw.find(b"\n")
         if raw[:newline] != MAGIC:
             raise ValueError(f"not a workspace artifact: {path}")
         second_newline = raw.find(b"\n", newline + 1)
+        prepared: dict | None = None
         try:
             if second_newline < 0:
                 raise ValueError("workspace header framing is truncated")
             header_length = int(raw[newline + 1 : second_newline])
             base = second_newline + 1
-            header = json.loads(raw[base : base + header_length])
+            header = json.loads(bytes(raw[base : base + header_length]))
             if not isinstance(header, dict):
                 raise ValueError("workspace header must be a JSON object")
             version = header.get("version")
-            if version != WORKSPACE_VERSION:
+            if version not in SUPPORTED_VERSIONS:
                 raise ValueError(
                     f"unsupported workspace version {version!r}; "
-                    f"expected {WORKSPACE_VERSION}"
+                    f"expected one of {SUPPORTED_VERSIONS}"
                 )
             if array("I").itemsize != 4 or header.get("itemsize") != 4:
                 raise ValueError(
@@ -686,23 +831,44 @@ class Workspace:
                 start = base + offset
                 if start + length > len(raw):
                     raise ValueError("workspace sections exceed the file size")
-                return raw[start : start + length]
+                return bytes(raw[start : start + length])
 
-            prepared = json.loads(section("prepared"))
-            blob = section("postings")
-            corpus_bytes = section("corpus")
-            prepared["indexes"] = _decode_indexes(
-                prepared.pop("index_meta"), blob
-            )
-            if header.get("corpus_fingerprint") != prepared.get("corpus_fingerprint"):
-                raise ValueError(
-                    "workspace header and prepared payload disagree on the "
-                    "corpus fingerprint"
-                )
             engine_config = _validate_engine_config(header.get("engine_config") or {})
             consumed = base + max(
                 offset + length for offset, length in sections.values()
             )
+            if consumed > len(raw):
+                raise ValueError("workspace sections exceed the file size")
+            # Zero-copy posting views need the mapped buffer and a
+            # little-endian host (the wire format is little-endian); the
+            # fully lazy path additionally needs a clean version-2 base
+            # frame, because delta replay must hydrate the indexes now.
+            zero_copy = buffer is not None and sys.byteorder == "little"
+            lazy = zero_copy and version == 2 and consumed == len(raw)
+            if version == 2:
+                if not lazy:
+                    prepared = _hydrate_prepared_v2(
+                        raw, base, sections, header, zero_copy=zero_copy
+                    )
+            else:
+                prepared = json.loads(section("prepared"))
+                prepared["indexes"] = _decode_indexes(
+                    prepared.pop("index_meta"), section("postings")
+                )
+                if header.get("corpus_fingerprint") != prepared.get(
+                    "corpus_fingerprint"
+                ):
+                    raise ValueError(
+                        "workspace header and prepared payload disagree on "
+                        "the corpus fingerprint"
+                    )
+            if buffer is not None:
+                offset, length = sections["corpus"]
+                corpus_bytes: bytes | memoryview = memoryview(buffer)[
+                    base + offset : base + offset + length
+                ]
+            else:
+                corpus_bytes = section("corpus")
         except (KeyError, TypeError, IndexError, json.JSONDecodeError) as error:
             raise ValueError(f"malformed workspace artifact: {error}") from error
         workspace = cls(
@@ -711,6 +877,15 @@ class Workspace:
             engine_config=engine_config,
             _corpus_bytes=corpus_bytes,
         )
+        workspace._mmap = buffer
+        if prepared is None:
+            workspace._mmap_pending = {
+                "buffer": buffer,
+                "base": base,
+                "sections": sections,
+                "header": header,
+                "zero_copy": True,
+            }
         cursor = consumed
         if consumed < len(raw):
             replayed = 0
@@ -735,6 +910,7 @@ class Workspace:
             # An extended corpus no longer equals any generator output.
             if replayed:
                 workspace.params = None
+                workspace._replayed_frames = replayed
         workspace._valid_length = cursor
         return workspace
 
@@ -832,6 +1008,215 @@ def _pack_postings(postings_items) -> tuple[list[str], list[int], bytearray]:
                 buffer.byteswap()
             blob += buffer.tobytes()
     return tokens, counts, blob
+
+
+def _le_uint32_bytes(values) -> bytes:
+    """``values`` as little-endian ``uint32`` bytes, copy-free on LE hosts."""
+    return np.asarray(values, dtype=np.uint32).astype("<u4", copy=False).tobytes()
+
+
+def _pack_postings_columnar(postings_items) -> tuple[list[str], list[int], bytes]:
+    """Pack postings into the version-2 columnar layout.
+
+    All position values concatenated in token order, then all term
+    frequencies, as little-endian ``uint32`` -- so a reader reconstructs
+    every posting buffer of a kind from exactly two ``numpy.frombuffer``
+    calls plus basic slices (zero-copy views over the mapped pages), and
+    validation vectorizes over the whole matrix instead of per-token loops.
+    """
+    tokens: list[str] = []
+    counts: list[int] = []
+    position_blob = bytearray()
+    frequency_blob = bytearray()
+    for token, (positions, frequencies) in postings_items:
+        tokens.append(token)
+        counts.append(len(positions))
+        position_blob += _le_uint32_bytes(positions)
+        frequency_blob += _le_uint32_bytes(frequencies)
+    return tokens, counts, bytes(position_blob + frequency_blob)
+
+
+def _validate_posting_matrix(
+    meta: dict,
+    positions: np.ndarray,
+    frequencies: np.ndarray,
+    total_documents: int,
+) -> None:
+    """Vectorized validation of one kind's columnar posting matrix.
+
+    Checks the same invariants the version-1 per-token decoder checks --
+    positions inside the document table and strictly increasing within each
+    token's run, no zero term frequencies -- as a handful of whole-matrix
+    numpy operations, locating the offending token only when something is
+    actually wrong.
+    """
+    if positions.size == 0:
+        return
+    ends = np.cumsum(np.asarray(meta["counts"], dtype=np.int64))
+
+    def token_at(flat_index: int) -> str:
+        return meta["tokens"][int(np.searchsorted(ends, flat_index, side="right"))]
+
+    if int(positions.max()) >= total_documents:
+        token = token_at(int(positions.argmax()))
+        raise ValueError(
+            f"posting positions of token {token!r} fall outside "
+            "the document table"
+        )
+    diffs = np.diff(positions.astype(np.int64))
+    if diffs.size:
+        # A non-positive step is legal exactly where one token's run ends
+        # and the next begins; everywhere else it breaks the sorted-postings
+        # invariant the candidate walk relies on.
+        boundaries = np.zeros(diffs.size, dtype=bool)
+        idx = ends[:-1]
+        idx = idx[(idx > 0) & (idx <= diffs.size)]
+        boundaries[idx - 1] = True
+        bad = (diffs <= 0) & ~boundaries
+        if bad.any():
+            token = token_at(int(np.flatnonzero(bad)[0]) + 1)
+            raise ValueError(
+                f"posting positions of token {token!r} are not "
+                "strictly increasing"
+            )
+    if int(frequencies.min()) == 0:
+        # uint32 buffers cannot be negative; zero would become a -inf
+        # TF-IDF weight downstream.
+        token = token_at(int(frequencies.argmin()))
+        raise ValueError(f"zero term frequency for token {token!r}")
+
+
+def _decode_indexes_v2(
+    index_meta: dict, buffer, start: int, length: int, *, zero_copy: bool
+) -> dict[str, InvertedIndex]:
+    """Decode the columnar version-2 postings section into index objects.
+
+    ``zero_copy=True`` builds every posting buffer as a read-only numpy
+    view over ``buffer`` (the mapped pages -- nothing is copied);
+    ``zero_copy=False`` decodes into the private mutable ``array('I')``
+    buffers the eager path has always produced.
+    """
+    indexes: dict[str, InvertedIndex] = {}
+    cursor = start
+    remaining = length
+    for kind_value, meta in index_meta.items():
+        counts = np.asarray(meta["counts"], dtype=np.int64)
+        if len(meta["tokens"]) != counts.size:
+            raise ValueError("workspace postings metadata is inconsistent")
+        total = int(counts.sum()) if counts.size else 0
+        nbytes = 4 * total
+        if 2 * nbytes > remaining:
+            raise ValueError("workspace postings section is truncated")
+        positions_all = np.frombuffer(
+            buffer, dtype="<u4", count=total, offset=cursor
+        )
+        frequencies_all = np.frombuffer(
+            buffer, dtype="<u4", count=total, offset=cursor + nbytes
+        )
+        _validate_posting_matrix(
+            meta, positions_all, frequencies_all, len(meta["doc_ids"])
+        )
+        ends = np.cumsum(counts)
+        starts = ends - counts
+        postings: dict[str, tuple] = {}
+        if zero_copy:
+            for i, token in enumerate(meta["tokens"]):
+                lo, hi = int(starts[i]), int(ends[i])
+                postings[token] = (positions_all[lo:hi], frequencies_all[lo:hi])
+        else:
+            view = memoryview(buffer)
+            position_arr = array("I")
+            position_arr.frombytes(view[cursor : cursor + nbytes])
+            frequency_arr = array("I")
+            frequency_arr.frombytes(view[cursor + nbytes : cursor + 2 * nbytes])
+            if sys.byteorder == "big":  # pragma: no cover - LE hosts
+                position_arr.byteswap()
+                frequency_arr.byteswap()
+            for i, token in enumerate(meta["tokens"]):
+                lo, hi = int(starts[i]), int(ends[i])
+                # array slicing copies: each token gets its own mutable
+                # buffer, exactly like the version-1 decoder produced.
+                postings[token] = (position_arr[lo:hi], frequency_arr[lo:hi])
+        indexes[kind_value] = InvertedIndex.from_posting_arrays(
+            meta["doc_ids"], meta["doc_lengths"], postings
+        )
+        cursor += 2 * nbytes
+        remaining -= 2 * nbytes
+    if remaining != 0:
+        raise ValueError("workspace postings section has trailing bytes")
+    return indexes
+
+
+def _hydrate_prepared_v2(
+    buffer, base: int, sections: dict, header: dict, *, zero_copy: bool
+) -> dict:
+    """Decode a version-2 prepared payload from (mapped or read) bytes.
+
+    Shared by the eager version-2 load path and the deferred hydration of a
+    lazily mapped workspace (:meth:`Workspace._materialized_prepared`); in
+    both cases the posting buffers never pass through JSON.
+    """
+    try:
+        offset, length = sections["prepared"]
+        prepared = json.loads(bytes(buffer[base + offset : base + offset + length]))
+        offset, length = sections["postings"]
+        prepared["indexes"] = _decode_indexes_v2(
+            prepared.pop("index_meta"),
+            buffer,
+            base + offset,
+            length,
+            zero_copy=zero_copy,
+        )
+    except (KeyError, TypeError, IndexError, json.JSONDecodeError) as error:
+        raise ValueError(f"malformed workspace artifact: {error}") from error
+    if header.get("corpus_fingerprint") != prepared.get("corpus_fingerprint"):
+        raise ValueError(
+            "workspace header and prepared payload disagree on the "
+            "corpus fingerprint"
+        )
+    return prepared
+
+
+def _frame_bytes_aligned(magic: bytes, header: dict, sections) -> bytes:
+    """Assemble a version-2 frame with page-aligned section starts.
+
+    Same framing grammar as :func:`_frame_bytes`, but the header length
+    field is a fixed-width decimal and the header JSON is padded with
+    trailing spaces (which ``json.loads`` tolerates) so the first section
+    starts on a :data:`SECTION_ALIGN` boundary; each further section offset
+    is rounded up to the alignment with zero padding.  No padding follows
+    the last section, so the frame end is exactly where delta frames
+    append.
+    """
+    offsets = {}
+    chunks: list[bytes] = []
+    cursor = 0
+    for name, section in sections:
+        pad = (-cursor) % SECTION_ALIGN
+        if pad:
+            chunks.append(b"\x00" * pad)
+            cursor += pad
+        offsets[name] = [cursor, len(section)]
+        chunks.append(bytes(section))
+        cursor += len(section)
+    header_bytes = json.dumps({**header, "sections": offsets}).encode("utf-8")
+    # magic + "\n" + ten length digits + "\n" is a fixed-size prefix, so
+    # padding the header block is enough to land section offset zero (and,
+    # because SECTION_ALIGN is a page, every aligned offset after it) on a
+    # page boundary in absolute file coordinates.
+    prefix = len(magic) + 1 + 10 + 1
+    pad = (-(prefix + len(header_bytes))) % SECTION_ALIGN
+    header_block = header_bytes + b" " * pad
+    return b"".join(
+        (
+            magic,
+            b"\n",
+            str(len(header_block)).zfill(10).encode("ascii"),
+            b"\n",
+            header_block,
+            *chunks,
+        )
+    )
 
 
 def _frame_bytes(magic: bytes, header: dict, sections) -> bytes:

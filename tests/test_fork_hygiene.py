@@ -1,0 +1,133 @@
+"""Fork hygiene: a pre-forked worker must not inherit observable state.
+
+``cpsec serve --workers N`` warms the service in the parent and forks, so
+the expensive immutable state (fitted models, mmap-backed indexes) is shared
+copy-on-write.  Everything *observable* and mutable -- engine stats, result
+caches, the whole-response cache, the process-wide CVSS LRU caches -- must
+reset in the child via :meth:`AnalysisService.post_fork_reset`, or worker 1
+would report the parent's warm-up traffic as its own and worker 2 would
+start with a different cache temperature than worker 1.
+
+Real ``os.fork`` is used (skipped where unavailable): copy-on-write
+semantics around the reset are exactly what is under test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.corpus.cvss import _base_score_cached, _parse_cached
+from repro.service.protocol import AssociateRequest
+from repro.service.service import AnalysisService
+from repro.workspace import Workspace
+
+SCALE = 0.02
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="post-fork hygiene needs os.fork"
+)
+
+
+@pytest.fixture(scope="module")
+def warm_service(tmp_path_factory):
+    """A parent-side service with warm engines and hot caches."""
+    path = tmp_path_factory.mktemp("fork") / "ws.cpsecws"
+    Workspace.build(scale=SCALE).save(path)
+    service = AnalysisService(
+        workspaces={"main": path},
+        default_workspace="main",
+        save_artifacts=False,
+        workspace_mmap=True,
+    )
+    service.warm_workspace("main")
+    # Warm-up traffic: fills engine stats, result caches, and CVSS LRUs.
+    service.associate(AssociateRequest(scale=SCALE, workspace="main"))
+    return service
+
+
+def _child_snapshot(service: AnalysisService) -> dict:
+    """What a freshly reset worker observes (runs in the forked child)."""
+    service.post_fork_reset()
+    workspace = service.warm_workspace("main")
+    stats = [engine.stats.snapshot() for engine in workspace.engine_handles()]
+    return {
+        "stats": stats,
+        "cvss_parse_cached": _parse_cached.cache_info().currsize,
+        "cvss_score_cached": _base_score_cached.cache_info().currsize,
+    }
+
+
+def _run_in_fork(fn, *args) -> dict:
+    """Run ``fn`` in a forked child; returns its JSON result via a pipe."""
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:
+        code = 1
+        try:
+            os.close(read_fd)
+            payload = json.dumps(fn(*args)).encode("utf-8")
+            os.write(write_fd, payload)
+            os.close(write_fd)
+            code = 0
+        except BaseException:
+            import traceback
+
+            traceback.print_exc()
+        finally:
+            os._exit(code)
+    os.close(write_fd)
+    chunks = []
+    while True:
+        chunk = os.read(read_fd, 65536)
+        if not chunk:
+            break
+        chunks.append(chunk)
+    os.close(read_fd)
+    _, status = os.waitpid(pid, 0)
+    assert os.waitstatus_to_exitcode(status) == 0, "forked child failed"
+    return json.loads(b"".join(chunks))
+
+
+def test_two_forked_workers_start_with_zero_engine_stats(warm_service):
+    # The parent's warm-up really did dirty the counters...
+    parent_stats = [
+        engine.stats.snapshot()
+        for engine in warm_service.warm_workspace("main").engine_handles()
+    ]
+    assert any(any(counters.values()) for counters in parent_stats)
+    # ...and each of two forked workers observes zeroed ones after reset.
+    for _ in range(2):
+        snapshot = _run_in_fork(_child_snapshot, warm_service)
+        assert snapshot["stats"], "child lost its warm engines"
+        for counters in snapshot["stats"]:
+            assert all(value == 0 for value in counters.values()), counters
+        assert snapshot["cvss_parse_cached"] == 0
+        assert snapshot["cvss_score_cached"] == 0
+
+
+def test_reset_keeps_the_parent_untouched(warm_service):
+    """post_fork_reset in the child is copy-on-write: the parent's hot
+    caches and counters survive its children resetting theirs."""
+    before = [
+        engine.stats.snapshot()
+        for engine in warm_service.warm_workspace("main").engine_handles()
+    ]
+    _run_in_fork(_child_snapshot, warm_service)
+    after = [
+        engine.stats.snapshot()
+        for engine in warm_service.warm_workspace("main").engine_handles()
+    ]
+    assert after == before
+    assert _parse_cached.cache_info().currsize > 0
+
+
+def test_post_fork_reset_is_also_safe_in_process(warm_service):
+    """The reset is idempotent and does not require an actual fork."""
+    warm_service.post_fork_reset()
+    response = warm_service.associate(AssociateRequest(scale=SCALE, workspace="main"))
+    warm_service.post_fork_reset()
+    again = warm_service.associate(AssociateRequest(scale=SCALE, workspace="main"))
+    assert response.to_dict() == again.to_dict()

@@ -273,8 +273,8 @@ def test_ops_discovery_endpoint(live):
     assert sorted(payload["workspaces"]) == ["a", "b"]
     assert payload["default_workspace"] == "a"
     # Discovery lists every operation: the pure ones the REQUESTS table
-    # covers plus the mutating extend operation.
-    assert set(payload["operations"]) == set(REQUESTS) | {"extend"}
+    # covers plus the mutating extend/compact operations.
+    assert set(payload["operations"]) == set(REQUESTS) | {"extend", "compact"}
     fields = payload["operations"]["associate"]["request_fields"]
     assert "workspace" in fields and "scale" in fields
 

@@ -272,6 +272,87 @@ def test_anonymous_submissions_share_one_quota_bucket():
         manager.close(timeout=5.0)
 
 
+def test_quota_state_survives_restart(tmp_path):
+    """A restart refills buckets for the downtime only, not to full burst."""
+    journal = tmp_path / "jobs.jsonl"
+    manager, _ = stepped_manager(quota=(1.0, 4), journal_path=journal)
+    try:
+        for _ in range(4):
+            manager.submit("topology", {}, client="alice")
+        drain_steps(manager)
+    finally:
+        manager.close(timeout=5.0)
+    assert '"kind":"quota"' in journal.read_text()
+
+    # 2 seconds of wall-clock downtime at 1 token/s refills exactly 2 of the
+    # 4 tokens alice spent -- not the full burst a fresh bucket would grant.
+    restarted, _ = stepped_manager(
+        clock=FakeClock(start=1_700_000_000.0 + 2.0),
+        quota=(1.0, 4),
+        journal_path=journal,
+    )
+    try:
+        restarted.submit("topology", {}, client="alice")
+        restarted.submit("topology", {}, client="alice")
+        with pytest.raises(ServiceError) as excinfo:
+            restarted.submit("topology", {}, client="alice")
+        assert excinfo.value.code == "quota_exhausted"
+        assert excinfo.value.details["retry_after_s"] == pytest.approx(1.0)
+        # An unseen client still starts with a full bucket.
+        assert restarted.submit("topology", {}, client="bob").state == "queued"
+        drain_steps(restarted)
+    finally:
+        restarted.close(timeout=5.0)
+
+
+def test_journal_without_quota_snapshot_replays_with_full_buckets(tmp_path):
+    """Pre-snapshot journals (or quota newly enabled) grant full buckets."""
+    journal = tmp_path / "jobs.jsonl"
+    manager, _ = stepped_manager(journal_path=journal)  # no quota: no snapshot
+    try:
+        manager.submit("topology", {}, client="alice")
+        drain_steps(manager)
+    finally:
+        manager.close(timeout=5.0)
+    assert '"kind":"quota"' not in journal.read_text()
+
+    restarted, _ = stepped_manager(quota=(0.001, 1), journal_path=journal)
+    try:
+        assert restarted.submit("topology", {}, client="alice").state == "queued"
+        with pytest.raises(ServiceError):
+            restarted.submit("topology", {}, client="alice")
+        drain_steps(restarted)
+    finally:
+        restarted.close(timeout=5.0)
+
+
+def test_journal_compaction_keeps_only_the_last_quota_snapshot(tmp_path):
+    """Each shutdown appends a snapshot; compaction drops all but the last."""
+    journal = tmp_path / "jobs.jsonl"
+    for _ in range(2):
+        manager, _ = stepped_manager(quota=(1.0, 2), journal_path=journal)
+        try:
+            manager.submit("topology", {}, client="alice")
+            drain_steps(manager)
+        finally:
+            manager.close(timeout=5.0)
+    assert journal.read_text().count('"kind":"quota"') == 2
+
+    # journal_keep triggers compaction at startup; the replayed bucket state
+    # must come from the *last* snapshot (alice spent 1 token per cycle, so
+    # the newest snapshot has 0 tokens left of the burst of 2).
+    restarted, _ = stepped_manager(
+        quota=(1.0, 2), journal_path=journal, journal_keep=1
+    )
+    try:
+        assert journal.read_text().count('"kind":"quota"') == 1
+        with pytest.raises(ServiceError) as excinfo:
+            restarted.submit("topology", {}, client="alice")
+        assert excinfo.value.code == "quota_exhausted"
+    finally:
+        restarted.close(timeout=5.0)
+
+
 # ---------------------------------------------------------------------------
 # journal compatibility
 

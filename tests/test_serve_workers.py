@@ -1,0 +1,238 @@
+"""End-to-end ``cpsec serve --workers N`` process tests.
+
+The pre-forked server is supervised process topology -- fork, shared
+listening socket, crash restart, SIGTERM fan-out -- none of which can be
+meaningfully tested in-process, so these run the real console entry point as
+a subprocess, like ``test_cli_serve``.  The load-bearing claim: ``--workers
+2`` is *byte-identical* to ``--workers 1`` for every response, because the
+workers share one read-only mmap artifact and results are a pure function
+of it.
+"""
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.workspace import Workspace
+
+SCALE = 0.02
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: One representative raw payload per pure operation (canonical-JSON bodies
+#: give byte-comparable responses across servers).
+OPERATION_PAYLOADS = {
+    "associate": {"scale": SCALE},
+    "table1": {"scale": SCALE},
+    "whatif": {"scale": SCALE},
+    "chains": {"scale": SCALE, "limit": 3},
+    "topology": {},
+    "recommend": {"scale": SCALE, "per_component": 2},
+    "simulate": {"scenario": "triton-like-sis-bypass"},
+    "consequences": {"record": "CWE-78", "duration_s": 300.0},
+    "validate": {},
+    "export": {},
+}
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    path = tmp_path_factory.mktemp("workers") / "serve.cpsecws"
+    Workspace.build(scale=SCALE).save(path)
+    return path
+
+
+def _spawn_serve(artifact: Path, *extra: str) -> tuple[subprocess.Popen, str, list]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--workspace", f"main={artifact}",
+            "--port", "0",
+            *extra,
+        ],
+        cwd=artifact.parent,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    lines: list[str] = []
+
+    def _pump() -> None:
+        for line in process.stdout:
+            lines.append(line.rstrip("\n"))
+
+    threading.Thread(target=_pump, daemon=True).start()
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        banner = next((line for line in lines if "serving analysis service" in line), None)
+        if banner:
+            url = banner.split("on ", 1)[1].split(" ", 1)[0]
+            return process, url, lines
+        if process.poll() is not None:
+            break
+        time.sleep(0.1)
+    process.kill()
+    raise AssertionError(f"serve did not come up; output so far: {lines}")
+
+
+def _wait_for_workers(lines: list, count: int, timeout: float = 60.0) -> list[int]:
+    """PIDs of the first ``count`` started workers from the supervisor log."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        pids = [
+            int(match.group(1))
+            for line in list(lines)
+            if (match := re.search(r"worker (\d+) started", line))
+        ]
+        if len(pids) >= count:
+            return pids[:count]
+        time.sleep(0.1)
+    raise AssertionError(f"only saw workers in: {lines}")
+
+
+def _post(url: str, operation: str, payload: dict) -> bytes:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    request = urllib.request.Request(
+        f"{url}/v1/{operation}",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=300) as response:
+        return response.read()
+
+
+def _terminate(process: subprocess.Popen) -> int:
+    process.send_signal(signal.SIGTERM)
+    try:
+        return process.wait(timeout=60.0)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise
+
+
+@pytest.mark.slow
+def test_two_workers_answer_byte_identically_to_one(artifact):
+    """Every operation's response bytes match between --workers 1 and 2."""
+    single, single_url, _ = _spawn_serve(artifact, "--job-journal", "none")
+    multi, multi_url, multi_lines = _spawn_serve(
+        artifact, "--workers", "2", "--job-journal", "none"
+    )
+    try:
+        _wait_for_workers(multi_lines, 2)
+        for operation, payload in OPERATION_PAYLOADS.items():
+            reference = _post(single_url, operation, payload)
+            # Twice per operation: with kernel accept balancing both workers
+            # see traffic across the sweep, and every byte must match.
+            assert _post(multi_url, operation, payload) == reference, operation
+            assert _post(multi_url, operation, payload) == reference, operation
+    finally:
+        assert _terminate(multi) == 0
+        assert _terminate(single) == 0
+
+
+@pytest.mark.slow
+def test_crashed_worker_is_restarted_and_serving_continues(artifact):
+    process, url, lines = _spawn_serve(
+        artifact, "--workers", "2", "--job-journal", "none"
+    )
+    try:
+        pids = _wait_for_workers(lines, 2)
+        reference = _post(url, "topology", {})
+        os.kill(pids[0], signal.SIGKILL)
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if any("restarting slot" in line for line in list(lines)):
+                break
+            time.sleep(0.1)
+        else:
+            raise AssertionError(f"no restart observed: {lines}")
+        _wait_for_workers(lines, 3)  # the replacement announced itself
+        # Service stayed up through the crash and stays byte-identical.
+        assert _post(url, "topology", {}) == reference
+    finally:
+        assert _terminate(process) == 0
+    output = "\n".join(lines)
+    assert re.search(r"worker \d+ exited \(-9\); restarting slot 0", output)
+    assert "shutdown complete (all workers drained, journals flushed)" in output
+
+
+@pytest.mark.slow
+def test_sigterm_drains_every_worker_and_their_journals(artifact, tmp_path):
+    journal = tmp_path / "jobs.jsonl"
+    process, url, lines = _spawn_serve(
+        artifact, "--workers", "2", "--job-journal", str(journal)
+    )
+    try:
+        _wait_for_workers(lines, 2)
+        # The jobs tier is per-worker (each worker owns its manager and
+        # journal), so the submit and its follow-ups must ride ONE
+        # keep-alive connection -- the kernel balances *accepts*, so a
+        # single TCP connection pins a single worker.
+        host, port = url.split("//", 1)[1].split(":")
+        connection = http.client.HTTPConnection(host, int(port), timeout=120)
+
+        def call(method: str, path: str, payload=None) -> dict:
+            body = None if payload is None else json.dumps(payload).encode()
+            connection.request(
+                method, path, body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status in (200, 202), (path, response.status)
+            return json.loads(response.read())
+
+        job = call(
+            "POST", "/v1/jobs",
+            {"operation": "associate", "request": {"scale": SCALE}},
+        )
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            record = call("GET", f"/v1/jobs/{job['job_id']}")
+            if record["state"] in ("succeeded", "failed", "cancelled"):
+                break
+            time.sleep(0.2)
+        connection.close()
+        assert record["state"] == "succeeded"
+    finally:
+        assert _terminate(process) == 0
+    output = "\n".join(lines)
+    assert "shutdown complete (all workers drained, journals flushed)" in output
+    # Per-worker journals: slot suffixes keep two processes from interleaving
+    # writes into one file; the submitted job landed in exactly one of them.
+    journals = sorted(tmp_path.glob("jobs.jsonl.w*"))
+    assert len(journals) == 2
+    contents = [path.read_text() for path in journals]
+    assert sum(job["job_id"] in text for text in contents) == 1
+
+
+def test_serve_rejects_zero_workers(artifact):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--workspace", f"main={artifact}",
+            "--port", "0", "--workers", "0",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 2
+    assert "--workers must be >= 1" in result.stderr

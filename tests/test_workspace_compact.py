@@ -1,0 +1,252 @@
+"""``workspace compact``: folding delta frames back into base sections.
+
+``Workspace.compact`` rewrites an artifact with accumulated ``CPSECWSX``
+delta frames (and any crash-torn tail) as a single page-aligned v2 base
+frame.  It must be *exact* -- an engine over the compacted artifact returns
+bit-identical associations to both the pre-compact state and a from-scratch
+build over the merged corpus -- and *atomic* -- the rewrite is
+write-temp-then-rename, so concurrent readers keep serving the old bytes.
+The service's ``compact`` operation layers typed errors and artifact
+swapping on top, exactly like ``extend``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers_equivalence import association_signature
+from repro.casestudies.centrifuge import build_centrifuge_model
+from repro.corpus.synthesis import build_corpus, build_extension_corpus
+from repro.search.engine import SearchEngine
+from repro.service.client import ServiceClient
+from repro.service.http import start_server
+from repro.service.protocol import (
+    AssociateRequest,
+    CompactRequest,
+    ServiceError,
+)
+from repro.service.service import AnalysisService
+from repro.workspace import DELTA_MAGIC, Workspace
+
+TEST_SCALE = 0.03
+
+
+@pytest.fixture(scope="module")
+def base_artifact(tmp_path_factory):
+    path = tmp_path_factory.mktemp("compact") / "base.cpsecws"
+    Workspace.build(scale=TEST_SCALE).save(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def delta_records():
+    return list(build_extension_corpus(count=25, seed=42).all_records())
+
+
+@pytest.fixture(scope="module")
+def second_delta_records():
+    return list(
+        build_extension_corpus(count=10, seed=43, start_serial=950000).all_records()
+    )
+
+
+def _copy(base_artifact, tmp_path, name="ws.cpsecws"):
+    path = tmp_path / name
+    path.write_bytes(base_artifact.read_bytes())
+    return path
+
+
+# -- exactness -----------------------------------------------------------------
+
+
+def test_extend_compact_extend_equals_from_scratch_build(
+    base_artifact, tmp_path, delta_records, second_delta_records
+):
+    path = _copy(base_artifact, tmp_path)
+    Workspace.load(path).extend(delta_records, path=path)
+    workspace = Workspace.load(path)
+    summary = workspace.compact(path)
+    assert summary["frames_folded"] == 1
+    # Folding a frame trades its overhead for page-alignment padding of the
+    # rewritten sections, so the size change is bounded by a few pages in
+    # either direction -- not asserted beyond sanity.
+    assert abs(summary["bytes_after"] - summary["bytes_before"]) < summary["bytes_before"]
+    Workspace.load(path).extend(second_delta_records, path=path)
+
+    merged = build_corpus(scale=TEST_SCALE)
+    merged.add_all(delta_records)
+    merged.add_all(second_delta_records)
+    reference = SearchEngine(merged, sharded=False, enable_cache=False)
+    model = build_centrifuge_model()
+    reloaded = Workspace.load(path)
+    assert association_signature(
+        reloaded.engine().associate(model)
+    ) == association_signature(reference.associate(model))
+    assert len(reloaded.corpus) == len(merged)
+
+
+def test_compact_output_is_a_single_base_frame(
+    base_artifact, tmp_path, delta_records, second_delta_records
+):
+    path = _copy(base_artifact, tmp_path)
+    Workspace.load(path).extend(delta_records, path=path)
+    Workspace.load(path).extend(second_delta_records, path=path)
+    assert path.read_bytes().count(DELTA_MAGIC) == 2
+    summary = Workspace.load(path).compact(path)
+    assert summary["frames_folded"] == 2
+    raw = path.read_bytes()
+    assert DELTA_MAGIC not in raw
+    # The compacted file is a well-formed v2 artifact that mmap-loads lazily.
+    mapped = Workspace.load(path, mmap=True)
+    assert mapped._mmap_pending is not None
+
+
+def test_compact_is_idempotent(base_artifact, tmp_path, delta_records):
+    path = _copy(base_artifact, tmp_path)
+    Workspace.load(path).extend(delta_records, path=path)
+    Workspace.load(path).compact(path)
+    first = path.read_bytes()
+    summary = Workspace.load(path).compact(path)
+    assert summary["frames_folded"] == 0
+    assert path.read_bytes() == first
+
+
+def test_compact_heals_a_crash_torn_tail(base_artifact, tmp_path, delta_records):
+    path = _copy(base_artifact, tmp_path)
+    Workspace.load(path).extend(delta_records, path=path)
+    raw = path.read_bytes()
+    path.write_bytes(raw[:-64])  # tear the appended frame mid-write
+    workspace = Workspace.load(path)  # recovers to the pre-extend state
+    workspace.compact(path)
+    healed = path.read_bytes()
+    assert DELTA_MAGIC not in healed
+    model = build_centrifuge_model()
+    assert association_signature(
+        Workspace.load(path).engine().associate(model)
+    ) == association_signature(
+        Workspace.load(base_artifact).engine().associate(model)
+    )
+
+
+def test_compact_keeps_concurrent_readers_on_the_old_bytes(
+    base_artifact, tmp_path, delta_records
+):
+    """The rewrite is atomic (temp + rename): a reader that mapped the old
+    inode keeps serving its consistent state while the path moves on."""
+    path = _copy(base_artifact, tmp_path)
+    Workspace.load(path).extend(delta_records, path=path)
+    reader = Workspace.load(path, mmap=True)
+    before = association_signature(
+        reader.engine().associate(build_centrifuge_model())
+    )
+    Workspace.load(path).compact(path)
+    # The old map still answers, identically, from the replaced inode...
+    assert association_signature(
+        reader.engine().associate(build_centrifuge_model())
+    ) == before
+    # ...and a fresh load of the path sees the compacted artifact, exact too.
+    assert association_signature(
+        Workspace.load(path).engine().associate(build_centrifuge_model())
+    ) == before
+
+
+def test_compact_requires_an_existing_artifact(base_artifact, tmp_path):
+    workspace = Workspace.load(base_artifact)
+    with pytest.raises(ValueError, match="not found"):
+        workspace.compact(tmp_path / "ghost.cpsecws")
+
+
+# -- service operation ---------------------------------------------------------
+
+
+def test_service_compact_folds_and_swaps(base_artifact, tmp_path, delta_records):
+    path = _copy(base_artifact, tmp_path)
+    Workspace.load(path).extend(delta_records, path=path)
+    service = AnalysisService(
+        workspaces={"main": path}, default_workspace="main", save_artifacts=False
+    )
+    before = service.associate(AssociateRequest(scale=TEST_SCALE))
+    response = service.compact(CompactRequest(workspace="main"))
+    assert response.frames_folded == 1
+    assert response.workspace == "main"
+    assert response.bytes_after == path.stat().st_size
+    assert DELTA_MAGIC not in path.read_bytes()
+    # Results are bit-identical across a compact.
+    after = service.associate(AssociateRequest(scale=TEST_SCALE))
+    assert after.to_dict() == before.to_dict()
+
+
+def test_service_compact_routes_to_the_default_workspace(
+    base_artifact, tmp_path, delta_records
+):
+    path = _copy(base_artifact, tmp_path)
+    Workspace.load(path).extend(delta_records, path=path)
+    service = AnalysisService(
+        workspaces={"main": path}, default_workspace="main", save_artifacts=False
+    )
+    response = service.compact(CompactRequest())  # no workspace named
+    assert response.workspace == "main"
+    assert response.frames_folded == 1
+
+
+def test_service_compact_rejects_in_memory_workspaces(base_artifact):
+    service = AnalysisService(
+        workspaces={"mem": Workspace.load(base_artifact)},
+        default_workspace="mem",
+        save_artifacts=False,
+    )
+    with pytest.raises(ServiceError) as excinfo:
+        service.compact(CompactRequest(workspace="mem"))
+    assert excinfo.value.code == "no_artifact"
+    assert excinfo.value.status == 409
+
+
+def test_service_compact_rejects_unknown_and_missing(base_artifact, tmp_path):
+    path = _copy(base_artifact, tmp_path)
+    service = AnalysisService(
+        workspaces={"main": path}, default_workspace="main", save_artifacts=False
+    )
+    with pytest.raises(ServiceError) as excinfo:
+        service.compact(CompactRequest(workspace="ghost"))
+    assert excinfo.value.code == "unknown_workspace"
+    path.unlink()
+    with pytest.raises(ServiceError) as excinfo:
+        service.compact(CompactRequest(workspace="main"))
+    assert excinfo.value.code == "workspace_not_found"
+    assert excinfo.value.status == 404
+
+
+def test_service_compact_without_any_workspace_is_typed(base_artifact):
+    service = AnalysisService(save_artifacts=False)
+    with pytest.raises(ServiceError) as excinfo:
+        service.compact(CompactRequest())
+    assert excinfo.value.code == "no_workspace"
+    assert excinfo.value.status == 409
+
+
+# -- HTTP round-trip -----------------------------------------------------------
+
+
+def test_compact_round_trips_over_http(base_artifact, tmp_path, delta_records):
+    path = _copy(base_artifact, tmp_path)
+    Workspace.load(path).extend(delta_records, path=path)
+    service = AnalysisService(
+        workspaces={"main": path}, default_workspace="main", save_artifacts=False
+    )
+    server = start_server(service, port=0)
+    try:
+        import threading
+
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}")
+        response = client.compact(CompactRequest(workspace="main"))
+        assert response.frames_folded == 1
+        assert response.workspace == "main"
+        with pytest.raises(ServiceError) as excinfo:
+            client.compact(CompactRequest(workspace="ghost"))
+        assert excinfo.value.code == "unknown_workspace"
+    finally:
+        server.shutdown()
+        server.server_close()

@@ -1,0 +1,214 @@
+"""Zero-copy mmap loading of v2 workspace artifacts.
+
+``Workspace.load(path, mmap=True)`` must be an *exact* shortcut, like every
+other fast path in this repo: an engine over a memory-mapped artifact must
+return bit-identical associations to an engine over the same artifact loaded
+eagerly, across every scorer, both fidelity modes, and both case studies.
+The mmap path must also stay honest about its laziness (a cold load parses
+the header only), fall back gracefully for v1 artifacts and delta-extended
+artifacts, and keep mutation safe via copy-on-extend.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import numpy as np
+import pytest
+
+from helpers_equivalence import association_signature
+from repro.casestudies.centrifuge import build_centrifuge_model
+from repro.casestudies.uav import build_uav_model
+from repro.corpus.synthesis import build_corpus, build_extension_corpus
+from repro.search.engine import SCORERS, SearchEngine
+from repro.workspace import SECTION_ALIGN, WORKSPACE_VERSION, Workspace
+
+MODELS = {
+    "centrifuge": build_centrifuge_model,
+    "uav": build_uav_model,
+}
+
+TEST_SCALE = 0.03
+
+
+@pytest.fixture(scope="module")
+def base_artifact(tmp_path_factory):
+    path = tmp_path_factory.mktemp("mmap") / "base.cpsecws"
+    Workspace.build(scale=TEST_SCALE).save(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def delta_records():
+    return list(build_extension_corpus(count=25, seed=42).all_records())
+
+
+@pytest.fixture(scope="module", params=SCORERS)
+def scorer(request):
+    return request.param
+
+
+@pytest.fixture(scope="module", params=(True, False), ids=("fidelity", "no-fidelity"))
+def fidelity_aware(request):
+    return request.param
+
+
+# -- format ---------------------------------------------------------------------
+
+
+def _read_header(path) -> dict:
+    raw = path.read_bytes()
+    _, length, rest = raw.split(b"\n", 2)
+    return json.loads(rest[: int(length)])
+
+
+def test_v2_artifact_sections_are_page_aligned(base_artifact):
+    header = _read_header(base_artifact)
+    assert header["version"] == WORKSPACE_VERSION
+    assert header["align"] == SECTION_ALIGN
+    for name, (offset, length) in header["sections"].items():
+        assert offset % SECTION_ALIGN == 0, (name, offset)
+        assert length > 0
+
+
+def test_mmap_cold_load_stays_lazy(base_artifact):
+    workspace = Workspace.load(base_artifact, mmap=True)
+    # The hot sections have not been decoded: hydration is still pending.
+    assert workspace.prepared is None
+    assert workspace._mmap_pending is not None
+    # The header still answers fingerprint queries without hydrating.
+    assert workspace.corpus_fingerprint
+    assert workspace.prepared is None
+
+
+def test_mmap_hydration_produces_zero_copy_views(base_artifact):
+    if sys.byteorder != "little":
+        pytest.skip("zero-copy views need a little-endian host")
+    workspace = Workspace.load(base_artifact, mmap=True)
+    prepared = workspace._materialized_prepared()
+    index = prepared["indexes"]["vulnerability"]
+    token = next(iter(index.tokens()))
+    positions, frequencies = index.posting_arrays(token)
+    assert isinstance(positions, np.ndarray)
+    assert isinstance(frequencies, np.ndarray)
+    # Views, not copies: the arrays do not own their bytes.
+    assert positions.base is not None
+    assert frequencies.base is not None
+
+
+# -- exactness ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+def test_mmap_engine_bit_identical_to_eager(
+    base_artifact, scorer, fidelity_aware, model_name
+):
+    model = MODELS[model_name]()
+    mapped = Workspace.load(base_artifact, mmap=True)
+    eager = Workspace.load(base_artifact)
+    assert association_signature(
+        mapped.engine(scorer=scorer, fidelity_aware=fidelity_aware).associate(model)
+    ) == association_signature(
+        eager.engine(scorer=scorer, fidelity_aware=fidelity_aware).associate(model)
+    )
+
+
+def test_v1_artifact_loads_through_the_mmap_flag(base_artifact, tmp_path):
+    """A v1 artifact has no aligned sections; mmap=True takes the legacy
+    eager decode over the mapped bytes instead of failing."""
+    v1_path = tmp_path / "v1.cpsecws"
+    Workspace.load(base_artifact).save(v1_path, version=1)
+    assert _read_header(v1_path)["version"] == 1
+    mapped = Workspace.load(v1_path, mmap=True)
+    model = build_centrifuge_model()
+    assert association_signature(
+        mapped.engine().associate(model)
+    ) == association_signature(
+        Workspace.load(base_artifact).engine().associate(model)
+    )
+
+
+def test_mmap_load_replays_delta_frames_exactly(
+    base_artifact, tmp_path, delta_records
+):
+    path = tmp_path / "ws.cpsecws"
+    path.write_bytes(base_artifact.read_bytes())
+    Workspace.load(path).extend(delta_records, path=path)
+    mapped = Workspace.load(path, mmap=True)
+    merged = build_corpus(scale=TEST_SCALE)
+    merged.add_all(delta_records)
+    model = build_uav_model()
+    assert association_signature(
+        mapped.engine().associate(model)
+    ) == association_signature(Workspace.load(path).engine().associate(model))
+    assert len(mapped.corpus) == len(merged)
+
+
+def test_mmap_load_recovers_from_a_torn_tail(
+    base_artifact, tmp_path, delta_records
+):
+    path = tmp_path / "ws.cpsecws"
+    path.write_bytes(base_artifact.read_bytes())
+    Workspace.load(path).extend(delta_records, path=path)
+    raw = path.read_bytes()
+    path.write_bytes(raw[:-64])  # tear the appended frame
+    recovered = Workspace.load(path, mmap=True)
+    model = build_centrifuge_model()
+    assert association_signature(
+        recovered.engine().associate(model)
+    ) == association_signature(
+        Workspace.load(base_artifact).engine().associate(model)
+    )
+
+
+# -- mutation safety ------------------------------------------------------------
+
+
+def test_extend_over_mmap_workspace_copies_before_mutating(
+    base_artifact, tmp_path, delta_records
+):
+    """In-memory extend of a mapped workspace must not write through the map
+    (the pages are shared, read-only) and must stay exact."""
+    path = tmp_path / "ws.cpsecws"
+    path.write_bytes(base_artifact.read_bytes())
+    before = path.read_bytes()
+    workspace = Workspace.load(path, mmap=True)
+    workspace.extend(delta_records)  # in-memory only
+    assert path.read_bytes() == before  # the mapped file is untouched
+    merged = build_corpus(scale=TEST_SCALE)
+    merged.add_all(delta_records)
+    reference = SearchEngine(merged, sharded=False, enable_cache=False)
+    model = build_centrifuge_model()
+    assert association_signature(
+        workspace.engine().associate(model)
+    ) == association_signature(reference.associate(model))
+
+
+def test_save_roundtrip_of_mmap_loaded_workspace(base_artifact, tmp_path):
+    """save() of a lazily mapped workspace re-serializes identical bytes."""
+    workspace = Workspace.load(base_artifact, mmap=True)
+    copy_path = tmp_path / "copy.cpsecws"
+    workspace.save(copy_path)
+    assert copy_path.read_bytes() == base_artifact.read_bytes()
+
+
+# -- corruption -----------------------------------------------------------------
+
+
+def test_mmap_load_rejects_truncated_sections(base_artifact, tmp_path):
+    path = tmp_path / "cut.cpsecws"
+    raw = base_artifact.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    with pytest.raises(ValueError):
+        Workspace.load(path, mmap=True)
+
+
+def test_mmap_load_rejects_missing_file(tmp_path):
+    # Same contract as the eager path: a missing artifact is an OSError.
+    with pytest.raises(FileNotFoundError):
+        Workspace.load(tmp_path / "ghost.cpsecws", mmap=True)
+
+
+def test_section_alignment_constant_is_a_page_multiple():
+    assert SECTION_ALIGN % 4096 == 0

@@ -108,7 +108,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="only exercise the HTTP path (no in-process comparison)")
     args = parser.parse_args(argv)
 
-    client = ServiceClient(args.url)
+    # A fixed trace id on every request: the server must echo it back on the
+    # X-Cpsec-Trace-Id response header (success) or in the error body.
+    client = ServiceClient(args.url, trace_id="ci-roundtrip")
     health = client.health()
     if health.get("status") != "ok" or health.get("schema_version") != SCHEMA_VERSION:
         print(f"FAIL healthz: unexpected payload {health}", file=sys.stderr)
@@ -127,6 +129,12 @@ def main(argv: list[str] | None = None) -> int:
             wire = client.call_raw(operation, request.to_dict())
         except ServiceError as error:
             failures.append(f"{operation}: HTTP {error.status} {error.code}: {error.message}")
+            continue
+        if client.last_trace_id != "ci-roundtrip":
+            failures.append(
+                f"{operation}: trace id {client.last_trace_id!r} did not "
+                "propagate (expected 'ci-roundtrip')"
+            )
             continue
         payload = json.loads(wire)
         if payload.get("schema_version") != SCHEMA_VERSION:
@@ -163,7 +171,8 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(f"all {len(requests) + 2} operations round-tripped"
           + ("" if args.skip_local else
-             " and the pure ones matched the in-process service"))
+             " and the pure ones matched the in-process service")
+          + "; trace ids propagated end to end")
     return 0
 
 

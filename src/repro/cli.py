@@ -56,10 +56,14 @@ import argparse
 import http.client
 import json
 import os
+import shutil
 import signal
 import socket
 import sys
+import tempfile
 import threading
+import urllib.error
+import urllib.request
 from pathlib import Path
 
 from repro import __version__
@@ -72,6 +76,7 @@ from repro.analysis.report import (
 )
 from repro.graph.graphml import read_graphml
 from repro.jobs import MERGE_OPERATION, JobManager
+from repro.obs.textparse import ExpositionParseError, parse_exposition
 from repro.service.client import ServiceClient
 from repro.service.http import start_server
 from repro.service.protocol import (
@@ -517,6 +522,8 @@ def _build_jobs(args: argparse.Namespace, service, journal_path) -> JobManager:
         journal_keep=args.journal_keep if args.journal_keep > 0 else None,
         policy=args.job_policy,
         quota=_parse_quota(args.quota),
+        # Job lifecycle counters land in the same registry /metrics serves.
+        metrics=service.metrics,
     )
 
 
@@ -561,14 +568,17 @@ def _run_server_loop(server, jobs, drain_timeout: float, *, quiet: bool = False)
     return drained
 
 
-def _serve_worker(slot: int, sock, service, args, journal_path) -> None:
+def _serve_worker(slot: int, sock, service, args, journal_path, metrics_dir) -> None:
     """Body of one pre-forked request worker (runs in the child process).
 
     The child inherits the parent's warm service -- fitted models and
     mmap-backed posting buffers shared read-only across workers -- resets
-    the mutable state it must not inherit, builds its *own* job engine over
+    the mutable state it must not inherit (including the metrics registry:
+    counters restart at zero per worker), builds its *own* job engine over
     a per-worker journal (thread pools do not survive a fork), and serves
     the listener socket inherited from the parent until SIGTERM drains it.
+    Its metrics registry is serialized into ``metrics_dir`` after every
+    request so a ``/metrics`` scrape on any sibling covers the whole fleet.
     """
     service.post_fork_reset()
     jobs = _build_jobs(
@@ -581,7 +591,13 @@ def _serve_worker(slot: int, sock, service, args, journal_path) -> None:
         verbose=args.verbose,
         jobs=jobs,
         listen_socket=sock,
+        slow_request_ms=args.slow_request_ms,
+        metrics_dir=metrics_dir,
+        worker_label=str(slot),
     )
+    # Publish a zeroed snapshot immediately: a scrape right after startup
+    # must already see every worker, not only those that served a request.
+    server.export_metrics_snapshot()
     _run_server_loop(server, jobs, args.drain_timeout, quiet=True)
 
 
@@ -609,6 +625,10 @@ def _serve_preforked(args: argparse.Namespace, service, described, journal_path)
         f"[{', '.join(described)}] ({args.workers} workers)",
         flush=True,
     )
+    # Shared side-channel for cross-worker /metrics aggregation: every
+    # worker drops `worker-<slot>.json` snapshots here; whichever worker
+    # answers a scrape merges all of them with a `worker` label.
+    metrics_dir = tempfile.mkdtemp(prefix="cpsec-metrics-")
     children: dict[int, int] = {}
     draining = False
 
@@ -619,7 +639,7 @@ def _serve_preforked(args: argparse.Namespace, service, described, journal_path)
             # back into the parent's CLI/supervisor stack.
             code = 0
             try:
-                _serve_worker(slot, sock, service, args, journal_path)
+                _serve_worker(slot, sock, service, args, journal_path, metrics_dir)
             except BaseException:  # pragma: no cover - crash diagnostics
                 import traceback
 
@@ -674,6 +694,7 @@ def _serve_preforked(args: argparse.Namespace, service, described, journal_path)
         for signum, handler in previous_handlers.items():
             signal.signal(signum, handler)
         sock.close()
+        shutil.rmtree(metrics_dir, ignore_errors=True)
     print("shutdown complete (all workers drained, journals flushed)", flush=True)
     return 0
 
@@ -713,7 +734,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return _serve_preforked(args, service, described, journal_path)
     jobs = _build_jobs(args, service, journal_path)
     server = start_server(
-        service, host=args.host, port=args.port, verbose=args.verbose, jobs=jobs
+        service,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        jobs=jobs,
+        slow_request_ms=args.slow_request_ms,
     )
     host, port = server.server_address[:2]
     print(
@@ -824,6 +850,48 @@ def _cmd_jobs_cancel(args: argparse.Namespace) -> int:
               "it stops at its next progress point)")
     else:
         print(f"{record['job_id']} {state}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Scrape a running server's ``/metrics`` and summarize it.
+
+    ``--raw`` dumps the exposition text verbatim (for piping into other
+    tooling); the default view parses it -- through the same strict parser
+    the tests and CI use, so an unrenderable exposition fails here too --
+    and prints one ``name{labels} value`` line per sample, grouped by
+    family.  With ``cpsec serve --workers N`` each series carries its
+    ``worker`` label, so per-worker skew is visible at a glance.
+    """
+    url = f"{args.url.rstrip('/')}/metrics"
+    try:
+        with urllib.request.urlopen(url, timeout=30.0) as response:
+            text = response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError) as error:
+        raise CliError(f"cannot scrape {url}: {error}") from error
+    try:
+        families = parse_exposition(text)
+    except ExpositionParseError as error:
+        raise CliError(f"unparseable exposition from {url}: {error}") from error
+    if args.raw:
+        sys.stdout.write(text)
+        return 0
+    for name in sorted(families):
+        family = families[name]
+        samples = family.samples
+        if args.filter and args.filter not in name:
+            continue
+        print(f"# {name} ({family.type}) -- {family.help}")
+        for sample in samples:
+            rendered = ",".join(
+                f'{key}="{value}"' for key, value in sorted(sample.labels.items())
+            )
+            label_part = f"{{{rendered}}}" if rendered else ""
+            value = sample.value
+            text_value = (
+                str(int(value)) if float(value).is_integer() else f"{value:.6g}"
+            )
+            print(f"  {sample.name}{label_part} {text_value}")
     return 0
 
 
@@ -1009,7 +1077,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "tokens/second refilling up to BURST (default RATE rounded "
                             "up to 1); exhausted clients get a typed 429 with "
                             "retry_after_s (default: no quota)")
+    serve.add_argument("--slow-request-ms", type=float, default=None, metavar="MS",
+                       help="log one structured JSON line to stderr (trace id, "
+                            "operation, span timings) for every request slower "
+                            "than MS milliseconds (default: off)")
     serve.set_defaults(func=_cmd_serve)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="scrape and summarize /metrics of a running `cpsec serve`",
+    )
+    stats.add_argument("--url", required=True,
+                       help="base URL of a running `cpsec serve` instance")
+    stats.add_argument("--raw", action="store_true",
+                       help="print the exposition text verbatim instead of the summary")
+    stats.add_argument("--filter", default=None, metavar="SUBSTRING",
+                       help="only show families whose name contains SUBSTRING")
+    stats.set_defaults(func=_cmd_stats)
 
     jobs_parser = subparsers.add_parser("jobs", help="submit and observe background jobs on a running `cpsec serve`")
     jobs_sub = jobs_parser.add_subparsers(dest="jobs_command", required=True)

@@ -67,6 +67,8 @@ from repro.jobs.scheduler import (
     default_priority,
 )
 from repro.jobs.store import JobJournal, load_spilled_result, read_journal
+from repro.obs.trace import current_trace_id, new_trace_id, valid_trace_id
+from repro.obs.trace import trace as obs_trace
 from repro.progress import OperationCancelled, report_to
 from repro.service.protocol import (
     JOB_STATES,
@@ -154,6 +156,7 @@ class JobRecord:
         "created_mono",
         "wait_s",
         "request_obj",
+        "trace_id",
     )
 
     def __init__(
@@ -168,6 +171,7 @@ class JobRecord:
         deps: list[str] | None = None,
         client: str | None = None,
         created_mono: float = 0.0,
+        trace_id: str | None = None,
     ):
         self.job_id = job_id
         self.operation = operation
@@ -191,6 +195,10 @@ class JobRecord:
         self.created_mono = created_mono
         self.wait_s: float | None = None
         self.request_obj = None  # parsed typed request; never serialized
+        #: Trace identity: the submitting request's ambient trace id, or a
+        #: fresh one -- re-entered around the job's execution so engine
+        #: spans and the journal line correlate with the HTTP submission.
+        self.trace_id = trace_id if trace_id else new_trace_id()
 
     @property
     def terminal(self) -> bool:
@@ -227,6 +235,7 @@ class JobRecord:
             "event_count": len(self.events),
             "progress": progress,
             "error": self.error,
+            "trace_id": self.trace_id,
         }
         if include_result:
             payload["result"] = self.result
@@ -303,6 +312,7 @@ class JobManager:
         quota: tuple[float, float] | None = None,
         clock: Clock = SYSTEM_CLOCK,
         start_workers: bool = True,
+        metrics=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -340,6 +350,29 @@ class JobManager:
         self._wait_samples = {
             cls: deque(maxlen=WAIT_SAMPLE_WINDOW) for cls in JOB_PRIORITIES
         }
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry` for the
+        #: event-driven job metrics (state-snapshot gauges are collected at
+        #: scrape time from :meth:`stats` instead).
+        self._m_submitted = self._m_finished = self._m_wait = None
+        self._m_quota_rejections = None
+        if metrics is not None:
+            self._m_submitted = metrics.counter(
+                "cpsec_jobs_submitted_total", "Jobs accepted by submit()."
+            )
+            self._m_finished = metrics.counter(
+                "cpsec_jobs_finished_total",
+                "Jobs that reached a terminal state.",
+                ("state",),
+            )
+            self._m_wait = metrics.histogram(
+                "cpsec_job_wait_seconds",
+                "Queue wait from submission to dispatch.",
+                ("priority",),
+            )
+            self._m_quota_rejections = metrics.counter(
+                "cpsec_quota_rejections_total",
+                "Job submissions rejected by the per-client token-bucket quota.",
+            )
         self._journal: JobJournal | None = None
         if journal_path is not None:
             self._replay(journal_path)
@@ -413,6 +446,7 @@ class JobManager:
                     deps=deps,
                     client=client if isinstance(client, str) else None,
                     created_mono=self._clock.monotonic(),
+                    trace_id=valid_trace_id(entry.get("trace_id")),
                 )
                 job.replayed = True
                 self._jobs[job_id] = job
@@ -587,6 +621,8 @@ class JobManager:
                 )
                 if retry_after > 0:
                     self._quota_rejections += 1
+                    if self._m_quota_rejections is not None:
+                        self._m_quota_rejections.inc()
                     raise ServiceError(
                         f"submission quota exhausted for client {client_key!r}",
                         code="quota_exhausted",
@@ -608,8 +644,13 @@ class JobManager:
                 deps=deps,
                 client=client if isinstance(client, str) and client else None,
                 created_mono=self._clock.monotonic(),
+                # The submitting request's ambient trace id (the HTTP layer
+                # installs it from X-Cpsec-Trace-Id); generated when absent.
+                trace_id=current_trace_id(),
             )
             job.request_obj = request
+            if self._m_submitted is not None:
+                self._m_submitted.inc()
             failed_parent: JobRecord | None = None
             for dep_id in deps:
                 dep = self._jobs[dep_id]
@@ -644,6 +685,7 @@ class JobManager:
                 "created_at": job.created_at,
                 "priority": job.priority,
                 "weight": job.weight,
+                "trace_id": job.trace_id,
             }
             if job.deps:
                 entry["depends_on"] = job.deps
@@ -787,6 +829,8 @@ class JobManager:
             job.started_at = self._clock.time()
             job.wait_s = max(0.0, self._clock.monotonic() - job.created_mono)
             self._wait_samples[job.priority].append(job.wait_s)
+            if self._m_wait is not None:
+                self._m_wait.labels(job.priority).observe(job.wait_s)
             self._append_event(job, "state", state="running")
             return job
 
@@ -805,7 +849,9 @@ class JobManager:
 
         cascade: list[JobRecord] = []
         try:
-            with report_to(sink):
+            # Re-enter the submission's trace around the operation: engine
+            # spans and anything the service logs correlate with the job.
+            with obs_trace(job.trace_id), report_to(sink):
                 response = getattr(self._service, job.operation)(job.request_obj)
             result = response.to_dict()
         except OperationCancelled:
@@ -962,6 +1008,8 @@ class JobManager:
         job.result = result
         job.error = error
         job.state = state
+        if self._m_finished is not None:
+            self._m_finished.labels(state).inc()
         self._append_event(job, "state", state=state)
         for child in self._dependents.pop(job.job_id, []):
             if child.terminal:
@@ -1200,6 +1248,9 @@ class JobManager:
                 ),
                 "spilled_results": (
                     self._journal.spilled_results if self._journal else 0
+                ),
+                "journal_bytes": (
+                    self._journal.bytes_written if self._journal else 0
                 ),
                 "total": len(self._jobs),
                 "by_state": by_state,

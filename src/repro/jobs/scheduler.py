@@ -224,6 +224,9 @@ class FairScheduler:
                     "weight": flow.weight,
                     "queued": flow.queued,
                     "dispatched": flow.dispatched,
+                    # The stride scheduler's virtual-time position; exported
+                    # as the cpsec_scheduler_flow_pass gauge on /metrics.
+                    "pass": flow.pass_value,
                 }
                 for flow in self._flows.values()
             }

@@ -76,6 +76,9 @@ class JobJournal:
         self.max_inline_result_bytes = max_inline_result_bytes
         self.compactions = 0
         self.spilled_results = 0
+        #: Total bytes appended by this process (newlines included); the
+        #: cpsec_journal_bytes_written_total counter on /metrics.
+        self.bytes_written = 0
         self._lock = threading.Lock()
         self._handle = open(self.path, "a", encoding="utf-8")
         # Heal a torn tail: a crash mid-write can leave a final line without
@@ -109,6 +112,7 @@ class JobJournal:
             return
         self._handle.write(line + "\n")
         self._handle.flush()
+        self.bytes_written += len(line.encode("utf-8")) + 1
 
     def append_finished(
         self, *, job_id: str, state: str, finished_at, result, error

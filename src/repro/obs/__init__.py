@@ -1,0 +1,52 @@
+"""End-to-end observability for the serving stack.
+
+Three seams, all stdlib-only:
+
+* :mod:`repro.obs.metrics` -- Prometheus-style counters/gauges/histograms
+  with label support, text exposition rendering, and fork-aware snapshot
+  merging for pre-forked serving,
+* :mod:`repro.obs.trace` -- contextvar-based request tracing: trace ids
+  (propagated via the ``X-Cpsec-Trace-Id`` header, job records, and the
+  journal), named spans around hot stages, slow-request log records,
+* :mod:`repro.obs.textparse` -- a strict exposition parser shared by
+  ``cpsec stats``, the tests, and the CI smoke scrape.
+
+Scrape-time collectors over live service/jobs state live in
+:mod:`repro.obs.collectors`.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    EXPOSITION_CONTENT_TYPE,
+    MetricsRegistry,
+    render_snapshots,
+)
+from repro.obs.trace import (
+    TRACE_HEADER,
+    Span,
+    Trace,
+    current_trace,
+    current_trace_id,
+    new_trace_id,
+    slow_request_record,
+    span,
+    trace,
+    valid_trace_id,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "EXPOSITION_CONTENT_TYPE",
+    "MetricsRegistry",
+    "render_snapshots",
+    "TRACE_HEADER",
+    "Span",
+    "Trace",
+    "current_trace",
+    "current_trace_id",
+    "new_trace_id",
+    "slow_request_record",
+    "span",
+    "trace",
+    "valid_trace_id",
+]

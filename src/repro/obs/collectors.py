@@ -1,0 +1,198 @@
+"""Scrape-time collectors: live service/jobs state as metric families.
+
+The event-driven counters (request counts, latencies, cache hits, job
+lifecycle) live in the service's :class:`~repro.obs.metrics.MetricsRegistry`
+and are bumped where the events happen.  Everything that is *state* rather
+than events -- cache occupancy, queue depths, per-flow virtual-time passes,
+journal totals -- is read here at scrape time from the same objects
+``/healthz`` reports, so the two surfaces can never disagree: ``/healthz``
+keeps its byte-compatible JSON shape, ``/metrics`` exposes the identical
+numbers in exposition form, and both read one source of truth.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def response_cache_info(cache) -> dict:
+    """The ``/healthz`` ``response_cache`` block (shared with ``/metrics``)."""
+    return {
+        "enabled": cache is not None,
+        "entries": len(cache) if cache is not None else 0,
+        "evictions": cache.evictions if cache is not None else 0,
+        "max_entries": cache.max_entries if cache is not None else 0,
+    }
+
+
+def collect_families(service, jobs=None, worker: str = "0") -> list[dict]:
+    """Gauge/counter families describing the service's current state.
+
+    Returned in :meth:`MetricsRegistry.snapshot` family form so the HTTP
+    layer can append them to the live registry's snapshot and render (or
+    merge across workers) with one code path.
+    """
+    registry = MetricsRegistry()
+    _collect_service(registry, service)
+    if jobs is not None:
+        _collect_jobs(registry, jobs)
+    return registry.snapshot(worker)["families"]
+
+
+def _collect_service(registry: MetricsRegistry, service) -> None:
+    health = service.health()
+
+    uptime = registry.gauge("cpsec_uptime_seconds", "Seconds since service start.")
+    uptime.set(health.get("uptime_s", 0.0))
+
+    cache = registry.gauge(
+        "cpsec_response_cache_entries", "Whole-response cache entries currently held."
+    )
+    cache_info = health.get("response_cache", {})
+    cache.set(cache_info.get("entries", 0))
+    evictions = registry.counter(
+        "cpsec_response_cache_evictions_total",
+        "Whole-response cache entries dropped by the LRU bound.",
+    )
+    evictions.inc(cache_info.get("evictions", 0))
+
+    reg_info = health.get("workspace_registry", {})
+    registered = registry.gauge(
+        "cpsec_workspaces_registered", "Workspaces registered with the service."
+    )
+    registered.set(reg_info.get("registered", 0))
+    warm = registry.gauge(
+        "cpsec_workspaces_warm", "Registered workspaces currently loaded."
+    )
+    warm.set(reg_info.get("warm", 0))
+    ws_evictions = registry.counter(
+        "cpsec_workspace_evictions_total",
+        "Warm workspaces unloaded by the warm-workspace LRU bound.",
+    )
+    ws_evictions.inc(reg_info.get("evictions", 0))
+
+    hits = registry.counter(
+        "cpsec_workspace_hits_total",
+        "Requests routed to a registered workspace.",
+        ("workspace",),
+    )
+    loads = registry.counter(
+        "cpsec_workspace_loads_total",
+        "Artifact loads of a registered workspace.",
+        ("workspace",),
+    )
+    for name, info in sorted(health.get("workspaces", {}).items()):
+        hits.labels(name).inc(info.get("hits", 0))
+        loads.labels(name).inc(info.get("loads", 0))
+
+    stats_counter = registry.counter(
+        "cpsec_engine_stats_total",
+        "Engine cache/reuse/pruning counters (one consistent snapshot per "
+        "engine; includes shards_skipped and candidates_pruned).",
+        ("engine", "scale", "counter"),
+    )
+    cache_entries = registry.gauge(
+        "cpsec_engine_cache_entries",
+        "Entries currently held in one engine result cache.",
+        ("engine", "scale", "cache"),
+    )
+    for index, engine in enumerate(health.get("engines", [])):
+        scale = str(engine.get("scale"))
+        for counter_name, value in (engine.get("stats") or {}).items():
+            stats_counter.labels(str(index), scale, counter_name).inc(value)
+        info = engine.get("cache_info") or {}
+        for kind in ("attribute", "text", "vulnerability"):
+            cache_entries.labels(str(index), scale, kind).set(
+                info.get(f"{kind}_entries", 0)
+            )
+
+
+def _collect_jobs(registry: MetricsRegistry, jobs) -> None:
+    stats = jobs.stats()
+
+    by_state = registry.gauge(
+        "cpsec_jobs", "Jobs known to the manager, by state.", ("state",)
+    )
+    for state, count in (stats.get("by_state") or {}).items():
+        by_state.labels(state).set(count)
+
+    waiting = registry.gauge(
+        "cpsec_jobs_waiting_on_dependencies",
+        "Queued jobs blocked on unfinished dependency jobs.",
+    )
+    waiting.set(stats.get("waiting_on_dependencies", 0))
+
+    draining = registry.gauge(
+        "cpsec_jobs_draining", "1 while the manager refuses new submissions."
+    )
+    draining.set(1 if stats.get("draining") else 0)
+
+    compactions = registry.counter(
+        "cpsec_journal_compactions_total", "Journal compaction passes run."
+    )
+    compactions.inc(stats.get("journal_compactions", 0))
+    spilled = registry.counter(
+        "cpsec_journal_spilled_results_total",
+        "Oversized job results spilled to side files.",
+    )
+    spilled.inc(stats.get("spilled_results", 0))
+    journal_bytes = registry.counter(
+        "cpsec_journal_bytes_written_total",
+        "Bytes appended to the job journal by this process.",
+    )
+    journal_bytes.inc(stats.get("journal_bytes", 0))
+
+    quota = stats.get("quota")
+    if quota is not None:
+        # Rejection *events* are counted live by the manager
+        # (cpsec_quota_rejections_total); only bucket occupancy is state.
+        clients = registry.gauge(
+            "cpsec_quota_clients", "Clients with an active quota bucket."
+        )
+        clients.set(quota.get("clients", 0))
+
+    scheduler = stats.get("scheduler") or {}
+    depth = registry.gauge(
+        "cpsec_scheduler_depth", "Queued jobs per priority class.", ("priority",)
+    )
+    for priority, count in (scheduler.get("depth") or {}).items():
+        depth.labels(priority).set(count)
+    dispatched = registry.counter(
+        "cpsec_scheduler_dispatched_total",
+        "Jobs dispatched per priority class.",
+        ("priority",),
+    )
+    for priority, count in (scheduler.get("dispatched") or {}).items():
+        dispatched.labels(priority).inc(count)
+    aged = registry.counter(
+        "cpsec_scheduler_aged_batch_dispatches_total",
+        "Batch jobs dispatched by starvation aging past a full interactive streak.",
+    )
+    aged.inc(scheduler.get("aged_batch_dispatches", 0))
+    passes = registry.counter(
+        "cpsec_scheduler_passes_total", "Scheduler dispatch decisions taken."
+    )
+    passes.inc(scheduler.get("passes", 0))
+
+    flows = scheduler.get("flows") or {}
+    flow_pass = registry.gauge(
+        "cpsec_scheduler_flow_pass",
+        "Per-flow virtual-time pass value of the weighted fair queue.",
+        ("flow",),
+    )
+    flow_queued = registry.gauge(
+        "cpsec_scheduler_flow_queued", "Jobs queued per flow.", ("flow",)
+    )
+    flow_weight = registry.gauge(
+        "cpsec_scheduler_flow_weight", "Fair-share weight per flow.", ("flow",)
+    )
+    flow_dispatched = registry.counter(
+        "cpsec_scheduler_flow_dispatched_total",
+        "Jobs dispatched per flow.",
+        ("flow",),
+    )
+    for flow, info in sorted(flows.items()):
+        flow_pass.labels(flow).set(info.get("pass", 0.0))
+        flow_queued.labels(flow).set(info.get("queued", 0))
+        flow_weight.labels(flow).set(info.get("weight", 0.0))
+        flow_dispatched.labels(flow).inc(info.get("dispatched", 0))

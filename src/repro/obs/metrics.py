@@ -1,0 +1,401 @@
+"""Dependency-free Prometheus-style metrics: counters, gauges, histograms.
+
+The serving stack needs latency/saturation/cache visibility per operation,
+per workspace, and per worker -- and the container bakes in no client
+library -- so this module is a small, honest reimplementation of the
+Prometheus data model over the stdlib:
+
+* a :class:`MetricsRegistry` owns metric *families* (one name + help +
+  type + label names); ``family.labels(...)`` returns the mutable child
+  for one label-value combination,
+* counters only go up, gauges go anywhere, histograms are fixed-bucket
+  (cumulative ``le`` buckets plus ``_sum``/``_count``, exactly the
+  exposition shape ``histogram_quantile`` expects),
+* everything is thread-safe: family creation takes the registry lock,
+  child mutation takes a per-child lock (a leaf lock -- safe to bump
+  while holding any engine/manager lock),
+* :meth:`MetricsRegistry.render` emits the text exposition format and
+  :meth:`MetricsRegistry.snapshot` emits a JSON-able form that
+  :func:`render_snapshots` merges across pre-forked workers, labelling
+  every series with its ``worker`` -- the fork-aware half of the design
+  (each worker owns its registry; the scrape merges serialized
+  snapshots, never shared memory),
+* :meth:`MetricsRegistry.reset` zeroes every child for
+  ``post_fork_reset()`` -- a worker must not report the parent's
+  warm-up traffic.
+
+No background threads, no files, no sockets: persistence and transport
+belong to the HTTP layer (:mod:`repro.service.http`).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+#: Valid metric family names (prometheus data model).
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+#: Valid label names (no leading ``__``, which is reserved).
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency buckets, in seconds: sub-millisecond warm cache hits up
+#: through multi-second cold paper-scale requests.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Content type a conforming scraper expects for the text exposition.
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format rules."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line (backslash and newline only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def format_value(value: float) -> str:
+    """Exposition number formatting: integers bare, floats via repr."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self.value += amount
+
+    def reset(self) -> None:
+        with self._lock:
+            self.value = 0.0
+
+
+class _Gauge:
+    """A value that can go anywhere."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.value = 0.0
+
+
+class _Histogram:
+    """Fixed cumulative buckets plus a running sum and count."""
+
+    __slots__ = ("_lock", "buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...]) -> None:
+        self._lock = threading.Lock()
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # trailing slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            # First bucket whose upper bound covers the value; the +Inf
+            # slot catches everything (cumulative counts are computed at
+            # render time, so one increment per observation suffices).
+            index = len(self.buckets)
+            for position, bound in enumerate(self.buckets):
+                if value <= bound:
+                    index = position
+                    break
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self.counts = [0] * (len(self.buckets) + 1)
+            self.sum = 0.0
+            self.count = 0
+
+
+class _Family:
+    """One metric name: type, help, label names, and labelled children."""
+
+    __slots__ = ("name", "kind", "help", "labelnames", "buckets", "_children", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...] | None = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.labelnames = labelnames
+        self.buckets = buckets
+        self._children: dict[tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+
+    def labels(self, *values, **kwargs):
+        """The child for one label-value combination (created on first use)."""
+        if kwargs:
+            if values:
+                raise ValueError("pass label values positionally or by name, not both")
+            try:
+                values = tuple(kwargs[name] for name in self.labelnames)
+            except KeyError as error:
+                raise ValueError(
+                    f"{self.name} needs labels {self.labelnames}, got {sorted(kwargs)}"
+                ) from error
+            if len(kwargs) != len(self.labelnames):
+                raise ValueError(
+                    f"{self.name} needs labels {self.labelnames}, got {sorted(kwargs)}"
+                )
+        key = tuple(str(value) for value in values)
+        if len(key) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes {len(self.labelnames)} label values, got {len(key)}"
+            )
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    if self.kind == "counter":
+                        child = _Counter()
+                    elif self.kind == "gauge":
+                        child = _Gauge()
+                    else:
+                        child = _Histogram(self.buckets)
+                    self._children[key] = child
+        return child
+
+    # Unlabelled families act as their own single child.
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    def children(self) -> list[tuple[tuple[str, ...], object]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class MetricsRegistry:
+    """A process-local registry of metric families."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labelnames,
+        buckets=None,
+    ) -> _Family:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        labelnames = tuple(labelnames)
+        for label in labelnames:
+            if not _LABEL_RE.match(label) or label.startswith("__"):
+                raise ValueError(f"invalid label name {label!r}")
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if existing.kind != kind or existing.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}{existing.labelnames}"
+                    )
+                return existing
+            family = _Family(name, kind, help_text, labelnames, buckets)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help_text: str, labelnames=()) -> _Family:
+        return self._register(name, "counter", help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str, labelnames=()) -> _Family:
+        return self._register(name, "gauge", help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames=(),
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> _Family:
+        buckets = tuple(sorted(float(bound) for bound in buckets))
+        if not buckets:
+            raise ValueError("histograms need at least one bucket bound")
+        return self._register(name, "histogram", help_text, labelnames, buckets)
+
+    def reset(self) -> None:
+        """Zero every child (``post_fork_reset``: families survive, data dies)."""
+        with self._lock:
+            families = list(self._families.values())
+        for family in families:
+            for _, child in family.children():
+                child.reset()
+
+    # -- serialization ---------------------------------------------------------
+
+    def snapshot(self, worker: str = "0") -> dict:
+        """A JSON-able copy of every series, tagged with its worker label.
+
+        This is the multi-process side-channel format: each pre-forked
+        worker serializes its registry to a file, and whichever worker
+        answers ``GET /metrics`` merges every snapshot with
+        :func:`render_snapshots`.
+        """
+        with self._lock:
+            families = list(self._families.values())
+        payload = []
+        for family in families:
+            series = []
+            for key, child in family.children():
+                if family.kind == "histogram":
+                    with child._lock:
+                        series.append(
+                            {
+                                "labels": list(key),
+                                "counts": list(child.counts),
+                                "sum": child.sum,
+                                "count": child.count,
+                            }
+                        )
+                else:
+                    series.append({"labels": list(key), "value": child.value})
+            entry = {
+                "name": family.name,
+                "type": family.kind,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "series": series,
+            }
+            if family.buckets is not None:
+                entry["buckets"] = list(family.buckets)
+            payload.append(entry)
+        return {"worker": str(worker), "families": payload}
+
+    def render(self, worker: str = "0") -> str:
+        """This registry alone as text exposition (single-process serving)."""
+        return render_snapshots([self.snapshot(worker)])
+
+
+def _series_labels(
+    labelnames: list[str], values: list[str], worker: str, extra: str = ""
+) -> str:
+    pairs = [
+        f'{name}="{escape_label_value(str(value))}"'
+        for name, value in zip(labelnames, values)
+    ]
+    pairs.append(f'worker="{escape_label_value(worker)}"')
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}"
+
+
+def render_snapshots(snapshots: list[dict]) -> str:
+    """Merge worker snapshots into one text exposition document.
+
+    Families with the same name are unified under one ``# HELP``/``# TYPE``
+    header (first snapshot wins on metadata); every series carries its
+    snapshot's ``worker`` label, so per-fleet totals are a ``sum by`` away
+    and per-worker skew stays visible.  Output ordering is deterministic:
+    families by name, series by label values then worker.
+    """
+    merged: dict[str, dict] = {}
+    for snapshot in snapshots:
+        worker = str(snapshot.get("worker", "0"))
+        for family in snapshot.get("families", []):
+            name = family["name"]
+            entry = merged.setdefault(
+                name,
+                {
+                    "type": family.get("type", "gauge"),
+                    "help": family.get("help", ""),
+                    "labelnames": list(family.get("labelnames", [])),
+                    "buckets": family.get("buckets"),
+                    "series": [],
+                },
+            )
+            for series in family.get("series", []):
+                entry["series"].append((list(series.get("labels", [])), worker, series))
+    lines: list[str] = []
+    for name in sorted(merged):
+        entry = merged[name]
+        lines.append(f"# HELP {name} {escape_help(entry['help'])}")
+        lines.append(f"# TYPE {name} {entry['type']}")
+        for labels, worker, series in sorted(
+            entry["series"], key=lambda item: (item[0], item[1])
+        ):
+            if entry["type"] == "histogram":
+                buckets = entry["buckets"] or []
+                counts = series.get("counts") or []
+                cumulative = 0
+                for bound, count in zip(buckets, counts):
+                    cumulative += count
+                    labelstr = _series_labels(
+                        entry["labelnames"], labels, worker,
+                        extra=f'le="{format_value(bound)}"',
+                    )
+                    lines.append(f"{name}_bucket{labelstr} {cumulative}")
+                cumulative += counts[len(buckets)] if len(counts) > len(buckets) else 0
+                inf_labels = _series_labels(
+                    entry["labelnames"], labels, worker, extra='le="+Inf"'
+                )
+                lines.append(f"{name}_bucket{inf_labels} {cumulative}")
+                plain = _series_labels(entry["labelnames"], labels, worker)
+                lines.append(f"{name}_sum{plain} {format_value(series.get('sum', 0.0))}")
+                lines.append(f"{name}_count{plain} {series.get('count', 0)}")
+            else:
+                labelstr = _series_labels(entry["labelnames"], labels, worker)
+                lines.append(f"{name}{labelstr} {format_value(series.get('value', 0.0))}")
+    return "\n".join(lines) + "\n" if lines else ""

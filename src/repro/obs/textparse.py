@@ -1,0 +1,234 @@
+"""A small, strict parser for the Prometheus text exposition format.
+
+Three consumers share it: the exposition-format tests (assert ``# HELP``/
+``# TYPE`` discipline, label escaping, cumulative histogram buckets),
+``cpsec stats`` (pretty-print a scrape), and the CI smoke jobs (fail the
+build on an unparseable ``/metrics`` body or zero request counts).
+
+The parser accepts exactly what :mod:`repro.obs.metrics` renders -- the
+common subset every Prometheus scraper understands -- and raises
+:class:`ExpositionParseError` with a line number on anything else, so a
+formatting regression fails loudly instead of scraping as garbage.
+"""
+
+from __future__ import annotations
+
+import re
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+class ExpositionParseError(ValueError):
+    """Raised on any line the exposition grammar does not allow."""
+
+    def __init__(self, line_number: int, line: str, reason: str) -> None:
+        super().__init__(f"line {line_number}: {reason}: {line!r}")
+        self.line_number = line_number
+        self.line = line
+        self.reason = reason
+
+
+class Sample:
+    """One parsed sample line."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict[str, str], value: float) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = value
+
+
+class Family:
+    """One parsed metric family: metadata plus its samples."""
+
+    __slots__ = ("name", "type", "help", "samples")
+
+    def __init__(self, name: str, type_: str, help_: str) -> None:
+        self.name = name
+        self.type = type_
+        self.help = help_
+        self.samples: list[Sample] = []
+
+
+def _unescape_label(value: str) -> str:
+    out: list[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ("\\", '"'):
+                out.append(nxt)
+            else:
+                out.append(char)
+                out.append(nxt)
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def _parse_value(raw: str, line_number: int, line: str) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    if raw == "NaN":
+        return float("nan")
+    try:
+        return float(raw)
+    except ValueError as error:
+        raise ExpositionParseError(line_number, line, f"bad value: {error}") from None
+
+
+def _parse_labels(raw: str, line_number: int, line: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    position = 0
+    while position < len(raw):
+        match = _LABEL_PAIR_RE.match(raw, position)
+        if match is None:
+            raise ExpositionParseError(line_number, line, "malformed label pair")
+        name = match.group("name")
+        if name in labels:
+            raise ExpositionParseError(line_number, line, f"duplicate label {name!r}")
+        labels[name] = _unescape_label(match.group("value"))
+        position = match.end()
+    return labels
+
+
+def parse_exposition(text: str) -> dict[str, Family]:
+    """Parse one exposition document into families keyed by name.
+
+    Enforced discipline, beyond the grammar itself:
+
+    * every sample belongs to a family announced by ``# TYPE`` (histogram
+      samples match under their ``_bucket``/``_sum``/``_count`` suffixes),
+    * ``# TYPE`` appears at most once per family, with a known type,
+    * histogram buckets are cumulative (non-decreasing with ``le``) and
+      end in an ``le="+Inf"`` bucket equal to the series ``_count``,
+    * counter and histogram-count values are finite and non-negative.
+    """
+    families: dict[str, Family] = {}
+    helps: dict[str, str] = {}
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            if not parts or not parts[0]:
+                raise ExpositionParseError(line_number, line, "HELP without a name")
+            helps[parts[0]] = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split()
+            if len(parts) != 2:
+                raise ExpositionParseError(line_number, line, "malformed TYPE line")
+            name, type_ = parts
+            if type_ not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ExpositionParseError(line_number, line, f"unknown type {type_!r}")
+            if name in families:
+                raise ExpositionParseError(line_number, line, f"duplicate TYPE for {name!r}")
+            families[name] = Family(name, type_, helps.get(name, ""))
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ExpositionParseError(line_number, line, "unparseable sample")
+        sample_name = match.group("name")
+        family = families.get(sample_name)
+        if family is None:
+            for suffix in ("_bucket", "_sum", "_count"):
+                if sample_name.endswith(suffix):
+                    candidate = families.get(sample_name[: -len(suffix)])
+                    if candidate is not None and candidate.type == "histogram":
+                        family = candidate
+                        break
+        if family is None:
+            raise ExpositionParseError(
+                line_number, line, "sample before its # TYPE line"
+            )
+        labels = _parse_labels(match.group("labels") or "", line_number, line)
+        value = _parse_value(match.group("value"), line_number, line)
+        if family.type in ("counter", "histogram") and not value >= 0:
+            raise ExpositionParseError(
+                line_number, line, f"{family.type} value must be >= 0"
+            )
+        family.samples.append(Sample(sample_name, labels, value))
+    _check_histograms(families)
+    return families
+
+
+def _check_histograms(families: dict[str, Family]) -> None:
+    for family in families.values():
+        if family.type != "histogram":
+            continue
+        series: dict[tuple, dict] = {}
+        for sample in family.samples:
+            key = tuple(
+                sorted(
+                    (k, v) for k, v in sample.labels.items() if k != "le"
+                )
+            )
+            entry = series.setdefault(key, {"buckets": [], "count": None})
+            if sample.name.endswith("_bucket"):
+                entry["buckets"].append(
+                    (float(_le_bound(sample.labels.get("le", ""))), sample.value)
+                )
+            elif sample.name.endswith("_count"):
+                entry["count"] = sample.value
+        for key, entry in series.items():
+            buckets = sorted(entry["buckets"])
+            previous = 0.0
+            for bound, value in buckets:
+                if value < previous:
+                    raise ExpositionParseError(
+                        0, family.name, f"non-cumulative buckets for {key}"
+                    )
+                previous = value
+            if not buckets or buckets[-1][0] != float("inf"):
+                raise ExpositionParseError(
+                    0, family.name, f"missing +Inf bucket for {key}"
+                )
+            if entry["count"] is not None and buckets[-1][1] != entry["count"]:
+                raise ExpositionParseError(
+                    0, family.name, f"+Inf bucket != _count for {key}"
+                )
+
+
+def _le_bound(raw: str) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    return float(raw)
+
+
+def sum_samples(
+    families: dict[str, Family], name: str, **label_filter: str
+) -> float:
+    """Sum a family's sample values across label combinations.
+
+    The fleet-total helper: ``sum_samples(parsed, "cpsec_requests_total")``
+    adds every worker's counter; keyword filters restrict to matching
+    labels (``operation="associate"``).
+    """
+    family = families.get(name)
+    if family is None:
+        return 0.0
+    total = 0.0
+    for sample in family.samples:
+        if sample.name != name:
+            continue  # skip _bucket/_sum/_count of a histogram family
+        if all(sample.labels.get(k) == v for k, v in label_filter.items()):
+            total += sample.value
+    return total

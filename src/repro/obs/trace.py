@@ -1,0 +1,168 @@
+"""Ambient request tracing: trace ids, named spans, slow-request lines.
+
+The same contextvar seam as :mod:`repro.progress`: the HTTP handler (or a
+test) installs a :class:`Trace` around one request with :func:`trace`, and
+the layers underneath annotate it without ever threading a trace argument
+through the service API:
+
+* :func:`current_trace_id` is how the response envelope, the job record,
+  and the journal pick up the id of the request that caused them,
+* :func:`span` times one named stage (``parse``, ``cache_lookup``,
+  ``engine_associate``, ``render``); with no active trace it returns a
+  shared no-op context manager, so the instrumented hot path costs one
+  contextvar read when tracing is off,
+* :func:`slow_request_record` shapes the structured JSON log line the
+  server emits when a request overruns ``--slow-request-ms``.
+
+Trace ids are caller-controllable (the ``X-Cpsec-Trace-Id`` request header
+propagates end to end) but validated: anything that is not a short token
+of URL-safe characters is replaced, never echoed into logs or headers.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+#: HTTP header that carries the trace id in both directions.
+TRACE_HEADER = "X-Cpsec-Trace-Id"
+
+#: Accepted inbound trace ids: URL-safe tokens, bounded so a hostile header
+#: cannot bloat journals or log lines.
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
+
+_TRACE: ContextVar["Trace | None"] = ContextVar("cpsec_trace", default=None)
+
+
+class Span:
+    """One timed stage of a traced request."""
+
+    __slots__ = ("name", "started_s", "duration_s")
+
+    def __init__(self, name: str, started_s: float) -> None:
+        self.name = name
+        self.started_s = started_s
+        self.duration_s: float | None = None
+
+
+class Trace:
+    """One request's identity and recorded spans."""
+
+    __slots__ = ("trace_id", "spans")
+
+    def __init__(self, trace_id: str) -> None:
+        self.trace_id = trace_id
+        self.spans: list[Span] = []
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id."""
+    return uuid.uuid4().hex
+
+
+def valid_trace_id(candidate) -> str | None:
+    """``candidate`` if it is a usable trace id, else ``None``."""
+    if isinstance(candidate, str) and _TRACE_ID_RE.match(candidate):
+        return candidate
+    return None
+
+
+def current_trace() -> Trace | None:
+    """The ambient trace, or ``None`` outside any traced request."""
+    return _TRACE.get()
+
+
+def current_trace_id() -> str | None:
+    """The ambient trace id, or ``None`` outside any traced request."""
+    active = _TRACE.get()
+    return active.trace_id if active is not None else None
+
+
+@contextmanager
+def trace(trace_id: str | None = None):
+    """Install a trace for the duration of one request.
+
+    ``trace_id`` is honored when valid (the propagation path: an inbound
+    header, or a job record re-entering its submitting request's trace);
+    otherwise a fresh id is generated.  Yields the :class:`Trace` so the
+    caller can read recorded spans afterwards.
+    """
+    active = Trace(valid_trace_id(trace_id) or new_trace_id())
+    token = _TRACE.set(active)
+    try:
+        yield active
+    finally:
+        _TRACE.reset(token)
+
+
+class _NullSpan:
+    """Shared no-op context manager for spans outside any trace."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    __slots__ = ("_trace", "_span")
+
+    def __init__(self, active: Trace, name: str) -> None:
+        self._trace = active
+        self._span = Span(name, time.perf_counter())
+
+    def __enter__(self):
+        return self._span
+
+    def __exit__(self, *exc_info):
+        self._span.duration_s = time.perf_counter() - self._span.started_s
+        self._trace.spans.append(self._span)
+        return False
+
+
+def span(name: str):
+    """Time one named stage of the ambient trace (no-op without one)."""
+    active = _TRACE.get()
+    if active is None:
+        return _NULL_SPAN
+    return _ActiveSpan(active, name)
+
+
+def slow_request_record(
+    *,
+    trace_id: str,
+    operation: str,
+    duration_s: float,
+    threshold_ms: float,
+    status: int,
+    spans: list[Span],
+) -> dict:
+    """The structured payload of one slow-request log line.
+
+    Kept as a dict builder (the HTTP layer JSON-encodes and writes it) so
+    tests can assert the shape without parsing stderr.
+    """
+    return {
+        "event": "slow_request",
+        "trace_id": trace_id,
+        "operation": operation,
+        "duration_ms": round(duration_s * 1000.0, 3),
+        "threshold_ms": threshold_ms,
+        "status": status,
+        "spans": [
+            {
+                "name": recorded.name,
+                "duration_ms": round((recorded.duration_s or 0.0) * 1000.0, 3),
+            }
+            for recorded in spans
+        ],
+    }

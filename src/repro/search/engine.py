@@ -788,8 +788,15 @@ class SearchEngine:
         self._text_cache.clear()
         self._vulnerability_cache.clear()
 
-    def cache_info(self) -> dict[str, int | None]:
-        """Sizes, LRU bounds, eviction totals, and shard-pruning totals."""
+    def cache_info(self, stats_snapshot: dict | None = None) -> dict[str, int | None]:
+        """Sizes, LRU bounds, eviction totals, and shard-pruning totals.
+
+        ``stats_snapshot`` lets a caller that already took one consistent
+        :meth:`EngineStats.snapshot` reuse it, so the pruning counters here
+        agree with the stats block published next to them.
+        """
+        if stats_snapshot is None:
+            stats_snapshot = self.stats.snapshot()
         return {
             "attribute_entries": len(self._attribute_cache),
             "text_entries": len(self._text_cache),
@@ -798,8 +805,8 @@ class SearchEngine:
             "text_evictions": self._text_cache.evictions,
             "vulnerability_evictions": self._vulnerability_cache.evictions,
             "max_entries": self._attribute_cache.max_entries,
-            "shards_skipped": self.stats.shards_skipped,
-            "candidates_pruned": self.stats.candidates_pruned,
+            "shards_skipped": stats_snapshot["shards_skipped"],
+            "candidates_pruned": stats_snapshot["candidates_pruned"],
         }
 
     def health_info(self) -> dict:
@@ -808,8 +815,11 @@ class SearchEngine:
         This is the payload a long-lived service exposes on its health
         endpoint: configuration, per-class index sizes, the corpus
         fingerprint, the stats counters, and the cache occupancy.  Reading it
-        never materializes a lazily attached corpus.
+        never materializes a lazily attached corpus.  The stats counters are
+        read under the stats lock **once** and shared with ``cache_info``,
+        so concurrent bumps cannot tear the two blocks apart.
         """
+        snapshot = self.stats.snapshot()
         return {
             "scorer": self.scorer,
             "fidelity_aware": self.fidelity_aware,
@@ -818,8 +828,8 @@ class SearchEngine:
                 kind.value: len(index.document_ids())
                 for kind, index in self._indexes.items()
             },
-            "stats": self.stats.snapshot(),
-            "cache_info": self.cache_info(),
+            "stats": snapshot,
+            "cache_info": self.cache_info(stats_snapshot=snapshot),
         }
 
     # -- low-level matching ---------------------------------------------------

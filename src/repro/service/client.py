@@ -34,6 +34,7 @@ import urllib.error
 import urllib.request
 from collections.abc import Iterator
 
+from repro.obs.trace import TRACE_HEADER, valid_trace_id
 from repro.service.protocol import (
     OPERATIONS,
     TERMINAL_JOB_STATES,
@@ -69,26 +70,49 @@ from repro.service.protocol import (
 class ServiceClient:
     """A typed client for a running analysis service."""
 
-    def __init__(self, base_url: str, *, timeout: float = 300.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 300.0,
+        trace_id: str | None = None,
+    ) -> None:
         if not base_url.startswith(("http://", "https://")):
             raise ValueError(f"base_url must be an http(s) URL, got {base_url!r}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Optional trace id sent as ``X-Cpsec-Trace-Id`` on every request,
+        #: letting a caller correlate its own logs with the server's.
+        self.trace_id = valid_trace_id(trace_id)
+        #: Trace id the server assigned to the most recent request (from the
+        #: response header on success, the error body on failure).
+        self.last_trace_id: str | None = None
 
     # -- transport ------------------------------------------------------------
 
     def _request(self, method: str, path: str, body: bytes | None = None) -> bytes:
+        headers = {"Content-Type": "application/json"}
+        if self.trace_id is not None:
+            headers[TRACE_HEADER] = self.trace_id
         request = urllib.request.Request(
             f"{self.base_url}{path}",
             data=body,
-            headers={"Content-Type": "application/json"},
+            headers=headers,
             method=method,
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                self.last_trace_id = (
+                    valid_trace_id(response.headers.get(TRACE_HEADER))
+                    or self.last_trace_id
+                )
                 return response.read()
         except urllib.error.HTTPError as error:
             raw = error.read()
+            self.last_trace_id = (
+                valid_trace_id(error.headers.get(TRACE_HEADER))
+                or self.last_trace_id
+            )
             try:
                 payload = json.loads(raw)
             except json.JSONDecodeError:

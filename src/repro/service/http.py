@@ -8,6 +8,22 @@ are written with :func:`repro.service.protocol.canonical_json`, so the HTTP
 path is byte-identical to the in-process path for the same request (the
 equivalence tests compare them literally).
 
+**Observability** (PR 8) rides every request:
+
+* each request runs inside a :func:`repro.obs.trace.trace` context -- the
+  inbound ``X-Cpsec-Trace-Id`` header is honored when valid, a fresh id is
+  generated otherwise -- and every response echoes the id in the same
+  header (200 bodies stay byte-identical; *error* bodies also carry a
+  top-level ``trace_id``),
+* ``GET /metrics`` serves the Prometheus text exposition of the service's
+  registry plus scrape-time collectors (queue depths, per-flow passes,
+  cache occupancy).  With ``cpsec serve --workers N`` every worker
+  serializes its registry into a shared ``metrics_dir`` after each request,
+  and whichever worker answers the scrape merges all snapshots, labelling
+  each series with its ``worker`` -- one scrape reflects the fleet,
+* requests slower than ``slow_request_ms`` emit one structured JSON log
+  line on stderr with the trace id and recorded span timings.
+
 When the server carries a :class:`~repro.jobs.manager.JobManager`, the
 **async job surface** is exposed next to the synchronous one:
 
@@ -38,9 +54,22 @@ programmatically::
 from __future__ import annotations
 
 import json
+import os
+import sys
+import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.obs.collectors import collect_families
+from repro.obs.metrics import EXPOSITION_CONTENT_TYPE, render_snapshots
+from repro.obs.trace import (
+    TRACE_HEADER,
+    current_trace_id,
+    slow_request_record,
+    span,
+    trace,
+    valid_trace_id,
+)
 from repro.service.protocol import (
     SCHEMA_VERSION,
     ServiceError,
@@ -73,9 +102,13 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
 
     def _write_json(self, status: int, payload: dict) -> None:
         body = canonical_json(payload).encode("utf-8")
+        self._last_status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            self.send_header(TRACE_HEADER, trace_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -84,7 +117,13 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
         # on a keep-alive connection its bytes would be parsed as the next
         # request, so error responses always close the connection.
         self.close_connection = True
-        self._write_json(error.status, error.to_dict())
+        payload = error.to_dict()
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            # Additive: from_dict ignores unknown top-level keys, so old
+            # clients parse traced errors unchanged.
+            payload["trace_id"] = trace_id
+        self._write_json(error.status, payload)
 
     def _read_body(self) -> dict:
         try:
@@ -124,6 +163,46 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
             )
         return jobs
 
+    # -- observability ---------------------------------------------------------
+
+    def _observe(self, route: str, started_s: float, active) -> None:
+        """Per-request bookkeeping: HTTP counter, slow log, worker snapshot."""
+        server = self.server
+        status = getattr(self, "_last_status", 0)
+        if server.http_requests is not None:
+            server.http_requests.labels(route, str(status)).inc()
+        duration_s = time.perf_counter() - started_s
+        threshold_ms = server.slow_request_ms
+        if (
+            threshold_ms is not None
+            and duration_s * 1000.0 >= threshold_ms
+            and active is not None
+        ):
+            record = slow_request_record(
+                trace_id=active.trace_id,
+                operation=route,
+                duration_s=duration_s,
+                threshold_ms=threshold_ms,
+                status=status,
+                spans=active.spans,
+            )
+            print(json.dumps(record, sort_keys=True), file=sys.stderr, flush=True)
+        server.export_metrics_snapshot()
+
+    def _serve_metrics(self) -> None:
+        """``GET /metrics``: the whole fleet as text exposition."""
+        snapshots = self.server.metrics_snapshots()
+        body = render_snapshots(snapshots).encode("utf-8")
+        self._last_status = 200
+        self.send_response(200)
+        self.send_header("Content-Type", EXPOSITION_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            self.send_header(TRACE_HEADER, trace_id)
+        self.end_headers()
+        self.wfile.write(body)
+
     # -- jobs routes ----------------------------------------------------------
 
     def _handle_jobs_get(self, path: str, query: dict) -> None:
@@ -159,13 +238,15 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
                 raise ServiceError(
                     f"invalid after parameter: {error}", code="malformed_payload"
                 ) from error
-        jobs.get(job_id)  # typed 404 before any bytes hit the wire
+        record = jobs.get(job_id)  # typed 404 before any bytes hit the wire
         # SSE has no Content-Length, so the connection cannot be reused.
         self.close_connection = True
+        self._last_status = 200
         self.send_response(200)
         self.send_header("Content-Type", "text/event-stream")
         self.send_header("Cache-Control", "no-cache")
         self.send_header("Connection", "close")
+        self.send_header(TRACE_HEADER, record.trace_id)
         self.end_headers()
         cursor = after
         try:
@@ -175,10 +256,13 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
                 )
                 for event in events:
                     cursor = event.seq
+                    # Every frame carries the job's trace id, so a log
+                    # pipeline can join stream fragments to the submission.
+                    data = {**event.to_dict(), "trace_id": record.trace_id}
                     frame = (
                         f"id: {event.seq}\n"
                         f"event: {event.kind}\n"
-                        f"data: {canonical_json(event.to_dict())}\n\n"
+                        f"data: {canonical_json(data)}\n\n"
                     )
                     self.wfile.write(frame.encode("utf-8"))
                 if not events and not done:
@@ -194,7 +278,8 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
     def _handle_jobs_post(self, path: str) -> None:
         jobs = self._jobs()
         if path == "/v1/jobs":
-            payload = self._read_body()
+            with span("parse"):
+                payload = self._read_body()
             operation = payload.get("operation")
             if not isinstance(operation, str):
                 raise ServiceError(
@@ -222,7 +307,8 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
                 depends_on=payload.get("depends_on"),
                 client=client,
             )
-            self._write_json(202, job.to_dict())
+            with span("render"):
+                self._write_json(202, job.to_dict())
             return
         parts = path.split("/")
         if len(parts) == 5 and parts[4] == "cancel":
@@ -237,63 +323,96 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         parsed = urllib.parse.urlsplit(self.path)
         path = parsed.path
-        try:
-            if path in ("/healthz", "/health"):
-                payload = self.server.service.health()
-                jobs = getattr(self.server, "jobs", None)
-                if jobs is not None:
-                    payload["jobs"] = jobs.stats()
-                    if jobs.draining:
-                        payload["status"] = "draining"
-                self._write_json(200, payload)
-                return
-            if path == "/v1/ops":
-                payload = self.server.service.ops_info()
-                payload["jobs_enabled"] = getattr(self.server, "jobs", None) is not None
-                self._write_json(200, payload)
-                return
-            if path == "/v1/jobs" or path.startswith("/v1/jobs/"):
-                self._handle_jobs_get(path, urllib.parse.parse_qs(parsed.query))
-                return
-            raise ServiceError(
-                f"no such resource {self.path!r}; operations are POST /v1/<op>",
-                code="not_found",
-                status=404,
-            )
-        except ServiceError as error:
-            self._write_error(error)
-
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
-        # Route on the bare path, like do_GET: a query string must not turn
-        # an existing resource into a 404.
-        path = urllib.parse.urlsplit(self.path).path
-        try:
-            if path == "/v1/jobs" or path.startswith("/v1/jobs/"):
-                self._handle_jobs_post(path)
-                return
-            if not path.startswith("/v1/"):
+        started = time.perf_counter()
+        if path in ("/healthz", "/health"):
+            route = "healthz"
+        elif path == "/metrics":
+            route = "metrics"
+        elif path == "/v1/ops":
+            route = "ops"
+        elif path == "/v1/jobs" or path.startswith("/v1/jobs/"):
+            route = "jobs"
+        else:
+            # Unknown paths share one label value: client typos must not
+            # grow the metric's label cardinality without bound.
+            route = "unknown"
+        with trace(valid_trace_id(self.headers.get(TRACE_HEADER))) as active:
+            try:
+                if path in ("/healthz", "/health"):
+                    payload = self.server.service.health()
+                    jobs = getattr(self.server, "jobs", None)
+                    if jobs is not None:
+                        payload["jobs"] = jobs.stats()
+                        if jobs.draining:
+                            payload["status"] = "draining"
+                    self._write_json(200, payload)
+                    return
+                if path == "/metrics":
+                    self._serve_metrics()
+                    return
+                if path == "/v1/ops":
+                    payload = self.server.service.ops_info()
+                    payload["jobs_enabled"] = (
+                        getattr(self.server, "jobs", None) is not None
+                    )
+                    self._write_json(200, payload)
+                    return
+                if path == "/v1/jobs" or path.startswith("/v1/jobs/"):
+                    self._handle_jobs_get(path, urllib.parse.parse_qs(parsed.query))
+                    return
                 raise ServiceError(
                     f"no such resource {self.path!r}; operations are POST /v1/<op>",
                     code="not_found",
                     status=404,
                 )
-            operation = path[len("/v1/"):]
-            payload = self._read_body()
-            request = parse_request(operation, payload)
-            response = getattr(self.server.service, operation)(request)
-            self._write_json(200, response.to_dict())
-        except ServiceError as error:
-            self._write_error(error)
-        except Exception as error:  # pragma: no cover - defensive boundary
-            # The handler is the crash boundary of a server thread: anything
-            # unexpected becomes a 500 instead of a dropped connection.
-            self._write_error(
-                ServiceError(
-                    f"internal error: {type(error).__name__}: {error}",
-                    code="internal_error",
-                    status=500,
+            except ServiceError as error:
+                self._write_error(error)
+            finally:
+                self._observe(route, started, active)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        # Route on the bare path, like do_GET: a query string must not turn
+        # an existing resource into a 404.
+        path = urllib.parse.urlsplit(self.path).path
+        started = time.perf_counter()
+        route = "unknown"
+        with trace(valid_trace_id(self.headers.get(TRACE_HEADER))) as active:
+            try:
+                if path == "/v1/jobs" or path.startswith("/v1/jobs/"):
+                    route = "jobs"
+                    self._handle_jobs_post(path)
+                    return
+                if not path.startswith("/v1/"):
+                    raise ServiceError(
+                        f"no such resource {self.path!r}; operations are POST /v1/<op>",
+                        code="not_found",
+                        status=404,
+                    )
+                operation = path[len("/v1/"):]
+                with span("parse"):
+                    payload = self._read_body()
+                    request = parse_request(operation, payload)
+                # Only a *known* operation becomes a route label (typos
+                # would otherwise grow label cardinality without bound).
+                route = operation
+                response = getattr(self.server.service, operation)(request)
+                with span("render"):
+                    self._write_json(200, response.to_dict())
+            except ServiceError as error:
+                self._write_error(error)
+            except Exception as error:  # pragma: no cover - defensive boundary
+                # The handler is the crash boundary of a server thread:
+                # anything unexpected becomes a 500 instead of a dropped
+                # connection.
+                self._write_error(
+                    ServiceError(
+                        f"internal error: {type(error).__name__}: {error}",
+                        code="internal_error",
+                        status=500,
+                    )
                 )
-            )
+            finally:
+                self._observe(route, started, active)
 
 
 class AnalysisServiceServer(ThreadingHTTPServer):
@@ -304,6 +423,12 @@ class AnalysisServiceServer(ThreadingHTTPServer):
     of ``cpsec serve --workers N`` binds one shared listener before forking,
     every worker adopts the inherited descriptor here, and the kernel load
     balances accepts across them.
+
+    ``metrics_dir``/``worker_label`` are the multi-process metrics
+    side-channel: a worker given a directory serializes its registry there
+    (atomically, after every handled request), and ``GET /metrics`` on any
+    worker merges every sibling snapshot so one scrape covers the fleet,
+    each series labelled with its worker.
     """
 
     daemon_threads = True
@@ -316,6 +441,9 @@ class AnalysisServiceServer(ThreadingHTTPServer):
         verbose: bool = False,
         jobs=None,
         listen_socket=None,
+        slow_request_ms: float | None = None,
+        metrics_dir: str | None = None,
+        worker_label: str = "0",
     ) -> None:
         if listen_socket is not None:
             super().__init__(address, AnalysisRequestHandler, bind_and_activate=False)
@@ -330,6 +458,74 @@ class AnalysisServiceServer(ThreadingHTTPServer):
         #: Optional :class:`repro.jobs.manager.JobManager`; ``None`` serves
         #: the synchronous API only (job routes answer a typed 503).
         self.jobs = jobs
+        self.slow_request_ms = slow_request_ms
+        self.metrics_dir = metrics_dir
+        self.worker_label = str(worker_label)
+        self.http_requests = None
+        if service.metrics is not None:
+            self.http_requests = service.metrics.counter(
+                "cpsec_http_requests_total",
+                "HTTP requests handled, by route and status.",
+                ("route", "status"),
+            )
+
+    # -- metrics side-channel --------------------------------------------------
+
+    def _own_snapshot(self) -> dict:
+        """This process's registry plus scrape-time collector families."""
+        snapshot = self.service.metrics.snapshot(self.worker_label)
+        snapshot["families"].extend(
+            collect_families(self.service, self.jobs, worker=self.worker_label)
+        )
+        return snapshot
+
+    def export_metrics_snapshot(self) -> None:
+        """Serialize this worker's metrics into the shared side-channel.
+
+        A no-op outside multi-process serving.  The write is atomic
+        (tmp + rename), so a scrape on a sibling never reads a torn file.
+        """
+        if self.metrics_dir is None or self.service.metrics is None:
+            return
+        path = os.path.join(
+            self.metrics_dir, f"worker-{self.worker_label}.json"
+        )
+        tmp = f"{path}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(self._own_snapshot(), handle, separators=(",", ":"))
+            os.replace(tmp, path)
+        except OSError:  # pragma: no cover - metrics must never break serving
+            return
+
+    def metrics_snapshots(self) -> list[dict]:
+        """Every worker's snapshot, own state fresh, siblings from disk."""
+        if self.service.metrics is None:
+            return []
+        own = self._own_snapshot()
+        if self.metrics_dir is None:
+            return [own]
+        self.export_metrics_snapshot()
+        snapshots = [own]
+        try:
+            names = sorted(os.listdir(self.metrics_dir))
+        except OSError:  # pragma: no cover - side-channel gone mid-scrape
+            return snapshots
+        for name in names:
+            if not name.startswith("worker-") or not name.endswith(".json"):
+                continue
+            if name == f"worker-{self.worker_label}.json":
+                continue  # own state is already in, fresher than the file
+            try:
+                with open(
+                    os.path.join(self.metrics_dir, name), encoding="utf-8"
+                ) as handle:
+                    peer = json.load(handle)
+            except (OSError, ValueError):
+                continue  # sibling mid-restart; skip, do not fail the scrape
+            if isinstance(peer, dict):
+                snapshots.append(peer)
+        return snapshots
 
 
 def start_server(
@@ -340,8 +536,18 @@ def start_server(
     verbose: bool = False,
     jobs=None,
     listen_socket=None,
+    slow_request_ms: float | None = None,
+    metrics_dir: str | None = None,
+    worker_label: str = "0",
 ) -> AnalysisServiceServer:
     """Bind a server (``port=0`` picks a free port); call ``serve_forever``."""
     return AnalysisServiceServer(
-        (host, port), service, verbose=verbose, jobs=jobs, listen_socket=listen_socket
+        (host, port),
+        service,
+        verbose=verbose,
+        jobs=jobs,
+        listen_socket=listen_socket,
+        slow_request_ms=slow_request_ms,
+        metrics_dir=metrics_dir,
+        worker_label=worker_label,
     )

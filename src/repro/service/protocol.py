@@ -21,6 +21,13 @@ payloads (or as a registry name like ``"centrifuge"``); analysis artifacts
 travel as the dict forms of their dataclasses (``PostureMetrics``,
 ``WhatIfComparison``, ``TopologyReport``, ...), so a client can rebuild the
 typed objects and reuse every renderer the library ships.
+
+**Tracing** rides the transport, not the payload: every HTTP response
+carries the request's trace id in the :data:`TRACE_HEADER`
+(``X-Cpsec-Trace-Id``) response header -- keeping 200 bodies byte-identical
+to the in-process path -- while *error* bodies additionally carry a
+top-level ``trace_id`` key (``from_dict`` ignores unknown keys, so old
+clients parse new errors unchanged).
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ import json
 from dataclasses import dataclass, fields
 
 from repro.analysis.metrics import PostureMetrics
+from repro.obs.trace import TRACE_HEADER  # noqa: F401 - part of the wire protocol
 from repro.analysis.recommendations import Recommendation
 from repro.analysis.topology import TopologyReport
 from repro.analysis.whatif import WhatIfComparison

@@ -54,6 +54,9 @@ from repro.cps.scada import ScadaSimulation
 from repro.graph.graphml import to_graphml_string
 from repro.graph.model import SystemGraph
 from repro.graph.validation import validate_model
+from repro.obs.collectors import response_cache_info
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span
 from repro.search.cache import LruCache
 from repro.search.chains import chain_summary, find_exploit_chains
 from repro.search.engine import SCORERS, SearchEngine
@@ -129,20 +132,50 @@ def _cached_operation(method):
     @functools.wraps(method)
     def wrapper(self, request):
         cache = self._response_cache
+        if self.metrics is None:
+            # Uninstrumented path: byte-identical behavior, zero metric cost
+            # (the observability overhead benchmark's baseline).
+            if cache is None:
+                return method(self, request)
+            digest = hashlib.sha256(
+                canonical_json(request.to_dict()).encode("utf-8")
+            ).hexdigest()
+            key = (name, digest)
+            cached = cache.get(key)
+            if cached is not None:
+                return copy.deepcopy(cached)
+            response = method(self, request)
+            cache.put(key, copy.deepcopy(response))
+            return response
+        started = time.perf_counter()
+        requests_total, latency, cache_hits, cache_misses = (
+            self._op_metric_children(name)
+        )
+        requests_total.inc()
         if cache is None:
-            return method(self, request)
+            with span(f"engine_{name}"):
+                response = method(self, request)
+            latency.observe(time.perf_counter() - started)
+            return response
         # Hash the canonical request JSON: inline model payloads can be
         # megabytes, and keeping them alive as cache keys would let 1024
         # entries pin gigabytes.  A digest keeps every key constant-size.
-        digest = hashlib.sha256(
-            canonical_json(request.to_dict()).encode("utf-8")
-        ).hexdigest()
-        key = (name, digest)
-        cached = cache.get(key)
+        with span("cache_lookup"):
+            digest = hashlib.sha256(
+                canonical_json(request.to_dict()).encode("utf-8")
+            ).hexdigest()
+            key = (name, digest)
+            cached = cache.get(key)
         if cached is not None:
-            return copy.deepcopy(cached)
-        response = method(self, request)
+            cache_hits.inc()
+            response = copy.deepcopy(cached)
+            latency.observe(time.perf_counter() - started)
+            return response
+        cache_misses.inc()
+        with span(f"engine_{name}"):
+            response = method(self, request)
         cache.put(key, copy.deepcopy(response))
+        latency.observe(time.perf_counter() - started)
         return response
 
     return wrapper
@@ -237,6 +270,13 @@ class AnalysisService:
         corpus size, and pre-forked worker processes serving the same
         artifact share one OS page cache instead of N private heap copies.
         Results are bit-identical either way.
+    enable_metrics:
+        When true (default) the service owns a
+        :class:`~repro.obs.metrics.MetricsRegistry` at :attr:`metrics` and
+        every operation records a request counter, a latency histogram, and
+        response-cache hit/miss counters (the ``/metrics`` endpoint renders
+        them).  ``False`` is the uninstrumented baseline the observability
+        overhead benchmark compares against.
     """
 
     def __init__(
@@ -251,6 +291,7 @@ class AnalysisService:
         default_workspace: str | None = None,
         max_warm_workspaces: int = MAX_WARM_WORKSPACES,
         workspace_mmap: bool = False,
+        enable_metrics: bool = True,
     ) -> None:
         self._artifact_path: Path | None = None
         self._artifact: Workspace | None = None
@@ -304,6 +345,41 @@ class AnalysisService:
             )
         self._default_workspace = default_workspace
         self._started_at = time.monotonic()
+        #: Event-driven metrics (request counts, latency histograms, cache
+        #: hit/miss); ``None`` is the uninstrumented benchmark baseline.
+        self.metrics: MetricsRegistry | None = (
+            MetricsRegistry() if enable_metrics else None
+        )
+        self._op_metrics: dict[str, tuple] = {}
+        if self.metrics is not None:
+            self._requests_family = self.metrics.counter(
+                "cpsec_requests_total",
+                "Typed operation requests served (in-process and HTTP).",
+                ("operation",),
+            )
+            self._latency_family = self.metrics.histogram(
+                "cpsec_request_seconds",
+                "Typed operation latency, response cache included.",
+                ("operation",),
+            )
+            self._cache_family = self.metrics.counter(
+                "cpsec_response_cache_total",
+                "Whole-response cache lookups by outcome.",
+                ("operation", "result"),
+            )
+
+    def _op_metric_children(self, operation: str) -> tuple:
+        """Cached per-operation metric children (hot-path dict lookup only)."""
+        children = self._op_metrics.get(operation)
+        if children is None:
+            children = (
+                self._requests_family.labels(operation),
+                self._latency_family.labels(operation),
+                self._cache_family.labels(operation, "hit"),
+                self._cache_family.labels(operation, "miss"),
+            )
+            self._op_metrics[operation] = children
+        return children
 
     # -- plumbing -------------------------------------------------------------
 
@@ -999,6 +1075,10 @@ class AnalysisService:
                 engine.clear_caches()
                 engine.stats.reset()
         cvss_clear_caches()
+        if self.metrics is not None:
+            # A worker's /metrics must not report the parent's warm-up
+            # traffic; families survive the reset, data does not.
+            self.metrics.reset()
 
     # -- introspection --------------------------------------------------------
 
@@ -1070,7 +1150,6 @@ class AnalysisService:
                 info = engine.health_info()
                 info["scale"] = scale
                 engines.append(info)
-        response_cache = self._response_cache
         return {
             "schema_version": SCHEMA_VERSION,
             "status": "ok",
@@ -1078,17 +1157,21 @@ class AnalysisService:
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "operations": sorted(OPERATIONS),
             "models": sorted(MODEL_REGISTRY),
-            "response_cache": {
-                "enabled": response_cache is not None,
-                "entries": len(response_cache) if response_cache is not None else 0,
-                "evictions": response_cache.evictions
-                if response_cache is not None
-                else 0,
-                "max_entries": response_cache.max_entries
-                if response_cache is not None
-                else 0,
-            },
+            # Shared with the /metrics collectors (one source of truth); the
+            # counter-ish fields here are kept for compatibility but are
+            # deprecated in favor of the exposition-format /metrics endpoint.
+            "response_cache": response_cache_info(self._response_cache),
             "workspaces": workspaces_payload,
             "workspace_registry": registry_payload,
             "engines": engines,
+            "metrics": {
+                "endpoint": "/metrics",
+                "deprecated_fields": [
+                    "engines[].stats",
+                    "engines[].cache_info",
+                    "response_cache.entries",
+                    "response_cache.evictions",
+                    "jobs.scheduler",
+                ],
+            },
         }

@@ -1,0 +1,439 @@
+"""End-to-end observability: ``/metrics`` scrapes and trace-id propagation.
+
+The acceptance bars for the observability layer:
+
+* ``GET /metrics`` is *valid* text exposition (the strict parser from
+  :mod:`repro.obs.textparse` accepts it) and its request counters move when
+  requests are served,
+* every response -- success and error, sync and job -- carries a trace id;
+  an inbound ``X-Cpsec-Trace-Id`` propagates end to end (response header,
+  job record, SSE frames, journal) while 200 bodies stay byte-identical to
+  the in-process path,
+* ``/healthz`` keeps its pre-observability shape (plus an additive
+  deprecation note) and its numbers agree with ``/metrics``,
+* with ``cpsec serve --workers 2`` one scrape merges every worker's
+  registry, each series labelled with its worker (the slow subprocess test
+  at the bottom).
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from helpers_jobs import ScriptedService, drain_steps, stepped_manager
+from repro.jobs import JobManager
+from repro.jobs.store import read_journal
+from repro.obs.metrics import EXPOSITION_CONTENT_TYPE, MetricsRegistry
+from repro.obs.textparse import parse_exposition, sum_samples
+from repro.obs.trace import TRACE_HEADER, current_trace_id, trace
+from repro.service import (
+    AnalysisService,
+    ServiceClient,
+    ServiceError,
+    ValidateRequest,
+    canonical_json,
+    start_server,
+)
+from repro.workspace import Workspace
+
+SCALE = 0.02
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture(scope="module")
+def live():
+    """One warm service with a job engine behind a real HTTP server."""
+    service = AnalysisService()
+    jobs = JobManager(service, workers=2, metrics=service.metrics)
+    server = start_server(service, port=0, jobs=jobs)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield service, jobs, ServiceClient(f"http://{host}:{port}"), f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    jobs.close(timeout=10.0)
+    thread.join(timeout=5)
+
+
+def _scrape(url: str) -> tuple[dict, str]:
+    with urllib.request.urlopen(f"{url}/metrics", timeout=30) as response:
+        assert response.status == 200
+        assert response.headers.get("Content-Type") == EXPOSITION_CONTENT_TYPE
+        text = response.read().decode("utf-8")
+    return parse_exposition(text), text
+
+
+# -- /metrics ----------------------------------------------------------------
+
+
+def test_metrics_endpoint_is_valid_exposition_and_counts_requests(live):
+    _, _, client, url = live
+    families, _ = _scrape(url)
+    before = sum_samples(families, "cpsec_requests_total", operation="validate")
+    client.validate(ValidateRequest())
+    client.validate(ValidateRequest())
+    families, text = _scrape(url)
+    assert (
+        sum_samples(families, "cpsec_requests_total", operation="validate")
+        == before + 2
+    )
+    # Counter discipline: the TYPE header appears exactly once.
+    assert text.count("# TYPE cpsec_requests_total counter") == 1
+    # Latency histogram moved in step with the counter.
+    latency_count = sum(
+        sample.value
+        for sample in families["cpsec_request_seconds"].samples
+        if sample.name == "cpsec_request_seconds_count"
+        and sample.labels.get("operation") == "validate"
+    )
+    assert latency_count >= before + 2
+    # Every series carries the worker label (single-process: worker 0).
+    for sample in families["cpsec_requests_total"].samples:
+        assert sample.labels.get("worker") == "0"
+
+
+def test_metrics_response_cache_hits_and_healthz_agree(live):
+    service, _, client, url = live
+    client.validate(ValidateRequest())  # primes the cache
+    client.validate(ValidateRequest())  # must be a hit
+    families, _ = _scrape(url)
+    hits = sum_samples(
+        families, "cpsec_response_cache_total", operation="validate", result="hit"
+    )
+    assert hits >= 1
+    # Scrape-time collector numbers come from the same source /healthz reads.
+    health = service.health()
+    assert sum_samples(families, "cpsec_response_cache_entries") == health[
+        "response_cache"
+    ]["entries"]
+    assert sum_samples(families, "cpsec_uptime_seconds") > 0
+
+
+def test_metrics_counts_http_routes_and_job_lifecycle(live):
+    _, _, client, url = live
+    job = client.submit("validate", ValidateRequest())
+    record = client.wait(job["job_id"], timeout=60.0)
+    assert record["state"] == "succeeded"
+    families, _ = _scrape(url)
+    assert sum_samples(families, "cpsec_jobs_submitted_total") >= 1
+    assert (
+        sum_samples(families, "cpsec_jobs_finished_total", state="succeeded") >= 1
+    )
+    assert sum_samples(families, "cpsec_http_requests_total", route="jobs") >= 1
+    assert sum_samples(families, "cpsec_http_requests_total", route="metrics") >= 1
+    wait_counts = sum(
+        sample.value
+        for sample in families["cpsec_job_wait_seconds"].samples
+        if sample.name == "cpsec_job_wait_seconds_count"
+    )
+    assert wait_counts >= 1
+    # Scheduler state collectors ride the same scrape.
+    assert "cpsec_scheduler_flow_pass" in families
+    assert "cpsec_scheduler_dispatched_total" in families
+
+
+def test_healthz_keeps_shape_and_notes_deprecation(live):
+    _, _, client, _ = live
+    payload = client.health()
+    assert payload["status"] == "ok"
+    assert set(payload["response_cache"]) == {
+        "enabled",
+        "entries",
+        "evictions",
+        "max_entries",
+    }
+    assert payload["metrics"]["endpoint"] == "/metrics"
+    assert "engines[].stats" in payload["metrics"]["deprecated_fields"]
+
+
+# -- trace propagation: sync -------------------------------------------------
+
+
+def test_inbound_trace_id_echoes_on_response_header_not_body(live):
+    service, _, _, url = live
+    body = canonical_json({}).encode("utf-8")
+    request = urllib.request.Request(
+        f"{url}/v1/validate",
+        data=body,
+        headers={"Content-Type": "application/json", TRACE_HEADER: "req-42"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        assert response.headers.get(TRACE_HEADER) == "req-42"
+        wire = response.read()
+    # Byte identity with the in-process path survives tracing: the id rides
+    # the header, never the 200 body.
+    local = service.validate(ValidateRequest())
+    assert wire.decode("utf-8") == canonical_json(local.to_dict())
+
+
+def test_missing_trace_header_gets_generated_id(live):
+    _, _, _, url = live
+    request = urllib.request.Request(
+        f"{url}/v1/validate",
+        data=b"{}",
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        generated = response.headers.get(TRACE_HEADER)
+    assert generated is not None
+    assert re.fullmatch(r"[0-9a-f]{32}", generated)
+
+
+def test_invalid_inbound_trace_id_is_replaced(live):
+    _, _, _, url = live
+    request = urllib.request.Request(
+        f"{url}/v1/validate",
+        data=b"{}",
+        headers={"Content-Type": "application/json", TRACE_HEADER: "bad id!"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        echoed = response.headers.get(TRACE_HEADER)
+    assert echoed is not None and echoed != "bad id!"
+
+
+def test_error_bodies_carry_trace_id(live):
+    _, _, _, url = live
+    request = urllib.request.Request(
+        f"{url}/v1/associate",
+        data=b"{not json",
+        headers={"Content-Type": "application/json", TRACE_HEADER: "err-7"},
+        method="POST",
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=30)
+    assert excinfo.value.code == 400
+    body = json.loads(excinfo.value.read())
+    assert body["trace_id"] == "err-7"
+    assert body["error"]["code"] == "malformed_json"
+
+
+def test_client_captures_last_trace_id(live):
+    _, _, _, url = live
+    client = ServiceClient(url, trace_id="cli-abc")
+    client.validate(ValidateRequest())
+    assert client.last_trace_id == "cli-abc"
+    anonymous = ServiceClient(url)
+    anonymous.validate(ValidateRequest())
+    assert anonymous.last_trace_id is not None
+    with pytest.raises(ServiceError):
+        client.call_raw("nonsense", {})
+    assert client.last_trace_id == "cli-abc"  # error paths capture it too
+
+
+# -- trace propagation: jobs + SSE -------------------------------------------
+
+
+def test_job_record_and_sse_frames_carry_submitting_trace_id(live):
+    _, _, _, url = live
+    client = ServiceClient(url, trace_id="job-trace-1")
+    job = client.submit("validate", ValidateRequest())
+    assert job["trace_id"] == "job-trace-1"
+    events = list(client.stream_events(job["job_id"]))
+    assert events, "expected at least the terminal state event"
+    assert all(event["trace_id"] == "job-trace-1" for event in events)
+    record = client.wait(job["job_id"], timeout=60.0)
+    assert record["trace_id"] == "job-trace-1"
+
+
+def test_job_without_inbound_trace_gets_its_own_id(live):
+    _, _, client, _ = live
+    job = client.submit("validate", ValidateRequest())
+    assert re.fullmatch(r"[0-9a-f]{32}", job["trace_id"])
+
+
+# -- trace propagation: manager + journal (fake clock, no HTTP) ---------------
+
+
+def test_submit_inside_trace_propagates_to_run_and_journal(tmp_path):
+    captured: list = []
+
+    def capture(request):
+        captured.append(current_trace_id())
+        return {"ok": True}
+
+    journal = tmp_path / "jobs.jsonl"
+    manager, _ = stepped_manager(
+        ScriptedService({"associate": capture}), journal_path=journal
+    )
+    with trace("ambient-9"):
+        job = manager.submit("associate", {})
+    assert job.trace_id == "ambient-9"
+    assert current_trace_id() is None  # the request trace ended at the door
+    drain_steps(manager)
+    # The worker re-entered the submitting request's trace for the run.
+    assert captured == ["ambient-9"]
+    manager.close(timeout=5.0)
+    submitted = [
+        entry for entry in read_journal(journal) if entry["kind"] == "submitted"
+    ]
+    assert submitted[0]["trace_id"] == "ambient-9"
+    # Replay restores the id: GET /v1/jobs/<id> answers with the same trace
+    # after a server restart.
+    replayed, _ = stepped_manager(ScriptedService(), journal_path=journal)
+    assert replayed.get(job.job_id).trace_id == "ambient-9"
+    replayed.close(timeout=5.0)
+
+
+def test_manager_counts_lifecycle_in_shared_registry():
+    registry = MetricsRegistry()
+    manager, clock = stepped_manager(ScriptedService(), metrics=registry)
+    manager.submit("associate", {})
+    clock.advance(0.5)
+    drain_steps(manager)
+    families = parse_exposition(registry.render())
+    assert sum_samples(families, "cpsec_jobs_submitted_total") == 1
+    assert sum_samples(families, "cpsec_jobs_finished_total", state="succeeded") == 1
+    waits = [
+        sample.value
+        for sample in families["cpsec_job_wait_seconds"].samples
+        if sample.name == "cpsec_job_wait_seconds_count"
+    ]
+    assert sum(waits) == 1
+    manager.close(timeout=5.0)
+
+
+# -- slow-request log ---------------------------------------------------------
+
+
+def test_slow_request_threshold_emits_structured_line(capfd):
+    service = AnalysisService()
+    server = start_server(service, port=0, slow_request_ms=0.0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        request = urllib.request.Request(
+            f"http://{host}:{port}/v1/validate",
+            data=b"{}",
+            headers={"Content-Type": "application/json", TRACE_HEADER: "slow-1"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30):
+            pass
+        deadline = time.monotonic() + 10.0
+        records = []
+        while time.monotonic() < deadline and not records:
+            err = capfd.readouterr().err
+            records = [
+                json.loads(line)
+                for line in err.splitlines()
+                if line.startswith("{") and '"slow_request"' in line
+            ]
+            if not records:
+                time.sleep(0.05)
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+    assert records, "expected a slow-request line at threshold 0"
+    record = records[0]
+    assert record["event"] == "slow_request"
+    assert record["trace_id"] == "slow-1"
+    assert record["operation"] == "validate"
+    assert record["status"] == 200
+    span_names = [recorded["name"] for recorded in record["spans"]]
+    assert "parse" in span_names and "render" in span_names
+
+
+# -- cross-worker aggregation (real pre-forked processes) ---------------------
+
+
+@pytest.mark.slow
+def test_preforked_metrics_aggregate_across_workers(tmp_path):
+    """`--workers 2`: one scrape merges both workers' registries.
+
+    Request counts summed over the ``worker`` label equal the requests sent,
+    and both workers appear in the exposition (each publishes a snapshot at
+    startup, before serving anything).
+    """
+    artifact = tmp_path / "serve.cpsecws"
+    Workspace.build(scale=SCALE).save(artifact)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--workspace", f"main={artifact}",
+            "--port", "0",
+            "--workers", "2",
+        ],
+        cwd=tmp_path,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    lines: list[str] = []
+
+    def _pump() -> None:
+        for line in process.stdout:
+            lines.append(line.rstrip("\n"))
+
+    threading.Thread(target=_pump, daemon=True).start()
+    try:
+        deadline = time.monotonic() + 120.0
+        url = None
+        while time.monotonic() < deadline:
+            banner = next(
+                (line for line in lines if "serving analysis service" in line), None
+            )
+            if banner:
+                url = banner.split("on ", 1)[1].split(" ", 1)[0]
+                break
+            assert process.poll() is None, f"serve died: {lines}"
+            time.sleep(0.1)
+        assert url, f"no banner in: {lines}"
+        while time.monotonic() < deadline:
+            if sum("worker" in line and "started" in line for line in lines) >= 2:
+                break
+            time.sleep(0.1)
+
+        sent = 6
+        for _ in range(sent):
+            request = urllib.request.Request(
+                f"{url}/v1/validate",
+                data=b"{}",
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=60) as response:
+                assert response.status == 200
+                assert response.headers.get(TRACE_HEADER)
+
+        # Workers publish their snapshot right after answering, so the
+        # fleet total converges within a scrape or two.
+        total = -1.0
+        workers: set = set()
+        while time.monotonic() < deadline:
+            families, _ = _scrape(url)
+            total = sum_samples(
+                families, "cpsec_requests_total", operation="validate"
+            )
+            workers = {
+                sample.labels["worker"]
+                for sample in families["cpsec_uptime_seconds"].samples
+            }
+            if total == sent and len(workers) >= 2:
+                break
+            time.sleep(0.2)
+        assert total == sent, f"fleet total {total} != {sent} sent"
+        assert len(workers) >= 2, f"expected both workers in scrape, saw {workers}"
+    finally:
+        process.kill()
+        process.wait(timeout=30)

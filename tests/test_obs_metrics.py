@@ -1,0 +1,245 @@
+"""Metrics core: registry semantics and exposition-format discipline.
+
+Two kinds of pinning:
+
+* registry behavior -- counters only go up, labelled children are shared,
+  histograms bucket correctly, ``reset()`` zeroes data but keeps families
+  (the ``post_fork_reset`` contract),
+* the rendered text exposition is *valid* -- every render in this module
+  round-trips through the strict parser in :mod:`repro.obs.textparse`, the
+  same one ``cpsec stats`` and the CI smoke jobs use, so a formatting
+  regression fails here before it fails a real scraper.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    escape_label_value,
+    format_value,
+    render_snapshots,
+)
+from repro.obs.textparse import (
+    ExpositionParseError,
+    parse_exposition,
+    sum_samples,
+)
+
+
+# -- registry semantics -------------------------------------------------------
+
+
+def test_counter_accumulates_and_rejects_decrease():
+    registry = MetricsRegistry()
+    requests = registry.counter("t_requests_total", "Requests.", ("op",))
+    requests.labels("associate").inc()
+    requests.labels("associate").inc(2)
+    requests.labels("table1").inc()
+    assert requests.labels("associate").value == 3
+    assert requests.labels("table1").value == 1
+    with pytest.raises(ValueError):
+        requests.labels("associate").inc(-1)
+
+
+def test_labelled_child_is_shared_and_keyword_labels_work():
+    registry = MetricsRegistry()
+    family = registry.counter("t_total", "T.", ("a", "b"))
+    assert family.labels("x", "y") is family.labels("x", "y")
+    assert family.labels(a="x", b="y") is family.labels("x", "y")
+    with pytest.raises(ValueError):
+        family.labels("x")  # wrong arity
+    with pytest.raises(ValueError):
+        family.labels(a="x")  # missing label
+
+
+def test_unlabelled_family_proxies_to_single_child():
+    registry = MetricsRegistry()
+    registry.counter("t_one_total", "T.").inc(5)
+    registry.gauge("t_g", "G.").set(2.5)
+    families = parse_exposition(registry.render())
+    assert sum_samples(families, "t_one_total") == 5
+    assert sum_samples(families, "t_g") == 2.5
+
+
+def test_histogram_buckets_value_into_first_covering_bound():
+    registry = MetricsRegistry()
+    family = registry.histogram("t_seconds", "H.", buckets=(0.1, 1.0, 10.0))
+    child = family.labels()
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        child.observe(value)
+    assert child.counts == [1, 2, 1, 1]  # last slot is +Inf overflow
+    assert child.count == 5
+    assert child.sum == pytest.approx(56.05)
+
+
+def test_reregistration_is_idempotent_but_conflicts_raise():
+    registry = MetricsRegistry()
+    first = registry.counter("t_total", "T.", ("op",))
+    assert registry.counter("t_total", "T.", ("op",)) is first
+    with pytest.raises(ValueError):
+        registry.gauge("t_total", "T.", ("op",))
+    with pytest.raises(ValueError):
+        registry.counter("t_total", "T.", ("other",))
+    with pytest.raises(ValueError):
+        registry.counter("bad name", "T.")
+    with pytest.raises(ValueError):
+        registry.counter("t_ok_total", "T.", ("__reserved",))
+
+
+def test_reset_zeroes_data_but_keeps_families():
+    """The post_fork_reset contract: a worker starts from zero, not from
+    the parent's warm-up traffic -- and keeps the registered families."""
+    registry = MetricsRegistry()
+    counter = registry.counter("t_total", "T.", ("op",))
+    histogram = registry.histogram("t_seconds", "H.")
+    counter.labels("a").inc(7)
+    histogram.observe(0.2)
+    registry.reset()
+    assert counter.labels("a").value == 0
+    assert histogram.labels().count == 0
+    families = parse_exposition(registry.render())
+    assert "t_total" in families and "t_seconds" in families
+    assert sum_samples(families, "t_total") == 0
+
+
+# -- exposition rendering -----------------------------------------------------
+
+
+def test_render_is_valid_exposition_with_worker_label():
+    registry = MetricsRegistry()
+    registry.counter("t_requests_total", "Requests handled.", ("op",)).labels(
+        "associate"
+    ).inc(3)
+    registry.gauge("t_depth", "Queue depth.").set(4)
+    registry.histogram("t_seconds", "Latency.").observe(0.003)
+    text = registry.render(worker="7")
+    assert text.startswith("# HELP ")
+    families = parse_exposition(text)
+    sample = families["t_requests_total"].samples[0]
+    assert sample.labels == {"op": "associate", "worker": "7"}
+    assert sample.value == 3
+    assert families["t_seconds"].type == "histogram"
+
+
+def test_histogram_renders_cumulative_buckets_sum_and_count():
+    registry = MetricsRegistry()
+    registry.histogram("t_seconds", "H.", buckets=(0.1, 1.0)).observe(0.05)
+    registry.histogram("t_seconds", "H.", buckets=(0.1, 1.0)).observe(0.5)
+    registry.histogram("t_seconds", "H.", buckets=(0.1, 1.0)).observe(99.0)
+    text = registry.render()
+    families = parse_exposition(text)  # enforces cumulative + +Inf == _count
+    by_le = {
+        sample.labels["le"]: sample.value
+        for sample in families["t_seconds"].samples
+        if sample.name == "t_seconds_bucket"
+    }
+    assert by_le == {"0.1": 1, "1": 2, "+Inf": 3}
+    assert sum_samples(families, "t_seconds_count") == 0  # filtered: histogram family
+    count = [
+        sample.value
+        for sample in families["t_seconds"].samples
+        if sample.name == "t_seconds_count"
+    ]
+    assert count == [3]
+
+
+def test_label_values_are_escaped_and_round_trip():
+    hostile = 'a"b\\c\nd'
+    assert escape_label_value(hostile) == 'a\\"b\\\\c\\nd'
+    registry = MetricsRegistry()
+    registry.counter("t_total", "T.", ("name",)).labels(hostile).inc()
+    families = parse_exposition(registry.render())
+    sample = families["t_total"].samples[0]
+    assert sample.labels["name"] == hostile
+
+
+def test_format_value_integers_bare_and_specials():
+    assert format_value(3.0) == "3"
+    assert format_value(0.25) == "0.25"
+    assert format_value(math.inf) == "+Inf"
+    assert format_value(-math.inf) == "-Inf"
+    assert format_value(math.nan) == "NaN"
+
+
+# -- multi-worker merge -------------------------------------------------------
+
+
+def _worker_snapshot(worker: str, requests: int, observed: float) -> dict:
+    registry = MetricsRegistry()
+    registry.counter("t_requests_total", "Requests.", ("op",)).labels(
+        "associate"
+    ).inc(requests)
+    registry.histogram("t_seconds", "Latency.", buckets=(0.1, 1.0)).observe(observed)
+    return registry.snapshot(worker)
+
+
+def test_render_snapshots_merges_workers_under_one_header():
+    text = render_snapshots(
+        [_worker_snapshot("0", 3, 0.05), _worker_snapshot("1", 5, 0.5)]
+    )
+    assert text.count("# TYPE t_requests_total counter") == 1
+    families = parse_exposition(text)
+    workers = {
+        sample.labels["worker"]: sample.value
+        for sample in families["t_requests_total"].samples
+    }
+    assert workers == {"0": 3, "1": 5}
+    assert sum_samples(families, "t_requests_total") == 8
+    assert sum_samples(families, "t_requests_total", worker="1") == 5
+    # Histogram series merge per worker too, each internally consistent.
+    counts = [
+        sample.value
+        for sample in families["t_seconds"].samples
+        if sample.name == "t_seconds_count"
+    ]
+    assert counts == [1, 1]
+
+
+def test_snapshot_is_json_shaped_and_deterministic():
+    snapshot = _worker_snapshot("2", 1, 0.2)
+    assert snapshot["worker"] == "2"
+    names = [family["name"] for family in snapshot["families"]]
+    assert names == ["t_requests_total", "t_seconds"]
+    histogram = snapshot["families"][1]
+    assert histogram["buckets"] == [0.1, 1.0]
+    assert histogram["series"][0]["counts"] == [0, 1, 0]
+
+
+# -- parser discipline --------------------------------------------------------
+
+
+def test_parser_rejects_samples_before_type():
+    with pytest.raises(ExpositionParseError):
+        parse_exposition('t_total{worker="0"} 1\n')
+
+
+def test_parser_rejects_non_cumulative_histogram():
+    bad = (
+        "# TYPE t_seconds histogram\n"
+        't_seconds_bucket{le="0.1"} 5\n'
+        't_seconds_bucket{le="1"} 3\n'
+        't_seconds_bucket{le="+Inf"} 5\n'
+        "t_seconds_sum 1\n"
+        "t_seconds_count 5\n"
+    )
+    with pytest.raises(ExpositionParseError):
+        parse_exposition(bad)
+
+
+def test_parser_rejects_missing_inf_bucket():
+    bad = (
+        "# TYPE t_seconds histogram\n"
+        't_seconds_bucket{le="0.1"} 1\n'
+        "t_seconds_sum 0.05\n"
+        "t_seconds_count 1\n"
+    )
+    with pytest.raises(ExpositionParseError):
+        parse_exposition(bad)
+
+
+def test_parser_rejects_negative_counter():
+    with pytest.raises(ExpositionParseError):
+        parse_exposition("# TYPE t_total counter\nt_total -1\n")

@@ -1,0 +1,124 @@
+"""Tracing seam: ambient trace ids, span recording, slow-request records.
+
+The contextvar contract mirrors :mod:`repro.progress`: nothing threads a
+trace through the service API; the HTTP handler (or a test) installs one and
+every layer below reads the ambient state.  Pinned here: id validation (a
+hostile header token is never honored), span timing bookkeeping, the no-op
+cost model outside a trace, and the shape of the structured slow-request
+log line.
+"""
+
+import pytest
+
+from repro.obs.trace import (
+    Span,
+    current_trace,
+    current_trace_id,
+    new_trace_id,
+    slow_request_record,
+    span,
+    trace,
+    valid_trace_id,
+)
+
+
+def test_no_ambient_trace_by_default():
+    assert current_trace() is None
+    assert current_trace_id() is None
+
+
+def test_trace_installs_and_restores():
+    with trace() as active:
+        assert current_trace() is active
+        assert current_trace_id() == active.trace_id
+        with trace("inner-1") as inner:
+            assert current_trace_id() == "inner-1"
+            assert inner.trace_id == "inner-1"
+        assert current_trace_id() == active.trace_id
+    assert current_trace_id() is None
+
+
+def test_provided_id_honored_only_when_valid():
+    with trace("job.abc_123-X") as active:
+        assert active.trace_id == "job.abc_123-X"
+    with trace('evil"\nid') as active:
+        assert active.trace_id != 'evil"\nid'
+        assert valid_trace_id(active.trace_id) is not None
+    with trace("x" * 200) as active:  # over the length bound
+        assert len(active.trace_id) == 32
+
+
+def test_valid_trace_id_rules():
+    assert valid_trace_id("abc-123._") == "abc-123._"
+    assert valid_trace_id(new_trace_id()) is not None
+    assert valid_trace_id(None) is None
+    assert valid_trace_id("") is None
+    assert valid_trace_id("has space") is None
+    assert valid_trace_id("x" * 129) is None
+    assert valid_trace_id(42) is None
+
+
+def test_new_trace_ids_are_distinct_hex():
+    first, second = new_trace_id(), new_trace_id()
+    assert first != second
+    assert len(first) == 32
+    int(first, 16)  # hex
+
+
+def test_spans_record_onto_ambient_trace_in_order():
+    with trace("t1") as active:
+        with span("parse"):
+            pass
+        with span("engine_associate") as inner:
+            assert inner.name == "engine_associate"
+        with span("render"):
+            pass
+    names = [recorded.name for recorded in active.spans]
+    assert names == ["parse", "engine_associate", "render"]
+    for recorded in active.spans:
+        assert recorded.duration_s is not None
+        assert recorded.duration_s >= 0
+
+
+def test_span_is_shared_noop_outside_trace():
+    # One allocation-free sentinel: the instrumented hot path costs a single
+    # contextvar read when tracing is off.
+    assert span("a") is span("b")
+    with span("untraced") as inner:
+        assert inner is None
+
+
+def test_span_records_even_when_body_raises():
+    with trace("t2") as active:
+        with pytest.raises(RuntimeError):
+            with span("boom"):
+                raise RuntimeError("x")
+    assert [recorded.name for recorded in active.spans] == ["boom"]
+    assert active.spans[0].duration_s is not None
+
+
+def test_slow_request_record_shape():
+    first = Span("parse", 0.0)
+    first.duration_s = 0.010
+    second = Span("engine_associate", 0.0)
+    second.duration_s = 1.5
+    record = slow_request_record(
+        trace_id="abc",
+        operation="associate",
+        duration_s=1.5345,
+        threshold_ms=500.0,
+        status=200,
+        spans=[first, second],
+    )
+    assert record == {
+        "event": "slow_request",
+        "trace_id": "abc",
+        "operation": "associate",
+        "duration_ms": 1534.5,
+        "threshold_ms": 500.0,
+        "status": 200,
+        "spans": [
+            {"name": "parse", "duration_ms": 10.0},
+            {"name": "engine_associate", "duration_ms": 1500.0},
+        ],
+    }

@@ -1,0 +1,316 @@
+"""Chaos smoke: drive a live pre-forked ``cpsec serve`` through fault classes.
+
+The CI ``chaos-smoke`` job uses this as its scripted chaos client.  For each
+fault class it spawns a fresh ``cpsec serve`` (pre-forked where the class
+needs process topology), injects the fault -- via the ``CPSEC_FAULTS``
+environment seam or plain overload -- and asserts the typed, observable
+recovery, always ending with the load-bearing check: **/healthz still
+answers after the fault**.
+
+Fault classes exercised:
+
+1. ``handler-crash`` -- ``CPSEC_FAULTS=handler.crash:exit:13:1`` makes every
+   worker die abruptly on its first POST; the supervisor restarts the slot
+   and the GET plane never stops answering.
+2. ``journal-error`` -- ``CPSEC_FAULTS=journal.append:oserror`` fails every
+   journal write; the job manager degrades (flagged in ``/healthz``) while
+   jobs keep running to completion.
+3. ``deadline`` -- a paper-scale simulate overruns ``--request-timeout-ms``
+   into a typed 504 ``deadline_exceeded``; a client header budget does the
+   same.
+4. ``overload`` -- ``--max-inflight 1`` sheds a concurrent request with a
+   typed 503 ``overloaded`` carrying ``retry_after_s`` while ``/healthz``
+   (GET: exempt) answers, and recovers once the slot frees.
+
+Usage::
+
+    PYTHONPATH=src python examples/chaos_smoke.py --workspace smoke.cpsecws
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+DEADLINE_HEADER = "X-Cpsec-Deadline-Ms"
+SLOW_SIMULATE = {"scenario": "nominal", "duration_s": 86400.0, "dt": 0.5}
+
+
+class ChaosFailure(AssertionError):
+    pass
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise ChaosFailure(message)
+
+
+def spawn(workspace: str, *extra: str, faults: str | None = None):
+    """Start ``cpsec serve`` and return ``(process, url, log_lines)``."""
+    env = dict(os.environ)
+    if faults:
+        env["CPSEC_FAULTS"] = faults
+    else:
+        env.pop("CPSEC_FAULTS", None)
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--workspace", f"main={workspace}",
+            "--port", "0",
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    lines: list[str] = []
+
+    def pump() -> None:
+        for line in process.stdout:
+            lines.append(line.rstrip("\n"))
+
+    threading.Thread(target=pump, daemon=True).start()
+    deadline = time.monotonic() + 180.0
+    while time.monotonic() < deadline:
+        banner = next(
+            (line for line in list(lines) if "serving analysis service" in line),
+            None,
+        )
+        if banner:
+            return process, banner.split("on ", 1)[1].split(" ", 1)[0], lines
+        if process.poll() is not None:
+            break
+        time.sleep(0.1)
+    process.kill()
+    raise ChaosFailure(f"serve did not come up; output: {lines}")
+
+
+def stop(process: subprocess.Popen, lines: list) -> None:
+    process.send_signal(signal.SIGTERM)
+    try:
+        code = process.wait(timeout=90.0)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise ChaosFailure(f"serve did not drain on SIGTERM; output: {lines}")
+    check(code == 0, f"serve exited {code}; output: {lines}")
+    check(
+        any("shutdown complete" in line for line in lines),
+        f"no graceful shutdown banner; output: {lines}",
+    )
+
+
+def post(url: str, path: str, payload: dict, headers: dict | None = None):
+    """POST returning ``(status, payload)``; HTTP errors are data, not raises."""
+    request = urllib.request.Request(
+        f"{url}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=300) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def healthz_answers(url: str, timeout: float = 30.0) -> dict:
+    """The /healthz payload, retrying through restart windows."""
+    deadline = time.monotonic() + timeout
+    last: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(f"{url}/healthz", timeout=10) as response:
+                return json.loads(response.read())
+        except (urllib.error.URLError, http.client.HTTPException) as error:
+            last = error
+            time.sleep(0.2)
+    raise ChaosFailure(f"/healthz stopped answering: {last}")
+
+
+def phase_handler_crash(workspace: str) -> None:
+    process, url, lines = spawn(
+        workspace, "--workers", "2", "--job-journal", "none",
+        faults="handler.crash:exit:13:1",
+    )
+    try:
+        for round_number in (1, 2):
+            try:
+                post(url, "/v1/topology", {})
+                raise ChaosFailure("injected handler crash did not fire")
+            except (urllib.error.URLError, http.client.HTTPException):
+                pass  # the serving worker died abruptly, as armed
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                restarts = sum(
+                    1 for line in list(lines) if "restarting slot" in line
+                )
+                if restarts >= round_number:
+                    break
+                time.sleep(0.1)
+            else:
+                raise ChaosFailure(f"slot was not restarted; output: {lines}")
+            check(
+                healthz_answers(url)["status"] == "ok",
+                "GET plane degraded during crash restarts",
+            )
+    finally:
+        stop(process, lines)
+    check(
+        bool(re.search(r"worker \d+ exited \(13\); restarting slot \d", "\n".join(lines))),
+        f"supervisor never logged the injected exit; output: {lines}",
+    )
+
+
+def phase_journal_error(workspace: str, scale: float) -> None:
+    process, url, lines = spawn(
+        workspace, "--workers", "2", faults="journal.append:oserror"
+    )
+    try:
+        # One keep-alive connection pins one worker: the submit, the polls,
+        # and the healthz all interrogate the same degraded process.
+        host, port = url.split("//", 1)[1].split(":")
+        connection = http.client.HTTPConnection(host, int(port), timeout=120)
+
+        def call(method: str, path: str, payload=None) -> tuple[int, dict]:
+            body = None if payload is None else json.dumps(payload).encode()
+            connection.request(
+                method, path, body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            return response.status, json.loads(response.read())
+
+        status, job = call(
+            "POST", "/v1/jobs",
+            {"operation": "associate", "request": {"scale": scale}},
+        )
+        check(status == 202, f"submit failed under journal fault: {job}")
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            _, record = call("GET", f"/v1/jobs/{job['job_id']}")
+            if record["state"] in ("succeeded", "failed", "cancelled"):
+                break
+            time.sleep(0.2)
+        check(
+            record["state"] == "succeeded",
+            f"job did not survive the degraded journal: {record}",
+        )
+        status, payload = call("GET", "/healthz")
+        check(status == 200, "/healthz stopped answering while degraded")
+        check(
+            payload["status"] == "degraded"
+            and payload["jobs"]["journal_degraded"] is True,
+            f"degraded journal not surfaced: {payload.get('status')}",
+        )
+        connection.close()
+    finally:
+        stop(process, lines)
+
+
+def phase_deadline(workspace: str) -> None:
+    process, url, lines = spawn(
+        workspace, "--job-journal", "none", "--request-timeout-ms", "150"
+    )
+    try:
+        status, payload = post(url, "/v1/simulate", SLOW_SIMULATE)
+        check(
+            status == 504 and payload["error"]["code"] == "deadline_exceeded",
+            f"server-wide deadline did not fire: {status} {payload}",
+        )
+        status, payload = post(
+            url, "/v1/simulate", SLOW_SIMULATE, headers={DEADLINE_HEADER: "100"}
+        )
+        check(
+            status == 504 and payload["error"]["details"]["budget_ms"] == 100.0,
+            f"header deadline did not tighten the budget: {status} {payload}",
+        )
+        check(healthz_answers(url)["status"] == "ok", "healthz broken after 504s")
+    finally:
+        stop(process, lines)
+
+
+def phase_overload(workspace: str) -> None:
+    process, url, lines = spawn(
+        workspace, "--job-journal", "none", "--max-inflight", "1"
+    )
+    try:
+        slow_result: dict = {}
+
+        def occupy() -> None:
+            # A deadline bounds the occupancy window: the slot holds for
+            # ~5s of simulation, then frees with a typed 504.
+            slow_result["response"] = post(
+                url, "/v1/simulate", SLOW_SIMULATE,
+                headers={DEADLINE_HEADER: "5000"},
+            )
+
+        thread = threading.Thread(target=occupy, daemon=True)
+        thread.start()
+        # Let the slow request claim the only slot before competing with it
+        # (with no other traffic it acquires well within this head start).
+        time.sleep(0.75)
+        shed = None
+        deadline = time.monotonic() + 3.5
+        while time.monotonic() < deadline:
+            status, payload = post(url, "/v1/topology", {})
+            if status == 503 and payload["error"]["code"] == "overloaded":
+                shed = payload["error"]
+                break
+            time.sleep(0.05)
+        check(shed is not None, "saturated server never shed load")
+        check(
+            shed["details"]["retry_after_s"] > 0,
+            f"shed answer carries no retry_after_s: {shed}",
+        )
+        check(healthz_answers(url)["status"] == "ok", "healthz shed with the POSTs")
+        thread.join(timeout=120)
+        check(
+            slow_result["response"][0] == 504,
+            f"occupying request should have hit its deadline: {slow_result}",
+        )
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            status, _ = post(url, "/v1/topology", {})
+            if status == 200:
+                break
+            time.sleep(0.2)
+        check(status == 200, "server never recovered after the slot freed")
+    finally:
+        stop(process, lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workspace", required=True,
+                        help="pre-built workspace artifact to serve")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="request scale matching the artifact (default 0.05)")
+    args = parser.parse_args()
+
+    phases = [
+        ("handler-crash", lambda: phase_handler_crash(args.workspace)),
+        ("journal-error", lambda: phase_journal_error(args.workspace, args.scale)),
+        ("deadline", lambda: phase_deadline(args.workspace)),
+        ("overload", lambda: phase_overload(args.workspace)),
+    ]
+    for name, phase in phases:
+        started = time.monotonic()
+        phase()
+        print(f"chaos ok: {name} ({time.monotonic() - started:.1f}s)", flush=True)
+    print(f"chaos smoke passed: {len(phases)} fault classes, /healthz answered after each")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,7 +55,7 @@ from repro.graph import SystemGraph, read_graphml, write_graphml
 from repro.search import FilterPipeline, SearchEngine, find_exploit_chains
 from repro.workspace import Workspace
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",

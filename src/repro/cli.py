@@ -77,6 +77,7 @@ from repro.analysis.report import (
 from repro.graph.graphml import read_graphml
 from repro.jobs import MERGE_OPERATION, JobManager
 from repro.obs.textparse import ExpositionParseError, parse_exposition
+from repro.obs.trace import new_trace_id
 from repro.service.client import ServiceClient
 from repro.service.http import start_server
 from repro.service.protocol import (
@@ -562,6 +563,22 @@ def _run_server_loop(server, jobs, drain_timeout: float, *, quiet: bool = False)
         drained = jobs.close(timeout=drain_timeout)
         server.server_close()
         thread.join(timeout=5)
+        if thread.is_alive():
+            # The accept-loop thread wedged past shutdown(); the daemon flag
+            # lets the process exit anyway, but leaving silently would hide
+            # the hang from whoever reads the logs.
+            print(
+                json.dumps(
+                    {
+                        "event": "server_thread_stuck",
+                        "trace_id": new_trace_id(),
+                        "timeout_s": 5,
+                    },
+                    sort_keys=True,
+                ),
+                file=sys.stderr,
+                flush=True,
+            )
     finally:
         for signum, handler in previous_handlers.items():
             signal.signal(signum, handler)
@@ -592,6 +609,8 @@ def _serve_worker(slot: int, sock, service, args, journal_path, metrics_dir) -> 
         jobs=jobs,
         listen_socket=sock,
         slow_request_ms=args.slow_request_ms,
+        request_timeout_ms=args.request_timeout_ms,
+        max_inflight=args.max_inflight,
         metrics_dir=metrics_dir,
         worker_label=str(slot),
     )
@@ -740,6 +759,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         verbose=args.verbose,
         jobs=jobs,
         slow_request_ms=args.slow_request_ms,
+        request_timeout_ms=args.request_timeout_ms,
+        max_inflight=args.max_inflight,
     )
     host, port = server.server_address[:2]
     print(
@@ -813,6 +834,8 @@ def _cmd_jobs_submit(args: argparse.Namespace) -> int:
         weight=args.weight,
         depends_on=args.depends_on,
         client_id=args.client,
+        max_retries=args.max_retries,
+        backoff_s=args.backoff,
     )
     print(f"submitted {job['job_id']} ({job['operation']}, state {job['state']})")
     if args.watch:
@@ -1081,6 +1104,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="log one structured JSON line to stderr (trace id, "
                             "operation, span timings) for every request slower "
                             "than MS milliseconds (default: off)")
+    serve.add_argument("--request-timeout-ms", type=float, default=None, metavar="MS",
+                       help="server-side deadline per synchronous request: work "
+                            "still running past MS milliseconds is cancelled at "
+                            "its next progress point with a typed 504 "
+                            "deadline_exceeded (default: no deadline; clients "
+                            "can tighten per request via X-Cpsec-Deadline-Ms)")
+    serve.add_argument("--max-inflight", type=int, default=None, metavar="N",
+                       help="bound concurrently-executing POST requests; past "
+                            "it requests are shed with a typed 503 overloaded "
+                            "carrying retry_after_s (GETs -- /healthz, /metrics "
+                            "-- are exempt; default: unbounded)")
     serve.set_defaults(func=_cmd_serve)
 
     stats = subparsers.add_parser(
@@ -1120,6 +1154,14 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_submit.add_argument("--client", default=None, metavar="ID",
                              help="quota identity (with `cpsec serve --quota`; "
                                   "default: the shared 'anonymous' bucket)")
+    jobs_submit.add_argument("--max-retries", type=int, default=None, metavar="N",
+                             help="re-queue the job up to N times after a "
+                                  "transient (5xx) failure, with jittered "
+                                  "exponential backoff (0 <= N <= 20, default 0)")
+    jobs_submit.add_argument("--backoff", type=float, default=None, metavar="S",
+                             help="base backoff in seconds between retry "
+                                  "attempts; doubles per attempt with +/-50%% "
+                                  "jitter, capped at 300s (default 0.5)")
     jobs_submit.add_argument("--watch", action="store_true", help="stream events until the job ends")
     add_jobs_url(jobs_submit)
     jobs_submit.set_defaults(func=_cmd_jobs_submit)

@@ -1,0 +1,219 @@
+"""Deterministic fault injection: named points, armed per-test or via env.
+
+Production code calls :func:`trip` (or :func:`mangle` for torn-write
+points) at a handful of named seams -- journal writes, artifact loads,
+handler entry, operation dispatch.  Disarmed (the default, and the only
+state production ever runs in unless ``CPSEC_FAULTS`` is set) a trip is a
+single module-level boolean check, so the instrumented paths stay
+byte-identical and effectively free.
+
+Arming is explicit and bounded::
+
+    faults.arm("journal.append", "error", arg=OSError("disk full"))
+    faults.arm("op.simulate", "slow", arg=0.2, times=3)
+    faults.reset()                      # disarm everything
+
+or, for subprocess tests and the CI chaos-smoke job, via the
+``CPSEC_FAULTS`` environment variable -- a comma-separated list of
+``point:mode[:arg[:times]]`` entries parsed at import time::
+
+    CPSEC_FAULTS="journal.append:oserror,handler.crash:exit:13:1"
+
+Modes:
+
+``error`` / ``oserror`` / ``runtimeerror``
+    Raise an exception at the point.  In-process arming may pass any
+    exception *instance* as ``arg``; env arming picks the type by mode
+    name (``error`` defaults to :class:`OSError`).
+``slow``
+    ``time.sleep(arg)`` seconds (default 0.05) at the point, then proceed.
+``exit``
+    ``os._exit(arg)`` (default 13) -- an abrupt process death for the
+    pre-forked crash-restart tests.  Never triggers outside an armed test.
+``torn``
+    Only meaningful at :func:`mangle` points: the caller receives a
+    truncated copy of its text to write, simulating a write torn by a
+    crash mid-line.
+
+``times`` bounds how often a fault fires (default: unbounded); a tripped
+budget leaves the point disarmed.  :func:`trips` reports how many times a
+point actually fired, which is how tests assert a fault was exercised.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+_MODES = frozenset({"error", "oserror", "runtimeerror", "slow", "exit", "torn"})
+
+_lock = threading.Lock()
+_faults: dict[str, "_Fault"] = {}
+_trips: dict[str, int] = {}
+
+#: Fast-path flag: every trip() begins with one read of this module global.
+_armed = False
+
+
+class _Fault:
+    __slots__ = ("point", "mode", "arg", "remaining")
+
+    def __init__(self, point: str, mode: str, arg, remaining: int | None) -> None:
+        self.point = point
+        self.mode = mode
+        self.arg = arg
+        self.remaining = remaining  # None = unbounded
+
+
+def arm(point: str, mode: str = "error", *, arg=None, times: int | None = None) -> None:
+    """Arm ``point`` with ``mode`` (see module docstring) for ``times`` trips."""
+    if mode not in _MODES:
+        raise ValueError(f"unknown fault mode {mode!r} (one of {sorted(_MODES)})")
+    if times is not None and times < 1:
+        raise ValueError(f"times must be >= 1, got {times}")
+    global _armed
+    with _lock:
+        _faults[point] = _Fault(point, mode, arg, times)
+        _armed = True
+
+
+def disarm(point: str) -> None:
+    """Disarm one point (no-op if it is not armed)."""
+    global _armed
+    with _lock:
+        _faults.pop(point, None)
+        if not _faults:
+            _armed = False
+
+
+def reset() -> None:
+    """Disarm every point and zero the trip counters."""
+    global _armed
+    with _lock:
+        _faults.clear()
+        _trips.clear()
+        _armed = False
+
+
+def trips(point: str) -> int:
+    """How many times ``point`` has fired since the last :func:`reset`."""
+    with _lock:
+        return _trips.get(point, 0)
+
+
+def armed_points() -> list[str]:
+    """The currently armed point names (for diagnostics)."""
+    with _lock:
+        return sorted(_faults)
+
+
+@contextmanager
+def armed(point: str, mode: str = "error", *, arg=None, times: int | None = None):
+    """Context manager: arm ``point`` for the block, disarm on exit."""
+    arm(point, mode, arg=arg, times=times)
+    try:
+        yield
+    finally:
+        disarm(point)
+
+
+def _take(point: str) -> "_Fault | None":
+    """Consume one trip budget for ``point`` if armed; else ``None``."""
+    global _armed
+    with _lock:
+        fault = _faults.get(point)
+        if fault is None:
+            return None
+        if fault.remaining is not None:
+            fault.remaining -= 1
+            if fault.remaining <= 0:
+                del _faults[point]
+                if not _faults:
+                    _armed = False
+        _trips[point] = _trips.get(point, 0) + 1
+        return fault
+
+
+def _exception_for(fault: _Fault) -> BaseException:
+    if isinstance(fault.arg, BaseException):
+        return fault.arg
+    message = f"injected fault at {fault.point}"
+    if fault.mode == "runtimeerror":
+        return RuntimeError(message)
+    return OSError(message)
+
+
+def trip(point: str) -> None:
+    """Fire ``point`` if armed: raise, sleep, or exit per its mode.
+
+    Disarmed this is one module-global boolean check -- the byte-identity
+    and overhead guarantees of every instrumented path rest on that.
+    """
+    if not _armed:
+        return
+    fault = _take(point)
+    if fault is None:
+        return
+    if fault.mode == "slow":
+        time.sleep(float(fault.arg) if fault.arg is not None else 0.05)
+        return
+    if fault.mode == "exit":
+        os._exit(int(fault.arg) if fault.arg is not None else 13)
+    raise _exception_for(fault)
+
+
+def mangle(point: str, text: str) -> str | None:
+    """A torn copy of ``text`` if ``point`` is armed with mode ``torn``.
+
+    Returns ``None`` when disarmed (the caller writes ``text`` normally).
+    The torn copy is the first half of the text with no trailing newline --
+    exactly the shape a crash mid-``write`` leaves behind, which the
+    journal's torn-tail healing must survive.
+    """
+    if not _armed:
+        return None
+    with _lock:
+        fault = _faults.get(point)
+        if fault is None or fault.mode != "torn":
+            return None
+    fault = _take(point)
+    if fault is None:  # lost a race with a concurrent final trip
+        return None
+    return text[: max(1, len(text) // 2)]
+
+
+def load_env(value: str | None = None) -> int:
+    """Arm faults from ``CPSEC_FAULTS`` (or an explicit ``value``).
+
+    Entries are ``point:mode[:arg[:times]]`` separated by commas; ``arg``
+    may be empty to skip it while giving ``times``.  Returns the number of
+    points armed.  Malformed entries raise :class:`ValueError` so a typo in
+    a chaos run fails loudly instead of silently testing nothing.
+    """
+    raw = os.environ.get("CPSEC_FAULTS", "") if value is None else value
+    count = 0
+    for entry in raw.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        if len(parts) < 2 or len(parts) > 4:
+            raise ValueError(f"malformed CPSEC_FAULTS entry {entry!r}")
+        point, mode = parts[0], parts[1]
+        arg: float | None = None
+        if len(parts) >= 3 and parts[2] != "":
+            arg = float(parts[2])
+        times: int | None = None
+        if len(parts) == 4 and parts[3] != "":
+            times = int(parts[3])
+        arm(point, mode, arg=arg, times=times)
+        count += 1
+    return count
+
+
+# Subprocess chaos runs (and the pre-forked workers they fork) arm faults
+# purely through the environment; importing the package is enough.
+if os.environ.get("CPSEC_FAULTS"):
+    load_env()

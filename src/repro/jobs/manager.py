@@ -52,7 +52,11 @@ tests pin that a fan-out + ``merge`` equals the synchronous sweep).
 
 from __future__ import annotations
 
+import heapq
+import json
 import math
+import random
+import sys
 import threading
 import uuid
 from collections import deque
@@ -92,6 +96,40 @@ WAIT_SAMPLE_WINDOW = 512
 
 #: Bound on distinct per-client token buckets kept in memory.
 MAX_QUOTA_CLIENTS = 1024
+
+#: Upper bound on ``submit(..., max_retries=N)``.
+MAX_RETRIES_BOUND = 20
+
+#: Default base backoff for retried jobs (seconds); doubles per attempt.
+DEFAULT_BACKOFF_S = 0.5
+
+#: Cap on a single computed retry delay (seconds).
+MAX_RETRY_DELAY_S = 300.0
+
+
+def _retryable(error: dict) -> bool:
+    """A job error worth retrying: server-side/transient (5xx), never 4xx.
+
+    A 4xx is the *request's* fault and will fail identically on every
+    attempt; a 5xx (internal crash, workspace load failure, injected
+    transient fault) is the kind of error the next attempt can outlive.
+    """
+    status = error.get("status")
+    return isinstance(status, int) and status >= 500
+
+
+def _retry_delay(job: "JobRecord") -> float:
+    """Jittered exponential backoff for ``job``'s current attempt.
+
+    ``backoff_s * 2**(attempt-1)``, scaled by a jitter factor in
+    ``[0.5, 1.5)`` that is **deterministic per (job_id, attempt)** -- so a
+    fake-clock test can compute the exact same delay the manager did --
+    while still de-correlating real fleets (distinct job ids draw distinct
+    factors).  Capped at :data:`MAX_RETRY_DELAY_S`.
+    """
+    base = job.backoff_s * (2.0 ** (job.attempt - 1))
+    jitter = 0.5 + random.Random(f"{job.job_id}:{job.attempt}").random()
+    return min(MAX_RETRY_DELAY_S, base * jitter)
 
 
 @dataclass(frozen=True)
@@ -157,6 +195,11 @@ class JobRecord:
         "wait_s",
         "request_obj",
         "trace_id",
+        "max_retries",
+        "backoff_s",
+        "attempt",
+        "retry_at",
+        "dead",
     )
 
     def __init__(
@@ -172,6 +215,8 @@ class JobRecord:
         client: str | None = None,
         created_mono: float = 0.0,
         trace_id: str | None = None,
+        max_retries: int = 0,
+        backoff_s: float = DEFAULT_BACKOFF_S,
     ):
         self.job_id = job_id
         self.operation = operation
@@ -199,6 +244,18 @@ class JobRecord:
         #: fresh one -- re-entered around the job's execution so engine
         #: spans and the journal line correlate with the HTTP submission.
         self.trace_id = trace_id if trace_id else new_trace_id()
+        #: Retry policy: how many re-runs a retryable (5xx) failure earns,
+        #: and the base backoff the exponential delay grows from.
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        #: Retries consumed so far (0 on the first run).
+        self.attempt = 0
+        #: Monotonic instant the next retry becomes dispatchable, while the
+        #: job waits out a backoff; ``None`` otherwise.
+        self.retry_at: float | None = None
+        #: Dead-letter flag: retries were configured and ALL attempts (or a
+        #: non-retryable failure) still left the job failed.
+        self.dead = False
 
     @property
     def terminal(self) -> bool:
@@ -236,6 +293,9 @@ class JobRecord:
             "progress": progress,
             "error": self.error,
             "trace_id": self.trace_id,
+            "max_retries": self.max_retries,
+            "attempt": self.attempt,
+            "dead_letter": self.dead,
         }
         if include_result:
             payload["result"] = self.result
@@ -350,6 +410,18 @@ class JobManager:
         self._wait_samples = {
             cls: deque(maxlen=WAIT_SAMPLE_WINDOW) for cls in JOB_PRIORITIES
         }
+        #: Jobs waiting out a retry backoff: a min-heap of
+        #: ``(retry_at_mono, tiebreak, job)``.  Entries for jobs that turn
+        #: terminal while waiting (cancel) are skipped lazily on promotion.
+        self._retries: list[tuple[float, int, JobRecord]] = []
+        self._retry_seq = 0
+        self._retries_total = 0
+        #: Degraded journal mode: a journal OSError disables journalling
+        #: (serving with in-memory history beats crashing a worker thread)
+        #: and is reported via stats()/healthz and the metrics below.
+        self._journal_degraded = False
+        self._journal_errors = 0
+        self._journal_error: str | None = None
         #: Optional :class:`repro.obs.metrics.MetricsRegistry` for the
         #: event-driven job metrics (state-snapshot gauges are collected at
         #: scrape time from :meth:`stats` instead).
@@ -373,13 +445,27 @@ class JobManager:
                 "cpsec_quota_rejections_total",
                 "Job submissions rejected by the per-client token-bucket quota.",
             )
+            self._m_retries = metrics.counter(
+                "cpsec_jobs_retries_total",
+                "Failed job attempts re-queued for a retry.",
+            )
+            self._m_journal_errors = metrics.counter(
+                "cpsec_journal_errors_total",
+                "Journal I/O errors that flipped the manager to degraded "
+                "(journal-disabled) mode.",
+            )
+        else:
+            self._m_retries = self._m_journal_errors = None
         self._journal: JobJournal | None = None
         if journal_path is not None:
             self._replay(journal_path)
             self._journal = JobJournal(journal_path)
             self._journal_interrupted()
             if journal_keep is not None:
-                self._journal.compact(journal_keep, TERMINAL_STATES)
+                try:
+                    self._journal.compact(journal_keep, TERMINAL_STATES)
+                except OSError as error:
+                    self._degrade_journal(error)
             with self._cond:
                 self._prune_locked()
         self._threads: list[threading.Thread] = []
@@ -436,6 +522,19 @@ class JobManager:
                     else []
                 )
                 client = entry.get("client")
+                max_retries = entry.get("max_retries")
+                if (
+                    isinstance(max_retries, bool)
+                    or not isinstance(max_retries, int)
+                    or not 0 <= max_retries <= MAX_RETRIES_BOUND
+                ):
+                    max_retries = 0
+                try:
+                    backoff_s = float(entry.get("backoff_s", DEFAULT_BACKOFF_S))
+                except (TypeError, ValueError):
+                    backoff_s = DEFAULT_BACKOFF_S
+                if not (0 <= backoff_s <= 3600) or backoff_s != backoff_s:
+                    backoff_s = DEFAULT_BACKOFF_S
                 job = JobRecord(
                     job_id,
                     operation,
@@ -447,6 +546,8 @@ class JobManager:
                     client=client if isinstance(client, str) else None,
                     created_mono=self._clock.monotonic(),
                     trace_id=valid_trace_id(entry.get("trace_id")),
+                    max_retries=max_retries,
+                    backoff_s=backoff_s,
                 )
                 job.replayed = True
                 self._jobs[job_id] = job
@@ -459,6 +560,15 @@ class JobManager:
                 job.started_at = entry.get("started_at")
             elif kind == "cancel_requested":
                 job.cancel_requested = True
+            elif kind == "retry":
+                # A failed attempt was re-queued for a retry; the job was
+                # waiting (or running again) when the process died, so it
+                # replays as non-terminal and becomes ``interrupted`` below.
+                attempt = entry.get("attempt")
+                if isinstance(attempt, int) and attempt > 0:
+                    job.attempt = attempt
+                job.state = "queued"
+                job.started_at = None
             elif kind == "finished":
                 state = entry.get("state")
                 if state in TERMINAL_STATES:
@@ -468,6 +578,9 @@ class JobManager:
                     # Inline result, or a spilled-result side file reference.
                     job.result = load_spilled_result(journal_path, entry)
                     job.error = error if isinstance(error, dict) else None
+                    # Same rule as the live path: a job that had retries
+                    # configured and still failed is dead-lettered.
+                    job.dead = state == "failed" and job.max_retries > 0
         for job in self._jobs.values():
             if not job.terminal:
                 # The previous process died with this job queued/running; the
@@ -534,19 +647,75 @@ class JobManager:
             clients[client_key] = round(
                 min(bucket.burst, bucket.tokens + elapsed * bucket.rate), 6
             )
-        self._journal.append("quota", wall=self._clock.time(), clients=clients)
+        self._journal_append("quota", wall=self._clock.time(), clients=clients)
 
     def _journal_interrupted(self) -> None:
         """Append ``finished`` lines for jobs the restart interrupted."""
         for job in self._interrupted:
-            self._journal.append_finished(
-                job_id=job.job_id,
-                state=job.state,
-                finished_at=job.finished_at,
-                result=None,
-                error=job.error,
-            )
+            if self._journal_degraded:
+                break
+            try:
+                self._journal.append_finished(
+                    job_id=job.job_id,
+                    state=job.state,
+                    finished_at=job.finished_at,
+                    result=None,
+                    error=job.error,
+                )
+            except OSError as error:
+                self._degrade_journal(error)
         self._interrupted = []
+
+    # -- journal degradation ---------------------------------------------------
+
+    def _journal_append(self, kind: str, **fields) -> None:
+        """Append one journal line, degrading (not crashing) on I/O errors.
+
+        Every journal write a worker or submitter thread makes goes through
+        here (or through the same ``try``/``except`` in
+        :meth:`_journal_finish`): an ``OSError`` out of the journal -- disk
+        full, volume gone, injected fault -- must never escape into the
+        thread that happened to trigger it.
+        """
+        if self._journal is None or self._journal_degraded:
+            return
+        try:
+            self._journal.append(kind, **fields)
+        except OSError as error:
+            self._degrade_journal(error)
+
+    def _degrade_journal(self, error: OSError) -> None:
+        """Flip to degraded journal-disabled mode after a journal I/O error.
+
+        The manager keeps serving with in-memory history only; the flag (and
+        the error) surface in :meth:`stats` -- and from there ``/healthz``
+        and ``cpsec_journal_errors_total`` -- so operators see the
+        durability loss instead of a crashed worker thread.
+        """
+        with self._cond:
+            first = not self._journal_degraded
+            self._journal_degraded = True
+            self._journal_errors += 1
+            self._journal_error = f"{type(error).__name__}: {error}"
+        if self._m_journal_errors is not None:
+            self._m_journal_errors.inc()
+        if first and self._journal is not None:
+            try:
+                self._journal.close()
+            except OSError:
+                pass
+            print(
+                json.dumps(
+                    {
+                        "event": "journal_degraded",
+                        "journal": str(self._journal.path),
+                        "error": self._journal_error,
+                    },
+                    sort_keys=True,
+                ),
+                file=sys.stderr,
+                flush=True,
+            )
 
     # -- submission ------------------------------------------------------------
 
@@ -559,6 +728,8 @@ class JobManager:
         weight: float | None = None,
         depends_on: list[str] | None = None,
         client: str | None = None,
+        max_retries: int | None = None,
+        backoff_s: float | None = None,
     ) -> JobRecord:
         """Queue one typed operation as a background job.
 
@@ -573,7 +744,14 @@ class JobManager:
         * ``depends_on`` -- job ids that must *succeed* before this job
           runs; a failed or cancelled parent cancels this job instead,
         * ``client`` -- quota identity; unnamed clients share the
-          ``anonymous`` bucket.
+          ``anonymous`` bucket,
+        * ``max_retries`` -- how many times a *retryable* (5xx) failure is
+          re-queued with jittered exponential backoff before the job is
+          dead-lettered (default 0: fail on the first error, exactly as
+          before),
+        * ``backoff_s`` -- base backoff seconds for the first retry
+          (doubles per attempt, jittered, capped; default
+          :data:`DEFAULT_BACKOFF_S`).
 
         The :data:`MERGE_OPERATION` pseudo-operation requires
         ``depends_on`` and accepts only an optional ``labels`` payload
@@ -588,6 +766,7 @@ class JobManager:
             request = parse_request(operation, payload)  # typed 4xx on bad input
         priority = self._validate_priority(operation, priority)
         weight = self._validate_weight(weight)
+        max_retries, backoff_s = self._validate_retries(max_retries, backoff_s)
         client_key = client if isinstance(client, str) and client else "anonymous"
         journal_immediate_cancel = False
         with self._cond:
@@ -647,6 +826,8 @@ class JobManager:
                 # The submitting request's ambient trace id (the HTTP layer
                 # installs it from X-Cpsec-Trace-Id); generated when absent.
                 trace_id=current_trace_id(),
+                max_retries=max_retries,
+                backoff_s=backoff_s,
             )
             job.request_obj = request
             if self._m_submitted is not None:
@@ -691,7 +872,10 @@ class JobManager:
                 entry["depends_on"] = job.deps
             if job.client is not None:
                 entry["client"] = job.client
-            self._journal.append("submitted", **entry)
+            if job.max_retries:
+                entry["max_retries"] = job.max_retries
+                entry["backoff_s"] = job.backoff_s
+            self._journal_append("submitted", **entry)
         if journal_immediate_cancel:
             self._journal_finish(job)
         self._journal_cascade(cascade)
@@ -723,6 +907,37 @@ class JobManager:
                 status=400,
             )
         return value
+
+    def _validate_retries(self, max_retries, backoff_s) -> tuple[int, float]:
+        if max_retries is None:
+            retries = 0
+        else:
+            if (
+                isinstance(max_retries, bool)
+                or not isinstance(max_retries, int)
+                or not 0 <= max_retries <= MAX_RETRIES_BOUND
+            ):
+                raise ServiceError(
+                    f"max_retries must be an integer in [0, "
+                    f"{MAX_RETRIES_BOUND}], got {max_retries!r}",
+                    code="invalid_max_retries",
+                    status=400,
+                    details={"max": MAX_RETRIES_BOUND},
+                )
+            retries = max_retries
+        if backoff_s is None:
+            return retries, DEFAULT_BACKOFF_S
+        try:
+            backoff = float(backoff_s)
+        except (TypeError, ValueError):
+            backoff = float("nan")
+        if isinstance(backoff_s, bool) or not (0 <= backoff <= 3600):
+            raise ServiceError(
+                f"backoff_s must be a number in [0, 3600], got {backoff_s!r}",
+                code="invalid_backoff",
+                status=400,
+            )
+        return retries, backoff
 
     def _validate_deps(self, depends_on) -> list[str]:
         if depends_on is None:
@@ -785,7 +1000,12 @@ class JobManager:
     # -- execution -------------------------------------------------------------
 
     def _worker_loop(self) -> None:
-        """One worker thread: pop ready jobs from the scheduler, run them."""
+        """One worker thread: pop ready jobs from the scheduler, run them.
+
+        The wait is bounded by the next pending retry's due time (if any),
+        so a job waiting out its backoff is promoted without needing a new
+        submission to wake a worker.
+        """
         while True:
             with self._cond:
                 job = None
@@ -794,7 +1014,7 @@ class JobManager:
                         return
                     job = self._pop_ready_locked()
                     if job is None:
-                        self._cond.wait()
+                        self._cond.wait(self._next_retry_wait_locked())
             self._run_job(job)
 
     def run_next(self) -> JobRecord | None:
@@ -819,6 +1039,7 @@ class JobManager:
         ``cancel()`` -- which finishes still-queued jobs under the same lock
         -- can never race a worker into running a cancelled job.
         """
+        self._promote_retries_locked()
         while True:
             job = self._scheduler.pop_next()
             if job is None:
@@ -834,12 +1055,35 @@ class JobManager:
             self._append_event(job, "state", state="running")
             return job
 
+    def _promote_retries_locked(self) -> None:
+        """Move retry-waiting jobs whose backoff elapsed into the scheduler.
+
+        Caller holds the lock.  Heap entries whose job turned terminal while
+        waiting (a cancel) or left the queued state are skipped lazily.
+        """
+        now = self._clock.monotonic()
+        while self._retries and self._retries[0][0] <= now:
+            _, _, job = heapq.heappop(self._retries)
+            if job.terminal or job.state != "queued" or job.retry_at is None:
+                continue
+            job.retry_at = None
+            self._scheduler.add(job)
+
+    def _next_retry_wait_locked(self) -> float | None:
+        """Seconds until the earliest pending retry is due; None when none.
+
+        Caller holds the lock.  Floored so a worker never busy-spins on a
+        clock that advances more coarsely than it wakes.
+        """
+        if not self._retries:
+            return None
+        return max(0.01, self._retries[0][0] - self._clock.monotonic())
+
     def _run_job(self, job: JobRecord) -> None:
         """Execute one already-running job (called off-lock)."""
-        if self._journal is not None:
-            self._journal.append(
-                "started", job_id=job.job_id, started_at=job.started_at
-            )
+        self._journal_append(
+            "started", job_id=job.job_id, started_at=job.started_at
+        )
         if job.operation == MERGE_OPERATION:
             self._run_merge(job)
             return
@@ -858,33 +1102,75 @@ class JobManager:
             with self._cond:
                 cascade = self._finish_locked(job, "cancelled")
         except ServiceError as error:
-            with self._cond:
-                cascade = self._finish_locked(
-                    job,
-                    "failed",
-                    error={
-                        "code": error.code,
-                        "message": error.message,
-                        "status": error.status,
-                        "details": error.details,
-                    },
-                )
+            cascade = self._fail_or_retry(
+                job,
+                {
+                    "code": error.code,
+                    "message": error.message,
+                    "status": error.status,
+                    "details": error.details,
+                },
+            )
         except Exception as error:  # noqa: BLE001 - worker crash boundary
-            with self._cond:
-                cascade = self._finish_locked(
-                    job,
-                    "failed",
-                    error={
-                        "code": "internal_error",
-                        "message": f"{type(error).__name__}: {error}",
-                        "status": 500,
-                    },
-                )
+            cascade = self._fail_or_retry(
+                job,
+                {
+                    "code": "internal_error",
+                    "message": f"{type(error).__name__}: {error}",
+                    "status": 500,
+                },
+            )
         else:
             with self._cond:
                 cascade = self._finish_locked(job, "succeeded", result=result)
         self._journal_finish(job)
         self._journal_cascade(cascade)
+
+    def _fail_or_retry(self, job: JobRecord, error: dict) -> list[JobRecord]:
+        """Re-queue a retryable failed attempt, or finish the job failed.
+
+        A retry earns a jittered exponential backoff (:func:`_retry_delay`,
+        on the injected clock, so fake-clock tests single-step it) and a
+        journalled ``retry`` line -- additive, old journals replay fine.
+        Non-retryable errors, exhausted budgets, cancel requests, and a
+        draining manager all fall through to the normal failure, which is
+        dead-lettered when retries were configured.
+        """
+        retry_delay = None
+        with self._cond:
+            if (
+                job.attempt < job.max_retries
+                and not job.cancel_requested
+                and not self._draining
+                and _retryable(error)
+            ):
+                job.attempt += 1
+                retry_delay = _retry_delay(job)
+                job.retry_at = self._clock.monotonic() + retry_delay
+                job.started_at = None
+                job.error = error  # the last attempt's error, while waiting
+                job.state = "queued"
+                self._retry_seq += 1
+                heapq.heappush(
+                    self._retries, (job.retry_at, self._retry_seq, job)
+                )
+                self._retries_total += 1
+                if self._m_retries is not None:
+                    self._m_retries.inc()
+                self._append_event(job, "state", state="queued")
+                cascade: list[JobRecord] = []
+            else:
+                job.dead = job.max_retries > 0
+                cascade = self._finish_locked(job, "failed", error=error)
+        if retry_delay is not None:
+            self._journal_append(
+                "retry",
+                job_id=job.job_id,
+                attempt=job.attempt,
+                delay_s=round(retry_delay, 6),
+                error=error,
+            )
+        return cascade
 
     def _run_merge(self, job: JobRecord) -> None:
         """Join a fan-out: succeed with every parent's result, keyed by label.
@@ -1034,15 +1320,19 @@ class JobManager:
                 )
 
     def _journal_finish(self, job: JobRecord) -> None:
-        if self._journal is None or not job.terminal:
+        if self._journal is None or self._journal_degraded or not job.terminal:
             return
-        self._journal.append_finished(
-            job_id=job.job_id,
-            state=job.state,
-            finished_at=job.finished_at,
-            result=job.result,
-            error=job.error,
-        )
+        try:
+            self._journal.append_finished(
+                job_id=job.job_id,
+                state=job.state,
+                finished_at=job.finished_at,
+                result=job.result,
+                error=job.error,
+            )
+        except OSError as error:
+            self._degrade_journal(error)
+            return
         if self.journal_keep is None:
             return
         with self._cond:
@@ -1053,7 +1343,10 @@ class JobManager:
         # Outside the condition lock: compaction reads and rewrites the
         # whole file under the journal's own lock, and must not stall
         # submitters/streamers waiting on the manager condition.
-        self._journal.compact(self.journal_keep, TERMINAL_STATES)
+        try:
+            self._journal.compact(self.journal_keep, TERMINAL_STATES)
+        except OSError as error:
+            self._degrade_journal(error)
 
     def _journal_cascade(self, cascade: list[JobRecord]) -> None:
         """Journal the terminal lines of cascade-cancelled dependents."""
@@ -1143,8 +1436,8 @@ class JobManager:
                     self._scheduler.remove(job)
                     cascade = self._finish_locked(job, "cancelled")
                     journal_kinds.append("finished")
-        if self._journal is not None and "cancel_requested" in journal_kinds:
-            self._journal.append("cancel_requested", job_id=job.job_id)
+        if "cancel_requested" in journal_kinds:
+            self._journal_append("cancel_requested", job_id=job.job_id)
         if "finished" in journal_kinds:
             self._journal_finish(job)
         self._journal_cascade(cascade)
@@ -1201,7 +1494,10 @@ class JobManager:
         self._threads = []
         if self._journal is not None:
             self._journal_quota()
-            self._journal.close()
+            try:
+                self._journal.close()
+            except OSError as error:
+                self._degrade_journal(error)
         return drained
 
     # -- introspection ---------------------------------------------------------
@@ -1214,12 +1510,19 @@ class JobManager:
                 cls: {"queued": 0, "running": 0} for cls in JOB_PRIORITIES
             }
             waiting_on_dependencies = 0
+            retry_pending = 0
+            dead_letter: list[str] = []
             for job in self._jobs.values():
                 by_state[job.state] += 1
                 if job.state in by_priority[job.priority]:
                     by_priority[job.priority][job.state] += 1
                 if job.state == "queued" and job.waiting_on:
                     waiting_on_dependencies += 1
+                if job.state == "queued" and job.retry_at is not None:
+                    retry_pending += 1
+                if job.dead:
+                    dead_letter.append(job.job_id)
+            dead_letter.sort()
             wait_s = {
                 cls: {
                     "count": len(samples),
@@ -1260,6 +1563,17 @@ class JobManager:
                 "wait_s": wait_s,
                 "scheduler": self._scheduler.info(),
                 "quota": quota,
+                "retries": {
+                    "total": self._retries_total,
+                    "pending": retry_pending,
+                },
+                "dead_letter": {
+                    "count": len(dead_letter),
+                    "job_ids": dead_letter[:20],
+                },
+                "journal_degraded": self._journal_degraded,
+                "journal_errors": self._journal_errors,
+                "journal_error": self._journal_error,
             }
 
 

@@ -47,6 +47,7 @@ import os
 import threading
 from pathlib import Path
 
+from repro import faults
 from repro.ioutils import atomic_write_text
 
 #: Journal line format version; bump when the line layout changes.
@@ -110,6 +111,15 @@ class JobJournal:
     def _append_locked(self, line: str) -> None:
         if self._handle.closed:
             return
+        faults.trip("journal.append")
+        torn = faults.mangle("journal.torn", line)
+        if torn is not None:
+            # Simulate a write torn by a crash mid-line: the truncated
+            # prefix lands (no newline), then the write "fails".  Replay
+            # heals the torn tail; the manager degrades on the error.
+            self._handle.write(torn)
+            self._handle.flush()
+            raise OSError(f"injected torn write at {self.path}")
         self._handle.write(line + "\n")
         self._handle.flush()
         self.bytes_written += len(line.encode("utf-8")) + 1
@@ -169,6 +179,7 @@ class JobJournal:
         with self._lock:
             if self._handle.closed:
                 return 0
+            faults.trip("journal.compact")
             self._handle.flush()
             entries = read_journal(self.path)
             terminal_order: list[str] = []

@@ -142,6 +142,25 @@ def _collect_jobs(registry: MetricsRegistry, jobs) -> None:
     )
     journal_bytes.inc(stats.get("journal_bytes", 0))
 
+    retries = stats.get("retries") or {}
+    retry_pending = registry.gauge(
+        "cpsec_jobs_retry_pending",
+        "Failed jobs currently waiting out a retry backoff.",
+    )
+    retry_pending.set(retries.get("pending", 0))
+
+    dead = registry.gauge(
+        "cpsec_jobs_dead_letter",
+        "Jobs that exhausted their retry budget and stayed failed.",
+    )
+    dead.set((stats.get("dead_letter") or {}).get("count", 0))
+
+    degraded = registry.gauge(
+        "cpsec_journal_degraded",
+        "1 while journal writes are disabled after a persistent I/O error.",
+    )
+    degraded.set(1 if stats.get("journal_degraded") else 0)
+
     quota = stats.get("quota")
     if quota is not None:
         # Rejection *events* are counted live by the manager

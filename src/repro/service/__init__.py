@@ -17,7 +17,7 @@ remote analysts drive exactly the same operations.  Background execution
 lives in :mod:`repro.jobs`; progress plumbing in :mod:`repro.progress`.
 """
 
-from repro.service.client import ServiceClient
+from repro.service.client import CircuitBreaker, RetryPolicy, ServiceClient
 from repro.service.http import AnalysisServiceServer, start_server
 from repro.service.protocol import (
     JOB_PRIORITIES,
@@ -62,6 +62,8 @@ __all__ = [
     "MODEL_REGISTRY",
     "AnalysisService",
     "AnalysisServiceServer",
+    "CircuitBreaker",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "start_server",

@@ -29,13 +29,18 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
+import threading
 import time
 import urllib.error
 import urllib.request
 from collections.abc import Iterator
+from dataclasses import dataclass
 
 from repro.obs.trace import TRACE_HEADER, valid_trace_id
 from repro.service.protocol import (
+    DEADLINE_HEADER,
+    MUTATING_OPERATIONS,
     OPERATIONS,
     TERMINAL_JOB_STATES,
     AssociateRequest,
@@ -67,8 +72,132 @@ from repro.service.protocol import (
 )
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry policy for *idempotent* requests.
+
+    ``retries`` extra attempts after the first, with capped jittered
+    exponential backoff (``backoff_s * 2**attempt``, jitter factor in
+    ``[0.5, 1.5)``, capped at ``max_backoff_s``).  A server-provided
+    ``retry_after_s`` (the typed 503 ``overloaded`` / 429 answers carry
+    one) overrides the computed delay -- the server knows its own queue.
+    """
+
+    retries: int = 2
+    backoff_s: float = 0.25
+    max_backoff_s: float = 5.0
+
+
+#: Error codes the client never retries even on a retryable status:
+#: ``deadline_exceeded`` will blow the same budget again, a draining or
+#: job-less server will not change its mind within a backoff.
+_NO_RETRY_CODES = frozenset({"deadline_exceeded", "jobs_disabled", "shutting_down"})
+
+
+def _client_retryable(error: ServiceError) -> bool:
+    """Whether a failed idempotent request is worth re-offering."""
+    if error.code == "unreachable":
+        return True
+    return error.status in (502, 503, 504) and error.code not in _NO_RETRY_CODES
+
+
+class CircuitBreaker:
+    """A half-open circuit breaker over one service endpoint.
+
+    ``failure_threshold`` consecutive availability failures (connection
+    refused, 5xx) open the circuit: requests fail fast with a typed 503
+    ``circuit_open`` instead of queueing against a dead server.  After
+    ``cooldown_s`` the circuit goes **half-open**: exactly one probe request
+    is let through; its success closes the circuit, its failure re-opens it
+    for another cooldown.  Thread-safe; ``monotonic`` is injectable so
+    tests drive the cooldown without sleeping.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        cooldown_s: float = 30.0,
+        monotonic=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s <= 0:
+            raise ValueError(f"cooldown_s must be positive, got {cooldown_s}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._monotonic = monotonic
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+
+    def _state_locked(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._monotonic() - self._opened_at >= self.cooldown_s:
+            return "half_open"
+        return "open"
+
+    @property
+    def state(self) -> str:
+        """``"closed"`` | ``"open"`` | ``"half_open"``."""
+        with self._lock:
+            return self._state_locked()
+
+    def allow(self) -> bool:
+        """Whether a request may go out now (claims the half-open probe)."""
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return True
+            if state == "open":
+                return False
+            if self._probing:
+                return False  # another thread already holds the probe
+            self._probing = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            self._probing = False
+            if self._opened_at is not None:
+                # A failed probe (or a straggler): re-open for a fresh
+                # cooldown from *now*.
+                self._opened_at = self._monotonic()
+            elif self._failures >= self.failure_threshold:
+                self._opened_at = self._monotonic()
+
+
 class ServiceClient:
-    """A typed client for a running analysis service."""
+    """A typed client for a running analysis service.
+
+    Resilience is opt-in and off by default (every existing caller sees
+    exactly one attempt per request, as before):
+
+    * ``retry=RetryPolicy(...)`` re-offers **idempotent** requests (every
+      GET, and every operation outside
+      :data:`~repro.service.protocol.MUTATING_OPERATIONS`) on transient
+      failures -- connection refused, 502/503/504 -- with capped jittered
+      backoff, honoring a server-provided ``retry_after_s``.  Job
+      submissions and mutating operations are never retried: re-offering
+      one could run it twice.
+    * ``breaker=CircuitBreaker(...)`` fails fast with a typed 503
+      ``circuit_open`` while the endpoint is down, probing it again after a
+      cooldown.
+    * ``deadline_ms`` stamps every request with the
+      ``X-Cpsec-Deadline-Ms`` budget header; the server answers a typed
+      504 ``deadline_exceeded`` when the budget runs out server-side.
+    """
 
     def __init__(
         self,
@@ -76,6 +205,10 @@ class ServiceClient:
         *,
         timeout: float = 300.0,
         trace_id: str | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        deadline_ms: float | None = None,
+        sleep=time.sleep,
     ) -> None:
         if not base_url.startswith(("http://", "https://")):
             raise ValueError(f"base_url must be an http(s) URL, got {base_url!r}")
@@ -87,13 +220,78 @@ class ServiceClient:
         #: Trace id the server assigned to the most recent request (from the
         #: response header on success, the error body on failure).
         self.last_trace_id: str | None = None
+        self.retry = retry
+        self.breaker = breaker
+        self.deadline_ms = deadline_ms
+        self._sleep = sleep  # injectable: retry tests record instead of wait
+        self._jitter = random.Random()
 
     # -- transport ------------------------------------------------------------
 
-    def _request(self, method: str, path: str, body: bytes | None = None) -> bytes:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        *,
+        idempotent: bool = True,
+    ) -> bytes:
+        """One logical request: breaker gate, attempt loop, backoff."""
+        breaker = self.breaker
+        if breaker is not None and not breaker.allow():
+            raise ServiceError(
+                f"circuit breaker open for {self.base_url}",
+                code="circuit_open",
+                status=503,
+                details={"cooldown_s": breaker.cooldown_s},
+            )
+        attempt = 0
+        while True:
+            try:
+                raw = self._request_once(method, path, body)
+            except ServiceError as error:
+                if breaker is not None:
+                    # Availability failures trip the breaker; a 4xx means
+                    # the server answered fine -- the *request* was wrong.
+                    if error.code == "unreachable" or error.status >= 500:
+                        breaker.record_failure()
+                    else:
+                        breaker.record_success()
+                policy = self.retry
+                attempt += 1
+                if (
+                    policy is None
+                    or not idempotent
+                    or attempt > policy.retries
+                    or not _client_retryable(error)
+                    or (breaker is not None and breaker.state != "closed")
+                ):
+                    raise
+                retry_after = error.details.get("retry_after_s")
+                if (
+                    isinstance(retry_after, (int, float))
+                    and not isinstance(retry_after, bool)
+                    and retry_after >= 0
+                ):
+                    delay = float(retry_after)
+                else:
+                    base = min(
+                        policy.max_backoff_s,
+                        policy.backoff_s * (2.0 ** (attempt - 1)),
+                    )
+                    delay = base * (0.5 + self._jitter.random())
+                self._sleep(delay)
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return raw
+
+    def _request_once(self, method: str, path: str, body: bytes | None) -> bytes:
         headers = {"Content-Type": "application/json"}
         if self.trace_id is not None:
             headers[TRACE_HEADER] = self.trace_id
+        if self.deadline_ms is not None:
+            headers[DEADLINE_HEADER] = f"{self.deadline_ms:g}"
         request = urllib.request.Request(
             f"{self.base_url}{path}",
             data=body,
@@ -132,7 +330,14 @@ class ServiceClient:
         the canonical serialization of the in-process response.
         """
         body = canonical_json(payload).encode("utf-8")
-        return self._request("POST", f"/v1/{operation}", body)
+        return self._request(
+            "POST",
+            f"/v1/{operation}",
+            body,
+            # Pure reads may be re-offered under a RetryPolicy; a mutating
+            # operation replayed after an ambiguous failure could run twice.
+            idempotent=operation not in MUTATING_OPERATIONS,
+        )
 
     def call(self, operation: str, request):
         """Invoke one typed operation and return its typed response."""
@@ -177,13 +382,19 @@ class ServiceClient:
         weight: float | None = None,
         depends_on: list[str] | None = None,
         client_id: str | None = None,
+        max_retries: int | None = None,
+        backoff_s: float | None = None,
     ) -> dict:
         """Submit one typed operation as a background job; the job record.
 
         ``request`` may be a typed request dataclass or a plain payload dict
         (``None`` submits the operation's defaults).  The scheduling knobs
-        (``priority``, ``weight``, ``depends_on``, ``client_id``) ride the
-        submission envelope; the server validates them with typed errors.
+        (``priority``, ``weight``, ``depends_on``, ``client_id``) and the
+        retry policy (``max_retries``, ``backoff_s`` -- server-side retries
+        of retryable job failures, with jittered exponential backoff) ride
+        the submission envelope; the server validates them with typed
+        errors.  A submission is never retried client-side: re-offering one
+        could enqueue the job twice.
         """
         if request is None:
             payload = {}
@@ -200,8 +411,14 @@ class ServiceClient:
             envelope["depends_on"] = list(depends_on)
         if client_id is not None:
             envelope["client"] = client_id
+        if max_retries is not None:
+            envelope["max_retries"] = max_retries
+        if backoff_s is not None:
+            envelope["backoff_s"] = backoff_s
         body = canonical_json(envelope)
-        raw = self._request("POST", "/v1/jobs", body.encode("utf-8"))
+        raw = self._request(
+            "POST", "/v1/jobs", body.encode("utf-8"), idempotent=False
+        )
         return json.loads(raw)
 
     def job(self, job_id: str) -> dict:

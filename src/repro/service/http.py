@@ -54,23 +54,29 @@ programmatically::
 from __future__ import annotations
 
 import json
+import math
 import os
 import sys
+import threading
 import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro import faults
 from repro.obs.collectors import collect_families
 from repro.obs.metrics import EXPOSITION_CONTENT_TYPE, render_snapshots
 from repro.obs.trace import (
     TRACE_HEADER,
+    current_trace,
     current_trace_id,
     slow_request_record,
     span,
     trace,
     valid_trace_id,
 )
+from repro.progress import OperationCancelled, report_to
 from repro.service.protocol import (
+    DEADLINE_HEADER,
     SCHEMA_VERSION,
     ServiceError,
     canonical_json,
@@ -100,12 +106,16 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
 
     # -- plumbing -------------------------------------------------------------
 
-    def _write_json(self, status: int, payload: dict) -> None:
+    def _write_json(
+        self, status: int, payload: dict, *, retry_after_s: float | None = None
+    ) -> None:
         body = canonical_json(payload).encode("utf-8")
         self._last_status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after_s is not None:
+            self.send_header("Retry-After", str(max(1, math.ceil(retry_after_s))))
         trace_id = current_trace_id()
         if trace_id is not None:
             self.send_header(TRACE_HEADER, trace_id)
@@ -123,7 +133,17 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
             # Additive: from_dict ignores unknown top-level keys, so old
             # clients parse traced errors unchanged.
             payload["trace_id"] = trace_id
-        self._write_json(error.status, payload)
+        retry_after = error.details.get("retry_after_s")
+        self._write_json(
+            error.status,
+            payload,
+            retry_after_s=(
+                retry_after
+                if isinstance(retry_after, (int, float))
+                and not isinstance(retry_after, bool)
+                else None
+            ),
+        )
 
     def _read_body(self) -> dict:
         try:
@@ -162,6 +182,85 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
                 status=503,
             )
         return jobs
+
+    # -- deadlines -------------------------------------------------------------
+
+    def _deadline_budget_ms(self) -> float | None:
+        """This request's deadline budget: the tighter of header and server.
+
+        The inbound :data:`DEADLINE_HEADER` (``X-Cpsec-Deadline-Ms``) lets a
+        caller spend less than the server-wide ``--request-timeout-ms``; it
+        can never spend *more*.  ``None`` means no deadline at all -- the
+        default, whose request path is byte-for-byte the pre-deadline one.
+        """
+        budget = self.server.request_timeout_ms
+        header = self.headers.get(DEADLINE_HEADER)
+        if header is not None:
+            try:
+                client_ms = float(header)
+            except ValueError:
+                raise ServiceError(
+                    f"invalid {DEADLINE_HEADER} header: {header!r}",
+                    code="malformed_deadline",
+                ) from None
+            if not client_ms > 0 or client_ms != client_ms:
+                raise ServiceError(
+                    f"{DEADLINE_HEADER} must be a positive number of "
+                    f"milliseconds, got {header!r}",
+                    code="malformed_deadline",
+                )
+            budget = client_ms if budget is None else min(budget, client_ms)
+        return budget
+
+    def _call_operation(self, operation: str, request):
+        """Run one sync operation, enforcing the deadline budget (if any).
+
+        The deadline rides the same ambient seam job cancellation uses: a
+        progress sink that compares the monotonic clock against the
+        deadline, raising at the next progress point inside the engine /
+        simulation loops.  Overruns become a typed 504 whose details say
+        how the budget was spent (the recorded span timings so far).
+        """
+        budget_ms = self._deadline_budget_ms()
+        method = getattr(self.server.service, operation)
+        if budget_ms is None:
+            return method(request)
+        started = time.monotonic()
+        deadline = started + budget_ms / 1000.0
+
+        def deadline_sink(phase: str, done: int, total: int) -> None:
+            if time.monotonic() >= deadline:
+                raise OperationCancelled(
+                    f"deadline exceeded during {phase} ({done}/{total})"
+                )
+
+        try:
+            with report_to(deadline_sink):
+                return method(request)
+        except OperationCancelled:
+            elapsed_ms = (time.monotonic() - started) * 1000.0
+            active = current_trace()
+            spans = (
+                [
+                    {
+                        "name": recorded.name,
+                        "duration_ms": round((recorded.duration_s or 0.0) * 1000.0, 3),
+                    }
+                    for recorded in active.spans
+                ]
+                if active is not None
+                else []
+            )
+            raise ServiceError(
+                f"request exceeded its deadline budget of {budget_ms:g} ms",
+                code="deadline_exceeded",
+                status=504,
+                details={
+                    "budget_ms": budget_ms,
+                    "elapsed_ms": round(elapsed_ms, 3),
+                    "spans": spans,
+                },
+            ) from None
 
     # -- observability ---------------------------------------------------------
 
@@ -306,6 +405,8 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
                 weight=payload.get("weight"),
                 depends_on=payload.get("depends_on"),
                 client=client,
+                max_retries=payload.get("max_retries"),
+                backoff_s=payload.get("backoff_s"),
             )
             with span("render"):
                 self._write_json(202, job.to_dict())
@@ -343,6 +444,10 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
                     jobs = getattr(self.server, "jobs", None)
                     if jobs is not None:
                         payload["jobs"] = jobs.stats()
+                        if payload["jobs"].get("journal_degraded"):
+                            # Up, serving, but running without durability:
+                            # visible at the top level, not just in stats.
+                            payload["status"] = "degraded"
                         if jobs.draining:
                             payload["status"] = "draining"
                     self._write_json(200, payload)
@@ -376,8 +481,16 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
         path = urllib.parse.urlsplit(self.path).path
         started = time.perf_counter()
         route = "unknown"
+        acquired = False
         with trace(valid_trace_id(self.headers.get(TRACE_HEADER))) as active:
             try:
+                faults.trip("handler.crash")
+                # Overload shedding gates every POST (operations and job
+                # submissions); GETs stay exempt so /healthz and /metrics
+                # answer even while the server sheds.
+                acquired = self.server.acquire_request_slot()
+                if not acquired:
+                    raise self.server.overloaded_error()
                 if path == "/v1/jobs" or path.startswith("/v1/jobs/"):
                     route = "jobs"
                     self._handle_jobs_post(path)
@@ -395,7 +508,7 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
                 # Only a *known* operation becomes a route label (typos
                 # would otherwise grow label cardinality without bound).
                 route = operation
-                response = getattr(self.server.service, operation)(request)
+                response = self._call_operation(operation, request)
                 with span("render"):
                     self._write_json(200, response.to_dict())
             except ServiceError as error:
@@ -412,6 +525,8 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
                     )
                 )
             finally:
+                if acquired:
+                    self.server.release_request_slot()
                 self._observe(route, started, active)
 
 
@@ -444,7 +559,17 @@ class AnalysisServiceServer(ThreadingHTTPServer):
         slow_request_ms: float | None = None,
         metrics_dir: str | None = None,
         worker_label: str = "0",
+        request_timeout_ms: float | None = None,
+        max_inflight: int | None = None,
     ) -> None:
+        if request_timeout_ms is not None and not request_timeout_ms > 0:
+            raise ValueError(
+                f"request_timeout_ms must be positive, got {request_timeout_ms}"
+            )
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be positive, got {max_inflight}"
+            )
         if listen_socket is not None:
             super().__init__(address, AnalysisRequestHandler, bind_and_activate=False)
             self.socket.close()
@@ -461,13 +586,68 @@ class AnalysisServiceServer(ThreadingHTTPServer):
         self.slow_request_ms = slow_request_ms
         self.metrics_dir = metrics_dir
         self.worker_label = str(worker_label)
+        #: Server-wide deadline budget applied to every sync operation
+        #: (``cpsec serve --request-timeout-ms``); ``None`` disables it.
+        self.request_timeout_ms = request_timeout_ms
+        #: Overload watermark: POSTs beyond this many in flight are shed
+        #: with a typed 503; ``None`` disables shedding (and its tracking).
+        self.max_inflight = max_inflight
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
         self.http_requests = None
+        self._m_shed = None
         if service.metrics is not None:
             self.http_requests = service.metrics.counter(
                 "cpsec_http_requests_total",
                 "HTTP requests handled, by route and status.",
                 ("route", "status"),
             )
+            self._m_shed = service.metrics.counter(
+                "cpsec_requests_shed_total",
+                "POST requests shed with a typed 503 at the in-flight bound.",
+            )
+
+    # -- overload shedding -----------------------------------------------------
+
+    def acquire_request_slot(self) -> bool:
+        """Take one in-flight slot; False means the request must be shed.
+
+        With shedding disabled (``max_inflight=None``) this is a single
+        attribute check -- no lock, no counter -- keeping the default path
+        identical to the pre-shedding server.
+        """
+        if self.max_inflight is None:
+            return True
+        with self._inflight_lock:
+            if self._inflight >= self.max_inflight:
+                if self._m_shed is not None:
+                    self._m_shed.inc()
+                return False
+            self._inflight += 1
+            return True
+
+    def release_request_slot(self) -> None:
+        if self.max_inflight is None:
+            return
+        with self._inflight_lock:
+            self._inflight = max(0, self._inflight - 1)
+
+    def overloaded_error(self) -> ServiceError:
+        """The typed 503 a shed request is answered with.
+
+        ``retry_after_s`` is advice, not a reservation: long enough for an
+        in-flight request to finish, short enough that a polite client
+        re-offers its work while the burst is still draining.
+        """
+        return ServiceError(
+            f"server is at its in-flight request bound ({self.max_inflight})",
+            code="overloaded",
+            status=503,
+            details={
+                "max_inflight": self.max_inflight,
+                "retry_after_s": 1.0,
+            },
+        )
 
     # -- metrics side-channel --------------------------------------------------
 
@@ -539,6 +719,8 @@ def start_server(
     slow_request_ms: float | None = None,
     metrics_dir: str | None = None,
     worker_label: str = "0",
+    request_timeout_ms: float | None = None,
+    max_inflight: int | None = None,
 ) -> AnalysisServiceServer:
     """Bind a server (``port=0`` picks a free port); call ``serve_forever``."""
     return AnalysisServiceServer(
@@ -550,4 +732,6 @@ def start_server(
         slow_request_ms=slow_request_ms,
         metrics_dir=metrics_dir,
         worker_label=worker_label,
+        request_timeout_ms=request_timeout_ms,
+        max_inflight=max_inflight,
     )

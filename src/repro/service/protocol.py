@@ -60,6 +60,21 @@ TERMINAL_JOB_STATES = frozenset({"succeeded", "failed", "cancelled"})
 #: scheduler in :mod:`repro.jobs.scheduler` enforces and acts on them).
 JOB_PRIORITIES = ("interactive", "batch")
 
+#: HTTP request header carrying the caller's deadline budget in
+#: milliseconds.  The server takes the tighter of this and its own
+#: ``--request-timeout-ms``, checks it cooperatively at the progress-sink
+#: points inside engine/simulation loops, and answers a typed 504
+#: ``deadline_exceeded`` when the budget runs out.
+DEADLINE_HEADER = "X-Cpsec-Deadline-Ms"
+
+#: Error codes a client may safely retry for *idempotent* operations: the
+#: request either never reached the service or failed for reasons the next
+#: attempt can outlive.  ``deadline_exceeded`` is deliberately absent -- a
+#: blown budget will blow again.
+RETRYABLE_ERROR_CODES = frozenset(
+    {"unreachable", "overloaded", "internal_error", "workspace_load_failed"}
+)
+
 
 def canonical_json(payload: dict) -> str:
     """The one JSON serialization used by every transport.

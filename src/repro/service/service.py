@@ -36,7 +36,7 @@ import time
 from dataclasses import fields
 from pathlib import Path
 
-from repro import __version__
+from repro import __version__, faults
 from repro.analysis.metrics import compute_posture, severity_histogram
 from repro.analysis.recommendations import recommend
 from repro.analysis.topology import analyze_topology
@@ -128,9 +128,13 @@ def _cached_operation(method):
     """
 
     name = method.__name__
+    fault_point = f"op.{name}"
 
     @functools.wraps(method)
     def wrapper(self, request):
+        # Chaos seam: one module-global boolean check when disarmed, so the
+        # instrumented path stays byte-identical and benchmark-neutral.
+        faults.trip(fault_point)
         cache = self._response_cache
         if self.metrics is None:
             # Uninstrumented path: byte-identical behavior, zero metric cost
@@ -514,14 +518,19 @@ class AnalysisService:
             workspace = entry.workspace
             if workspace is None:
                 try:
+                    faults.trip("artifact.load")
                     workspace = Workspace.load(
                         entry.path, mmap=self._workspace_mmap
                     )
                 except (ValueError, OSError) as error:
+                    # The entry's workspace stays None, so the registry slot
+                    # is not dead: the next request retries the load -- a
+                    # repaired/restored artifact recovers without a restart.
                     raise ServiceError(
                         f"cannot load workspace {name!r} from {entry.path}: {error}",
                         code="workspace_load_failed",
                         status=503,
+                        details={"workspace": name, "recoverable": True},
                     ) from error
                 entry.workspace = workspace
                 entry.loads += 1

@@ -1,0 +1,812 @@
+"""Chaos suite: injected faults against every resilience mechanism.
+
+The fault-injection seam (:mod:`repro.faults`) lets these tests arm real
+failures at real production seams -- journal writes, artifact loads,
+operation dispatch, handler entry -- and assert the typed, observable
+recovery the resilience tier promises:
+
+* a journal I/O error degrades the manager (flagged, counted, ``/healthz``
+  says ``degraded``) instead of killing worker threads,
+* a transient (5xx) job failure retries with jittered exponential backoff
+  on the injected clock -- fake-clock-verified, journal-replayable -- and
+  dead-letters when the budget is spent,
+* a slow request overruns its deadline budget into a typed 504 with span
+  timings,
+* a saturated server sheds load with a typed 503 carrying ``retry_after_s``
+  while ``/healthz`` keeps answering,
+* the client re-offers idempotent requests and trips its circuit breaker,
+* and with nothing armed, the instrumented paths stay byte-identical.
+"""
+
+import http.client
+import json
+import random
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from helpers_jobs import (
+    SLOW_SIMULATE,
+    GateService,
+    ScriptedService,
+    stepped_manager,
+)
+from repro import faults
+from repro.jobs import JobManager
+from repro.jobs.store import read_journal
+from repro.service import (
+    AnalysisService,
+    CircuitBreaker,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    start_server,
+)
+from repro.service.protocol import DEADLINE_HEADER
+
+SCALE = 0.02
+
+
+@pytest.fixture(autouse=True)
+def _clean_seam():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+@pytest.fixture(scope="module")
+def service():
+    return AnalysisService()
+
+
+def _serve(service, **kwargs):
+    server = start_server(service, port=0, **kwargs)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    return server, thread, f"http://{host}:{port}"
+
+
+def _stop(server, thread):
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _post(url, path, payload, headers=None):
+    """POST returning ``(status, payload, headers)`` without raising."""
+    request = urllib.request.Request(
+        f"{url}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, json.loads(response.read()), response.headers
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), error.headers
+
+
+def _expected_delay(job_id: str, attempt: int, backoff_s: float) -> float:
+    """The manager's deterministic jittered backoff, recomputed."""
+    base = backoff_s * (2.0 ** (attempt - 1))
+    jitter = 0.5 + random.Random(f"{job_id}:{attempt}").random()
+    return min(300.0, base * jitter)
+
+
+def _flaky(failures: int, status: int = 503):
+    """A scripted operation failing ``failures`` times, then succeeding."""
+    calls = {"n": 0}
+
+    def behavior(request):
+        calls["n"] += 1
+        if calls["n"] <= failures:
+            return ServiceError(
+                f"backend hiccup #{calls['n']}", code="transient", status=status
+            )
+        return {"ok": True, "after_failures": failures}
+
+    return behavior
+
+
+# -- graceful degradation: journal faults -----------------------------------
+
+
+def test_journal_error_degrades_manager_but_jobs_keep_running(tmp_path):
+    manager, _ = stepped_manager(
+        ScriptedService(), journal_path=tmp_path / "jobs.jsonl"
+    )
+    try:
+        faults.arm("journal.append", "error", arg=OSError("disk full"))
+        job = manager.submit("associate", {"scale": SCALE})
+        assert manager.run_next() is job
+        assert job.state == "succeeded"
+        stats = manager.stats()
+        assert stats["journal_degraded"] is True
+        assert stats["journal_errors"] >= 1
+        assert "disk full" in stats["journal_error"]
+        # Degraded mode is sticky and quiet: later jobs run without touching
+        # the dead journal (and without tripping the still-armed fault).
+        tripped = faults.trips("journal.append")
+        next_job = manager.submit("table1", {"scale": SCALE})
+        assert manager.run_next() is next_job
+        assert next_job.state == "succeeded"
+        assert faults.trips("journal.append") == tripped
+    finally:
+        manager.close(timeout=1)
+
+
+def test_torn_journal_write_degrades_and_replay_heals(tmp_path):
+    journal = tmp_path / "jobs.jsonl"
+    manager, _ = stepped_manager(ScriptedService(), journal_path=journal)
+    first = manager.submit("associate", {"scale": SCALE})
+    manager.run_next()
+    assert first.state == "succeeded"
+    # The next submission's journal line is torn mid-write: a truncated
+    # prefix with no newline lands, then the write errors.
+    faults.arm("journal.torn", "torn", times=1)
+    second = manager.submit("associate", {"scale": SCALE})
+    assert manager.stats()["journal_degraded"] is True
+    manager.run_next()
+    assert second.state == "succeeded"
+    manager.close(timeout=1)
+
+    replayed = JobManager(ScriptedService(), journal_path=journal, start_workers=False)
+    try:
+        records = {job.job_id: job for job in replayed.jobs()}
+        # The intact history replays; the torn line was skipped, so the
+        # second job is simply absent -- a torn tail never poisons replay.
+        assert records[first.job_id].state == "succeeded"
+        assert second.job_id not in records
+        assert replayed.stats()["journal_degraded"] is False
+    finally:
+        replayed.close(timeout=1)
+
+
+def test_degraded_journal_surfaces_in_healthz_and_metrics(tmp_path, service):
+    manager = JobManager(
+        ScriptedService(), journal_path=tmp_path / "jobs.jsonl", workers=1
+    )
+    server, thread, url = _serve(service, jobs=manager)
+    try:
+        faults.arm("journal.append", "error", arg=OSError("read-only filesystem"))
+        status, job, _ = _post(
+            url, "/v1/jobs", {"operation": "associate", "request": {"scale": SCALE}}
+        )
+        assert status == 202
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            with urllib.request.urlopen(
+                f"{url}/v1/jobs/{job['job_id']}", timeout=30
+            ) as response:
+                record = json.loads(response.read())
+            if record.get("state") in ("succeeded", "failed", "cancelled"):
+                break
+            time.sleep(0.05)
+        assert record["state"] == "succeeded"
+        with urllib.request.urlopen(f"{url}/healthz", timeout=30) as response:
+            payload = json.loads(response.read())
+        assert payload["status"] == "degraded"
+        assert payload["jobs"]["journal_degraded"] is True
+        assert payload["jobs"]["journal_errors"] >= 1
+        with urllib.request.urlopen(f"{url}/metrics", timeout=30) as response:
+            text = response.read().decode("utf-8")
+        degraded = [
+            line
+            for line in text.splitlines()
+            if line.startswith("cpsec_journal_degraded")
+        ]
+        assert degraded and all(line.split()[-1] == "1" for line in degraded)
+    finally:
+        _stop(server, thread)
+        manager.close(timeout=1)
+
+
+# -- job retries with backoff on the fake clock -----------------------------
+
+
+def test_transient_job_failure_retries_with_exact_backoff(tmp_path):
+    journal = tmp_path / "jobs.jsonl"
+    manager, clock = stepped_manager(
+        ScriptedService({"associate": _flaky(failures=2)}), journal_path=journal
+    )
+    job = manager.submit(
+        "associate", {"scale": SCALE}, max_retries=3, backoff_s=2.0
+    )
+    assert manager.run_next() is job  # attempt 1 fails
+    assert job.state == "queued"
+    assert job.attempt == 1
+    expected = _expected_delay(job.job_id, 1, 2.0)
+    assert job.retry_at == pytest.approx(expected)
+    assert manager.run_next() is None  # backoff not elapsed: nothing ready
+    assert manager.stats()["retries"] == {"total": 1, "pending": 1}
+
+    clock.advance(expected + 0.001)
+    assert manager.run_next() is job  # attempt 2 fails
+    assert job.attempt == 2
+    second = _expected_delay(job.job_id, 2, 2.0)
+    assert job.retry_at - clock.monotonic() == pytest.approx(second)
+    clock.advance(second + 0.001)
+    assert manager.run_next() is job  # third attempt succeeds
+    assert job.state == "succeeded"
+    assert job.result["after_failures"] == 2
+
+    stats = manager.stats()
+    assert stats["retries"] == {"total": 2, "pending": 0}
+    assert stats["dead_letter"]["count"] == 0
+    record = job.to_dict()
+    assert record["attempt"] == 2
+    assert record["max_retries"] == 3
+    assert record["dead_letter"] is False
+
+    retry_lines = [
+        entry for entry in read_journal(journal) if entry["kind"] == "retry"
+    ]
+    assert [entry["attempt"] for entry in retry_lines] == [1, 2]
+    assert retry_lines[0]["delay_s"] == pytest.approx(expected, abs=1e-5)
+    assert retry_lines[0]["error"]["status"] == 503
+    manager.close(timeout=1)
+
+    replayed = JobManager(
+        ScriptedService(), journal_path=journal, start_workers=False
+    )
+    try:
+        record = replayed.get(job.job_id).to_dict()
+        assert record["state"] == "succeeded"
+        assert record["attempt"] == 2
+        assert record["dead_letter"] is False
+    finally:
+        replayed.close(timeout=1)
+
+
+def test_exhausted_retry_budget_dead_letters(tmp_path):
+    manager, clock = stepped_manager(
+        ScriptedService({"associate": _flaky(failures=10)}),
+        journal_path=tmp_path / "jobs.jsonl",
+    )
+    try:
+        job = manager.submit("associate", {"scale": SCALE}, max_retries=1)
+        manager.run_next()
+        assert job.state == "queued" and job.attempt == 1
+        clock.advance(301.0)  # past any capped backoff
+        manager.run_next()
+        assert job.state == "failed"
+        assert job.error["code"] == "transient"
+        stats = manager.stats()
+        assert stats["dead_letter"] == {"count": 1, "job_ids": [job.job_id]}
+        assert job.to_dict()["dead_letter"] is True
+    finally:
+        manager.close(timeout=1)
+
+
+def test_non_retryable_4xx_fails_without_retrying():
+    manager, _ = stepped_manager(
+        ScriptedService(
+            {"associate": ServiceError("bad request", code="nope", status=400)}
+        )
+    )
+    try:
+        job = manager.submit("associate", {"scale": SCALE}, max_retries=3)
+        manager.run_next()
+        # 4xx is deterministic: retrying replays the same rejection.
+        assert job.state == "failed"
+        assert job.attempt == 0
+        assert manager.stats()["retries"]["total"] == 0
+    finally:
+        manager.close(timeout=1)
+
+
+def test_no_retries_by_default_on_transient_failure():
+    manager, _ = stepped_manager(
+        ScriptedService({"associate": _flaky(failures=1)})
+    )
+    try:
+        job = manager.submit("associate", {"scale": SCALE})
+        manager.run_next()
+        assert job.state == "failed"
+        assert job.to_dict()["dead_letter"] is False
+    finally:
+        manager.close(timeout=1)
+
+
+def test_cancel_during_retry_backoff_wins(tmp_path):
+    manager, clock = stepped_manager(
+        ScriptedService({"associate": _flaky(failures=10)}),
+        journal_path=tmp_path / "jobs.jsonl",
+    )
+    try:
+        job = manager.submit("associate", {"scale": SCALE}, max_retries=5)
+        manager.run_next()
+        assert job.state == "queued" and job.retry_at is not None
+        manager.cancel(job.job_id)
+        assert job.state == "cancelled"
+        clock.advance(400.0)
+        # The stale heap entry is skipped lazily; the job never re-runs.
+        assert manager.run_next() is None
+        assert job.state == "cancelled"
+        assert manager.stats()["retries"]["pending"] == 0
+    finally:
+        manager.close(timeout=1)
+
+
+def test_submit_validates_retry_knobs():
+    manager, _ = stepped_manager()
+    try:
+        with pytest.raises(ServiceError) as excinfo:
+            manager.submit("associate", {"scale": SCALE}, max_retries=99)
+        assert excinfo.value.code == "invalid_max_retries"
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            manager.submit("associate", {"scale": SCALE}, backoff_s=-1.0)
+        assert excinfo.value.code == "invalid_backoff"
+    finally:
+        manager.close(timeout=1)
+
+
+def test_transient_op_fault_injected_at_service_seam_retries(tmp_path):
+    """End-to-end tentpole check: an armed ``op.<name>`` fault, a real
+    AnalysisService, and the retry machinery heal a transient failure."""
+    manager, clock = stepped_manager(
+        AnalysisService(), journal_path=tmp_path / "jobs.jsonl"
+    )
+    try:
+        faults.arm("op.topology", "error", times=1)
+        job = manager.submit("topology", {}, max_retries=2, backoff_s=0.1)
+        manager.run_next()
+        assert job.state == "queued" and job.attempt == 1
+        assert faults.trips("op.topology") == 1
+        clock.advance(1.0)
+        manager.run_next()
+        assert job.state == "succeeded"
+    finally:
+        manager.close(timeout=1)
+
+
+# -- request deadlines -------------------------------------------------------
+
+
+def test_deadline_header_turns_slow_request_into_typed_504(service):
+    server, thread, url = _serve(service)
+    try:
+        status, payload, _ = _post(
+            url,
+            "/v1/simulate",
+            {"scenario": "nominal", "duration_s": 86400.0, "dt": 0.5},
+            headers={DEADLINE_HEADER: "80"},
+        )
+        assert status == 504
+        error = payload["error"]
+        assert error["code"] == "deadline_exceeded"
+        assert error["details"]["budget_ms"] == 80.0
+        assert error["details"]["elapsed_ms"] >= 80.0
+        assert isinstance(error["details"]["spans"], list)
+    finally:
+        _stop(server, thread)
+
+
+def test_server_wide_request_timeout_applies_without_header(service):
+    server, thread, url = _serve(service, request_timeout_ms=80.0)
+    try:
+        status, payload, _ = _post(
+            url, "/v1/simulate", {"scenario": "nominal", "duration_s": 86400.0, "dt": 0.5}
+        )
+        assert status == 504
+        assert payload["error"]["code"] == "deadline_exceeded"
+        # A client header can only tighten the server budget, never widen it.
+        started = time.monotonic()
+        status, payload, _ = _post(
+            url,
+            "/v1/simulate",
+            {"scenario": "nominal", "duration_s": 86400.0, "dt": 0.5},
+            headers={DEADLINE_HEADER: "3600000"},
+        )
+        assert status == 504
+        assert payload["error"]["details"]["budget_ms"] == 80.0
+        assert time.monotonic() - started < 60.0
+    finally:
+        _stop(server, thread)
+
+
+def test_generous_deadline_leaves_fast_requests_untouched(service):
+    server, thread, url = _serve(service)
+    try:
+        status, reference, _ = _post(url, "/v1/topology", {})
+        assert status == 200
+        status, under_deadline, _ = _post(
+            url, "/v1/topology", {}, headers={DEADLINE_HEADER: "60000"}
+        )
+        assert status == 200
+        assert under_deadline == reference
+    finally:
+        _stop(server, thread)
+
+
+def test_malformed_deadline_header_is_typed_400(service):
+    server, thread, url = _serve(service)
+    try:
+        for bad in ("soon", "-5", "0", "nan"):
+            status, payload, _ = _post(
+                url, "/v1/topology", {}, headers={DEADLINE_HEADER: bad}
+            )
+            assert status == 400, bad
+            assert payload["error"]["code"] == "malformed_deadline"
+    finally:
+        _stop(server, thread)
+
+
+def test_client_deadline_ms_stamps_the_header(service):
+    server, thread, url = _serve(service)
+    try:
+        client = ServiceClient(url, deadline_ms=80.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.call_raw(
+                "simulate", {"scenario": "nominal", "duration_s": 86400.0, "dt": 0.5}
+            )
+        assert excinfo.value.status == 504
+        assert excinfo.value.code == "deadline_exceeded"
+    finally:
+        _stop(server, thread)
+
+
+# -- overload shedding -------------------------------------------------------
+
+
+def test_saturated_server_sheds_with_retry_after_and_healthz_answers():
+    gate = GateService(AnalysisService())
+    server, thread, url = _serve(gate, max_inflight=1)
+    results = {}
+
+    def occupy():
+        results["slow"] = _post(url, "/v1/simulate", SLOW_SIMULATE)
+
+    worker = threading.Thread(target=occupy, daemon=True)
+    worker.start()
+    try:
+        gate.wait_started()
+        status, payload, headers = _post(url, "/v1/topology", {})
+        assert status == 503
+        error = payload["error"]
+        assert error["code"] == "overloaded"
+        assert error["details"]["max_inflight"] == 1
+        assert error["details"]["retry_after_s"] == 1.0
+        assert headers["Retry-After"] == "1"
+        # GETs are exempt: the health/metrics plane answers while shedding.
+        with urllib.request.urlopen(f"{url}/healthz", timeout=30) as response:
+            assert response.status == 200
+    finally:
+        gate.release()
+        worker.join(timeout=120)
+        _stop(server, thread)
+    assert results["slow"][0] == 200
+
+
+def test_shedding_recovers_once_the_slot_frees():
+    gate = GateService(AnalysisService())
+    server, thread, url = _serve(gate, max_inflight=1)
+    results = {}
+
+    def occupy():
+        results["slow"] = _post(url, "/v1/simulate", SLOW_SIMULATE)
+
+    worker = threading.Thread(target=occupy, daemon=True)
+    worker.start()
+    try:
+        gate.wait_started()
+        assert _post(url, "/v1/topology", {})[0] == 503
+        gate.release()
+        worker.join(timeout=120)
+        status, _, _ = _post(url, "/v1/topology", {})
+        assert status == 200
+    finally:
+        gate.release()
+        _stop(server, thread)
+
+
+# -- handler crash boundary and workspace-load faults ------------------------
+
+
+def test_injected_handler_exception_is_typed_500_and_server_survives(service):
+    server, thread, url = _serve(service)
+    try:
+        faults.arm("handler.crash", "runtimeerror", times=1)
+        status, payload, _ = _post(url, "/v1/topology", {})
+        assert status == 500
+        assert payload["error"]["code"] == "internal_error"
+        # One poisoned request, not a poisoned server.
+        assert _post(url, "/v1/topology", {})[0] == 200
+    finally:
+        _stop(server, thread)
+
+
+def test_workspace_artifact_load_fault_is_typed_and_recoverable(tmp_path):
+    from repro.workspace import Workspace
+
+    path = tmp_path / "ws.cpsecws"
+    Workspace.build(scale=SCALE).save(path)
+    service = AnalysisService(workspaces={"ws": path})
+    faults.arm("artifact.load", "error", arg=OSError("truncated artifact"), times=1)
+    from repro.service import AssociateRequest
+
+    with pytest.raises(ServiceError) as excinfo:
+        service.associate(AssociateRequest(scale=SCALE, workspace="ws"))
+    assert excinfo.value.code == "workspace_load_failed"
+    assert excinfo.value.status == 503
+    assert excinfo.value.details == {"workspace": "ws", "recoverable": True}
+    # The entry was not poisoned: the next request retries the load and wins.
+    response = service.associate(AssociateRequest(scale=SCALE, workspace="ws"))
+    assert response.to_dict()["schema_version"] == 1
+
+
+def test_disarmed_seam_leaves_responses_byte_identical(service):
+    server, thread, url = _serve(service)
+    try:
+        body = json.dumps({}).encode("utf-8")
+
+        def fetch():
+            request = urllib.request.Request(
+                f"{url}/v1/topology",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=120) as response:
+                return response.read()
+
+        reference = fetch()
+        # Arming an unrelated point must not perturb this path either.
+        faults.arm("journal.append", "error")
+        assert fetch() == reference
+        faults.reset()
+        assert fetch() == reference
+    finally:
+        _stop(server, thread)
+
+
+# -- client resilience -------------------------------------------------------
+
+
+class _ScriptedTransport(ServiceClient):
+    """A ServiceClient whose transport is a scripted outcome list."""
+
+    def __init__(self, outcomes, **kwargs):
+        kwargs.setdefault("sleep", lambda s: self.sleeps.append(s))
+        self.sleeps: list[float] = []
+        super().__init__("http://127.0.0.1:9", **kwargs)
+        self._outcomes = list(outcomes)
+        self.attempts = 0
+
+    def _request_once(self, method, path, body):
+        self.attempts += 1
+        outcome = self._outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+def _overloaded():
+    return ServiceError(
+        "at capacity",
+        code="overloaded",
+        status=503,
+        details={"retry_after_s": 2.5},
+    )
+
+
+def test_client_retry_honors_server_retry_after():
+    client = _ScriptedTransport(
+        [_overloaded(), b'{"nodes": []}'], retry=RetryPolicy(retries=2)
+    )
+    assert client.call_raw("topology", {}) == b'{"nodes": []}'
+    assert client.attempts == 2
+    assert client.sleeps == [2.5]
+
+
+def test_client_retry_uses_jittered_backoff_without_retry_after():
+    policy = RetryPolicy(retries=3, backoff_s=1.0, max_backoff_s=4.0)
+    client = _ScriptedTransport(
+        [
+            ServiceError("down", code="unreachable", status=503),
+            ServiceError("down", code="unreachable", status=503),
+            b"ok",
+        ],
+        retry=policy,
+    )
+    assert client.call_raw("topology", {}) == b"ok"
+    assert client.attempts == 3
+    assert 0.5 <= client.sleeps[0] < 1.5  # base 1.0, jitter [0.5, 1.5)
+    assert 1.0 <= client.sleeps[1] < 3.0  # base 2.0
+
+
+def test_client_never_retries_mutating_operations_or_submissions():
+    client = _ScriptedTransport([_overloaded()], retry=RetryPolicy())
+    with pytest.raises(ServiceError):
+        client.call_raw("extend", {"records": []})
+    assert client.attempts == 1
+
+    client = _ScriptedTransport([_overloaded()], retry=RetryPolicy())
+    with pytest.raises(ServiceError):
+        client.submit("associate", {"scale": SCALE})
+    assert client.attempts == 1
+    assert client.sleeps == []
+
+
+def test_client_never_retries_deadline_exceeded():
+    client = _ScriptedTransport(
+        [ServiceError("too slow", code="deadline_exceeded", status=504)],
+        retry=RetryPolicy(),
+    )
+    with pytest.raises(ServiceError) as excinfo:
+        client.call_raw("topology", {})
+    assert excinfo.value.code == "deadline_exceeded"
+    assert client.attempts == 1
+
+
+def test_client_retry_is_off_by_default():
+    client = _ScriptedTransport([_overloaded()])
+    with pytest.raises(ServiceError):
+        client.call_raw("topology", {})
+    assert client.attempts == 1
+
+
+def test_circuit_breaker_state_machine():
+    now = {"t": 0.0}
+    breaker = CircuitBreaker(
+        failure_threshold=2, cooldown_s=30.0, monotonic=lambda: now["t"]
+    )
+    assert breaker.state == "closed"
+    breaker.record_failure()
+    assert breaker.state == "closed"
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert breaker.allow() is False
+    now["t"] = 31.0
+    assert breaker.state == "half_open"
+    assert breaker.allow() is True  # the single probe
+    assert breaker.allow() is False  # no second concurrent probe
+    breaker.record_failure()  # failed probe: re-open for a fresh cooldown
+    assert breaker.state == "open"
+    now["t"] = 62.0
+    assert breaker.allow() is True
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.allow() is True
+
+
+def test_client_fails_fast_while_breaker_is_open():
+    breaker = CircuitBreaker(failure_threshold=1, cooldown_s=30.0)
+    client = _ScriptedTransport(
+        [ServiceError("down", code="unreachable", status=503)], breaker=breaker
+    )
+    with pytest.raises(ServiceError) as excinfo:
+        client.call_raw("topology", {})
+    assert excinfo.value.code == "unreachable"
+    assert breaker.state == "open"
+    with pytest.raises(ServiceError) as excinfo:
+        client.call_raw("topology", {})
+    assert excinfo.value.code == "circuit_open"
+    assert excinfo.value.status == 503
+    assert excinfo.value.details["cooldown_s"] == 30.0
+    assert client.attempts == 1  # the transport was never touched again
+
+
+# -- pre-forked crash restart under injected handler crashes -----------------
+
+
+@pytest.mark.slow
+def test_preforked_workers_survive_injected_handler_crashes(tmp_path):
+    """Armed via CPSEC_FAULTS, every worker's first POST dies with os._exit;
+    the parent restarts the slot each time and the GET plane (exempt from
+    the handler.crash point) keeps answering throughout."""
+    import os
+    import re
+    import signal
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    from repro.workspace import Workspace
+
+    artifact = tmp_path / "chaos.cpsecws"
+    Workspace.build(scale=SCALE).save(artifact)
+
+    env = dict(os.environ)
+    repo_src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = repo_src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["CPSEC_FAULTS"] = "handler.crash:exit:13:1"
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--workspace", f"main={artifact}",
+            "--port", "0", "--workers", "2", "--job-journal", "none",
+        ],
+        cwd=tmp_path,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    lines: list[str] = []
+    threading.Thread(
+        target=lambda: [lines.append(l.rstrip("\n")) for l in process.stdout],
+        daemon=True,
+    ).start()
+    try:
+        deadline = time.monotonic() + 120.0
+        url = None
+        while time.monotonic() < deadline:
+            banner = next(
+                (l for l in list(lines) if "serving analysis service" in l), None
+            )
+            if banner:
+                url = banner.split("on ", 1)[1].split(" ", 1)[0]
+                break
+            assert process.poll() is None, lines
+            time.sleep(0.1)
+        assert url, lines
+
+        def wait_restarts(count: int) -> None:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                seen = sum(
+                    1 for l in list(lines) if re.search(r"restarting slot \d", l)
+                )
+                if seen >= count:
+                    return
+                time.sleep(0.1)
+            raise AssertionError(f"saw fewer than {count} restarts in: {lines}")
+
+        def healthz_ok() -> None:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                try:
+                    with urllib.request.urlopen(f"{url}/healthz", timeout=10) as r:
+                        assert json.loads(r.read())["status"] == "ok"
+                        return
+                except (urllib.error.URLError, http.client.HTTPException):
+                    time.sleep(0.1)
+            raise AssertionError("healthz stopped answering")
+
+        for round_number in (1, 2):
+            try:
+                _post(url, "/v1/topology", {})
+                crashed = False
+            except (urllib.error.URLError, http.client.HTTPException):
+                crashed = True  # the serving worker died mid-request
+            assert crashed, "the injected handler crash did not fire"
+            wait_restarts(round_number)
+            healthz_ok()  # siblings/replacements keep the GET plane up
+
+        output = "\n".join(lines)
+        assert re.search(r"worker \d+ exited \(13\); restarting slot \d", output)
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            code = process.wait(timeout=60.0)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            raise
+    assert code == 0
+    assert "shutdown complete (all workers drained, journals flushed)" in "\n".join(
+        lines
+    )
+
+
+def test_breaker_probe_success_closes_and_traffic_resumes():
+    now = {"t": 0.0}
+    breaker = CircuitBreaker(
+        failure_threshold=1, cooldown_s=10.0, monotonic=lambda: now["t"]
+    )
+    client = _ScriptedTransport(
+        [ServiceError("down", code="unreachable", status=503), b"ok", b"ok2"],
+        breaker=breaker,
+    )
+    with pytest.raises(ServiceError):
+        client.call_raw("topology", {})
+    now["t"] = 11.0
+    assert client.call_raw("topology", {}) == b"ok"  # the half-open probe
+    assert breaker.state == "closed"
+    assert client.call_raw("topology", {}) == b"ok2"

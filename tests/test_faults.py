@@ -1,0 +1,144 @@
+"""Unit tests for the deterministic fault-injection seam (repro.faults).
+
+The seam's contract is load-bearing for the whole chaos tier: disarmed it
+must be a single boolean check (the byte-identity guarantee of every
+instrumented production path), armed it must fire exactly as scripted --
+bounded by ``times``, observable through ``trips``, and arm-able from the
+``CPSEC_FAULTS`` environment for subprocess tests.
+"""
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_seam():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def test_disarmed_trip_is_a_no_op():
+    faults.trip("journal.append")  # must not raise
+    assert faults.trips("journal.append") == 0
+    assert faults.armed_points() == []
+
+
+def test_armed_point_raises_oserror_by_default():
+    faults.arm("journal.append")
+    with pytest.raises(OSError):
+        faults.trip("journal.append")
+    assert faults.trips("journal.append") == 1
+    # Unbounded: still armed, fires again.
+    with pytest.raises(OSError):
+        faults.trip("journal.append")
+    assert faults.trips("journal.append") == 2
+
+
+def test_other_points_stay_disarmed():
+    faults.arm("journal.append")
+    faults.trip("artifact.load")  # must not raise
+    assert faults.trips("artifact.load") == 0
+
+
+def test_exception_instance_arg_is_raised_verbatim():
+    boom = OSError("disk full")
+    faults.arm("journal.append", "error", arg=boom)
+    with pytest.raises(OSError) as excinfo:
+        faults.trip("journal.append")
+    assert excinfo.value is boom
+
+
+def test_runtimeerror_mode():
+    faults.arm("op.simulate", "runtimeerror")
+    with pytest.raises(RuntimeError):
+        faults.trip("op.simulate")
+
+
+def test_times_budget_disarms_after_exhaustion():
+    faults.arm("op.associate", "error", times=2)
+    for _ in range(2):
+        with pytest.raises(OSError):
+            faults.trip("op.associate")
+    faults.trip("op.associate")  # budget spent: disarmed again
+    assert faults.trips("op.associate") == 2
+    assert faults.armed_points() == []
+
+
+def test_slow_mode_proceeds_after_sleeping():
+    faults.arm("op.topology", "slow", arg=0.0)
+    faults.trip("op.topology")  # returns instead of raising
+    assert faults.trips("op.topology") == 1
+
+
+def test_mangle_returns_none_when_disarmed_or_wrong_mode():
+    assert faults.mangle("journal.torn", "payload") is None
+    faults.arm("journal.torn", "error")
+    assert faults.mangle("journal.torn", "payload") is None
+
+
+def test_mangle_torn_truncates_the_text():
+    faults.arm("journal.torn", "torn", times=1)
+    line = '{"v":1,"kind":"submitted"}'
+    torn = faults.mangle("journal.torn", line)
+    assert torn == line[: len(line) // 2]
+    assert faults.mangle("journal.torn", line) is None  # budget spent
+
+
+def test_armed_context_manager_disarms_on_exit():
+    with faults.armed("journal.append"):
+        assert faults.armed_points() == ["journal.append"]
+        with pytest.raises(OSError):
+            faults.trip("journal.append")
+    assert faults.armed_points() == []
+    faults.trip("journal.append")  # disarmed again
+
+
+def test_reset_clears_points_and_counters():
+    faults.arm("journal.append")
+    with pytest.raises(OSError):
+        faults.trip("journal.append")
+    faults.reset()
+    assert faults.armed_points() == []
+    assert faults.trips("journal.append") == 0
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        faults.arm("journal.append", "explode")
+
+
+def test_nonpositive_times_rejected():
+    with pytest.raises(ValueError):
+        faults.arm("journal.append", times=0)
+
+
+def test_load_env_arms_points_with_arg_and_times():
+    count = faults.load_env("journal.append:oserror,op.simulate:slow:0.01:3")
+    assert count == 2
+    assert faults.armed_points() == ["journal.append", "op.simulate"]
+    with pytest.raises(OSError):
+        faults.trip("journal.append")
+    faults.trip("op.simulate")
+    assert faults.trips("op.simulate") == 1
+
+
+def test_load_env_empty_arg_slot_skips_to_times():
+    faults.load_env("handler.crash:error::1")
+    with pytest.raises(OSError):
+        faults.trip("handler.crash")
+    faults.trip("handler.crash")  # times=1: budget spent
+    assert faults.trips("handler.crash") == 1
+
+
+def test_load_env_empty_value_arms_nothing():
+    assert faults.load_env("") == 0
+    assert faults.load_env("  ,  ") == 0
+    assert faults.armed_points() == []
+
+
+@pytest.mark.parametrize("entry", ["justapoint", "a:b:c:d:e", "p:slow:notafloat"])
+def test_load_env_malformed_entry_fails_loudly(entry):
+    with pytest.raises(ValueError):
+        faults.load_env(entry)
